@@ -1,0 +1,83 @@
+//! mpi-rt collective-operation benchmarks: scaling of the tree/ring/pairwise
+//! algorithms with rank count and payload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpi_rt::Universe;
+use std::time::{Duration, Instant};
+
+const RANKS: &[usize] = &[2, 4, 8];
+const ELEMS: usize = 1024; // u64 elements per rank
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for &n in RANKS {
+        g.bench_with_input(BenchmarkId::new("barrier", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let out = Universe::run(n, move |comm| {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        comm.barrier().unwrap();
+                    }
+                    t0.elapsed()
+                });
+                out[0]
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("bcast_8KiB", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let out = Universe::run(n, move |comm| {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        let mut buf = if comm.rank() == 0 {
+                            vec![1u64; ELEMS]
+                        } else {
+                            Vec::new()
+                        };
+                        comm.bcast(0, &mut buf).unwrap();
+                        assert_eq!(buf.len(), ELEMS);
+                    }
+                    t0.elapsed()
+                });
+                out[0]
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("allreduce_8KiB", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let out = Universe::run(n, move |comm| {
+                    let local = vec![comm.rank() as u64; ELEMS];
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        let sum = comm.allreduce(&local, |a, b| a + b).unwrap();
+                        assert_eq!(sum.len(), ELEMS);
+                    }
+                    t0.elapsed()
+                });
+                out[0]
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("alltoall_1KiB", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let out = Universe::run(n, move |comm| {
+                    let send: Vec<Vec<u64>> =
+                        (0..n).map(|j| vec![j as u64; 128]).collect();
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        let recv = comm.alltoall(send.clone()).unwrap();
+                        assert_eq!(recv.len(), n);
+                    }
+                    t0.elapsed()
+                });
+                out[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! MPI-D pipeline benchmarks: component throughput (codec, realignment,
+//! partitioning) and whole-job ablations (combiner, Isend, spill sizes) on
+//! the real engine.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mapred::{run_mpid, MpidEngineConfig};
+use mpid::realign::{FrameBuilder, FrameReader};
+use mpid::{HashPartitioner, Kv, Partitioner};
+use std::sync::Arc;
+use std::time::Duration;
+use workloads::{TextGen, WordCount};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let pairs: Vec<(String, u64)> = (0..1000)
+        .map(|i| (format!("key-{:06}", i % 97), i as u64))
+        .collect();
+    let total: usize = pairs.iter().map(|(k, v)| k.wire_size() + v.wire_size()).sum();
+    g.throughput(Throughput::Bytes(total as u64));
+
+    g.bench_function("encode_1k_pairs", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(total);
+            for (k, v) in &pairs {
+                k.encode(&mut buf);
+                v.encode(&mut buf);
+            }
+            buf
+        })
+    });
+
+    let mut encoded = BytesMut::new();
+    for (k, v) in &pairs {
+        k.encode(&mut encoded);
+        v.encode(&mut encoded);
+    }
+    g.bench_function("decode_1k_pairs", |b| {
+        b.iter(|| {
+            let mut slice = &encoded[..];
+            let mut n = 0;
+            while !slice.is_empty() {
+                let _k = String::decode(&mut slice).unwrap();
+                let _v = u64::decode(&mut slice).unwrap();
+                n += 1;
+            }
+            assert_eq!(n, pairs.len());
+        })
+    });
+    g.finish();
+}
+
+fn bench_realign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("realign");
+    let groups: Vec<(String, Vec<u64>)> = (0..500)
+        .map(|i| (format!("group-{i:04}"), vec![i as u64; 8]))
+        .collect();
+
+    for frame_bytes in [4usize << 10, 64 << 10, 1 << 20] {
+        g.bench_with_input(
+            BenchmarkId::new("build", frame_bytes),
+            &frame_bytes,
+            |b, &fb| {
+                b.iter(|| {
+                    let mut builder = FrameBuilder::new(fb);
+                    for (k, vs) in &groups {
+                        builder.push_group(k, vs);
+                    }
+                    builder.finish()
+                })
+            },
+        );
+    }
+
+    let mut builder = FrameBuilder::new(64 << 10);
+    for (k, vs) in &groups {
+        builder.push_group(k, vs);
+    }
+    let frames = builder.finish();
+    g.bench_function("read_back", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for f in &frames {
+                let mut r = FrameReader::new(f).unwrap();
+                while let Some((_k, _vs)) = r.next_group::<String, u64>().unwrap() {
+                    n += 1;
+                }
+            }
+            assert_eq!(n, groups.len());
+        })
+    });
+    g.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let keys: Vec<String> = (0..4096).map(|i| format!("word-{i}")).collect();
+    c.bench_function("partition_4k_keys", |b| {
+        let p = HashPartitioner;
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in &keys {
+                acc = acc.wrapping_add(p.partition(k, 49));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_whole_job(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wordcount_job_512KiB");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    let variants: &[(&str, MpidEngineConfig)] = &[
+        (
+            "combiner+send",
+            MpidEngineConfig::with_workers(2, 1),
+        ),
+        ("combiner+isend", {
+            let mut c = MpidEngineConfig::with_workers(2, 1);
+            c.use_isend = true;
+            c
+        }),
+        ("tiny_spill", {
+            let mut c = MpidEngineConfig::with_workers(2, 1);
+            c.spill_threshold_bytes = 4 << 10;
+            c.frame_bytes = 2 << 10;
+            c
+        }),
+    ];
+    for (name, cfg) in variants {
+        g.bench_function(*name, |b| {
+            b.iter(|| {
+                let job = run_mpid(
+                    cfg,
+                    Arc::new(WordCount),
+                    Arc::new(TextGen::new(7, 512 << 10, 4, 10_000)),
+                );
+                assert!(!job.output.is_empty());
+                job.output.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_realign,
+    bench_partitioner,
+    bench_whole_job
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Simulator throughput benchmarks: how fast the discrete-event machinery
+//! replays cluster-scale jobs (events, fluid recomputation, scheduling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hadoop_sim::HadoopConfig;
+use mapred::{run_sim_mpid, SimMpidConfig};
+use std::time::Duration;
+use workloads::{javasort_spec, wordcount_spec};
+
+const GB: u64 = 1 << 30;
+
+fn bench_hadoop_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hadoop_sim");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for gb in [1u64, 4] {
+        let spec = javasort_spec(gb * GB);
+        let n_red = (gb * 16) as usize;
+        g.bench_with_input(BenchmarkId::new("javasort", gb), &gb, |b, _| {
+            b.iter(|| {
+                let report =
+                    hadoop_sim::run_job(HadoopConfig::icpp2011(8, 8, n_red), spec.clone());
+                assert!(report.makespan.as_secs_f64() > 0.0);
+                report.maps.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mpid_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpid_sim");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for gb in [1u64, 10] {
+        let spec = wordcount_spec(gb * GB);
+        g.bench_with_input(BenchmarkId::new("wordcount", gb), &gb, |b, _| {
+            b.iter(|| {
+                let report = run_sim_mpid(
+                    SimMpidConfig::icpp2011_fig6().with_auto_splits(gb * GB),
+                    spec.clone(),
+                );
+                report.makespan
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fluid_engine(c: &mut Criterion) {
+    use netsim::FluidEngine;
+    c.bench_function("fluid_100flows_recompute", |b| {
+        b.iter(|| {
+            let mut e = FluidEngine::new();
+            let res: Vec<_> = (0..16).map(|_| e.add_resource(117e6)).collect();
+            for i in 0..100u64 {
+                let a = res[(i % 16) as usize];
+                let b2 = res[((i * 7 + 3) % 16) as usize];
+                e.start_flow(1 << 20, &[a, b2], 1.0);
+            }
+            let mut done = 0;
+            while e.active_flows() > 0 {
+                if let Some(dt) = e.next_completion() {
+                    done += e.advance(dt + 1e-9).len();
+                } else {
+                    break;
+                }
+            }
+            assert_eq!(done, 100);
+        })
+    });
+}
+
+criterion_group!(benches, bench_hadoop_sim, bench_mpid_sim, bench_fluid_engine);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Real-transport microbenchmarks — the paper's Figure 2/3 experiment with
+//! real bytes on loopback TCP / in-process channels.
+//!
+//! Groups:
+//! * `pingpong/<transport>/<size>` — one round trip (Figure 2's primitive);
+//! * `bulk/<transport>/<size>` — transfer 8 MB in `<size>` packets
+//!   (Figure 3's primitive, volume scaled down for bench time).
+//!
+//! Expected shape (absolute numbers are modern-loopback): `hrpc` degrades
+//! dramatically with payload size — per-call `ObjectWritable` serialization
+//! plus strict ping-pong — while `http` and `mpi` stream.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpi_rt::Universe;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use transports::datanode::{read_block, BlockStore, DataNode};
+use transports::{hrpc, ContentStore, HttpClient, HttpServer, ObjectWritable, RpcClient};
+
+const PINGPONG_SIZES: &[usize] = &[1, 1024, 64 * 1024, 1 << 20];
+const BULK_TOTAL: usize = 8 << 20;
+const BULK_PACKETS: &[usize] = &[4 << 10, 256 << 10, 8 << 20];
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pingpong");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    for &size in PINGPONG_SIZES {
+        g.throughput(Throughput::Bytes(size as u64));
+
+        // Hadoop-RPC-style echo call.
+        let (_server, addr) = hrpc::start_echo_server().unwrap();
+        let client = RpcClient::connect(addr, "echo", 1).unwrap();
+        let payload = vec![7u8; size];
+        g.bench_with_input(BenchmarkId::new("hrpc", size), &size, |b, _| {
+            b.iter(|| {
+                let reply = client
+                    .call("recv", &[ObjectWritable::Bytes(payload.clone())])
+                    .unwrap();
+                assert!(matches!(reply, ObjectWritable::Bytes(v) if v.len() == size));
+            })
+        });
+
+        // HTTP GET of a stored buffer.
+        let store = Arc::new(ContentStore::new());
+        store.put("x", Bytes::from(vec![7u8; size]));
+        let server = HttpServer::start("127.0.0.1:0", store, 256 << 10).unwrap();
+        let mut http = HttpClient::connect(server.addr()).unwrap();
+        g.bench_with_input(BenchmarkId::new("http", size), &size, |b, _| {
+            b.iter(|| assert_eq!(http.get("x").unwrap().len(), size))
+        });
+
+        // mpi-rt ping-pong; the universe spawn is amortized with iter_custom.
+        g.bench_with_input(BenchmarkId::new("mpi", size), &size, |b, _| {
+            b.iter_custom(|iters| {
+                let out = Universe::run(2, move |comm| {
+                    if comm.rank() == 0 {
+                        let payload = vec![7u8; size];
+                        let t0 = Instant::now();
+                        for _ in 0..iters {
+                            comm.send(1, 0, &payload).unwrap();
+                            let (back, _) = comm.recv::<u8>(Some(1), Some(1)).unwrap();
+                            assert_eq!(back.len(), size);
+                        }
+                        t0.elapsed()
+                    } else {
+                        for _ in 0..iters {
+                            let (d, _) = comm.recv::<u8>(Some(0), Some(0)).unwrap();
+                            comm.send(0, 1, &d).unwrap();
+                        }
+                        Duration::ZERO
+                    }
+                });
+                out[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bulk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bulk");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.throughput(Throughput::Bytes(BULK_TOTAL as u64));
+
+    for &packet in BULK_PACKETS {
+        let n_packets = BULK_TOTAL / packet;
+
+        // RPC: one call per packet (no pipelining — the Figure 3 mechanism).
+        let (_server, addr) = hrpc::start_echo_server().unwrap();
+        let client = RpcClient::connect(addr, "echo", 1).unwrap();
+        let payload = vec![3u8; packet];
+        g.bench_with_input(BenchmarkId::new("hrpc", packet), &packet, |b, _| {
+            b.iter(|| {
+                for _ in 0..n_packets {
+                    client
+                        .call("size", &[ObjectWritable::Bytes(payload.clone())])
+                        .unwrap();
+                }
+            })
+        });
+
+        // HTTP: server streams the full volume in `packet`-sized writes.
+        let store = Arc::new(ContentStore::new());
+        store.put("bulk", Bytes::from(vec![3u8; BULK_TOTAL]));
+        let server = HttpServer::start("127.0.0.1:0", store, packet).unwrap();
+        let mut http = HttpClient::connect(server.addr()).unwrap();
+        g.bench_with_input(BenchmarkId::new("http", packet), &packet, |b, _| {
+            b.iter(|| assert_eq!(http.get("bulk").unwrap().len(), BULK_TOTAL))
+        });
+
+        // MPI: one message per packet, receiver drains.
+        g.bench_with_input(BenchmarkId::new("mpi", packet), &packet, |b, _| {
+            b.iter_custom(|iters| {
+                let out = Universe::run(2, move |comm| {
+                    if comm.rank() == 0 {
+                        let payload = vec![3u8; packet];
+                        let t0 = Instant::now();
+                        for _ in 0..iters {
+                            for _ in 0..n_packets {
+                                comm.send(1, 0, &payload).unwrap();
+                            }
+                            // Completion ack bounds the measurement.
+                            let _ = comm.recv::<u8>(Some(1), Some(9)).unwrap();
+                        }
+                        t0.elapsed()
+                    } else {
+                        for _ in 0..iters {
+                            for _ in 0..n_packets {
+                                let _ = comm.recv::<u8>(Some(0), Some(0)).unwrap();
+                            }
+                            comm.send(0, 9, &[1u8]).unwrap();
+                        }
+                        Duration::ZERO
+                    }
+                });
+                out[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Datanode block streaming (the "Socket over NIO" path of the paper's
+/// future work): end-to-end block reads with per-packet CRC verification.
+fn bench_nio_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nio_stream");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for &size in &[64usize << 10, 1 << 20, 8 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        let store = Arc::new(BlockStore::new());
+        store.put(1, Bytes::from(vec![0x3Cu8; size]));
+        let node = DataNode::start("127.0.0.1:0", store).unwrap();
+        let addr = node.addr();
+        g.bench_with_input(BenchmarkId::new("read_block", size), &size, |b, _| {
+            b.iter(|| {
+                let data = read_block(addr, 1).unwrap();
+                assert_eq!(data.len(), size);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pingpong, bench_bulk, bench_nio_stream);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Figure 1 — per-reducer copy/sort/reduce times for the GridMix JavaSort
+//! benchmark: 150 GB over 7 worker nodes, 8/8 slots, 2345 reducers.
+//!
+//! Paper observations reproduced here:
+//! * 56 (7 × 8) first-wave reducers are outliers ("their time reaches
+//!   4000 s") — they are scheduled at 5 % map completion and their copy
+//!   stage waits for the whole map phase; the paper deletes them, we report
+//!   them separately and trim them the same way;
+//! * after trimming: copy 48–178 s (avg 128.5 s), sort ≈ 0.0102 s avg,
+//!   reduce 2–58 s (avg 6.80 s);
+//! * "the total time of the copy stage … occupies about 95 % of the all
+//!   reducers' whole life cycles".
+//!
+//! Run with `--quick` for a 4 GB / 64-reducer scale check, or
+//! `--dump <path>` to write the per-reducer series (reducer id, copy, sort,
+//! reduce — the plottable Figure 1 data).
+
+use hadoop_sim::HadoopConfig;
+use mpid_bench::{fmt_secs, GB};
+use std::io::Write;
+use workloads::javasort_spec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let dump = args
+        .iter()
+        .position(|a| a == "--dump")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let (input, n_reduces, outliers) = if quick {
+        (4 * GB, 64, 56)
+    } else {
+        (150 * GB, 2345, 56)
+    };
+    println!(
+        "Figure 1 — JavaSort {} / {} reducers / 8x8 slots on the simulated testbed",
+        mpid_bench::fmt_size(input),
+        n_reduces
+    );
+    let cfg = HadoopConfig::icpp2011(8, 8, n_reduces);
+    let report = hadoop_sim::run_job(cfg, javasort_spec(input));
+
+    if let Some(path) = dump {
+        let mut f = std::fs::File::create(&path).expect("create dump file");
+        writeln!(f, "reducer_id\tcopy_s\tsort_s\treduce_s").unwrap();
+        for (i, r) in report.reduces.iter().enumerate() {
+            writeln!(
+                f,
+                "{i}\t{:.3}\t{:.4}\t{:.3}",
+                r.copy.as_secs_f64(),
+                r.sort.as_secs_f64(),
+                r.reduce.as_secs_f64()
+            )
+            .unwrap();
+        }
+        println!("per-reducer series written to {path}");
+    }
+
+    let trimmed = report.without_top_copy_outliers(outliers);
+    let copy = trimmed.reduce_phase_stats(|r| r.copy);
+    let sort = trimmed.reduce_phase_stats(|r| r.sort);
+    let reduce = trimmed.reduce_phase_stats(|r| r.reduce);
+    let outlier_min = report
+        .reduces
+        .iter()
+        .map(|r| r.copy)
+        .max()
+        .unwrap()
+        .as_secs_f64();
+
+    println!();
+    let header = format!(
+        "{:>8}  {:>10} {:>10} {:>10}   {}",
+        "stage", "min", "avg", "max", "paper (150GB)"
+    );
+    println!("{header}");
+    mpid_bench::rule(&header);
+    println!(
+        "{:>8}  {:>10} {:>10} {:>10}   48 s .. avg 128.5 s .. 178 s",
+        "copy",
+        fmt_secs(copy.min()),
+        fmt_secs(copy.mean()),
+        fmt_secs(copy.max())
+    );
+    println!(
+        "{:>8}  {:>10} {:>10} {:>10}   avg 0.0102 s",
+        "sort",
+        fmt_secs(sort.min()),
+        fmt_secs(sort.mean()),
+        fmt_secs(sort.max())
+    );
+    println!(
+        "{:>8}  {:>10} {:>10} {:>10}   2 s .. avg 6.80 s .. 58 s",
+        "reduce",
+        fmt_secs(reduce.min()),
+        fmt_secs(reduce.mean()),
+        fmt_secs(reduce.max())
+    );
+    println!();
+    println!(
+        "trimmed {} first-wave outliers (max copy {}; paper: \"their time reaches 4000 s\")",
+        outliers,
+        fmt_secs(outlier_min)
+    );
+    println!(
+        "copy share of reducer lifecycles: {:.0}% (paper: \"about 95%\")",
+        100.0 * trimmed.copy_share_of_reducers()
+    );
+    println!("job makespan: {}", fmt_secs(report.makespan.as_secs_f64()));
+
+    if quick {
+        println!("(--quick scale is too small for the paper's copy-dominance effect; shape checks skipped)");
+        return;
+    }
+    // Shape assertions (full scale only — the effect needs 1000s of
+    // reducers, each seeking into every map output).
+    assert!(
+        trimmed.copy_share_of_reducers() > 0.75,
+        "copy must dominate reducer lifecycles"
+    );
+    assert!(
+        copy.mean() > 5.0 * reduce.mean(),
+        "copy stage must dwarf the reduce stage"
+    );
+    assert!(
+        sort.mean() < 0.1,
+        "in-memory merge must be near-instant (paper: 0.0102 s)"
+    );
+    assert!(
+        outlier_min > 2.5 * copy.max(),
+        "first-wave reducers must be extreme outliers"
+    );
+}

@@ -1,0 +1,104 @@
+//! Figure 6 — WordCount end-to-end: stock Hadoop vs. the MPI-D simulation
+//! system, 1–100 GB across 7 worker nodes.
+//!
+//! Paper setup: Hadoop with 7/7 max concurrent mappers/reducers per node;
+//! the MPI-D system with 49 mapper processes, 1 reducer process and the
+//! rank-0 master. Paper result: MPI-D reduces execution time to 8 % / 48 % /
+//! 56 % of Hadoop at 1 / 10 / 100 GB (49 s → 3.9 s, …, 2001 s → 1129 s).
+//!
+//! Run with `--quick` to skip the 100 GB point (CI-friendly).
+
+use hadoop_sim::HadoopConfig;
+use mapred::{run_sim_mpid, SimMpidConfig};
+use mpid_bench::{fmt_secs, GB};
+use workloads::wordcount_spec;
+
+struct Row {
+    gb: f64,
+    hadoop_s: f64,
+    mpid_s: f64,
+    paper_hadoop_s: Option<f64>,
+    paper_mpid_s: Option<f64>,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Paper anchor points: 1 GB (49 s, 3.9 s) and 100 GB (2001 s, 1129 s);
+    // 10 GB is reported as a ratio ("48%").
+    let sizes: &[(f64, Option<f64>, Option<f64>)] = if quick {
+        &[(1.0, Some(49.0), Some(3.9)), (10.0, None, None)]
+    } else {
+        &[
+            (1.0, Some(49.0), Some(3.9)),
+            (3.0, None, None),
+            (10.0, None, None),
+            (30.0, None, None),
+            (100.0, Some(2001.0), Some(1129.0)),
+        ]
+    };
+
+    println!("Figure 6 — WordCount: Hadoop vs. simulation system with MPI-D");
+    println!("(simulated ICPP-2011 testbed: 8 nodes, GbE, 7 workers)");
+    println!();
+    let header = format!(
+        "{:>6}  {:>10}  {:>10}  {:>7}  {:>12}  {:>12}  {:>9}",
+        "size", "Hadoop", "MPI-D", "ratio", "paper Hadoop", "paper MPI-D", "paper r."
+    );
+    println!("{header}");
+    mpid_bench::rule(&header);
+
+    let mut rows = Vec::new();
+    for &(gb, paper_h, paper_m) in sizes {
+        let input = (gb * GB as f64) as u64;
+        let spec = wordcount_spec(input);
+
+        // Hadoop: 7/7 slots, 7 reduce tasks (one wave).
+        let hadoop = hadoop_sim::run_job(HadoopConfig::icpp2011(7, 7, 7), spec.clone());
+
+        // MPI-D: 49 mappers + 1 reducer + master, splits sized like the
+        // paper's pre-distributed data.
+        let mpid_cfg = SimMpidConfig::icpp2011_fig6().with_auto_splits(input);
+        let mpid = run_sim_mpid(mpid_cfg, spec);
+
+        let row = Row {
+            gb,
+            hadoop_s: hadoop.makespan.as_secs_f64(),
+            mpid_s: mpid.makespan.as_secs_f64(),
+            paper_hadoop_s: paper_h,
+            paper_mpid_s: paper_m,
+        };
+        println!(
+            "{:>6}  {:>10}  {:>10}  {:>6.0}%  {:>12}  {:>12}  {:>9}",
+            format!("{}GB", row.gb),
+            fmt_secs(row.hadoop_s),
+            fmt_secs(row.mpid_s),
+            100.0 * row.mpid_s / row.hadoop_s,
+            row.paper_hadoop_s.map_or("-".into(), fmt_secs),
+            row.paper_mpid_s.map_or("-".into(), fmt_secs),
+            match (row.paper_mpid_s, row.paper_hadoop_s) {
+                (Some(m), Some(h)) => format!("{:.0}%", 100.0 * m / h),
+                _ => "-".into(),
+            },
+        );
+        rows.push(row);
+    }
+
+    println!();
+    // Shape checks (the reproduction claims).
+    let all_faster = rows.iter().all(|r| r.mpid_s < r.hadoop_s);
+    let first = &rows[0];
+    let last = rows.last().unwrap();
+    let ratio_grows =
+        last.mpid_s / last.hadoop_s > first.mpid_s / first.hadoop_s;
+    println!(
+        "shape: MPI-D faster at every size: {all_faster}; \
+         advantage narrows with size (ratio {:.0}% -> {:.0}%): {ratio_grows}",
+        100.0 * first.mpid_s / first.hadoop_s,
+        100.0 * last.mpid_s / last.hadoop_s,
+    );
+    assert!(all_faster, "shape violation: MPI-D must win everywhere");
+    assert!(
+        ratio_grows,
+        "shape violation: Hadoop's fixed costs must amortize with size"
+    );
+}

@@ -1,0 +1,120 @@
+//! One-shot reproduction driver: runs every table/figure binary (plus the
+//! ablations) and collects their stdout into a single markdown report.
+//!
+//! ```sh
+//! cargo run --release -p mpid-bench --bin repro              # full scale
+//! cargo run --release -p mpid-bench --bin repro -- --quick   # CI scale
+//! cargo run --release -p mpid-bench --bin repro -- --out report.md
+//! ```
+//!
+//! Each experiment binary asserts its own shape claims, so a nonzero exit
+//! here means a reproduction regression, not just a formatting problem.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::Command;
+
+struct Experiment {
+    bin: &'static str,
+    title: &'static str,
+    takes_quick: bool,
+}
+
+const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        bin: "fig2",
+        title: "Figure 2 — point-to-point latency (Hadoop RPC vs MPICH2)",
+        takes_quick: false,
+    },
+    Experiment {
+        bin: "fig3",
+        title: "Figure 3 — bandwidth at varying packet sizes",
+        takes_quick: false,
+    },
+    Experiment {
+        bin: "fig1",
+        title: "Figure 1 — JavaSort per-reducer shuffle breakdown",
+        takes_quick: true,
+    },
+    Experiment {
+        bin: "table1",
+        title: "Table I — copy-stage share sweep",
+        takes_quick: true,
+    },
+    Experiment {
+        bin: "fig6",
+        title: "Figure 6 — WordCount: Hadoop vs MPI-D",
+        takes_quick: true,
+    },
+    Experiment {
+        bin: "ablation",
+        title: "Ablations — combiner, Isend, spills, pressure, compression, speculation",
+        takes_quick: false,
+    },
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("REPRO_REPORT.md"));
+
+    // Sibling binaries live next to this one.
+    let bin_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+
+    let mut report = String::new();
+    report.push_str("# Reproduction report — ICPP 2011 MPI-D suite\n\n");
+    report.push_str(&format!(
+        "Scale: {}. Every experiment binary asserts its paper-shape claims; \
+         this report is their captured output.\n\n",
+        if quick { "`--quick` (CI)" } else { "full (paper)" }
+    ));
+
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        let path = bin_dir.join(exp.bin);
+        eprintln!("== running {} ...", exp.bin);
+        let mut cmd = Command::new(&path);
+        if quick && exp.takes_quick {
+            cmd.arg("--quick");
+        }
+        let output = match cmd.output() {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!(
+                    "   could not launch {} ({e}); build all bins first: \
+                     cargo build --release -p mpid-bench --bins",
+                    path.display()
+                );
+                failures.push(exp.bin);
+                continue;
+            }
+        };
+        report.push_str(&format!("## {}\n\n```text\n", exp.title));
+        report.push_str(&String::from_utf8_lossy(&output.stdout));
+        if !output.status.success() {
+            failures.push(exp.bin);
+            report.push_str("\n*** SHAPE CHECK FAILED ***\n");
+            report.push_str(&String::from_utf8_lossy(&output.stderr));
+        }
+        report.push_str("```\n\n");
+    }
+
+    let mut f = std::fs::File::create(&out_path).expect("create report file");
+    f.write_all(report.as_bytes()).expect("write report");
+    println!("report written to {}", out_path.display());
+    if failures.is_empty() {
+        println!("all {} experiments reproduced their shape claims", EXPERIMENTS.len());
+    } else {
+        println!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

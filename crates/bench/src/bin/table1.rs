@@ -1,0 +1,112 @@
+//! Table I — share of the shuffle copy stage in total mapper+reducer
+//! execution time, for input sizes {1, 3, 9, 27, 81, 150} GB and slot
+//! configurations {4/2, 4/4, 8/8, 16/16} per node.
+//!
+//! Paper values range from 33.9 % (3 GB, 4/4) to 82.7 % (150 GB, 8/8), with
+//! a strong upward trend in input size: "the copy stage in shuffle is a
+//! time consuming phase."
+//!
+//! Reduce-task count scales with input like the paper's GridMix run (2345
+//! reducers for 150 GB ≈ 0.98 × the map count). Run with `--quick` to stop
+//! at 9 GB.
+
+use hadoop_sim::HadoopConfig;
+use mpid_bench::GB;
+use workloads::javasort_spec;
+
+/// Paper Table I, for side-by-side printing: `paper[size][config]` in %.
+const PAPER: &[(&str, [f64; 4])] = &[
+    ("1GB", [43.1, 43.0, 38.5, 35.7]),
+    ("3GB", [35.0, 33.9, 35.9, 46.3]),
+    ("9GB", [43.1, 42.9, 42.8, 39.7]),
+    ("27GB", [44.3, 47.9, 43.18, 36.4]),
+    ("81GB", [60.0, 71.0, 74.6, 73.9]),
+    ("150GB", [69.6, 82.0, 82.7, 80.6]),
+];
+
+fn n_reduces_for(input: u64) -> usize {
+    // GridMix sizes reduces with the data; the paper's 150 GB run used 2345
+    // reducers for 2400 maps.
+    let maps = input.div_ceil(64 << 20);
+    ((maps as f64 * 2345.0 / 2400.0).round() as usize).max(1)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[(f64, &str)] = if quick {
+        &[(1.0, "1GB"), (3.0, "3GB"), (9.0, "9GB")]
+    } else {
+        &[
+            (1.0, "1GB"),
+            (3.0, "3GB"),
+            (9.0, "9GB"),
+            (27.0, "27GB"),
+            (81.0, "81GB"),
+            (150.0, "150GB"),
+        ]
+    };
+    let configs: [(usize, usize, &str); 4] =
+        [(4, 2, "4/2"), (4, 4, "4/4"), (8, 8, "8/8"), (16, 16, "16/16")];
+
+    println!("Table I — copy-stage share of total mapper+reducer execution time");
+    println!("(JavaSort on the simulated testbed; `sim%` vs the paper's `paper%`)");
+    println!();
+    let header = format!(
+        "{:>7} | {:>13} | {:>13} | {:>13} | {:>13}",
+        "size", "4/2", "4/4", "8/8", "16/16"
+    );
+    println!("{header}");
+    mpid_bench::rule(&header);
+
+    let mut first_row_avg = 0.0;
+    let mut last_row_avg = 0.0;
+    for (row_idx, &(gb, label)) in sizes.iter().enumerate() {
+        let input = (gb * GB as f64) as u64;
+        let spec = javasort_spec(input);
+        let n_red = n_reduces_for(input);
+        let mut cells = Vec::new();
+        for &(ms, rs, _) in &configs {
+            let report =
+                hadoop_sim::run_job(HadoopConfig::icpp2011(ms, rs, n_red), spec.clone());
+            cells.push(100.0 * report.copy_fraction());
+        }
+        let paper_row = PAPER
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, v)| *v)
+            .expect("paper row");
+        println!(
+            "{:>7} | {:>5.1}% ({:>4.1}) | {:>5.1}% ({:>4.1}) | {:>5.1}% ({:>4.1}) | {:>5.1}% ({:>4.1})",
+            label,
+            cells[0], paper_row[0],
+            cells[1], paper_row[1],
+            cells[2], paper_row[2],
+            cells[3], paper_row[3],
+        );
+        let avg = cells.iter().sum::<f64>() / cells.len() as f64;
+        if row_idx == 0 {
+            first_row_avg = avg;
+        }
+        last_row_avg = avg;
+    }
+
+    println!();
+    println!(
+        "shape: copy share grows with input size ({first_row_avg:.0}% -> {last_row_avg:.0}% row average); \
+         paper range 33.9%..82.7%"
+    );
+    assert!(
+        last_row_avg > first_row_avg,
+        "copy share must grow with input size"
+    );
+    if !quick {
+        assert!(
+            last_row_avg > 55.0,
+            "large inputs must be copy-dominated (paper: 69.6%..82.7% at 150GB)"
+        );
+        assert!(
+            (15.0..=60.0).contains(&first_row_avg),
+            "small inputs must show a material but not dominant copy share"
+        );
+    }
+}

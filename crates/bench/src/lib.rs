@@ -1,0 +1,97 @@
+//! # mpid-bench — experiment drivers for the ICPP 2011 reproduction
+//!
+//! One binary per paper table/figure (see `src/bin/`): each regenerates the
+//! corresponding result on the simulated testbed and prints the paper's
+//! reported values alongside for comparison. Criterion benches (see
+//! `benches/`) measure the *real* implementations (loopback RPC/HTTP vs the
+//! `mpi-rt` runtime, MPI-D pipeline ablations).
+
+#![warn(missing_docs)]
+
+/// Gigabyte constant.
+pub const GB: u64 = 1 << 30;
+/// Megabyte constant.
+pub const MB: u64 = 1 << 20;
+
+/// Paper-friendly size formatting (powers of two, as in Figures 2–3).
+pub fn fmt_size(bytes: u64) -> String {
+    if bytes >= GB {
+        format!("{}GB", bytes / GB)
+    } else if bytes >= MB {
+        format!("{}MB", bytes / MB)
+    } else if bytes >= 1024 {
+        format!("{}KB", bytes / 1024)
+    } else {
+        format!("{}B", bytes)
+    }
+}
+
+/// Format seconds with adaptive precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0} s")
+    } else if s >= 1.0 {
+        format!("{s:.1} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+/// Format a bandwidth in MB/s.
+pub fn fmt_bw(bytes_per_sec: f64) -> String {
+    let mb = bytes_per_sec / 1e6;
+    if mb >= 1.0 {
+        format!("{mb:.1} MB/s")
+    } else {
+        format!("{:.1} KB/s", bytes_per_sec / 1e3)
+    }
+}
+
+/// Print a horizontal rule sized to a header line.
+pub fn rule(header: &str) {
+    println!("{}", "-".repeat(header.len()));
+}
+
+/// The message-size sweep used by Figures 2 and 3 (1 B → 64 MB, powers of
+/// two... the paper plots powers of 4; we use powers of 2 for smoother
+/// curves).
+pub fn size_sweep() -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = 1u64;
+    while s <= 64 * MB {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_formatting() {
+        assert_eq!(fmt_size(1), "1B");
+        assert_eq!(fmt_size(2048), "2KB");
+        assert_eq!(fmt_size(64 * MB), "64MB");
+        assert_eq!(fmt_size(3 * GB), "3GB");
+    }
+
+    #[test]
+    fn sweep_covers_figure_range() {
+        let s = size_sweep();
+        assert_eq!(*s.first().unwrap(), 1);
+        assert_eq!(*s.last().unwrap(), 64 * MB);
+        assert!(s.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_secs(0.0005), "500.0 us");
+        assert_eq!(fmt_secs(0.5), "500.00 ms");
+        assert_eq!(fmt_secs(12.34), "12.3 s");
+        assert_eq!(fmt_secs(2001.0), "2001 s");
+    }
+}

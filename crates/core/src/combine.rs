@@ -1,0 +1,113 @@
+//! Local combining of values with equal keys (paper §IV.A).
+//!
+//! "In the MPI_D_Send routine, the key-value pair will be local combined by a
+//! combiner ... The aim of combining is to reduce the memory consuming and
+//! the transmission quantity."
+
+/// Folds values of the same key together as they are buffered on the mapper.
+///
+/// Combining must be associative and commutative for the result to be
+/// independent of spill timing — the property-based tests in this crate
+/// verify exactly that for the combiners shipped here.
+pub trait Combiner<V>: Send + Sync {
+    /// Fold `v` into the accumulator `acc`.
+    fn combine(&self, acc: &mut V, v: V);
+}
+
+/// Sum combiner for numeric values (the WordCount combiner: `<K,1>` pairs
+/// collapse into counts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumCombiner;
+
+macro_rules! impl_sum {
+    ($($t:ty),*) => {$(
+        impl Combiner<$t> for SumCombiner {
+            fn combine(&self, acc: &mut $t, v: $t) {
+                *acc = acc.wrapping_add(v);
+            }
+        }
+    )*};
+}
+impl_sum!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Combiner<f64> for SumCombiner {
+    fn combine(&self, acc: &mut f64, v: f64) {
+        *acc += v;
+    }
+}
+
+/// Keeps the maximum value per key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxCombiner;
+
+macro_rules! impl_max {
+    ($($t:ty),*) => {$(
+        impl Combiner<$t> for MaxCombiner {
+            fn combine(&self, acc: &mut $t, v: $t) {
+                if v > *acc { *acc = v; }
+            }
+        }
+    )*};
+}
+impl_max!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// Keeps the minimum value per key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinCombiner;
+
+macro_rules! impl_min {
+    ($($t:ty),*) => {$(
+        impl Combiner<$t> for MinCombiner {
+            fn combine(&self, acc: &mut $t, v: $t) {
+                if v < *acc { *acc = v; }
+            }
+        }
+    )*};
+}
+impl_min!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// Wraps a closure as a combiner.
+pub struct FnCombiner<F>(pub F);
+
+impl<V, F: Fn(&mut V, V) + Send + Sync> Combiner<V> for FnCombiner<F> {
+    fn combine(&self, acc: &mut V, v: V) {
+        (self.0)(acc, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_combiner_counts() {
+        let c = SumCombiner;
+        let mut acc = 1u64;
+        c.combine(&mut acc, 1);
+        c.combine(&mut acc, 5);
+        assert_eq!(acc, 7);
+    }
+
+    #[test]
+    fn min_max_combiners() {
+        let mut acc = 5i64;
+        MaxCombiner.combine(&mut acc, 3);
+        assert_eq!(acc, 5);
+        MaxCombiner.combine(&mut acc, 9);
+        assert_eq!(acc, 9);
+        let mut acc = 5i64;
+        MinCombiner.combine(&mut acc, 7);
+        assert_eq!(acc, 5);
+        MinCombiner.combine(&mut acc, -1);
+        assert_eq!(acc, -1);
+    }
+
+    #[test]
+    fn fn_combiner_concatenates() {
+        let c = FnCombiner(|acc: &mut String, v: String| acc.push_str(&v));
+        let mut acc = "a".to_string();
+        c.combine(&mut acc, "b".to_string());
+        c.combine(&mut acc, "c".to_string());
+        assert_eq!(acc, "abc");
+    }
+}

@@ -1,0 +1,353 @@
+//! Bounded-memory grouping: an external merge table for the reducer.
+//!
+//! The in-memory receiver ([`crate::receiver::MpidReceiver`]) holds the
+//! whole key space; for reduce inputs larger than memory Hadoop spills
+//! sorted runs to disk and k-way merges them — the mechanism behind the
+//! paper's concern for "saving memory space" on the reducer. This module is
+//! that mechanism: an [`ExternalTable`] accumulates `(key, values)` groups,
+//! spills key-sorted runs to a temporary directory whenever the in-memory
+//! estimate crosses a budget, and finally streams globally key-ordered
+//! merged groups out of a k-way heap merge over the runs plus the resident
+//! tail.
+//!
+//! Run file format: a sequence of `u32 len , frame` records, each frame a
+//! single-group [`crate::realign`] frame — so runs reuse the realignment
+//! codec and are readable incrementally with bounded memory.
+
+use crate::kv::{CodecError, Key, Value};
+use crate::realign::{FrameBuilder, FrameReader};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+/// Errors from spill-file I/O and decoding.
+#[derive(Debug)]
+pub enum ExtMergeError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A spilled run failed to decode (on-disk corruption).
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for ExtMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtMergeError::Io(e) => write!(f, "spill i/o error: {e}"),
+            ExtMergeError::Codec(e) => write!(f, "spill decode error: {e}"),
+        }
+    }
+}
+impl std::error::Error for ExtMergeError {}
+impl From<std::io::Error> for ExtMergeError {
+    fn from(e: std::io::Error) -> Self {
+        ExtMergeError::Io(e)
+    }
+}
+impl From<CodecError> for ExtMergeError {
+    fn from(e: CodecError) -> Self {
+        ExtMergeError::Codec(e)
+    }
+}
+
+/// A grouping table that spills key-sorted runs to disk beyond a memory
+/// budget.
+pub struct ExternalTable<K: Key, V: Value> {
+    resident: BTreeMap<K, Vec<V>>,
+    resident_bytes: usize,
+    budget_bytes: usize,
+    spill_dir: PathBuf,
+    runs: Vec<PathBuf>,
+    next_run: usize,
+}
+
+impl<K: Key, V: Value> ExternalTable<K, V> {
+    /// Table with the given in-memory byte budget. Runs are written under a
+    /// unique subdirectory of `dir` (pass `std::env::temp_dir()` normally);
+    /// the directory is removed on drop.
+    pub fn new(budget_bytes: usize, dir: PathBuf) -> std::io::Result<Self> {
+        assert!(budget_bytes > 0);
+        let unique = format!(
+            "mpid-spill-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock before epoch")
+                .as_nanos()
+        );
+        let spill_dir = dir.join(unique);
+        std::fs::create_dir_all(&spill_dir)?;
+        Ok(ExternalTable {
+            resident: BTreeMap::new(),
+            resident_bytes: 0,
+            budget_bytes,
+            spill_dir,
+            runs: Vec::new(),
+            next_run: 0,
+        })
+    }
+
+    /// Number of runs spilled so far.
+    pub fn spilled_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Current resident-memory estimate, bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Add values for a key, spilling if the budget is exceeded.
+    pub fn insert(&mut self, key: K, values: Vec<V>) -> Result<(), ExtMergeError> {
+        let added: usize =
+            key.wire_size() + values.iter().map(|v| v.wire_size()).sum::<usize>();
+        self.resident_bytes += added;
+        self.resident.entry(key).or_default().extend(values);
+        if self.resident_bytes > self.budget_bytes {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    /// Force the resident table out as a sorted run.
+    pub fn spill(&mut self) -> Result<(), ExtMergeError> {
+        if self.resident.is_empty() {
+            return Ok(());
+        }
+        let path = self.spill_dir.join(format!("run-{:05}.spill", self.next_run));
+        self.next_run += 1;
+        let mut w = BufWriter::new(File::create(&path)?);
+        // BTreeMap iterates in ascending key order — runs are sorted.
+        for (k, vs) in std::mem::take(&mut self.resident) {
+            // Target 1 byte: the builder seals after every pushed group, so
+            // each record holds exactly one single-group frame.
+            let mut builder = FrameBuilder::new(1);
+            builder.push_group(&k, &vs);
+            let frames = builder.finish();
+            debug_assert_eq!(frames.len(), 1);
+            let frame = &frames[0];
+            w.write_all(&(frame.len() as u32).to_le_bytes())?;
+            w.write_all(frame)?;
+        }
+        w.flush()?;
+        self.resident_bytes = 0;
+        self.runs.push(path);
+        Ok(())
+    }
+
+    /// Finish ingestion: returns an iterator of globally key-ordered merged
+    /// groups (k-way merge of all runs plus the resident tail).
+    pub fn into_merge(mut self) -> Result<MergeIter<K, V>, ExtMergeError> {
+        let mut readers = Vec::with_capacity(self.runs.len());
+        for path in &self.runs {
+            readers.push(RunReader::open(path)?);
+        }
+        let resident = std::mem::take(&mut self.resident);
+        let mut heads: Vec<Option<(K, Vec<V>)>> = Vec::new();
+        for r in readers.iter_mut() {
+            heads.push(r.next_group()?);
+        }
+        Ok(MergeIter {
+            readers,
+            heads,
+            resident: resident.into_iter().peekable(),
+            _cleanup: DirCleanup(self.spill_dir.clone()),
+        })
+    }
+}
+
+impl<K: Key, V: Value> Drop for ExternalTable<K, V> {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.spill_dir);
+    }
+}
+
+struct DirCleanup(PathBuf);
+impl Drop for DirCleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+struct RunReader {
+    r: BufReader<File>,
+}
+
+impl RunReader {
+    fn open(path: &PathBuf) -> Result<Self, ExtMergeError> {
+        Ok(RunReader {
+            r: BufReader::new(File::open(path)?),
+        })
+    }
+
+    fn next_group<K: Key, V: Value>(&mut self) -> Result<Option<(K, Vec<V>)>, ExtMergeError> {
+        let mut len_buf = [0u8; 4];
+        match self.r.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut frame = vec![0u8; len];
+        self.r.read_exact(&mut frame)?;
+        let mut reader = FrameReader::new(&frame)?;
+        let group = reader.next_group::<K, V>()?;
+        Ok(group)
+    }
+}
+
+/// Streaming k-way merge over spilled runs and the resident tail: yields
+/// `(key, merged values)` in ascending key order, each key exactly once.
+pub struct MergeIter<K: Key, V: Value> {
+    readers: Vec<RunReader>,
+    heads: Vec<Option<(K, Vec<V>)>>,
+    resident: std::iter::Peekable<std::collections::btree_map::IntoIter<K, Vec<V>>>,
+    _cleanup: DirCleanup,
+}
+
+impl<K: Key, V: Value> MergeIter<K, V> {
+    /// Next merged group, or `None` at end.
+    #[allow(clippy::type_complexity)]
+    pub fn next_group(&mut self) -> Result<Option<(K, Vec<V>)>, ExtMergeError> {
+        // Smallest key among run heads and the resident iterator.
+        let mut min_key: Option<K> = None;
+        for head in self.heads.iter().flatten() {
+            if min_key.as_ref().is_none_or(|m| head.0 < *m) {
+                min_key = Some(head.0.clone());
+            }
+        }
+        if let Some((k, _)) = self.resident.peek() {
+            if min_key.as_ref().is_none_or(|m| *k < *m) {
+                min_key = Some(k.clone());
+            }
+        }
+        let Some(key) = min_key else {
+            return Ok(None);
+        };
+        // Collect values for that key from every source holding it.
+        let mut values = Vec::new();
+        for i in 0..self.heads.len() {
+            while self.heads[i].as_ref().is_some_and(|(k, _)| *k == key) {
+                let (_, vs) = self.heads[i].take().expect("checked some");
+                values.extend(vs);
+                self.heads[i] = self.readers[i].next_group()?;
+            }
+        }
+        if self.resident.peek().is_some_and(|(k, _)| *k == key) {
+            let (_, vs) = self.resident.next().expect("peeked");
+            values.extend(vs);
+        }
+        Ok(Some((key, values)))
+    }
+
+    /// Drain everything into a vector (for tests / small outputs).
+    pub fn collect_all(mut self) -> Result<Vec<(K, Vec<V>)>, ExtMergeError> {
+        let mut out = Vec::new();
+        while let Some(g) = self.next_group()? {
+            out.push(g);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(budget: usize) -> ExternalTable<String, u64> {
+        ExternalTable::new(budget, std::env::temp_dir()).unwrap()
+    }
+
+    fn reference(pairs: &[(&str, u64)]) -> Vec<(String, Vec<u64>)> {
+        let mut m: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for (k, v) in pairs {
+            m.entry(k.to_string()).or_default().push(*v);
+        }
+        m.into_iter().collect()
+    }
+
+    #[test]
+    fn all_resident_when_under_budget() {
+        let mut t = table(1 << 20);
+        t.insert("b".into(), vec![2]).unwrap();
+        t.insert("a".into(), vec![1]).unwrap();
+        t.insert("a".into(), vec![3]).unwrap();
+        assert_eq!(t.spilled_runs(), 0);
+        let got = t.into_merge().unwrap().collect_all().unwrap();
+        assert_eq!(got, reference(&[("b", 2), ("a", 1), ("a", 3)]));
+    }
+
+    #[test]
+    fn tiny_budget_spills_many_runs_and_merges_correctly() {
+        let mut t = table(64);
+        let mut pairs = Vec::new();
+        for i in 0..200u64 {
+            let k = format!("key-{:02}", i % 17);
+            t.insert(k.clone(), vec![i]).unwrap();
+            pairs.push((k, i));
+        }
+        assert!(t.spilled_runs() > 5, "expected many spills: {}", t.spilled_runs());
+        let got = t.into_merge().unwrap().collect_all().unwrap();
+        // Build the reference.
+        let mut m: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for (k, v) in pairs {
+            m.entry(k).or_default().push(v);
+        }
+        // Merge concatenates per-run value lists; order across runs is
+        // spill order, which here equals insertion order.
+        let want: Vec<(String, Vec<u64>)> = m.into_iter().collect();
+        assert_eq!(got.len(), want.len());
+        for ((gk, mut gv), (wk, mut wv)) in got.into_iter().zip(want) {
+            assert_eq!(gk, wk);
+            gv.sort_unstable();
+            wv.sort_unstable();
+            assert_eq!(gv, wv, "values for {gk}");
+        }
+    }
+
+    #[test]
+    fn keys_stream_out_in_ascending_order() {
+        let mut t = table(48);
+        for i in (0..100u64).rev() {
+            t.insert(format!("{:03}", i % 25), vec![i]).unwrap();
+        }
+        let mut merge = t.into_merge().unwrap();
+        let mut last: Option<String> = None;
+        while let Some((k, _)) = merge.next_group().unwrap() {
+            if let Some(prev) = &last {
+                assert!(*prev < k, "order violated: {prev} !< {k}");
+            }
+            last = Some(k);
+        }
+    }
+
+    #[test]
+    fn empty_table_merges_to_nothing() {
+        let t = table(128);
+        assert!(t.into_merge().unwrap().collect_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn spill_dir_is_cleaned_up() {
+        let mut t = table(16);
+        for i in 0..50u64 {
+            t.insert(format!("k{i}"), vec![i]).unwrap();
+        }
+        let dir = t.spill_dir.clone();
+        assert!(dir.exists());
+        let merge = t.into_merge().unwrap();
+        let _ = merge.collect_all().unwrap();
+        // MergeIter's cleanup guard removed the directory.
+        assert!(!dir.exists(), "spill dir should be removed");
+    }
+
+    #[test]
+    fn values_larger_than_budget_still_work() {
+        let mut t = table(8);
+        t.insert("x".into(), (0..100).collect()).unwrap();
+        t.insert("y".into(), vec![1]).unwrap();
+        let got = t.into_merge().unwrap().collect_all().unwrap();
+        assert_eq!(got[0].1.len(), 100);
+        assert_eq!(got[1], ("y".into(), vec![1]));
+    }
+}

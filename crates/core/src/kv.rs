@@ -1,0 +1,208 @@
+//! Self-delimiting key/value wire codec.
+//!
+//! MPI-D's defining job (paper §III) is bridging "non-contiguous and
+//! variable sized key-value pair data" to MPI's "contiguous and fix-sized"
+//! buffers. The [`Kv`] trait is that bridge: every key and value type knows
+//! how to append itself to a flat buffer and parse itself back off the front
+//! of one, so the realignment stage can pack arbitrary `(K, V)` streams into
+//! contiguous partition frames (see [`crate::realign`]).
+//!
+//! Integers are little-endian fixed-width; byte strings are u32-length-
+//! prefixed. Types must be self-delimiting: `decode` must consume exactly
+//! the bytes `encode` produced.
+
+use bytes::{BufMut, BytesMut};
+use std::fmt;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended mid-value.
+    Truncated,
+    /// A length field or payload was invalid.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated key/value data"),
+            CodecError::Corrupt(m) => write!(f, "corrupt key/value data: {m}"),
+        }
+    }
+}
+impl std::error::Error for CodecError {}
+
+/// A type that can travel through MPI-D as a key or value.
+pub trait Kv: Sized {
+    /// Append the encoded form to `out`.
+    fn encode(&self, out: &mut BytesMut);
+    /// Parse one value off the front of `buf`, advancing it.
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError>;
+    /// Exact number of bytes [`Kv::encode`] will append — used for buffer
+    /// accounting and spill thresholds.
+    fn wire_size(&self) -> usize;
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    if buf.len() < n {
+        return Err(CodecError::Truncated);
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+macro_rules! impl_kv_int {
+    ($($t:ty),*) => {$(
+        impl Kv for $t {
+            fn encode(&self, out: &mut BytesMut) {
+                out.put_slice(&self.to_le_bytes());
+            }
+            fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+                let raw = take(buf, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(raw.try_into().expect("sized")))
+            }
+            fn wire_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_kv_int!(u8, u16, u32, u64, i8, i16, i32, i64, f64, f32);
+
+impl Kv for String {
+    fn encode(&self, out: &mut BytesMut) {
+        out.put_u32_le(self.len() as u32);
+        out.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(buf)? as usize;
+        let raw = take(buf, len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| CodecError::Corrupt("invalid UTF-8"))
+    }
+    fn wire_size(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl Kv for Vec<u8> {
+    fn encode(&self, out: &mut BytesMut) {
+        out.put_u32_le(self.len() as u32);
+        out.put_slice(self);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(buf)? as usize;
+        Ok(take(buf, len)?.to_vec())
+    }
+    fn wire_size(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<A: Kv, B: Kv> Kv for (A, B) {
+    fn encode(&self, out: &mut BytesMut) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
+    }
+}
+
+impl Kv for () {
+    fn encode(&self, _out: &mut BytesMut) {}
+    fn decode(_buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(())
+    }
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+/// Marker bundle for MPI-D keys: encodable, hashable, ordered, cloneable.
+/// Blanket-implemented; user key types only need the component traits.
+pub trait Key: Kv + std::hash::Hash + Eq + Ord + Clone + Send + 'static {}
+impl<T: Kv + std::hash::Hash + Eq + Ord + Clone + Send + 'static> Key for T {}
+
+/// Marker bundle for MPI-D values.
+pub trait Value: Kv + Clone + Send + 'static {}
+impl<T: Kv + Clone + Send + 'static> Value for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Kv + PartialEq + std::fmt::Debug>(v: T) {
+        let mut out = BytesMut::new();
+        v.encode(&mut out);
+        assert_eq!(out.len(), v.wire_size(), "wire_size must be exact");
+        let mut slice = &out[..];
+        let back = T::decode(&mut slice).unwrap();
+        assert_eq!(back, v);
+        assert!(slice.is_empty(), "decode must consume exactly its bytes");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(-77i64);
+        round_trip(3.5f64);
+        round_trip(i32::MIN);
+    }
+
+    #[test]
+    fn strings_and_blobs_round_trip() {
+        round_trip(String::new());
+        round_trip("the quick brown fox".to_string());
+        round_trip("ünïcödé".to_string());
+        round_trip(Vec::<u8>::new());
+        round_trip(vec![0u8, 255, 128]);
+    }
+
+    #[test]
+    fn tuples_and_unit_round_trip() {
+        round_trip(("key".to_string(), 42u64));
+        round_trip((1u32, (2u32, "x".to_string())));
+        round_trip(());
+    }
+
+    #[test]
+    fn sequences_are_self_delimiting() {
+        let mut out = BytesMut::new();
+        "alpha".to_string().encode(&mut out);
+        7u64.encode(&mut out);
+        "beta".to_string().encode(&mut out);
+        let mut slice = &out[..];
+        assert_eq!(String::decode(&mut slice).unwrap(), "alpha");
+        assert_eq!(u64::decode(&mut slice).unwrap(), 7);
+        assert_eq!(String::decode(&mut slice).unwrap(), "beta");
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut out = BytesMut::new();
+        "hello".to_string().encode(&mut out);
+        let mut slice = &out[..out.len() - 1];
+        assert_eq!(String::decode(&mut slice), Err(CodecError::Truncated));
+        let mut empty: &[u8] = &[];
+        assert_eq!(u64::decode(&mut empty), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut out = BytesMut::new();
+        vec![0xff_u8, 0xfe].encode(&mut out);
+        let mut slice = &out[..];
+        assert!(matches!(
+            String::decode(&mut slice),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,68 @@
+//! The rank-0 master: dynamic split assignment.
+//!
+//! The paper uses "rank 0 process in the simulation system to simulate the
+//! master process, like the jobtracker process in Hadoop", and lists
+//! "dynamic process management of mapper and reducer processes" as future
+//! work. This module implements the jobtracker-style piece that MPI-D needs:
+//! mappers pull input splits from the master one at a time, which gives
+//! dynamic load balancing across mappers for free (fast mappers process more
+//! splits).
+
+use crate::config::{tags, MpidConfig};
+use crate::error::{MpidError, MpidResult};
+use crate::kv::Kv;
+use crate::stats::MasterStats;
+use bytes::BytesMut;
+use mpi_rt::Comm;
+
+const MARK_SPLIT: u8 = 1;
+const MARK_DONE: u8 = 0;
+
+/// Run the master loop on rank 0: serve split requests until every mapper
+/// has been told there is no more work.
+pub fn run_master<S: Kv>(
+    comm: &Comm,
+    cfg: &MpidConfig,
+    splits: Vec<S>,
+) -> MpidResult<MasterStats> {
+    let mut stats = MasterStats::default();
+    let mut next = 0usize;
+    let mut done_mappers = 0usize;
+    while done_mappers < cfg.n_mappers {
+        let (_, status) = comm.recv::<u8>(None, Some(tags::REQ))?;
+        stats.requests_served += 1;
+        let mut reply = BytesMut::new();
+        if next < splits.len() {
+            reply.extend_from_slice(&[MARK_SPLIT]);
+            splits[next].encode(&mut reply);
+            next += 1;
+            stats.splits_assigned += 1;
+        } else {
+            reply.extend_from_slice(&[MARK_DONE]);
+            done_mappers += 1;
+        }
+        comm.send(status.source, tags::ASSIGN, &reply[..])?;
+    }
+    Ok(stats)
+}
+
+/// Mapper side: request the next split from the master. `None` means the
+/// input is exhausted and the mapper should finish.
+pub fn next_split<S: Kv>(comm: &Comm) -> MpidResult<Option<S>> {
+    comm.send::<u8>(0, tags::REQ, &[])?;
+    let (reply, _) = comm.recv::<u8>(Some(0), Some(tags::ASSIGN))?;
+    match reply.split_first() {
+        Some((&MARK_DONE, _)) => Ok(None),
+        Some((&MARK_SPLIT, mut rest)) => {
+            let split = S::decode(&mut rest).map_err(|err| MpidError::Codec {
+                source_rank: 0,
+                err,
+            })?;
+            Ok(Some(split))
+        }
+        _ => Err(MpidError::Codec {
+            source_rank: 0,
+            err: crate::kv::CodecError::Corrupt("empty assignment reply"),
+        }),
+    }
+}

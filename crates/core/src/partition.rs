@@ -1,0 +1,140 @@
+//! Hash-mod partition selection (paper §IV.A).
+//!
+//! "The key and value list pairs in the hash table buffer will be moved to
+//! partitions through a hash-mod selector. ... Our implementation is similar
+//! to the HashPartitioner in the Hadoop MapReduce framework."
+
+use std::hash::{Hash, Hasher};
+
+/// Chooses the destination reducer for a key.
+pub trait Partitioner<K>: Send + Sync {
+    /// Partition index in `0..n_reducers` for `key`.
+    fn partition(&self, key: &K, n_reducers: usize) -> usize;
+}
+
+/// `hash(key) mod n` — the Hadoop `HashPartitioner` analog.
+///
+/// Uses FNV-1a over the key's `Hash` impl so partition assignment is stable
+/// across processes and runs (the std `DefaultHasher` is seeded per-process,
+/// which would break the "same key → same reducer" contract between mapper
+/// ranks if they lived in different processes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+/// Stable 64-bit hash of a key.
+pub fn stable_hash<K: Hash>(key: &K) -> u64 {
+    let mut h = Fnv1a(0xcbf29ce484222325);
+    key.hash(&mut h);
+    h.finish()
+}
+
+impl<K: Hash> Partitioner<K> for HashPartitioner {
+    fn partition(&self, key: &K, n_reducers: usize) -> usize {
+        assert!(n_reducers > 0);
+        (stable_hash(key) % n_reducers as u64) as usize
+    }
+}
+
+/// Routes every key to one fixed reducer — the layout of the paper's
+/// Figure 6 WordCount run ("1 process as the reducer").
+#[derive(Debug, Clone, Copy)]
+pub struct ConstPartitioner(pub usize);
+
+impl<K> Partitioner<K> for ConstPartitioner {
+    fn partition(&self, _key: &K, n_reducers: usize) -> usize {
+        assert!(self.0 < n_reducers, "constant partition out of range");
+        self.0
+    }
+}
+
+/// Range partitioner for ordered u64-keyed data (the JavaSort layout:
+/// reducer `i` gets keys in the `i`-th slice of the key space, so
+/// concatenated reducer outputs are globally sorted).
+#[derive(Debug, Clone, Copy)]
+pub struct RangePartitioner {
+    /// Exclusive upper bound of the key space.
+    pub key_space: u64,
+}
+
+impl Partitioner<u64> for RangePartitioner {
+    fn partition(&self, key: &u64, n_reducers: usize) -> usize {
+        assert!(n_reducers > 0);
+        let width = (self.key_space / n_reducers as u64).max(1);
+        ((key / width) as usize).min(n_reducers - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partition_in_range_and_deterministic() {
+        let p = HashPartitioner;
+        for n in [1usize, 2, 7, 49] {
+            for key in ["alpha", "beta", "gamma", ""] {
+                let a = p.partition(&key, n);
+                let b = p.partition(&key, n);
+                assert_eq!(a, b);
+                assert!(a < n);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_partition_spreads_keys() {
+        let p = HashPartitioner;
+        let n = 8;
+        let mut counts = vec![0u32; n];
+        for i in 0..8000u64 {
+            counts[p.partition(&format!("key-{i}"), n)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (500..1500).contains(&c),
+                "partition {i} badly balanced: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn const_partitioner_is_constant() {
+        let p = ConstPartitioner(0);
+        assert_eq!(Partitioner::<String>::partition(&p, &"x".to_string(), 1), 0);
+        assert_eq!(Partitioner::<u64>::partition(&p, &9, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn const_partitioner_checks_range() {
+        let p = ConstPartitioner(3);
+        Partitioner::<u64>::partition(&p, &1, 2);
+    }
+
+    #[test]
+    fn range_partitioner_preserves_order() {
+        let p = RangePartitioner { key_space: 1000 };
+        let n = 4;
+        let parts: Vec<usize> = (0..1000u64).map(|k| p.partition(&k, n)).collect();
+        // Nondecreasing across the key space.
+        assert!(parts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(parts[0], 0);
+        assert_eq!(parts[999], n - 1);
+        // Keys beyond the declared space clamp to the last partition.
+        assert_eq!(p.partition(&5000, n), n - 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Data realignment: key/value-list pairs ⇄ contiguous fixed-size frames.
+//!
+//! "The other important function is data realignment, which is reformatting
+//! key and value list pairs from a discrete hash table to an
+//! address-sequential and fix-sized partition." (paper §IV.A)
+//!
+//! A frame is a flat byte buffer:
+//!
+//! ```text
+//! frame   := u32 n_groups , group*
+//! group   := key , u32 n_values , value*
+//! ```
+//!
+//! with keys and values encoded by the self-delimiting [`crate::kv::Kv`]
+//! codec. Frames are capped near a configured size; one logical spill can
+//! produce several frames per partition. The reverse direction
+//! ([`FrameReader`]) streams groups back out without materializing the whole
+//! frame's contents at once.
+
+use crate::kv::{CodecError, Kv};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Builds frames of bounded size from `(key, values)` groups.
+#[derive(Debug)]
+pub struct FrameBuilder {
+    target_bytes: usize,
+    buf: BytesMut,
+    n_groups: u32,
+    frames: Vec<Bytes>,
+}
+
+impl FrameBuilder {
+    /// Frames will be closed once they exceed `target_bytes` (each frame may
+    /// overshoot by one group; groups are never split across frames).
+    pub fn new(target_bytes: usize) -> Self {
+        assert!(target_bytes > 0);
+        let mut buf = BytesMut::with_capacity(target_bytes + 64);
+        buf.put_u32_le(0); // group-count placeholder
+        FrameBuilder {
+            target_bytes,
+            buf,
+            n_groups: 0,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Append one key with its value list.
+    pub fn push_group<K: Kv, V: Kv>(&mut self, key: &K, values: &[V]) {
+        key.encode(&mut self.buf);
+        self.buf.put_u32_le(values.len() as u32);
+        for v in values {
+            v.encode(&mut self.buf);
+        }
+        self.n_groups += 1;
+        if self.buf.len() >= self.target_bytes {
+            self.seal();
+        }
+    }
+
+    fn seal(&mut self) {
+        if self.n_groups == 0 {
+            return;
+        }
+        self.buf[..4].copy_from_slice(&self.n_groups.to_le_bytes());
+        let full = std::mem::replace(&mut self.buf, {
+            let mut b = BytesMut::with_capacity(self.target_bytes + 64);
+            b.put_u32_le(0);
+            b
+        });
+        self.frames.push(full.freeze());
+        self.n_groups = 0;
+    }
+
+    /// Close the current frame and return every frame built.
+    pub fn finish(mut self) -> Vec<Bytes> {
+        self.seal();
+        self.frames
+    }
+
+    /// Number of sealed frames so far.
+    pub fn sealed_frames(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+/// Streaming reader over one frame: "the sequential data stream will be
+/// re-constructed as key-value pairs" (reverse realignment).
+#[derive(Debug)]
+pub struct FrameReader<'a> {
+    rest: &'a [u8],
+    remaining_groups: u32,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Open a frame.
+    pub fn new(frame: &'a [u8]) -> Result<Self, CodecError> {
+        let mut slice = frame;
+        let n = u32::decode(&mut slice)?;
+        Ok(FrameReader {
+            rest: slice,
+            remaining_groups: n,
+        })
+    }
+
+    /// Groups not yet read.
+    pub fn remaining(&self) -> u32 {
+        self.remaining_groups
+    }
+
+    /// Read the next `(key, values)` group, or `None` at end of frame.
+    pub fn next_group<K: Kv, V: Kv>(&mut self) -> Result<Option<(K, Vec<V>)>, CodecError> {
+        if self.remaining_groups == 0 {
+            if !self.rest.is_empty() {
+                return Err(CodecError::Corrupt("trailing bytes after last group"));
+            }
+            return Ok(None);
+        }
+        let key = K::decode(&mut self.rest)?;
+        let n_values = u32::decode(&mut self.rest)? as usize;
+        let mut values = Vec::with_capacity(n_values.min(1 << 16));
+        for _ in 0..n_values {
+            values.push(V::decode(&mut self.rest)?);
+        }
+        self.remaining_groups -= 1;
+        Ok(Some((key, values)))
+    }
+
+    /// Drain the whole frame into a vector of groups.
+    pub fn read_all<K: Kv, V: Kv>(mut self) -> Result<Vec<(K, Vec<V>)>, CodecError> {
+        let mut out = Vec::with_capacity(self.remaining_groups as usize);
+        while let Some(g) = self.next_group()? {
+            out.push(g);
+        }
+        Ok(out)
+    }
+}
+
+/// Decode a list of frames back into groups, in frame order.
+pub fn decode_frames<K: Kv, V: Kv>(frames: &[Bytes]) -> Result<Vec<(K, Vec<V>)>, CodecError> {
+    let mut out = Vec::new();
+    for f in frames {
+        out.extend(FrameReader::new(f)?.read_all()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(groups: &[(String, Vec<u64>)], target: usize) -> Vec<Bytes> {
+        let mut b = FrameBuilder::new(target);
+        for (k, vs) in groups {
+            b.push_group(k, vs);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip_single_frame() {
+        let groups = vec![
+            ("apple".to_string(), vec![1u64, 2, 3]),
+            ("banana".to_string(), vec![]),
+            ("cherry".to_string(), vec![9]),
+        ];
+        let frames = build(&groups, 1 << 20);
+        assert_eq!(frames.len(), 1);
+        let back: Vec<(String, Vec<u64>)> = decode_frames(&frames).unwrap();
+        assert_eq!(back, groups);
+    }
+
+    #[test]
+    fn small_target_splits_into_multiple_frames() {
+        let groups: Vec<(String, Vec<u64>)> = (0..100)
+            .map(|i| (format!("key-{i:03}"), vec![i as u64; 3]))
+            .collect();
+        let frames = build(&groups, 64);
+        assert!(frames.len() > 10, "got {} frames", frames.len());
+        let back: Vec<(String, Vec<u64>)> = decode_frames(&frames).unwrap();
+        assert_eq!(back, groups, "order and content preserved across frames");
+    }
+
+    #[test]
+    fn empty_builder_produces_no_frames() {
+        let b = FrameBuilder::new(128);
+        assert!(b.finish().is_empty());
+    }
+
+    #[test]
+    fn streaming_reader_counts_down() {
+        let frames = build(
+            &[
+                ("a".to_string(), vec![1u64]),
+                ("b".to_string(), vec![2, 3]),
+            ],
+            1 << 20,
+        );
+        let mut r = FrameReader::new(&frames[0]).unwrap();
+        assert_eq!(r.remaining(), 2);
+        let (k, vs): (String, Vec<u64>) = r.next_group().unwrap().unwrap();
+        assert_eq!((k.as_str(), vs.as_slice()), ("a", &[1u64][..]));
+        assert_eq!(r.remaining(), 1);
+        let _ = r.next_group::<String, u64>().unwrap().unwrap();
+        assert!(r.next_group::<String, u64>().unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_frame_detected() {
+        let frames = build(&[("k".to_string(), vec![7u64])], 1 << 20);
+        let mut bad = frames[0].to_vec();
+        bad.truncate(bad.len() - 2);
+        let mut r = FrameReader::new(&bad).unwrap();
+        assert!(matches!(
+            r.next_group::<String, u64>(),
+            Err(CodecError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let frames = build(&[("k".to_string(), vec![7u64])], 1 << 20);
+        let mut bad = frames[0].to_vec();
+        bad.extend_from_slice(&[1, 2, 3]);
+        let mut r = FrameReader::new(&bad).unwrap();
+        let _ = r.next_group::<String, u64>().unwrap().unwrap();
+        assert!(matches!(
+            r.next_group::<String, u64>(),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn frames_are_address_sequential() {
+        // The realignment contract: one flat allocation per frame.
+        let frames = build(&[("abc".to_string(), vec![1u64, 2])], 1 << 20);
+        let f = &frames[0];
+        // 4 (count) + 4+3 (key) + 4 (n_values) + 16 (values)
+        assert_eq!(f.len(), 4 + 7 + 4 + 16);
+    }
+}

@@ -1,0 +1,286 @@
+//! The reducer-side `MPI_D_Recv` pipeline (paper Figure 4, right half):
+//! wildcard reception of frames from any mapper, reverse realignment, and
+//! in-memory merging of each key's value lists.
+
+use crate::config::{tags, MpidConfig};
+use crate::error::{MpidError, MpidResult};
+use crate::kv::{Key, Value};
+use crate::realign::FrameReader;
+use crate::stats::ReceiverStats;
+use mpi_rt::Comm;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Reducer-side handle.
+///
+/// "Each reducer adopts the MPI_Recv primitive in the wildcard reception
+/// style to receive messages from any source. Multiple data flows in
+/// mappers' partitions are sent to the corresponding reducer concurrently,
+/// while reducers receive and combine them in memory."
+///
+/// The first call to [`MpidReceiver::recv`] ingests frames until an
+/// end-of-stream marker has arrived from every mapper, merging value lists
+/// per key; subsequent calls stream out `(key, values)` groups in ascending
+/// key order.
+pub struct MpidReceiver<'a, K: Key, V: Value> {
+    comm: &'a Comm,
+    cfg: MpidConfig,
+    timeout: Duration,
+    value_sorter: Option<fn(&mut Vec<V>)>,
+    state: RecvState<K, V>,
+    stats: ReceiverStats,
+}
+
+enum RecvState<K, V> {
+    Ingesting,
+    Draining(std::collections::btree_map::IntoIter<K, Vec<V>>),
+}
+
+impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
+    pub(crate) fn new(comm: &'a Comm, cfg: MpidConfig) -> Self {
+        MpidReceiver {
+            comm,
+            cfg,
+            timeout: Duration::from_secs(300),
+            value_sorter: None,
+            state: RecvState::Ingesting,
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// Bound how long ingestion waits for the next frame before reporting
+    /// a timeout error — this is how a dead mapper becomes a visible
+    /// error instead of a hang. Default: 300 s.
+    pub fn with_timeout(mut self, t: Duration) -> Self {
+        self.timeout = t;
+        self
+    }
+
+    /// Sort each key's value list before delivery ("it can also sort the
+    /// value list for each key on demand").
+    pub fn with_sorted_values(mut self) -> Self
+    where
+        V: Ord,
+    {
+        #[allow(clippy::ptr_arg)] // must match the stored fn-pointer type
+        fn sorter<V: Ord>(vs: &mut Vec<V>) {
+            vs.sort();
+        }
+        self.value_sorter = Some(sorter::<V>);
+        self
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &ReceiverStats {
+        &self.stats
+    }
+
+    fn ingest(&mut self) -> MpidResult<BTreeMap<K, Vec<V>>> {
+        let mut table: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        let mut eos_seen = 0usize;
+        while eos_seen < self.cfg.n_mappers {
+            match recv_one_frame::<K, V>(self.comm, self.timeout, &mut self.stats)? {
+                None => eos_seen += 1,
+                Some(groups) => {
+                    for (k, vs) in groups {
+                        table.entry(k).or_default().extend(vs);
+                    }
+                }
+            }
+        }
+        self.stats.distinct_keys = table.len() as u64;
+        Ok(table)
+    }
+
+    /// Switch to bounded-memory consumption: ingest all frames into an
+    /// [`ExternalTable`](crate::extmerge::ExternalTable) that spills
+    /// key-sorted runs to `spill_dir` beyond `budget_bytes`, then stream
+    /// globally key-ordered merged groups — the reducer-side external merge
+    /// Hadoop performs when reduce inputs exceed memory.
+    pub fn into_external(
+        mut self,
+        budget_bytes: usize,
+        spill_dir: std::path::PathBuf,
+    ) -> MpidResult<ExternalRecv<K, V>> {
+        assert!(
+            matches!(self.state, RecvState::Ingesting),
+            "into_external after recv() started grouping"
+        );
+        let spill_err = |e: crate::extmerge::ExtMergeError| MpidError::Spill(e.to_string());
+        let mut table = crate::extmerge::ExternalTable::new(budget_bytes, spill_dir)
+            .map_err(|e| MpidError::Spill(e.to_string()))?;
+        let mut eos_seen = 0usize;
+        while eos_seen < self.cfg.n_mappers {
+            match recv_one_frame::<K, V>(self.comm, self.timeout, &mut self.stats)? {
+                None => eos_seen += 1,
+                Some(groups) => {
+                    for (k, vs) in groups {
+                        table.insert(k, vs).map_err(spill_err)?;
+                    }
+                }
+            }
+        }
+        let spilled_runs = table.spilled_runs();
+        let merge = table.into_merge().map_err(spill_err)?;
+        Ok(ExternalRecv {
+            merge,
+            spilled_runs,
+            stats: self.stats.clone(),
+        })
+    }
+
+    /// Switch to streaming consumption (see [`MpidStream`]).
+    pub fn into_streaming(self) -> MpidStream<'a, K, V> {
+        assert!(
+            matches!(self.state, RecvState::Ingesting),
+            "into_streaming after recv() started grouping"
+        );
+        MpidStream {
+            comm: self.comm,
+            cfg: self.cfg,
+            timeout: self.timeout,
+            eos_seen: 0,
+            buffer: std::collections::VecDeque::new(),
+            stats: self.stats,
+        }
+    }
+
+    /// `MPI_D_Recv`: return the next `(key, value-list)` group, or `None`
+    /// once every group has been delivered.
+    pub fn recv(&mut self) -> MpidResult<Option<(K, Vec<V>)>> {
+        loop {
+            match &mut self.state {
+                RecvState::Ingesting => {
+                    let table = self.ingest()?;
+                    self.state = RecvState::Draining(table.into_iter());
+                }
+                RecvState::Draining(iter) => {
+                    return Ok(iter.next().map(|(k, mut vs)| {
+                        if let Some(sort) = self.value_sorter {
+                            sort(&mut vs);
+                        }
+                        (k, vs)
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Drain every remaining group into a vector (keys ascending).
+    pub fn recv_all(&mut self) -> MpidResult<Vec<(K, Vec<V>)>> {
+        let mut out = Vec::new();
+        while let Some(g) = self.recv()? {
+            out.push(g);
+        }
+        Ok(out)
+    }
+}
+
+/// Receive one DATA frame: `Ok(None)` = end-of-stream marker, otherwise the
+/// decoded `(key, values)` groups. Shared by grouped and streaming modes.
+#[allow(clippy::type_complexity)]
+fn recv_one_frame<K: Key, V: Value>(
+    comm: &mpi_rt::Comm,
+    timeout: Duration,
+    stats: &mut ReceiverStats,
+) -> MpidResult<Option<Vec<(K, Vec<V>)>>> {
+    // Wildcard source, but tag-filtered to the MPI-D data stream: an
+    // unrestricted wildcard would intercept collective traffic (e.g.
+    // another rank's early `MPI_D_Finalize` barrier).
+    let (payload, status) = comm.recv_timeout::<u8>(None, Some(tags::DATA), timeout)?;
+    if payload.is_empty() {
+        return Ok(None); // end-of-stream (real frames are never empty)
+    }
+    stats.frames += 1;
+    stats.bytes_received += payload.len() as u64;
+    // Strip the wire marker; decompress LZ frames.
+    let codec_err = |err| MpidError::Codec {
+        source_rank: status.source,
+        err,
+    };
+    let body: Vec<u8> = match payload[0] {
+        0 => payload[1..].to_vec(),
+        1 => crate::compress::decompress(&payload[1..]).map_err(codec_err)?,
+        _ => {
+            return Err(codec_err(crate::kv::CodecError::Corrupt(
+                "unknown frame marker",
+            )))
+        }
+    };
+    let mut reader = FrameReader::new(&body).map_err(codec_err)?;
+    let mut groups = Vec::with_capacity(reader.remaining() as usize);
+    while let Some(g) = reader.next_group::<K, V>().map_err(codec_err)? {
+        stats.groups_in += 1;
+        groups.push(g);
+    }
+    Ok(Some(groups))
+}
+
+/// Bounded-memory reducer consumption: groups stream out of a k-way merge
+/// over disk-spilled runs (see [`MpidReceiver::into_external`]).
+pub struct ExternalRecv<K: Key, V: Value> {
+    merge: crate::extmerge::MergeIter<K, V>,
+    spilled_runs: usize,
+    stats: ReceiverStats,
+}
+
+impl<K: Key, V: Value> ExternalRecv<K, V> {
+    /// Next merged `(key, values)` group in ascending key order.
+    pub fn recv(&mut self) -> MpidResult<Option<(K, Vec<V>)>> {
+        self.merge
+            .next_group()
+            .map_err(|e| MpidError::Spill(e.to_string()))
+    }
+
+    /// Runs that were spilled to disk during ingestion.
+    pub fn spilled_runs(&self) -> usize {
+        self.spilled_runs
+    }
+
+    /// Ingestion statistics.
+    pub fn stats(&self) -> &ReceiverStats {
+        &self.stats
+    }
+}
+
+/// Streaming reducer consumption — the paper's memory-saving mode: "The
+/// reducer will adopt a streaming mode to process the data for saving
+/// memory space."
+///
+/// [`MpidStream::next_group`] yields `(key, values)` groups as frames
+/// arrive, in frame order, **without** global grouping: the same key may be
+/// yielded several times (once per spill that carried it), so the consumer
+/// must fold with an associative, commutative operation. Memory use is
+/// bounded by one frame instead of the whole key space.
+pub struct MpidStream<'a, K: Key, V: Value> {
+    comm: &'a mpi_rt::Comm,
+    cfg: MpidConfig,
+    timeout: Duration,
+    eos_seen: usize,
+    buffer: std::collections::VecDeque<(K, Vec<V>)>,
+    stats: ReceiverStats,
+}
+
+impl<K: Key, V: Value> MpidStream<'_, K, V> {
+    /// Next partially-merged group, or `None` after every mapper's
+    /// end-of-stream marker.
+    pub fn next_group(&mut self) -> MpidResult<Option<(K, Vec<V>)>> {
+        loop {
+            if let Some(g) = self.buffer.pop_front() {
+                return Ok(Some(g));
+            }
+            if self.eos_seen >= self.cfg.n_mappers {
+                return Ok(None);
+            }
+            match recv_one_frame::<K, V>(self.comm, self.timeout, &mut self.stats)? {
+                None => self.eos_seen += 1,
+                Some(groups) => self.buffer.extend(groups),
+            }
+        }
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &ReceiverStats {
+        &self.stats
+    }
+}

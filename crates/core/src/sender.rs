@@ -1,0 +1,214 @@
+//! The mapper-side `MPI_D_Send` pipeline (paper Figure 4, left half):
+//! hash-table buffering → local combining → hash-mod partition selection →
+//! data realignment → `MPI_Send`/`MPI_Isend` of contiguous frames.
+
+use crate::combine::Combiner;
+use crate::compress;
+use crate::config::{tags, MpidConfig, Role};
+use crate::kv::{Key, Value};
+use crate::partition::{HashPartitioner, Partitioner};
+use crate::realign::FrameBuilder;
+use crate::stats::SenderStats;
+use crate::error::MpidResult;
+use mpi_rt::{Comm, SendRequest};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+enum VBuf<V> {
+    /// Combiner active: a single running accumulator per key.
+    Combined(V),
+    /// No combiner: the raw value list.
+    List(Vec<V>),
+}
+
+/// Mapper-side handle: buffer, combine, partition, realign, send.
+///
+/// `MPI_D_Send(key, value)` is [`MpidSender::send`]; it "will buffer the
+/// key-value pairs in a hash table, and return the invocation procedure
+/// immediately". Once the buffer crosses the spill threshold, data is
+/// realigned into fixed-size frames and pushed to the owning reducers.
+/// [`MpidSender::finish`] flushes the remainder and broadcasts end-of-stream.
+pub struct MpidSender<'a, K: Key, V: Value> {
+    comm: &'a Comm,
+    cfg: MpidConfig,
+    combiner: Option<Arc<dyn Combiner<V>>>,
+    partitioner: Arc<dyn Partitioner<K>>,
+    buffer: HashMap<K, VBuf<V>>,
+    buffered_bytes: usize,
+    pending: Vec<SendRequest>,
+    stats: SenderStats,
+    finished: bool,
+}
+
+impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
+    pub(crate) fn new(comm: &'a Comm, cfg: MpidConfig) -> Self {
+        MpidSender {
+            comm,
+            cfg,
+            combiner: None,
+            partitioner: Arc::new(HashPartitioner),
+            buffer: HashMap::new(),
+            buffered_bytes: 0,
+            pending: Vec::new(),
+            stats: SenderStats::default(),
+            finished: false,
+        }
+    }
+
+    /// Install a combiner ("the combine function ... is always assigned as
+    /// the reduce function" in Hadoop practice).
+    pub fn with_combiner(mut self, c: impl Combiner<V> + 'static) -> Self {
+        self.combiner = Some(Arc::new(c));
+        self
+    }
+
+    /// Replace the default [`HashPartitioner`].
+    pub fn with_partitioner(mut self, p: impl Partitioner<K> + 'static) -> Self {
+        self.partitioner = Arc::new(p);
+        self
+    }
+
+    /// `MPI_D_Send(key, value)`: buffer (and locally combine) the pair,
+    /// spilling realigned frames to reducers when the buffer is full.
+    pub fn send(&mut self, key: K, value: V) -> MpidResult<()> {
+        assert!(!self.finished, "send after finish");
+        self.stats.pairs_in += 1;
+        let value_size = value.wire_size();
+        match self.buffer.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                match (e.get_mut(), &self.combiner) {
+                    (VBuf::Combined(acc), Some(c)) => {
+                        let before = acc.wire_size();
+                        c.combine(acc, value);
+                        self.stats.pairs_combined += 1;
+                        let after = acc.wire_size();
+                        self.buffered_bytes = self.buffered_bytes + after - before;
+                    }
+                    (VBuf::List(list), _) => {
+                        list.push(value);
+                        self.buffered_bytes += value_size;
+                    }
+                    (VBuf::Combined(_), None) => {
+                        unreachable!("combined buffer without combiner")
+                    }
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.buffered_bytes += e.key().wire_size() + value_size;
+                if self.combiner.is_some() {
+                    e.insert(VBuf::Combined(value));
+                } else {
+                    e.insert(VBuf::List(vec![value]));
+                }
+            }
+        }
+        if self.buffered_bytes >= self.cfg.spill_threshold_bytes {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    /// Bytes currently buffered (diagnostics; spilling resets it).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffered_bytes
+    }
+
+    /// Force a spill of the current buffer contents.
+    pub fn spill(&mut self) -> MpidResult<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        self.stats.spills += 1;
+        let n_red = self.cfg.n_reducers;
+        // Hash-mod partition selection.
+        let mut partitions: Vec<Vec<(K, Vec<V>)>> = (0..n_red).map(|_| Vec::new()).collect();
+        for (k, vbuf) in self.buffer.drain() {
+            let p = self.partitioner.partition(&k, n_red);
+            let values = match vbuf {
+                VBuf::Combined(v) => vec![v],
+                VBuf::List(vs) => vs,
+            };
+            partitions[p].push((k, values));
+        }
+        self.buffered_bytes = 0;
+        // Realign each partition into contiguous fixed-size frames and ship.
+        for (p, mut groups) in partitions.into_iter().enumerate() {
+            if groups.is_empty() {
+                continue;
+            }
+            if self.cfg.sort_keys {
+                groups.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+            self.stats.groups_out += groups.len() as u64;
+            let mut builder = FrameBuilder::new(self.cfg.frame_bytes);
+            for (k, vs) in &groups {
+                builder.push_group(k, vs);
+            }
+            let dst = Role::reducer_rank(&self.cfg, p);
+            for frame in builder.finish() {
+                self.stats.frames += 1;
+                self.stats.bytes_precompress += frame.len() as u64;
+                // Frame wire format: 1-byte marker (0 = plain, 1 = LZ),
+                // then the (possibly compressed) frame body. Compression is
+                // kept only when it actually shrinks the frame.
+                let mut wire = Vec::with_capacity(frame.len() + 1);
+                if self.cfg.compress {
+                    let packed = compress::compress(&frame);
+                    if packed.len() < frame.len() {
+                        wire.push(1);
+                        wire.extend_from_slice(&packed);
+                    } else {
+                        wire.push(0);
+                        wire.extend_from_slice(&frame);
+                    }
+                } else {
+                    wire.push(0);
+                    wire.extend_from_slice(&frame);
+                }
+                self.stats.bytes_sent += wire.len() as u64;
+                if self.cfg.use_isend {
+                    // Overlap map computation with communication (the
+                    // paper's future-work item, as an ablation switch).
+                    let req = self.comm.isend(dst, tags::DATA, &wire)?;
+                    self.pending.push(req);
+                } else {
+                    self.comm.send(dst, tags::DATA, &wire)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush everything, wait for outstanding `Isend`s, and deliver an
+    /// end-of-stream marker to every reducer. Returns the sender statistics.
+    pub fn finish(mut self) -> MpidResult<SenderStats> {
+        self.spill()?;
+        for req in self.pending.drain(..) {
+            req.wait();
+        }
+        // End-of-stream travels on the DATA tag as an empty payload (real
+        // frames are never empty — they carry at least a group-count
+        // header), so reducers can receive with a tag filter and never
+        // intercept unrelated traffic such as collective messages.
+        for r in 0..self.cfg.n_reducers {
+            let dst = Role::reducer_rank(&self.cfg, r);
+            self.comm.send::<u8>(dst, tags::DATA, &[])?;
+        }
+        self.finished = true;
+        Ok(self.stats.clone())
+    }
+}
+
+impl<K: Key, V: Value> Drop for MpidSender<'_, K, V> {
+    fn drop(&mut self) {
+        // A sender dropped without finish() would leave reducers waiting for
+        // an EOS forever in larger jobs; make the bug loud in tests. (Panics
+        // in flight take precedence — don't double-panic.)
+        if !self.finished && !std::thread::panicking() && !self.buffer.is_empty() {
+            eprintln!(
+                "warning: MpidSender dropped with {} buffered pairs and no finish()",
+                self.buffer.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! End-to-end MPI-D jobs over the real mpi-rt runtime: full
+//! master/mapper/reducer topologies, spill behaviour, transport modes,
+//! and failure injection.
+
+use mpid::{
+    ConstPartitioner, MpidConfig, MpidError, MpidWorld, Role, SumCombiner,
+};
+use mpi_rt::{MpiError, Universe};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Reference word count.
+fn expected_counts(docs: &[&str]) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    for d in docs {
+        for w in d.split_whitespace() {
+            *m.entry(w.to_string()).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+/// Run WordCount with the given config; returns merged reducer outputs.
+fn run_wordcount(cfg: MpidConfig, docs: Vec<String>) -> BTreeMap<String, u64> {
+    let results = Universe::run(cfg.required_ranks(), move |comm| {
+        let world = MpidWorld::init(comm, cfg.clone()).unwrap();
+        match world.role() {
+            Role::Master => {
+                world.run_master(docs.clone()).unwrap();
+                None
+            }
+            Role::Mapper(_) => {
+                let mut send = world
+                    .sender::<String, u64>()
+                    .with_combiner(SumCombiner);
+                while let Some(doc) = world.next_split::<String>().unwrap() {
+                    for w in doc.split_whitespace() {
+                        send.send(w.to_string(), 1).unwrap();
+                    }
+                }
+                send.finish().unwrap();
+                None
+            }
+            Role::Reducer(_) => {
+                let mut recv = world.receiver::<String, u64>();
+                let mut out = BTreeMap::new();
+                while let Some((k, vs)) = recv.recv().unwrap() {
+                    out.insert(k, vs.into_iter().sum::<u64>());
+                }
+                Some(out)
+            }
+        }
+    });
+    let mut merged = BTreeMap::new();
+    for r in results.into_iter().flatten() {
+        for (k, v) in r {
+            assert!(merged.insert(k, v).is_none(), "key owned by two reducers");
+        }
+    }
+    merged
+}
+
+fn sample_docs(n: usize) -> Vec<String> {
+    let words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+    (0..n)
+        .map(|i| {
+            (0..20)
+                .map(|j| words[(i * 7 + j * 3) % words.len()])
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+#[test]
+fn wordcount_matches_reference_various_topologies() {
+    let docs = sample_docs(12);
+    let expected = expected_counts(&docs.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for (m, r) in [(1, 1), (2, 1), (3, 2), (4, 3)] {
+        let got = run_wordcount(MpidConfig::with_workers(m, r), docs.clone());
+        assert_eq!(got, expected, "topology {m}x{r}");
+    }
+}
+
+#[test]
+fn tiny_spill_threshold_still_correct() {
+    // Spill after nearly every pair: exercises multi-spill, multi-frame
+    // merging on the reducer side.
+    let docs = sample_docs(8);
+    let expected = expected_counts(&docs.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let cfg = MpidConfig {
+        n_mappers: 3,
+        n_reducers: 2,
+        spill_threshold_bytes: 32,
+        frame_bytes: 24,
+        ..Default::default()
+    };
+    assert_eq!(run_wordcount(cfg, docs), expected);
+}
+
+#[test]
+fn isend_overlap_mode_is_equivalent() {
+    let docs = sample_docs(10);
+    let expected = expected_counts(&docs.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let cfg = MpidConfig {
+        n_mappers: 2,
+        n_reducers: 2,
+        spill_threshold_bytes: 64,
+        use_isend: true,
+        ..Default::default()
+    };
+    assert_eq!(run_wordcount(cfg, docs), expected);
+}
+
+#[test]
+fn sort_keys_mode_is_equivalent() {
+    let docs = sample_docs(6);
+    let expected = expected_counts(&docs.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let cfg = MpidConfig {
+        n_mappers: 2,
+        n_reducers: 1,
+        sort_keys: true,
+        spill_threshold_bytes: 100,
+        ..Default::default()
+    };
+    assert_eq!(run_wordcount(cfg, docs), expected);
+}
+
+#[test]
+fn no_combiner_preserves_every_value() {
+    // Without a combiner the reducer must see one value per occurrence.
+    let cfg = MpidConfig::with_workers(2, 1);
+    let total_pairs = Universe::run(cfg.required_ranks(), move |comm| {
+        let world = MpidWorld::init(comm, cfg.clone()).unwrap();
+        match world.role() {
+            Role::Master => {
+                world.run_master(vec![0u64, 1]).unwrap();
+                0
+            }
+            Role::Mapper(_) => {
+                let mut send = world.sender::<String, u64>(); // no combiner
+                while let Some(_split) = world.next_split::<u64>().unwrap() {
+                    for _ in 0..50 {
+                        send.send("same-key".to_string(), 1).unwrap();
+                    }
+                }
+                send.finish().unwrap();
+                0
+            }
+            Role::Reducer(_) => {
+                let mut recv = world.receiver::<String, u64>();
+                let (k, vs) = recv.recv().unwrap().expect("one group");
+                assert_eq!(k, "same-key");
+                assert!(recv.recv().unwrap().is_none());
+                vs.len()
+            }
+        }
+    });
+    assert_eq!(total_pairs.iter().sum::<usize>(), 100);
+}
+
+#[test]
+fn combiner_shrinks_traffic() {
+    // Same job with and without the combiner: the combiner run must ship
+    // far fewer bytes (the paper's rationale for local combining).
+    let run = |combine: bool| -> (u64, u64) {
+        let cfg = MpidConfig::with_workers(1, 1);
+        let stats = Universe::run(cfg.required_ranks(), move |comm| {
+            let world = MpidWorld::init(comm, cfg.clone()).unwrap();
+            match world.role() {
+                Role::Master => {
+                    world.run_master(vec![0u64]).unwrap();
+                    None
+                }
+                Role::Mapper(_) => {
+                    let mut send = world.sender::<String, u64>();
+                    if combine {
+                        send = send.with_combiner(SumCombiner);
+                    }
+                    while let Some(_s) = world.next_split::<u64>().unwrap() {
+                        for i in 0..5000u64 {
+                            send.send(format!("k{}", i % 10), 1).unwrap();
+                        }
+                    }
+                    let st = send.finish().unwrap();
+                    Some((st.bytes_sent, st.groups_out))
+                }
+                Role::Reducer(_) => {
+                    let mut recv = world.receiver::<String, u64>();
+                    while let Some((_, vs)) = recv.recv().unwrap() {
+                        assert_eq!(vs.iter().sum::<u64>(), 500);
+                    }
+                    None
+                }
+            }
+        });
+        stats.into_iter().flatten().next().unwrap()
+    };
+    let (bytes_with, groups_with) = run(true);
+    let (bytes_without, _) = run(false);
+    assert_eq!(groups_with, 10);
+    assert!(
+        bytes_with * 20 < bytes_without,
+        "combiner should cut traffic >20x here: {bytes_with} vs {bytes_without}"
+    );
+}
+
+#[test]
+fn custom_partitioner_routes_everything_to_one_reducer() {
+    let cfg = MpidConfig::with_workers(2, 3);
+    let per_reducer = Universe::run(cfg.required_ranks(), move |comm| {
+        let world = MpidWorld::init(comm, cfg.clone()).unwrap();
+        match world.role() {
+            Role::Master => {
+                world.run_master(vec![0u64, 1]).unwrap();
+                None
+            }
+            Role::Mapper(_) => {
+                let mut send = world
+                    .sender::<u64, u64>()
+                    .with_partitioner(ConstPartitioner(1));
+                while let Some(s) = world.next_split::<u64>().unwrap() {
+                    for i in 0..10 {
+                        send.send(s * 100 + i, 1).unwrap();
+                    }
+                }
+                send.finish().unwrap();
+                None
+            }
+            Role::Reducer(i) => {
+                let mut recv = world.receiver::<u64, u64>();
+                let groups = recv.recv_all().unwrap();
+                Some((i, groups.len()))
+            }
+        }
+    });
+    let counts: BTreeMap<usize, usize> = per_reducer.into_iter().flatten().collect();
+    assert_eq!(counts[&0], 0);
+    assert_eq!(counts[&1], 20);
+    assert_eq!(counts[&2], 0);
+}
+
+#[test]
+fn reducer_keys_arrive_in_ascending_order() {
+    let cfg = MpidConfig::with_workers(2, 1);
+    Universe::run(cfg.required_ranks(), move |comm| {
+        let world = MpidWorld::init(comm, cfg.clone()).unwrap();
+        match world.role() {
+            Role::Master => {
+                world.run_master(vec![0u64, 1]).unwrap();
+            }
+            Role::Mapper(m) => {
+                let mut send = world.sender::<u64, u64>();
+                while let Some(_s) = world.next_split::<u64>().unwrap() {
+                    // Deliberately unsorted keys.
+                    for k in [9u64, 3, 7, 1, 5] {
+                        send.send(k * 10 + m as u64, 0).unwrap();
+                    }
+                }
+                send.finish().unwrap();
+            }
+            Role::Reducer(_) => {
+                let mut recv = world.receiver::<u64, u64>();
+                let keys: Vec<u64> = recv
+                    .recv_all()
+                    .unwrap()
+                    .into_iter()
+                    .map(|(k, _)| k)
+                    .collect();
+                let mut sorted = keys.clone();
+                sorted.sort_unstable();
+                assert_eq!(keys, sorted, "MPI_D_Recv must stream keys in order");
+            }
+        }
+    });
+}
+
+#[test]
+fn value_sorting_on_demand() {
+    let cfg = MpidConfig::with_workers(3, 1);
+    Universe::run(cfg.required_ranks(), move |comm| {
+        let world = MpidWorld::init(comm, cfg.clone()).unwrap();
+        match world.role() {
+            Role::Master => {
+                world.run_master(vec![0u64, 1, 2]).unwrap();
+            }
+            Role::Mapper(m) => {
+                let mut send = world.sender::<String, u64>();
+                while let Some(_s) = world.next_split::<u64>().unwrap() {
+                    send.send("k".into(), 100 - m as u64).unwrap();
+                    send.send("k".into(), m as u64).unwrap();
+                }
+                send.finish().unwrap();
+            }
+            Role::Reducer(_) => {
+                let mut recv = world
+                    .receiver::<String, u64>()
+                    .with_sorted_values();
+                let (_, vs) = recv.recv().unwrap().unwrap();
+                let mut sorted = vs.clone();
+                sorted.sort_unstable();
+                assert_eq!(vs, sorted);
+                assert_eq!(vs.len(), 6);
+            }
+        }
+    });
+}
+
+#[test]
+fn dynamic_split_assignment_balances_work() {
+    // 20 splits across 4 mappers: pull-based assignment guarantees all
+    // splits processed exactly once regardless of scheduling.
+    let cfg = MpidConfig::with_workers(4, 1);
+    let results = Universe::run(cfg.required_ranks(), move |comm| {
+        let world = MpidWorld::init(comm, cfg.clone()).unwrap();
+        match world.role() {
+            Role::Master => {
+                let stats = world.run_master((0..20u64).collect()).unwrap();
+                assert_eq!(stats.splits_assigned, 20);
+                assert_eq!(stats.requests_served, 24); // 20 splits + 4 dones
+                None
+            }
+            Role::Mapper(_) => {
+                let mut send = world.sender::<u64, u64>();
+                let mut got = Vec::new();
+                while let Some(s) = world.next_split::<u64>().unwrap() {
+                    got.push(s);
+                    send.send(s, 1).unwrap();
+                }
+                send.finish().unwrap();
+                Some(got)
+            }
+            Role::Reducer(_) => {
+                let mut recv = world.receiver::<u64, u64>();
+                let groups = recv.recv_all().unwrap();
+                assert_eq!(groups.len(), 20, "every split seen exactly once");
+                None
+            }
+        }
+    });
+    let all_splits: Vec<u64> = results.into_iter().flatten().flatten().collect();
+    let mut sorted = all_splits.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+}
+
+#[test]
+fn dead_mapper_surfaces_as_timeout_not_hang() {
+    // Mapper 1 dies before sending EOS; the reducer's bounded receive must
+    // report a timeout instead of hanging forever.
+    let cfg = MpidConfig::with_workers(2, 1);
+    let results = Universe::run(cfg.required_ranks(), move |comm| {
+        let world = MpidWorld::init(comm, cfg.clone()).unwrap();
+        match world.role() {
+            Role::Master => {
+                // Serve only mapper requests that arrive; mapper 1 never asks.
+                let (_, st) = comm.recv::<u8>(None, Some(3)).unwrap();
+                comm.send(st.source, 4, &[0u8]).unwrap(); // done marker
+                None
+            }
+            Role::Mapper(0) => {
+                let send = world.sender::<String, u64>();
+                let _ = world.next_split::<u64>().unwrap();
+                send.finish().unwrap();
+                None
+            }
+            Role::Mapper(_) => {
+                // Simulated crash: exit without EOS.
+                None
+            }
+            Role::Reducer(_) => {
+                let mut recv = world
+                    .receiver::<String, u64>()
+                    .with_timeout(Duration::from_millis(200));
+                match recv.recv() {
+                    Err(MpidError::Mpi(MpiError::Timeout(_))) => Some(true),
+                    other => panic!("expected timeout, got {other:?}"),
+                }
+            }
+        }
+    });
+    assert!(results.into_iter().flatten().any(|b| b));
+}
+
+#[test]
+fn init_rejects_wrong_rank_count() {
+    let cfg = MpidConfig::with_workers(3, 3); // needs 7 ranks
+    Universe::run(4, move |comm| {
+        match MpidWorld::init(comm, cfg.clone()) {
+            Err(MpidError::Config(msg)) => assert!(msg.contains("requires 7")),
+            other => panic!("expected config error, got {:?}", other.is_ok()),
+        }
+    });
+}
+
+#[test]
+fn empty_input_produces_empty_output() {
+    let got = run_wordcount(MpidConfig::with_workers(2, 2), vec![]);
+    assert!(got.is_empty());
+}
+
+#[test]
+fn single_huge_split_with_many_frames() {
+    // One split expands to many pairs with tiny frames: stress framing.
+    let cfg = MpidConfig {
+        n_mappers: 1,
+        n_reducers: 2,
+        spill_threshold_bytes: 256,
+        frame_bytes: 64,
+        ..Default::default()
+    };
+    let docs = vec![(0..2000)
+        .map(|i| format!("w{}", i % 37))
+        .collect::<Vec<_>>()
+        .join(" ")];
+    let expected = expected_counts(&docs.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    assert_eq!(run_wordcount(cfg, docs), expected);
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for MPI-D invariants:
+//!
+//! * realignment round-trips arbitrary key/value streams;
+//! * job output is independent of combiner use, spill threshold, frame
+//!   size, transport mode, and topology (for an associative+commutative
+//!   combine function);
+//! * the partitioner gives every key exactly one owner.
+
+use bytes::BytesMut;
+use mpid::compress::{compress, decompress};
+use mpid::realign::{decode_frames, FrameBuilder};
+use mpid::{
+    HashPartitioner, Kv, MpidConfig, MpidWorld, Partitioner, Role, SumCombiner,
+};
+use mpi_rt::Universe;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_groups() -> impl Strategy<Value = Vec<(String, Vec<u64>)>> {
+    proptest::collection::vec(
+        (
+            "[a-z]{0,12}",
+            proptest::collection::vec(any::<u64>(), 0..8),
+        ),
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode→frame→decode is the identity on arbitrary group streams, for
+    /// any frame-size target.
+    #[test]
+    fn realign_round_trip(groups in arb_groups(), target in 1usize..4096) {
+        let mut b = FrameBuilder::new(target);
+        for (k, vs) in &groups {
+            b.push_group(k, vs);
+        }
+        let frames = b.finish();
+        let back: Vec<(String, Vec<u64>)> = decode_frames(&frames).unwrap();
+        prop_assert_eq!(back, groups);
+    }
+
+    /// LZ compression round-trips arbitrary byte strings exactly.
+    #[test]
+    fn compress_round_trip(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    /// Compression round-trips highly repetitive data and shrinks it.
+    #[test]
+    fn compress_repetitive_shrinks(unit in proptest::collection::vec(any::<u8>(), 1..16), reps in 50usize..200) {
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed).unwrap(), data.clone());
+        prop_assert!(packed.len() < data.len() / 2 + 32, "{} -> {}", data.len(), packed.len());
+    }
+
+    /// Kv encoding of tuples is self-delimiting under concatenation.
+    #[test]
+    fn kv_concatenation(pairs in proptest::collection::vec(("[ -~]{0,20}", any::<i64>()), 0..20)) {
+        let mut buf = BytesMut::new();
+        for (s, x) in &pairs {
+            (s.clone(), *x).encode(&mut buf);
+        }
+        let mut slice = &buf[..];
+        for (s, x) in &pairs {
+            let (ds, dx) = <(String, i64)>::decode(&mut slice).unwrap();
+            prop_assert_eq!(&ds, s);
+            prop_assert_eq!(dx, *x);
+        }
+        prop_assert!(slice.is_empty());
+    }
+
+    /// Every key has exactly one partition owner, stable across calls.
+    #[test]
+    fn partitioner_total_and_stable(keys in proptest::collection::vec("[a-z0-9]{0,16}", 1..50), n in 1usize..16) {
+        let p = HashPartitioner;
+        for k in &keys {
+            let a = p.partition(k, n);
+            prop_assert!(a < n);
+            prop_assert_eq!(a, p.partition(k, n));
+        }
+    }
+}
+
+/// Run a sum-aggregation job over the given pairs with a parameterized
+/// config; returns key → sum.
+fn run_sum_job(
+    cfg: MpidConfig,
+    pairs: Vec<(String, u64)>,
+    combine: bool,
+) -> BTreeMap<String, u64> {
+    // Chunk pairs into splits of ≤16 pairs, encoded as (index range).
+    let splits: Vec<u64> = (0..pairs.len().div_ceil(16).max(1) as u64).collect();
+    let results = Universe::run(cfg.required_ranks(), move |comm| {
+        let world = MpidWorld::init(comm, cfg.clone()).unwrap();
+        match world.role() {
+            Role::Master => {
+                world.run_master(splits.clone()).unwrap();
+                None
+            }
+            Role::Mapper(_) => {
+                let mut send = world.sender::<String, u64>();
+                if combine {
+                    send = send.with_combiner(SumCombiner);
+                }
+                while let Some(chunk) = world.next_split::<u64>().unwrap() {
+                    let lo = chunk as usize * 16;
+                    let hi = (lo + 16).min(pairs.len());
+                    for (k, v) in &pairs[lo..hi] {
+                        send.send(k.clone(), *v).unwrap();
+                    }
+                }
+                send.finish().unwrap();
+                None
+            }
+            Role::Reducer(_) => {
+                let mut recv = world.receiver::<String, u64>();
+                let mut out = BTreeMap::new();
+                while let Some((k, vs)) = recv.recv().unwrap() {
+                    out.insert(k, vs.into_iter().fold(0u64, u64::wrapping_add));
+                }
+                Some(out)
+            }
+        }
+    });
+    let mut merged = BTreeMap::new();
+    for r in results.into_iter().flatten() {
+        merged.extend(r);
+    }
+    merged
+}
+
+fn reference_sums(pairs: &[(String, u64)]) -> BTreeMap<String, u64> {
+    let mut m: BTreeMap<String, u64> = BTreeMap::new();
+    for (k, v) in pairs {
+        let e = m.entry(k.clone()).or_insert(0);
+        *e = e.wrapping_add(*v);
+    }
+    m
+}
+
+proptest! {
+    // Spawning whole universes is expensive; keep case counts modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Job output equals the sequential reference regardless of combiner,
+    /// spill threshold, frame size, Isend mode, and topology.
+    #[test]
+    fn job_invariant_under_pipeline_parameters(
+        pairs in proptest::collection::vec(("[a-d]{1,3}", 0u64..1000), 0..120),
+        spill in 16usize..2048,
+        frame in 8usize..512,
+        mappers in 1usize..4,
+        reducers in 1usize..4,
+        combine: bool,
+        isend: bool,
+    ) {
+        let cfg = MpidConfig {
+            n_mappers: mappers,
+            n_reducers: reducers,
+            spill_threshold_bytes: spill,
+            frame_bytes: frame,
+            use_isend: isend,
+            ..Default::default()
+        };
+        let got = run_sum_job(cfg, pairs.clone(), combine);
+        prop_assert_eq!(got, reference_sums(&pairs));
+    }
+}

@@ -1,0 +1,255 @@
+//! HDFS namenode state: block allocation, replica placement, and replica
+//! selection — the piece of Hadoop that decides where map inputs live and
+//! therefore how local the map phase can be.
+//!
+//! Placement follows the classic policy (flattened to one rack, as on the
+//! paper's single-switch testbed): first replica on the writing datanode,
+//! the remaining replicas on distinct other datanodes, chosen at random but
+//! load-balanced (least-loaded among a random sample).
+
+use desim::rng::SplitMix64;
+use netsim::HostId;
+
+/// Index of a block in the namespace.
+pub type BlockId = usize;
+
+/// One block's metadata.
+#[derive(Debug, Clone)]
+pub struct BlockInfo {
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Hosts holding a replica (first = the writer).
+    pub replicas: Vec<HostId>,
+}
+
+/// The namenode's block map.
+#[derive(Debug)]
+pub struct NameNode {
+    workers: Vec<HostId>,
+    replication: usize,
+    blocks: Vec<BlockInfo>,
+    per_host_blocks: Vec<u64>, // indexed by HostId.0
+    rng: SplitMix64,
+}
+
+impl NameNode {
+    /// Namespace over `workers` datanodes with the given replication factor
+    /// (HDFS default 3, clamped to the cluster size).
+    pub fn new(workers: Vec<HostId>, replication: usize, seed: u64) -> Self {
+        assert!(!workers.is_empty(), "need at least one datanode");
+        let max_host = workers.iter().map(|h| h.0).max().expect("nonempty") + 1;
+        NameNode {
+            replication: replication.clamp(1, workers.len()),
+            workers,
+            blocks: Vec::new(),
+            per_host_blocks: vec![0; max_host],
+            rng: SplitMix64::new(seed ^ 0xDF5),
+        }
+    }
+
+    /// Allocate a block written from `writer`: replica 1 on the writer,
+    /// replicas 2..r on distinct least-loaded random other datanodes.
+    pub fn allocate(&mut self, writer: HostId, bytes: u64) -> BlockId {
+        assert!(self.workers.contains(&writer), "writer must be a datanode");
+        let mut replicas = vec![writer];
+        while replicas.len() < self.replication {
+            // Sample two candidates, keep the less-loaded (power of two
+            // choices — a good stand-in for HDFS's balancing heuristics).
+            let pick = |rng: &mut SplitMix64, workers: &[HostId]| {
+                workers[rng.next_below(workers.len() as u64) as usize]
+            };
+            let mut best: Option<HostId> = None;
+            for _ in 0..8 {
+                let a = pick(&mut self.rng, &self.workers);
+                let b = pick(&mut self.rng, &self.workers);
+                let c = if self.per_host_blocks[a.0] <= self.per_host_blocks[b.0] {
+                    a
+                } else {
+                    b
+                };
+                if !replicas.contains(&c) {
+                    best = Some(c);
+                    break;
+                }
+            }
+            let c = best.unwrap_or_else(|| {
+                // Dense cluster fallback: first datanode not yet holding one.
+                *self
+                    .workers
+                    .iter()
+                    .find(|h| !replicas.contains(h))
+                    .expect("replication <= cluster size")
+            });
+            replicas.push(c);
+        }
+        for h in &replicas {
+            self.per_host_blocks[h.0] += 1;
+        }
+        self.blocks.push(BlockInfo { bytes, replicas });
+        self.blocks.len() - 1
+    }
+
+    /// Populate the namespace with a dataset of `total_bytes`, written
+    /// round-robin from every datanode (how a distributed generator like
+    /// GridMix's writes its input).
+    pub fn load_dataset(&mut self, total_bytes: u64, block_bytes: u64) -> Vec<BlockId> {
+        assert!(block_bytes > 0);
+        let n_blocks = total_bytes.div_ceil(block_bytes).max(1) as usize;
+        let tail = total_bytes % block_bytes;
+        (0..n_blocks)
+            .map(|i| {
+                let writer = self.workers[i % self.workers.len()];
+                let bytes = if i == n_blocks - 1 && tail != 0 {
+                    tail
+                } else {
+                    block_bytes
+                };
+                self.allocate(writer, bytes)
+            })
+            .collect()
+    }
+
+    /// Block metadata.
+    pub fn block(&self, b: BlockId) -> &BlockInfo {
+        &self.blocks[b]
+    }
+
+    /// Number of blocks in the namespace.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the namespace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Does `host` hold a replica of `b`?
+    pub fn is_local(&self, b: BlockId, host: HostId) -> bool {
+        self.blocks[b].replicas.contains(&host)
+    }
+
+    /// Pick the replica a reader on `host` should use: local if possible,
+    /// otherwise the least-loaded remote replica holder.
+    pub fn select_replica(&self, b: BlockId, host: HostId) -> (HostId, bool) {
+        let info = &self.blocks[b];
+        if info.replicas.contains(&host) {
+            return (host, true);
+        }
+        let remote = *info
+            .replicas
+            .iter()
+            .min_by_key(|h| self.per_host_blocks[h.0])
+            .expect("blocks have replicas");
+        (remote, false)
+    }
+
+    /// Blocks-per-datanode imbalance: max/min replica count across hosts
+    /// (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let counts: Vec<u64> = self
+            .workers
+            .iter()
+            .map(|h| self.per_host_blocks[h.0])
+            .collect();
+        let max = *counts.iter().max().expect("nonempty") as f64;
+        let min = *counts.iter().min().expect("nonempty") as f64;
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workers(n: usize) -> Vec<HostId> {
+        (1..=n).map(HostId).collect()
+    }
+
+    #[test]
+    fn allocation_places_first_replica_on_writer() {
+        let mut nn = NameNode::new(workers(7), 3, 1);
+        let b = nn.allocate(HostId(3), 64 << 20);
+        let info = nn.block(b);
+        assert_eq!(info.replicas[0], HostId(3));
+        assert_eq!(info.replicas.len(), 3);
+        // Replicas are distinct hosts.
+        let mut rs = info.replicas.clone();
+        rs.sort();
+        rs.dedup();
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn replication_clamped_to_cluster_size() {
+        let mut nn = NameNode::new(workers(2), 3, 1);
+        let b = nn.allocate(HostId(1), 1);
+        assert_eq!(nn.block(b).replicas.len(), 2);
+    }
+
+    #[test]
+    fn dataset_load_is_balanced() {
+        let mut nn = NameNode::new(workers(7), 3, 42);
+        let blocks = nn.load_dataset(150 << 30, 64 << 20);
+        assert_eq!(blocks.len(), 2400);
+        assert!(
+            nn.imbalance() < 1.25,
+            "placement should be balanced: {}",
+            nn.imbalance()
+        );
+    }
+
+    #[test]
+    fn tail_block_has_remainder_size() {
+        let mut nn = NameNode::new(workers(3), 2, 1);
+        let blocks = nn.load_dataset(100 + 64, 64);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(nn.block(blocks[2]).bytes, 36);
+    }
+
+    #[test]
+    fn replica_selection_prefers_local() {
+        let mut nn = NameNode::new(workers(5), 3, 7);
+        let b = nn.allocate(HostId(2), 1);
+        let (host, local) = nn.select_replica(b, HostId(2));
+        assert_eq!(host, HostId(2));
+        assert!(local);
+        // From a non-replica host we get some replica, marked remote.
+        let outsider = *workers(5)
+            .iter()
+            .find(|h| !nn.block(b).replicas.contains(h))
+            .expect("5 hosts, 3 replicas");
+        let (host, local) = nn.select_replica(b, outsider);
+        assert!(nn.block(b).replicas.contains(&host));
+        assert!(!local);
+    }
+
+    #[test]
+    fn with_replication_3_most_blocks_are_locally_readable() {
+        // On a 7-node cluster with r=3, a random reader host holds a
+        // replica of ~3/7 of all blocks.
+        let mut nn = NameNode::new(workers(7), 3, 99);
+        let blocks = nn.load_dataset(10 << 30, 64 << 20);
+        let local = blocks
+            .iter()
+            .filter(|&&b| nn.is_local(b, HostId(4)))
+            .count();
+        let frac = local as f64 / blocks.len() as f64;
+        assert!((0.3..0.6).contains(&frac), "local fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = NameNode::new(workers(7), 3, 5);
+        let mut b = NameNode::new(workers(7), 3, 5);
+        let ba = a.load_dataset(1 << 30, 64 << 20);
+        let bb = b.load_dataset(1 << 30, 64 << 20);
+        for (&x, &y) in ba.iter().zip(&bb) {
+            assert_eq!(a.block(x).replicas, b.block(y).replicas);
+        }
+    }
+}

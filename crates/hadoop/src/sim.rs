@@ -1,0 +1,543 @@
+//! The Hadoop 0.20.2 MapReduce execution pipeline as a discrete-event
+//! simulation over `netsim`.
+//!
+//! Modelled mechanisms (each one is load-bearing for a paper result):
+//!
+//! * **Heartbeat scheduling** — a freed slot is refilled only at its
+//!   tasktracker's next 3 s heartbeat, one map + one reduce per beat
+//!   (0.20's `JobQueueTaskScheduler`). This is the fixed overhead that makes
+//!   small jobs slow (Figure 6 at 1 GB).
+//! * **Per-task JVM launch** and **job setup/cleanup tasks**.
+//! * **HDFS locality** — blocks are placed round-robin across workers;
+//!   trackers prefer local maps; remote maps stream the block over the NIC.
+//! * **Map-side spills** — map output is sorted/spilled through
+//!   `io.sort.mb`; outputs larger than the buffer pay an extra on-disk merge
+//!   pass.
+//! * **Shuffle copy** — every reducer fetches its partition of *every* map
+//!   output over HTTP from the serving tasktracker. Each fetch costs a disk
+//!   seek into the spill file plus servlet overhead; fetches run
+//!   `parallel.copies` at a time. With thousands of reducers these
+//!   seek-dominated small reads are what make the copy stage consume most
+//!   of the job (Figure 1 / Table I). Reducers scheduled before the map
+//!   phase ends (slowstart 5 %) sit in copy waiting for maps — the first
+//!   `workers × reduce_slots` reducers show copy times of the whole map
+//!   phase, exactly the 56 outliers the paper trims from Figure 1.
+//! * **Reduce-side merge** — in-memory when the per-reducer shuffle volume
+//!   fits the merge buffer (the paper's 0.01 s "sort" stage), on-disk merge
+//!   passes otherwise.
+//!
+//! Fetches are batched per `(serving host, reducer)` — a batch claims every
+//! currently-available unfetched map output on one host and pays
+//! `count × (seek + servlet)` on the serving disk. This preserves the
+//! per-fetch cost structure while keeping the event count tractable at the
+//! paper's 2 345-reducer scale.
+
+use crate::config::HadoopConfig;
+use crate::hdfs::{BlockId, NameNode};
+use crate::report::{JobReport, MapSpan, ReduceSpan};
+use desim::rng::SplitMix64;
+use desim::stats::OnlineStats;
+use desim::{Scheduler, Sim, SimTime};
+use netsim::{Cluster, HasNet, HostId, JobSpec, Net, Route};
+
+/// Simulation state for one Hadoop job execution.
+pub struct HadoopSim {
+    net: Net<HadoopSim>,
+    cfg: HadoopConfig,
+    spec: JobSpec,
+    rng: SplitMix64,
+
+    // Static job layout.
+    n_maps: usize,
+    hdfs: NameNode,
+    blocks: Vec<BlockId>, // map m reads blocks[m]
+    map_input: Vec<u64>,
+    per_reduce_partition: Vec<u64>, // shuffled bytes of map m going to each reducer
+
+    // Scheduling state.
+    setup_done: bool,
+    pending_maps: Vec<usize>,
+    pending_reduces: Vec<usize>,
+    free_map_slots: Vec<usize>,    // indexed by worker (host-1)
+    free_reduce_slots: Vec<usize>, // indexed by worker (host-1)
+
+    // Progress.
+    maps_done: usize,
+    reduces_done: usize,
+    map_out_ready: Vec<bool>,
+    map_out_host: Vec<HostId>,
+    copiers: Vec<Option<CopyState>>, // indexed by reduce id while copying
+    waiting_reducers: Vec<usize>,
+    // Speculative execution bookkeeping.
+    map_started: Vec<Option<SimTime>>,
+    map_speculated: Vec<bool>,
+    map_attempts: Vec<usize>,
+    completed_map_durations: OnlineStats,
+
+    report: JobReport,
+    finished: bool,
+}
+
+struct CopyState {
+    host: HostId,
+    task_start: SimTime,
+    copy_start: SimTime,
+    claimed: Vec<bool>,
+    completed: usize,
+    in_flight: usize,
+    bytes_fetched: u64,
+}
+
+impl HasNet for HadoopSim {
+    fn net(&mut self) -> &mut Net<HadoopSim> {
+        &mut self.net
+    }
+}
+
+impl HadoopSim {
+    fn new(cfg: HadoopConfig, spec: JobSpec) -> Self {
+        cfg.validate().expect("invalid hadoop config");
+        spec.validate().expect("invalid job spec");
+        let workers = cfg.n_workers();
+        // Populate HDFS: the input dataset written round-robin from every
+        // worker datanode, with the configured replication factor.
+        let mut hdfs = NameNode::new(
+            (1..=workers).map(HostId).collect(),
+            cfg.replication,
+            0x4DF5 ^ spec.input_bytes,
+        );
+        let blocks = hdfs.load_dataset(spec.input_bytes, cfg.block_bytes);
+        let n_maps = blocks.len();
+        let map_input: Vec<u64> = blocks.iter().map(|&b| hdfs.block(b).bytes).collect();
+        let per_reduce_partition: Vec<u64> = map_input
+            .iter()
+            .map(|&b| spec.shuffle_bytes(b) / cfg.n_reduces as u64)
+            .collect();
+        let n_reduces = cfg.n_reduces;
+        HadoopSim {
+            net: Net::new(Cluster::new(cfg.cluster.clone())),
+            rng: SplitMix64::new(0x1c99_2011 ^ spec.input_bytes),
+            spec,
+            n_maps,
+            hdfs,
+            blocks,
+            map_input,
+            per_reduce_partition,
+            setup_done: false,
+            pending_maps: (0..n_maps).rev().collect(),
+            pending_reduces: (0..n_reduces).rev().collect(),
+            free_map_slots: vec![cfg.map_slots; workers],
+            free_reduce_slots: vec![cfg.reduce_slots; workers],
+            maps_done: 0,
+            reduces_done: 0,
+            map_out_ready: vec![false; n_maps],
+            map_out_host: vec![HostId(0); n_maps],
+            copiers: (0..n_reduces).map(|_| None).collect(),
+            waiting_reducers: Vec::new(),
+            map_started: vec![None; n_maps],
+            map_speculated: vec![false; n_maps],
+            map_attempts: vec![0; n_maps],
+            completed_map_durations: OnlineStats::new(),
+            report: JobReport {
+                makespan: SimTime::ZERO,
+                maps: Vec::with_capacity(n_maps),
+                reduces: (0..n_reduces)
+                    .map(|_| ReduceSpan {
+                        start: SimTime::ZERO,
+                        end: SimTime::ZERO,
+                        copy: SimTime::ZERO,
+                        sort: SimTime::ZERO,
+                        reduce: SimTime::ZERO,
+                    })
+                    .collect(),
+                speculative_launched: 0,
+                speculative_wasted: 0,
+                failed_map_attempts: 0,
+                job_failed: false,
+            },
+            cfg,
+            finished: false,
+        }
+    }
+
+    fn start(sim: &mut Sim<HadoopSim>) {
+        let setup = sim.state.cfg.job_setup;
+        sim.schedule(setup, |s: &mut HadoopSim, _| {
+            s.setup_done = true;
+        });
+        // Stagger tracker heartbeats across the interval.
+        let workers = sim.state.cfg.n_workers();
+        let hb = sim.state.cfg.heartbeat;
+        for w in 0..workers {
+            let offset = SimTime::from_nanos(hb.as_nanos() * w as u64 / workers as u64);
+            sim.schedule(setup + offset, move |s: &mut HadoopSim, sc| {
+                Self::heartbeat(s, sc, w);
+            });
+        }
+    }
+
+    // ---------------- scheduling ----------------
+
+    fn heartbeat(s: &mut HadoopSim, sc: &mut Scheduler<HadoopSim>, worker: usize) {
+        if s.finished {
+            return;
+        }
+        if s.setup_done {
+            Self::assign_tasks(s, sc, worker);
+        }
+        let hb = s.cfg.heartbeat;
+        sc.schedule_in(hb, move |s: &mut HadoopSim, sc| {
+            Self::heartbeat(s, sc, worker);
+        });
+    }
+
+    fn assign_tasks(s: &mut HadoopSim, sc: &mut Scheduler<HadoopSim>, worker: usize) {
+        let host = HostId(1 + worker);
+        // One map assignment per heartbeat (0.20 scheduler), locality first
+        // (any of the block's replicas on this host counts).
+        if s.free_map_slots[worker] > 0 {
+            if !s.pending_maps.is_empty() {
+                let pick = s
+                    .pending_maps
+                    .iter()
+                    .rposition(|&m| s.hdfs.is_local(s.blocks[m], host))
+                    .unwrap_or(s.pending_maps.len() - 1);
+                let m = s.pending_maps.remove(pick);
+                s.free_map_slots[worker] -= 1;
+                s.map_started[m].get_or_insert(sc.now());
+                s.map_attempts[m] += 1;
+                Self::start_map(s, sc, m, worker);
+            } else if s.cfg.speculative {
+                // No fresh work: consider a speculative duplicate for the
+                // worst straggler (0.20's heuristic, simplified — elapsed
+                // must exceed 1.5x the average completed map duration).
+                let avg = s.completed_map_durations.mean();
+                if s.completed_map_durations.count() >= 3 {
+                    let now = sc.now().as_secs_f64();
+                    let candidate = (0..s.n_maps)
+                        .filter(|&m| {
+                            !s.map_out_ready[m]
+                                && !s.map_speculated[m]
+                                && s.map_started[m].is_some()
+                        })
+                        .max_by(|&a, &b| {
+                            let ea = now - s.map_started[a].expect("started").as_secs_f64();
+                            let eb = now - s.map_started[b].expect("started").as_secs_f64();
+                            ea.partial_cmp(&eb).expect("finite")
+                        });
+                    if let Some(m) = candidate {
+                        let elapsed =
+                            now - s.map_started[m].expect("started").as_secs_f64();
+                        if elapsed > 1.5 * avg {
+                            s.map_speculated[m] = true;
+                            s.report.speculative_launched += 1;
+                            s.free_map_slots[worker] -= 1;
+                            Self::start_map(s, sc, m, worker);
+                        }
+                    }
+                }
+            }
+        }
+        // One reduce assignment per heartbeat, gated on slowstart.
+        let slowstart_met =
+            s.maps_done as f64 >= s.cfg.slowstart * s.n_maps as f64;
+        if slowstart_met && s.free_reduce_slots[worker] > 0 {
+            if let Some(r) = s.pending_reduces.pop() {
+                s.free_reduce_slots[worker] -= 1;
+                Self::start_reduce(s, sc, r, worker);
+            }
+        }
+    }
+
+    // ---------------- map tasks ----------------
+
+    fn start_map(s: &mut HadoopSim, sc: &mut Scheduler<HadoopSim>, m: usize, worker: usize) {
+        let host = HostId(1 + worker);
+        let start = sc.now();
+        let (replica, local) = s.hdfs.select_replica(s.blocks[m], host);
+        let jvm = SimTime::from_secs_f64(
+            s.rng.jittered(s.cfg.jvm_start.as_secs_f64(), 0.2),
+        );
+        sc.schedule_in(jvm, move |s: &mut HadoopSim, sc| {
+            // Read the input block (local disk or streamed from the replica
+            // host).
+            let bytes = s.map_input[m];
+            let route = if local {
+                Route::DiskRead(host)
+            } else {
+                Route::RemoteRead {
+                    from: replica,
+                    to: host,
+                }
+            };
+            // Charge one initial seek via the seek-equivalent convention.
+            let seek_bytes = (s.cfg.fetch_seek.as_secs_f64()
+                * s.cfg.cluster.disk_read_bytes_per_sec) as u64;
+            Net::start_flow(s, sc, route, bytes + seek_bytes, 1.0, move |s, sc| {
+                Self::map_compute(s, sc, m, worker, start, local);
+            });
+        });
+    }
+
+    fn map_compute(
+        s: &mut HadoopSim,
+        sc: &mut Scheduler<HadoopSim>,
+        m: usize,
+        worker: usize,
+        start: SimTime,
+        local: bool,
+    ) {
+        let bytes = s.map_input[m];
+        // Real-world map durations vary substantially (GC pauses, record
+        // skew, page-cache state) — and that variance is load-bearing for
+        // Table I's small-input cells: reducers launched at 5% map
+        // completion spend their copy stage waiting for straggler maps.
+        // Straggler injection: a small fraction of attempts run several
+        // times slower (GC storm, failing disk) — what speculative
+        // execution exists to mask.
+        let straggle = if s.rng.next_f64() < s.cfg.straggler_prob {
+            s.cfg.straggler_factor
+        } else {
+            1.0
+        };
+        let cpu = SimTime::from_secs_f64(
+            s.rng.jittered(s.spec.map_cpu_secs(bytes), 0.35) * straggle,
+        );
+        sc.schedule_in(cpu, move |s: &mut HadoopSim, sc| {
+            // Spill the (combined) map output; oversized raw output pays an
+            // extra merge pass (read + write ≈ 3× the final volume).
+            let host = HostId(1 + worker);
+            let raw = s.spec.map_output_bytes(s.map_input[m]);
+            let shuffled = s.spec.shuffle_bytes(s.map_input[m]);
+            let disk_bytes = if raw > s.cfg.io_sort_bytes {
+                shuffled * 3
+            } else {
+                shuffled
+            };
+            Net::disk_write(s, sc, host, disk_bytes, move |s, sc| {
+                Self::map_done(s, sc, m, worker, start, local);
+            });
+        });
+    }
+
+    fn map_done(
+        s: &mut HadoopSim,
+        sc: &mut Scheduler<HadoopSim>,
+        m: usize,
+        worker: usize,
+        start: SimTime,
+        local: bool,
+    ) {
+        if s.finished {
+            return;
+        }
+        if s.map_out_ready[m] {
+            // A speculative duplicate lost the race: its work is wasted;
+            // just free the slot.
+            s.report.speculative_wasted += 1;
+            s.free_map_slots[worker] += 1;
+            return;
+        }
+        // Attempt-failure injection (task JVM crash, disk error): the
+        // attempt's work is lost; the JobTracker reschedules the task, up to
+        // the attempt limit — then the whole job is failed, 0.20-style.
+        if s.rng.next_f64() < s.cfg.task_failure_prob {
+            s.report.failed_map_attempts += 1;
+            s.free_map_slots[worker] += 1;
+            if s.map_attempts[m] >= s.cfg.max_task_attempts {
+                s.report.job_failed = true;
+                s.report.makespan = sc.now();
+                s.finished = true;
+                return;
+            }
+            s.pending_maps.push(m);
+            return;
+        }
+        s.report.maps.push(MapSpan {
+            start,
+            end: sc.now(),
+            local,
+        });
+        s.completed_map_durations.add((sc.now() - start).as_secs_f64());
+        s.map_out_ready[m] = true;
+        s.map_out_host[m] = HostId(1 + worker);
+        s.maps_done += 1;
+        s.free_map_slots[worker] += 1;
+        // New map output may unblock reducers idling in their copy phase.
+        let waiting = std::mem::take(&mut s.waiting_reducers);
+        for r in waiting {
+            Self::try_fetch(s, sc, r);
+        }
+    }
+
+    // ---------------- reduce tasks ----------------
+
+    fn start_reduce(s: &mut HadoopSim, sc: &mut Scheduler<HadoopSim>, r: usize, worker: usize) {
+        let host = HostId(1 + worker);
+        let task_start = sc.now();
+        let jvm = SimTime::from_secs_f64(
+            s.rng.jittered(s.cfg.jvm_start.as_secs_f64(), 0.2),
+        );
+        sc.schedule_in(jvm, move |s: &mut HadoopSim, sc| {
+            s.copiers[r] = Some(CopyState {
+                host,
+                task_start,
+                copy_start: sc.now(),
+                claimed: vec![false; s.n_maps],
+                completed: 0,
+                in_flight: 0,
+                bytes_fetched: 0,
+            });
+            Self::try_fetch(s, sc, r);
+        });
+    }
+
+    /// Launch shuffle fetch batches for reducer `r` up to the parallel-copy
+    /// limit; park the reducer if no unclaimed output is available yet.
+    fn try_fetch(s: &mut HadoopSim, sc: &mut Scheduler<HadoopSim>, r: usize) {
+        loop {
+            let Some(cs) = s.copiers[r].as_ref() else { return };
+            if cs.in_flight >= s.cfg.parallel_copies {
+                return;
+            }
+            // Find a host with available unclaimed outputs and claim all of
+            // them as one batch.
+            let mut batch: Vec<usize> = Vec::new();
+            let mut from: Option<HostId> = None;
+            for m in 0..s.n_maps {
+                if s.map_out_ready[m] && !cs.claimed[m] {
+                    match from {
+                        None => {
+                            from = Some(s.map_out_host[m]);
+                            batch.push(m);
+                        }
+                        Some(h) if s.map_out_host[m] == h => batch.push(m),
+                        _ => {}
+                    }
+                }
+            }
+            let Some(from) = from else {
+                // Nothing available: park unless copy already complete.
+                let cs = s.copiers[r].as_ref().expect("copier");
+                if cs.completed < s.n_maps && cs.in_flight == 0 {
+                    s.waiting_reducers.push(r);
+                }
+                return;
+            };
+            let cs = s.copiers[r].as_mut().expect("copier");
+            for &m in &batch {
+                cs.claimed[m] = true;
+            }
+            cs.in_flight += 1;
+            let to = cs.host;
+            let payload: u64 = batch.iter().map(|&m| s.per_reduce_partition[m]).sum();
+            // Per-fetch seek + servlet overhead, charged as seek-equivalent
+            // bytes on the serving disk.
+            let per_fetch = s.cfg.fetch_seek.as_secs_f64()
+                + s.cfg.http_setup.as_secs_f64();
+            let overhead_bytes = (per_fetch
+                * s.cfg.cluster.disk_read_bytes_per_sec) as u64
+                * batch.len() as u64;
+            let route = if from == to {
+                Route::DiskRead(from)
+            } else {
+                Route::RemoteRead { from, to }
+            };
+            let n_batch = batch.len();
+            Net::start_flow(s, sc, route, payload + overhead_bytes, 1.0, move |s, sc| {
+                let cs = s.copiers[r].as_mut().expect("copier");
+                cs.in_flight -= 1;
+                cs.completed += n_batch;
+                cs.bytes_fetched += payload;
+                if cs.completed >= s.n_maps {
+                    if cs.in_flight == 0 {
+                        Self::copy_done(s, sc, r);
+                    }
+                } else {
+                    Self::try_fetch(s, sc, r);
+                }
+            });
+        }
+    }
+
+    fn copy_done(s: &mut HadoopSim, sc: &mut Scheduler<HadoopSim>, r: usize) {
+        let cs = s.copiers[r].take().expect("copier");
+        let copy = sc.now() - cs.copy_start;
+        let shuffled = cs.bytes_fetched;
+        let span_base = (cs.task_start, cs.host);
+        // Sort/merge stage: in-memory if it fits the merge buffer (the
+        // paper's ~0.01 s sorts), otherwise on-disk merge passes.
+        if shuffled <= s.cfg.merge_buffer_bytes {
+            let sort = SimTime::from_millis(10);
+            sc.schedule_in(sort, move |s: &mut HadoopSim, sc| {
+                Self::reduce_compute(s, sc, r, span_base, copy, sort, shuffled);
+            });
+        } else {
+            let sort_start = sc.now();
+            // One merge pass: write then read the whole volume.
+            let host = cs.host;
+            Net::disk_write(s, sc, host, shuffled, move |s, sc| {
+                Net::start_flow(s, sc, Route::DiskRead(host), shuffled, 1.0, move |s, sc| {
+                    let sort = sc.now() - sort_start;
+                    Self::reduce_compute(s, sc, r, span_base, copy, sort, shuffled);
+                });
+            });
+        }
+    }
+
+    fn reduce_compute(
+        s: &mut HadoopSim,
+        sc: &mut Scheduler<HadoopSim>,
+        r: usize,
+        span_base: (SimTime, HostId),
+        copy: SimTime,
+        sort: SimTime,
+        shuffled: u64,
+    ) {
+        let reduce_start = sc.now();
+        let cpu = SimTime::from_secs_f64(
+            s.rng.jittered(s.spec.reduce_cpu_secs(shuffled), 0.1),
+        );
+        let (task_start, host) = span_base;
+        sc.schedule_in(cpu, move |s: &mut HadoopSim, sc| {
+            let out = s.spec.output_bytes(shuffled);
+            // Output commits through the page cache: write-back absorbs the
+            // burst, so the flow gets elevated weight against the steady
+            // seek-dominated shuffle load on the spindle.
+            let ratio = s.cfg.cluster.disk_read_bytes_per_sec
+                / s.cfg.cluster.disk_write_bytes_per_sec;
+            let scaled = ((out as f64) * ratio).ceil() as u64;
+            Net::start_flow(s, sc, Route::DiskWrite(host), scaled, 4.0, move |s, sc| {
+                let reduce = sc.now() - reduce_start;
+                s.report.reduces[r] = ReduceSpan {
+                    start: task_start,
+                    end: sc.now(),
+                    copy,
+                    sort,
+                    reduce,
+                };
+                s.reduces_done += 1;
+                s.free_reduce_slots[host.0 - 1] += 1;
+                if s.reduces_done == s.cfg.n_reduces {
+                    let cleanup = s.cfg.job_cleanup;
+                    sc.schedule_in(cleanup, |s: &mut HadoopSim, sc| {
+                        s.finished = true;
+                        s.report.makespan = sc.now();
+                    });
+                }
+            });
+        });
+    }
+}
+
+/// Execute one simulated Hadoop job, returning the timing report.
+pub fn run_job(cfg: HadoopConfig, spec: JobSpec) -> JobReport {
+    let mut sim = Sim::new(HadoopSim::new(cfg, spec));
+    HadoopSim::start(&mut sim);
+    sim.run();
+    assert!(
+        sim.state.finished,
+        "simulation ended without completing the job (deadlock in the model?)"
+    );
+    sim.state.report.clone()
+}

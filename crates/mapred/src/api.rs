@@ -1,0 +1,181 @@
+//! The MapReduce programming model shared by every engine in the suite.
+//!
+//! An application implements [`MapReduceApp`]; an input implements
+//! [`InputFormat`]. The same application object then runs unchanged on:
+//!
+//! * [`crate::local::run_local`] — the single-process reference engine;
+//! * [`crate::engine::run_mpid`] — real execution over MPI-D (`mpid` +
+//!   `mpi-rt` ranks);
+//! * [`crate::sim::run_sim_mpid`] — the cluster-scale cost simulation of the
+//!   MPI-D pipeline (paper Figure 6's left bars).
+//!
+//! This mirrors how the paper's WordCount is "implemented based on above
+//! simulation system with the MPI-D library" while typical Hadoop apps go
+//! "through context collectors to hide the communication processes": the
+//! app writes `map`/`reduce` against collectors and the engine wires them to
+//! `MPI_D_Send`/`MPI_D_Recv`.
+
+use mpid::kv::{Key, Kv, Value};
+use mpid::partition::{HashPartitioner, Partitioner};
+
+/// A MapReduce application: map/reduce logic plus optional combiner and
+/// partitioner.
+pub trait MapReduceApp: Send + Sync + 'static {
+    /// Input record key (e.g. byte offset).
+    type InKey: Kv + Clone + Send + 'static;
+    /// Input record value (e.g. text line).
+    type InVal: Kv + Clone + Send + 'static;
+    /// Intermediate key.
+    type MidKey: Key;
+    /// Intermediate value.
+    type MidVal: Value;
+    /// Output key.
+    type OutKey: Key;
+    /// Output value.
+    type OutVal: Value;
+
+    /// The map function: emit intermediate pairs via `emit`.
+    fn map(
+        &self,
+        key: Self::InKey,
+        value: Self::InVal,
+        emit: &mut dyn FnMut(Self::MidKey, Self::MidVal),
+    );
+
+    /// The reduce function: fold one key's value list into output pairs.
+    fn reduce(
+        &self,
+        key: Self::MidKey,
+        values: Vec<Self::MidVal>,
+        emit: &mut dyn FnMut(Self::OutKey, Self::OutVal),
+    );
+
+    /// Optional combiner: fold a value into an accumulator. Must be
+    /// associative and commutative (the engines may apply it zero or more
+    /// times at arbitrary spill boundaries).
+    #[allow(clippy::type_complexity)]
+    fn combine(&self) -> Option<fn(&mut Self::MidVal, Self::MidVal)> {
+        None
+    }
+
+    /// Partition assignment for an intermediate key (default: stable
+    /// hash-mod, the Hadoop `HashPartitioner` analog).
+    fn partition(&self, key: &Self::MidKey, n_reducers: usize) -> usize {
+        HashPartitioner.partition(key, n_reducers)
+    }
+}
+
+/// A splittable input source. Record iteration is lazy so synthetic inputs
+/// can be far larger than memory.
+pub trait InputFormat: Send + Sync + 'static {
+    /// Record key type.
+    type Key: Kv + Clone + Send + 'static;
+    /// Record value type.
+    type Val: Kv + Clone + Send + 'static;
+
+    /// Number of splits.
+    fn n_splits(&self) -> usize;
+
+    /// Iterate the records of one split.
+    ///
+    /// # Panics
+    /// Implementations may panic if `split >= n_splits()`.
+    fn records(
+        &self,
+        split: usize,
+    ) -> Box<dyn Iterator<Item = (Self::Key, Self::Val)> + '_>;
+
+    /// Total records across all splits (walks every split by default).
+    fn total_records(&self) -> usize {
+        (0..self.n_splits()).map(|s| self.records(s).count()).sum()
+    }
+}
+
+/// In-memory input: one `Vec` of records per split.
+pub struct VecInput<K, V> {
+    splits: Vec<Vec<(K, V)>>,
+}
+
+impl<K, V> VecInput<K, V> {
+    /// Wrap pre-split records.
+    pub fn new(splits: Vec<Vec<(K, V)>>) -> Self {
+        VecInput { splits }
+    }
+
+    /// Split a flat record list into `n` round-robin splits.
+    pub fn round_robin(records: Vec<(K, V)>, n: usize) -> Self {
+        assert!(n > 0);
+        let mut splits: Vec<Vec<(K, V)>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, r) in records.into_iter().enumerate() {
+            splits[i % n].push(r);
+        }
+        VecInput { splits }
+    }
+}
+
+impl<K, V> InputFormat for VecInput<K, V>
+where
+    K: Kv + Clone + Send + Sync + 'static,
+    V: Kv + Clone + Send + Sync + 'static,
+{
+    type Key = K;
+    type Val = V;
+    fn n_splits(&self) -> usize {
+        self.splits.len()
+    }
+    fn records(&self, split: usize) -> Box<dyn Iterator<Item = (K, V)> + '_> {
+        Box::new(self.splits[split].iter().cloned())
+    }
+}
+
+/// Text-line input: each split is a document; records are
+/// `(line_number, line)` — the classic `TextInputFormat` shape.
+pub struct TextInput {
+    docs: Vec<String>,
+}
+
+impl TextInput {
+    /// One split per document.
+    pub fn new(docs: Vec<String>) -> Self {
+        TextInput { docs }
+    }
+}
+
+impl InputFormat for TextInput {
+    type Key = u64;
+    type Val = String;
+    fn n_splits(&self) -> usize {
+        self.docs.len()
+    }
+    fn records(&self, split: usize) -> Box<dyn Iterator<Item = (u64, String)> + '_> {
+        Box::new(
+            self.docs[split]
+                .lines()
+                .enumerate()
+                .map(|(i, l)| (i as u64, l.to_string())),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_input_round_robin_distributes() {
+        let records: Vec<(u64, u64)> = (0..10).map(|i| (i, i * i)).collect();
+        let input = VecInput::round_robin(records, 3);
+        assert_eq!(input.n_splits(), 3);
+        assert_eq!(input.total_records(), 10);
+        let sizes: Vec<usize> = (0..3).map(|s| input.records(s).count()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn text_input_lines() {
+        let input = TextInput::new(vec!["a b\nc".into(), "".into()]);
+        let recs: Vec<_> = input.records(0).collect();
+        assert_eq!(recs, vec![(0, "a b".to_string()), (1, "c".to_string())]);
+        assert_eq!(input.records(1).count(), 0);
+    }
+}

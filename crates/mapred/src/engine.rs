@@ -1,0 +1,205 @@
+//! Real distributed execution over MPI-D: rank 0 master, mapper ranks,
+//! reducer ranks — the paper's simulation-system process layout, running
+//! actual bytes through `mpid` and `mpi-rt`.
+
+use crate::api::{InputFormat, MapReduceApp};
+use mpid::combine::FnCombiner;
+use mpid::partition::Partitioner;
+use mpid::{MpidConfig, MpidWorld, Role};
+use mpi_rt::{MpiConfig, Universe};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Engine configuration: process layout plus MPI-D pipeline knobs.
+#[derive(Debug, Clone)]
+pub struct MpidEngineConfig {
+    /// Mapper ranks.
+    pub n_mappers: usize,
+    /// Reducer ranks.
+    pub n_reducers: usize,
+    /// Mapper-side spill threshold, bytes.
+    pub spill_threshold_bytes: usize,
+    /// Realigned frame target size, bytes.
+    pub frame_bytes: usize,
+    /// Use `MPI_Isend` for spilled frames (computation/communication
+    /// overlap).
+    pub use_isend: bool,
+    /// LZ-compress realigned frames on the wire.
+    pub compress: bool,
+    /// Eager/rendezvous switch-over in the MPI runtime.
+    pub eager_threshold: usize,
+    /// Bound on how long a reducer waits for the next frame.
+    pub recv_timeout: Duration,
+}
+
+impl Default for MpidEngineConfig {
+    fn default() -> Self {
+        MpidEngineConfig {
+            n_mappers: 2,
+            n_reducers: 1,
+            spill_threshold_bytes: 4 * 1024 * 1024,
+            frame_bytes: 512 * 1024,
+            use_isend: false,
+            compress: false,
+            eager_threshold: 64 * 1024,
+            recv_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+impl MpidEngineConfig {
+    /// `m` mappers, `r` reducers, defaults elsewhere.
+    pub fn with_workers(m: usize, r: usize) -> Self {
+        MpidEngineConfig {
+            n_mappers: m,
+            n_reducers: r,
+            ..Default::default()
+        }
+    }
+
+    fn mpid(&self) -> MpidConfig {
+        MpidConfig {
+            n_mappers: self.n_mappers,
+            n_reducers: self.n_reducers,
+            spill_threshold_bytes: self.spill_threshold_bytes,
+            frame_bytes: self.frame_bytes,
+            sort_keys: false,
+            sort_values: false,
+            use_isend: self.use_isend,
+            compress: self.compress,
+        }
+    }
+}
+
+/// Result of a distributed job.
+#[derive(Debug, Clone)]
+pub struct JobOutput<K, V> {
+    /// Output pairs, merged across reducers, ascending by intermediate key
+    /// within each reducer.
+    pub output: Vec<(K, V)>,
+    /// Mapper statistics summed over all mappers.
+    pub sender_stats: mpid::SenderStats,
+    /// Splits assigned by the master.
+    pub master_stats: mpid::MasterStats,
+    /// Total messages the MPI universe carried.
+    pub universe_msgs: u64,
+    /// Total payload bytes the MPI universe carried.
+    pub universe_bytes: u64,
+}
+
+enum RankResult<K, V> {
+    Master(mpid::MasterStats, mpid::SenderStats),
+    Mapper,
+    Reducer(Vec<(K, V)>),
+}
+
+/// Adapter exposing the application's `partition` method as an MPI-D
+/// [`Partitioner`].
+struct AppPartitioner<A>(Arc<A>);
+
+impl<A: MapReduceApp> Partitioner<A::MidKey> for AppPartitioner<A> {
+    fn partition(&self, key: &A::MidKey, n_reducers: usize) -> usize {
+        self.0.partition(key, n_reducers)
+    }
+}
+
+/// Run `app` over `input` on a fresh MPI universe (1 master +
+/// `n_mappers` + `n_reducers` ranks as threads).
+pub fn run_mpid<A, I>(
+    cfg: &MpidEngineConfig,
+    app: Arc<A>,
+    input: Arc<I>,
+) -> JobOutput<A::OutKey, A::OutVal>
+where
+    A: MapReduceApp,
+    I: InputFormat<Key = A::InKey, Val = A::InVal>,
+{
+    let mpid_cfg = cfg.mpid();
+    let n_ranks = mpid_cfg.required_ranks();
+    let timeout = cfg.recv_timeout;
+    let splits: Vec<u64> = (0..input.n_splits() as u64).collect();
+    let mut universe_msgs = 0;
+    let mut universe_bytes = 0;
+
+    let results = Universe::run_with(
+        MpiConfig {
+            eager_threshold: cfg.eager_threshold,
+        },
+        n_ranks,
+        move |comm| {
+            let world = MpidWorld::init(comm, mpid_cfg.clone()).expect("valid config");
+            let result = match world.role() {
+                Role::Master => {
+                    let stats = world.run_master(splits.clone()).expect("master failed");
+                    // Gather every mapper's pipeline counters over MPI
+                    // (exercises the STATS leg of the wire protocol).
+                    let sender = world.collect_stats().expect("stats gather failed");
+                    RankResult::Master(stats, sender)
+                }
+                Role::Mapper(_) => {
+                    let mut sender = world
+                        .sender::<A::MidKey, A::MidVal>()
+                        .with_partitioner(AppPartitioner(app.clone()));
+                    if let Some(c) = app.combine() {
+                        sender = sender.with_combiner(FnCombiner(c));
+                    }
+                    while let Some(split) = world.next_split::<u64>().expect("split fetch")
+                    {
+                        for (k, v) in input.records(split as usize) {
+                            let mut err = None;
+                            app.map(k, v, &mut |mk, mv| {
+                                if err.is_none() {
+                                    if let Err(e) = sender.send(mk, mv) {
+                                        err = Some(e);
+                                    }
+                                }
+                            });
+                            if let Some(e) = err {
+                                panic!("MPI_D_Send failed: {e}");
+                            }
+                        }
+                    }
+                    let stats = sender.finish().expect("finish failed");
+                    world.report_stats(&stats).expect("stats report failed");
+                    RankResult::Mapper
+                }
+                Role::Reducer(_) => {
+                    let mut recv = world
+                        .receiver::<A::MidKey, A::MidVal>()
+                        .with_timeout(timeout);
+                    let mut out = Vec::new();
+                    while let Some((k, vs)) = recv.recv().expect("MPI_D_Recv failed") {
+                        app.reduce(k, vs, &mut |ok, ov| out.push((ok, ov)));
+                    }
+                    RankResult::Reducer(out)
+                }
+            };
+            let stats = (comm.universe_msgs_sent(), comm.universe_bytes_sent());
+            world.finalize().expect("finalize failed");
+            (result, stats)
+        },
+    );
+
+    let mut output = Vec::new();
+    let mut sender_stats = mpid::SenderStats::default();
+    let mut master_stats = mpid::MasterStats::default();
+    for (r, (msgs, bytes)) in results {
+        universe_msgs = universe_msgs.max(msgs);
+        universe_bytes = universe_bytes.max(bytes);
+        match r {
+            RankResult::Master(m, s) => {
+                master_stats = m;
+                sender_stats = s;
+            }
+            RankResult::Mapper => {}
+            RankResult::Reducer(o) => output.extend(o),
+        }
+    }
+    JobOutput {
+        output,
+        sender_stats,
+        master_stats,
+        universe_msgs,
+        universe_bytes,
+    }
+}

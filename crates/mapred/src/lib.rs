@@ -1,0 +1,25 @@
+//! # mapred — the MapReduce programming model and its execution engines
+//!
+//! One application definition ([`MapReduceApp`]) runs on three engines:
+//!
+//! * [`local::run_local`] — sequential single-process reference;
+//! * [`engine::run_mpid`] — **real** distributed execution over MPI-D
+//!   (`mpid` on `mpi-rt`): rank 0 master, mapper ranks pulling splits,
+//!   reducer ranks consuming `MPI_D_Recv` groups;
+//! * [`sim::run_sim_mpid`] — cluster-scale cost simulation of the same
+//!   pipeline on the paper's 8-node testbed model (Figure 6's MPI-D side).
+//!
+//! The engines are cross-checked in `tests/`: real MPI-D output must equal
+//! the local reference on every workload.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod engine;
+pub mod local;
+pub mod sim;
+
+pub use api::{InputFormat, MapReduceApp, TextInput, VecInput};
+pub use engine::{run_mpid, JobOutput, MpidEngineConfig};
+pub use local::run_local;
+pub use sim::{run_sim_mpid, SimMpidConfig, SimMpidReport};

@@ -1,0 +1,127 @@
+//! Reference engine: sequential, single-process execution. The oracle the
+//! distributed engines are tested against.
+
+use crate::api::{InputFormat, MapReduceApp};
+use std::collections::BTreeMap;
+
+/// Run `app` over `input` sequentially. Output pairs appear in ascending
+/// intermediate-key order (matching the distributed engines' merged order).
+pub fn run_local<A, I>(app: &A, input: &I) -> Vec<(A::OutKey, A::OutVal)>
+where
+    A: MapReduceApp,
+    I: InputFormat<Key = A::InKey, Val = A::InVal>,
+{
+    let combine = app.combine();
+    let mut groups: BTreeMap<A::MidKey, Vec<A::MidVal>> = BTreeMap::new();
+    for split in 0..input.n_splits() {
+        for (k, v) in input.records(split) {
+            app.map(k, v, &mut |mk, mv| match (groups.get_mut(&mk), combine) {
+                (Some(vs), Some(c)) => {
+                    let acc = vs.last_mut().expect("non-empty group");
+                    c(acc, mv);
+                }
+                (Some(vs), None) => vs.push(mv),
+                (None, _) => {
+                    groups.insert(mk, vec![mv]);
+                }
+            });
+        }
+    }
+    let mut out = Vec::new();
+    for (k, vs) in groups {
+        app.reduce(k, vs, &mut |ok, ov| out.push((ok, ov)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{TextInput, VecInput};
+
+    struct WordCount;
+    impl MapReduceApp for WordCount {
+        type InKey = u64;
+        type InVal = String;
+        type MidKey = String;
+        type MidVal = u64;
+        type OutKey = String;
+        type OutVal = u64;
+        fn map(&self, _k: u64, line: String, emit: &mut dyn FnMut(String, u64)) {
+            for w in line.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        }
+        fn reduce(&self, k: String, vs: Vec<u64>, emit: &mut dyn FnMut(String, u64)) {
+            emit(k, vs.iter().sum());
+        }
+        fn combine(&self) -> Option<fn(&mut u64, u64)> {
+            Some(|acc, v| *acc += v)
+        }
+    }
+
+    #[test]
+    fn wordcount_local() {
+        let input = TextInput::new(vec!["a b a\nb c".into(), "c c a".into()]);
+        let out = run_local(&WordCount, &input);
+        assert_eq!(
+            out,
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 2),
+                ("c".to_string(), 3)
+            ]
+        );
+    }
+
+    struct IdentitySort;
+    impl MapReduceApp for IdentitySort {
+        type InKey = u64;
+        type InVal = Vec<u8>;
+        type MidKey = u64;
+        type MidVal = Vec<u8>;
+        type OutKey = u64;
+        type OutVal = Vec<u8>;
+        fn map(&self, k: u64, v: Vec<u8>, emit: &mut dyn FnMut(u64, Vec<u8>)) {
+            emit(k, v);
+        }
+        fn reduce(&self, k: u64, mut vs: Vec<Vec<u8>>, emit: &mut dyn FnMut(u64, Vec<u8>)) {
+            for v in vs.drain(..) {
+                emit(k, v);
+            }
+        }
+    }
+
+    #[test]
+    fn sort_outputs_keys_in_order() {
+        let records: Vec<(u64, Vec<u8>)> =
+            [5u64, 1, 9, 3].iter().map(|&k| (k, vec![k as u8])).collect();
+        let input = VecInput::round_robin(records, 2);
+        let out = run_local(&IdentitySort, &input);
+        let keys: Vec<u64> = out.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn combiner_and_no_combiner_agree() {
+        struct NoCombine;
+        impl MapReduceApp for NoCombine {
+            type InKey = u64;
+            type InVal = String;
+            type MidKey = String;
+            type MidVal = u64;
+            type OutKey = String;
+            type OutVal = u64;
+            fn map(&self, _k: u64, line: String, emit: &mut dyn FnMut(String, u64)) {
+                for w in line.split_whitespace() {
+                    emit(w.to_string(), 1);
+                }
+            }
+            fn reduce(&self, k: String, vs: Vec<u64>, emit: &mut dyn FnMut(String, u64)) {
+                emit(k, vs.iter().sum());
+            }
+        }
+        let input = TextInput::new(vec!["x y x z z z".into()]);
+        assert_eq!(run_local(&WordCount, &input), run_local(&NoCombine, &input));
+    }
+}

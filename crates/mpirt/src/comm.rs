@@ -1,0 +1,438 @@
+//! Communicators and point-to-point operations.
+
+use crate::data::MpiType;
+use crate::matching::{ContextId, Envelope, Mailbox, PayloadSlot, RecvSlot, Rendezvous};
+use crate::types::{MpiError, MpiResult, Rank, Status, Tag, MAX_USER_TAG};
+use bytes::Bytes;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared state of an MPI "universe": one mailbox per world rank plus
+/// configuration and counters.
+#[derive(Debug)]
+pub struct WorldState {
+    pub(crate) mailboxes: Vec<Arc<Mailbox>>,
+    pub(crate) eager_threshold: usize,
+    pub(crate) msgs_sent: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
+}
+
+impl WorldState {
+    pub(crate) fn new(n: usize, eager_threshold: usize) -> Arc<Self> {
+        Arc::new(WorldState {
+            mailboxes: (0..n).map(|_| Arc::new(Mailbox::new())).collect(),
+            eager_threshold,
+            msgs_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+        })
+    }
+}
+
+/// Context id of the world communicator.
+pub(crate) const WORLD_CTX: ContextId = 1;
+
+/// A communicator: a context plus an ordered group of ranks.
+///
+/// Each rank's function receives its own `Comm` handle (the analog of
+/// `MPI_COMM_WORLD`); derived communicators come from [`Comm::split`] and
+/// [`Comm::dup`]. The handle is `Send` but intentionally not `Sync` — a rank
+/// is a single logical thread of execution.
+pub struct Comm {
+    pub(crate) world: Arc<WorldState>,
+    pub(crate) ctx: ContextId,
+    /// Map comm rank → world rank.
+    pub(crate) group: Arc<Vec<Rank>>,
+    pub(crate) rank: Rank,
+    /// Per-rank collective sequence number; collectives must be invoked in
+    /// the same order by all ranks of the communicator (an MPI requirement),
+    /// which keeps these counters in lockstep without communication.
+    pub(crate) coll_seq: Cell<u64>,
+}
+
+impl Comm {
+    /// This process's rank within the communicator.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// Configured eager/rendezvous protocol switch-over, in bytes.
+    pub fn eager_threshold(&self) -> usize {
+        self.world.eager_threshold
+    }
+
+    /// Total messages sent across the whole universe so far (diagnostics).
+    pub fn universe_msgs_sent(&self) -> u64 {
+        self.world.msgs_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent across the whole universe (diagnostics).
+    pub fn universe_bytes_sent(&self) -> u64 {
+        self.world.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    fn check_rank(&self, r: Rank) -> MpiResult<()> {
+        if r >= self.group.len() {
+            return Err(MpiError::RankOutOfRange {
+                rank: r,
+                size: self.group.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_tag(&self, t: Tag) -> MpiResult<()> {
+        if !(0..=MAX_USER_TAG).contains(&t) {
+            return Err(MpiError::TagOutOfRange(t));
+        }
+        Ok(())
+    }
+
+    /// Raw byte send with an explicit (possibly internal) tag.
+    pub(crate) fn send_bytes_internal(
+        &self,
+        dst: Rank,
+        tag: Tag,
+        data: Bytes,
+    ) -> MpiResult<()> {
+        self.check_rank(dst)?;
+        let mailbox = &self.world.mailboxes[self.group[dst]];
+        self.world.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.world
+            .bytes_sent
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        if data.len() <= self.world.eager_threshold {
+            mailbox
+                .deliver(Envelope {
+                    ctx: self.ctx,
+                    src: self.rank,
+                    tag,
+                    payload: PayloadSlot::Eager(data),
+                })
+                .map_err(|_| MpiError::PeerGone { rank: dst })
+        } else {
+            let rv = Rendezvous::new(data);
+            mailbox
+                .deliver(Envelope {
+                    ctx: self.ctx,
+                    src: self.rank,
+                    tag,
+                    payload: PayloadSlot::Rendezvous(rv.clone()),
+                })
+                .map_err(|_| MpiError::PeerGone { rank: dst })?;
+            // MPI_Send above the eager threshold blocks until the receiver
+            // has matched (rendezvous protocol).
+            rv.wait_taken();
+            Ok(())
+        }
+    }
+
+    pub(crate) fn isend_bytes_internal(
+        &self,
+        dst: Rank,
+        tag: Tag,
+        data: Bytes,
+    ) -> MpiResult<SendRequest> {
+        self.check_rank(dst)?;
+        let mailbox = &self.world.mailboxes[self.group[dst]];
+        self.world.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.world
+            .bytes_sent
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        if data.len() <= self.world.eager_threshold {
+            mailbox
+                .deliver(Envelope {
+                    ctx: self.ctx,
+                    src: self.rank,
+                    tag,
+                    payload: PayloadSlot::Eager(data),
+                })
+                .map_err(|_| MpiError::PeerGone { rank: dst })?;
+            Ok(SendRequest { rv: None })
+        } else {
+            let rv = Rendezvous::new(data);
+            mailbox
+                .deliver(Envelope {
+                    ctx: self.ctx,
+                    src: self.rank,
+                    tag,
+                    payload: PayloadSlot::Rendezvous(rv.clone()),
+                })
+                .map_err(|_| MpiError::PeerGone { rank: dst })?;
+            Ok(SendRequest { rv: Some(rv) })
+        }
+    }
+
+    fn env_into_typed<T: MpiType>(env: Envelope) -> MpiResult<(Vec<T>, Status)> {
+        let (src, tag) = (env.src, env.tag);
+        let bytes = match env.payload {
+            PayloadSlot::Eager(b) => b,
+            PayloadSlot::Rendezvous(rv) => rv.take(),
+        };
+        let status = Status {
+            source: src,
+            tag,
+            bytes: bytes.len(),
+        };
+        Ok((T::from_bytes(&bytes)?, status))
+    }
+
+    pub(crate) fn recv_internal<T: MpiType>(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> MpiResult<(Vec<T>, Status)> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        let mailbox = &self.world.mailboxes[self.group[self.rank]];
+        match mailbox.match_or_post(self.ctx, src, tag) {
+            Ok(env) => Self::env_into_typed(env),
+            Err((slot, _)) => Self::env_into_typed(slot.wait()),
+        }
+    }
+
+    // ----- public point-to-point API (the MPI_Send/MPI_Recv analogs) -----
+
+    /// Blocking send (`MPI_Send`): eager-copies small payloads, performs a
+    /// rendezvous for payloads above [`Comm::eager_threshold`].
+    pub fn send<T: MpiType>(&self, dst: Rank, tag: Tag, data: &[T]) -> MpiResult<()> {
+        self.check_tag(tag)?;
+        self.send_bytes_internal(dst, tag, T::to_bytes(data))
+    }
+
+    /// Blocking receive (`MPI_Recv`). `src`/`tag` of `None` are the
+    /// `MPI_ANY_SOURCE` / `MPI_ANY_TAG` wildcards.
+    pub fn recv<T: MpiType>(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> MpiResult<(Vec<T>, Status)> {
+        if let Some(t) = tag {
+            self.check_tag(t)?;
+        }
+        self.recv_internal(src, tag)
+    }
+
+    /// Receive with a deadline — not part of MPI, but essential for tests
+    /// and failure handling (a receive that would hang forever instead
+    /// reports [`MpiError::Timeout`]).
+    pub fn recv_timeout<T: MpiType>(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> MpiResult<(Vec<T>, Status)> {
+        if let Some(t) = tag {
+            self.check_tag(t)?;
+        }
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        let mailbox = &self.world.mailboxes[self.group[self.rank]];
+        match mailbox.match_or_post(self.ctx, src, tag) {
+            Ok(env) => Self::env_into_typed(env),
+            Err((slot, posted_id)) => match slot.wait_timeout(timeout) {
+                Some(env) => Self::env_into_typed(env),
+                None => {
+                    if mailbox.cancel_posted(posted_id) {
+                        Err(MpiError::Timeout(timeout))
+                    } else {
+                        // Lost the race: the message arrived between the
+                        // timeout and the cancellation.
+                        let env = slot.wait();
+                        Self::env_into_typed(env)
+                    }
+                }
+            },
+        }
+    }
+
+    /// Buffered send (`MPI_Bsend`): always copies the payload into the
+    /// receiver's queue and returns immediately, regardless of size — no
+    /// rendezvous, no blocking. Trades memory (the copy lives in the
+    /// destination mailbox until received) for decoupling.
+    pub fn bsend<T: MpiType>(&self, dst: Rank, tag: Tag, data: &[T]) -> MpiResult<()> {
+        self.check_tag(tag)?;
+        self.check_rank(dst)?;
+        let payload = T::to_bytes(data);
+        let mailbox = &self.world.mailboxes[self.group[dst]];
+        self.world.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.world
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        mailbox
+            .deliver(Envelope {
+                ctx: self.ctx,
+                src: self.rank,
+                tag,
+                payload: PayloadSlot::Eager(payload),
+            })
+            .map_err(|_| MpiError::PeerGone { rank: dst })
+    }
+
+    /// Non-blocking send (`MPI_Isend`). The returned request completes
+    /// immediately for eager payloads and when the receiver matches for
+    /// rendezvous payloads.
+    pub fn isend<T: MpiType>(
+        &self,
+        dst: Rank,
+        tag: Tag,
+        data: &[T],
+    ) -> MpiResult<SendRequest> {
+        self.check_tag(tag)?;
+        self.isend_bytes_internal(dst, tag, T::to_bytes(data))
+    }
+
+    /// Non-blocking receive (`MPI_Irecv`).
+    pub fn irecv<T: MpiType>(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> MpiResult<RecvRequest<T>> {
+        if let Some(t) = tag {
+            self.check_tag(t)?;
+        }
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        let mailbox = self.world.mailboxes[self.group[self.rank]].clone();
+        match mailbox.match_or_post(self.ctx, src, tag) {
+            Ok(env) => Ok(RecvRequest {
+                state: RecvReqState::Ready(env),
+                _marker: std::marker::PhantomData,
+            }),
+            Err((slot, _)) => Ok(RecvRequest {
+                state: RecvReqState::Waiting(slot),
+                _marker: std::marker::PhantomData,
+            }),
+        }
+    }
+
+    /// Combined exchange (`MPI_Sendrecv`): posts the send without blocking,
+    /// receives, then completes the send. Deadlock-free for symmetric
+    /// exchange patterns regardless of payload size.
+    pub fn sendrecv<T: MpiType, U: MpiType>(
+        &self,
+        dst: Rank,
+        send_tag: Tag,
+        data: &[T],
+        src: Option<Rank>,
+        recv_tag: Option<Tag>,
+    ) -> MpiResult<(Vec<U>, Status)> {
+        let req = self.isend(dst, send_tag, data)?;
+        let got = self.recv::<U>(src, recv_tag)?;
+        req.wait();
+        Ok(got)
+    }
+
+    /// Blocking probe: wait until a matching message is enqueued, without
+    /// receiving it. (Implemented with a generous timeout; a probe that
+    /// waits an hour is a deadlock in every workload in this suite.)
+    pub fn probe(&self, src: Option<Rank>, tag: Option<Tag>) -> MpiResult<Status> {
+        let mailbox = &self.world.mailboxes[self.group[self.rank]];
+        mailbox.probe_timeout(self.ctx, src, tag, Duration::from_secs(3600))
+    }
+
+    /// Non-blocking probe (`MPI_Iprobe`).
+    pub fn iprobe(&self, src: Option<Rank>, tag: Option<Tag>) -> Option<Status> {
+        let mailbox = &self.world.mailboxes[self.group[self.rank]];
+        mailbox.iprobe(self.ctx, src, tag)
+    }
+}
+
+/// Handle for a non-blocking send.
+#[derive(Debug)]
+pub struct SendRequest {
+    rv: Option<Arc<Rendezvous>>,
+}
+
+impl SendRequest {
+    /// Block until the transfer is complete (`MPI_Wait`).
+    pub fn wait(self) {
+        if let Some(rv) = self.rv {
+            rv.wait_taken();
+        }
+    }
+
+    /// Completion check without blocking (`MPI_Test`).
+    pub fn test(&self) -> bool {
+        self.rv.as_ref().is_none_or(|rv| rv.is_taken())
+    }
+}
+
+/// Wait for every send request (`MPI_Waitall` for sends).
+pub fn wait_all_sends(reqs: Vec<SendRequest>) {
+    for r in reqs {
+        r.wait();
+    }
+}
+
+#[derive(Debug)]
+enum RecvReqState {
+    Ready(Envelope),
+    Waiting(Arc<RecvSlot>),
+}
+
+/// Handle for a non-blocking receive of `T` elements.
+#[derive(Debug)]
+pub struct RecvRequest<T: MpiType> {
+    state: RecvReqState,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: MpiType> RecvRequest<T> {
+    /// Block until the message arrives (`MPI_Wait`).
+    pub fn wait(self) -> MpiResult<(Vec<T>, Status)> {
+        match self.state {
+            RecvReqState::Ready(env) => Comm::env_into_typed(env),
+            RecvReqState::Waiting(slot) => Comm::env_into_typed(slot.wait()),
+        }
+    }
+
+    /// True once a matching message has arrived (`MPI_Test`); `wait` will
+    /// then return without blocking.
+    pub fn test(&self) -> bool {
+        match &self.state {
+            RecvReqState::Ready(_) => true,
+            RecvReqState::Waiting(slot) => slot.is_ready(),
+        }
+    }
+}
+
+/// Wait for every receive request, in order (`MPI_Waitall` for receives).
+pub fn wait_all_recvs<T: MpiType>(
+    reqs: Vec<RecvRequest<T>>,
+) -> MpiResult<Vec<(Vec<T>, Status)>> {
+    reqs.into_iter().map(|r| r.wait()).collect()
+}
+
+/// Outcome of [`wait_any_recv`]: the completed request's index and payload,
+/// plus the still-pending requests in their original relative order.
+pub type WaitAnyOutcome<T> = (usize, MpiResult<(Vec<T>, Status)>, Vec<RecvRequest<T>>);
+
+/// Wait for *one* receive request to complete (`MPI_Waitany`): returns the
+/// index of the completed request, its payload, and the remaining requests
+/// (order preserved). Polls with a short park between sweeps.
+///
+/// # Panics
+/// Panics if `reqs` is empty.
+pub fn wait_any_recv<T: MpiType>(mut reqs: Vec<RecvRequest<T>>) -> WaitAnyOutcome<T> {
+    assert!(!reqs.is_empty(), "wait_any on empty request list");
+    loop {
+        if let Some(i) = reqs.iter().position(|r| r.test()) {
+            let req = reqs.remove(i);
+            return (i, req.wait(), reqs);
+        }
+        // No completion yet: park briefly. (A condvar-per-request-set would
+        // avoid the poll; the sleep keeps the implementation simple and the
+        // latency bounded to ~50 µs.)
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
+}

@@ -1,0 +1,54 @@
+//! # mpi-rt — a from-scratch MPI-style message-passing runtime
+//!
+//! The substrate under the MPI-D library (crate `mpid`), standing in for
+//! MPICH2 1.3 in the paper. Ranks are OS threads within one process; the
+//! semantics are MPI's:
+//!
+//! * **Point-to-point** ([`comm`]): blocking/non-blocking send and receive
+//!   with `(source, tag)` matching including `ANY_SOURCE`/`ANY_TAG`
+//!   wildcards, MPI's non-overtaking ordering guarantee, and both wire
+//!   protocols — **eager** (copy-and-go) below a configurable threshold and
+//!   **rendezvous** (sender blocks until matched) above it.
+//! * **Collectives** ([`coll`]): barrier, bcast, reduce, allreduce, gather,
+//!   allgather, scatter, alltoall, scan — the classic binomial-tree /
+//!   dissemination / ring / pairwise MPICH algorithms.
+//! * **Communicators**: `split` and `dup` with context isolation, so derived
+//!   communicators never intercept each other's traffic.
+//! * **Failure visibility**: ranks that return close their mailboxes, so a
+//!   send to a dead rank errors ([`MpiError::PeerGone`]) instead of hanging,
+//!   and timed receives ([`Comm::recv_timeout`]) let callers bound waits.
+//!
+//! ```
+//! use mpi_rt::Universe;
+//!
+//! // Ping-pong between two ranks (the paper's Figure 2 primitive).
+//! let results = Universe::run(2, |comm| {
+//!     if comm.rank() == 0 {
+//!         comm.send(1, 0, &[1u8, 2, 3]).unwrap();
+//!         let (data, _) = comm.recv::<u8>(Some(1), Some(1)).unwrap();
+//!         data.len()
+//!     } else {
+//!         let (data, st) = comm.recv::<u8>(None, None).unwrap();
+//!         assert_eq!(st.source, 0);
+//!         comm.send(0, 1, &data).unwrap();
+//!         data.len()
+//!     }
+//! });
+//! assert_eq!(results, vec![3, 3]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coll;
+pub mod comm;
+pub mod data;
+pub mod matching;
+pub mod types;
+pub mod universe;
+
+pub use comm::{wait_all_recvs, wait_all_sends, wait_any_recv, Comm, RecvRequest, SendRequest};
+pub use data::MpiType;
+pub use types::{
+    MpiError, MpiResult, Rank, Status, Tag, ANY_SOURCE, ANY_TAG, MAX_USER_TAG,
+};
+pub use universe::{MpiConfig, Universe};

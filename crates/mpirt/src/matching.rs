@@ -1,0 +1,502 @@
+//! The message-matching engine: per-rank mailboxes with posted-receive and
+//! unexpected-message queues.
+//!
+//! This is the heart of any MPI implementation. Every rank owns a mailbox;
+//! a send locks the *destination* mailbox and either completes a posted
+//! receive that matches `(context, source, tag)` or parks the envelope on the
+//! unexpected queue. A receive first scans the unexpected queue (in arrival
+//! order — MPI's non-overtaking guarantee), then posts itself and blocks.
+//!
+//! Matching rules (MPI 3.1 §3.5): a receive matches a message if the
+//! communicator context is equal, and each of source/tag is either equal or a
+//! wildcard on the receive side. Among candidates, the *earliest sent*
+//! message wins; among posted receives, the *earliest posted* wins.
+
+use crate::types::{MpiError, MpiResult, Rank, Status, Tag};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Communicator context id: separates traffic of different communicators.
+pub type ContextId = u64;
+
+/// A message in flight (header + payload or rendezvous token).
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Communicator context.
+    pub ctx: ContextId,
+    /// World rank of the sender (translated to comm rank by the caller).
+    pub src: Rank,
+    /// Tag.
+    pub tag: Tag,
+    /// The data.
+    pub payload: PayloadSlot,
+}
+
+/// Eagerly-copied bytes, or a rendezvous token the receiver must pull from.
+#[derive(Debug, Clone)]
+pub enum PayloadSlot {
+    /// Payload travelled with the envelope (eager protocol).
+    Eager(Bytes),
+    /// Payload is parked at the sender until matched (rendezvous protocol).
+    Rendezvous(Arc<Rendezvous>),
+}
+
+impl PayloadSlot {
+    /// Size in bytes (known for both protocols — rendezvous sends the size in
+    /// its ready-to-send header).
+    pub fn len(&self) -> usize {
+        match self {
+            PayloadSlot::Eager(b) => b.len(),
+            PayloadSlot::Rendezvous(r) => r.size,
+        }
+    }
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Sender-side parking spot for a large message (rendezvous protocol).
+///
+/// The sender deposits the bytes and blocks in [`Rendezvous::wait_taken`];
+/// the receiver claims them with [`Rendezvous::take`], which unblocks the
+/// sender. This reproduces MPI_Send's synchronous behaviour above the eager
+/// threshold.
+#[derive(Debug)]
+pub struct Rendezvous {
+    /// Payload size (the RTS header content).
+    pub size: usize,
+    state: Mutex<RvState>,
+    cond: Condvar,
+}
+
+#[derive(Debug)]
+struct RvState {
+    data: Option<Bytes>,
+    taken: bool,
+}
+
+impl Rendezvous {
+    /// Park `data` for a matched receiver.
+    pub fn new(data: Bytes) -> Arc<Self> {
+        Arc::new(Rendezvous {
+            size: data.len(),
+            state: Mutex::new(RvState {
+                data: Some(data),
+                taken: false,
+            }),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Receiver side: claim the payload (panics on double take — a matching
+    /// engine bug, not a user error).
+    pub fn take(&self) -> Bytes {
+        let mut st = self.state.lock();
+        let data = st.data.take().expect("rendezvous payload taken twice");
+        st.taken = true;
+        self.cond.notify_all();
+        data
+    }
+
+    /// Sender side: block until the receiver has claimed the payload.
+    pub fn wait_taken(&self) {
+        let mut st = self.state.lock();
+        while !st.taken {
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Sender side: non-blocking completion check.
+    pub fn is_taken(&self) -> bool {
+        self.state.lock().taken
+    }
+}
+
+/// Where a matched envelope is delivered for a blocked receiver.
+#[derive(Debug)]
+pub struct RecvSlot {
+    state: Mutex<Option<Envelope>>,
+    cond: Condvar,
+}
+
+impl RecvSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(RecvSlot {
+            state: Mutex::new(None),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Deliver an envelope (called by the sender under the mailbox lock).
+    pub fn deliver(&self, env: Envelope) {
+        let mut st = self.state.lock();
+        debug_assert!(st.is_none(), "recv slot delivered twice");
+        *st = Some(env);
+        self.cond.notify_all();
+    }
+
+    /// Block until delivery.
+    pub fn wait(&self) -> Envelope {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(env) = st.take() {
+                return env;
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Block until delivery or `timeout`.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(env) = st.take() {
+                return Some(env);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cond.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Non-blocking delivery check (consumes the envelope if present).
+    pub fn try_take(&self) -> Option<Envelope> {
+        self.state.lock().take()
+    }
+
+    /// True if an envelope has been delivered and not yet consumed.
+    pub fn is_ready(&self) -> bool {
+        self.state.lock().is_some()
+    }
+}
+
+/// A receive that has been posted and is waiting for a matching send.
+#[derive(Debug)]
+struct PostedRecv {
+    ctx: ContextId,
+    src: Option<Rank>,
+    tag: Option<Tag>,
+    slot: Arc<RecvSlot>,
+    /// Posting sequence, for cancel.
+    id: u64,
+}
+
+fn matches(ctx: ContextId, src: Rank, tag: Tag, want_ctx: ContextId, want_src: Option<Rank>, want_tag: Option<Tag>) -> bool {
+    ctx == want_ctx
+        && want_src.is_none_or(|s| s == src)
+        && want_tag.is_none_or(|t| t == tag)
+}
+
+#[derive(Debug, Default)]
+struct MailboxInner {
+    unexpected: VecDeque<Envelope>,
+    posted: Vec<PostedRecv>,
+    next_posted_id: u64,
+    closed: bool,
+}
+
+/// One rank's incoming-message state.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    /// Signalled whenever an unexpected message arrives or the box closes
+    /// (for blocking probe).
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    /// Fresh empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver a message to this mailbox: complete the earliest matching
+    /// posted receive, or queue as unexpected.
+    ///
+    /// Returns `Err(PeerGone)` if the mailbox is closed (its rank finished).
+    pub fn deliver(&self, env: Envelope) -> MpiResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(MpiError::PeerGone { rank: env.src });
+        }
+        let pos = inner
+            .posted
+            .iter()
+            .position(|p| matches(env.ctx, env.src, env.tag, p.ctx, p.src, p.tag));
+        match pos {
+            Some(i) => {
+                let posted = inner.posted.remove(i);
+                drop(inner);
+                posted.slot.deliver(env);
+            }
+            None => {
+                inner.unexpected.push_back(env);
+                drop(inner);
+                self.arrived.notify_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Receive path: take the earliest matching unexpected message, or post a
+    /// receive slot to block on. Returns either the envelope or the slot.
+    pub fn match_or_post(
+        &self,
+        ctx: ContextId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<Envelope, (Arc<RecvSlot>, u64)> {
+        let mut inner = self.inner.lock();
+        let pos = inner
+            .unexpected
+            .iter()
+            .position(|e| matches(e.ctx, e.src, e.tag, ctx, src, tag));
+        if let Some(i) = pos {
+            return Ok(inner.unexpected.remove(i).expect("indexed"));
+        }
+        let slot = RecvSlot::new();
+        let id = inner.next_posted_id;
+        inner.next_posted_id += 1;
+        inner.posted.push(PostedRecv {
+            ctx,
+            src,
+            tag,
+            slot: slot.clone(),
+            id,
+        });
+        Err((slot, id))
+    }
+
+    /// Remove a posted receive (used when a timed receive gives up). Returns
+    /// false if it was already matched.
+    pub fn cancel_posted(&self, id: u64) -> bool {
+        let mut inner = self.inner.lock();
+        let before = inner.posted.len();
+        inner.posted.retain(|p| p.id != id);
+        inner.posted.len() != before
+    }
+
+    /// Non-destructive scan of the unexpected queue (`MPI_Iprobe`).
+    pub fn iprobe(&self, ctx: ContextId, src: Option<Rank>, tag: Option<Tag>) -> Option<Status> {
+        let inner = self.inner.lock();
+        inner
+            .unexpected
+            .iter()
+            .find(|e| matches(e.ctx, e.src, e.tag, ctx, src, tag))
+            .map(|e| Status {
+                source: e.src,
+                tag: e.tag,
+                bytes: e.payload.len(),
+            })
+    }
+
+    /// Blocking probe with timeout (`MPI_Probe`): waits until a matching
+    /// message is queued (without consuming it).
+    pub fn probe_timeout(
+        &self,
+        ctx: ContextId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> MpiResult<Status> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(st) = inner
+                .unexpected
+                .iter()
+                .find(|e| matches(e.ctx, e.src, e.tag, ctx, src, tag))
+                .map(|e| Status {
+                    source: e.src,
+                    tag: e.tag,
+                    bytes: e.payload.len(),
+                })
+            {
+                return Ok(st);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(MpiError::Timeout(timeout));
+            }
+            self.arrived.wait_for(&mut inner, deadline - now);
+        }
+    }
+
+    /// Mark this rank as finished; subsequent deliveries fail with
+    /// `PeerGone`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        drop(inner);
+        self.arrived.notify_all();
+    }
+
+    /// Count of unexpected (unclaimed) messages — diagnostics.
+    pub fn unexpected_len(&self) -> usize {
+        self.inner.lock().unexpected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(ctx: ContextId, src: Rank, tag: Tag, data: &[u8]) -> Envelope {
+        Envelope {
+            ctx,
+            src,
+            tag,
+            payload: PayloadSlot::Eager(Bytes::copy_from_slice(data)),
+        }
+    }
+
+    fn payload(e: &Envelope) -> &[u8] {
+        match &e.payload {
+            PayloadSlot::Eager(b) => b,
+            _ => panic!("expected eager payload"),
+        }
+    }
+
+    #[test]
+    fn unexpected_then_matched_in_arrival_order() {
+        let mb = Mailbox::new();
+        mb.deliver(env(1, 0, 5, b"first")).unwrap();
+        mb.deliver(env(1, 0, 5, b"second")).unwrap();
+        let got = mb.match_or_post(1, Some(0), Some(5)).unwrap();
+        assert_eq!(payload(&got), b"first");
+        let got = mb.match_or_post(1, Some(0), Some(5)).unwrap();
+        assert_eq!(payload(&got), b"second");
+    }
+
+    #[test]
+    fn wildcard_source_and_tag_match_anything() {
+        let mb = Mailbox::new();
+        mb.deliver(env(1, 3, 9, b"x")).unwrap();
+        let got = mb.match_or_post(1, None, None).unwrap();
+        assert_eq!(got.src, 3);
+        assert_eq!(got.tag, 9);
+    }
+
+    #[test]
+    fn non_matching_messages_are_skipped() {
+        let mb = Mailbox::new();
+        mb.deliver(env(1, 0, 1, b"wrong-tag")).unwrap();
+        mb.deliver(env(1, 0, 2, b"right")).unwrap();
+        let got = mb.match_or_post(1, Some(0), Some(2)).unwrap();
+        assert_eq!(payload(&got), b"right");
+        // The skipped message is still there.
+        assert_eq!(mb.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn context_separates_traffic() {
+        let mb = Mailbox::new();
+        mb.deliver(env(7, 0, 1, b"ctx7")).unwrap();
+        assert!(mb.match_or_post(8, None, None).is_err(), "ctx 8 sees nothing");
+        // The posted recv for ctx 8 must not swallow a ctx 7 message.
+        mb.deliver(env(7, 0, 1, b"ctx7-again")).unwrap();
+        assert_eq!(mb.unexpected_len(), 2);
+    }
+
+    #[test]
+    fn posted_receive_completed_by_delivery() {
+        let mb = Arc::new(Mailbox::new());
+        let (slot, _) = mb.match_or_post(1, Some(2), None).unwrap_err();
+        assert!(!slot.is_ready());
+        mb.deliver(env(1, 2, 4, b"hello")).unwrap();
+        let got = slot.wait();
+        assert_eq!(payload(&got), b"hello");
+        assert_eq!(mb.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn earliest_posted_receive_wins() {
+        let mb = Mailbox::new();
+        let (slot_a, _) = mb.match_or_post(1, None, None).unwrap_err();
+        let (slot_b, _) = mb.match_or_post(1, None, None).unwrap_err();
+        mb.deliver(env(1, 0, 0, b"for-a")).unwrap();
+        assert!(slot_a.is_ready());
+        assert!(!slot_b.is_ready());
+    }
+
+    #[test]
+    fn cross_thread_blocking_receive() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || {
+            match mb2.match_or_post(1, None, Some(3)) {
+                Ok(e) => e,
+                Err((slot, _)) => slot.wait(),
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.deliver(env(1, 5, 3, b"late")).unwrap();
+        let got = h.join().unwrap();
+        assert_eq!(payload(&got), b"late");
+    }
+
+    #[test]
+    fn timed_receive_expires_and_cancels() {
+        let mb = Mailbox::new();
+        let (slot, id) = mb.match_or_post(1, Some(0), Some(0)).unwrap_err();
+        assert!(slot.wait_timeout(Duration::from_millis(30)).is_none());
+        assert!(mb.cancel_posted(id));
+        // Late delivery now goes to unexpected instead of the dead slot.
+        mb.deliver(env(1, 0, 0, b"late")).unwrap();
+        assert_eq!(mb.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn iprobe_does_not_consume() {
+        let mb = Mailbox::new();
+        assert!(mb.iprobe(1, None, None).is_none());
+        mb.deliver(env(1, 2, 7, b"abc")).unwrap();
+        let st = mb.iprobe(1, None, Some(7)).unwrap();
+        assert_eq!(
+            st,
+            Status {
+                source: 2,
+                tag: 7,
+                bytes: 3
+            }
+        );
+        assert_eq!(mb.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn probe_timeout_expires() {
+        let mb = Mailbox::new();
+        let err = mb
+            .probe_timeout(1, None, None, Duration::from_millis(20))
+            .unwrap_err();
+        assert!(matches!(err, MpiError::Timeout(_)));
+    }
+
+    #[test]
+    fn closed_mailbox_rejects_delivery() {
+        let mb = Mailbox::new();
+        mb.close();
+        let err = mb.deliver(env(1, 4, 0, b"x")).unwrap_err();
+        assert_eq!(err, MpiError::PeerGone { rank: 4 });
+    }
+
+    #[test]
+    fn rendezvous_handoff() {
+        let rv = Rendezvous::new(Bytes::from_static(b"big payload"));
+        assert!(!rv.is_taken());
+        let rv2 = rv.clone();
+        let sender = std::thread::spawn(move || rv2.wait_taken());
+        std::thread::sleep(Duration::from_millis(10));
+        let data = rv.take();
+        assert_eq!(&data[..], b"big payload");
+        sender.join().unwrap();
+        assert!(rv.is_taken());
+    }
+}

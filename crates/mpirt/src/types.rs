@@ -1,0 +1,86 @@
+//! Common types: ranks, tags, statuses, errors.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Rank of a process within a communicator (0-based).
+pub type Rank = usize;
+
+/// Message tag. User tags must be in `0..=MAX_USER_TAG`; the runtime reserves
+/// the space above for collectives.
+pub type Tag = i32;
+
+/// Largest tag available to applications (the range above is reserved for
+/// internal collective operations).
+pub const MAX_USER_TAG: Tag = i32::MAX / 2;
+
+/// Wildcard source for receive operations (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: Option<Rank> = None;
+
+/// Wildcard tag for receive operations (`MPI_ANY_TAG`).
+pub const ANY_TAG: Option<Tag> = None;
+
+/// Completion information of a receive (`MPI_Status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Rank the message came from (within the communicator).
+    pub source: Rank,
+    /// Tag the message was sent with.
+    pub tag: Tag,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// Errors from point-to-point and collective operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Destination/source rank outside the communicator.
+    RankOutOfRange {
+        /// Offending rank.
+        rank: Rank,
+        /// Communicator size.
+        size: usize,
+    },
+    /// Tag outside the user range.
+    TagOutOfRange(Tag),
+    /// A timed receive expired before a matching message arrived.
+    Timeout(Duration),
+    /// The peer's mailbox was torn down (its rank function returned or
+    /// panicked) while we were waiting on it.
+    PeerGone {
+        /// The rank that disappeared.
+        rank: Rank,
+    },
+    /// Typed receive got a payload whose size is not a multiple of the
+    /// element size.
+    TypeMismatch {
+        /// Payload size in bytes.
+        payload: usize,
+        /// Element size in bytes.
+        elem: usize,
+    },
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            MpiError::TagOutOfRange(t) => {
+                write!(f, "tag {t} outside user range 0..={MAX_USER_TAG}")
+            }
+            MpiError::Timeout(d) => write!(f, "receive timed out after {d:?}"),
+            MpiError::PeerGone { rank } => write!(f, "peer rank {rank} terminated"),
+            MpiError::TypeMismatch { payload, elem } => write!(
+                f,
+                "payload of {payload} bytes is not a whole number of {elem}-byte elements"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Result alias for MPI operations.
+pub type MpiResult<T> = Result<T, MpiError>;

@@ -1,0 +1,95 @@
+//! Launching an MPI "universe": one OS thread per rank.
+//!
+//! The paper's MPI-D prototype runs each mapper/reducer/master as an MPI
+//! process; here ranks are threads sharing a process, which keeps the whole
+//! suite runnable as ordinary `cargo test` / `cargo bench` targets while
+//! exercising real concurrent message-passing.
+
+use crate::comm::{Comm, WorldState, WORLD_CTX};
+use crate::types::Rank;
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct MpiConfig {
+    /// Payloads at or below this size are eagerly copied into the receiver's
+    /// queue; larger payloads use the rendezvous protocol (sender blocks
+    /// until matched). MPICH2's TCP netmod default is 64 KiB.
+    pub eager_threshold: usize,
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        MpiConfig {
+            eager_threshold: 64 * 1024,
+        }
+    }
+}
+
+/// Entry point: spawn ranks and run an SPMD function.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `n` ranks with the default configuration, returning each
+    /// rank's result indexed by rank.
+    ///
+    /// # Panics
+    /// Propagates a panic if any rank panics (after all ranks have been
+    /// joined or detached).
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        Self::run_with(MpiConfig::default(), n, f)
+    }
+
+    /// Run with an explicit [`MpiConfig`].
+    pub fn run_with<R, F>(cfg: MpiConfig, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        assert!(n > 0, "universe needs at least one rank");
+        let world = WorldState::new(n, cfg.eager_threshold);
+        let f = &f;
+        let results: Vec<Option<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|rank| {
+                    let world = world.clone();
+                    scope.spawn(move || {
+                        let comm = world_comm(world.clone(), rank);
+                        let out = f(&comm);
+                        // Mark this rank gone so sends to it fail fast
+                        // instead of hanging.
+                        world.mailboxes[rank].close();
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().ok()).collect()
+        });
+        if results.iter().any(|r| r.is_none()) {
+            let dead: Vec<usize> = results
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_none())
+                .map(|(i, _)| i)
+                .collect();
+            panic!("rank(s) {dead:?} panicked");
+        }
+        results.into_iter().map(|r| r.expect("checked")).collect()
+    }
+}
+
+fn world_comm(world: Arc<WorldState>, rank: Rank) -> Comm {
+    let n = world.mailboxes.len();
+    Comm {
+        world,
+        ctx: WORLD_CTX,
+        group: Arc::new((0..n).collect()),
+        rank,
+        coll_seq: Cell::new(0),
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the MPI runtime: collectives equal their sequential
+//! reference on arbitrary inputs, and point-to-point traffic is delivered
+//! exactly once with payload integrity.
+
+use mpi_rt::{MpiConfig, Universe};
+use proptest::prelude::*;
+
+proptest! {
+    // Universes spawn threads; keep case counts moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// allreduce(sum) over arbitrary per-rank vectors equals the sequential
+    /// elementwise sum, on every rank, for 1..6 ranks.
+    #[test]
+    fn allreduce_matches_reference(
+        n in 1usize..6,
+        data in proptest::collection::vec(any::<u32>(), 1..32),
+    ) {
+        let len = data.len();
+        let expected: Vec<u64> = (0..len)
+            .map(|i| {
+                (0..n as u64)
+                    .map(|r| data[i] as u64 ^ r) // rank-dependent input
+                    .fold(0u64, u64::wrapping_add)
+            })
+            .collect();
+        let data2 = data.clone();
+        let results = Universe::run(n, move |comm| {
+            let local: Vec<u64> = data2
+                .iter()
+                .map(|&x| x as u64 ^ comm.rank() as u64)
+                .collect();
+            comm.allreduce(&local, u64::wrapping_add).unwrap()
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+
+    /// allgather reassembles every rank's (variable-length) contribution.
+    #[test]
+    fn allgather_matches_reference(
+        n in 1usize..6,
+        base in proptest::collection::vec(any::<u16>(), 0..16),
+    ) {
+        let base2 = base.clone();
+        let results = Universe::run(n, move |comm| {
+            // Rank r contributes base repeated (r % 3) + 1 times.
+            let mine: Vec<u16> = base2
+                .iter()
+                .copied()
+                .cycle()
+                .take(base2.len() * (comm.rank() % 3 + 1))
+                .collect();
+            comm.allgather(&mine).unwrap()
+        });
+        for blocks in results {
+            prop_assert_eq!(blocks.len(), n);
+            for (r, block) in blocks.iter().enumerate() {
+                prop_assert_eq!(block.len(), base.len() * (r % 3 + 1));
+            }
+        }
+    }
+
+    /// scan is an inclusive prefix sum.
+    #[test]
+    fn scan_matches_reference(n in 1usize..6, seed in any::<u32>()) {
+        let results = Universe::run(n, move |comm| {
+            let x = [seed as u64 ^ comm.rank() as u64, comm.rank() as u64];
+            comm.scan(&x, u64::wrapping_add).unwrap()
+        });
+        let mut acc = [0u64; 2];
+        for (r, got) in results.into_iter().enumerate() {
+            acc[0] = acc[0].wrapping_add(seed as u64 ^ r as u64);
+            acc[1] = acc[1].wrapping_add(r as u64);
+            prop_assert_eq!(got, acc.to_vec());
+        }
+    }
+
+    /// alltoall is a transpose: rank i receives from j what j addressed to i.
+    #[test]
+    fn alltoall_is_transpose(n in 1usize..6, salt in any::<u32>()) {
+        let results = Universe::run(n, move |comm| {
+            let send: Vec<Vec<u32>> = (0..n)
+                .map(|j| vec![salt ^ (comm.rank() * 100 + j) as u32; 3])
+                .collect();
+            comm.alltoall(send).unwrap()
+        });
+        for (i, recv) in results.into_iter().enumerate() {
+            for (j, block) in recv.into_iter().enumerate() {
+                prop_assert_eq!(block, vec![salt ^ (j * 100 + i) as u32; 3]);
+            }
+        }
+    }
+
+    /// Fan-in: arbitrary payloads from all ranks arrive at rank 0 exactly
+    /// once, intact, and per-sender in order — under both wire protocols.
+    #[test]
+    fn fan_in_exactly_once(
+        n in 2usize..6,
+        payload_sizes in proptest::collection::vec(0usize..600, 1..12),
+        eager_threshold in prop_oneof![Just(16usize), Just(64 * 1024)],
+    ) {
+        let sizes = payload_sizes.clone();
+        let results = Universe::run_with(
+            MpiConfig { eager_threshold },
+            n,
+            move |comm| {
+                if comm.rank() == 0 {
+                    let expected = (n - 1) * sizes.len();
+                    let mut per_sender = vec![0usize; n];
+                    let mut ok = true;
+                    for _ in 0..expected {
+                        let (data, st) = comm.recv::<u8>(None, Some(1)).unwrap();
+                        let k = per_sender[st.source];
+                        per_sender[st.source] += 1;
+                        // Payload: sender rank byte repeated sizes[k] times.
+                        ok &= data.len() == sizes[k];
+                        ok &= data.iter().all(|&b| b == st.source as u8);
+                    }
+                    ok && per_sender[1..].iter().all(|&c| c == sizes.len())
+                } else {
+                    for &sz in &sizes {
+                        let payload = vec![comm.rank() as u8; sz];
+                        comm.send(0, 1, &payload).unwrap();
+                    }
+                    true
+                }
+            },
+        );
+        prop_assert!(results.into_iter().all(|b| b));
+    }
+
+    /// bcast delivers the root's exact payload to every rank from any root.
+    #[test]
+    fn bcast_any_root_any_payload(
+        n in 1usize..6,
+        root_pick in any::<usize>(),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let root = root_pick % n;
+        let data2 = data.clone();
+        let results = Universe::run(n, move |comm| {
+            let mut buf = if comm.rank() == root {
+                data2.clone()
+            } else {
+                Vec::new()
+            };
+            comm.bcast(root, &mut buf).unwrap();
+            buf
+        });
+        for r in results {
+            prop_assert_eq!(&r, &data);
+        }
+    }
+}

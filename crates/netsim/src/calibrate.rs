@@ -1,0 +1,163 @@
+//! Calibration anchors tying the simulator to the paper's testbed.
+//!
+//! The paper reports measured latency/bandwidth of the three communication
+//! primitives it compares (Section II.B, Figures 2–3). Those measurements are
+//! the *calibration inputs* of this reproduction: the protocol cost models in
+//! [`crate::protocol`] interpolate between the anchor points below. The
+//! cluster-scale experiments (Figure 1, Table I, Figure 6) are then
+//! *predictions* built on these primitives plus the mechanism models.
+//!
+//! Each anchor records `(message_bytes, one_way_latency_ms)` and is annotated
+//! with the sentence of the paper it comes from. Latency between anchors is
+//! interpolated **linearly in message size** — physically, each segment is a
+//! `setup + bytes/bandwidth` affine law, which is exactly how these protocols
+//! behave between regime changes (eager/rendezvous switches, buffer-size
+//! boundaries).
+
+/// One calibration point: message size in bytes, one-way latency in ms.
+pub type Anchor = (u64, f64);
+
+/// MPICH2 1.3 over Gigabit Ethernet (paper Figure 2).
+///
+/// * 1 B: "the latency of Hadoop RPC is 2.49 times of that in MPICH2" with
+///   Hadoop RPC at ~1.3 ms ⇒ 0.522 ms.
+/// * 1 KB: "the MPICH2 latency rises from 0.6 ms" (start of Fig. 2b range).
+/// * 1 MB: "...to 10.3 ms" (end of Fig. 2b range).
+/// * 64 MB: "MPICH2 latency moves from 10.2 ms to 572 ms" (Fig. 2c) ⇒ an
+///   effective payload bandwidth of ≈117 MB/s.
+pub const MPI_LATENCY_MS: &[Anchor] = &[
+    (1, 0.522),
+    (1 << 10, 0.6),
+    (1 << 20, 10.3),
+    (64 << 20, 572.0),
+];
+
+/// Hadoop RPC (paper Figure 2).
+///
+/// * 1–16 B: "when the message size varies from 1 byte to 16 bytes, the
+///   latency of Hadoop RPC is about 1.3 ms".
+/// * 1 KB: "the latency of Hadoop RPC is 15.1 times of that in MPICH2"
+///   ⇒ 15.1 × 0.6 ms = 9.06 ms.
+/// * 256 KB: "when the message size exceeds 256 KB, the Hadoop RPC latency is
+///   100 times higher than that in MPICH2" ⇒ ≈100 × (0.6 + 256 K/108 MB/s)
+///   ≈ 321 ms (kept consistent with the 1 KB→1 MB per-byte slope).
+/// * 1 MB: "the Hadoop RPC latency grows … to 1259 ms" (and "123 times of
+///   that in MPICH2", the biggest multiple of the test).
+/// * 64 MB: "the Hadoop RPC latency rises … to 56827 ms" (Fig. 2c) — an
+///   effective rate of ≈1.2 MB/s, dominated by Java `ObjectWritable`
+///   element-wise serialization.
+pub const HADOOP_RPC_LATENCY_MS: &[Anchor] = &[
+    (1, 1.3),
+    (16, 1.3),
+    (1 << 10, 9.06),
+    (256 << 10, 321.0),
+    (1 << 20, 1259.0),
+    (64 << 20, 56_827.0),
+];
+
+/// Peak streaming payload bandwidth, bytes/sec (paper Figure 3).
+///
+/// "the average value of peak bandwidth achieved by MPICH2 is about 111 MB
+/// per second, while Jetty is about 108 MB per second" — MPI ≈ 2–3 % higher.
+pub const MPI_PEAK_BW: f64 = 111.0e6;
+/// Jetty peak bandwidth; see [`MPI_PEAK_BW`].
+pub const JETTY_PEAK_BW: f64 = 108.0e6;
+/// "The largest bandwidth achieved by the Hadoop RPC is only 1.4 MB per
+/// second."
+pub const HADOOP_RPC_PEAK_BW: f64 = 1.4e6;
+
+/// Per-message equivalent overhead, in bytes, of the MPI streaming path: the
+/// packet size at which streaming efficiency is 50 %. Chosen so the Figure 3
+/// curve matches "the bandwidth of MPICH2 is about 60 MB per second [at
+/// 256 B] to more than 110 MB per second": 111 × 256/(256+190) ≈ 64 MB/s.
+pub const MPI_MSG_OVERHEAD_BYTES: f64 = 190.0;
+/// Jetty per-write equivalent overhead: 108 × 256/(256+90) ≈ 80 MB/s at
+/// 256 B, matching "the bandwidth of Jetty is about 80 MB per second [at
+/// 256 B] to more than 100 MB per second".
+pub const JETTY_MSG_OVERHEAD_BYTES: f64 = 90.0;
+
+/// Hadoop RPC per-call fixed overhead for the bandwidth test (connection
+/// reuse + Java call dispatch), seconds. With the ~0.714 µs/byte
+/// serialization cost implied by [`HADOOP_RPC_PEAK_BW`], this reproduces the
+/// Figure 3 RPC curve.
+pub const HADOOP_RPC_CALL_SETUP_S: f64 = 1.3e-3;
+
+/// Relative run-to-run variability of the *peak* bandwidth, used by the
+/// Figure 3 driver: "during our tests, the peak bandwidth of MPICH2 is much
+/// smoother than Jetty."
+pub const MPI_BW_JITTER: f64 = 0.01;
+/// See [`MPI_BW_JITTER`].
+pub const JETTY_BW_JITTER: f64 = 0.08;
+
+/// Piecewise-linear interpolation through `anchors` (sorted by size).
+/// Extrapolates the first/last segment's slope beyond the table.
+pub fn interp_linear(anchors: &[Anchor], bytes: u64) -> f64 {
+    assert!(anchors.len() >= 2, "need at least two anchors");
+    debug_assert!(anchors.windows(2).all(|w| w[0].0 < w[1].0));
+    let x = bytes as f64;
+    // Find the bracketing segment (clamped to the first/last for
+    // extrapolation).
+    let mut i = 0;
+    while i + 2 < anchors.len() && bytes > anchors[i + 1].0 {
+        i += 1;
+    }
+    let (x0, y0) = (anchors[i].0 as f64, anchors[i].1);
+    let (x1, y1) = (anchors[i + 1].0 as f64, anchors[i + 1].1);
+    let slope = (y1 - y0) / (x1 - x0);
+    (y0 + slope * (x - x0)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interp_hits_anchors_exactly() {
+        for table in [MPI_LATENCY_MS, HADOOP_RPC_LATENCY_MS] {
+            for &(x, y) in table {
+                assert!((interp_linear(table, x) - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn interp_between_anchors_is_monotone_here() {
+        // Both calibration tables are increasing, so interpolation between
+        // successive sizes must be nondecreasing.
+        for table in [MPI_LATENCY_MS, HADOOP_RPC_LATENCY_MS] {
+            let mut last = 0.0;
+            let mut sz = 1u64;
+            while sz <= 64 << 20 {
+                let v = interp_linear(table, sz);
+                assert!(v >= last, "non-monotone at {sz}");
+                last = v;
+                sz *= 2;
+            }
+        }
+    }
+
+    #[test]
+    fn extrapolation_beyond_last_anchor() {
+        // 128 MB extrapolates the 1 MB→64 MB slope: about 2× the 64 MB value
+        // minus the intercept — just check it is larger and finite.
+        let v = interp_linear(MPI_LATENCY_MS, 128 << 20);
+        assert!(v > 572.0 && v < 2000.0, "got {v}");
+    }
+
+    #[test]
+    fn paper_ratio_anchors() {
+        let ratio = |b: u64| {
+            interp_linear(HADOOP_RPC_LATENCY_MS, b) / interp_linear(MPI_LATENCY_MS, b)
+        };
+        // "the latency of Hadoop RPC is 2.49 times of that in MPICH2" (1 B)
+        assert!((ratio(1) - 2.49).abs() < 0.05, "1B ratio {}", ratio(1));
+        // "the latency of Hadoop RPC is 15.1 times of that in MPICH2" (1 KB)
+        assert!((ratio(1 << 10) - 15.1).abs() < 0.2);
+        // ">100 times" beyond 256 KB
+        assert!(ratio(256 << 10) > 100.0);
+        // "123 times ... the biggest multiple" at 1 MB
+        assert!(ratio(1 << 20) > 115.0 && ratio(1 << 20) < 130.0);
+        // 64 MB: 56827/572 ≈ 99×
+        assert!(ratio(64 << 20) > 90.0);
+    }
+}

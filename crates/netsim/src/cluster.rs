@@ -1,0 +1,247 @@
+//! Cluster topology: hosts with NICs and disks behind a non-blocking switch.
+
+use crate::resource::{FluidEngine, ResourceId};
+use desim::SimTime;
+
+/// Index of a host in the cluster (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub usize);
+
+/// Physical parameters of the simulated cluster.
+///
+/// The switch is modelled as non-blocking (as a datacenter ToR GbE switch
+/// effectively is for 8 hosts), so the only network resources are each host's
+/// uplink and downlink.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Payload bandwidth of each NIC direction, bytes/sec.
+    pub nic_bytes_per_sec: f64,
+    /// Intra-host (memory) transfer bandwidth, bytes/sec.
+    pub loopback_bytes_per_sec: f64,
+    /// Sequential disk read bandwidth, bytes/sec.
+    pub disk_read_bytes_per_sec: f64,
+    /// Sequential disk write bandwidth, bytes/sec.
+    pub disk_write_bytes_per_sec: f64,
+    /// Average seek penalty charged before a non-sequential disk access.
+    pub disk_seek: SimTime,
+}
+
+impl ClusterSpec {
+    /// The paper's testbed (Section II): 8 nodes, Gigabit Ethernet, one
+    /// 170 GB disk per node, 16 GB RAM.
+    ///
+    /// * NIC: 117 MB/s effective payload rate — from Figure 2(c), a 64 MB
+    ///   MPICH2 message takes 572 ms.
+    /// * Disk: 80 MB/s sequential read / 65 MB/s write, 8 ms seek — typical
+    ///   of the 7200 rpm SATA drives of 2010-era Xeon E5620 nodes.
+    /// * Loopback: 2 GB/s — in-memory copy through localhost.
+    pub fn icpp2011_testbed() -> Self {
+        ClusterSpec {
+            hosts: 8,
+            nic_bytes_per_sec: 117.0e6,
+            loopback_bytes_per_sec: 2.0e9,
+            disk_read_bytes_per_sec: 80.0e6,
+            disk_write_bytes_per_sec: 65.0e6,
+            disk_seek: SimTime::from_millis(8),
+        }
+    }
+}
+
+/// How a flow traverses the cluster.
+#[derive(Debug, Clone)]
+pub enum Route {
+    /// NIC-to-NIC transfer between distinct hosts.
+    HostToHost {
+        /// Sending host.
+        src: HostId,
+        /// Receiving host.
+        dst: HostId,
+    },
+    /// Intra-host transfer (does not touch the NIC).
+    Loopback(HostId),
+    /// Sequential read from a host's disk.
+    DiskRead(HostId),
+    /// Sequential write to a host's disk.
+    DiskWrite(HostId),
+    /// Remote disk read: disk on `from`, then network to `to`.
+    /// (Both resources held for the duration — a streaming read.)
+    RemoteRead {
+        /// Host whose disk is read.
+        from: HostId,
+        /// Host receiving the data.
+        to: HostId,
+    },
+}
+
+/// A concrete cluster: spec plus the resource-id layout used by the fluid
+/// engine.
+///
+/// Resource layout per host `h` (4 resources each):
+/// `4h` = uplink, `4h+1` = downlink, `4h+2` = disk, `4h+3` = loopback.
+/// The disk is a single resource shared by reads and writes (a spindle cannot
+/// do both at full speed); its capacity is the read rate, and write flows
+/// inflate their byte count by `read_rate / write_rate` so a lone write
+/// proceeds at the write rate while mixed read/write still contends on one
+/// resource.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    spec: ClusterSpec,
+}
+
+impl Cluster {
+    /// Wrap a spec.
+    pub fn new(spec: ClusterSpec) -> Self {
+        assert!(spec.hosts > 0, "cluster needs at least one host");
+        Cluster { spec }
+    }
+
+    /// The physical parameters.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.spec.hosts
+    }
+
+    /// Iterate over all host ids.
+    pub fn host_ids(&self) -> impl Iterator<Item = HostId> {
+        (0..self.spec.hosts).map(HostId)
+    }
+
+    /// Uplink resource of a host.
+    pub fn uplink(&self, h: HostId) -> ResourceId {
+        ResourceId(4 * h.0)
+    }
+    /// Downlink resource of a host.
+    pub fn downlink(&self, h: HostId) -> ResourceId {
+        ResourceId(4 * h.0 + 1)
+    }
+    /// Disk resource of a host.
+    pub fn disk(&self, h: HostId) -> ResourceId {
+        ResourceId(4 * h.0 + 2)
+    }
+    /// Loopback resource of a host.
+    pub fn loopback(&self, h: HostId) -> ResourceId {
+        ResourceId(4 * h.0 + 3)
+    }
+
+    /// Build the fluid engine with this cluster's resources.
+    pub fn build_engine(&self) -> FluidEngine {
+        let mut e = FluidEngine::new();
+        for _ in 0..self.spec.hosts {
+            e.add_resource(self.spec.nic_bytes_per_sec); // uplink
+            e.add_resource(self.spec.nic_bytes_per_sec); // downlink
+            e.add_resource(self.spec.disk_read_bytes_per_sec); // disk
+            e.add_resource(self.spec.loopback_bytes_per_sec); // loopback
+        }
+        e
+    }
+
+    /// Resources a route crosses.
+    pub fn route_resources(&self, route: &Route) -> Vec<ResourceId> {
+        match *route {
+            Route::HostToHost { src, dst } => {
+                assert!(src != dst, "use Route::Loopback for intra-host flows");
+                self.check(src);
+                self.check(dst);
+                vec![self.uplink(src), self.downlink(dst)]
+            }
+            Route::Loopback(h) => {
+                self.check(h);
+                vec![self.loopback(h)]
+            }
+            Route::DiskRead(h) => {
+                self.check(h);
+                vec![self.disk(h)]
+            }
+            Route::DiskWrite(h) => {
+                self.check(h);
+                vec![self.disk(h)]
+            }
+            Route::RemoteRead { from, to } => {
+                self.check(from);
+                self.check(to);
+                if from == to {
+                    vec![self.disk(from)]
+                } else {
+                    vec![self.disk(from), self.uplink(from), self.downlink(to)]
+                }
+            }
+        }
+    }
+
+    fn check(&self, h: HostId) {
+        assert!(h.0 < self.spec.hosts, "host {h:?} out of range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_spec_matches_paper() {
+        let s = ClusterSpec::icpp2011_testbed();
+        assert_eq!(s.hosts, 8);
+        // 64 MB over the NIC ≈ 572 ms (Figure 2c).
+        let secs = 64.0 * 1024.0 * 1024.0 / s.nic_bytes_per_sec;
+        assert!((secs - 0.572).abs() < 0.01, "got {secs}");
+    }
+
+    #[test]
+    fn resource_layout_is_disjoint() {
+        let c = Cluster::new(ClusterSpec::icpp2011_testbed());
+        let mut seen = std::collections::HashSet::new();
+        for h in c.host_ids() {
+            for r in [c.uplink(h), c.downlink(h), c.disk(h), c.loopback(h)] {
+                assert!(seen.insert(r), "duplicate resource id {r:?}");
+            }
+        }
+        let engine = c.build_engine();
+        assert_eq!(engine.resource_count(), seen.len());
+    }
+
+    #[test]
+    fn routes_map_to_expected_resources() {
+        let c = Cluster::new(ClusterSpec::icpp2011_testbed());
+        let r = c.route_resources(&Route::HostToHost {
+            src: HostId(1),
+            dst: HostId(2),
+        });
+        assert_eq!(r, vec![c.uplink(HostId(1)), c.downlink(HostId(2))]);
+        let r = c.route_resources(&Route::RemoteRead {
+            from: HostId(0),
+            to: HostId(3),
+        });
+        assert_eq!(
+            r,
+            vec![c.disk(HostId(0)), c.uplink(HostId(0)), c.downlink(HostId(3))]
+        );
+        let r = c.route_resources(&Route::RemoteRead {
+            from: HostId(2),
+            to: HostId(2),
+        });
+        assert_eq!(r, vec![c.disk(HostId(2))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "use Route::Loopback")]
+    fn host_to_host_same_host_panics() {
+        let c = Cluster::new(ClusterSpec::icpp2011_testbed());
+        c.route_resources(&Route::HostToHost {
+            src: HostId(1),
+            dst: HostId(1),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_host_panics() {
+        let c = Cluster::new(ClusterSpec::icpp2011_testbed());
+        c.route_resources(&Route::Loopback(HostId(99)));
+    }
+}

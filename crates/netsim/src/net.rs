@@ -1,0 +1,402 @@
+//! DES driver for the fluid engine: flows with completion callbacks, embedded
+//! in a `desim` simulation.
+
+use crate::cluster::{Cluster, HostId, Route};
+use crate::resource::{FlowId, FluidEngine};
+use desim::{EventId, Scheduler, SimTime};
+use std::collections::HashMap;
+
+/// Gives the `Net` driver access to itself inside the user's simulation state.
+///
+/// Event handlers in `desim` receive `&mut S`; the network driver needs to
+/// find itself within `S` to advance flows, so the simulation state implements
+/// this single-method trait.
+pub trait HasNet: Sized + 'static {
+    /// Mutable access to the embedded network driver.
+    fn net(&mut self) -> &mut Net<Self>;
+}
+
+type DoneFn<S> = Box<dyn FnOnce(&mut S, &mut Scheduler<S>)>;
+
+/// Fluid network embedded in a discrete-event simulation.
+///
+/// Start flows with [`Net::start_flow`]; the provided callback fires at the
+/// simulated instant the last byte arrives. Rates react to every flow
+/// start/completion (max-min fair sharing — see [`FluidEngine`]).
+pub struct Net<S> {
+    fluid: FluidEngine,
+    cluster: Cluster,
+    callbacks: HashMap<FlowId, DoneFn<S>>,
+    timer: Option<EventId>,
+    last_sync: SimTime,
+    flows_completed: u64,
+}
+
+impl<S: HasNet> Net<S> {
+    /// Build a driver over `cluster`'s resources.
+    pub fn new(cluster: Cluster) -> Self {
+        Net {
+            fluid: cluster.build_engine(),
+            cluster,
+            callbacks: HashMap::new(),
+            timer: None,
+            last_sync: SimTime::ZERO,
+            flows_completed: 0,
+        }
+    }
+
+    /// The cluster topology this driver simulates.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Number of flows whose completion callback has fired.
+    pub fn flows_completed(&self) -> u64 {
+        self.flows_completed
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.fluid.active_flows()
+    }
+
+    /// Start a flow of `bytes` along `route`, invoking `done` when finished.
+    ///
+    /// Zero-byte flows complete "immediately" (via a zero-delay event, so the
+    /// callback still runs from the event loop, never reentrantly).
+    pub fn start_flow(
+        state: &mut S,
+        sched: &mut Scheduler<S>,
+        route: Route,
+        bytes: u64,
+        weight: f64,
+        done: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    ) -> FlowId {
+        // Bring the fluid state up to `now` before mutating the flow set.
+        Self::sync(state, sched);
+        let net = state.net();
+        let resources = net.cluster.route_resources(&route);
+        let id = net.fluid.start_flow(bytes, &resources, weight);
+        net.callbacks.insert(id, Box::new(done));
+        Self::arm_timer(state, sched);
+        id
+    }
+
+    /// Cancel an active flow; its callback never fires. Returns the number of
+    /// bytes left undelivered, or `None` if the flow already completed.
+    pub fn cancel_flow(
+        state: &mut S,
+        sched: &mut Scheduler<S>,
+        id: FlowId,
+    ) -> Option<u64> {
+        Self::sync(state, sched);
+        let net = state.net();
+        let left = net.fluid.cancel_flow(id)?;
+        net.callbacks.remove(&id);
+        Self::arm_timer(state, sched);
+        Some(left)
+    }
+
+    /// Advance fluid progress to the current simulated time and fire any
+    /// completion callbacks.
+    fn sync(state: &mut S, sched: &mut Scheduler<S>) {
+        let now = sched.now();
+        let net = state.net();
+        let dt = (now - net.last_sync).as_secs_f64();
+        net.last_sync = now;
+        let done = net.fluid.advance(dt);
+        if done.is_empty() {
+            return;
+        }
+        let mut cbs = Vec::with_capacity(done.len());
+        for id in done {
+            if let Some(cb) = net.callbacks.remove(&id) {
+                cbs.push(cb);
+            }
+            net.flows_completed += 1;
+        }
+        for cb in cbs {
+            cb(state, sched);
+        }
+    }
+
+    /// (Re)schedule the wake-up event for the next flow completion.
+    fn arm_timer(state: &mut S, sched: &mut Scheduler<S>) {
+        let net = state.net();
+        if let Some(t) = net.timer.take() {
+            sched.cancel(t);
+        }
+        let Some(secs) = net.fluid.next_completion() else {
+            return;
+        };
+        // Clamp positive-but-subnanosecond completions up to 1 ns so the
+        // timer always advances the clock (otherwise a flow whose remaining
+        // bytes round to a 0 ns transfer would re-arm forever at `now`).
+        let delay = if secs == 0.0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_secs_f64(secs).max(SimTime::from_nanos(1))
+        };
+        let id = sched.schedule_in(delay, |s: &mut S, sc| {
+            s.net().timer = None;
+            Net::sync(s, sc);
+            Net::arm_timer(s, sc);
+        });
+        state.net().timer = Some(id);
+    }
+
+    /// Convenience: host-to-host transfer (loopback when `src == dst`).
+    pub fn transfer(
+        state: &mut S,
+        sched: &mut Scheduler<S>,
+        src: HostId,
+        dst: HostId,
+        bytes: u64,
+        done: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    ) -> FlowId {
+        let route = if src == dst {
+            Route::Loopback(src)
+        } else {
+            Route::HostToHost { src, dst }
+        };
+        Self::start_flow(state, sched, route, bytes, 1.0, done)
+    }
+
+    /// Convenience: sequential disk read of `bytes` on `host`, preceded by one
+    /// seek if `seek` is set.
+    pub fn disk_read(
+        state: &mut S,
+        sched: &mut Scheduler<S>,
+        host: HostId,
+        bytes: u64,
+        seek: bool,
+        done: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    ) {
+        let seek_time = if seek {
+            state.net().cluster.spec().disk_seek
+        } else {
+            SimTime::ZERO
+        };
+        sched.schedule_in(seek_time, move |s: &mut S, sc| {
+            Net::start_flow(s, sc, Route::DiskRead(host), bytes, 1.0, done);
+        });
+    }
+
+    /// Convenience: sequential disk write of `bytes` on `host`.
+    ///
+    /// The disk resource's capacity is the *read* rate; writes are slower, so
+    /// the byte count is inflated by `read_rate / write_rate` (see the
+    /// resource-layout notes on [`Cluster`]).
+    pub fn disk_write(
+        state: &mut S,
+        sched: &mut Scheduler<S>,
+        host: HostId,
+        bytes: u64,
+        done: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    ) {
+        let spec = state.net().cluster.spec();
+        let ratio = spec.disk_read_bytes_per_sec / spec.disk_write_bytes_per_sec;
+        let scaled = ((bytes as f64) * ratio).ceil() as u64;
+        Self::start_flow(state, sched, Route::DiskWrite(host), scaled, 1.0, done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use desim::Sim;
+
+    struct St {
+        net: Net<St>,
+        done_at: Vec<(u32, SimTime)>,
+    }
+    impl HasNet for St {
+        fn net(&mut self) -> &mut Net<St> {
+            &mut self.net
+        }
+    }
+
+    fn sim_with(spec: ClusterSpec) -> Sim<St> {
+        Sim::new(St {
+            net: Net::new(Cluster::new(spec)),
+            done_at: vec![],
+        })
+    }
+
+    fn small_spec() -> ClusterSpec {
+        ClusterSpec {
+            hosts: 4,
+            nic_bytes_per_sec: 100.0,
+            loopback_bytes_per_sec: 1000.0,
+            disk_read_bytes_per_sec: 50.0,
+            disk_write_bytes_per_sec: 40.0,
+            disk_seek: SimTime::from_millis(8),
+        }
+    }
+
+    #[test]
+    fn single_transfer_takes_bytes_over_bandwidth() {
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            Net::transfer(s, sc, HostId(0), HostId(1), 200, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+        });
+        sim.run();
+        assert_eq!(sim.state.done_at.len(), 1);
+        // 200 bytes at 100 B/s = 2 s.
+        assert_eq!(sim.state.done_at[0].1, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn contending_transfers_share_then_speed_up() {
+        // Two flows out of host 0: share the uplink (50 B/s each); when the
+        // short one finishes, the long one accelerates to 100 B/s.
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            Net::transfer(s, sc, HostId(0), HostId(1), 100, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+            Net::transfer(s, sc, HostId(0), HostId(2), 300, |s, sc| {
+                s.done_at.push((2, sc.now()));
+            });
+        });
+        sim.run();
+        // Short flow: 100 bytes at 50 B/s = 2 s.
+        // Long flow: 200 bytes left at t=2, then 100 B/s → done at 4 s.
+        assert_eq!(
+            sim.state.done_at,
+            vec![
+                (1, SimTime::from_secs(2)),
+                (2, SimTime::from_secs(4)),
+            ]
+        );
+    }
+
+    #[test]
+    fn late_arrival_slows_existing_flow() {
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            Net::transfer(s, sc, HostId(0), HostId(1), 400, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+        });
+        // At t=1s, 100 bytes moved; a second flow halves the rate.
+        sim.schedule(SimTime::from_secs(1), |s: &mut St, sc| {
+            Net::transfer(s, sc, HostId(0), HostId(2), 100, |s, sc| {
+                s.done_at.push((2, sc.now()));
+            });
+        });
+        sim.run();
+        // Flow 2: 100 bytes at 50 B/s → done at t=3.
+        // Flow 1: 100 + (2s × 50) = 200 by t=3, then 200 left at 100 B/s → t=5.
+        assert_eq!(
+            sim.state.done_at,
+            vec![
+                (2, SimTime::from_secs(3)),
+                (1, SimTime::from_secs(5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn loopback_does_not_use_nic() {
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            // Saturate the uplink of host 0.
+            Net::transfer(s, sc, HostId(0), HostId(1), 1000, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+            // Loopback on host 0 must be unaffected (1000 B/s).
+            Net::transfer(s, sc, HostId(0), HostId(0), 1000, |s, sc| {
+                s.done_at.push((0, sc.now()));
+            });
+        });
+        sim.run();
+        assert_eq!(sim.state.done_at[0], (0, SimTime::from_secs(1)));
+        assert_eq!(sim.state.done_at[1], (1, SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn disk_read_includes_seek() {
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            Net::disk_read(s, sc, HostId(2), 50, true, |s, sc| {
+                s.done_at.push((9, sc.now()));
+            });
+        });
+        sim.run();
+        // 8 ms seek + 50 bytes at 50 B/s = 1.008 s.
+        assert_eq!(
+            sim.state.done_at[0].1,
+            SimTime::from_millis(8) + SimTime::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn disk_read_and_write_share_the_spindle() {
+        // Read at 50 and write at 40 on the same disk: the disk resource is
+        // shared, so concurrent read+write each get a fraction.
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            Net::disk_read(s, sc, HostId(1), 100, false, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+            Net::disk_write(s, sc, HostId(1), 100, |s, sc| {
+                s.done_at.push((2, sc.now()));
+            });
+        });
+        sim.run();
+        // Both finish later than they would alone.
+        assert!(sim.state.done_at[0].1 > SimTime::from_secs(2));
+        assert!(sim.state.done_at[1].1 > SimTime::from_millis(2500));
+    }
+
+    #[test]
+    fn cancel_flow_suppresses_callback() {
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            let id = Net::transfer(s, sc, HostId(0), HostId(1), 1000, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+            sc.schedule_in(SimTime::from_secs(1), move |s: &mut St, sc| {
+                let left = Net::cancel_flow(s, sc, id).unwrap();
+                assert_eq!(left, 900);
+            });
+        });
+        sim.run();
+        assert!(sim.state.done_at.is_empty());
+    }
+
+    #[test]
+    fn zero_byte_flow_completes() {
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            Net::transfer(s, sc, HostId(0), HostId(1), 0, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+        });
+        sim.run();
+        assert_eq!(sim.state.done_at.len(), 1);
+    }
+
+    #[test]
+    fn many_flows_byte_accounting() {
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            for d in 1..4u32 {
+                for k in 0..3u32 {
+                    let tag = d * 10 + k;
+                    Net::transfer(s, sc, HostId(0), HostId(d as usize), 100 + k as u64 * 37, move |s, sc| {
+                        s.done_at.push((tag, sc.now()));
+                    });
+                }
+            }
+        });
+        sim.run();
+        assert_eq!(sim.state.done_at.len(), 9);
+        assert_eq!(sim.state.net.flows_completed(), 9);
+        assert_eq!(sim.state.net.active_flows(), 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! Max-min fair fluid sharing of capacitated resources.
+//!
+//! The core abstraction of the cluster simulator: a set of *resources* (NIC
+//! uplinks/downlinks, disks, loopback memory channels), each with a capacity in
+//! bytes/second, and a set of *flows*, each of which must push a number of
+//! bytes through one or more resources simultaneously (a host-to-host transfer
+//! uses the source uplink **and** the destination downlink).
+//!
+//! Rates are assigned by weighted **progressive filling** (the textbook
+//! max-min fairness algorithm): repeatedly find the resource whose fair share
+//! per unit weight is smallest, freeze every unfrozen flow crossing it at its
+//! fair share, subtract, and repeat. This is how long-lived TCP flows through
+//! a non-blocking switch share a Gigabit Ethernet in steady state — exactly
+//! the regime of the paper's shuffle measurements.
+
+use std::collections::BTreeMap;
+
+/// Identifies a capacitated resource (e.g. "host 3 uplink").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub usize);
+
+/// Identifies an active flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    remaining: f64,
+    resources: Vec<ResourceId>,
+    weight: f64,
+    rate: f64,
+}
+
+/// Completion-free residual below which a flow counts as finished.
+/// (Fluid arithmetic is f64; one byte of slack absorbs rounding.)
+const DONE_EPS: f64 = 1e-6;
+
+/// The fluid engine: resources, flows, and max-min rate assignment.
+///
+/// Purely computational — time advancement is driven externally (see
+/// `netsim::net::Net` for the DES driver).
+#[derive(Debug, Default)]
+pub struct FluidEngine {
+    capacities: Vec<f64>,
+    // BTreeMap so iteration order (and therefore f64 accumulation order) is
+    // deterministic across runs.
+    flows: BTreeMap<FlowId, FlowState>,
+    next_id: u64,
+    total_bytes_completed: f64,
+}
+
+impl FluidEngine {
+    /// Engine with no resources.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a resource with the given capacity (bytes/sec); returns its id.
+    ///
+    /// # Panics
+    /// Panics unless `capacity` is positive and finite.
+    pub fn add_resource(&mut self, capacity: f64) -> ResourceId {
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "resource capacity must be positive and finite, got {capacity}"
+        );
+        self.capacities.push(capacity);
+        ResourceId(self.capacities.len() - 1)
+    }
+
+    /// Number of registered resources.
+    pub fn resource_count(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Capacity of a resource.
+    pub fn capacity(&self, r: ResourceId) -> f64 {
+        self.capacities[r.0]
+    }
+
+    /// Start a flow of `bytes` across `resources` with fairness `weight`
+    /// (1.0 = one TCP-stream's worth). Rates of all flows are recomputed.
+    ///
+    /// # Panics
+    /// Panics if `resources` is empty, contains an unknown id, or `weight`
+    /// is not positive.
+    pub fn start_flow(&mut self, bytes: u64, resources: &[ResourceId], weight: f64) -> FlowId {
+        assert!(!resources.is_empty(), "flow must cross at least one resource");
+        assert!(weight > 0.0 && weight.is_finite());
+        for r in resources {
+            assert!(r.0 < self.capacities.len(), "unknown resource {r:?}");
+        }
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        // Deduplicate: a flow crossing the same resource twice would double-
+        // count its weight in the fair-share computation.
+        let mut resources = resources.to_vec();
+        resources.sort_unstable();
+        resources.dedup();
+        self.flows.insert(
+            id,
+            FlowState {
+                remaining: bytes as f64,
+                resources,
+                weight,
+                rate: 0.0,
+            },
+        );
+        self.recompute();
+        id
+    }
+
+    /// Remove a flow without completing it. Returns the unfinished byte count,
+    /// or `None` if the flow is unknown (already completed or cancelled).
+    pub fn cancel_flow(&mut self, id: FlowId) -> Option<u64> {
+        let st = self.flows.remove(&id)?;
+        self.recompute();
+        Some(st.remaining.max(0.0).round() as u64)
+    }
+
+    /// Current rate (bytes/sec) of a flow; `None` if unknown.
+    pub fn rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.rate)
+    }
+
+    /// Remaining bytes of a flow; `None` if unknown.
+    pub fn remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.remaining)
+    }
+
+    /// Number of active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes delivered by completed-or-progressed flows so far.
+    pub fn total_bytes_completed(&self) -> f64 {
+        self.total_bytes_completed
+    }
+
+    /// Advance all flows by `dt_secs`, returning the ids of flows that
+    /// completed (in ascending id order — deterministic). Rates are
+    /// recomputed if anything completed.
+    pub fn advance(&mut self, dt_secs: f64) -> Vec<FlowId> {
+        assert!(dt_secs >= 0.0 && dt_secs.is_finite());
+        if self.flows.is_empty() {
+            return Vec::new();
+        }
+        // NOTE: dt == 0 must still run the completion scan — zero-byte flows
+        // complete without time passing, and the DES driver relies on that.
+        let mut done = Vec::new();
+        for (&id, f) in self.flows.iter_mut() {
+            let moved = f.rate * dt_secs;
+            self.total_bytes_completed += moved.min(f.remaining);
+            f.remaining -= moved;
+            if f.remaining <= DONE_EPS {
+                done.push(id);
+            }
+        }
+        for id in &done {
+            self.flows.remove(id);
+        }
+        if !done.is_empty() {
+            self.recompute();
+        }
+        done
+    }
+
+    /// Seconds until the next flow completes at current rates, if any flow is
+    /// making progress.
+    pub fn next_completion(&self) -> Option<f64> {
+        self.flows
+            .values()
+            .filter(|f| f.rate > 0.0)
+            .map(|f| (f.remaining / f.rate).max(0.0))
+            .min_by(|a, b| a.partial_cmp(b).expect("NaN completion time"))
+    }
+
+    /// Recompute all flow rates by weighted progressive filling.
+    fn recompute(&mut self) {
+        let n_res = self.capacities.len();
+        let mut residual = self.capacities.clone();
+        // Per-resource total weight of unfrozen flows.
+        let mut weight_on: Vec<f64> = vec![0.0; n_res];
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        let mut frozen: BTreeMap<FlowId, bool> =
+            ids.iter().map(|&i| (i, false)).collect();
+        for f in self.flows.values_mut() {
+            f.rate = 0.0;
+        }
+        for (_, f) in self.flows.iter() {
+            for r in &f.resources {
+                weight_on[r.0] += f.weight;
+            }
+        }
+        let mut unfrozen = ids.len();
+        while unfrozen > 0 {
+            // Find the bottleneck: resource with the least fair share per
+            // unit of weight.
+            let mut best: Option<(usize, f64)> = None;
+            for r in 0..n_res {
+                // f64 subtraction of accumulated weights can leave a tiny
+                // residue; treat near-zero as "no unfrozen flows here".
+                if weight_on[r] <= 1e-9 {
+                    continue;
+                }
+                let fair = residual[r] / weight_on[r];
+                match best {
+                    Some((_, b)) if fair >= b => {}
+                    _ => best = Some((r, fair)),
+                }
+            }
+            let Some((bottleneck, fair)) = best else {
+                break; // remaining flows cross only weightless resources: impossible
+            };
+            let fair = fair.max(0.0);
+            // Freeze every unfrozen flow crossing the bottleneck at
+            // `fair * weight`.
+            let freezing: Vec<FlowId> = self
+                .flows
+                .iter()
+                .filter(|(id, f)| {
+                    !frozen[id] && f.resources.iter().any(|r| r.0 == bottleneck)
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            debug_assert!(!freezing.is_empty());
+            for id in freezing {
+                let f = self.flows.get_mut(&id).expect("flow vanished");
+                f.rate = fair * f.weight;
+                frozen.insert(id, true);
+                unfrozen -= 1;
+                for r in &f.resources {
+                    residual[r.0] -= f.rate;
+                    weight_on[r.0] -= f.weight;
+                }
+            }
+            // Guard tiny negative residuals from f64 rounding.
+            for r in residual.iter_mut() {
+                if *r < 0.0 {
+                    *r = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Sum of rates crossing a resource (for assertions/telemetry).
+    pub fn utilization(&self, r: ResourceId) -> f64 {
+        self.flows
+            .values()
+            .filter(|f| f.resources.contains(&r))
+            .map(|f| f.rate)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let mut e = FluidEngine::new();
+        let r = e.add_resource(100.0);
+        let f = e.start_flow(1000, &[r], 1.0);
+        assert_eq!(e.rate(f), Some(100.0));
+        assert_eq!(e.next_completion(), Some(10.0));
+    }
+
+    #[test]
+    fn two_flows_share_a_link_equally() {
+        let mut e = FluidEngine::new();
+        let r = e.add_resource(100.0);
+        let a = e.start_flow(1000, &[r], 1.0);
+        let b = e.start_flow(1000, &[r], 1.0);
+        assert_eq!(e.rate(a), Some(50.0));
+        assert_eq!(e.rate(b), Some(50.0));
+    }
+
+    #[test]
+    fn weighted_sharing() {
+        let mut e = FluidEngine::new();
+        let r = e.add_resource(90.0);
+        let a = e.start_flow(1000, &[r], 1.0);
+        let b = e.start_flow(1000, &[r], 2.0);
+        assert!((e.rate(a).unwrap() - 30.0).abs() < 1e-9);
+        assert!((e.rate(b).unwrap() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_rate_is_min_across_its_resources() {
+        let mut e = FluidEngine::new();
+        let fast = e.add_resource(1000.0);
+        let slow = e.add_resource(10.0);
+        let f = e.start_flow(1000, &[fast, slow], 1.0);
+        assert_eq!(e.rate(f), Some(10.0));
+    }
+
+    #[test]
+    fn classic_max_min_example() {
+        // Link L1 cap 10 shared by flows A, B; link L2 cap 100 used by B, C.
+        // Max-min: A = B = 5 on L1; C gets 100 - 5 = 95 on L2.
+        let mut e = FluidEngine::new();
+        let l1 = e.add_resource(10.0);
+        let l2 = e.add_resource(100.0);
+        let a = e.start_flow(1_000_000, &[l1], 1.0);
+        let b = e.start_flow(1_000_000, &[l1, l2], 1.0);
+        let c = e.start_flow(1_000_000, &[l2], 1.0);
+        assert!((e.rate(a).unwrap() - 5.0).abs() < 1e-9);
+        assert!((e.rate(b).unwrap() - 5.0).abs() < 1e-9);
+        assert!((e.rate(c).unwrap() - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_frees_bandwidth_for_survivors() {
+        let mut e = FluidEngine::new();
+        let r = e.add_resource(100.0);
+        let a = e.start_flow(100, &[r], 1.0); // done after 2s at 50 B/s
+        let b = e.start_flow(1000, &[r], 1.0);
+        let t = e.next_completion().unwrap();
+        assert!((t - 2.0).abs() < 1e-9);
+        let done = e.advance(t);
+        assert_eq!(done, vec![a]);
+        // Survivor now gets the whole link.
+        assert_eq!(e.rate(b), Some(100.0));
+        assert!((e.remaining(b).unwrap() - 900.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simultaneous_completions_reported_in_id_order() {
+        let mut e = FluidEngine::new();
+        let r = e.add_resource(100.0);
+        let a = e.start_flow(100, &[r], 1.0);
+        let b = e.start_flow(100, &[r], 1.0);
+        let done = e.advance(2.0);
+        assert_eq!(done, vec![a, b]);
+        assert_eq!(e.active_flows(), 0);
+    }
+
+    #[test]
+    fn cancel_returns_unfinished_bytes_and_frees_capacity() {
+        let mut e = FluidEngine::new();
+        let r = e.add_resource(100.0);
+        let a = e.start_flow(1000, &[r], 1.0);
+        let b = e.start_flow(1000, &[r], 1.0);
+        e.advance(1.0); // each moved 50
+        let left = e.cancel_flow(a).unwrap();
+        assert_eq!(left, 950);
+        assert_eq!(e.rate(b), Some(100.0));
+        assert_eq!(e.cancel_flow(a), None, "double cancel");
+    }
+
+    #[test]
+    fn utilization_never_exceeds_capacity() {
+        let mut e = FluidEngine::new();
+        let up: Vec<_> = (0..4).map(|_| e.add_resource(117.0)).collect();
+        let down: Vec<_> = (0..4).map(|_| e.add_resource(117.0)).collect();
+        // All-to-all flows.
+        for (s, &u) in up.iter().enumerate() {
+            for (d, &dn) in down.iter().enumerate() {
+                if s != d {
+                    e.start_flow(1_000_000, &[u, dn], 1.0);
+                }
+            }
+        }
+        for r in up.iter().chain(down.iter()) {
+            assert!(e.utilization(*r) <= 117.0 + 1e-6);
+            // Fully loaded symmetric pattern should saturate every link.
+            assert!(e.utilization(*r) >= 117.0 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn advance_zero_dt_is_noop() {
+        let mut e = FluidEngine::new();
+        let r = e.add_resource(10.0);
+        let f = e.start_flow(100, &[r], 1.0);
+        assert!(e.advance(0.0).is_empty());
+        assert_eq!(e.remaining(f), Some(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn empty_resource_set_rejected() {
+        let mut e = FluidEngine::new();
+        e.start_flow(10, &[], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let mut e = FluidEngine::new();
+        e.add_resource(0.0);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately_on_advance() {
+        let mut e = FluidEngine::new();
+        let r = e.add_resource(10.0);
+        let f = e.start_flow(0, &[r], 1.0);
+        assert_eq!(e.next_completion(), Some(0.0));
+        let done = e.advance(1e-9);
+        assert_eq!(done, vec![f]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the fluid engine: capacity respect, max-min
+//! optimality, byte conservation, and end-to-end DES delivery.
+
+use desim::{Sim, SimTime};
+use netsim::{Cluster, ClusterSpec, FluidEngine, HasNet, HostId, Net, ResourceId, Route};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Random resource capacities and flows over up to two resources each.
+#[allow(clippy::type_complexity)]
+fn arb_system() -> impl Strategy<Value = (Vec<f64>, Vec<(u64, Vec<usize>, f64)>)> {
+    (2usize..8).prop_flat_map(|n_res| {
+        let caps = proptest::collection::vec(1.0f64..1000.0, n_res..=n_res);
+        let flows = proptest::collection::vec(
+            (
+                1u64..100_000,
+                proptest::collection::vec(0usize..n_res, 1..=2),
+                0.5f64..4.0,
+            ),
+            1..20,
+        );
+        (caps, flows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No resource is ever oversubscribed, and every active flow gets a
+    /// strictly positive rate.
+    #[test]
+    fn rates_respect_capacity((caps, flows) in arb_system()) {
+        let mut e = FluidEngine::new();
+        let rs: Vec<ResourceId> = caps.iter().map(|&c| e.add_resource(c)).collect();
+        let mut ids = Vec::new();
+        for (bytes, res_idx, w) in &flows {
+            let resources: Vec<ResourceId> =
+                res_idx.iter().map(|&i| rs[i]).collect();
+            ids.push(e.start_flow(*bytes, &resources, *w));
+        }
+        for (i, &r) in rs.iter().enumerate() {
+            let u = e.utilization(r);
+            prop_assert!(u <= caps[i] * (1.0 + 1e-9), "resource {i}: {u} > {}", caps[i]);
+        }
+        for id in ids {
+            let rate = e.rate(id).unwrap();
+            prop_assert!(rate > 0.0, "starved flow");
+        }
+    }
+
+    /// Max-min optimality: every flow crosses at least one *saturated*
+    /// resource on which no other flow has a higher rate-per-weight (the
+    /// standard bottleneck characterization of max-min fairness).
+    #[test]
+    fn max_min_bottleneck_characterization((caps, flows) in arb_system()) {
+        let mut e = FluidEngine::new();
+        let rs: Vec<ResourceId> = caps.iter().map(|&c| e.add_resource(c)).collect();
+        let mut meta = Vec::new();
+        for (bytes, res_idx, w) in &flows {
+            let resources: Vec<ResourceId> = res_idx.iter().map(|&i| rs[i]).collect();
+            let id = e.start_flow(*bytes, &resources, *w);
+            meta.push((id, resources, *w));
+        }
+        for (id, resources, w) in &meta {
+            let my_norm = e.rate(*id).unwrap() / w;
+            let has_bottleneck = resources.iter().any(|&r| {
+                let saturated =
+                    e.utilization(r) >= e.capacity(r) * (1.0 - 1e-6);
+                let i_am_top = meta
+                    .iter()
+                    .filter(|(_, res2, _)| res2.contains(&r))
+                    .all(|(id2, _, w2)| {
+                        e.rate(*id2).unwrap() / w2 <= my_norm * (1.0 + 1e-6)
+                    });
+                saturated && i_am_top
+            });
+            prop_assert!(has_bottleneck, "flow {id:?} has no justifying bottleneck");
+        }
+    }
+
+    /// Running the engine to completion moves exactly the requested bytes.
+    #[test]
+    fn byte_conservation((caps, flows) in arb_system()) {
+        let mut e = FluidEngine::new();
+        let rs: Vec<ResourceId> = caps.iter().map(|&c| e.add_resource(c)).collect();
+        let mut total = 0f64;
+        for (bytes, res_idx, w) in &flows {
+            let resources: Vec<ResourceId> = res_idx.iter().map(|&i| rs[i]).collect();
+            e.start_flow(*bytes, &resources, *w);
+            total += *bytes as f64;
+        }
+        let mut guard = 0;
+        while e.active_flows() > 0 {
+            let dt = e.next_completion().expect("active flows must progress");
+            e.advance(dt + 1e-12);
+            guard += 1;
+            prop_assert!(guard < 1000, "engine failed to converge");
+        }
+        let moved = e.total_bytes_completed();
+        prop_assert!(
+            (moved - total).abs() <= 1.0 + total * 1e-9,
+            "moved {moved} of {total}"
+        );
+    }
+}
+
+// ---- end-to-end DES delivery over the cluster ----
+
+struct St {
+    net: Net<St>,
+    done: Rc<RefCell<Vec<usize>>>,
+}
+impl HasNet for St {
+    fn net(&mut self) -> &mut Net<St> {
+        &mut self.net
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every transfer scheduled through the DES completes exactly once, and
+    /// completion times are consistent with the slowest-link lower bound.
+    #[test]
+    fn all_transfers_complete_exactly_once(
+        transfers in proptest::collection::vec((0usize..4, 0usize..4, 1u64..1_000_000), 1..25)
+    ) {
+        let spec = ClusterSpec {
+            hosts: 4,
+            nic_bytes_per_sec: 1e6,
+            loopback_bytes_per_sec: 1e7,
+            disk_read_bytes_per_sec: 5e5,
+            disk_write_bytes_per_sec: 4e5,
+            disk_seek: SimTime::from_millis(1),
+        };
+        let done = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(St {
+            net: Net::new(Cluster::new(spec)),
+            done: done.clone(),
+        });
+        let total_bytes: u64 = transfers.iter().map(|&(_, _, b)| b).sum();
+        for (i, &(src, dst, bytes)) in transfers.iter().enumerate() {
+            sim.schedule(SimTime::ZERO, move |s: &mut St, sc| {
+                let route = if src == dst {
+                    Route::Loopback(HostId(src))
+                } else {
+                    Route::HostToHost { src: HostId(src), dst: HostId(dst) }
+                };
+                Net::start_flow(s, sc, route, bytes, 1.0, move |s, _| {
+                    s.done.borrow_mut().push(i);
+                });
+            });
+        }
+        let end = sim.run();
+        let mut completed = done.borrow().clone();
+        completed.sort_unstable();
+        prop_assert_eq!(completed, (0..transfers.len()).collect::<Vec<_>>());
+        // Lower bound: everything must take at least total_bytes over the
+        // aggregate bisection bandwidth (4 × 10 MB/s loopback dominates).
+        let min_secs = total_bytes as f64 / (4.0 * 1e7 + 8.0 * 1e6);
+        prop_assert!(end.as_secs_f64() >= min_secs * 0.9);
+    }
+}

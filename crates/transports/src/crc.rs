@@ -1,0 +1,102 @@
+//! CRC32 (IEEE 802.3 polynomial), implemented from scratch — Hadoop
+//! checksums every 512-byte chunk of a block with this exact CRC when
+//! streaming between datanodes, and this suite's approved dependency list
+//! has no checksum crate.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming CRC32 state.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Final checksum value.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC32 of a buffer.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+        assert_eq!(crc32(&[0xffu8; 32]), 0xFF6C_AB0B);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let whole = crc32(&data);
+        let mut c = Crc32::new();
+        for chunk in data.chunks(77) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), whole);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let mut data = vec![0xA5u8; 512];
+        let original = crc32(&data);
+        data[100] ^= 0x01;
+        assert_ne!(crc32(&data), original);
+    }
+}

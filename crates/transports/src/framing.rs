@@ -1,0 +1,571 @@
+//! Wire serialization in the style of Hadoop 0.20's `Writable` /
+//! `ObjectWritable`.
+//!
+//! Hadoop RPC marshals every argument and return value through
+//! `ObjectWritable`, which writes the *declared class name as a UTF string in
+//! front of every value* — including every element of an object array — and
+//! then boxes/unboxes primitives through reflection. That per-element
+//! overhead is a large part of why the paper measures Hadoop RPC two orders
+//! of magnitude behind MPI for large payloads. This module reproduces the
+//! format faithfully enough to exhibit the same cost structure in the real
+//! loopback benchmarks.
+//!
+//! Numbers are big-endian, as in `java.io.DataOutputStream`; strings are
+//! u16-length-prefixed UTF-8 (`writeUTF`); byte arrays are i32-length-
+//! prefixed (`BytesWritable` convention).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Errors while decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// A length/tag field contained an invalid value.
+    Corrupt(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated wire data"),
+            WireError::Corrupt(m) => write!(f, "corrupt wire data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for decoding.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Growable big-endian writer (the `DataOutputStream` analog).
+#[derive(Debug, Default)]
+pub struct DataWriter {
+    buf: BytesMut,
+}
+
+impl DataWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        DataWriter {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume into an immutable buffer.
+    pub fn freeze(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Write one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+    /// Write a big-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16(v);
+    }
+    /// Write a big-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+    /// Write a big-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64(v);
+    }
+    /// Write a big-endian i32.
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.put_i32(v);
+    }
+    /// Write a big-endian i64.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64(v);
+    }
+    /// Write a big-endian f32.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.put_f32(v);
+    }
+    /// Write a big-endian f64.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64(v);
+    }
+    /// Write raw bytes with no length prefix.
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// `writeUTF`: u16 byte length + UTF-8 bytes.
+    ///
+    /// # Panics
+    /// Panics if the string is longer than 65535 bytes (as Java does).
+    pub fn put_utf(&mut self, s: &str) {
+        assert!(s.len() <= u16::MAX as usize, "writeUTF limit exceeded");
+        self.put_u16(s.len() as u16);
+        self.put_raw(s.as_bytes());
+    }
+
+    /// `BytesWritable` convention: i32 length + bytes.
+    pub fn put_blob(&mut self, b: &[u8]) {
+        assert!(b.len() <= i32::MAX as usize);
+        self.put_i32(b.len() as i32);
+        self.put_raw(b);
+    }
+
+    /// Hadoop `WritableUtils.writeVLong` zig-zag-free variable-length long.
+    /// (Simplified: same size classes, compatible round-trip with
+    /// [`DataReader::get_vlong`].)
+    pub fn put_vlong(&mut self, v: i64) {
+        if (-112..=127).contains(&v) {
+            self.put_u8(v as u8);
+            return;
+        }
+        let (mut len, mut tmp) = (-112i8, v);
+        if v < 0 {
+            tmp = !v;
+            len = -120;
+        }
+        let mut probe = tmp;
+        while probe != 0 {
+            probe >>= 8;
+            len -= 1;
+        }
+        self.put_u8(len as u8);
+        let n = if len < -120 { -(len + 120) } else { -(len + 112) } as u32;
+        for i in (0..n).rev() {
+            self.put_u8(((tmp >> (8 * i)) & 0xff) as u8);
+        }
+    }
+}
+
+/// Big-endian reader over a byte slice (the `DataInputStream` analog).
+#[derive(Debug)]
+pub struct DataReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> DataReader<'a> {
+    /// Reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        DataReader { buf }
+    }
+
+    /// Bytes left unread.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn need(&self, n: usize) -> WireResult<()> {
+        if self.buf.len() < n {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> WireResult<u8> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+    /// Read a big-endian u16.
+    pub fn get_u16(&mut self) -> WireResult<u16> {
+        self.need(2)?;
+        Ok(self.buf.get_u16())
+    }
+    /// Read a big-endian u32.
+    pub fn get_u32(&mut self) -> WireResult<u32> {
+        self.need(4)?;
+        Ok(self.buf.get_u32())
+    }
+    /// Read a big-endian u64.
+    pub fn get_u64(&mut self) -> WireResult<u64> {
+        self.need(8)?;
+        Ok(self.buf.get_u64())
+    }
+    /// Read a big-endian i32.
+    pub fn get_i32(&mut self) -> WireResult<i32> {
+        self.need(4)?;
+        Ok(self.buf.get_i32())
+    }
+    /// Read a big-endian i64.
+    pub fn get_i64(&mut self) -> WireResult<i64> {
+        self.need(8)?;
+        Ok(self.buf.get_i64())
+    }
+    /// Read a big-endian f32.
+    pub fn get_f32(&mut self) -> WireResult<f32> {
+        self.need(4)?;
+        Ok(self.buf.get_f32())
+    }
+    /// Read a big-endian f64.
+    pub fn get_f64(&mut self) -> WireResult<f64> {
+        self.need(8)?;
+        Ok(self.buf.get_f64())
+    }
+    /// Read `n` raw bytes.
+    pub fn get_raw(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        self.need(n)?;
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Read a `writeUTF` string.
+    pub fn get_utf(&mut self) -> WireResult<String> {
+        let len = self.get_u16()? as usize;
+        let raw = self.get_raw(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| WireError::Corrupt("invalid UTF-8 string".into()))
+    }
+
+    /// Read an i32-length-prefixed blob.
+    pub fn get_blob(&mut self) -> WireResult<Vec<u8>> {
+        let len = self.get_i32()?;
+        if len < 0 {
+            return Err(WireError::Corrupt(format!("negative blob length {len}")));
+        }
+        Ok(self.get_raw(len as usize)?.to_vec())
+    }
+
+    /// Read a `writeVLong` value (see [`DataWriter::put_vlong`]).
+    pub fn get_vlong(&mut self) -> WireResult<i64> {
+        let first = self.get_u8()? as i8;
+        if first >= -112 {
+            return Ok(first as i64);
+        }
+        let (n, negative) = if first < -120 {
+            ((-(first as i32 + 120)) as usize, true)
+        } else {
+            ((-(first as i32 + 112)) as usize, false)
+        };
+        let mut v: i64 = 0;
+        for _ in 0..n {
+            v = (v << 8) | self.get_u8()? as i64;
+        }
+        Ok(if negative { !v } else { v })
+    }
+}
+
+/// A value as marshalled by Hadoop's `ObjectWritable`: the declared class
+/// name precedes *every* value, including each element of an object array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectWritable {
+    /// `null`.
+    Null,
+    /// `boolean`.
+    Boolean(bool),
+    /// `int`.
+    Int(i32),
+    /// `long`.
+    Long(i64),
+    /// `float`.
+    Float(f32),
+    /// `double`.
+    Double(f64),
+    /// `java.lang.String`.
+    Utf8(String),
+    /// `byte[]` (primitive array: length + raw bytes, one class name total).
+    Bytes(Vec<u8>),
+    /// Object array: class name per element.
+    Array(Vec<ObjectWritable>),
+}
+
+impl ObjectWritable {
+    fn class_name(&self) -> &'static str {
+        match self {
+            ObjectWritable::Null => "org.apache.hadoop.io.NullWritable",
+            ObjectWritable::Boolean(_) => "boolean",
+            ObjectWritable::Int(_) => "int",
+            ObjectWritable::Long(_) => "long",
+            ObjectWritable::Float(_) => "float",
+            ObjectWritable::Double(_) => "double",
+            ObjectWritable::Utf8(_) => "java.lang.String",
+            ObjectWritable::Bytes(_) => "[B",
+            ObjectWritable::Array(_) => "[Ljava.lang.Object;",
+        }
+    }
+
+    /// Serialize, writing the class name then the payload (Hadoop layout).
+    pub fn write(&self, w: &mut DataWriter) {
+        w.put_utf(self.class_name());
+        match self {
+            ObjectWritable::Null => {}
+            ObjectWritable::Boolean(b) => w.put_u8(*b as u8),
+            ObjectWritable::Int(v) => w.put_i32(*v),
+            ObjectWritable::Long(v) => w.put_i64(*v),
+            ObjectWritable::Float(v) => w.put_f32(*v),
+            ObjectWritable::Double(v) => w.put_f64(*v),
+            ObjectWritable::Utf8(s) => {
+                // Long strings are written as vlong length + bytes (Hadoop
+                // Text convention) to escape the 64 KB writeUTF limit.
+                w.put_vlong(s.len() as i64);
+                w.put_raw(s.as_bytes());
+            }
+            ObjectWritable::Bytes(b) => w.put_blob(b),
+            ObjectWritable::Array(xs) => {
+                w.put_i32(xs.len() as i32);
+                for x in xs {
+                    x.write(w); // class name repeated per element
+                }
+            }
+        }
+    }
+
+    /// Deserialize one value.
+    pub fn read(r: &mut DataReader<'_>) -> WireResult<ObjectWritable> {
+        let class = r.get_utf()?;
+        Ok(match class.as_str() {
+            "org.apache.hadoop.io.NullWritable" => ObjectWritable::Null,
+            "boolean" => ObjectWritable::Boolean(r.get_u8()? != 0),
+            "int" => ObjectWritable::Int(r.get_i32()?),
+            "long" => ObjectWritable::Long(r.get_i64()?),
+            "float" => ObjectWritable::Float(r.get_f32()?),
+            "double" => ObjectWritable::Double(r.get_f64()?),
+            "java.lang.String" => {
+                let len = r.get_vlong()?;
+                if len < 0 {
+                    return Err(WireError::Corrupt("negative string length".into()));
+                }
+                let raw = r.get_raw(len as usize)?;
+                ObjectWritable::Utf8(
+                    String::from_utf8(raw.to_vec())
+                        .map_err(|_| WireError::Corrupt("invalid UTF-8".into()))?,
+                )
+            }
+            "[B" => ObjectWritable::Bytes(r.get_blob()?),
+            "[Ljava.lang.Object;" => {
+                let n = r.get_i32()?;
+                if n < 0 {
+                    return Err(WireError::Corrupt("negative array length".into()));
+                }
+                let mut xs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    xs.push(ObjectWritable::read(r)?);
+                }
+                ObjectWritable::Array(xs)
+            }
+            other => {
+                return Err(WireError::Corrupt(format!("unknown class {other:?}")))
+            }
+        })
+    }
+
+    /// Serialized size in bytes (class-name overhead included).
+    pub fn wire_size(&self) -> usize {
+        let mut w = DataWriter::new();
+        self.write(&mut w);
+        w.len()
+    }
+}
+
+/// Length-prefixed frame I/O over any `Read`/`Write` stream.
+pub mod frame {
+    use std::io::{self, Read, Write};
+
+    /// Maximum accepted frame payload (guards against corrupt prefixes).
+    pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+    /// Write a u32-length-prefixed frame.
+    pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+        assert!(payload.len() as u64 <= MAX_FRAME as u64, "frame too large");
+        w.write_all(&(payload.len() as u32).to_be_bytes())?;
+        w.write_all(payload)?;
+        w.flush()
+    }
+
+    /// Read one u32-length-prefixed frame. `Ok(None)` on clean EOF at a
+    /// frame boundary.
+    pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+        let mut len_buf = [0u8; 4];
+        match r.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_be_bytes(len_buf);
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds limit"),
+            ));
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        let mut w = DataWriter::new();
+        w.put_u8(7);
+        w.put_u16(513);
+        w.put_u32(70000);
+        w.put_u64(1 << 40);
+        w.put_i32(-5);
+        w.put_i64(-6_000_000_000);
+        w.put_f64(3.25);
+        let buf = w.freeze();
+        let mut r = DataReader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 513);
+        assert_eq!(r.get_u32().unwrap(), 70000);
+        assert_eq!(r.get_u64().unwrap(), 1 << 40);
+        assert_eq!(r.get_i32().unwrap(), -5);
+        assert_eq!(r.get_i64().unwrap(), -6_000_000_000);
+        assert_eq!(r.get_f64().unwrap(), 3.25);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn utf_and_blob_round_trip() {
+        let mut w = DataWriter::new();
+        w.put_utf("héllo wörld");
+        w.put_blob(&[1, 2, 3, 4, 5]);
+        let buf = w.freeze();
+        let mut r = DataReader::new(&buf);
+        assert_eq!(r.get_utf().unwrap(), "héllo wörld");
+        assert_eq!(r.get_blob().unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn vlong_round_trips() {
+        let cases = [
+            0i64,
+            1,
+            -1,
+            127,
+            -112,
+            128,
+            -113,
+            255,
+            65535,
+            -65536,
+            i64::MAX,
+            i64::MIN,
+            1 << 33,
+            -(1 << 47),
+        ];
+        let mut w = DataWriter::new();
+        for &v in &cases {
+            w.put_vlong(v);
+        }
+        let buf = w.freeze();
+        let mut r = DataReader::new(&buf);
+        for &v in &cases {
+            assert_eq!(r.get_vlong().unwrap(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn vlong_small_values_take_one_byte() {
+        let mut w = DataWriter::new();
+        w.put_vlong(42);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut r = DataReader::new(&[0, 0, 0]);
+        assert_eq!(r.get_u32(), Err(WireError::Truncated));
+        let mut r = DataReader::new(&[0, 5, b'a']);
+        assert_eq!(r.get_utf(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn object_writable_round_trips() {
+        let values = vec![
+            ObjectWritable::Null,
+            ObjectWritable::Boolean(true),
+            ObjectWritable::Int(-42),
+            ObjectWritable::Long(1 << 50),
+            ObjectWritable::Float(1.5),
+            ObjectWritable::Double(-2.25),
+            ObjectWritable::Utf8("shuffle".into()),
+            ObjectWritable::Bytes(vec![9; 1000]),
+            ObjectWritable::Array(vec![
+                ObjectWritable::Int(1),
+                ObjectWritable::Utf8("x".into()),
+                ObjectWritable::Array(vec![ObjectWritable::Null]),
+            ]),
+        ];
+        for v in values {
+            let mut w = DataWriter::new();
+            v.write(&mut w);
+            let buf = w.freeze();
+            let mut r = DataReader::new(&buf);
+            assert_eq!(ObjectWritable::read(&mut r).unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn class_name_overhead_per_array_element() {
+        // The Hadoop cost structure: an object array of N ints costs ~N× the
+        // class-name string on the wire.
+        let n = 100;
+        let arr = ObjectWritable::Array(vec![ObjectWritable::Int(7); n]);
+        let one = ObjectWritable::Int(7).wire_size();
+        assert!(
+            arr.wire_size() > n * one,
+            "array should pay per-element class names"
+        );
+        // A primitive byte[] pays it once.
+        let blob = ObjectWritable::Bytes(vec![7; 4 * n]);
+        assert!(blob.wire_size() < 4 * n + 32);
+    }
+
+    #[test]
+    fn unknown_class_is_corrupt() {
+        let mut w = DataWriter::new();
+        w.put_utf("com.evil.Gadget");
+        let buf = w.freeze();
+        let mut r = DataReader::new(&buf);
+        assert!(matches!(
+            ObjectWritable::read(&mut r),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_cursor() {
+        use std::io::Cursor;
+        let mut buf = Vec::new();
+        frame::write_frame(&mut buf, b"hello").unwrap();
+        frame::write_frame(&mut buf, b"").unwrap();
+        frame::write_frame(&mut buf, &[7u8; 1024]).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(frame::read_frame(&mut cur).unwrap().unwrap(), b"hello");
+        assert_eq!(frame::read_frame(&mut cur).unwrap().unwrap(), b"");
+        assert_eq!(frame::read_frame(&mut cur).unwrap().unwrap(), vec![7u8; 1024]);
+        assert_eq!(frame::read_frame(&mut cur).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        use std::io::Cursor;
+        let bad = (frame::MAX_FRAME + 1).to_be_bytes().to_vec();
+        let mut cur = Cursor::new(bad);
+        assert!(frame::read_frame(&mut cur).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! The benchmark applications, written once against [`mapred::MapReduceApp`]
+//! and runnable on every engine (local reference, real MPI-D, simulators).
+
+use mapred::MapReduceApp;
+use mpid::partition::{Partitioner, RangePartitioner};
+
+/// WordCount (paper Figure 5): `map` emits `<word, 1>`, the combiner and
+/// `reduce` sum counts.
+pub struct WordCount;
+
+impl MapReduceApp for WordCount {
+    type InKey = u64;
+    type InVal = String;
+    type MidKey = String;
+    type MidVal = u64;
+    type OutKey = String;
+    type OutVal = u64;
+
+    fn map(&self, _offset: u64, line: String, emit: &mut dyn FnMut(String, u64)) {
+        for word in line.split_whitespace() {
+            emit(word.to_string(), 1);
+        }
+    }
+
+    fn reduce(&self, word: String, counts: Vec<u64>, emit: &mut dyn FnMut(String, u64)) {
+        emit(word, counts.iter().sum());
+    }
+
+    fn combine(&self) -> Option<fn(&mut u64, u64)> {
+        Some(|acc, v| *acc += v)
+    }
+}
+
+/// JavaSort (the GridMix benchmark of Figure 1 / Table I): identity
+/// map/reduce; the heavy lifting is the shuffle. Range partitioning keeps
+/// concatenated reducer outputs globally sorted, like TeraSort's
+/// `TotalOrderPartitioner`.
+pub struct JavaSort;
+
+impl MapReduceApp for JavaSort {
+    type InKey = u64;
+    type InVal = Vec<u8>;
+    type MidKey = u64;
+    type MidVal = Vec<u8>;
+    type OutKey = u64;
+    type OutVal = Vec<u8>;
+
+    fn map(&self, key: u64, payload: Vec<u8>, emit: &mut dyn FnMut(u64, Vec<u8>)) {
+        emit(key, payload);
+    }
+
+    fn reduce(&self, key: u64, mut payloads: Vec<Vec<u8>>, emit: &mut dyn FnMut(u64, Vec<u8>)) {
+        for p in payloads.drain(..) {
+            emit(key, p);
+        }
+    }
+
+    fn partition(&self, key: &u64, n_reducers: usize) -> usize {
+        RangePartitioner {
+            key_space: u64::MAX,
+        }
+        .partition(key, n_reducers)
+    }
+}
+
+/// Grep: emit each line containing the pattern, counting occurrences per
+/// matching word position — the classic distributed-grep from the original
+/// MapReduce paper.
+pub struct Grep {
+    /// Substring to search for.
+    pub pattern: String,
+}
+
+impl MapReduceApp for Grep {
+    type InKey = u64;
+    type InVal = String;
+    type MidKey = String;
+    type MidVal = u64;
+    type OutKey = String;
+    type OutVal = u64;
+
+    fn map(&self, _offset: u64, line: String, emit: &mut dyn FnMut(String, u64)) {
+        for word in line.split_whitespace() {
+            if word.contains(&self.pattern) {
+                emit(word.to_string(), 1);
+            }
+        }
+    }
+
+    fn reduce(&self, word: String, counts: Vec<u64>, emit: &mut dyn FnMut(String, u64)) {
+        emit(word, counts.iter().sum());
+    }
+
+    fn combine(&self) -> Option<fn(&mut u64, u64)> {
+        Some(|acc, v| *acc += v)
+    }
+}
+
+/// Inverted index: word → sorted, deduplicated list of document ids
+/// (rendered as a comma-separated string).
+pub struct InvertedIndex;
+
+impl MapReduceApp for InvertedIndex {
+    type InKey = u64; // document id
+    type InVal = String;
+    type MidKey = String;
+    type MidVal = u64;
+    type OutKey = String;
+    type OutVal = String;
+
+    fn map(&self, doc: u64, text: String, emit: &mut dyn FnMut(String, u64)) {
+        for word in text.split_whitespace() {
+            emit(word.to_string(), doc);
+        }
+    }
+
+    fn reduce(&self, word: String, mut docs: Vec<u64>, emit: &mut dyn FnMut(String, String)) {
+        docs.sort_unstable();
+        docs.dedup();
+        let list = docs
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        emit(word, list);
+    }
+}
+
+/// Reduce-side equi-join of two tagged datasets (tag 0 = left, tag 1 =
+/// right): the classic MapReduce join. `reduce` pairs every left row with
+/// every right row of the same key.
+pub struct ReduceSideJoin;
+
+/// Tag for the left relation of [`ReduceSideJoin`].
+pub const JOIN_LEFT: u8 = 0;
+/// Tag for the right relation of [`ReduceSideJoin`].
+pub const JOIN_RIGHT: u8 = 1;
+
+impl MapReduceApp for ReduceSideJoin {
+    type InKey = u64; // join key
+    type InVal = (u8, String); // (relation tag, row payload)
+    type MidKey = u64;
+    type MidVal = (u8, String);
+    type OutKey = u64;
+    type OutVal = String;
+
+    fn map(&self, key: u64, row: (u8, String), emit: &mut dyn FnMut(u64, (u8, String))) {
+        emit(key, row);
+    }
+
+    fn reduce(
+        &self,
+        key: u64,
+        rows: Vec<(u8, String)>,
+        emit: &mut dyn FnMut(u64, String),
+    ) {
+        let mut lefts = Vec::new();
+        let mut rights = Vec::new();
+        for (tag, payload) in rows {
+            match tag {
+                JOIN_LEFT => lefts.push(payload),
+                JOIN_RIGHT => rights.push(payload),
+                other => panic!("unknown join tag {other}"),
+            }
+        }
+        // Deterministic pairing order regardless of shuffle arrival order.
+        lefts.sort();
+        rights.sort();
+        for l in &lefts {
+            for r in &rights {
+                emit(key, format!("{l}|{r}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapred::{run_local, TextInput, VecInput};
+
+    #[test]
+    fn wordcount_counts() {
+        let input = TextInput::new(vec!["x y x".into()]);
+        let out = run_local(&WordCount, &input);
+        assert_eq!(out, vec![("x".into(), 2), ("y".into(), 1)]);
+    }
+
+    #[test]
+    fn javasort_sorts_globally() {
+        let records: Vec<(u64, Vec<u8>)> =
+            [u64::MAX, 0, 42, u64::MAX / 2].iter().map(|&k| (k, vec![1u8])).collect();
+        let input = VecInput::round_robin(records, 2);
+        let out = run_local(&JavaSort, &input);
+        let keys: Vec<u64> = out.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![0, 42, u64::MAX / 2, u64::MAX]);
+        // Range partitioner sends low keys to reducer 0, high to last.
+        assert_eq!(JavaSort.partition(&0, 4), 0);
+        assert_eq!(JavaSort.partition(&u64::MAX, 4), 3);
+    }
+
+    #[test]
+    fn grep_filters() {
+        let input = TextInput::new(vec!["foobar baz\nqux foo".into()]);
+        let out = run_local(
+            &Grep {
+                pattern: "foo".into(),
+            },
+            &input,
+        );
+        assert_eq!(out, vec![("foo".into(), 1), ("foobar".into(), 1)]);
+    }
+
+    #[test]
+    fn join_pairs_matching_keys_only() {
+        let records: Vec<(u64, (u8, String))> = vec![
+            (1, (JOIN_LEFT, "alice".into())),
+            (2, (JOIN_LEFT, "bob".into())),
+            (1, (JOIN_RIGHT, "order-9".into())),
+            (1, (JOIN_RIGHT, "order-3".into())),
+            (3, (JOIN_RIGHT, "orphan".into())),
+        ];
+        let input = VecInput::round_robin(records, 2);
+        let out = run_local(&ReduceSideJoin, &input);
+        assert_eq!(
+            out,
+            vec![
+                (1, "alice|order-3".to_string()),
+                (1, "alice|order-9".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn inverted_index_dedups_and_sorts() {
+        let input = VecInput::new(vec![
+            vec![(2u64, "b a".to_string())],
+            vec![(1u64, "a a".to_string())],
+        ]);
+        let out = run_local(&InvertedIndex, &input);
+        assert_eq!(
+            out,
+            vec![
+                ("a".to_string(), "1,2".to_string()),
+                ("b".to_string(), "2".to_string())
+            ]
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # workloads — benchmark applications and deterministic data generators
+//!
+//! * [`apps`] — WordCount (paper Figure 5/6), JavaSort (GridMix, Figure 1 /
+//!   Table I), Grep and InvertedIndex, all written against
+//!   [`mapred::MapReduceApp`] and runnable on every engine;
+//! * [`text`] / [`records`] — lazy, seed-deterministic generators (Zipf
+//!   text, 100-byte sortable records) that scale to the paper's 150 GB
+//!   inputs without memory;
+//! * [`zipf`] — the hand-rolled Zipf sampler behind the text generator;
+//! * [`specs`] — simulation [`netsim::JobSpec`]s with *measured* volume
+//!   ratios and documented calibrated CPU constants.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod records;
+pub mod specs;
+pub mod text;
+pub mod zipf;
+
+pub use apps::{Grep, InvertedIndex, JavaSort, ReduceSideJoin, WordCount, JOIN_LEFT, JOIN_RIGHT};
+pub use records::SortGen;
+pub use specs::{grep_spec, javasort_spec, measure_ratios, wordcount_spec};
+pub use text::TextGen;
+pub use zipf::Zipf;

@@ -1,0 +1,109 @@
+//! GridMix/teragen-style sortable record generation for the JavaSort
+//! workload (paper Figure 1 / Table I).
+//!
+//! Records are the classic 100-byte shape: a uniformly random key plus a
+//! filler payload. Generated lazily from `(seed, split)`, so the paper's
+//! 150 GB input costs no memory.
+
+use mapred::InputFormat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bytes per record (GridMix JavaSort convention).
+pub const RECORD_BYTES: usize = 100;
+/// Payload bytes per record (record minus the 8-byte key).
+pub const PAYLOAD_BYTES: usize = RECORD_BYTES - 8;
+
+/// Lazily generated sortable records: `(u64 key, 92-byte payload)`.
+pub struct SortGen {
+    seed: u64,
+    records_per_split: u64,
+    n_splits: usize,
+}
+
+impl SortGen {
+    /// Approximately `total_bytes` of records in `n_splits` equal splits.
+    pub fn new(seed: u64, total_bytes: u64, n_splits: usize) -> Self {
+        assert!(n_splits > 0);
+        let records_per_split =
+            (total_bytes / n_splits as u64 / RECORD_BYTES as u64).max(1);
+        SortGen {
+            seed,
+            records_per_split,
+            n_splits,
+        }
+    }
+
+    /// Records in each split.
+    pub fn records_per_split(&self) -> u64 {
+        self.records_per_split
+    }
+
+    /// Total records.
+    pub fn total(&self) -> u64 {
+        self.records_per_split * self.n_splits as u64
+    }
+}
+
+impl InputFormat for SortGen {
+    type Key = u64;
+    type Val = Vec<u8>;
+
+    fn n_splits(&self) -> usize {
+        self.n_splits
+    }
+
+    fn records(&self, split: usize) -> Box<dyn Iterator<Item = (u64, Vec<u8>)> + '_> {
+        assert!(split < self.n_splits);
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (split as u64).wrapping_mul(0xD1B54A32D192ED03));
+        let n = self.records_per_split;
+        let mut i = 0u64;
+        Box::new(std::iter::from_fn(move || {
+            if i >= n {
+                return None;
+            }
+            i += 1;
+            let key: u64 = rng.random();
+            let mut payload = vec![0u8; PAYLOAD_BYTES];
+            rng.fill(&mut payload[..]);
+            Some((key, payload))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_shape() {
+        let g = SortGen::new(1, 10_000, 4);
+        assert_eq!(g.records_per_split(), 25);
+        assert_eq!(g.total(), 100);
+        let recs: Vec<_> = g.records(0).collect();
+        assert_eq!(recs.len(), 25);
+        for (_, payload) in &recs {
+            assert_eq!(payload.len(), PAYLOAD_BYTES);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_split() {
+        let g = SortGen::new(9, 50_000, 3);
+        let a: Vec<_> = g.records(1).collect();
+        let b: Vec<_> = g.records(1).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = g.records(2).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn keys_are_spread_over_the_space() {
+        let g = SortGen::new(2, 400_000, 1);
+        let keys: Vec<u64> = g.records(0).map(|(k, _)| k).collect();
+        let below_half = keys.iter().filter(|&&k| k < u64::MAX / 2).count();
+        let frac = below_half as f64 / keys.len() as f64;
+        assert!((0.4..0.6).contains(&frac), "key skew: {frac}");
+    }
+}

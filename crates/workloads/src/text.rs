@@ -1,0 +1,154 @@
+//! Deterministic English-like text generation for WordCount-family
+//! workloads.
+//!
+//! Words are synthetic (base-26 spellings of their frequency rank, so the
+//! vocabulary is unbounded and reproducible without a dictionary file);
+//! word frequencies follow a Zipf law. Splits are generated lazily from
+//! `(seed, split_index)`, so a "100 GB" input occupies no memory.
+
+use crate::zipf::Zipf;
+use mapred::InputFormat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Spell rank `r` as a lowercase pseudo-word ("a", "b", …, "z", "ba", …).
+pub fn rank_to_word(mut r: usize) -> String {
+    let mut out = Vec::new();
+    loop {
+        out.push(b'a' + (r % 26) as u8);
+        r /= 26;
+        if r == 0 {
+            break;
+        }
+    }
+    out.reverse();
+    String::from_utf8(out).expect("ascii")
+}
+
+/// Lazily generated Zipf text, split into fixed-size chunks.
+pub struct TextGen {
+    seed: u64,
+    zipf: Zipf,
+    split_bytes: u64,
+    n_splits: usize,
+    words_per_line: usize,
+}
+
+impl TextGen {
+    /// `total_bytes` of text in `n_splits` equal splits, vocabulary size
+    /// `vocab`, Zipf exponent 1.0.
+    pub fn new(seed: u64, total_bytes: u64, n_splits: usize, vocab: usize) -> Self {
+        assert!(n_splits > 0);
+        assert!(total_bytes >= n_splits as u64, "splits would be empty");
+        TextGen {
+            seed,
+            zipf: Zipf::new(vocab, 1.0),
+            split_bytes: total_bytes / n_splits as u64,
+            n_splits,
+            words_per_line: 12,
+        }
+    }
+
+    /// Bytes per split.
+    pub fn split_bytes(&self) -> u64 {
+        self.split_bytes
+    }
+
+    /// Generate one line of text.
+    fn line(&self, rng: &mut StdRng) -> String {
+        let n = self.words_per_line / 2 + rng.random_range(0..self.words_per_line);
+        let mut s = String::with_capacity(n * 8);
+        for i in 0..n {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(&rank_to_word(self.zipf.sample(rng)));
+        }
+        s
+    }
+}
+
+impl InputFormat for TextGen {
+    type Key = u64;
+    type Val = String;
+
+    fn n_splits(&self) -> usize {
+        self.n_splits
+    }
+
+    fn records(&self, split: usize) -> Box<dyn Iterator<Item = (u64, String)> + '_> {
+        assert!(split < self.n_splits);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (split as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let budget = self.split_bytes;
+        let mut produced = 0u64;
+        let mut line_no = 0u64;
+        Box::new(std::iter::from_fn(move || {
+            if produced >= budget {
+                return None;
+            }
+            let line = self.line(&mut rng);
+            produced += line.len() as u64 + 1; // newline
+            let k = line_no;
+            line_no += 1;
+            Some((k, line))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_spelling() {
+        assert_eq!(rank_to_word(0), "a");
+        assert_eq!(rank_to_word(25), "z");
+        assert_eq!(rank_to_word(26), "ba");
+        assert_eq!(rank_to_word(27), "bb");
+    }
+
+    #[test]
+    fn splits_have_requested_volume() {
+        let gen = TextGen::new(42, 64 * 1024, 4, 1000);
+        for s in 0..4 {
+            let bytes: u64 = gen.records(s).map(|(_, l)| l.len() as u64 + 1).sum();
+            let target = gen.split_bytes();
+            assert!(
+                bytes >= target && bytes < target + 256,
+                "split {s}: {bytes} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_split_independent() {
+        let a = TextGen::new(7, 32 * 1024, 4, 500);
+        let b = TextGen::new(7, 32 * 1024, 4, 500);
+        let sa: Vec<_> = a.records(2).collect();
+        let sb: Vec<_> = b.records(2).collect();
+        assert_eq!(sa, sb);
+        // Different splits differ.
+        let s0: Vec<_> = a.records(0).take(5).collect();
+        let s1: Vec<_> = a.records(1).take(5).collect();
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn words_are_zipf_skewed() {
+        let gen = TextGen::new(3, 128 * 1024, 1, 10_000);
+        let mut counts = std::collections::HashMap::new();
+        for (_, line) in gen.records(0) {
+            for w in line.split_whitespace() {
+                *counts.entry(w.to_string()).or_insert(0u32) += 1;
+            }
+        }
+        // "a" (rank 0) must be the most common word by a wide margin.
+        let a = counts["a"];
+        let median = {
+            let mut v: Vec<u32> = counts.values().copied().collect();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        assert!(a > 50 * median.max(1), "a={a} median={median}");
+    }
+}

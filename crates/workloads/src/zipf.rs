@@ -1,0 +1,117 @@
+//! A deterministic Zipf sampler (implemented by hand to stay within the
+//! suite's approved dependency set).
+//!
+//! English word frequencies are famously Zipf-distributed; the WordCount
+//! text generator draws word ranks from this sampler so that combiner
+//! effectiveness (the paper §IV.A motivation for local combining) behaves
+//! like it would on real text.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `s`, sampled by binary
+/// search over a precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution. `n` must be nonzero; `s` is the exponent
+    /// (1.0 ≈ natural language).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs a nonempty support");
+        assert!(s >= 0.0 && s.is_finite());
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Sample a rank in `0..n` (0 = most frequent).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // First index with cdf >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn ranks_in_range_and_skewed() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should be roughly 2× rank 1 and ≫ rank 100.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[0] > 10 * counts[100].max(1));
+        // All samples in range (implicitly: no panic) and most mass up front.
+        let head: u32 = counts[..10].iter().sum();
+        assert!(head > 30_000, "head mass {head}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seeded_rng() {
+        let z = Zipf::new(100, 1.0);
+        let sample = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..32).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(5), sample(5));
+        assert_ne!(sample(5), sample(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_support_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Build an inverted index (word → document ids) and run a distributed
+//! grep, both on the real MPI-D engine — two of the "domain-specific"
+//! MapReduce applications the paper's introduction motivates.
+//!
+//! ```sh
+//! cargo run --example inverted_index
+//! ```
+
+use std::sync::Arc;
+
+use mpid_suite::mapred::{run_local, run_mpid, MpidEngineConfig, VecInput};
+use mpid_suite::workloads::{Grep, InvertedIndex};
+
+fn corpus() -> Vec<(u64, String)> {
+    vec![
+        (1, "mpi send recv collective".to_string()),
+        (2, "hadoop shuffle copy stage".to_string()),
+        (3, "mpi benefit hadoop applications".to_string()),
+        (4, "jetty http transfer shuffle".to_string()),
+        (5, "mapreduce applications on mpi".to_string()),
+    ]
+}
+
+fn main() {
+    let cfg = MpidEngineConfig::with_workers(3, 2);
+
+    // ---------- inverted index ----------
+    let input = VecInput::round_robin(corpus(), 3);
+    let job = run_mpid(&cfg, Arc::new(InvertedIndex), Arc::new(input));
+    let mut index = job.output;
+    index.sort();
+    println!("inverted index ({} terms):", index.len());
+    for (word, docs) in &index {
+        println!("  {word:>14} -> [{docs}]");
+    }
+
+    // Cross-check against the sequential reference engine.
+    let mut reference = run_local(
+        &InvertedIndex,
+        &VecInput::round_robin(corpus(), 3),
+    );
+    reference.sort();
+    assert_eq!(index, reference, "engines must agree");
+
+    let mpi_docs = &index.iter().find(|(w, _)| w == "mpi").unwrap().1;
+    assert_eq!(mpi_docs, "1,3,5");
+
+    // ---------- distributed grep ----------
+    let input = VecInput::round_robin(corpus(), 3);
+    let grep = Grep {
+        pattern: "shuffle".into(),
+    };
+    let job = run_mpid(&cfg, Arc::new(grep), Arc::new(input));
+    println!();
+    println!("grep 'shuffle':");
+    for (word, n) in &job.output {
+        println!("  {word} x{n}");
+    }
+    assert_eq!(job.output.len(), 1);
+    assert_eq!(job.output[0], ("shuffle".to_string(), 2));
+}

@@ -1,0 +1,71 @@
+//! JavaSort two ways:
+//!
+//! 1. **Real** — sort 60 000 GridMix-style records through the MPI-D engine
+//!    with a range partitioner and verify the concatenated reducer outputs
+//!    are globally sorted (TeraSort-style total order);
+//! 2. **Simulated** — replay the paper's Figure 1 / Table I workload on the
+//!    simulated 8-node testbed at 10 GB and print the per-phase breakdown.
+//!
+//! ```sh
+//! cargo run --release --example javasort_cluster
+//! ```
+
+use std::sync::Arc;
+
+use mpid_suite::hadoop_sim::{self, HadoopConfig};
+use mpid_suite::mapred::{run_mpid, MpidEngineConfig};
+use mpid_suite::workloads::{javasort_spec, JavaSort, SortGen};
+
+fn main() {
+    // ---------- 1. real distributed sort ----------
+    let input = SortGen::new(0xC0FFEE, 6_000_000, 8); // 60k 100-byte records
+    let total = input.total();
+    let cfg = MpidEngineConfig::with_workers(4, 3);
+    let job = run_mpid(&cfg, Arc::new(JavaSort), Arc::new(input));
+
+    // Each reducer's output is key-ascending, and the range partitioner
+    // makes reducer outputs globally non-overlapping, so the concatenation
+    // is the full sort.
+    assert_eq!(job.output.len() as u64, total);
+    let keys: Vec<u64> = job.output.iter().map(|(k, _)| *k).collect();
+    assert!(
+        keys.windows(2).all(|w| w[0] <= w[1]),
+        "concatenated reducer outputs must be globally sorted"
+    );
+    println!(
+        "real MPI-D sort: {} records globally sorted across {} reducers \
+         ({} frames, {:.1} MB shuffled)",
+        total,
+        cfg.n_reducers,
+        job.sender_stats.frames,
+        job.sender_stats.bytes_sent as f64 / 1e6
+    );
+
+    // ---------- 2. simulated cluster run ----------
+    let gb = 10u64;
+    let n_reduces = 156; // GridMix scaling: ~0.98 per 64 MB block
+    let report = hadoop_sim::run_job(
+        HadoopConfig::icpp2011(8, 8, n_reduces),
+        javasort_spec(gb << 30),
+    );
+    let trimmed = report.without_top_copy_outliers(56);
+    let copy = trimmed.reduce_phase_stats(|r| r.copy);
+    let reduce = trimmed.reduce_phase_stats(|r| r.reduce);
+    println!();
+    println!(
+        "simulated Hadoop JavaSort, {gb} GB, {n_reduces} reducers, 8x8 slots:"
+    );
+    println!(
+        "  makespan {:.0} s | {} maps ({:.0}% local) | copy avg {:.1} s | reduce avg {:.1} s",
+        report.makespan.as_secs_f64(),
+        report.maps.len(),
+        100.0 * report.map_locality(),
+        copy.mean(),
+        reduce.mean()
+    );
+    println!(
+        "  copy share of all task time: {:.0}% (the Table I metric)",
+        100.0 * report.copy_fraction()
+    );
+    assert!(report.copy_fraction() > 0.2);
+}

@@ -1,0 +1,139 @@
+//! The paper's Section II comparison with **real bytes on real sockets**:
+//! ping-pong latency and streaming bandwidth of
+//!
+//! * Hadoop-RPC-style calls (`transports::hrpc` — `ObjectWritable`
+//!   marshalling, strict ping-pong, loopback TCP),
+//! * HTTP bulk transfer (`transports::jetty` — the shuffle copy path),
+//! * the `mpi-rt` runtime (in-process ranks, the MPI baseline).
+//!
+//! Absolute numbers are laptop-loopback numbers, not the paper's GbE
+//! testbed — what reproduces is the *ordering and the gap structure*: RPC
+//! pays per-byte serialization and per-call round trips, so it falls off
+//! dramatically at large payloads, while HTTP and MPI stream.
+//!
+//! ```sh
+//! cargo run --release --example latency_compare
+//! ```
+
+use bytes::Bytes;
+use mpid_suite::mpi_rt::Universe;
+use mpid_suite::transports::{
+    hrpc, ContentStore, HttpClient, HttpServer, ObjectWritable, RpcClient,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+const REPS: usize = 30;
+
+fn main() {
+    let sizes: &[usize] = &[1, 1024, 64 * 1024, 1 << 20, 8 << 20];
+
+    println!("real loopback comparison ({REPS} reps; one-way = ping-pong / 2)");
+    println!();
+    let header = format!(
+        "{:>8}  {:>14}  {:>14}  {:>14}",
+        "size", "hrpc (RPC)", "http (Jetty)", "mpi-rt"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+
+    for &size in sizes {
+        let rpc_s = bench_rpc(size);
+        let http_s = bench_http(size);
+        let mpi_s = bench_mpi(size);
+        println!(
+            "{:>8}  {:>14}  {:>14}  {:>14}",
+            fmt_size(size),
+            fmt(rpc_s),
+            fmt(http_s),
+            fmt(mpi_s)
+        );
+    }
+    println!();
+    println!(
+        "expected shape (matches paper Fig. 2/3): RPC degrades worst with size \
+         (per-call serialization + ping-pong); HTTP and MPI stay close."
+    );
+}
+
+fn fmt(s: f64) -> String {
+    if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+fn fmt_size(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{}MB", b >> 20)
+    } else if b >= 1024 {
+        format!("{}KB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// One-way latency via the RPC echo protocol (the paper's benchmark class).
+fn bench_rpc(size: usize) -> f64 {
+    let (_server, addr) = hrpc::start_echo_server().expect("rpc server");
+    let client = RpcClient::connect(addr, "echo", 1).expect("connect");
+    let payload = vec![7u8; size];
+    // Warm-up (the paper drops the first 5 Java runs; we drop 3).
+    for _ in 0..3 {
+        client
+            .call("recv", &[ObjectWritable::Bytes(payload.clone())])
+            .unwrap();
+    }
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        let reply = client
+            .call("recv", &[ObjectWritable::Bytes(payload.clone())])
+            .unwrap();
+        assert!(matches!(reply, ObjectWritable::Bytes(b) if b.len() == size));
+    }
+    t0.elapsed().as_secs_f64() / REPS as f64 / 2.0
+}
+
+/// One-way transfer time via HTTP GET of a stored buffer.
+fn bench_http(size: usize) -> f64 {
+    let store = Arc::new(ContentStore::new());
+    store.put("x", Bytes::from(vec![7u8; size]));
+    let server = HttpServer::start("127.0.0.1:0", store, 256 * 1024).expect("http");
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+    for _ in 0..3 {
+        assert_eq!(client.get("x").unwrap().len(), size);
+    }
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        assert_eq!(client.get("x").unwrap().len(), size);
+    }
+    t0.elapsed().as_secs_f64() / REPS as f64
+}
+
+/// One-way latency via mpi-rt ping-pong between two ranks.
+fn bench_mpi(size: usize) -> f64 {
+    let secs = Universe::run(2, move |comm| {
+        if comm.rank() == 0 {
+            let payload = vec![7u8; size];
+            for _ in 0..3 {
+                comm.send(1, 0, &payload).unwrap();
+                let _ = comm.recv::<u8>(Some(1), Some(1)).unwrap();
+            }
+            let t0 = Instant::now();
+            for _ in 0..REPS {
+                comm.send(1, 0, &payload).unwrap();
+                let (back, _) = comm.recv::<u8>(Some(1), Some(1)).unwrap();
+                assert_eq!(back.len(), size);
+            }
+            t0.elapsed().as_secs_f64() / REPS as f64 / 2.0
+        } else {
+            for _ in 0..REPS + 3 {
+                let (data, _) = comm.recv::<u8>(Some(0), Some(0)).unwrap();
+                comm.send(0, 1, &data).unwrap();
+            }
+            0.0
+        }
+    });
+    secs[0]
+}
