@@ -11,22 +11,22 @@
 //! * "the total time of the copy stage … occupies about 95 % of the all
 //!   reducers' whole life cycles".
 //!
-//! Run with `--quick` for a 4 GB / 64-reducer scale check, or
-//! `--dump <path>` to write the per-reducer series (reducer id, copy, sort,
-//! reduce — the plottable Figure 1 data).
+//! Run with `--quick` for a 4 GB / 64-reducer scale check, `--dump <path>`
+//! to write the per-reducer series (reducer id, copy, sort, reduce — the
+//! plottable Figure 1 data), or `--trace <path>` to write a Chrome trace of
+//! the whole job (per-node map/copy/sort/reduce spans) and print the phase
+//! breakdown reconstructed from it.
 
 use hadoop_sim::HadoopConfig;
-use mpid_bench::{fmt_secs, GB};
+use mpid_bench::{arg_value, fmt_secs, GB};
 use std::io::Write;
 use workloads::javasort_spec;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let dump = args
-        .iter()
-        .position(|a| a == "--dump")
-        .and_then(|i| args.get(i + 1).cloned());
+    let dump = arg_value(&args, "--dump");
+    let trace_path = arg_value(&args, "--trace");
 
     let (input, n_reduces, outliers) = if quick {
         (4 * GB, 64, 56)
@@ -39,7 +39,14 @@ fn main() {
         n_reduces
     );
     let cfg = HadoopConfig::icpp2011(8, 8, n_reduces);
-    let report = hadoop_sim::run_job(cfg, javasort_spec(input));
+    let tracer = trace_path.as_ref().map(|_| obs::Tracer::new());
+    let report = match &tracer {
+        Some(t) => hadoop_sim::run_job_traced(cfg, javasort_spec(input), t.clone()),
+        None => hadoop_sim::run_job(cfg, javasort_spec(input)),
+    };
+    if let (Some(t), Some(path)) = (&tracer, &trace_path) {
+        mpid_bench::emit_trace(t, path, "hadoop.phase", "Figure 1 job — phase breakdown from trace");
+    }
 
     if let Some(path) = dump {
         let mut f = std::fs::File::create(&path).expect("create dump file");

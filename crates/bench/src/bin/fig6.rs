@@ -6,10 +6,12 @@
 //! rank-0 master. Paper result: MPI-D reduces execution time to 8 % / 48 % /
 //! 56 % of Hadoop at 1 / 10 / 100 GB (49 s → 3.9 s, …, 2001 s → 1129 s).
 //!
-//! Run with `--quick` to skip the 100 GB point (CI-friendly).
+//! Run with `--quick` to skip the 100 GB point (CI-friendly), or
+//! `--trace <path>` to write a Chrome trace of the largest size's MPI-D run
+//! (read/map/ship/merge pipeline spans per worker).
 
 use hadoop_sim::HadoopConfig;
-use mapred::{run_sim_mpid, SimMpidConfig};
+use mapred::{run_sim_mpid, run_sim_mpid_traced, SimMpidConfig};
 use mpid_bench::{fmt_secs, GB};
 use workloads::wordcount_spec;
 
@@ -22,7 +24,9 @@ struct Row {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace_path = mpid_bench::arg_value(&args, "--trace");
     // Paper anchor points: 1 GB (49 s, 3.9 s) and 100 GB (2001 s, 1129 s);
     // 10 GB is reported as a ratio ("48%").
     let sizes: &[(f64, Option<f64>, Option<f64>)] = if quick {
@@ -48,7 +52,8 @@ fn main() {
     mpid_bench::rule(&header);
 
     let mut rows = Vec::new();
-    for &(gb, paper_h, paper_m) in sizes {
+    let mut traced: Option<obs::Tracer> = None;
+    for (idx, &(gb, paper_h, paper_m)) in sizes.iter().enumerate() {
         let input = (gb * GB as f64) as u64;
         let spec = wordcount_spec(input);
 
@@ -58,7 +63,14 @@ fn main() {
         // MPI-D: 49 mappers + 1 reducer + master, splits sized like the
         // paper's pre-distributed data.
         let mpid_cfg = SimMpidConfig::icpp2011_fig6().with_auto_splits(input);
-        let mpid = run_sim_mpid(mpid_cfg, spec);
+        let mpid = if trace_path.is_some() && idx == sizes.len() - 1 {
+            let tracer = obs::Tracer::new();
+            let report = run_sim_mpid_traced(mpid_cfg, spec, tracer.clone());
+            traced = Some(tracer);
+            report
+        } else {
+            run_sim_mpid(mpid_cfg, spec)
+        };
 
         let row = Row {
             gb,
@@ -81,6 +93,15 @@ fn main() {
             },
         );
         rows.push(row);
+    }
+
+    if let (Some(tracer), Some(path)) = (&traced, &trace_path) {
+        mpid_bench::emit_trace(
+            tracer,
+            path,
+            "mpid.phase",
+            "MPI-D run (largest size) — pipeline breakdown from trace",
+        );
     }
 
     println!();

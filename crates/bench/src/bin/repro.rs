@@ -5,7 +5,11 @@
 //! cargo run --release -p mpid-bench --bin repro              # full scale
 //! cargo run --release -p mpid-bench --bin repro -- --quick   # CI scale
 //! cargo run --release -p mpid-bench --bin repro -- --out report.md
+//! cargo run --release -p mpid-bench --bin repro -- --trace traces/
 //! ```
+//!
+//! With `--trace <dir>`, every experiment that supports tracing also writes
+//! a Chrome trace (`<dir>/<bin>.json`, Perfetto-loadable).
 //!
 //! Each experiment binary asserts its own shape claims, so a nonzero exit
 //! here means a reproduction regression, not just a formatting problem.
@@ -18,6 +22,7 @@ struct Experiment {
     bin: &'static str,
     title: &'static str,
     takes_quick: bool,
+    takes_trace: bool,
 }
 
 const EXPERIMENTS: &[Experiment] = &[
@@ -25,33 +30,61 @@ const EXPERIMENTS: &[Experiment] = &[
         bin: "fig2",
         title: "Figure 2 — point-to-point latency (Hadoop RPC vs MPICH2)",
         takes_quick: false,
+        takes_trace: false,
     },
     Experiment {
         bin: "fig3",
         title: "Figure 3 — bandwidth at varying packet sizes",
         takes_quick: false,
+        takes_trace: false,
     },
     Experiment {
         bin: "fig1",
         title: "Figure 1 — JavaSort per-reducer shuffle breakdown",
         takes_quick: true,
+        takes_trace: true,
     },
     Experiment {
         bin: "table1",
         title: "Table I — copy-stage share sweep",
         takes_quick: true,
+        takes_trace: true,
     },
     Experiment {
         bin: "fig6",
         title: "Figure 6 — WordCount: Hadoop vs MPI-D",
         takes_quick: true,
+        takes_trace: true,
     },
     Experiment {
         bin: "ablation",
         title: "Ablations — combiner, Isend, spills, pressure, compression, speculation",
         takes_quick: false,
+        takes_trace: false,
     },
 ];
+
+/// Standing triage notes for the test suite, appended to every generated
+/// report so readers of REPRO_REPORT.md see the suite's known state.
+const TEST_TRIAGE: &str = "\
+## Test-suite triage
+
+`cargo test -q` at the original seed commit failed before running a single
+test: five dev-dependencies (`bytes`, `rand`, `proptest`, `criterion`,
+`parking_lot`) were declared as crates-io dependencies, which cannot be
+fetched in the offline build environment. That was an environment problem,
+not a code bug — the fix was vendoring minimal API-compatible stubs under
+`vendor/` and pointing the workspace at them as path dependencies, after
+which the whole suite compiles and runs with `--offline`.
+
+There are **no intentionally-red tests**: every test in the workspace is
+expected to pass, and the experiment binaries above assert their own
+paper-shape claims (a nonzero exit from `repro` means a reproduction
+regression). Trace-instrumented runs are covered by dedicated tests
+asserting that tracing is a pure observation: traced and untraced runs
+produce identical results, and trace export is byte-identical across
+identical runs (`mpi-rt`, `mpid`, `hadoop-sim` trace tests).
+";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -62,6 +95,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("REPRO_REPORT.md"));
+    let trace_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir).expect("create trace dir");
+    }
 
     // Sibling binaries live next to this one.
     let bin_dir = std::env::current_exe()
@@ -86,6 +127,12 @@ fn main() {
         if quick && exp.takes_quick {
             cmd.arg("--quick");
         }
+        if let Some(dir) = &trace_dir {
+            if exp.takes_trace {
+                cmd.arg("--trace")
+                    .arg(dir.join(format!("{}.json", exp.bin)));
+            }
+        }
         let output = match cmd.output() {
             Ok(o) => o,
             Err(e) => {
@@ -107,6 +154,8 @@ fn main() {
         }
         report.push_str("```\n\n");
     }
+
+    report.push_str(TEST_TRIAGE);
 
     let mut f = std::fs::File::create(&out_path).expect("create report file");
     f.write_all(report.as_bytes()).expect("write report");

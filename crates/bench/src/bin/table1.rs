@@ -8,7 +8,8 @@
 //!
 //! Reduce-task count scales with input like the paper's GridMix run (2345
 //! reducers for 150 GB ≈ 0.98 × the map count). Run with `--quick` to stop
-//! at 9 GB.
+//! at 9 GB, or `--trace <path>` to write a Chrome trace of the largest 8/8
+//! cell and re-derive its copy share from the trace alone.
 
 use hadoop_sim::HadoopConfig;
 use mpid_bench::GB;
@@ -32,7 +33,9 @@ fn n_reduces_for(input: u64) -> usize {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace_path = mpid_bench::arg_value(&args, "--trace");
     let sizes: &[(f64, &str)] = if quick {
         &[(1.0, "1GB"), (3.0, "3GB"), (9.0, "9GB")]
     } else {
@@ -60,14 +63,25 @@ fn main() {
 
     let mut first_row_avg = 0.0;
     let mut last_row_avg = 0.0;
+    let mut traced_cell: Option<obs::Tracer> = None;
     for (row_idx, &(gb, label)) in sizes.iter().enumerate() {
         let input = (gb * GB as f64) as u64;
         let spec = javasort_spec(input);
         let n_red = n_reduces_for(input);
         let mut cells = Vec::new();
-        for &(ms, rs, _) in &configs {
-            let report =
-                hadoop_sim::run_job(HadoopConfig::icpp2011(ms, rs, n_red), spec.clone());
+        for &(ms, rs, slots) in &configs {
+            let cfg = HadoopConfig::icpp2011(ms, rs, n_red);
+            // Trace the largest-size 8/8 cell: the copy-dominance claim is
+            // then re-derived below from the trace alone.
+            let trace_this = trace_path.is_some() && row_idx == sizes.len() - 1 && slots == "8/8";
+            let report = if trace_this {
+                let tracer = obs::Tracer::new();
+                let report = hadoop_sim::run_job_traced(cfg, spec.clone(), tracer.clone());
+                traced_cell = Some(tracer);
+                report
+            } else {
+                hadoop_sim::run_job(cfg, spec.clone())
+            };
             cells.push(100.0 * report.copy_fraction());
         }
         let paper_row = PAPER
@@ -88,6 +102,24 @@ fn main() {
             first_row_avg = avg;
         }
         last_row_avg = avg;
+    }
+
+    if let (Some(tracer), Some(path)) = (&traced_cell, &trace_path) {
+        // The acceptance check behind Table I: the copy > sort dominance
+        // must fall out of the trace with no help from JobReport.
+        let trace = tracer.trace();
+        let bd = obs::report::PhaseBreakdown::from_trace(&trace, "hadoop.phase");
+        assert!(
+            bd.share_of("copy") > bd.share_of("sort"),
+            "trace-derived breakdown must show copy dominating sort"
+        );
+        drop(trace);
+        mpid_bench::emit_trace(
+            tracer,
+            path,
+            "hadoop.phase",
+            "Largest 8/8 cell — phase breakdown from trace",
+        );
     }
 
     println!();

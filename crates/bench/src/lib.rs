@@ -54,6 +54,33 @@ pub fn rule(header: &str) {
     println!("{}", "-".repeat(header.len()));
 }
 
+/// Value of a `--flag value` pair in `args`, if present.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Write a tracer's events as Chrome trace JSON (Perfetto/`chrome://tracing`
+/// loadable) and print the per-phase breakdown reconstructed from the trace
+/// alone, plus the metrics registry.
+pub fn emit_trace(tracer: &obs::Tracer, path: &str, phase_cat: &str, title: &str) {
+    let trace = tracer.take_trace();
+    obs::chrome::write_chrome_trace(&trace, std::path::Path::new(path))
+        .expect("write chrome trace");
+    println!();
+    println!(
+        "trace: {} events -> {path} (load in Perfetto / chrome://tracing)",
+        trace.events().len()
+    );
+    let breakdown = obs::report::PhaseBreakdown::from_trace(&trace, phase_cat);
+    println!();
+    print!("{}", breakdown.render(title));
+    let metrics = tracer.metrics().render();
+    if !metrics.is_empty() {
+        println!();
+        print!("{metrics}");
+    }
+}
+
 /// The message-size sweep used by Figures 2 and 3 (1 B → 64 MB, powers of
 /// two... the paper plots powers of 4; we use powers of 2 for smoother
 /// curves).

@@ -7,8 +7,10 @@ use crate::error::{MpidError, MpidResult};
 use crate::kv::{Key, Value};
 use crate::realign::FrameReader;
 use crate::stats::ReceiverStats;
-use mpi_rt::Comm;
+use mpi_rt::{Comm, RankTrace};
+use obs::ArgValue;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Reducer-side handle.
@@ -76,6 +78,7 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
     }
 
     fn ingest(&mut self) -> MpidResult<BTreeMap<K, Vec<V>>> {
+        let t0 = self.comm.trace().map(|rt| rt.now_ns());
         let mut table: BTreeMap<K, Vec<V>> = BTreeMap::new();
         let mut eos_seen = 0usize;
         while eos_seen < self.cfg.n_mappers {
@@ -89,6 +92,9 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
             }
         }
         self.stats.distinct_keys = table.len() as u64;
+        if let (Some(rt), Some(t0)) = (self.comm.trace(), t0) {
+            trace_merge(rt, t0, &self.stats, None);
+        }
         Ok(table)
     }
 
@@ -106,6 +112,7 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
             matches!(self.state, RecvState::Ingesting),
             "into_external after recv() started grouping"
         );
+        let t0 = self.comm.trace().map(|rt| rt.now_ns());
         let spill_err = |e: crate::extmerge::ExtMergeError| MpidError::Spill(e.to_string());
         let mut table = crate::extmerge::ExternalTable::new(budget_bytes, spill_dir)
             .map_err(|e| MpidError::Spill(e.to_string()))?;
@@ -121,6 +128,9 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
             }
         }
         let spilled_runs = table.spilled_runs();
+        if let (Some(rt), Some(t0)) = (self.comm.trace(), t0) {
+            trace_merge(rt, t0, &self.stats, Some(spilled_runs));
+        }
         let merge = table.into_merge().map_err(spill_err)?;
         Ok(ExternalRecv {
             merge,
@@ -174,6 +184,22 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
         }
         Ok(out)
     }
+}
+
+/// Record the reducer-side "merge" stage span (cat `mpid.stage`): wildcard
+/// frame reception plus in-memory (or external) merging, from `t0` to now,
+/// with the [`ReceiverStats`] counters as span args.
+fn trace_merge(rt: &Arc<RankTrace>, t0: u64, stats: &ReceiverStats, spilled_runs: Option<usize>) {
+    let mut args = vec![
+        ("frames", ArgValue::U64(stats.frames)),
+        ("bytes_received", ArgValue::U64(stats.bytes_received)),
+        ("groups_in", ArgValue::U64(stats.groups_in)),
+        ("distinct_keys", ArgValue::U64(stats.distinct_keys)),
+    ];
+    if let Some(runs) = spilled_runs {
+        args.push(("spilled_runs", ArgValue::U64(runs as u64)));
+    }
+    rt.complete_since("merge", "mpid.stage", t0, args);
 }
 
 /// Receive one DATA frame: `Ok(None)` = end-of-stream marker, otherwise the

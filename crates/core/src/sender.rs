@@ -10,7 +10,8 @@ use crate::partition::{HashPartitioner, Partitioner};
 use crate::realign::FrameBuilder;
 use crate::stats::SenderStats;
 use crate::error::MpidResult;
-use mpi_rt::{Comm, SendRequest};
+use mpi_rt::{Comm, RankTrace, SendRequest};
+use obs::ArgValue;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -38,6 +39,23 @@ pub struct MpidSender<'a, K: Key, V: Value> {
     pending: Vec<SendRequest>,
     stats: SenderStats,
     finished: bool,
+    trace: Option<SenderTrace>,
+}
+
+/// Pipeline-stage tracing state, active when the universe was launched with
+/// [`mpi_rt::Universe::run_traced`]. Stage spans (`buffer` → `combine` →
+/// `realign` → `ship`, cat `mpid.stage`) land on the rank's own trace lane;
+/// span args carry the [`SenderStats`] deltas for the interval, so the
+/// counters are recoverable from the trace alone.
+struct SenderTrace {
+    rt: Arc<RankTrace>,
+    /// When the current buffering interval started (first `send` after the
+    /// last spill).
+    buffer_start: Option<u64>,
+    /// Wall time spent inside the combiner during the current interval.
+    combine_ns: u64,
+    /// Stats snapshot at the end of the previous spill, for deltas.
+    prev: SenderStats,
 }
 
 impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
@@ -52,6 +70,12 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
             pending: Vec::new(),
             stats: SenderStats::default(),
             finished: false,
+            trace: comm.trace().map(|rt| SenderTrace {
+                rt: rt.clone(),
+                buffer_start: None,
+                combine_ns: 0,
+                prev: SenderStats::default(),
+            }),
         }
     }
 
@@ -73,13 +97,22 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
     pub fn send(&mut self, key: K, value: V) -> MpidResult<()> {
         assert!(!self.finished, "send after finish");
         self.stats.pairs_in += 1;
+        if let Some(ts) = &mut self.trace {
+            if ts.buffer_start.is_none() {
+                ts.buffer_start = Some(ts.rt.now_ns());
+            }
+        }
         let value_size = value.wire_size();
         match self.buffer.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 match (e.get_mut(), &self.combiner) {
                     (VBuf::Combined(acc), Some(c)) => {
                         let before = acc.wire_size();
+                        let t0 = self.trace.as_ref().map(|ts| ts.rt.now_ns());
                         c.combine(acc, value);
+                        if let (Some(ts), Some(t0)) = (&mut self.trace, t0) {
+                            ts.combine_ns += ts.rt.now_ns().saturating_sub(t0);
+                        }
                         self.stats.pairs_combined += 1;
                         let after = acc.wire_size();
                         self.buffered_bytes = self.buffered_bytes + after - before;
@@ -118,6 +151,37 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
         if self.buffer.is_empty() {
             return Ok(());
         }
+        // Close the buffering interval: one "buffer" span per spill, with a
+        // nested "combine" span for the time spent folding values.
+        let spill_start = self.trace.as_ref().map(|ts| ts.rt.now_ns());
+        if let (Some(ts), Some(now)) = (&mut self.trace, spill_start) {
+            if let Some(b0) = ts.buffer_start.take() {
+                ts.rt.complete(
+                    "buffer",
+                    "mpid.stage",
+                    b0,
+                    now,
+                    vec![
+                        ("pairs_in", ArgValue::U64(self.stats.pairs_in - ts.prev.pairs_in)),
+                        (
+                            "pairs_combined",
+                            ArgValue::U64(self.stats.pairs_combined - ts.prev.pairs_combined),
+                        ),
+                        ("buffered_bytes", ArgValue::U64(self.buffered_bytes as u64)),
+                    ],
+                );
+                if ts.combine_ns > 0 {
+                    ts.rt.complete(
+                        "combine",
+                        "mpid.stage",
+                        now - ts.combine_ns.min(now - b0),
+                        now,
+                        Vec::new(),
+                    );
+                    ts.combine_ns = 0;
+                }
+            }
+        }
         self.stats.spills += 1;
         let n_red = self.cfg.n_reducers;
         // Hash-mod partition selection.
@@ -131,7 +195,12 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
             partitions[p].push((k, values));
         }
         self.buffered_bytes = 0;
-        // Realign each partition into contiguous fixed-size frames and ship.
+        // Realign each partition into contiguous fixed-size frames: sort,
+        // frame-build, and (optionally) compress everything first, then ship
+        // — the build/send split is what makes the realign and ship stages
+        // separately visible in traces, with the comm calls in the same
+        // order as a fused loop would issue them.
+        let mut shipments: Vec<(mpi_rt::Rank, Vec<Vec<u8>>)> = Vec::new();
         for (p, mut groups) in partitions.into_iter().enumerate() {
             if groups.is_empty() {
                 continue;
@@ -145,6 +214,7 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                 builder.push_group(k, vs);
             }
             let dst = Role::reducer_rank(&self.cfg, p);
+            let mut wires = Vec::new();
             for frame in builder.finish() {
                 self.stats.frames += 1;
                 self.stats.bytes_precompress += frame.len() as u64;
@@ -166,6 +236,32 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                     wire.extend_from_slice(&frame);
                 }
                 self.stats.bytes_sent += wire.len() as u64;
+                wires.push(wire);
+            }
+            shipments.push((dst, wires));
+        }
+        let ship_start = if let (Some(ts), Some(t0)) = (&self.trace, spill_start) {
+            let now = ts.rt.now_ns();
+            ts.rt.complete(
+                "realign",
+                "mpid.stage",
+                t0,
+                now,
+                vec![
+                    ("groups", ArgValue::U64(self.stats.groups_out - ts.prev.groups_out)),
+                    ("frames", ArgValue::U64(self.stats.frames - ts.prev.frames)),
+                    (
+                        "frame_bytes",
+                        ArgValue::U64(self.stats.bytes_precompress - ts.prev.bytes_precompress),
+                    ),
+                ],
+            );
+            Some(now)
+        } else {
+            None
+        };
+        for (dst, wires) in shipments {
+            for wire in wires {
                 if self.cfg.use_isend {
                     // Overlap map computation with communication (the
                     // paper's future-work item, as an ablation switch).
@@ -176,12 +272,30 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                 }
             }
         }
+        if let (Some(ts), Some(t0)) = (&mut self.trace, ship_start) {
+            ts.rt.complete_since(
+                "ship",
+                "mpid.stage",
+                t0,
+                vec![
+                    ("spill", ArgValue::U64(self.stats.spills)),
+                    ("frames", ArgValue::U64(self.stats.frames - ts.prev.frames)),
+                    (
+                        "bytes_sent",
+                        ArgValue::U64(self.stats.bytes_sent - ts.prev.bytes_sent),
+                    ),
+                    ("isend", ArgValue::Bool(self.cfg.use_isend)),
+                ],
+            );
+            ts.prev = self.stats.clone();
+        }
         Ok(())
     }
 
     /// Flush everything, wait for outstanding `Isend`s, and deliver an
     /// end-of-stream marker to every reducer. Returns the sender statistics.
     pub fn finish(mut self) -> MpidResult<SenderStats> {
+        let t0 = self.trace.as_ref().map(|ts| ts.rt.now_ns());
         self.spill()?;
         for req in self.pending.drain(..) {
             req.wait();
@@ -195,6 +309,28 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
             self.comm.send::<u8>(dst, tags::DATA, &[])?;
         }
         self.finished = true;
+        // The closing span subsumes the SenderStats counters: the whole
+        // sender life is recoverable from the trace without the struct.
+        if let (Some(ts), Some(t0)) = (&self.trace, t0) {
+            ts.rt.complete_since(
+                "sender_finish",
+                "mpid.stage",
+                t0,
+                vec![
+                    ("pairs_in", ArgValue::U64(self.stats.pairs_in)),
+                    ("pairs_combined", ArgValue::U64(self.stats.pairs_combined)),
+                    ("groups_out", ArgValue::U64(self.stats.groups_out)),
+                    ("spills", ArgValue::U64(self.stats.spills)),
+                    ("frames", ArgValue::U64(self.stats.frames)),
+                    ("bytes_sent", ArgValue::U64(self.stats.bytes_sent)),
+                    (
+                        "bytes_precompress",
+                        ArgValue::U64(self.stats.bytes_precompress),
+                    ),
+                    ("combine_ratio", ArgValue::F64(self.stats.combine_ratio())),
+                ],
+            );
+        }
         Ok(self.stats.clone())
     }
 }

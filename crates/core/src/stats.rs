@@ -24,8 +24,12 @@ pub struct SenderStats {
 }
 
 impl SenderStats {
-    /// Fraction of input pairs eliminated before transmission — the
-    /// combiner's "reduce the transmission quantity" effect.
+    /// Fraction of input pairs **surviving** local combining — the
+    /// multiplier on the transmission quantity, *not* the fraction
+    /// eliminated. This matches the workspace-wide `combine_ratio`
+    /// convention (e.g. `netsim::JobSpec::combine_ratio = 0.012` means
+    /// 1.2 % of WordCount's map output crosses the wire). `1.0` means the
+    /// combiner folded nothing (or there is no combiner).
     pub fn combine_ratio(&self) -> f64 {
         if self.pairs_in == 0 {
             return 1.0;
@@ -108,6 +112,33 @@ mod tests {
         s.pairs_in = 100;
         s.pairs_combined = 90;
         assert!((s.combine_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_ratio_is_the_surviving_fraction() {
+        // Pins the workspace convention: combine_ratio is what *remains*
+        // after combining (a transmission multiplier), matching
+        // netsim::JobSpec::combine_ratio. A perfect combiner → ratio → 0;
+        // no combining → 1.0.
+        let heavy = SenderStats {
+            pairs_in: 1000,
+            pairs_combined: 988,
+            ..Default::default()
+        };
+        assert!((heavy.combine_ratio() - 0.012).abs() < 1e-12);
+        let none = SenderStats {
+            pairs_in: 500,
+            pairs_combined: 0,
+            ..Default::default()
+        };
+        assert_eq!(none.combine_ratio(), 1.0);
+        // Ratios multiply onto byte volumes the same way JobSpec uses them:
+        // surviving pairs ≈ pairs_in × combine_ratio.
+        let surviving = heavy.pairs_in - heavy.pairs_combined;
+        assert_eq!(
+            (heavy.pairs_in as f64 * heavy.combine_ratio()).round() as u64,
+            surviving
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod sim;
 pub use config::HadoopConfig;
 pub use hdfs::{BlockId, NameNode};
 pub use report::{JobReport, MapSpan, ReduceSpan};
-pub use sim::run_job;
+pub use sim::{run_job, run_job_traced};
 
 #[cfg(test)]
 mod tests {
@@ -79,6 +79,65 @@ mod tests {
             // Phases fit inside the span.
             assert!(r.copy + r.sort + r.reduce <= r.duration() + SimTime::from_secs(1));
         }
+    }
+
+    #[test]
+    fn traced_run_covers_every_task_without_perturbing_the_sim() {
+        let cfg = HadoopConfig::icpp2011(4, 4, 8);
+        let plain = run_job(cfg.clone(), sort_spec(1.0));
+        let tracer = obs::Tracer::new();
+        let traced = run_job_traced(cfg, sort_spec(1.0), tracer.clone());
+        // Tracing is observation only: identical results.
+        assert_eq!(plain.makespan, traced.makespan);
+        let trace = tracer.take_trace();
+        let count = |name: &str| {
+            trace
+                .events()
+                .iter()
+                .filter(|e| e.name == name && e.cat == "hadoop.phase")
+                .count()
+        };
+        assert_eq!(count("map"), traced.maps.len());
+        assert_eq!(count("copy"), traced.reduces.len());
+        assert_eq!(count("sort"), traced.reduces.len());
+        assert_eq!(count("reduce"), traced.reduces.len());
+        // Every worker lane hosts at least one phase span.
+        for pid in 1..=4u32 {
+            assert!(
+                trace
+                    .events()
+                    .iter()
+                    .any(|e| e.pid == pid && e.cat == "hadoop.phase"),
+                "no phase span on worker {pid}"
+            );
+        }
+        // The trace alone reproduces the Table I shape: copy dominates the
+        // reduce-side phases.
+        let bd = obs::report::PhaseBreakdown::from_trace(&trace, "hadoop.phase");
+        assert!(bd.share_of("copy") > bd.share_of("sort"));
+        assert!(bd.row("map").is_some());
+        // Network flow spans ride along on the same tracer.
+        assert!(trace.events().iter().any(|e| e.cat == "net.flow"));
+    }
+
+    #[test]
+    fn trace_export_is_byte_identical_across_runs() {
+        // Same config + spec (the sim RNG is seeded from them) must give a
+        // byte-identical Chrome export: timestamps are sim-time, event
+        // ordering is a stable sort, and metadata maps are BTreeMaps.
+        let export = || {
+            let tracer = obs::Tracer::new();
+            run_job_traced(
+                HadoopConfig::icpp2011(4, 4, 8),
+                sort_spec(1.0),
+                tracer.clone(),
+            );
+            tracer.chrome_json()
+        };
+        let a = export();
+        let b = export();
+        assert!(a == b, "chrome export must be deterministic");
+        obs::chrome::validate(&a).expect("export must be valid JSON");
     }
 
     #[test]

@@ -39,6 +39,11 @@ use desim::rng::SplitMix64;
 use desim::stats::OnlineStats;
 use desim::{Scheduler, Sim, SimTime};
 use netsim::{Cluster, HasNet, HostId, JobSpec, Net, Route};
+use obs::{ArgValue, Tracer};
+
+/// Thread lane offset separating reducer spans from map spans on the same
+/// host lane in exported traces (map tid = map index; reduce tid = this + r).
+const REDUCE_TID_BASE: u32 = 1 << 20;
 
 /// Simulation state for one Hadoop job execution.
 pub struct HadoopSim {
@@ -76,6 +81,7 @@ pub struct HadoopSim {
 
     report: JobReport,
     finished: bool,
+    tracer: Option<Tracer>,
 }
 
 struct CopyState {
@@ -157,13 +163,28 @@ impl HadoopSim {
             },
             cfg,
             finished: false,
+            tracer: None,
         }
+    }
+
+    /// Install a trace sink on the job and its network, and name the trace
+    /// lanes (pid 0 = jobtracker, pid 1.. = workers).
+    fn set_tracer(&mut self, tracer: Tracer) {
+        tracer.set_process_name(0, "jobtracker");
+        for w in 0..self.cfg.n_workers() {
+            tracer.set_process_name(1 + w as u32, format!("worker-{}", 1 + w));
+        }
+        self.net.set_tracer(tracer.clone());
+        self.tracer = Some(tracer);
     }
 
     fn start(sim: &mut Sim<HadoopSim>) {
         let setup = sim.state.cfg.job_setup;
-        sim.schedule(setup, |s: &mut HadoopSim, _| {
+        sim.schedule(setup, |s: &mut HadoopSim, sc| {
             s.setup_done = true;
+            if let Some(t) = &s.tracer {
+                t.complete(0, 0, "job_setup", "hadoop.job", 0, sc.now().as_nanos(), vec![]);
+            }
         });
         // Stagger tracker heartbeats across the interval.
         let workers = sim.state.cfg.n_workers();
@@ -232,6 +253,16 @@ impl HadoopSim {
                             s.map_speculated[m] = true;
                             s.report.speculative_launched += 1;
                             s.free_map_slots[worker] -= 1;
+                            if let Some(t) = &s.tracer {
+                                t.instant(
+                                    1 + worker as u32,
+                                    m as u32,
+                                    "speculative_launch",
+                                    "hadoop.sched",
+                                    sc.now().as_nanos(),
+                                );
+                                t.metrics().inc("hadoop.speculative_launched", 1);
+                            }
                             Self::start_map(s, sc, m, worker);
                         }
                     }
@@ -336,6 +367,15 @@ impl HadoopSim {
             // just free the slot.
             s.report.speculative_wasted += 1;
             s.free_map_slots[worker] += 1;
+            if let Some(t) = &s.tracer {
+                t.instant(
+                    1 + worker as u32,
+                    m as u32,
+                    "speculative_wasted",
+                    "hadoop.sched",
+                    sc.now().as_nanos(),
+                );
+            }
             return;
         }
         // Attempt-failure injection (task JVM crash, disk error): the
@@ -344,6 +384,16 @@ impl HadoopSim {
         if s.rng.next_f64() < s.cfg.task_failure_prob {
             s.report.failed_map_attempts += 1;
             s.free_map_slots[worker] += 1;
+            if let Some(t) = &s.tracer {
+                t.instant(
+                    1 + worker as u32,
+                    m as u32,
+                    "map_attempt_failed",
+                    "hadoop.sched",
+                    sc.now().as_nanos(),
+                );
+                t.metrics().inc("hadoop.failed_map_attempts", 1);
+            }
             if s.map_attempts[m] >= s.cfg.max_task_attempts {
                 s.report.job_failed = true;
                 s.report.makespan = sc.now();
@@ -362,6 +412,24 @@ impl HadoopSim {
         s.map_out_ready[m] = true;
         s.map_out_host[m] = HostId(1 + worker);
         s.maps_done += 1;
+        if let Some(t) = &s.tracer {
+            t.complete(
+                1 + worker as u32,
+                m as u32,
+                "map",
+                "hadoop.phase",
+                start.as_nanos(),
+                sc.now().as_nanos(),
+                vec![
+                    ("local", ArgValue::Bool(local)),
+                    ("input_bytes", ArgValue::U64(s.map_input[m])),
+                ],
+            );
+            t.counter(0, "hadoop.maps_done", "hadoop", sc.now().as_nanos(), s.maps_done as f64);
+            t.metrics().inc("hadoop.maps_done", 1);
+            t.metrics()
+                .observe("hadoop.map_duration_ms", (sc.now() - start).as_nanos() / 1_000_000);
+        }
         s.free_map_slots[worker] += 1;
         // New map output may unblock reducers idling in their copy phase.
         let waiting = std::mem::take(&mut s.waiting_reducers);
@@ -465,6 +533,18 @@ impl HadoopSim {
         let copy = sc.now() - cs.copy_start;
         let shuffled = cs.bytes_fetched;
         let span_base = (cs.task_start, cs.host);
+        if let Some(t) = &s.tracer {
+            t.complete(
+                cs.host.0 as u32,
+                REDUCE_TID_BASE + r as u32,
+                "copy",
+                "hadoop.phase",
+                cs.copy_start.as_nanos(),
+                sc.now().as_nanos(),
+                vec![("shuffled_bytes", ArgValue::U64(shuffled))],
+            );
+            t.metrics().inc("hadoop.shuffle_bytes", shuffled);
+        }
         // Sort/merge stage: in-memory if it fits the merge buffer (the
         // paper's ~0.01 s sorts), otherwise on-disk merge passes.
         if shuffled <= s.cfg.merge_buffer_bytes {
@@ -499,6 +579,18 @@ impl HadoopSim {
             s.rng.jittered(s.spec.reduce_cpu_secs(shuffled), 0.1),
         );
         let (task_start, host) = span_base;
+        if let Some(t) = &s.tracer {
+            // The sort/merge stage ends exactly where the reduce stage starts.
+            t.complete(
+                host.0 as u32,
+                REDUCE_TID_BASE + r as u32,
+                "sort",
+                "hadoop.phase",
+                (reduce_start - sort).as_nanos(),
+                reduce_start.as_nanos(),
+                vec![],
+            );
+        }
         sc.schedule_in(cpu, move |s: &mut HadoopSim, sc| {
             let out = s.spec.output_bytes(shuffled);
             // Output commits through the page cache: write-back absorbs the
@@ -518,11 +610,33 @@ impl HadoopSim {
                 };
                 s.reduces_done += 1;
                 s.free_reduce_slots[host.0 - 1] += 1;
+                if let Some(t) = &s.tracer {
+                    t.complete(
+                        host.0 as u32,
+                        REDUCE_TID_BASE + r as u32,
+                        "reduce",
+                        "hadoop.phase",
+                        reduce_start.as_nanos(),
+                        sc.now().as_nanos(),
+                        vec![("shuffled_bytes", ArgValue::U64(shuffled))],
+                    );
+                    t.counter(
+                        0,
+                        "hadoop.reduces_done",
+                        "hadoop",
+                        sc.now().as_nanos(),
+                        s.reduces_done as f64,
+                    );
+                    t.metrics().inc("hadoop.reduces_done", 1);
+                }
                 if s.reduces_done == s.cfg.n_reduces {
                     let cleanup = s.cfg.job_cleanup;
                     sc.schedule_in(cleanup, |s: &mut HadoopSim, sc| {
                         s.finished = true;
                         s.report.makespan = sc.now();
+                        if let Some(t) = &s.tracer {
+                            t.instant(0, 0, "job_finished", "hadoop.job", sc.now().as_nanos());
+                        }
                     });
                 }
             });
@@ -532,7 +646,21 @@ impl HadoopSim {
 
 /// Execute one simulated Hadoop job, returning the timing report.
 pub fn run_job(cfg: HadoopConfig, spec: JobSpec) -> JobReport {
+    run_job_inner(cfg, spec, None)
+}
+
+/// Like [`run_job`], but recording map/copy/sort/reduce spans, scheduler
+/// instants, and network flow spans into `tracer` (all timestamps are
+/// simulated nanoseconds, so the resulting trace is deterministic).
+pub fn run_job_traced(cfg: HadoopConfig, spec: JobSpec, tracer: Tracer) -> JobReport {
+    run_job_inner(cfg, spec, Some(tracer))
+}
+
+fn run_job_inner(cfg: HadoopConfig, spec: JobSpec, tracer: Option<Tracer>) -> JobReport {
     let mut sim = Sim::new(HadoopSim::new(cfg, spec));
+    if let Some(t) = tracer {
+        sim.state.set_tracer(t);
+    }
     HadoopSim::start(&mut sim);
     sim.run();
     assert!(

@@ -22,4 +22,4 @@ pub mod sim;
 pub use api::{InputFormat, MapReduceApp, TextInput, VecInput};
 pub use engine::{run_mpid, JobOutput, MpidEngineConfig};
 pub use local::run_local;
-pub use sim::{run_sim_mpid, SimMpidConfig, SimMpidReport};
+pub use sim::{run_sim_mpid, run_sim_mpid_traced, SimMpidConfig, SimMpidReport};

@@ -27,6 +27,8 @@
 
 use desim::{Scheduler, Sim, SimTime};
 use netsim::{Cluster, ClusterSpec, HasNet, HostId, JobSpec, MpiModel, Net, Route, Transport};
+use obs::{ArgValue, Tracer};
+use std::collections::HashMap;
 
 /// Configuration of the simulated MPI-D deployment.
 #[derive(Debug, Clone)]
@@ -109,6 +111,25 @@ pub struct SimMpidReport {
     pub cpu_multiplier: f64,
 }
 
+impl SimMpidReport {
+    /// Aggregate phase timeline derived from the report: startup, the map
+    /// phase (earliest mapper start to last mapper finish, which includes
+    /// reads and shuffle sends), and the reducer tail.
+    pub fn phase_timeline(&self) -> Vec<(&'static str, SimTime, SimTime)> {
+        let map_start = self
+            .mapper_spans
+            .iter()
+            .map(|&(s, _)| s)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        vec![
+            ("startup", SimTime::ZERO, map_start),
+            ("map", map_start, self.map_finish),
+            ("reduce_tail", self.map_finish, self.makespan),
+        ]
+    }
+}
+
 struct MpidSim {
     net: Net<MpidSim>,
     cfg: SimMpidConfig,
@@ -132,6 +153,10 @@ struct MpidSim {
     report_makespan: SimTime,
     finished: bool,
     reduce_started: bool,
+    tracer: Option<Tracer>,
+    // (mapper, split) → (ship start ns, frames outstanding, shuffled bytes);
+    // populated only while tracing.
+    ship_state: HashMap<(usize, usize), (u64, usize, u64)>,
 }
 
 impl HasNet for MpidSim {
@@ -191,8 +216,25 @@ impl MpidSim {
             report_makespan: SimTime::ZERO,
             finished: false,
             reduce_started: false,
+            tracer: None,
+            ship_state: HashMap::new(),
             cfg,
         }
+    }
+
+    /// Install a trace sink on the job and its network, naming the lanes
+    /// (pid 0 = master, pid 1.. = workers; mapper `m` traces on its host's
+    /// lane with tid `m`).
+    fn set_tracer(&mut self, tracer: Tracer) {
+        tracer.set_process_name(0, "master");
+        for h in 1..self.cfg.cluster.hosts {
+            tracer.set_process_name(h as u32, format!("worker-{h}"));
+        }
+        for (m, host) in self.mapper_host.iter().enumerate() {
+            tracer.set_thread_name(host.0 as u32, m as u32, format!("mapper-{m}"));
+        }
+        self.net.set_tracer(tracer.clone());
+        self.tracer = Some(tracer);
     }
 
     fn start(sim: &mut Sim<MpidSim>) {
@@ -235,7 +277,19 @@ impl MpidSim {
         // One seek to open the split file.
         let seek_bytes =
             (0.008 * s.cfg.cluster.disk_read_bytes_per_sec) as u64;
+        let read_start = sc.now().as_nanos();
         Net::start_flow(s, sc, route, bytes + seek_bytes, 1.0, move |s, sc| {
+            if let Some(t) = &s.tracer {
+                t.complete(
+                    my_host.0 as u32,
+                    m as u32,
+                    "read",
+                    "mpid.phase",
+                    read_start,
+                    sc.now().as_nanos(),
+                    vec![("bytes", ArgValue::U64(bytes))],
+                );
+            }
             Self::map_split(s, sc, m, split);
         });
     }
@@ -245,7 +299,19 @@ impl MpidSim {
         let cpu = SimTime::from_secs_f64(
             s.spec.map_cpu_secs(bytes) * s.cpu_multiplier,
         );
+        let map_start = sc.now().as_nanos();
         sc.schedule_in(cpu, move |s: &mut MpidSim, sc| {
+            if let Some(t) = &s.tracer {
+                t.complete(
+                    s.mapper_host[m].0 as u32,
+                    m as u32,
+                    "map",
+                    "mpid.phase",
+                    map_start,
+                    sc.now().as_nanos(),
+                    vec![("bytes", ArgValue::U64(bytes))],
+                );
+            }
             Self::send_spill(s, sc, m, split);
         });
     }
@@ -257,6 +323,10 @@ impl MpidSim {
         let n_red = s.cfg.n_reducers;
         let per_red = shuffled / n_red as u64;
         s.shuffle_bytes += shuffled;
+        if s.tracer.is_some() {
+            s.ship_state
+                .insert((m, split), (sc.now().as_nanos(), n_red, shuffled));
+        }
         let overlap = s.cfg.overlap_sends;
         // Wire bytes inflated by the MPI streaming efficiency for
         // frame-sized messages.
@@ -277,6 +347,33 @@ impl MpidSim {
                 s.sends_in_flight -= 1;
                 if s.first_arrival.is_none() {
                     s.first_arrival = Some(sc.now());
+                    if let Some(t) = &s.tracer {
+                        t.instant(
+                            s.reducer_host[0].0 as u32,
+                            0,
+                            "first_arrival",
+                            "mpid",
+                            sc.now().as_nanos(),
+                        );
+                    }
+                }
+                if let Some((start, left, bytes)) = s.ship_state.get_mut(&(m, split)) {
+                    *left -= 1;
+                    if *left == 0 {
+                        let (start, bytes) = (*start, *bytes);
+                        s.ship_state.remove(&(m, split));
+                        if let Some(t) = &s.tracer {
+                            t.complete(
+                                s.mapper_host[m].0 as u32,
+                                m as u32,
+                                "ship",
+                                "mpid.phase",
+                                start,
+                                sc.now().as_nanos(),
+                                vec![("shuffled_bytes", ArgValue::U64(bytes))],
+                            );
+                        }
+                    }
                 }
                 // Blocking-send mode: the mapper proceeds only after the
                 // last frame is delivered.
@@ -295,6 +392,16 @@ impl MpidSim {
     fn mapper_done(s: &mut MpidSim, sc: &mut Scheduler<MpidSim>, m: usize) {
         s.mapper_spans[m].1 = sc.now();
         s.mappers_done += 1;
+        if let Some(t) = &s.tracer {
+            t.counter(
+                0,
+                "mpid.mappers_done",
+                "mpid",
+                sc.now().as_nanos(),
+                s.mappers_done as f64,
+            );
+            t.metrics().inc("mpid.mappers_done", 1);
+        }
         Self::maybe_finish(s, sc);
     }
 
@@ -317,14 +424,27 @@ impl MpidSim {
             .unwrap_or(0.0);
         let remaining = (total_cpu - overlapped).max(0.0);
         let out_bytes = s.spec.output_bytes(per_red);
+        let tail_start = sc.now().as_nanos();
         sc.schedule_in(
             SimTime::from_secs_f64(remaining),
             move |s: &mut MpidSim, sc| {
                 // Reducers write their outputs in parallel on their hosts.
                 let host = s.reducer_host[0];
-                Net::disk_write(s, sc, host, out_bytes, |s, sc| {
+                Net::disk_write(s, sc, host, out_bytes, move |s, sc| {
                     s.finished = true;
                     s.report_makespan = sc.now();
+                    if let Some(t) = &s.tracer {
+                        t.complete(
+                            host.0 as u32,
+                            u32::MAX,
+                            "reduce_tail",
+                            "mpid.phase",
+                            tail_start,
+                            sc.now().as_nanos(),
+                            vec![],
+                        );
+                        t.instant(0, 0, "job_finished", "mpid", sc.now().as_nanos());
+                    }
                 });
             },
         );
@@ -333,7 +453,29 @@ impl MpidSim {
 
 /// Execute one simulated MPI-D job.
 pub fn run_sim_mpid(cfg: SimMpidConfig, spec: JobSpec) -> SimMpidReport {
+    run_sim_mpid_inner(cfg, spec, None)
+}
+
+/// Like [`run_sim_mpid`], but recording per-split read/map/ship spans, the
+/// reducer tail, and network flow spans into `tracer` (simulated-time
+/// timestamps — deterministic for a given config and spec).
+pub fn run_sim_mpid_traced(
+    cfg: SimMpidConfig,
+    spec: JobSpec,
+    tracer: Tracer,
+) -> SimMpidReport {
+    run_sim_mpid_inner(cfg, spec, Some(tracer))
+}
+
+fn run_sim_mpid_inner(
+    cfg: SimMpidConfig,
+    spec: JobSpec,
+    tracer: Option<Tracer>,
+) -> SimMpidReport {
     let mut sim = Sim::new(MpidSim::new(cfg, spec));
+    if let Some(t) = tracer {
+        sim.state.set_tracer(t);
+    }
     MpidSim::start(&mut sim);
     sim.run();
     assert!(sim.state.finished, "MPI-D simulation did not complete");
@@ -414,5 +556,34 @@ mod tests {
         assert!(r.map_finish <= r.makespan);
         assert!(r.mapper_spans.iter().all(|&(s, e)| e >= s));
         assert!(r.shuffle_bytes > 0);
+        let tl = r.phase_timeline();
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[2].0, "reduce_tail");
+        assert_eq!(tl[2].2, r.makespan);
+    }
+
+    #[test]
+    fn traced_run_emits_pipeline_spans_without_perturbing_the_sim() {
+        let plain = run_sim_mpid(SimMpidConfig::icpp2011_fig6(), wc_spec(1.0));
+        let tracer = Tracer::new();
+        let traced =
+            run_sim_mpid_traced(SimMpidConfig::icpp2011_fig6(), wc_spec(1.0), tracer.clone());
+        assert_eq!(plain.makespan, traced.makespan);
+        let trace = tracer.take_trace();
+        let count = |name: &str| {
+            trace
+                .events()
+                .iter()
+                .filter(|e| e.name == name && e.cat == "mpid.phase")
+                .count()
+        };
+        // 1 GB over 49 mappers with 64 MB splits = 16 splits, each traced
+        // through read → map → ship.
+        assert_eq!(count("read"), 16);
+        assert_eq!(count("map"), 16);
+        assert_eq!(count("ship"), 16);
+        assert_eq!(count("reduce_tail"), 1);
+        assert!(trace.events().iter().any(|e| e.name == "mpid.mappers_done"));
+        assert_eq!(tracer.metrics().counter("mpid.mappers_done"), 49);
     }
 }

@@ -42,6 +42,13 @@ impl Comm {
 
     /// `MPI_Barrier` — dissemination algorithm, ⌈log₂ n⌉ rounds.
     pub fn barrier(&self) -> MpiResult<()> {
+        let t0 = self.trace_start();
+        let out = self.barrier_inner();
+        self.trace_coll("barrier", t0);
+        out
+    }
+
+    fn barrier_inner(&self) -> MpiResult<()> {
         let n = self.size();
         let tag = self.next_coll_tag();
         if n == 1 {
@@ -60,6 +67,13 @@ impl Comm {
     /// `MPI_Bcast` — binomial tree from `root`. On non-root ranks the
     /// contents of `buf` are replaced.
     pub fn bcast<T: MpiType>(&self, root: Rank, buf: &mut Vec<T>) -> MpiResult<()> {
+        let t0 = self.trace_start();
+        let out = self.bcast_inner(root, buf);
+        self.trace_coll("bcast", t0);
+        out
+    }
+
+    fn bcast_inner<T: MpiType>(&self, root: Rank, buf: &mut Vec<T>) -> MpiResult<()> {
         let n = self.size();
         let tag = self.next_coll_tag();
         if n == 1 {
@@ -94,6 +108,18 @@ impl Comm {
     ///
     /// All ranks must pass slices of the same length.
     pub fn reduce<T: MpiType, F: Fn(T, T) -> T>(
+        &self,
+        root: Rank,
+        sendbuf: &[T],
+        op: F,
+    ) -> MpiResult<Option<Vec<T>>> {
+        let t0 = self.trace_start();
+        let out = self.reduce_inner(root, sendbuf, op);
+        self.trace_coll("reduce", t0);
+        out
+    }
+
+    fn reduce_inner<T: MpiType, F: Fn(T, T) -> T>(
         &self,
         root: Rank,
         sendbuf: &[T],
@@ -142,15 +168,31 @@ impl Comm {
         sendbuf: &[T],
         op: F,
     ) -> MpiResult<Vec<T>> {
-        let reduced = self.reduce(0, sendbuf, op)?;
-        let mut buf = reduced.unwrap_or_default();
-        self.bcast(0, &mut buf)?;
-        Ok(buf)
+        let t0 = self.trace_start();
+        let out = (|| {
+            let reduced = self.reduce_inner(0, sendbuf, op)?;
+            let mut buf = reduced.unwrap_or_default();
+            self.bcast_inner(0, &mut buf)?;
+            Ok(buf)
+        })();
+        self.trace_coll("allreduce", t0);
+        out
     }
 
     /// `MPI_Gather` (variable-length, i.e. `MPI_Gatherv`): every rank
     /// contributes a slice; `root` receives them indexed by rank.
     pub fn gather<T: MpiType>(
+        &self,
+        root: Rank,
+        sendbuf: &[T],
+    ) -> MpiResult<Option<Vec<Vec<T>>>> {
+        let t0 = self.trace_start();
+        let out = self.gather_inner(root, sendbuf);
+        self.trace_coll("gather", t0);
+        out
+    }
+
+    fn gather_inner<T: MpiType>(
         &self,
         root: Rank,
         sendbuf: &[T],
@@ -177,6 +219,13 @@ impl Comm {
     /// `MPI_Allgather` — ring algorithm: n−1 steps, each rank forwards the
     /// block it received in the previous step.
     pub fn allgather<T: MpiType>(&self, sendbuf: &[T]) -> MpiResult<Vec<Vec<T>>> {
+        let t0 = self.trace_start();
+        let out = self.allgather_inner(sendbuf);
+        self.trace_coll("allgather", t0);
+        out
+    }
+
+    fn allgather_inner<T: MpiType>(&self, sendbuf: &[T]) -> MpiResult<Vec<Vec<T>>> {
         let n = self.size();
         let tag = self.next_coll_tag();
         let mut blocks: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
@@ -200,6 +249,17 @@ impl Comm {
     /// # Panics
     /// Panics at the root if `chunks` is `None` or has length ≠ `size()`.
     pub fn scatter<T: MpiType>(
+        &self,
+        root: Rank,
+        chunks: Option<Vec<Vec<T>>>,
+    ) -> MpiResult<Vec<T>> {
+        let t0 = self.trace_start();
+        let out = self.scatter_inner(root, chunks);
+        self.trace_coll("scatter", t0);
+        out
+    }
+
+    fn scatter_inner<T: MpiType>(
         &self,
         root: Rank,
         chunks: Option<Vec<Vec<T>>>,
@@ -231,6 +291,13 @@ impl Comm {
     /// `MPI_Alltoall` (variable-length): rank `i` sends `send[j]` to rank
     /// `j` and receives rank `j`'s `send[i]`. Pairwise-exchange schedule.
     pub fn alltoall<T: MpiType>(&self, send: Vec<Vec<T>>) -> MpiResult<Vec<Vec<T>>> {
+        let t0 = self.trace_start();
+        let out = self.alltoall_inner(send);
+        self.trace_coll("alltoall", t0);
+        out
+    }
+
+    fn alltoall_inner<T: MpiType>(&self, send: Vec<Vec<T>>) -> MpiResult<Vec<Vec<T>>> {
         let n = self.size();
         assert_eq!(send.len(), n, "alltoall needs one block per rank");
         let tag = self.next_coll_tag();
@@ -259,9 +326,21 @@ impl Comm {
         block: usize,
         op: F,
     ) -> MpiResult<Vec<T>> {
+        let t0 = self.trace_start();
+        let out = self.reduce_scatter_inner(sendbuf, block, op);
+        self.trace_coll("reduce_scatter", t0);
+        out
+    }
+
+    fn reduce_scatter_inner<T: MpiType, F: Fn(T, T) -> T>(
+        &self,
+        sendbuf: &[T],
+        block: usize,
+        op: F,
+    ) -> MpiResult<Vec<T>> {
         let n = self.size();
         assert_eq!(sendbuf.len(), n * block, "reduce_scatter buffer size");
-        let reduced = self.reduce(0, sendbuf, op)?;
+        let reduced = self.reduce_inner(0, sendbuf, op)?;
         let chunks = reduced.map(|full| {
             let mut chunks: Vec<Vec<T>> = Vec::with_capacity(n);
             let mut rest = full;
@@ -272,12 +351,23 @@ impl Comm {
             }
             chunks
         });
-        self.scatter(0, chunks)
+        self.scatter_inner(0, chunks)
     }
 
     /// `MPI_Exscan` — exclusive prefix reduction: rank `r` receives the
     /// fold of ranks `0..r` (rank 0 gets `None`).
     pub fn exscan<T: MpiType, F: Fn(T, T) -> T>(
+        &self,
+        sendbuf: &[T],
+        op: F,
+    ) -> MpiResult<Option<Vec<T>>> {
+        let t0 = self.trace_start();
+        let out = self.exscan_inner(sendbuf, op);
+        self.trace_coll("exscan", t0);
+        out
+    }
+
+    fn exscan_inner<T: MpiType, F: Fn(T, T) -> T>(
         &self,
         sendbuf: &[T],
         op: F,
@@ -310,6 +400,17 @@ impl Comm {
         sendbuf: &[T],
         op: F,
     ) -> MpiResult<Vec<T>> {
+        let t0 = self.trace_start();
+        let out = self.scan_inner(sendbuf, op);
+        self.trace_coll("scan", t0);
+        out
+    }
+
+    fn scan_inner<T: MpiType, F: Fn(T, T) -> T>(
+        &self,
+        sendbuf: &[T],
+        op: F,
+    ) -> MpiResult<Vec<T>> {
         let tag = self.next_coll_tag();
         let mut acc: Vec<T> = sendbuf.to_vec();
         if self.rank > 0 {
@@ -331,8 +432,15 @@ impl Comm {
     /// ordered by `(key, old rank)`. A negative color returns `None`
     /// (`MPI_UNDEFINED`).
     pub fn split(&self, color: i64, key: i64) -> MpiResult<Option<Comm>> {
+        let t0 = self.trace_start();
+        let out = self.split_inner(color, key);
+        self.trace_coll("split", t0);
+        out
+    }
+
+    fn split_inner(&self, color: i64, key: i64) -> MpiResult<Option<Comm>> {
         let me = [color, key, self.rank as i64];
-        let all = self.allgather(&me)?;
+        let all = self.allgather_inner(&me)?;
         // Derive the new context id deterministically and identically on all
         // ranks: hash of (parent ctx, collective seq, color).
         let seq = self.coll_seq.get(); // advanced by the allgather above
@@ -360,6 +468,7 @@ impl Comm {
             group: std::sync::Arc::new(new_group),
             rank: my_new_rank,
             coll_seq: std::cell::Cell::new(0),
+            trace: self.trace.clone(),
         }))
     }
 
@@ -368,15 +477,19 @@ impl Comm {
     pub fn dup(&self) -> MpiResult<Comm> {
         // A barrier keeps the collective sequence aligned and gives every
         // rank the same seq for context derivation.
+        let t0 = self.trace_start();
         let seq = self.coll_seq.get();
-        self.barrier()?;
-        Ok(Comm {
+        self.barrier_inner()?;
+        let out = Comm {
             world: self.world.clone(),
             ctx: fnv_mix(self.ctx, seq, -7),
             group: self.group.clone(),
             rank: self.rank,
             coll_seq: std::cell::Cell::new(0),
-        })
+            trace: self.trace.clone(),
+        };
+        self.trace_coll("dup", t0);
+        Ok(out)
     }
 }
 

@@ -2,8 +2,10 @@
 
 use crate::data::MpiType;
 use crate::matching::{ContextId, Envelope, Mailbox, PayloadSlot, RecvSlot, Rendezvous};
+use crate::trace::RankTrace;
 use crate::types::{MpiError, MpiResult, Rank, Status, Tag, MAX_USER_TAG};
 use bytes::Bytes;
+use obs::ArgValue;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -49,6 +51,8 @@ pub struct Comm {
     /// the same order by all ranks of the communicator (an MPI requirement),
     /// which keeps these counters in lockstep without communication.
     pub(crate) coll_seq: Cell<u64>,
+    /// Optional per-rank tracing handle (set by `Universe::run_traced`).
+    pub(crate) trace: Option<Arc<RankTrace>>,
 }
 
 impl Comm {
@@ -75,6 +79,50 @@ impl Comm {
     /// Total payload bytes sent across the whole universe (diagnostics).
     pub fn universe_bytes_sent(&self) -> u64 {
         self.world.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// This rank's tracing handle, when the universe was launched with
+    /// [`Universe::run_traced`](crate::Universe::run_traced). Higher layers
+    /// (e.g. MPI-D) use it to put their own stage spans on the rank's lane.
+    pub fn trace(&self) -> Option<&Arc<RankTrace>> {
+        self.trace.as_ref()
+    }
+
+    /// Start timestamp for a traced operation, or `None` when tracing is
+    /// off (one branch on the fast path).
+    #[inline]
+    pub(crate) fn trace_start(&self) -> Option<u64> {
+        self.trace.as_ref().map(|t| t.now_ns())
+    }
+
+    /// Close a collective span opened by [`Comm::trace_start`].
+    #[inline]
+    pub(crate) fn trace_coll(&self, name: &'static str, start: Option<u64>) {
+        if let (Some(t), Some(start)) = (&self.trace, start) {
+            t.complete_since(
+                name,
+                "mpi.coll",
+                start,
+                vec![("size", ArgValue::U64(self.size() as u64))],
+            );
+        }
+    }
+
+    /// Close a point-to-point span opened by [`Comm::trace_start`].
+    #[inline]
+    fn trace_p2p(&self, name: &'static str, start: Option<u64>, peer: i64, tag: Tag, bytes: u64) {
+        if let (Some(t), Some(start)) = (&self.trace, start) {
+            t.complete_since(
+                name,
+                "mpi.p2p",
+                start,
+                vec![
+                    ("peer", ArgValue::I64(peer)),
+                    ("tag", ArgValue::I64(tag as i64)),
+                    ("bytes", ArgValue::U64(bytes)),
+                ],
+            );
+        }
     }
 
     fn check_rank(&self, r: Rank) -> MpiResult<()> {
@@ -204,7 +252,12 @@ impl Comm {
     /// rendezvous for payloads above [`Comm::eager_threshold`].
     pub fn send<T: MpiType>(&self, dst: Rank, tag: Tag, data: &[T]) -> MpiResult<()> {
         self.check_tag(tag)?;
-        self.send_bytes_internal(dst, tag, T::to_bytes(data))
+        let start = self.trace_start();
+        let bytes = T::to_bytes(data);
+        let len = bytes.len() as u64;
+        let out = self.send_bytes_internal(dst, tag, bytes);
+        self.trace_p2p("send", start, dst as i64, tag, len);
+        out
     }
 
     /// Blocking receive (`MPI_Recv`). `src`/`tag` of `None` are the
@@ -217,7 +270,12 @@ impl Comm {
         if let Some(t) = tag {
             self.check_tag(t)?;
         }
-        self.recv_internal(src, tag)
+        let start = self.trace_start();
+        let out = self.recv_internal(src, tag);
+        if let Ok((_, st)) = &out {
+            self.trace_p2p("recv", start, st.source as i64, st.tag, st.bytes as u64);
+        }
+        out
     }
 
     /// Receive with a deadline — not part of MPI, but essential for tests
@@ -235,6 +293,20 @@ impl Comm {
         if let Some(s) = src {
             self.check_rank(s)?;
         }
+        let start = self.trace_start();
+        let out = self.recv_timeout_inner(src, tag, timeout);
+        if let Ok((_, st)) = &out {
+            self.trace_p2p("recv", start, st.source as i64, st.tag, st.bytes as u64);
+        }
+        out
+    }
+
+    fn recv_timeout_inner<T: MpiType>(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> MpiResult<(Vec<T>, Status)> {
         let mailbox = &self.world.mailboxes[self.group[self.rank]];
         match mailbox.match_or_post(self.ctx, src, tag) {
             Ok(env) => Self::env_into_typed(env),
@@ -261,20 +333,24 @@ impl Comm {
     pub fn bsend<T: MpiType>(&self, dst: Rank, tag: Tag, data: &[T]) -> MpiResult<()> {
         self.check_tag(tag)?;
         self.check_rank(dst)?;
+        let start = self.trace_start();
         let payload = T::to_bytes(data);
+        let len = payload.len() as u64;
         let mailbox = &self.world.mailboxes[self.group[dst]];
         self.world.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.world
             .bytes_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
-        mailbox
+        let out = mailbox
             .deliver(Envelope {
                 ctx: self.ctx,
                 src: self.rank,
                 tag,
                 payload: PayloadSlot::Eager(payload),
             })
-            .map_err(|_| MpiError::PeerGone { rank: dst })
+            .map_err(|_| MpiError::PeerGone { rank: dst });
+        self.trace_p2p("bsend", start, dst as i64, tag, len);
+        out
     }
 
     /// Non-blocking send (`MPI_Isend`). The returned request completes
@@ -287,7 +363,12 @@ impl Comm {
         data: &[T],
     ) -> MpiResult<SendRequest> {
         self.check_tag(tag)?;
-        self.isend_bytes_internal(dst, tag, T::to_bytes(data))
+        let start = self.trace_start();
+        let bytes = T::to_bytes(data);
+        let len = bytes.len() as u64;
+        let out = self.isend_bytes_internal(dst, tag, bytes);
+        self.trace_p2p("isend", start, dst as i64, tag, len);
+        out
     }
 
     /// Non-blocking receive (`MPI_Irecv`).

@@ -43,11 +43,13 @@ pub mod coll;
 pub mod comm;
 pub mod data;
 pub mod matching;
+pub mod trace;
 pub mod types;
 pub mod universe;
 
 pub use comm::{wait_all_recvs, wait_all_sends, wait_any_recv, Comm, RecvRequest, SendRequest};
 pub use data::MpiType;
+pub use trace::RankTrace;
 pub use types::{
     MpiError, MpiResult, Rank, Status, Tag, ANY_SOURCE, ANY_TAG, MAX_USER_TAG,
 };

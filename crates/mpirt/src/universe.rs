@@ -6,6 +6,7 @@
 //! exercising real concurrent message-passing.
 
 use crate::comm::{Comm, WorldState, WORLD_CTX};
+use crate::trace::RankTrace;
 use crate::types::Rank;
 use std::cell::Cell;
 use std::sync::Arc;
@@ -51,19 +52,60 @@ impl Universe {
         R: Send,
         F: Fn(&Comm) -> R + Send + Sync,
     {
+        Self::run_inner(cfg, n, None, f)
+    }
+
+    /// Run with per-rank wall-clock tracing: every rank's MPI operations
+    /// (and any MPI-D stage spans layered above them — see
+    /// [`Comm::trace`]) are recorded against a universe-wide epoch and
+    /// absorbed into `sink` as each rank's function returns. Rank `r`
+    /// appears as process lane `r` named `rank-r`.
+    pub fn run_traced<R, F>(
+        cfg: MpiConfig,
+        n: usize,
+        sink: obs::SharedTrace,
+        f: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        for rank in 0..n {
+            sink.set_process_name(rank as u32, format!("rank-{rank}"));
+        }
+        Self::run_inner(cfg, n, Some((sink, obs::WallClock::start())), f)
+    }
+
+    fn run_inner<R, F>(
+        cfg: MpiConfig,
+        n: usize,
+        tracing: Option<(obs::SharedTrace, obs::WallClock)>,
+        f: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
         assert!(n > 0, "universe needs at least one rank");
         let world = WorldState::new(n, cfg.eager_threshold);
         let f = &f;
+        let tracing = &tracing;
         let results: Vec<Option<R>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
                 .map(|rank| {
                     let world = world.clone();
                     scope.spawn(move || {
-                        let comm = world_comm(world.clone(), rank);
+                        let trace = tracing.as_ref().map(|(sink, clock)| {
+                            RankTrace::new(rank as u32, *clock, sink.clone())
+                        });
+                        let comm = world_comm(world.clone(), rank, trace.clone());
                         let out = f(&comm);
                         // Mark this rank gone so sends to it fail fast
                         // instead of hanging.
                         world.mailboxes[rank].close();
+                        if let Some(t) = trace {
+                            t.flush();
+                        }
                         out
                     })
                 })
@@ -83,7 +125,7 @@ impl Universe {
     }
 }
 
-fn world_comm(world: Arc<WorldState>, rank: Rank) -> Comm {
+fn world_comm(world: Arc<WorldState>, rank: Rank, trace: Option<Arc<RankTrace>>) -> Comm {
     let n = world.mailboxes.len();
     Comm {
         world,
@@ -91,5 +133,6 @@ fn world_comm(world: Arc<WorldState>, rank: Rank) -> Comm {
         group: Arc::new((0..n).collect()),
         rank,
         coll_seq: Cell::new(0),
+        trace,
     }
 }

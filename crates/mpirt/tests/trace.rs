@@ -1,0 +1,84 @@
+//! Tracing integration: a traced universe records p2p and collective spans
+//! on per-rank lanes, and tracing never changes results.
+
+use mpi_rt::{MpiConfig, Universe};
+
+fn ring(comm: &mpi_rt::Comm) -> u64 {
+    let n = comm.size();
+    let next = (comm.rank() + 1) % n;
+    let prev = (comm.rank() + n - 1) % n;
+    comm.send(next, 0, &[comm.rank() as u64]).unwrap();
+    let (got, _) = comm.recv::<u64>(Some(prev), Some(0)).unwrap();
+    let sum = comm.allreduce(&[got[0]], |a, b| a + b).unwrap();
+    comm.barrier().unwrap();
+    sum[0]
+}
+
+#[test]
+fn traced_universe_matches_untraced_and_records_spans() {
+    let plain = Universe::run(4, ring);
+    let sink = obs::SharedTrace::new();
+    let traced = Universe::run_traced(MpiConfig::default(), 4, sink.clone(), ring);
+    assert_eq!(plain, traced, "tracing must not perturb results");
+
+    let trace = sink.take_trace();
+    let count = |name: &str, cat: &str| {
+        trace
+            .events()
+            .iter()
+            .filter(|e| e.name == name && e.cat == cat)
+            .count()
+    };
+    // One send/recv pair and one barrier + allreduce per rank.
+    assert_eq!(count("send", "mpi.p2p"), 4);
+    assert_eq!(count("recv", "mpi.p2p"), 4);
+    assert_eq!(count("allreduce", "mpi.coll"), 4);
+    assert_eq!(count("barrier", "mpi.coll"), 4);
+    // Collectives are one span each: the internal sends they perform must
+    // not leak extra p2p spans (4 ranks × 2 p2p ops only).
+    assert_eq!(
+        trace.events().iter().filter(|e| e.cat == "mpi.p2p").count(),
+        8
+    );
+    // Every rank got its own process lane, named.
+    for r in 0..4u32 {
+        assert!(trace.events().iter().any(|e| e.pid == r));
+        assert_eq!(
+            trace.process_names().get(&r).map(String::as_str),
+            Some(format!("rank-{r}").as_str())
+        );
+    }
+    // Spans carry payload byte counts.
+    assert!(trace
+        .events()
+        .iter()
+        .filter(|e| e.name == "send")
+        .all(|e| e
+            .args
+            .iter()
+            .any(|(k, v)| *k == "bytes" && matches!(v, obs::ArgValue::U64(8)))));
+}
+
+#[test]
+fn derived_communicators_keep_tracing() {
+    let sink = obs::SharedTrace::new();
+    Universe::run_traced(MpiConfig::default(), 4, sink.clone(), |comm| {
+        let sub = comm.split((comm.rank() % 2) as i64, 0).unwrap().unwrap();
+        sub.barrier().unwrap();
+    });
+    let trace = sink.take_trace();
+    let barriers = trace
+        .events()
+        .iter()
+        .filter(|e| e.name == "barrier" && e.cat == "mpi.coll")
+        .count();
+    assert_eq!(barriers, 4, "split comms must trace too");
+    assert_eq!(
+        trace
+            .events()
+            .iter()
+            .filter(|e| e.name == "split" && e.cat == "mpi.coll")
+            .count(),
+        4
+    );
+}

@@ -4,7 +4,26 @@
 use crate::cluster::{Cluster, HostId, Route};
 use crate::resource::{FlowId, FluidEngine};
 use desim::{EventId, Scheduler, SimTime};
+use obs::{ArgValue, Tracer};
 use std::collections::HashMap;
+
+/// Per-flow bookkeeping kept only while a tracer is installed.
+struct FlowMeta {
+    start_ns: u64,
+    kind: &'static str,
+    host: usize,
+    bytes: u64,
+}
+
+fn route_meta(route: &Route) -> (&'static str, usize) {
+    match route {
+        Route::HostToHost { src, .. } => ("xfer", src.0),
+        Route::Loopback(h) => ("loopback", h.0),
+        Route::DiskRead(h) => ("disk_read", h.0),
+        Route::DiskWrite(h) => ("disk_write", h.0),
+        Route::RemoteRead { from, .. } => ("remote_read", from.0),
+    }
+}
 
 /// Gives the `Net` driver access to itself inside the user's simulation state.
 ///
@@ -30,6 +49,8 @@ pub struct Net<S> {
     timer: Option<EventId>,
     last_sync: SimTime,
     flows_completed: u64,
+    tracer: Option<Tracer>,
+    flow_meta: HashMap<FlowId, FlowMeta>,
 }
 
 impl<S: HasNet> Net<S> {
@@ -42,6 +63,25 @@ impl<S: HasNet> Net<S> {
             timer: None,
             last_sync: SimTime::ZERO,
             flows_completed: 0,
+            tracer: None,
+            flow_meta: HashMap::new(),
+        }
+    }
+
+    /// Install a trace sink. Each flow then produces a complete span
+    /// (`"xfer"`/`"loopback"`/`"disk_read"`/`"disk_write"`, cat `"net.flow"`)
+    /// on the source host's lane, plus `"net.active_flows"` counter samples
+    /// and `"realloc"` instants at every bandwidth reallocation point.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    fn trace_flow_change(&self, now: SimTime) {
+        if let Some(t) = &self.tracer {
+            let ts = now.as_nanos();
+            t.counter(0, "net.active_flows", "net", ts, self.fluid.active_flows() as f64);
+            t.instant(0, 0, "realloc", "net", ts);
+            t.metrics().inc("net.reallocs", 1);
         }
     }
 
@@ -76,8 +116,21 @@ impl<S: HasNet> Net<S> {
         Self::sync(state, sched);
         let net = state.net();
         let resources = net.cluster.route_resources(&route);
+        let (kind, host) = route_meta(&route);
         let id = net.fluid.start_flow(bytes, &resources, weight);
         net.callbacks.insert(id, Box::new(done));
+        if net.tracer.is_some() {
+            net.flow_meta.insert(
+                id,
+                FlowMeta {
+                    start_ns: sched.now().as_nanos(),
+                    kind,
+                    host,
+                    bytes,
+                },
+            );
+            net.trace_flow_change(sched.now());
+        }
         Self::arm_timer(state, sched);
         id
     }
@@ -93,6 +146,19 @@ impl<S: HasNet> Net<S> {
         let net = state.net();
         let left = net.fluid.cancel_flow(id)?;
         net.callbacks.remove(&id);
+        if let Some(meta) = net.flow_meta.remove(&id) {
+            if let Some(t) = &net.tracer {
+                t.instant(
+                    meta.host as u32,
+                    id.0 as u32,
+                    "flow_cancelled",
+                    "net.flow",
+                    sched.now().as_nanos(),
+                );
+                t.metrics().inc("net.flows_cancelled", 1);
+            }
+            net.trace_flow_change(sched.now());
+        }
         Self::arm_timer(state, sched);
         Some(left)
     }
@@ -113,7 +179,25 @@ impl<S: HasNet> Net<S> {
             if let Some(cb) = net.callbacks.remove(&id) {
                 cbs.push(cb);
             }
+            if let Some(meta) = net.flow_meta.remove(&id) {
+                if let Some(t) = &net.tracer {
+                    t.complete(
+                        meta.host as u32,
+                        id.0 as u32,
+                        meta.kind,
+                        "net.flow",
+                        meta.start_ns,
+                        now.as_nanos(),
+                        vec![("bytes", ArgValue::U64(meta.bytes))],
+                    );
+                    t.metrics().inc("net.flows_completed", 1);
+                    t.metrics().observe("net.flow_bytes", meta.bytes);
+                }
+            }
             net.flows_completed += 1;
+        }
+        if net.tracer.is_some() {
+            net.trace_flow_change(now);
         }
         for cb in cbs {
             cb(state, sched);
@@ -379,6 +463,30 @@ mod tests {
         });
         sim.run();
         assert_eq!(sim.state.done_at.len(), 1);
+    }
+
+    #[test]
+    fn tracer_records_flow_spans_and_counters() {
+        let tracer = Tracer::new();
+        let mut sim = sim_with(small_spec());
+        sim.state.net.set_tracer(tracer.clone());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            Net::transfer(s, sc, HostId(0), HostId(1), 200, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+        });
+        sim.run();
+        let trace = tracer.take_trace();
+        let span = trace
+            .events()
+            .iter()
+            .find(|e| e.name == "xfer")
+            .expect("flow span recorded");
+        assert_eq!(span.ts_ns, 0);
+        assert_eq!(span.end_ns(), 2_000_000_000, "200 B at 100 B/s");
+        assert_eq!(span.args, vec![("bytes", ArgValue::U64(200))]);
+        assert!(trace.events().iter().any(|e| e.name == "net.active_flows"));
+        assert_eq!(tracer.metrics().counter("net.flows_completed"), 1);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Per-phase breakdown report: regenerates the shape of the paper's Table I
+//! ("Hadoop reduce task phase breakdown") from a trace alone — no access to
+//! the simulator's internal reports, just the complete spans it emitted.
+
+use crate::{Phase, Trace};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated statistics for one phase (one span name).
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    /// Span name (e.g. `"map"`, `"copy"`, `"sort"`, `"reduce"`).
+    pub name: String,
+    /// Number of spans.
+    pub count: usize,
+    /// Sum of span durations, ns.
+    pub total_ns: u64,
+    /// Mean span duration, ns.
+    pub mean_ns: u64,
+    /// Exact 50th-percentile duration, ns.
+    pub p50_ns: u64,
+    /// Exact 95th-percentile duration, ns.
+    pub p95_ns: u64,
+    /// Exact 99th-percentile duration, ns.
+    pub p99_ns: u64,
+    /// This phase's share of the summed duration of *all* rows in the
+    /// breakdown, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// A per-phase aggregation over the complete spans of a trace.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseBreakdown {
+    /// Rows, sorted by descending total duration (name breaks ties).
+    pub rows: Vec<PhaseRow>,
+    /// Wall-clock extent of the selected spans (max end − min start), ns.
+    pub wall_ns: u64,
+}
+
+impl PhaseBreakdown {
+    /// Aggregate every complete span whose category starts with
+    /// `cat_prefix` (empty prefix = all complete spans), grouped by name.
+    pub fn from_trace(trace: &Trace, cat_prefix: &str) -> Self {
+        let mut durs: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+        let mut min_start = u64::MAX;
+        let mut max_end = 0u64;
+        for ev in trace.events() {
+            if let Phase::Complete { dur_ns } = ev.ph {
+                if ev.cat.starts_with(cat_prefix) {
+                    durs.entry(&ev.name).or_default().push(dur_ns);
+                    min_start = min_start.min(ev.ts_ns);
+                    max_end = max_end.max(ev.ts_ns + dur_ns);
+                }
+            }
+        }
+        let grand_total: u64 = durs.values().flatten().sum();
+        let mut rows: Vec<PhaseRow> = durs
+            .into_iter()
+            .map(|(name, mut d)| {
+                d.sort_unstable();
+                let total: u64 = d.iter().sum();
+                PhaseRow {
+                    name: name.to_string(),
+                    count: d.len(),
+                    total_ns: total,
+                    mean_ns: total / d.len() as u64,
+                    p50_ns: percentile(&d, 0.50),
+                    p95_ns: percentile(&d, 0.95),
+                    p99_ns: percentile(&d, 0.99),
+                    share: if grand_total == 0 {
+                        0.0
+                    } else {
+                        total as f64 / grand_total as f64
+                    },
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        PhaseBreakdown {
+            rows,
+            wall_ns: max_end.saturating_sub(min_start),
+        }
+    }
+
+    /// The row for `name`, if present.
+    pub fn row(&self, name: &str) -> Option<&PhaseRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// `name`'s share of total phase time (0 if absent).
+    pub fn share_of(&self, name: &str) -> f64 {
+        self.row(name).map_or(0.0, |r| r.share)
+    }
+
+    /// The dominant phase (largest total), if any spans were aggregated.
+    pub fn dominant(&self) -> Option<&PhaseRow> {
+        self.rows.first()
+    }
+
+    /// Deterministic plain-text table in the shape of the paper's Table I:
+    /// one row per phase with count, total/mean/percentile durations in
+    /// seconds, and the phase's share of total time.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Phase breakdown: {title} ==");
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>12} {:>10} {:>10} {:>10} {:>10} {:>7}",
+            "phase", "count", "total(s)", "mean(s)", "p50(s)", "p95(s)", "p99(s)", "share"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>6} {:>12.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>6.1}%",
+                r.name,
+                r.count,
+                secs(r.total_ns),
+                secs(r.mean_ns),
+                secs(r.p50_ns),
+                secs(r.p95_ns),
+                secs(r.p99_ns),
+                r.share * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "({} phases, wall extent {:.3} s)",
+            self.rows.len(),
+            secs(self.wall_ns)
+        );
+        out
+    }
+}
+
+fn secs(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Exact percentile by nearest-rank on a sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (q * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuffer;
+
+    fn trace_with_phases() -> Trace {
+        let mut t = Trace::new();
+        let mut b = TraceBuffer::new(1, 1);
+        // copy dominates, like Table I.
+        for i in 0..4u64 {
+            b.complete("copy", "hadoop.phase", i * 100, i * 100 + 60, vec![]);
+            b.complete("sort", "hadoop.phase", i * 100 + 60, i * 100 + 70, vec![]);
+            b.complete("reduce", "hadoop.phase", i * 100 + 70, i * 100 + 90, vec![]);
+        }
+        b.complete("other", "net.flow", 0, 1_000_000, vec![]);
+        t.absorb(b);
+        t.sort();
+        t
+    }
+
+    #[test]
+    fn aggregates_by_name_within_category() {
+        let bd = PhaseBreakdown::from_trace(&trace_with_phases(), "hadoop.");
+        assert_eq!(bd.rows.len(), 3, "net.flow span filtered out");
+        let copy = bd.row("copy").unwrap();
+        assert_eq!(copy.count, 4);
+        assert_eq!(copy.total_ns, 240);
+        assert_eq!(copy.mean_ns, 60);
+        assert!(bd.share_of("copy") > 0.5, "copy dominates");
+        assert_eq!(bd.dominant().unwrap().name, "copy");
+        let total_share: f64 = bd.rows.iter().map(|r| r.share).sum();
+        assert!((total_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_shape_and_determinism() {
+        let bd = PhaseBreakdown::from_trace(&trace_with_phases(), "hadoop.");
+        let r = bd.render("test job");
+        assert!(r.starts_with("== Phase breakdown: test job =="));
+        assert!(r.contains("copy"));
+        assert!(r.contains("share"));
+        assert_eq!(r, bd.render("test job"));
+        // copy row comes first (largest total).
+        assert!(r.find("copy").unwrap() < r.find("sort").unwrap());
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let bd = PhaseBreakdown::from_trace(&Trace::new(), "");
+        assert!(bd.rows.is_empty());
+        assert_eq!(bd.wall_ns, 0);
+        assert!(bd.dominant().is_none());
+    }
+}

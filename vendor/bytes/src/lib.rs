@@ -1,0 +1,355 @@
+//! Offline-vendored, API-compatible subset of the `bytes` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the handful of external crates it uses as minimal
+//! local implementations (see `vendor/` and the workspace `Cargo.toml`).
+//! Only the surface actually exercised by the workspace is provided:
+//! [`Bytes`], [`BytesMut`], and the [`Buf`]/[`BufMut`] trait methods used by
+//! the wire codecs. Semantics match the upstream crate for that subset
+//! (big-endian `put_*`/`get_*`, `_le` variants little-endian, cheap `Bytes`
+//! clones).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte buffer (`Arc`-backed).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Buffer copied from a static slice.
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes { data: s.into() }
+    }
+
+    /// Buffer copied from an arbitrary slice.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes { data: s.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy out into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.data[..] == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Growable mutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Reserve additional capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.vec.extend_from_slice(s);
+    }
+
+    /// Drop all contents.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Split off the tail at `at`, leaving `self` with the head.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        BytesMut {
+            vec: self.vec.split_off(at),
+        }
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.vec.into(),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({:?})", &self.vec)
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { vec: v }
+    }
+}
+
+macro_rules! put_methods {
+    ($($be:ident / $le:ident: $t:ty),* $(,)?) => {$(
+        /// Append the big-endian encoding.
+        fn $be(&mut self, v: $t) {
+            self.put_slice(&v.to_be_bytes());
+        }
+        /// Append the little-endian encoding.
+        fn $le(&mut self, v: $t) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    )*};
+}
+
+/// Write-side buffer trait (subset: the `put_*` family).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append one signed byte.
+    fn put_i8(&mut self, v: i8) {
+        self.put_slice(&[v as u8]);
+    }
+
+    put_methods! {
+        put_u16 / put_u16_le: u16,
+        put_u32 / put_u32_le: u32,
+        put_u64 / put_u64_le: u64,
+        put_i16 / put_i16_le: i16,
+        put_i32 / put_i32_le: i32,
+        put_i64 / put_i64_le: i64,
+        put_f32 / put_f32_le: f32,
+        put_f64 / put_f64_le: f64,
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.vec.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+macro_rules! get_methods {
+    ($($be:ident / $le:ident: $t:ty),* $(,)?) => {$(
+        /// Read the big-endian encoding, advancing the cursor.
+        fn $be(&mut self) -> $t {
+            let mut raw = [0u8; std::mem::size_of::<$t>()];
+            self.copy_to_slice(&mut raw);
+            <$t>::from_be_bytes(raw)
+        }
+        /// Read the little-endian encoding, advancing the cursor.
+        fn $le(&mut self) -> $t {
+            let mut raw = [0u8; std::mem::size_of::<$t>()];
+            self.copy_to_slice(&mut raw);
+            <$t>::from_le_bytes(raw)
+        }
+    )*};
+}
+
+/// Read-side buffer trait (subset: the `get_*` family over a cursor).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Advance the cursor.
+    fn advance(&mut self, n: usize);
+
+    /// Copy bytes out, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+    /// Read one signed byte, advancing the cursor.
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    get_methods! {
+        get_u16 / get_u16_le: u16,
+        get_u32 / get_u32_le: u32,
+        get_u64 / get_u64_le: u64,
+        get_i16 / get_i16_le: i16,
+        get_i32 / get_i32_le: i32,
+        get_i64 / get_i64_le: i64,
+        get_f32 / get_f32_le: f32,
+        get_f64 / get_f64_le: f64,
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_endianness() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        b.put_u16(0x0203);
+        b.put_u32_le(0x04050607);
+        b.put_f64(1.5);
+        let frozen = b.freeze();
+        let mut s: &[u8] = &frozen;
+        assert_eq!(s.get_u8(), 1);
+        assert_eq!(s.get_u16(), 0x0203);
+        assert_eq!(s.get_u32_le(), 0x04050607);
+        assert_eq!(s.get_f64(), 1.5);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_equality_and_clone() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::copy_from_slice(b"abc");
+        assert_eq!(a, b);
+        assert_eq!(a.clone().to_vec(), b"abc");
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline-vendored, API-compatible subset of `criterion` (see `vendor/`).
+//!
+//! Runs each benchmark for a fixed number of timed samples and prints a
+//! mean-per-iteration line — no statistics, plots, or saved baselines. The
+//! point is that `cargo bench` compiles and produces readable numbers
+//! without network access to crates.io.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion compat).
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, self.measurement_time, None, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark: `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Units of work per iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated runs of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.iters_done += 1;
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    let wall = Instant::now();
+    for _ in 0..sample_size {
+        f(&mut b);
+        if wall.elapsed() > measurement_time {
+            break;
+        }
+    }
+    if b.iters_done == 0 {
+        println!("{name}: no iterations recorded");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters_done as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  {:.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:.0} elem/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name}: {:.3} ms/iter ({} iters){rate}",
+        per_iter * 1e3,
+        b.iters_done
+    );
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).measurement_time(Duration::from_millis(10));
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(3)));
+    }
+}

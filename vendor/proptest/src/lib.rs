@@ -1,0 +1,680 @@
+//! Offline-vendored, API-compatible subset of the `proptest` crate
+//! (see `vendor/` for why these exist).
+//!
+//! A compact property-testing framework covering the surface this workspace
+//! uses: `proptest!`, `prop_assert*!`, `prop_assume!`, `prop_oneof!`,
+//! `any::<T>()`, range and tuple strategies, `&'static str` character-class
+//! patterns like `"[a-z0-9]{0,16}"`, `proptest::collection::vec`, and the
+//! `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed` combinators.
+//!
+//! Differences from upstream: cases are generated from a fixed deterministic
+//! seed sequence, there is no shrinking, and failures surface as ordinary
+//! panics (the failing case number is in the panic message via
+//! `prop_assert!`'s standard `assert!` expansion). Regression files are
+//! ignored. This is sufficient for the repo's invariant checks while keeping
+//! the build fully offline.
+
+pub mod test_runner {
+    //! Deterministic case generation.
+
+    /// Per-case RNG (SplitMix64). Deterministic for a given seed.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Construct from an explicit seed.
+        pub fn deterministic(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        ///
+        /// # Panics
+        /// Panics if `bound == 0`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            self.next_u64() % bound
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runner configuration (subset: case count).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps offline CI fast while still
+            // exercising the properties.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Derive a dependent strategy from each generated value.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Build a recursive strategy: `self` is the leaf case and `recurse`
+        /// wraps a strategy for the inner level. `_desired_size` and
+        /// `_expected_branch_size` are accepted for API compatibility.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let base = self.boxed();
+            let mut cur = base.clone();
+            for _ in 0..depth {
+                let deeper = recurse(cur).boxed();
+                cur = Union::new(vec![base.clone(), deeper]).boxed();
+            }
+            cur
+        }
+
+        /// Type-erase into a cloneable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased, cheaply cloneable strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Strategy always yielding a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among several strategies (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Choose uniformly among `options`.
+        ///
+        /// # Panics
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % width;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let width = (end as i128 - start as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % width;
+                    (start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// `&'static str` as a pattern strategy. Supports a single character
+    /// class with a repetition count: `"[a-z0-9]{0,16}"`, `"[ -~]{3}"`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (chars, min, max) = parse_class_pattern(self);
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Parse `[class]{m}` / `[class]{m,n}` into (alphabet, min, max).
+    fn parse_class_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+        let fail = || -> ! {
+            panic!(
+                "vendored proptest supports only '[class]{{m}}' or '[class]{{m,n}}' \
+                 string patterns, got {pat:?}"
+            )
+        };
+        let rest = pat.strip_prefix('[').unwrap_or_else(|| fail());
+        let close = rest.find(']').unwrap_or_else(|| fail());
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i], class[i + 2]);
+                if lo > hi {
+                    fail();
+                }
+                for c in lo..=hi {
+                    chars.push(c);
+                }
+                i += 3;
+            } else {
+                chars.push(class[i]);
+                i += 1;
+            }
+        }
+        if chars.is_empty() {
+            fail();
+        }
+        let counts = rest[close + 1..]
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .unwrap_or_else(|| fail());
+        let (min, max) = match counts.split_once(',') {
+            Some((m, n)) => (
+                m.trim().parse().unwrap_or_else(|_| fail()),
+                n.trim().parse().unwrap_or_else(|_| fail()),
+            ),
+            None => {
+                let m: usize = counts.trim().parse().unwrap_or_else(|_| fail());
+                (m, m)
+            }
+        };
+        if min > max {
+            fail();
+        }
+        (chars, min, max)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — uniform-with-edge-cases generation for primitives.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types generable by [`any`].
+    pub trait Arbitrary {
+        /// Draw one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy over all values of `T` (edge cases over-weighted 1-in-16).
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Strategy generating arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ident),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    if rng.below(16) == 0 {
+                        const EDGES: [$t; 4] = [0, 1, $t::MAX, $t::MIN];
+                        EDGES[rng.below(4) as usize]
+                    } else {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            if rng.below(16) == 0 {
+                const EDGES: [f64; 6] =
+                    [0.0, 1.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+                EDGES[rng.below(6) as usize]
+            } else {
+                // Finite-biased: scale a unit draw by a random power of two.
+                let exp = rng.below(128) as i32 - 64;
+                (rng.unit_f64() * 2.0 - 1.0) * (exp as f64).exp2()
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            if rng.below(16) == 0 {
+                const EDGES: [f32; 6] =
+                    [0.0, 1.0, -1.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+                EDGES[rng.below(6) as usize]
+            } else {
+                let exp = rng.below(32) as i32 - 16;
+                ((rng.unit_f64() * 2.0 - 1.0) as f32) * (exp as f32).exp2()
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated text debuggable.
+            (b' ' + rng.below(95) as u8) as char
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (subset: `vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: each element from `elem`, length within `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual imports: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Must appear at the top level of the property body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...)` body runs for
+/// `cases` generated inputs. Write `#[test]` on each function as usual.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident $params:tt $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    (case + 1).wrapping_mul(0x9E3779B97F4A7C15),
+                );
+                $crate::__proptest_bind!(rng $params);
+                // Closure so prop_assume! can skip the case via `return`.
+                #[allow(clippy::redundant_closure_call)]
+                (|| $body)();
+            }
+        }
+    )*};
+}
+
+/// Bind one generated value per parameter. Parameters are either
+/// `pat in strategy` or the `ident: Type` shorthand for `any::<Type>()`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident ($($params:tt)*)) => {
+        $crate::__proptest_bind_one!($rng; $($params)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind_one {
+    ($rng:ident;) => {};
+    ($rng:ident; $n:ident : $ty:ty, $($rest:tt)*) => {
+        let $n = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind_one!($rng; $($rest)*);
+    };
+    ($rng:ident; $n:ident : $ty:ty) => {
+        let $n = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(), &mut $rng);
+    };
+    ($rng:ident; $parm:pat in $strategy:expr, $($rest:tt)*) => {
+        let $parm = $crate::strategy::Strategy::generate(&($strategy), &mut $rng);
+        $crate::__proptest_bind_one!($rng; $($rest)*);
+    };
+    ($rng:ident; $parm:pat in $strategy:expr) => {
+        let $parm = $crate::strategy::Strategy::generate(&($strategy), &mut $rng);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = TestRng::deterministic(3);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c1]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| "abc1".contains(c)));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::deterministic(11);
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut rng)) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro binds tuple patterns, ranges stay in bounds, and
+        /// prop_assume! skips cases without failing.
+        #[test]
+        fn macro_end_to_end(
+            (a, b) in (0usize..10, 5u64..6),
+            xs in crate::collection::vec(any::<u32>(), 1..8),
+            choice in prop_oneof![Just(1u8), Just(2u8)],
+        ) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 9);
+            prop_assert_eq!(b, 5);
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            prop_assert_ne!(choice, 0);
+        }
+    }
+}
