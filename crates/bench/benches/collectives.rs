@@ -63,8 +63,7 @@ fn bench_collectives(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("alltoall_1KiB", n), &n, |b, _| {
             b.iter_custom(|iters| {
                 let out = Universe::run(n, move |comm| {
-                    let send: Vec<Vec<u64>> =
-                        (0..n).map(|j| vec![j as u64; 128]).collect();
+                    let send: Vec<Vec<u64>> = (0..n).map(|j| vec![j as u64; 128]).collect();
                     let t0 = Instant::now();
                     for _ in 0..iters {
                         let recv = comm.alltoall(send.clone()).unwrap();

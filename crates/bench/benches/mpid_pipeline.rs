@@ -16,7 +16,10 @@ fn bench_codec(c: &mut Criterion) {
     let pairs: Vec<(String, u64)> = (0..1000)
         .map(|i| (format!("key-{:06}", i % 97), i as u64))
         .collect();
-    let total: usize = pairs.iter().map(|(k, v)| k.wire_size() + v.wire_size()).sum();
+    let total: usize = pairs
+        .iter()
+        .map(|(k, v)| k.wire_size() + v.wire_size())
+        .sum();
     g.throughput(Throughput::Bytes(total as u64));
 
     g.bench_function("encode_1k_pairs", |b| {
@@ -111,10 +114,7 @@ fn bench_whole_job(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(8));
 
     let variants: &[(&str, MpidEngineConfig)] = &[
-        (
-            "combiner+send",
-            MpidEngineConfig::with_workers(2, 1),
-        ),
+        ("combiner+send", MpidEngineConfig::with_workers(2, 1)),
         ("combiner+isend", {
             let mut c = MpidEngineConfig::with_workers(2, 1);
             c.use_isend = true;
@@ -128,7 +128,7 @@ fn bench_whole_job(c: &mut Criterion) {
         }),
     ];
     for (name, cfg) in variants {
-        g.bench_function(*name, |b| {
+        g.bench_function(name, |b| {
             b.iter(|| {
                 let job = run_mpid(
                     cfg,

@@ -17,8 +17,7 @@ fn bench_hadoop_sim(c: &mut Criterion) {
         let n_red = (gb * 16) as usize;
         g.bench_with_input(BenchmarkId::new("javasort", gb), &gb, |b, _| {
             b.iter(|| {
-                let report =
-                    hadoop_sim::run_job(HadoopConfig::icpp2011(8, 8, n_red), spec.clone());
+                let report = hadoop_sim::run_job(HadoopConfig::icpp2011(8, 8, n_red), spec.clone());
                 assert!(report.makespan.as_secs_f64() > 0.0);
                 report.maps.len()
             })
@@ -69,5 +68,10 @@ fn bench_fluid_engine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_hadoop_sim, bench_mpid_sim, bench_fluid_engine);
+criterion_group!(
+    benches,
+    bench_hadoop_sim,
+    bench_mpid_sim,
+    bench_fluid_engine
+);
 criterion_main!(benches);

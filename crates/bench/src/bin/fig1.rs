@@ -45,7 +45,12 @@ fn main() {
         None => hadoop_sim::run_job(cfg, javasort_spec(input)),
     };
     if let (Some(t), Some(path)) = (&tracer, &trace_path) {
-        mpid_bench::emit_trace(t, path, "hadoop.phase", "Figure 1 job — phase breakdown from trace");
+        mpid_bench::emit_trace(
+            t,
+            path,
+            "hadoop.phase",
+            "Figure 1 job — phase breakdown from trace",
+        );
     }
 
     if let Some(path) = dump {

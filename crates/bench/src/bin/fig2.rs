@@ -48,9 +48,8 @@ fn main() {
     }
 
     // Fidelity checks against the paper's reported anchors.
-    let ratio = |b: u64| {
-        rpc.one_way_latency(b).as_secs_f64() / mpi.one_way_latency(b).as_secs_f64()
-    };
+    let ratio =
+        |b: u64| rpc.one_way_latency(b).as_secs_f64() / mpi.one_way_latency(b).as_secs_f64();
     assert!((ratio(1) - 2.49).abs() < 0.1, "1B anchor");
     assert!((ratio(1 << 10) - 15.1).abs() < 0.5, "1KB anchor");
     assert!(ratio(512 << 10) > 100.0, "256KB+ anchor");

@@ -37,12 +37,9 @@ fn main() {
         let r = rpc.effective_bandwidth(total, packet);
         // The measured curves wobble run to run; Jetty visibly more than
         // MPI ("the peak bandwidth of MPICH2 is much smoother than Jetty").
-        let j = jetty.effective_bandwidth(total, packet)
-            * rng.jittered(1.0, JETTY_BW_JITTER);
-        let m = mpi.effective_bandwidth(total, packet)
-            * rng.jittered(1.0, MPI_BW_JITTER);
-        let s_nio = nio.effective_bandwidth(total, packet)
-            * rng.jittered(1.0, 0.03);
+        let j = jetty.effective_bandwidth(total, packet) * rng.jittered(1.0, JETTY_BW_JITTER);
+        let m = mpi.effective_bandwidth(total, packet) * rng.jittered(1.0, MPI_BW_JITTER);
+        let s_nio = nio.effective_bandwidth(total, packet) * rng.jittered(1.0, 0.03);
         peaks = (peaks.0.max(r), peaks.1.max(j), peaks.2.max(m));
         println!(
             "{:>8}  {:>14}  {:>14}  {:>14}  {:>14}",

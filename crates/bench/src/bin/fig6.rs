@@ -6,14 +6,18 @@
 //! rank-0 master. Paper result: MPI-D reduces execution time to 8 % / 48 % /
 //! 56 % of Hadoop at 1 / 10 / 100 GB (49 s → 3.9 s, …, 2001 s → 1129 s).
 //!
-//! Run with `--quick` to skip the 100 GB point (CI-friendly), or
+//! Run with `--quick` to skip the 100 GB point (CI-friendly),
 //! `--trace <path>` to write a Chrome trace of the largest size's MPI-D run
-//! (read/map/ship/merge pipeline spans per worker).
+//! (read/map/ship/merge pipeline spans per worker), or `--check` to also
+//! run the real MPI-D WordCount pipeline under the mpiverify correctness
+//! checker and prove it observation-only (checked and unchecked outputs
+//! byte-identical, no findings).
 
 use hadoop_sim::HadoopConfig;
-use mapred::{run_sim_mpid, run_sim_mpid_traced, SimMpidConfig};
+use mapred::{run_mpid, run_sim_mpid, run_sim_mpid_traced, MpidEngineConfig, SimMpidConfig};
 use mpid_bench::{fmt_secs, GB};
-use workloads::wordcount_spec;
+use std::sync::Arc;
+use workloads::{wordcount_spec, TextGen, WordCount};
 
 struct Row {
     gb: f64,
@@ -26,6 +30,7 @@ struct Row {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
     let trace_path = mpid_bench::arg_value(&args, "--trace");
     // Paper anchor points: 1 GB (49 s, 3.9 s) and 100 GB (2001 s, 1129 s);
     // 10 GB is reported as a ratio ("48%").
@@ -109,8 +114,7 @@ fn main() {
     let all_faster = rows.iter().all(|r| r.mpid_s < r.hadoop_s);
     let first = &rows[0];
     let last = rows.last().unwrap();
-    let ratio_grows =
-        last.mpid_s / last.hadoop_s > first.mpid_s / first.hadoop_s;
+    let ratio_grows = last.mpid_s / last.hadoop_s > first.mpid_s / first.hadoop_s;
     println!(
         "shape: MPI-D faster at every size: {all_faster}; \
          advantage narrows with size (ratio {:.0}% -> {:.0}%): {ratio_grows}",
@@ -122,4 +126,39 @@ fn main() {
         ratio_grows,
         "shape violation: Hadoop's fixed costs must amortize with size"
     );
+
+    if check {
+        run_checked_wordcount();
+    }
+}
+
+/// `--check`: run the real (threads-as-ranks) MPI-D WordCount pipeline with
+/// the mpiverify checker on and off, and assert the checker is
+/// observation-only — identical outputs, clean report.
+fn run_checked_wordcount() {
+    println!();
+    println!("check — real MPI-D WordCount under mpiverify (4 mappers, 2 reducers, 4 MB)");
+    let input = Arc::new(TextGen::new(11, 4 << 20, 8, 20_000));
+    let run = |verify: bool| {
+        let mut cfg = MpidEngineConfig::with_workers(4, 2);
+        cfg.verify = verify;
+        run_mpid(&cfg, Arc::new(WordCount), input.clone())
+    };
+    let checked = run(true);
+    let unchecked = run(false);
+    assert_eq!(
+        checked.output, unchecked.output,
+        "mpiverify must be observation-only"
+    );
+    println!(
+        "  checked run:   {} output pairs, {} wire messages",
+        checked.output.len(),
+        checked.universe_msgs
+    );
+    println!(
+        "  unchecked run: {} output pairs, {} wire messages",
+        unchecked.output.len(),
+        unchecked.universe_msgs
+    );
+    println!("  outputs byte-identical: true (checker is observation-only)");
 }

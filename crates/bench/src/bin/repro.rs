@@ -6,10 +6,13 @@
 //! cargo run --release -p mpid-bench --bin repro -- --quick   # CI scale
 //! cargo run --release -p mpid-bench --bin repro -- --out report.md
 //! cargo run --release -p mpid-bench --bin repro -- --trace traces/
+//! cargo run --release -p mpid-bench --bin repro -- --check
 //! ```
 //!
 //! With `--trace <dir>`, every experiment that supports tracing also writes
-//! a Chrome trace (`<dir>/<bin>.json`, Perfetto-loadable).
+//! a Chrome trace (`<dir>/<bin>.json`, Perfetto-loadable). With `--check`,
+//! experiments that support it also run their real MPI pipeline under the
+//! mpiverify correctness checker and assert it is observation-only.
 //!
 //! Each experiment binary asserts its own shape claims, so a nonzero exit
 //! here means a reproduction regression, not just a formatting problem.
@@ -23,6 +26,7 @@ struct Experiment {
     title: &'static str,
     takes_quick: bool,
     takes_trace: bool,
+    takes_check: bool,
 }
 
 const EXPERIMENTS: &[Experiment] = &[
@@ -31,36 +35,42 @@ const EXPERIMENTS: &[Experiment] = &[
         title: "Figure 2 — point-to-point latency (Hadoop RPC vs MPICH2)",
         takes_quick: false,
         takes_trace: false,
+        takes_check: false,
     },
     Experiment {
         bin: "fig3",
         title: "Figure 3 — bandwidth at varying packet sizes",
         takes_quick: false,
         takes_trace: false,
+        takes_check: false,
     },
     Experiment {
         bin: "fig1",
         title: "Figure 1 — JavaSort per-reducer shuffle breakdown",
         takes_quick: true,
         takes_trace: true,
+        takes_check: false,
     },
     Experiment {
         bin: "table1",
         title: "Table I — copy-stage share sweep",
         takes_quick: true,
         takes_trace: true,
+        takes_check: false,
     },
     Experiment {
         bin: "fig6",
         title: "Figure 6 — WordCount: Hadoop vs MPI-D",
         takes_quick: true,
         takes_trace: true,
+        takes_check: true,
     },
     Experiment {
         bin: "ablation",
         title: "Ablations — combiner, Isend, spills, pressure, compression, speculation",
         takes_quick: false,
         takes_trace: false,
+        takes_check: false,
     },
 ];
 
@@ -89,6 +99,7 @@ identical runs (`mpi-rt`, `mpid`, `hadoop-sim` trace tests).
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
     let out_path: PathBuf = args
         .iter()
         .position(|a| a == "--out")
@@ -116,7 +127,11 @@ fn main() {
     report.push_str(&format!(
         "Scale: {}. Every experiment binary asserts its paper-shape claims; \
          this report is their captured output.\n\n",
-        if quick { "`--quick` (CI)" } else { "full (paper)" }
+        if quick {
+            "`--quick` (CI)"
+        } else {
+            "full (paper)"
+        }
     ));
 
     let mut failures = Vec::new();
@@ -132,6 +147,9 @@ fn main() {
                 cmd.arg("--trace")
                     .arg(dir.join(format!("{}.json", exp.bin)));
             }
+        }
+        if check && exp.takes_check {
+            cmd.arg("--check");
         }
         let output = match cmd.output() {
             Ok(o) => o,
@@ -161,7 +179,10 @@ fn main() {
     f.write_all(report.as_bytes()).expect("write report");
     println!("report written to {}", out_path.display());
     if failures.is_empty() {
-        println!("all {} experiments reproduced their shape claims", EXPERIMENTS.len());
+        println!(
+            "all {} experiments reproduced their shape claims",
+            EXPERIMENTS.len()
+        );
     } else {
         println!("FAILED experiments: {failures:?}");
         std::process::exit(1);

@@ -48,8 +48,12 @@ fn main() {
             (150.0, "150GB"),
         ]
     };
-    let configs: [(usize, usize, &str); 4] =
-        [(4, 2, "4/2"), (4, 4, "4/4"), (8, 8, "8/8"), (16, 16, "16/16")];
+    let configs: [(usize, usize, &str); 4] = [
+        (4, 2, "4/2"),
+        (4, 4, "4/4"),
+        (8, 8, "8/8"),
+        (16, 16, "16/16"),
+    ];
 
     println!("Table I — copy-stage share of total mapper+reducer execution time");
     println!("(JavaSort on the simulated testbed; `sim%` vs the paper's `paper%`)");

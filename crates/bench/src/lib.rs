@@ -56,7 +56,9 @@ pub fn rule(header: &str) {
 
 /// Value of a `--flag value` pair in `args`, if present.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Write a tracer's events as Chrome trace JSON (Perfetto/`chrome://tracing`

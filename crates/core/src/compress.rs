@@ -236,7 +236,10 @@ mod tests {
     #[test]
     fn corrupt_streams_rejected() {
         assert!(decompress(&[0x02]).is_err(), "unknown token");
-        assert!(decompress(&[TOK_LITERAL, 10, 1, 2]).is_err(), "truncated literal");
+        assert!(
+            decompress(&[TOK_LITERAL, 10, 1, 2]).is_err(),
+            "truncated literal"
+        );
         assert!(
             decompress(&[TOK_MATCH, 5, 4]).is_err(),
             "match before any output"

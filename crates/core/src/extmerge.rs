@@ -99,8 +99,7 @@ impl<K: Key, V: Value> ExternalTable<K, V> {
 
     /// Add values for a key, spilling if the budget is exceeded.
     pub fn insert(&mut self, key: K, values: Vec<V>) -> Result<(), ExtMergeError> {
-        let added: usize =
-            key.wire_size() + values.iter().map(|v| v.wire_size()).sum::<usize>();
+        let added: usize = key.wire_size() + values.iter().map(|v| v.wire_size()).sum::<usize>();
         self.resident_bytes += added;
         self.resident.entry(key).or_default().extend(values);
         if self.resident_bytes > self.budget_bytes {
@@ -114,7 +113,9 @@ impl<K: Key, V: Value> ExternalTable<K, V> {
         if self.resident.is_empty() {
             return Ok(());
         }
-        let path = self.spill_dir.join(format!("run-{:05}.spill", self.next_run));
+        let path = self
+            .spill_dir
+            .join(format!("run-{:05}.spill", self.next_run));
         self.next_run += 1;
         let mut w = BufWriter::new(File::create(&path)?);
         // BTreeMap iterates in ascending key order — runs are sorted.
@@ -286,7 +287,11 @@ mod tests {
             t.insert(k.clone(), vec![i]).unwrap();
             pairs.push((k, i));
         }
-        assert!(t.spilled_runs() > 5, "expected many spills: {}", t.spilled_runs());
+        assert!(
+            t.spilled_runs() > 5,
+            "expected many spills: {}",
+            t.spilled_runs()
+        );
         let got = t.into_merge().unwrap().collect_all().unwrap();
         // Build the reference.
         let mut m: BTreeMap<String, Vec<u64>> = BTreeMap::new();

@@ -195,14 +195,11 @@ impl<'a> MpidWorld<'a> {
         assert_eq!(self.role, Role::Master, "collect_stats on non-master rank");
         let mut merged = SenderStats::default();
         for _ in 0..self.cfg.n_mappers {
-            let (payload, status) =
-                self.comm.recv::<u8>(None, Some(config::tags::STATS))?;
+            let (payload, status) = self.comm.recv::<u8>(None, Some(config::tags::STATS))?;
             let mut slice = &payload[..];
-            let stats = SenderStats::decode(&mut slice).map_err(|err| {
-                MpidError::Codec {
-                    source_rank: status.source,
-                    err,
-                }
+            let stats = SenderStats::decode(&mut slice).map_err(|err| MpidError::Codec {
+                source_rank: status.source,
+                err,
             })?;
             merged.merge(&stats);
         }
@@ -210,7 +207,29 @@ impl<'a> MpidWorld<'a> {
     }
 
     /// `MPI_D_Finalize`: synchronize all ranks before tearing down.
+    ///
+    /// Before the closing barrier, each rank audits its own mailbox for
+    /// undelivered MPI-D protocol traffic (data frames, split requests,
+    /// assignments, stats reports). Anything still pending at finalize was
+    /// lost by the layer above — reported to the mpiverify checker as a
+    /// shutdown-leak finding, not an error, so a run's `VerifyReport` shows
+    /// it without changing results.
     pub fn finalize(self) -> MpidResult<()> {
+        for (tag, name) in [
+            (config::tags::DATA, "DATA frame"),
+            (config::tags::REQ, "split request"),
+            (config::tags::ASSIGN, "split assignment"),
+            (config::tags::STATS, "stats report"),
+        ] {
+            let pending = self.comm.pending_messages(Some(tag));
+            if pending > 0 {
+                self.comm.report_shutdown_leak(format!(
+                    "MPI_D_Finalize with {pending} undelivered {name} message(s) \
+                     (tag {tag}) in the {:?} rank's mailbox",
+                    self.role
+                ));
+            }
+        }
         self.comm.barrier()?;
         Ok(())
     }

@@ -20,11 +20,7 @@ const MARK_DONE: u8 = 0;
 
 /// Run the master loop on rank 0: serve split requests until every mapper
 /// has been told there is no more work.
-pub fn run_master<S: Kv>(
-    comm: &Comm,
-    cfg: &MpidConfig,
-    splits: Vec<S>,
-) -> MpidResult<MasterStats> {
+pub fn run_master<S: Kv>(comm: &Comm, cfg: &MpidConfig, splits: Vec<S>) -> MpidResult<MasterStats> {
     let mut stats = MasterStats::default();
     let mut next = 0usize;
     let mut done_mappers = 0usize;

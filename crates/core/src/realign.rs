@@ -189,10 +189,7 @@ mod tests {
     #[test]
     fn streaming_reader_counts_down() {
         let frames = build(
-            &[
-                ("a".to_string(), vec![1u64]),
-                ("b".to_string(), vec![2, 3]),
-            ],
+            &[("a".to_string(), vec![1u64]), ("b".to_string(), vec![2, 3])],
             1 << 20,
         );
         let mut r = FrameReader::new(&frames[0]).unwrap();

@@ -5,11 +5,11 @@
 use crate::combine::Combiner;
 use crate::compress;
 use crate::config::{tags, MpidConfig, Role};
+use crate::error::MpidResult;
 use crate::kv::{Key, Value};
 use crate::partition::{HashPartitioner, Partitioner};
 use crate::realign::FrameBuilder;
 use crate::stats::SenderStats;
-use crate::error::MpidResult;
 use mpi_rt::{Comm, RankTrace, SendRequest};
 use obs::ArgValue;
 use std::collections::HashMap;
@@ -162,7 +162,10 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                     b0,
                     now,
                     vec![
-                        ("pairs_in", ArgValue::U64(self.stats.pairs_in - ts.prev.pairs_in)),
+                        (
+                            "pairs_in",
+                            ArgValue::U64(self.stats.pairs_in - ts.prev.pairs_in),
+                        ),
                         (
                             "pairs_combined",
                             ArgValue::U64(self.stats.pairs_combined - ts.prev.pairs_combined),
@@ -248,7 +251,10 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                 t0,
                 now,
                 vec![
-                    ("groups", ArgValue::U64(self.stats.groups_out - ts.prev.groups_out)),
+                    (
+                        "groups",
+                        ArgValue::U64(self.stats.groups_out - ts.prev.groups_out),
+                    ),
                     ("frames", ArgValue::U64(self.stats.frames - ts.prev.frames)),
                     (
                         "frame_bytes",

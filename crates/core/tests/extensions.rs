@@ -1,8 +1,8 @@
 //! Tests for the implemented "future work" extensions: frame compression,
 //! streaming reception, and master-side statistics gathering.
 
-use mpid::{MpidConfig, MpidWorld, Role, SenderStats, SumCombiner};
 use mpi_rt::Universe;
+use mpid::{MpidConfig, MpidWorld, Role, SenderStats, SumCombiner};
 use std::collections::BTreeMap;
 
 fn wordy_splits() -> Vec<String> {
@@ -145,9 +145,7 @@ fn streaming_mode_folds_to_the_same_totals() {
                 None
             }
             Role::Mapper(_) => {
-                let mut send = world
-                    .sender::<String, u64>()
-                    .with_combiner(SumCombiner);
+                let mut send = world.sender::<String, u64>().with_combiner(SumCombiner);
                 while let Some(doc) = world.next_split::<String>().unwrap() {
                     for w in doc.split_whitespace() {
                         send.send(w.to_string(), 1).unwrap();
@@ -272,9 +270,7 @@ fn external_merge_receiver_bounded_memory() {
             Role::Reducer(_) => {
                 let recv = world.receiver::<String, u64>();
                 // 256-byte budget: guaranteed to spill.
-                let mut ext = recv
-                    .into_external(256, std::env::temp_dir())
-                    .unwrap();
+                let mut ext = recv.into_external(256, std::env::temp_dir()).unwrap();
                 let mut out: BTreeMap<String, u64> = BTreeMap::new();
                 let mut last: Option<String> = None;
                 while let Some((k, vs)) = ext.recv().unwrap() {

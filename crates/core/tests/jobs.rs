@@ -2,10 +2,8 @@
 //! master/mapper/reducer topologies, spill behaviour, transport modes,
 //! and failure injection.
 
-use mpid::{
-    ConstPartitioner, MpidConfig, MpidError, MpidWorld, Role, SumCombiner,
-};
 use mpi_rt::{MpiError, Universe};
+use mpid::{ConstPartitioner, MpidConfig, MpidError, MpidWorld, Role, SumCombiner};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -30,9 +28,7 @@ fn run_wordcount(cfg: MpidConfig, docs: Vec<String>) -> BTreeMap<String, u64> {
                 None
             }
             Role::Mapper(_) => {
-                let mut send = world
-                    .sender::<String, u64>()
-                    .with_combiner(SumCombiner);
+                let mut send = world.sender::<String, u64>().with_combiner(SumCombiner);
                 while let Some(doc) = world.next_split::<String>().unwrap() {
                     for w in doc.split_whitespace() {
                         send.send(w.to_string(), 1).unwrap();
@@ -293,9 +289,7 @@ fn value_sorting_on_demand() {
                 send.finish().unwrap();
             }
             Role::Reducer(_) => {
-                let mut recv = world
-                    .receiver::<String, u64>()
-                    .with_sorted_values();
+                let mut recv = world.receiver::<String, u64>().with_sorted_values();
                 let (_, vs) = recv.recv().unwrap().unwrap();
                 let mut sorted = vs.clone();
                 sorted.sort_unstable();
@@ -385,11 +379,9 @@ fn dead_mapper_surfaces_as_timeout_not_hang() {
 #[test]
 fn init_rejects_wrong_rank_count() {
     let cfg = MpidConfig::with_workers(3, 3); // needs 7 ranks
-    Universe::run(4, move |comm| {
-        match MpidWorld::init(comm, cfg.clone()) {
-            Err(MpidError::Config(msg)) => assert!(msg.contains("requires 7")),
-            other => panic!("expected config error, got {:?}", other.is_ok()),
-        }
+    Universe::run(4, move |comm| match MpidWorld::init(comm, cfg.clone()) {
+        Err(MpidError::Config(msg)) => assert!(msg.contains("requires 7")),
+        other => panic!("expected config error, got {:?}", other.is_ok()),
     });
 }
 

@@ -7,21 +7,16 @@
 //! * the partitioner gives every key exactly one owner.
 
 use bytes::BytesMut;
+use mpi_rt::Universe;
 use mpid::compress::{compress, decompress};
 use mpid::realign::{decode_frames, FrameBuilder};
-use mpid::{
-    HashPartitioner, Kv, MpidConfig, MpidWorld, Partitioner, Role, SumCombiner,
-};
-use mpi_rt::Universe;
+use mpid::{HashPartitioner, Kv, MpidConfig, MpidWorld, Partitioner, Role, SumCombiner};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn arb_groups() -> impl Strategy<Value = Vec<(String, Vec<u64>)>> {
     proptest::collection::vec(
-        (
-            "[a-z]{0,12}",
-            proptest::collection::vec(any::<u64>(), 0..8),
-        ),
+        ("[a-z]{0,12}", proptest::collection::vec(any::<u64>(), 0..8)),
         0..40,
     )
 }
@@ -88,11 +83,7 @@ proptest! {
 
 /// Run a sum-aggregation job over the given pairs with a parameterized
 /// config; returns key → sum.
-fn run_sum_job(
-    cfg: MpidConfig,
-    pairs: Vec<(String, u64)>,
-    combine: bool,
-) -> BTreeMap<String, u64> {
+fn run_sum_job(cfg: MpidConfig, pairs: Vec<(String, u64)>, combine: bool) -> BTreeMap<String, u64> {
     // Chunk pairs into splits of ≤16 pairs, encoded as (index range).
     let splits: Vec<u64> = (0..pairs.len().div_ceil(16).max(1) as u64).collect();
     let results = Universe::run(cfg.required_ranks(), move |comm| {

@@ -2,8 +2,8 @@
 //! the sender's buffer → combine → realign → ship stages and the reducer's
 //! merge stage on the rank lanes, without changing job output.
 
-use mpid::{MpidConfig, MpidWorld, Role, SumCombiner};
 use mpi_rt::{MpiConfig, Universe};
+use mpid::{MpidConfig, MpidWorld, Role, SumCombiner};
 use std::collections::BTreeMap;
 
 fn docs() -> Vec<String> {
@@ -18,7 +18,11 @@ fn docs() -> Vec<String> {
         .collect()
 }
 
-fn wordcount(comm: &mpi_rt::Comm, cfg: &MpidConfig, docs: &[String]) -> Option<BTreeMap<String, u64>> {
+fn wordcount(
+    comm: &mpi_rt::Comm,
+    cfg: &MpidConfig,
+    docs: &[String],
+) -> Option<BTreeMap<String, u64>> {
     let world = MpidWorld::init(comm, cfg.clone()).unwrap();
     match world.role() {
         Role::Master => {

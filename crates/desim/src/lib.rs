@@ -44,7 +44,7 @@ mod time;
 pub use time::SimTime;
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Boxed event handler: runs against the user state and may schedule more events.
 pub type Handler<S> = Box<dyn FnOnce(&mut S, &mut Scheduler<S>)>;
@@ -106,7 +106,7 @@ pub struct Scheduler<S> {
     now: SimTime,
     seq: u64,
     heap: BinaryHeap<Entry<S>>,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     executed: u64,
     probe: Option<Box<dyn SchedProbe>>,
 }
@@ -124,7 +124,7 @@ impl<S> Scheduler<S> {
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             executed: 0,
             probe: None,
         }

@@ -213,7 +213,11 @@ impl Log2Histogram {
     /// Record a value. Bucket `i` holds values in `[2^(i-1), 2^i)`, with
     /// bucket 0 holding exactly zero.
     pub fn add(&mut self, v: u64) {
-        let idx = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
+        let idx = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
     }
 

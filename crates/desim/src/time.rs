@@ -207,10 +207,7 @@ mod tests {
     #[test]
     fn for_bytes_basic() {
         // 1000 bytes at 1000 B/s = 1 s.
-        assert_eq!(
-            SimTime::for_bytes(1000, 1000.0),
-            SimTime::from_secs(1)
-        );
+        assert_eq!(SimTime::for_bytes(1000, 1000.0), SimTime::from_secs(1));
         assert_eq!(SimTime::for_bytes(0, 1.0), SimTime::ZERO);
         // Tiny transfers still advance the clock.
         assert!(SimTime::for_bytes(1, 1e12).as_nanos() >= 1);

@@ -144,10 +144,7 @@ mod tests {
     fn job_time_grows_with_input() {
         let t1 = run_job(HadoopConfig::icpp2011(4, 4, 8), wc_spec(0.5)).makespan;
         let t2 = run_job(HadoopConfig::icpp2011(4, 4, 8), wc_spec(2.0)).makespan;
-        assert!(
-            t2 > t1,
-            "4x input must take longer: {t1} vs {t2}"
-        );
+        assert!(t2 > t1, "4x input must take longer: {t1} vs {t2}");
     }
 
     #[test]
@@ -180,12 +177,7 @@ mod tests {
         cfg.slowstart = 0.05;
         let report = run_job(cfg, sort_spec(2.0));
         let trimmed = report.without_top_copy_outliers(28);
-        let first_wave_max = report
-            .reduces
-            .iter()
-            .map(|r| r.copy)
-            .max()
-            .unwrap();
+        let first_wave_max = report.reduces.iter().map(|r| r.copy).max().unwrap();
         let trimmed_max = trimmed.reduces.iter().map(|r| r.copy).max().unwrap();
         assert!(
             first_wave_max > trimmed_max * 2,
@@ -302,7 +294,10 @@ mod failure_tests {
         // retry mechanism, not the seed.
         cfg.max_task_attempts = 8;
         let report = run_job(cfg, spec());
-        assert!(!report.job_failed, "25% failures must be absorbed by retries");
+        assert!(
+            !report.job_failed,
+            "25% failures must be absorbed by retries"
+        );
         assert!(
             report.failed_map_attempts > 0,
             "expected some injected failures"

@@ -156,8 +156,7 @@ impl JobReport {
         ) {
             out.push(("sort", s, e));
         }
-        if let Some((s, e)) = extent(&mut self.reduces.iter().map(|r| (r.end - r.reduce, r.end)))
-        {
+        if let Some((s, e)) = extent(&mut self.reduces.iter().map(|r| (r.end - r.reduce, r.end))) {
             out.push(("reduce", s, e));
         }
         out
@@ -251,8 +250,14 @@ mod tests {
         let names: Vec<_> = tl.iter().map(|p| p.0).collect();
         assert_eq!(names, vec!["map", "copy", "sort", "reduce"]);
         let copy = tl.iter().find(|p| p.0 == "copy").unwrap();
-        assert_eq!((copy.1, copy.2), (SimTime::from_secs(11), SimTime::from_secs(31)));
+        assert_eq!(
+            (copy.1, copy.2),
+            (SimTime::from_secs(11), SimTime::from_secs(31))
+        );
         let reduce = tl.iter().find(|p| p.0 == "reduce").unwrap();
-        assert_eq!((reduce.1, reduce.2), (SimTime::from_secs(35), SimTime::from_secs(41)));
+        assert_eq!(
+            (reduce.1, reduce.2),
+            (SimTime::from_secs(35), SimTime::from_secs(41))
+        );
     }
 }

@@ -183,7 +183,15 @@ impl HadoopSim {
         sim.schedule(setup, |s: &mut HadoopSim, sc| {
             s.setup_done = true;
             if let Some(t) = &s.tracer {
-                t.complete(0, 0, "job_setup", "hadoop.job", 0, sc.now().as_nanos(), vec![]);
+                t.complete(
+                    0,
+                    0,
+                    "job_setup",
+                    "hadoop.job",
+                    0,
+                    sc.now().as_nanos(),
+                    vec![],
+                );
             }
         });
         // Stagger tracker heartbeats across the interval.
@@ -247,8 +255,7 @@ impl HadoopSim {
                             ea.partial_cmp(&eb).expect("finite")
                         });
                     if let Some(m) = candidate {
-                        let elapsed =
-                            now - s.map_started[m].expect("started").as_secs_f64();
+                        let elapsed = now - s.map_started[m].expect("started").as_secs_f64();
                         if elapsed > 1.5 * avg {
                             s.map_speculated[m] = true;
                             s.report.speculative_launched += 1;
@@ -270,8 +277,7 @@ impl HadoopSim {
             }
         }
         // One reduce assignment per heartbeat, gated on slowstart.
-        let slowstart_met =
-            s.maps_done as f64 >= s.cfg.slowstart * s.n_maps as f64;
+        let slowstart_met = s.maps_done as f64 >= s.cfg.slowstart * s.n_maps as f64;
         if slowstart_met && s.free_reduce_slots[worker] > 0 {
             if let Some(r) = s.pending_reduces.pop() {
                 s.free_reduce_slots[worker] -= 1;
@@ -286,9 +292,7 @@ impl HadoopSim {
         let host = HostId(1 + worker);
         let start = sc.now();
         let (replica, local) = s.hdfs.select_replica(s.blocks[m], host);
-        let jvm = SimTime::from_secs_f64(
-            s.rng.jittered(s.cfg.jvm_start.as_secs_f64(), 0.2),
-        );
+        let jvm = SimTime::from_secs_f64(s.rng.jittered(s.cfg.jvm_start.as_secs_f64(), 0.2));
         sc.schedule_in(jvm, move |s: &mut HadoopSim, sc| {
             // Read the input block (local disk or streamed from the replica
             // host).
@@ -302,8 +306,8 @@ impl HadoopSim {
                 }
             };
             // Charge one initial seek via the seek-equivalent convention.
-            let seek_bytes = (s.cfg.fetch_seek.as_secs_f64()
-                * s.cfg.cluster.disk_read_bytes_per_sec) as u64;
+            let seek_bytes =
+                (s.cfg.fetch_seek.as_secs_f64() * s.cfg.cluster.disk_read_bytes_per_sec) as u64;
             Net::start_flow(s, sc, route, bytes + seek_bytes, 1.0, move |s, sc| {
                 Self::map_compute(s, sc, m, worker, start, local);
             });
@@ -331,9 +335,8 @@ impl HadoopSim {
         } else {
             1.0
         };
-        let cpu = SimTime::from_secs_f64(
-            s.rng.jittered(s.spec.map_cpu_secs(bytes), 0.35) * straggle,
-        );
+        let cpu =
+            SimTime::from_secs_f64(s.rng.jittered(s.spec.map_cpu_secs(bytes), 0.35) * straggle);
         sc.schedule_in(cpu, move |s: &mut HadoopSim, sc| {
             // Spill the (combined) map output; oversized raw output pays an
             // extra merge pass (read + write ≈ 3× the final volume).
@@ -408,7 +411,8 @@ impl HadoopSim {
             end: sc.now(),
             local,
         });
-        s.completed_map_durations.add((sc.now() - start).as_secs_f64());
+        s.completed_map_durations
+            .add((sc.now() - start).as_secs_f64());
         s.map_out_ready[m] = true;
         s.map_out_host[m] = HostId(1 + worker);
         s.maps_done += 1;
@@ -425,10 +429,18 @@ impl HadoopSim {
                     ("input_bytes", ArgValue::U64(s.map_input[m])),
                 ],
             );
-            t.counter(0, "hadoop.maps_done", "hadoop", sc.now().as_nanos(), s.maps_done as f64);
+            t.counter(
+                0,
+                "hadoop.maps_done",
+                "hadoop",
+                sc.now().as_nanos(),
+                s.maps_done as f64,
+            );
             t.metrics().inc("hadoop.maps_done", 1);
-            t.metrics()
-                .observe("hadoop.map_duration_ms", (sc.now() - start).as_nanos() / 1_000_000);
+            t.metrics().observe(
+                "hadoop.map_duration_ms",
+                (sc.now() - start).as_nanos() / 1_000_000,
+            );
         }
         s.free_map_slots[worker] += 1;
         // New map output may unblock reducers idling in their copy phase.
@@ -443,9 +455,7 @@ impl HadoopSim {
     fn start_reduce(s: &mut HadoopSim, sc: &mut Scheduler<HadoopSim>, r: usize, worker: usize) {
         let host = HostId(1 + worker);
         let task_start = sc.now();
-        let jvm = SimTime::from_secs_f64(
-            s.rng.jittered(s.cfg.jvm_start.as_secs_f64(), 0.2),
-        );
+        let jvm = SimTime::from_secs_f64(s.rng.jittered(s.cfg.jvm_start.as_secs_f64(), 0.2));
         sc.schedule_in(jvm, move |s: &mut HadoopSim, sc| {
             s.copiers[r] = Some(CopyState {
                 host,
@@ -464,7 +474,9 @@ impl HadoopSim {
     /// limit; park the reducer if no unclaimed output is available yet.
     fn try_fetch(s: &mut HadoopSim, sc: &mut Scheduler<HadoopSim>, r: usize) {
         loop {
-            let Some(cs) = s.copiers[r].as_ref() else { return };
+            let Some(cs) = s.copiers[r].as_ref() else {
+                return;
+            };
             if cs.in_flight >= s.cfg.parallel_copies {
                 return;
             }
@@ -501,11 +513,9 @@ impl HadoopSim {
             let payload: u64 = batch.iter().map(|&m| s.per_reduce_partition[m]).sum();
             // Per-fetch seek + servlet overhead, charged as seek-equivalent
             // bytes on the serving disk.
-            let per_fetch = s.cfg.fetch_seek.as_secs_f64()
-                + s.cfg.http_setup.as_secs_f64();
-            let overhead_bytes = (per_fetch
-                * s.cfg.cluster.disk_read_bytes_per_sec) as u64
-                * batch.len() as u64;
+            let per_fetch = s.cfg.fetch_seek.as_secs_f64() + s.cfg.http_setup.as_secs_f64();
+            let overhead_bytes =
+                (per_fetch * s.cfg.cluster.disk_read_bytes_per_sec) as u64 * batch.len() as u64;
             let route = if from == to {
                 Route::DiskRead(from)
             } else {
@@ -575,9 +585,7 @@ impl HadoopSim {
         shuffled: u64,
     ) {
         let reduce_start = sc.now();
-        let cpu = SimTime::from_secs_f64(
-            s.rng.jittered(s.spec.reduce_cpu_secs(shuffled), 0.1),
-        );
+        let cpu = SimTime::from_secs_f64(s.rng.jittered(s.spec.reduce_cpu_secs(shuffled), 0.1));
         let (task_start, host) = span_base;
         if let Some(t) = &s.tracer {
             // The sort/merge stage ends exactly where the reduce stage starts.
@@ -596,8 +604,8 @@ impl HadoopSim {
             // Output commits through the page cache: write-back absorbs the
             // burst, so the flow gets elevated weight against the steady
             // seek-dominated shuffle load on the spindle.
-            let ratio = s.cfg.cluster.disk_read_bytes_per_sec
-                / s.cfg.cluster.disk_write_bytes_per_sec;
+            let ratio =
+                s.cfg.cluster.disk_read_bytes_per_sec / s.cfg.cluster.disk_write_bytes_per_sec;
             let scaled = ((out as f64) * ratio).ceil() as u64;
             Net::start_flow(s, sc, Route::DiskWrite(host), scaled, 4.0, move |s, sc| {
                 let reduce = sc.now() - reduce_start;

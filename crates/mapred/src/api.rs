@@ -80,10 +80,7 @@ pub trait InputFormat: Send + Sync + 'static {
     ///
     /// # Panics
     /// Implementations may panic if `split >= n_splits()`.
-    fn records(
-        &self,
-        split: usize,
-    ) -> Box<dyn Iterator<Item = (Self::Key, Self::Val)> + '_>;
+    fn records(&self, split: usize) -> Box<dyn Iterator<Item = (Self::Key, Self::Val)> + '_>;
 
     /// Total records across all splits (walks every split by default).
     fn total_records(&self) -> usize {

@@ -3,10 +3,10 @@
 //! actual bytes through `mpid` and `mpi-rt`.
 
 use crate::api::{InputFormat, MapReduceApp};
+use mpi_rt::{MpiConfig, Universe};
 use mpid::combine::FnCombiner;
 use mpid::partition::Partitioner;
 use mpid::{MpidConfig, MpidWorld, Role};
-use mpi_rt::{MpiConfig, Universe};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -30,6 +30,10 @@ pub struct MpidEngineConfig {
     pub eager_threshold: usize,
     /// Bound on how long a reducer waits for the next frame.
     pub recv_timeout: Duration,
+    /// Run the universe under the mpiverify correctness checker (deadlock
+    /// watchdog, collective signature checks, teardown leak audit). On by
+    /// default; observation-only, so results are identical either way.
+    pub verify: bool,
 }
 
 impl Default for MpidEngineConfig {
@@ -43,6 +47,7 @@ impl Default for MpidEngineConfig {
             compress: false,
             eager_threshold: 64 * 1024,
             recv_timeout: Duration::from_secs(300),
+            verify: true,
         }
     }
 }
@@ -124,6 +129,11 @@ where
     let results = Universe::run_with(
         MpiConfig {
             eager_threshold: cfg.eager_threshold,
+            verify: if cfg.verify {
+                mpi_rt::VerifyConfig::default()
+            } else {
+                mpi_rt::VerifyConfig::disabled()
+            },
         },
         n_ranks,
         move |comm| {
@@ -143,8 +153,7 @@ where
                     if let Some(c) = app.combine() {
                         sender = sender.with_combiner(FnCombiner(c));
                     }
-                    while let Some(split) = world.next_split::<u64>().expect("split fetch")
-                    {
+                    while let Some(split) = world.next_split::<u64>().expect("split fetch") {
                         for (k, v) in input.records(split as usize) {
                             let mut err = None;
                             app.map(k, v, &mut |mk, mv| {

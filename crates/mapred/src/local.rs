@@ -94,8 +94,10 @@ mod tests {
 
     #[test]
     fn sort_outputs_keys_in_order() {
-        let records: Vec<(u64, Vec<u8>)> =
-            [5u64, 1, 9, 3].iter().map(|&k| (k, vec![k as u8])).collect();
+        let records: Vec<(u64, Vec<u8>)> = [5u64, 1, 9, 3]
+            .iter()
+            .map(|&k| (k, vec![k as u8]))
+            .collect();
         let input = VecInput::round_robin(records, 2);
         let out = run_local(&IdentitySort, &input);
         let keys: Vec<u64> = out.iter().map(|(k, _)| *k).collect();

@@ -28,7 +28,7 @@
 use desim::{Scheduler, Sim, SimTime};
 use netsim::{Cluster, ClusterSpec, HasNet, HostId, JobSpec, MpiModel, Net, Route, Transport};
 use obs::{ArgValue, Tracer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration of the simulated MPI-D deployment.
 #[derive(Debug, Clone)]
@@ -156,7 +156,7 @@ struct MpidSim {
     tracer: Option<Tracer>,
     // (mapper, split) → (ship start ns, frames outstanding, shuffled bytes);
     // populated only while tracing.
-    ship_state: HashMap<(usize, usize), (u64, usize, u64)>,
+    ship_state: BTreeMap<(usize, usize), (u64, usize, u64)>,
 }
 
 impl HasNet for MpidSim {
@@ -178,8 +178,9 @@ impl MpidSim {
         let workers = cfg.cluster.hosts - 1;
         // "we distribute all input data across all nodes to guarantee the
         // data accessing locally": split s lives where mapper (s mod M) runs.
-        let mapper_host: Vec<HostId> =
-            (0..cfg.n_mappers).map(|i| HostId(1 + i % workers)).collect();
+        let mapper_host: Vec<HostId> = (0..cfg.n_mappers)
+            .map(|i| HostId(1 + i % workers))
+            .collect();
         let split_home: Vec<HostId> = (0..n_splits)
             .map(|s| mapper_host[s % cfg.n_mappers])
             .collect();
@@ -190,8 +191,7 @@ impl MpidSim {
         let share = spec.input_bytes as f64 / cfg.n_mappers as f64;
         let ref_b = cfg.pressure_ref_bytes as f64;
         let doublings = (share / ref_b).log2().max(0.0);
-        let cpu_multiplier =
-            cfg.native_cpu_factor * (1.0 + cfg.pressure_per_doubling * doublings);
+        let cpu_multiplier = cfg.native_cpu_factor * (1.0 + cfg.pressure_per_doubling * doublings);
         let mpi_efficiency = {
             // Streaming efficiency of frame-sized MPI messages.
             let m = MpiModel::default();
@@ -217,7 +217,7 @@ impl MpidSim {
             finished: false,
             reduce_started: false,
             tracer: None,
-            ship_state: HashMap::new(),
+            ship_state: BTreeMap::new(),
             cfg,
         }
     }
@@ -275,8 +275,7 @@ impl MpidSim {
             }
         };
         // One seek to open the split file.
-        let seek_bytes =
-            (0.008 * s.cfg.cluster.disk_read_bytes_per_sec) as u64;
+        let seek_bytes = (0.008 * s.cfg.cluster.disk_read_bytes_per_sec) as u64;
         let read_start = sc.now().as_nanos();
         Net::start_flow(s, sc, route, bytes + seek_bytes, 1.0, move |s, sc| {
             if let Some(t) = &s.tracer {
@@ -296,9 +295,7 @@ impl MpidSim {
 
     fn map_split(s: &mut MpidSim, sc: &mut Scheduler<MpidSim>, m: usize, split: usize) {
         let bytes = s.split_input[split];
-        let cpu = SimTime::from_secs_f64(
-            s.spec.map_cpu_secs(bytes) * s.cpu_multiplier,
-        );
+        let cpu = SimTime::from_secs_f64(s.spec.map_cpu_secs(bytes) * s.cpu_multiplier);
         let map_start = sc.now().as_nanos();
         sc.schedule_in(cpu, move |s: &mut MpidSim, sc| {
             if let Some(t) = &s.tracer {
@@ -336,10 +333,7 @@ impl MpidSim {
             let route = if dst == my_host {
                 Route::Loopback(my_host)
             } else {
-                Route::HostToHost {
-                    src: my_host,
-                    dst,
-                }
+                Route::HostToHost { src: my_host, dst }
             };
             s.sends_in_flight += 1;
             let last = r == n_red - 1;
@@ -409,10 +403,7 @@ impl MpidSim {
     /// reducer tail: leftover reduce CPU (streaming reduce overlaps
     /// reception) plus the final output write.
     fn maybe_finish(s: &mut MpidSim, sc: &mut Scheduler<MpidSim>) {
-        if s.reduce_started
-            || s.mappers_done < s.cfg.n_mappers
-            || s.sends_in_flight > 0
-        {
+        if s.reduce_started || s.mappers_done < s.cfg.n_mappers || s.sends_in_flight > 0 {
             return;
         }
         s.reduce_started = true;
@@ -459,19 +450,11 @@ pub fn run_sim_mpid(cfg: SimMpidConfig, spec: JobSpec) -> SimMpidReport {
 /// Like [`run_sim_mpid`], but recording per-split read/map/ship spans, the
 /// reducer tail, and network flow spans into `tracer` (simulated-time
 /// timestamps — deterministic for a given config and spec).
-pub fn run_sim_mpid_traced(
-    cfg: SimMpidConfig,
-    spec: JobSpec,
-    tracer: Tracer,
-) -> SimMpidReport {
+pub fn run_sim_mpid_traced(cfg: SimMpidConfig, spec: JobSpec, tracer: Tracer) -> SimMpidReport {
     run_sim_mpid_inner(cfg, spec, Some(tracer))
 }
 
-fn run_sim_mpid_inner(
-    cfg: SimMpidConfig,
-    spec: JobSpec,
-    tracer: Option<Tracer>,
-) -> SimMpidReport {
+fn run_sim_mpid_inner(cfg: SimMpidConfig, spec: JobSpec, tracer: Option<Tracer>) -> SimMpidReport {
     let mut sim = Sim::new(MpidSim::new(cfg, spec));
     if let Some(t) = tracer {
         sim.state.set_tracer(t);
@@ -525,8 +508,7 @@ mod tests {
         // 100× the data must take more than 100× the time (the paper's
         // observed shape).
         let cfg = |gb: f64| {
-            SimMpidConfig::icpp2011_fig6()
-                .with_auto_splits((gb * (1u64 << 30) as f64) as u64)
+            SimMpidConfig::icpp2011_fig6().with_auto_splits((gb * (1u64 << 30) as f64) as u64)
         };
         let t1 = run_sim_mpid(cfg(1.0), wc_spec(1.0)).makespan;
         let t100 = run_sim_mpid(cfg(100.0), wc_spec(100.0)).makespan;

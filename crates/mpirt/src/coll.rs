@@ -7,9 +7,10 @@
 //! from the reserved internal range, so concurrent user point-to-point
 //! traffic (tags `0..=MAX_USER_TAG`) can never match collective messages.
 
-use crate::comm::Comm;
+use crate::comm::{wire_sig, Comm};
 use crate::data::MpiType;
 use crate::types::{MpiResult, Rank, Tag, MAX_USER_TAG};
+use crate::verify::{CollSig, LabelGuard};
 
 /// Number of distinct internal tags cycled through by collectives.
 const COLL_TAG_SPAN: i64 = 1 << 20;
@@ -22,9 +23,35 @@ impl Comm {
         MAX_USER_TAG + 1 + (seq as i64 % COLL_TAG_SPAN) as Tag
     }
 
+    /// Checker entry hook for a collective: verifies that every rank of the
+    /// communicator invokes the same call signature at this `coll_seq` slot
+    /// (shared-state comparison, no extra communication), and labels the
+    /// rank as "inside `sig.kind`" for wait-for-graph reports until the
+    /// returned guard drops. No-op (`None`) in unchecked universes.
+    fn coll_enter(&self, sig: CollSig) -> MpiResult<Option<LabelGuard<'_>>> {
+        match self.verifier() {
+            Some(v) => {
+                let kind = sig.kind;
+                v.check_collective(
+                    self.world_rank(),
+                    self.ctx,
+                    self.coll_seq.get(),
+                    self.size(),
+                    sig,
+                )?;
+                v.set_label(self.world_rank(), Some(kind));
+                Ok(Some(LabelGuard {
+                    v: v.as_ref(),
+                    rank: self.world_rank(),
+                }))
+            }
+            None => Ok(None),
+        }
+    }
+
     /// Internal send that allows reserved tags.
     fn coll_send<T: MpiType>(&self, dst: Rank, tag: Tag, data: &[T]) -> MpiResult<()> {
-        self.send_bytes_internal(dst, tag, T::to_bytes(data))
+        self.send_bytes_internal(dst, tag, T::to_bytes(data), Some(wire_sig(data)))
     }
 
     fn coll_sendrecv<T: MpiType>(
@@ -34,7 +61,7 @@ impl Comm {
         tag: Tag,
         data: &[T],
     ) -> MpiResult<Vec<T>> {
-        let req = self.isend_bytes_internal(dst, tag, T::to_bytes(data))?;
+        let req = self.isend_bytes_internal(dst, tag, T::to_bytes(data), Some(wire_sig(data)))?;
         let (got, _) = self.recv_internal::<T>(Some(src), Some(tag))?;
         req.wait();
         Ok(got)
@@ -42,6 +69,7 @@ impl Comm {
 
     /// `MPI_Barrier` — dissemination algorithm, ⌈log₂ n⌉ rounds.
     pub fn barrier(&self) -> MpiResult<()> {
+        let _label = self.coll_enter(CollSig::plain("barrier"))?;
         let t0 = self.trace_start();
         let out = self.barrier_inner();
         self.trace_coll("barrier", t0);
@@ -67,6 +95,12 @@ impl Comm {
     /// `MPI_Bcast` — binomial tree from `root`. On non-root ranks the
     /// contents of `buf` are replaced.
     pub fn bcast<T: MpiType>(&self, root: Rank, buf: &mut Vec<T>) -> MpiResult<()> {
+        let _label = self.coll_enter(CollSig {
+            kind: "bcast",
+            root: Some(root),
+            elem: Some(T::NAME),
+            op: None,
+        })?;
         let t0 = self.trace_start();
         let out = self.bcast_inner(root, buf);
         self.trace_coll("bcast", t0);
@@ -113,6 +147,12 @@ impl Comm {
         sendbuf: &[T],
         op: F,
     ) -> MpiResult<Option<Vec<T>>> {
+        let _label = self.coll_enter(CollSig {
+            kind: "reduce",
+            root: Some(root),
+            elem: Some(T::NAME),
+            op: Some(std::any::type_name::<F>()),
+        })?;
         let t0 = self.trace_start();
         let out = self.reduce_inner(root, sendbuf, op);
         self.trace_coll("reduce", t0);
@@ -168,6 +208,12 @@ impl Comm {
         sendbuf: &[T],
         op: F,
     ) -> MpiResult<Vec<T>> {
+        let _label = self.coll_enter(CollSig {
+            kind: "allreduce",
+            root: None,
+            elem: Some(T::NAME),
+            op: Some(std::any::type_name::<F>()),
+        })?;
         let t0 = self.trace_start();
         let out = (|| {
             let reduced = self.reduce_inner(0, sendbuf, op)?;
@@ -181,11 +227,13 @@ impl Comm {
 
     /// `MPI_Gather` (variable-length, i.e. `MPI_Gatherv`): every rank
     /// contributes a slice; `root` receives them indexed by rank.
-    pub fn gather<T: MpiType>(
-        &self,
-        root: Rank,
-        sendbuf: &[T],
-    ) -> MpiResult<Option<Vec<Vec<T>>>> {
+    pub fn gather<T: MpiType>(&self, root: Rank, sendbuf: &[T]) -> MpiResult<Option<Vec<Vec<T>>>> {
+        let _label = self.coll_enter(CollSig {
+            kind: "gather",
+            root: Some(root),
+            elem: Some(T::NAME),
+            op: None,
+        })?;
         let t0 = self.trace_start();
         let out = self.gather_inner(root, sendbuf);
         self.trace_coll("gather", t0);
@@ -219,6 +267,12 @@ impl Comm {
     /// `MPI_Allgather` — ring algorithm: n−1 steps, each rank forwards the
     /// block it received in the previous step.
     pub fn allgather<T: MpiType>(&self, sendbuf: &[T]) -> MpiResult<Vec<Vec<T>>> {
+        let _label = self.coll_enter(CollSig {
+            kind: "allgather",
+            root: None,
+            elem: Some(T::NAME),
+            op: None,
+        })?;
         let t0 = self.trace_start();
         let out = self.allgather_inner(sendbuf);
         self.trace_coll("allgather", t0);
@@ -235,7 +289,12 @@ impl Comm {
         for step in 0..n.saturating_sub(1) {
             let send_idx = (self.rank + n - step) % n;
             let recv_idx = (self.rank + n - step - 1) % n;
-            let req = self.isend_bytes_internal(right, tag, T::to_bytes(&blocks[send_idx]))?;
+            let req = self.isend_bytes_internal(
+                right,
+                tag,
+                T::to_bytes(&blocks[send_idx]),
+                Some(wire_sig(&blocks[send_idx])),
+            )?;
             let (data, _) = self.recv_internal::<T>(Some(left), Some(tag))?;
             blocks[recv_idx] = data;
             req.wait();
@@ -253,6 +312,12 @@ impl Comm {
         root: Rank,
         chunks: Option<Vec<Vec<T>>>,
     ) -> MpiResult<Vec<T>> {
+        let _label = self.coll_enter(CollSig {
+            kind: "scatter",
+            root: Some(root),
+            elem: Some(T::NAME),
+            op: None,
+        })?;
         let t0 = self.trace_start();
         let out = self.scatter_inner(root, chunks);
         self.trace_coll("scatter", t0);
@@ -275,7 +340,12 @@ impl Comm {
                 if r == root {
                     mine = chunk;
                 } else {
-                    reqs.push(self.isend_bytes_internal(r, tag, T::to_bytes(&chunk))?);
+                    reqs.push(self.isend_bytes_internal(
+                        r,
+                        tag,
+                        T::to_bytes(&chunk),
+                        Some(wire_sig(&chunk)),
+                    )?);
                 }
             }
             for req in reqs {
@@ -291,6 +361,12 @@ impl Comm {
     /// `MPI_Alltoall` (variable-length): rank `i` sends `send[j]` to rank
     /// `j` and receives rank `j`'s `send[i]`. Pairwise-exchange schedule.
     pub fn alltoall<T: MpiType>(&self, send: Vec<Vec<T>>) -> MpiResult<Vec<Vec<T>>> {
+        let _label = self.coll_enter(CollSig {
+            kind: "alltoall",
+            root: None,
+            elem: Some(T::NAME),
+            op: None,
+        })?;
         let t0 = self.trace_start();
         let out = self.alltoall_inner(send);
         self.trace_coll("alltoall", t0);
@@ -306,7 +382,12 @@ impl Comm {
         for step in 1..n {
             let dst = (self.rank + step) % n;
             let src = (self.rank + n - step) % n;
-            let req = self.isend_bytes_internal(dst, tag, T::to_bytes(&send[dst]))?;
+            let req = self.isend_bytes_internal(
+                dst,
+                tag,
+                T::to_bytes(&send[dst]),
+                Some(wire_sig(&send[dst])),
+            )?;
             let (data, _) = self.recv_internal::<T>(Some(src), Some(tag))?;
             out[src] = data;
             req.wait();
@@ -326,6 +407,12 @@ impl Comm {
         block: usize,
         op: F,
     ) -> MpiResult<Vec<T>> {
+        let _label = self.coll_enter(CollSig {
+            kind: "reduce_scatter",
+            root: None,
+            elem: Some(T::NAME),
+            op: Some(std::any::type_name::<F>()),
+        })?;
         let t0 = self.trace_start();
         let out = self.reduce_scatter_inner(sendbuf, block, op);
         self.trace_coll("reduce_scatter", t0);
@@ -361,6 +448,12 @@ impl Comm {
         sendbuf: &[T],
         op: F,
     ) -> MpiResult<Option<Vec<T>>> {
+        let _label = self.coll_enter(CollSig {
+            kind: "exscan",
+            root: None,
+            elem: Some(T::NAME),
+            op: Some(std::any::type_name::<F>()),
+        })?;
         let t0 = self.trace_start();
         let out = self.exscan_inner(sendbuf, op);
         self.trace_coll("exscan", t0);
@@ -383,11 +476,7 @@ impl Comm {
             // Forward the inclusive fold of 0..=rank.
             let next: Vec<T> = match &prev {
                 None => sendbuf.to_vec(),
-                Some(p) => p
-                    .iter()
-                    .zip(sendbuf)
-                    .map(|(&a, &b)| op(a, b))
-                    .collect(),
+                Some(p) => p.iter().zip(sendbuf).map(|(&a, &b)| op(a, b)).collect(),
             };
             self.coll_send(self.rank + 1, tag, &next)?;
         }
@@ -395,22 +484,20 @@ impl Comm {
     }
 
     /// `MPI_Scan` — inclusive prefix reduction (linear chain).
-    pub fn scan<T: MpiType, F: Fn(T, T) -> T>(
-        &self,
-        sendbuf: &[T],
-        op: F,
-    ) -> MpiResult<Vec<T>> {
+    pub fn scan<T: MpiType, F: Fn(T, T) -> T>(&self, sendbuf: &[T], op: F) -> MpiResult<Vec<T>> {
+        let _label = self.coll_enter(CollSig {
+            kind: "scan",
+            root: None,
+            elem: Some(T::NAME),
+            op: Some(std::any::type_name::<F>()),
+        })?;
         let t0 = self.trace_start();
         let out = self.scan_inner(sendbuf, op);
         self.trace_coll("scan", t0);
         out
     }
 
-    fn scan_inner<T: MpiType, F: Fn(T, T) -> T>(
-        &self,
-        sendbuf: &[T],
-        op: F,
-    ) -> MpiResult<Vec<T>> {
+    fn scan_inner<T: MpiType, F: Fn(T, T) -> T>(&self, sendbuf: &[T], op: F) -> MpiResult<Vec<T>> {
         let tag = self.next_coll_tag();
         let mut acc: Vec<T> = sendbuf.to_vec();
         if self.rank > 0 {
@@ -432,6 +519,9 @@ impl Comm {
     /// ordered by `(key, old rank)`. A negative color returns `None`
     /// (`MPI_UNDEFINED`).
     pub fn split(&self, color: i64, key: i64) -> MpiResult<Option<Comm>> {
+        // Note: `color`/`key` legitimately differ across ranks, so only the
+        // collective kind is part of the checked signature.
+        let _label = self.coll_enter(CollSig::plain("split"))?;
         let t0 = self.trace_start();
         let out = self.split_inner(color, key);
         self.trace_coll("split", t0);
@@ -477,6 +567,7 @@ impl Comm {
     pub fn dup(&self) -> MpiResult<Comm> {
         // A barrier keeps the collective sequence aligned and gives every
         // rank the same seq for context derivation.
+        let _label = self.coll_enter(CollSig::plain("dup"))?;
         let t0 = self.trace_start();
         let seq = self.coll_seq.get();
         self.barrier_inner()?;

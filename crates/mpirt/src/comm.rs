@@ -4,12 +4,13 @@ use crate::data::MpiType;
 use crate::matching::{ContextId, Envelope, Mailbox, PayloadSlot, RecvSlot, Rendezvous};
 use crate::trace::RankTrace;
 use crate::types::{MpiError, MpiResult, Rank, Status, Tag, MAX_USER_TAG};
+use crate::verify::{BlockedOp, Finding, Verifier, WaitHandle, WireSig, ABORT_POLL};
 use bytes::Bytes;
 use obs::ArgValue;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Shared state of an MPI "universe": one mailbox per world rank plus
 /// configuration and counters.
@@ -19,16 +20,49 @@ pub struct WorldState {
     pub(crate) eager_threshold: usize,
     pub(crate) msgs_sent: AtomicU64,
     pub(crate) bytes_sent: AtomicU64,
+    /// Correctness checker shared by all ranks (`None` for unchecked runs).
+    pub(crate) verifier: Option<Arc<Verifier>>,
 }
 
 impl WorldState {
-    pub(crate) fn new(n: usize, eager_threshold: usize) -> Arc<Self> {
+    pub(crate) fn new(
+        n: usize,
+        eager_threshold: usize,
+        verifier: Option<Arc<Verifier>>,
+    ) -> Arc<Self> {
         Arc::new(WorldState {
             mailboxes: (0..n).map(|_| Arc::new(Mailbox::new())).collect(),
             eager_threshold,
             msgs_sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
+            verifier,
         })
+    }
+}
+
+/// Wait on a posted receive slot, polling the abort flag so a universe
+/// abort (deadlock / collective mismatch elsewhere) surfaces as an error
+/// instead of a hang.
+fn wait_slot_checked(slot: &RecvSlot, v: &Verifier) -> MpiResult<Envelope> {
+    loop {
+        if let Some(env) = slot.wait_timeout(ABORT_POLL) {
+            return Ok(env);
+        }
+        if let Some(e) = v.abort_error() {
+            return Err(e);
+        }
+    }
+}
+
+/// Wait for a rendezvous payload to be claimed, polling the abort flag.
+fn wait_rv_checked(rv: &Rendezvous, v: &Verifier) -> MpiResult<()> {
+    loop {
+        if rv.wait_taken_timeout(ABORT_POLL) {
+            return Ok(());
+        }
+        if let Some(e) = v.abort_error() {
+            return Err(e);
+        }
     }
 }
 
@@ -125,6 +159,38 @@ impl Comm {
         }
     }
 
+    /// This rank's world rank (checker state and reports use world ranks).
+    #[inline]
+    pub(crate) fn world_rank(&self) -> Rank {
+        self.group[self.rank]
+    }
+
+    /// The universe's checker, when this run is verified.
+    #[inline]
+    pub(crate) fn verifier(&self) -> Option<&Arc<Verifier>> {
+        self.world.verifier.as_ref()
+    }
+
+    /// Number of messages that have arrived in this rank's queue (within
+    /// this communicator, optionally filtered by tag) but have not been
+    /// received. Clean-shutdown audits in layers above MPI (e.g. MPI-D's
+    /// `MPI_D_Finalize`) use this to detect dropped traffic.
+    pub fn pending_messages(&self, tag: Option<Tag>) -> usize {
+        self.world.mailboxes[self.world_rank()].unexpected_matching(self.ctx, None, tag)
+    }
+
+    /// Report an application-level unclean-shutdown observation to the
+    /// checker (no-op in unchecked universes). The finding lands in the
+    /// run's [`VerifyReport`](crate::VerifyReport).
+    pub fn report_shutdown_leak(&self, detail: String) {
+        if let Some(v) = self.verifier() {
+            v.finding(Finding::ShutdownLeak {
+                rank: self.world_rank(),
+                detail,
+            });
+        }
+    }
+
     fn check_rank(&self, r: Rank) -> MpiResult<()> {
         if r >= self.group.len() {
             return Err(MpiError::RankOutOfRange {
@@ -148,6 +214,7 @@ impl Comm {
         dst: Rank,
         tag: Tag,
         data: Bytes,
+        sig: Option<WireSig>,
     ) -> MpiResult<()> {
         self.check_rank(dst)?;
         let mailbox = &self.world.mailboxes[self.group[dst]];
@@ -162,6 +229,7 @@ impl Comm {
                     src: self.rank,
                     tag,
                     payload: PayloadSlot::Eager(data),
+                    sig,
                 })
                 .map_err(|_| MpiError::PeerGone { rank: dst })
         } else {
@@ -172,11 +240,27 @@ impl Comm {
                     src: self.rank,
                     tag,
                     payload: PayloadSlot::Rendezvous(rv.clone()),
+                    sig,
                 })
                 .map_err(|_| MpiError::PeerGone { rank: dst })?;
             // MPI_Send above the eager threshold blocks until the receiver
             // has matched (rendezvous protocol).
-            rv.wait_taken();
+            match self.verifier() {
+                Some(v) => {
+                    let _block = v.block_guard(
+                        self.world_rank(),
+                        BlockedOp::RendezvousSend {
+                            ctx: self.ctx,
+                            dst: self.group[dst],
+                            tag,
+                            bytes: rv.size,
+                        },
+                        WaitHandle::Rv(rv.clone()),
+                    );
+                    wait_rv_checked(&rv, v)?;
+                }
+                None => rv.wait_taken(),
+            }
             Ok(())
         }
     }
@@ -186,6 +270,7 @@ impl Comm {
         dst: Rank,
         tag: Tag,
         data: Bytes,
+        sig: Option<WireSig>,
     ) -> MpiResult<SendRequest> {
         self.check_rank(dst)?;
         let mailbox = &self.world.mailboxes[self.group[dst]];
@@ -200,9 +285,13 @@ impl Comm {
                     src: self.rank,
                     tag,
                     payload: PayloadSlot::Eager(data),
+                    sig,
                 })
                 .map_err(|_| MpiError::PeerGone { rank: dst })?;
-            Ok(SendRequest { rv: None })
+            Ok(SendRequest {
+                rv: None,
+                verify: None,
+            })
         } else {
             let rv = Rendezvous::new(data);
             mailbox
@@ -211,24 +300,29 @@ impl Comm {
                     src: self.rank,
                     tag,
                     payload: PayloadSlot::Rendezvous(rv.clone()),
+                    sig,
                 })
                 .map_err(|_| MpiError::PeerGone { rank: dst })?;
-            Ok(SendRequest { rv: Some(rv) })
+            let verify = self.verifier().map(|v| SendVerify {
+                verifier: v.clone(),
+                rank: self.world_rank(),
+                op: BlockedOp::RendezvousSend {
+                    ctx: self.ctx,
+                    dst: self.group[dst],
+                    tag,
+                    bytes: rv.size,
+                },
+            });
+            Ok(SendRequest {
+                rv: Some(rv),
+                verify,
+            })
         }
     }
 
-    fn env_into_typed<T: MpiType>(env: Envelope) -> MpiResult<(Vec<T>, Status)> {
-        let (src, tag) = (env.src, env.tag);
-        let bytes = match env.payload {
-            PayloadSlot::Eager(b) => b,
-            PayloadSlot::Rendezvous(rv) => rv.take(),
-        };
-        let status = Status {
-            source: src,
-            tag,
-            bytes: bytes.len(),
-        };
-        Ok((T::from_bytes(&bytes)?, status))
+    /// Checker context for typed-receive signature checks.
+    fn verify_ctx(&self) -> Option<(&Verifier, Rank)> {
+        self.verifier().map(|v| (v.as_ref(), self.world_rank()))
     }
 
     pub(crate) fn recv_internal<T: MpiType>(
@@ -239,10 +333,27 @@ impl Comm {
         if let Some(s) = src {
             self.check_rank(s)?;
         }
-        let mailbox = &self.world.mailboxes[self.group[self.rank]];
+        let mailbox = &self.world.mailboxes[self.world_rank()];
         match mailbox.match_or_post(self.ctx, src, tag) {
-            Ok(env) => Self::env_into_typed(env),
-            Err((slot, _)) => Self::env_into_typed(slot.wait()),
+            Ok(env) => env_into_typed(env, self.verify_ctx()),
+            Err((slot, _)) => {
+                let env = match self.verifier() {
+                    Some(v) => {
+                        let _block = v.block_guard(
+                            self.world_rank(),
+                            BlockedOp::Recv {
+                                ctx: self.ctx,
+                                src: src.map(|s| self.group[s]),
+                                tag,
+                            },
+                            WaitHandle::Slot(slot.clone()),
+                        );
+                        wait_slot_checked(&slot, v)?
+                    }
+                    None => slot.wait(),
+                };
+                env_into_typed(env, self.verify_ctx())
+            }
         }
     }
 
@@ -255,7 +366,7 @@ impl Comm {
         let start = self.trace_start();
         let bytes = T::to_bytes(data);
         let len = bytes.len() as u64;
-        let out = self.send_bytes_internal(dst, tag, bytes);
+        let out = self.send_bytes_internal(dst, tag, bytes, Some(wire_sig::<T>(data)));
         self.trace_p2p("send", start, dst as i64, tag, len);
         out
     }
@@ -307,22 +418,48 @@ impl Comm {
         tag: Option<Tag>,
         timeout: Duration,
     ) -> MpiResult<(Vec<T>, Status)> {
-        let mailbox = &self.world.mailboxes[self.group[self.rank]];
+        let mailbox = &self.world.mailboxes[self.world_rank()];
         match mailbox.match_or_post(self.ctx, src, tag) {
-            Ok(env) => Self::env_into_typed(env),
-            Err((slot, posted_id)) => match slot.wait_timeout(timeout) {
-                Some(env) => Self::env_into_typed(env),
-                None => {
-                    if mailbox.cancel_posted(posted_id) {
-                        Err(MpiError::Timeout(timeout))
-                    } else {
-                        // Lost the race: the message arrived between the
-                        // timeout and the cancellation.
-                        let env = slot.wait();
-                        Self::env_into_typed(env)
+            Ok(env) => env_into_typed(env, self.verify_ctx()),
+            Err((slot, posted_id)) => {
+                // A timed receive is a *bounded* wait, so it is never part
+                // of the wait-for graph (timing out IS progress — e.g. a
+                // failure detector legitimately waits on a dead peer). It
+                // still polls the abort flag so that when the watchdog
+                // kills the universe for ranks that ARE deadlocked, this
+                // rank exits promptly instead of sleeping out its timeout.
+                let waited = if self.verifier().is_some() {
+                    let deadline = Instant::now() + timeout;
+                    loop {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break None;
+                        }
+                        if let Some(env) = slot.wait_timeout(ABORT_POLL.min(deadline - now)) {
+                            break Some(env);
+                        }
+                        if let Some(e) = self.verifier().and_then(|v| v.abort_error()) {
+                            mailbox.cancel_posted(posted_id);
+                            return Err(e);
+                        }
+                    }
+                } else {
+                    slot.wait_timeout(timeout)
+                };
+                match waited {
+                    Some(env) => env_into_typed(env, self.verify_ctx()),
+                    None => {
+                        if mailbox.cancel_posted(posted_id) {
+                            Err(MpiError::Timeout(timeout))
+                        } else {
+                            // Lost the race: the message arrived between the
+                            // timeout and the cancellation.
+                            let env = slot.wait();
+                            env_into_typed(env, self.verify_ctx())
+                        }
                     }
                 }
-            },
+            }
         }
     }
 
@@ -347,6 +484,7 @@ impl Comm {
                 src: self.rank,
                 tag,
                 payload: PayloadSlot::Eager(payload),
+                sig: Some(wire_sig::<T>(data)),
             })
             .map_err(|_| MpiError::PeerGone { rank: dst });
         self.trace_p2p("bsend", start, dst as i64, tag, len);
@@ -356,17 +494,12 @@ impl Comm {
     /// Non-blocking send (`MPI_Isend`). The returned request completes
     /// immediately for eager payloads and when the receiver matches for
     /// rendezvous payloads.
-    pub fn isend<T: MpiType>(
-        &self,
-        dst: Rank,
-        tag: Tag,
-        data: &[T],
-    ) -> MpiResult<SendRequest> {
+    pub fn isend<T: MpiType>(&self, dst: Rank, tag: Tag, data: &[T]) -> MpiResult<SendRequest> {
         self.check_tag(tag)?;
         let start = self.trace_start();
         let bytes = T::to_bytes(data);
         let len = bytes.len() as u64;
-        let out = self.isend_bytes_internal(dst, tag, bytes);
+        let out = self.isend_bytes_internal(dst, tag, bytes, Some(wire_sig::<T>(data)));
         self.trace_p2p("isend", start, dst as i64, tag, len);
         out
     }
@@ -383,14 +516,25 @@ impl Comm {
         if let Some(s) = src {
             self.check_rank(s)?;
         }
-        let mailbox = self.world.mailboxes[self.group[self.rank]].clone();
+        let mailbox = self.world.mailboxes[self.world_rank()].clone();
+        let verify = self.verifier().map(|v| RecvVerify {
+            verifier: v.clone(),
+            rank: self.world_rank(),
+            op: BlockedOp::Recv {
+                ctx: self.ctx,
+                src: src.map(|s| self.group[s]),
+                tag,
+            },
+        });
         match mailbox.match_or_post(self.ctx, src, tag) {
             Ok(env) => Ok(RecvRequest {
                 state: RecvReqState::Ready(env),
+                verify,
                 _marker: std::marker::PhantomData,
             }),
             Err((slot, _)) => Ok(RecvRequest {
                 state: RecvReqState::Waiting(slot),
+                verify,
                 _marker: std::marker::PhantomData,
             }),
         }
@@ -428,17 +572,86 @@ impl Comm {
     }
 }
 
+/// Type signature of a typed payload, stamped onto outgoing envelopes.
+pub(crate) fn wire_sig<T: MpiType>(data: &[T]) -> WireSig {
+    WireSig {
+        type_name: T::NAME,
+        elem_size: T::WIRE_SIZE,
+        count: data.len(),
+    }
+}
+
+/// Unwrap a matched envelope into typed elements, recording a checker
+/// finding when the sender's stamped element type is incompatible with the
+/// receive type (observation-only; the bytes are decoded either way, and a
+/// payload length that is not a multiple of the element size remains the
+/// hard `TypeMismatch` error it always was).
+fn env_into_typed<T: MpiType>(
+    env: Envelope,
+    verify: Option<(&Verifier, Rank)>,
+) -> MpiResult<(Vec<T>, Status)> {
+    let (src, tag) = (env.src, env.tag);
+    if let (Some((v, me)), Some(sig)) = (verify, env.sig) {
+        if !sig.compatible_with(T::NAME) {
+            v.finding(Finding::TypeMismatch {
+                rank: me,
+                src,
+                tag,
+                sent: sig,
+                expected: T::NAME,
+            });
+        }
+    }
+    let bytes = match env.payload {
+        PayloadSlot::Eager(b) => b,
+        PayloadSlot::Rendezvous(rv) => rv.take(),
+    };
+    let status = Status {
+        source: src,
+        tag,
+        bytes: bytes.len(),
+    };
+    Ok((T::from_bytes(&bytes)?, status))
+}
+
+/// Checker context a pending request carries so its `wait()` can register
+/// in the wait-for graph without a `Comm` handle.
+#[derive(Debug, Clone)]
+struct SendVerify {
+    verifier: Arc<Verifier>,
+    rank: Rank,
+    op: BlockedOp,
+}
+
+type RecvVerify = SendVerify;
+
 /// Handle for a non-blocking send.
 #[derive(Debug)]
 pub struct SendRequest {
     rv: Option<Arc<Rendezvous>>,
+    verify: Option<SendVerify>,
 }
 
 impl SendRequest {
     /// Block until the transfer is complete (`MPI_Wait`).
+    ///
+    /// # Panics
+    /// In a checked universe, panics with the watchdog's report if the
+    /// universe is aborted (deadlock or collective mismatch) while this
+    /// send is still waiting to rendezvous.
     pub fn wait(self) {
         if let Some(rv) = self.rv {
-            rv.wait_taken();
+            match &self.verify {
+                Some(sv) => {
+                    let _block =
+                        sv.verifier
+                            .block_guard(sv.rank, sv.op.clone(), WaitHandle::Rv(rv.clone()));
+                    if let Err(e) = wait_rv_checked(&rv, &sv.verifier) {
+                        panic!("{e}");
+                    }
+                }
+                None => rv.wait_taken(),
+            }
         }
     }
 
@@ -465,15 +678,39 @@ enum RecvReqState {
 #[derive(Debug)]
 pub struct RecvRequest<T: MpiType> {
     state: RecvReqState,
+    verify: Option<RecvVerify>,
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 
 impl<T: MpiType> RecvRequest<T> {
-    /// Block until the message arrives (`MPI_Wait`).
+    /// Block until the message arrives (`MPI_Wait`). In a checked universe
+    /// an abort (deadlock elsewhere) surfaces as the watchdog's error.
     pub fn wait(self) -> MpiResult<(Vec<T>, Status)> {
+        let vctx = self
+            .verify
+            .as_ref()
+            .map(|rv| (rv.verifier.as_ref(), rv.rank));
         match self.state {
-            RecvReqState::Ready(env) => Comm::env_into_typed(env),
-            RecvReqState::Waiting(slot) => Comm::env_into_typed(slot.wait()),
+            RecvReqState::Ready(env) => env_into_typed(env, vctx),
+            RecvReqState::Waiting(slot) => {
+                let env = match &self.verify {
+                    Some(rv) => {
+                        let _block = rv.verifier.block_guard(
+                            rv.rank,
+                            rv.op.clone(),
+                            WaitHandle::Slot(slot.clone()),
+                        );
+                        wait_slot_checked(&slot, &rv.verifier)?
+                    }
+                    None => slot.wait(),
+                };
+                env_into_typed(
+                    env,
+                    self.verify
+                        .as_ref()
+                        .map(|rv| (rv.verifier.as_ref(), rv.rank)),
+                )
+            }
         }
     }
 
@@ -485,12 +722,18 @@ impl<T: MpiType> RecvRequest<T> {
             RecvReqState::Waiting(slot) => slot.is_ready(),
         }
     }
+
+    /// True when the universe has been aborted by the checker; `wait` will
+    /// return the abort error promptly.
+    fn aborted(&self) -> bool {
+        self.verify
+            .as_ref()
+            .is_some_and(|rv| rv.verifier.abort_error().is_some())
+    }
 }
 
 /// Wait for every receive request, in order (`MPI_Waitall` for receives).
-pub fn wait_all_recvs<T: MpiType>(
-    reqs: Vec<RecvRequest<T>>,
-) -> MpiResult<Vec<(Vec<T>, Status)>> {
+pub fn wait_all_recvs<T: MpiType>(reqs: Vec<RecvRequest<T>>) -> MpiResult<Vec<(Vec<T>, Status)>> {
     reqs.into_iter().map(|r| r.wait()).collect()
 }
 
@@ -508,6 +751,13 @@ pub fn wait_any_recv<T: MpiType>(mut reqs: Vec<RecvRequest<T>>) -> WaitAnyOutcom
     assert!(!reqs.is_empty(), "wait_any on empty request list");
     loop {
         if let Some(i) = reqs.iter().position(|r| r.test()) {
+            let req = reqs.remove(i);
+            return (i, req.wait(), reqs);
+        }
+        // A universe abort (deadlock among other ranks) means no request
+        // here may ever complete; surface the abort error through the
+        // first request instead of polling forever.
+        if let Some(i) = reqs.iter().position(|r| r.aborted()) {
             let req = reqs.remove(i);
             return (i, req.wait(), reqs);
         }

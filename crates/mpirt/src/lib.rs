@@ -17,6 +17,11 @@
 //! * **Failure visibility**: ranks that return close their mailboxes, so a
 //!   send to a dead rank errors ([`MpiError::PeerGone`]) instead of hanging,
 //!   and timed receives ([`Comm::recv_timeout`]) let callers bound waits.
+//! * **Verification** ([`verify`]): every run is checked by default — a
+//!   wait-for-graph watchdog aborts deadlocks with per-rank reports instead
+//!   of hanging, collectives are call-signature-checked across ranks, typed
+//!   sends/receives are signature-matched, and teardown audits mailboxes
+//!   for leaked messages. [`Universe::run_unchecked`] opts out.
 //!
 //! ```
 //! use mpi_rt::Universe;
@@ -46,11 +51,14 @@ pub mod matching;
 pub mod trace;
 pub mod types;
 pub mod universe;
+pub mod verify;
 
 pub use comm::{wait_all_recvs, wait_all_sends, wait_any_recv, Comm, RecvRequest, SendRequest};
 pub use data::MpiType;
 pub use trace::RankTrace;
-pub use types::{
-    MpiError, MpiResult, Rank, Status, Tag, ANY_SOURCE, ANY_TAG, MAX_USER_TAG,
-};
+pub use types::{MpiError, MpiResult, Rank, Status, Tag, ANY_SOURCE, ANY_TAG, MAX_USER_TAG};
 pub use universe::{MpiConfig, Universe};
+pub use verify::{
+    BlockedOp, CollMismatch, CollSig, DeadlockReport, Finding, RankSnapshot, RanksFailure,
+    VerifyConfig, VerifyReport, WireSig,
+};

@@ -13,6 +13,7 @@
 //! message wins; among posted receives, the *earliest posted* wins.
 
 use crate::types::{MpiError, MpiResult, Rank, Status, Tag};
+use crate::verify::WireSig;
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -33,6 +34,9 @@ pub struct Envelope {
     pub tag: Tag,
     /// The data.
     pub payload: PayloadSlot,
+    /// Element-type signature stamped by typed sends (checker metadata;
+    /// `None` for raw internal traffic or unchecked universes).
+    pub sig: Option<WireSig>,
 }
 
 /// Eagerly-copied bytes, or a rendezvous token the receiver must pull from.
@@ -107,6 +111,23 @@ impl Rendezvous {
         let mut st = self.state.lock();
         while !st.taken {
             self.cond.wait(&mut st);
+        }
+    }
+
+    /// Sender side: block until claimed or `timeout`; true once claimed.
+    /// (Used by checked universes to poll the abort flag between waits.)
+    pub fn wait_taken_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if st.taken {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.cond.wait_for(&mut st, deadline - now);
         }
     }
 
@@ -188,10 +209,15 @@ struct PostedRecv {
     id: u64,
 }
 
-fn matches(ctx: ContextId, src: Rank, tag: Tag, want_ctx: ContextId, want_src: Option<Rank>, want_tag: Option<Tag>) -> bool {
-    ctx == want_ctx
-        && want_src.is_none_or(|s| s == src)
-        && want_tag.is_none_or(|t| t == tag)
+fn matches(
+    ctx: ContextId,
+    src: Rank,
+    tag: Tag,
+    want_ctx: ContextId,
+    want_src: Option<Rank>,
+    want_tag: Option<Tag>,
+) -> bool {
+    ctx == want_ctx && want_src.is_none_or(|s| s == src) && want_tag.is_none_or(|t| t == tag)
 }
 
 #[derive(Debug, Default)]
@@ -342,6 +368,39 @@ impl Mailbox {
     pub fn unexpected_len(&self) -> usize {
         self.inner.lock().unexpected.len()
     }
+
+    /// Count of unexpected messages matching `(ctx, src, tag)` (wildcards
+    /// allowed) — used by clean-shutdown audits above the MPI layer.
+    pub fn unexpected_matching(
+        &self,
+        ctx: ContextId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .unexpected
+            .iter()
+            .filter(|e| matches(e.ctx, e.src, e.tag, ctx, src, tag))
+            .count()
+    }
+
+    /// Teardown audit: drain everything still parked in this mailbox —
+    /// unclaimed unexpected envelopes and never-matched posted receives
+    /// (as `(ctx, src, tag)` descriptors).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn drain_leftovers(
+        &self,
+    ) -> (Vec<Envelope>, Vec<(ContextId, Option<Rank>, Option<Tag>)>) {
+        let mut inner = self.inner.lock();
+        let unexpected = inner.unexpected.drain(..).collect();
+        let posted = inner
+            .posted
+            .drain(..)
+            .map(|p| (p.ctx, p.src, p.tag))
+            .collect();
+        (unexpected, posted)
+    }
 }
 
 #[cfg(test)]
@@ -354,6 +413,7 @@ mod tests {
             src,
             tag,
             payload: PayloadSlot::Eager(Bytes::copy_from_slice(data)),
+            sig: None,
         }
     }
 
@@ -399,7 +459,10 @@ mod tests {
     fn context_separates_traffic() {
         let mb = Mailbox::new();
         mb.deliver(env(7, 0, 1, b"ctx7")).unwrap();
-        assert!(mb.match_or_post(8, None, None).is_err(), "ctx 8 sees nothing");
+        assert!(
+            mb.match_or_post(8, None, None).is_err(),
+            "ctx 8 sees nothing"
+        );
         // The posted recv for ctx 8 must not swallow a ctx 7 message.
         mb.deliver(env(7, 0, 1, b"ctx7-again")).unwrap();
         assert_eq!(mb.unexpected_len(), 2);
@@ -430,11 +493,9 @@ mod tests {
     fn cross_thread_blocking_receive() {
         let mb = Arc::new(Mailbox::new());
         let mb2 = mb.clone();
-        let h = std::thread::spawn(move || {
-            match mb2.match_or_post(1, None, Some(3)) {
-                Ok(e) => e,
-                Err((slot, _)) => slot.wait(),
-            }
+        let h = std::thread::spawn(move || match mb2.match_or_post(1, None, Some(3)) {
+            Ok(e) => e,
+            Err((slot, _)) => slot.wait(),
         });
         std::thread::sleep(Duration::from_millis(20));
         mb.deliver(env(1, 5, 3, b"late")).unwrap();

@@ -1,6 +1,8 @@
 //! Common types: ranks, tags, statuses, errors.
 
+use crate::verify::{CollMismatch, DeadlockReport, RanksFailure};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Rank of a process within a communicator (0-based).
@@ -59,13 +61,25 @@ pub enum MpiError {
         /// Element size in bytes.
         elem: usize,
     },
+    /// The mpiverify watchdog proved no execution can unblock this rank
+    /// and aborted the universe (see [`DeadlockReport`]).
+    Deadlock(Arc<DeadlockReport>),
+    /// Two ranks invoked different collectives (or the same collective with
+    /// different signatures) at the same sequence slot.
+    CollectiveMismatch(Arc<CollMismatch>),
+    /// One or more rank functions panicked; carries per-rank payloads and
+    /// the wait-for-graph snapshot at first failure.
+    RanksFailed(Arc<RanksFailure>),
 }
 
 impl fmt::Display for MpiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MpiError::RankOutOfRange { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             MpiError::TagOutOfRange(t) => {
                 write!(f, "tag {t} outside user range 0..={MAX_USER_TAG}")
@@ -76,6 +90,9 @@ impl fmt::Display for MpiError {
                 f,
                 "payload of {payload} bytes is not a whole number of {elem}-byte elements"
             ),
+            MpiError::Deadlock(report) => write!(f, "{report}"),
+            MpiError::CollectiveMismatch(mm) => write!(f, "{mm}"),
+            MpiError::RanksFailed(failure) => write!(f, "{failure}"),
         }
     }
 }

@@ -4,10 +4,19 @@
 //! process; here ranks are threads sharing a process, which keeps the whole
 //! suite runnable as ordinary `cargo test` / `cargo bench` targets while
 //! exercising real concurrent message-passing.
+//!
+//! Every run family (`run`, `run_with`, `run_traced`, `try_run*`,
+//! `run_verified`) launches the [`mpiverify`](crate::verify) checker by
+//! default: a watchdog thread turns communication deadlocks into structured
+//! per-rank reports instead of hangs, collectives are signature-checked,
+//! and teardown audits every mailbox for leaked traffic.
+//! [`Universe::run_unchecked`] is the escape hatch.
 
 use crate::comm::{Comm, WorldState, WORLD_CTX};
+use crate::matching::{Mailbox, PayloadSlot};
 use crate::trace::RankTrace;
-use crate::types::Rank;
+use crate::types::{MpiError, MpiResult, Rank};
+use crate::verify::{Finding, RanksFailure, Verifier, VerifyConfig, VerifyReport};
 use std::cell::Cell;
 use std::sync::Arc;
 
@@ -18,12 +27,15 @@ pub struct MpiConfig {
     /// queue; larger payloads use the rendezvous protocol (sender blocks
     /// until matched). MPICH2's TCP netmod default is 64 KiB.
     pub eager_threshold: usize,
+    /// Correctness-checker settings (enabled by default).
+    pub verify: VerifyConfig,
 }
 
 impl Default for MpiConfig {
     fn default() -> Self {
         MpiConfig {
             eager_threshold: 64 * 1024,
+            verify: VerifyConfig::default(),
         }
     }
 }
@@ -32,12 +44,12 @@ impl Default for MpiConfig {
 pub struct Universe;
 
 impl Universe {
-    /// Run `f` on `n` ranks with the default configuration, returning each
-    /// rank's result indexed by rank.
+    /// Run `f` on `n` ranks with the default configuration (checker on),
+    /// returning each rank's result indexed by rank.
     ///
     /// # Panics
-    /// Propagates a panic if any rank panics (after all ranks have been
-    /// joined or detached).
+    /// Panics with a structured [`RanksFailure`] report if any rank panics,
+    /// after all ranks have been joined.
     pub fn run<R, F>(n: usize, f: F) -> Vec<R>
     where
         R: Send,
@@ -52,20 +64,64 @@ impl Universe {
         R: Send,
         F: Fn(&Comm) -> R + Send + Sync,
     {
-        Self::run_inner(cfg, n, None, f)
+        match Self::run_inner(cfg, n, None, &f) {
+            Ok((results, _report)) => results,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Run with the correctness checker disabled — no watchdog thread, no
+    /// signature checks, no teardown audit. The escape hatch for
+    /// measurements where even the checker's bounded overhead (a poll flag
+    /// on blocked waits, one map lookup per collective) is unwanted.
+    pub fn run_unchecked<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        let cfg = MpiConfig {
+            verify: VerifyConfig::disabled(),
+            ..MpiConfig::default()
+        };
+        Self::run_with(cfg, n, f)
+    }
+
+    /// Like [`Universe::run`], but failures (rank panics, checker aborts)
+    /// come back as an [`MpiError`] instead of a panic.
+    pub fn try_run<R, F>(n: usize, f: F) -> MpiResult<Vec<R>>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        Self::try_run_with(MpiConfig::default(), n, f)
+    }
+
+    /// [`Universe::try_run`] with an explicit configuration.
+    pub fn try_run_with<R, F>(cfg: MpiConfig, n: usize, f: F) -> MpiResult<Vec<R>>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        Self::run_inner(cfg, n, None, &f).map(|(results, _)| results)
+    }
+
+    /// Run and also return the checker's [`VerifyReport`] (leaked messages,
+    /// unmatched receives, type-signature findings).
+    pub fn run_verified<R, F>(cfg: MpiConfig, n: usize, f: F) -> MpiResult<(Vec<R>, VerifyReport)>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        Self::run_inner(cfg, n, None, &f)
     }
 
     /// Run with per-rank wall-clock tracing: every rank's MPI operations
     /// (and any MPI-D stage spans layered above them — see
     /// [`Comm::trace`]) are recorded against a universe-wide epoch and
     /// absorbed into `sink` as each rank's function returns. Rank `r`
-    /// appears as process lane `r` named `rank-r`.
-    pub fn run_traced<R, F>(
-        cfg: MpiConfig,
-        n: usize,
-        sink: obs::SharedTrace,
-        f: F,
-    ) -> Vec<R>
+    /// appears as process lane `r` named `rank-r`. Checker findings land in
+    /// the sink as `mpi.verify` instant events.
+    pub fn run_traced<R, F>(cfg: MpiConfig, n: usize, sink: obs::SharedTrace, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&Comm) -> R + Send + Sync,
@@ -73,36 +129,53 @@ impl Universe {
         for rank in 0..n {
             sink.set_process_name(rank as u32, format!("rank-{rank}"));
         }
-        Self::run_inner(cfg, n, Some((sink, obs::WallClock::start())), f)
+        match Self::run_inner(cfg, n, Some((sink, obs::WallClock::start())), &f) {
+            Ok((results, _report)) => results,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     fn run_inner<R, F>(
         cfg: MpiConfig,
         n: usize,
         tracing: Option<(obs::SharedTrace, obs::WallClock)>,
-        f: F,
-    ) -> Vec<R>
+        f: &F,
+    ) -> MpiResult<(Vec<R>, VerifyReport)>
     where
         R: Send,
         F: Fn(&Comm) -> R + Send + Sync,
     {
         assert!(n > 0, "universe needs at least one rank");
-        let world = WorldState::new(n, cfg.eager_threshold);
-        let f = &f;
+        let verifier = cfg.verify.enabled.then(|| Arc::new(Verifier::new(n)));
+        let world = WorldState::new(n, cfg.eager_threshold, verifier.clone());
+        let watchdog = verifier.clone().map(|v| {
+            let interval = cfg.verify.watchdog_interval;
+            std::thread::Builder::new()
+                .name("mpiverify-watchdog".into())
+                .spawn(move || v.run_watchdog(interval))
+                .expect("spawn watchdog thread")
+        });
         let tracing = &tracing;
-        let results: Vec<Option<R>> = std::thread::scope(|scope| {
+        let results: Vec<Result<R, String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
                 .map(|rank| {
                     let world = world.clone();
+                    let verifier = verifier.clone();
                     scope.spawn(move || {
-                        let trace = tracing.as_ref().map(|(sink, clock)| {
-                            RankTrace::new(rank as u32, *clock, sink.clone())
-                        });
+                        // The guard closes the mailbox and marks the rank
+                        // done in the checker even when `f` unwinds, so a
+                        // panicking rank never leaves peers hanging on a
+                        // mailbox that will never close.
+                        let _guard = RankGuard {
+                            mailbox: world.mailboxes[rank].clone(),
+                            verifier,
+                            rank,
+                        };
+                        let trace = tracing
+                            .as_ref()
+                            .map(|(sink, clock)| RankTrace::new(rank as u32, *clock, sink.clone()));
                         let comm = world_comm(world.clone(), rank, trace.clone());
                         let out = f(&comm);
-                        // Mark this rank gone so sends to it fail fast
-                        // instead of hanging.
-                        world.mailboxes[rank].close();
                         if let Some(t) = trace {
                             t.flush();
                         }
@@ -110,18 +183,136 @@ impl Universe {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().ok()).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(panic_message))
+                .collect()
         });
-        if results.iter().any(|r| r.is_none()) {
-            let dead: Vec<usize> = results
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| r.is_none())
-                .map(|(i, _)| i)
-                .collect();
-            panic!("rank(s) {dead:?} panicked");
+        if let Some(v) = &verifier {
+            v.request_shutdown();
         }
-        results.into_iter().map(|r| r.expect("checked")).collect()
+        if let Some(h) = watchdog {
+            let _ = h.join();
+        }
+
+        // Finalize-time leak audit: everything still parked in a mailbox
+        // after every rank has returned was lost traffic.
+        let mut report = VerifyReport::default();
+        if let Some(v) = &verifier {
+            report.findings = v.take_findings();
+            for (owner, mb) in world.mailboxes.iter().enumerate() {
+                report.findings.extend(audit_mailbox(owner, mb));
+            }
+            if let Some((sink, clock)) = tracing {
+                let ts = clock.now_ns();
+                for finding in &report.findings {
+                    let mut buf = obs::TraceBuffer::new(finding_lane(finding) as u32, 0);
+                    buf.instant(format!("{finding}"), "mpi.verify", ts);
+                    sink.absorb(buf);
+                }
+            }
+        }
+
+        let failed: Vec<(Rank, String)> = results
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, r)| r.as_ref().err().map(|msg| (rank, msg.clone())))
+            .collect();
+        if !failed.is_empty() {
+            let snapshot = verifier
+                .as_ref()
+                .map(|v| v.failure_snapshot())
+                .unwrap_or_default();
+            return Err(MpiError::RanksFailed(Arc::new(RanksFailure {
+                failed,
+                snapshot,
+            })));
+        }
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("no failures collected above"))
+            .collect();
+        Ok((results, report))
+    }
+}
+
+/// Per-rank teardown ordering on both the normal and unwinding paths:
+/// mark the rank gone so sends to it fail fast instead of hanging, and
+/// tell the checker (a panicking rank captures the wait-for-graph
+/// snapshot for the failure report).
+struct RankGuard {
+    mailbox: Arc<Mailbox>,
+    verifier: Option<Arc<Verifier>>,
+    rank: Rank,
+}
+
+impl Drop for RankGuard {
+    fn drop(&mut self) {
+        let panicked = std::thread::panicking();
+        if let Some(v) = &self.verifier {
+            v.mark_done(self.rank, panicked);
+        }
+        self.mailbox.close();
+    }
+}
+
+/// Best-effort string form of a rank's panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Convert one mailbox's leftovers into findings. Rendezvous envelopes
+/// whose payload was claimed are complete transfers, not leaks.
+fn audit_mailbox(owner: Rank, mb: &Mailbox) -> Vec<Finding> {
+    let (unexpected, posted) = mb.drain_leftovers();
+    let mut findings = Vec::new();
+    for env in unexpected {
+        let bytes = env.payload.len();
+        match env.payload {
+            PayloadSlot::Eager(_) => findings.push(Finding::LeakedEager {
+                to: owner,
+                src: env.src,
+                tag: env.tag,
+                ctx: env.ctx,
+                bytes,
+            }),
+            PayloadSlot::Rendezvous(rv) => {
+                if !rv.is_taken() {
+                    findings.push(Finding::LeakedRendezvous {
+                        to: owner,
+                        src: env.src,
+                        tag: env.tag,
+                        ctx: env.ctx,
+                        bytes,
+                    });
+                }
+            }
+        }
+    }
+    for (ctx, src, tag) in posted {
+        findings.push(Finding::UnmatchedRecv {
+            rank: owner,
+            src,
+            tag,
+            ctx,
+        });
+    }
+    findings
+}
+
+/// The rank whose trace lane a finding belongs on.
+fn finding_lane(f: &Finding) -> Rank {
+    match f {
+        Finding::LeakedEager { to, .. } | Finding::LeakedRendezvous { to, .. } => *to,
+        Finding::UnmatchedRecv { rank, .. }
+        | Finding::TypeMismatch { rank, .. }
+        | Finding::ShutdownLeak { rank, .. } => *rank,
     }
 }
 

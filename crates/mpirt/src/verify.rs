@@ -1,0 +1,892 @@
+//! `mpiverify` — runtime correctness checking for the MPI universe.
+//!
+//! MUST/ISP-style dynamic verification, adapted to the threads-as-ranks
+//! runtime: every *unbounded* blocking operation (blocking receive,
+//! rendezvous send, and the point-to-point waits inside collectives)
+//! registers a blocked-on edge in a shared wait-for graph; a watchdog
+//! thread periodically computes which ranks can still make progress and
+//! aborts the universe with a per-rank report instead of letting a
+//! communication cycle hang the process. Three more checks ride on the same
+//! shared state:
+//!
+//! * **Collective consistency** — the per-communicator `coll_seq` lockstep
+//!   counter is extended to a full call-signature comparison (kind, root,
+//!   element type, reduce operator), so `barrier()` on one rank meeting
+//!   `bcast()` on another fails fast with both call signatures instead of
+//!   deadlocking inside the collective's tree exchanges.
+//! * **Type signatures** — typed sends stamp their envelope with a
+//!   [`WireSig`]; a typed receive that matches it with an incompatible
+//!   element type records a [`Finding`] (`u8` is the byte-stream wildcard,
+//!   compatible with everything, since MPI-D frames legitimately travel as
+//!   raw bytes).
+//! * **Finalize-time leak audit** — at universe teardown every mailbox is
+//!   drained: undelivered eager payloads, never-claimed rendezvous
+//!   handshakes and dangling posted receives become [`Finding`]s in the
+//!   [`VerifyReport`].
+//!
+//! The checker is **observation-only**: it never alters matching order,
+//! payloads or results (property-tested in `tests/verify.rs` and the fig6
+//! pipeline identity test). Its only interventions are *aborts* of runs
+//! that would otherwise hang or have already diverged.
+//!
+//! ## Deadlock detection
+//!
+//! The watchdog computes a fixpoint over a snapshot of all rank states:
+//! start with the set `P` of ranks that can make progress on their own
+//! (running, i.e. not blocked in an unbounded op, and not finished), then
+//! repeatedly add blocked ranks that some member of `P` could unblock:
+//!
+//! * `Recv { src: Some(s) }` can be unblocked only by `s` (non-overtaking
+//!   matching; a finished rank can never send again);
+//! * a wildcard `Recv` can be unblocked by any other unfinished rank;
+//! * `RendezvousSend { dst }` can be unblocked only by `dst` claiming the
+//!   payload.
+//!
+//! Ranks outside the fixpoint are **stuck**: nothing in the universe can
+//! ever wake them. This is sound because a blocked rank's observable sends
+//! have already happened (the rendezvous envelope is delivered *before* the
+//! sender blocks) and finished ranks never act again. To rule out the one
+//! racy window — an envelope delivered to a receiver that has not yet been
+//! scheduled to wake — a rank whose wait handle is already completed counts
+//! as progressing, and an abort requires two consecutive sweeps observing
+//! the identical stuck set with identical per-rank sequence numbers.
+
+use crate::matching::{ContextId, RecvSlot, Rendezvous};
+use crate::types::{MpiError, MpiResult, Rank, Tag};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often blocked waits re-check the abort flag.
+pub(crate) const ABORT_POLL: Duration = Duration::from_millis(25);
+
+/// Checker configuration, part of [`MpiConfig`](crate::MpiConfig).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyConfig {
+    /// Master switch. `Universe::run` family defaults to `true`;
+    /// `Universe::run_unchecked` is the escape hatch.
+    pub enabled: bool,
+    /// Watchdog sweep period. Deadlocks are reported after two consecutive
+    /// sweeps agree, so worst-case detection latency is about twice this.
+    pub watchdog_interval: Duration,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            enabled: true,
+            watchdog_interval: Duration::from_millis(40),
+        }
+    }
+}
+
+impl VerifyConfig {
+    /// Configuration with the checker switched off.
+    pub fn disabled() -> Self {
+        VerifyConfig {
+            enabled: false,
+            ..VerifyConfig::default()
+        }
+    }
+}
+
+/// Type signature a typed send stamps onto its envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireSig {
+    /// Element type name (`MpiType::NAME`).
+    pub type_name: &'static str,
+    /// Element size in bytes (`MpiType::WIRE_SIZE`).
+    pub elem_size: usize,
+    /// Number of elements sent.
+    pub count: usize,
+}
+
+impl WireSig {
+    /// True when a receive of element type `name` may legally match this
+    /// signature: identical types, or either side is `u8` (raw bytes).
+    pub fn compatible_with(&self, name: &'static str) -> bool {
+        self.type_name == name || self.type_name == "u8" || name == "u8"
+    }
+}
+
+impl fmt::Display for WireSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}×{} ({}B elems)",
+            self.count, self.type_name, self.elem_size
+        )
+    }
+}
+
+/// The operation a rank is blocked in (one wait-for-graph node payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockedOp {
+    /// Blocking receive; `src`/`tag` of `None` are wildcards. Ranks are
+    /// world ranks.
+    Recv {
+        /// Communicator context the receive was posted in.
+        ctx: ContextId,
+        /// Expected source (world rank), or any.
+        src: Option<Rank>,
+        /// Expected tag, or any.
+        tag: Option<Tag>,
+    },
+    /// Rendezvous send blocked until the destination claims the payload.
+    RendezvousSend {
+        /// Communicator context of the send.
+        ctx: ContextId,
+        /// Destination world rank.
+        dst: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+}
+
+impl fmt::Display for BlockedOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn opt<T: fmt::Display>(v: &Option<T>) -> String {
+            v.as_ref().map_or("ANY".to_string(), |x| x.to_string())
+        }
+        match self {
+            BlockedOp::Recv { ctx, src, tag } => {
+                write!(f, "recv(src={}, tag={}, ctx={ctx:#x})", opt(src), opt(tag))
+            }
+            BlockedOp::RendezvousSend {
+                ctx,
+                dst,
+                tag,
+                bytes,
+            } => write!(
+                f,
+                "rendezvous-send(dst={dst}, tag={tag}, {bytes}B, ctx={ctx:#x})"
+            ),
+        }
+    }
+}
+
+/// Completion handle for a registered blocked op: lets the watchdog tell a
+/// genuinely stuck rank from one whose wakeup is merely scheduled.
+#[derive(Debug, Clone)]
+pub(crate) enum WaitHandle {
+    /// Blocked receive — completed once the slot holds an envelope.
+    Slot(Arc<RecvSlot>),
+    /// Blocked rendezvous send — completed once the payload is claimed.
+    Rv(Arc<Rendezvous>),
+}
+
+impl WaitHandle {
+    fn completed(&self) -> bool {
+        match self {
+            WaitHandle::Slot(s) => s.is_ready(),
+            WaitHandle::Rv(r) => r.is_taken(),
+        }
+    }
+}
+
+/// One rank's state as seen by the watchdog and embedded in reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankSnapshot {
+    /// World rank.
+    pub rank: Rank,
+    /// State-change counter (bumped on every block/unblock/label change).
+    pub seq: u64,
+    /// The op the rank is blocked in, if any.
+    pub blocked: Option<BlockedOp>,
+    /// Collective the rank is currently inside, if any.
+    pub in_collective: Option<&'static str>,
+    /// The rank's function returned (or panicked).
+    pub done: bool,
+    /// The rank's function panicked.
+    pub panicked: bool,
+}
+
+impl fmt::Display for RankSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank {}: ", self.rank)?;
+        if self.panicked {
+            return write!(f, "panicked");
+        }
+        if self.done {
+            return write!(f, "finished");
+        }
+        match &self.blocked {
+            None => write!(f, "running"),
+            Some(op) => {
+                if let Some(c) = self.in_collective {
+                    write!(f, "blocked in {c}: {op}")
+                } else {
+                    write!(f, "blocked in {op}")
+                }
+            }
+        }
+    }
+}
+
+/// Wait-for-graph deadlock report: the stuck set plus the full per-rank
+/// picture at detection time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// Ranks that can never be unblocked by any possible execution.
+    pub stuck: Vec<Rank>,
+    /// Snapshot of every rank at detection time.
+    pub ranks: Vec<RankSnapshot>,
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "deadlock detected: rank(s) {:?} can never be unblocked",
+            self.stuck
+        )?;
+        for r in &self.ranks {
+            writeln!(f, "  {r}")?;
+        }
+        write!(f, "  (universe aborted by mpiverify watchdog)")
+    }
+}
+
+/// Full call signature of one collective invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollSig {
+    /// Collective kind (`"barrier"`, `"bcast"`, ...).
+    pub kind: &'static str,
+    /// Root rank (comm-relative), for rooted collectives.
+    pub root: Option<Rank>,
+    /// Element type name, where the collective carries data.
+    pub elem: Option<&'static str>,
+    /// Reduce-operator identity (the closure's type name), for reductions.
+    pub op: Option<&'static str>,
+}
+
+impl CollSig {
+    /// Signature of a data-less collective (`barrier`, `split`, `dup`).
+    pub(crate) fn plain(kind: &'static str) -> Self {
+        CollSig {
+            kind,
+            root: None,
+            elem: None,
+            op: None,
+        }
+    }
+}
+
+impl fmt::Display for CollSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        let mut parts = Vec::new();
+        if let Some(r) = self.root {
+            parts.push(format!("root={r}"));
+        }
+        if let Some(e) = self.elem {
+            parts.push(format!("elem={e}"));
+        }
+        if let Some(o) = self.op {
+            parts.push(format!("op={o}"));
+        }
+        if !parts.is_empty() {
+            write!(f, "({})", parts.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Two ranks disagreeing on the `seq`-th collective of a communicator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollMismatch {
+    /// Communicator context.
+    pub ctx: ContextId,
+    /// Collective sequence number within the communicator.
+    pub seq: u64,
+    /// First signature registered for this slot (world rank, call).
+    pub first: (Rank, CollSig),
+    /// The conflicting signature (world rank, call).
+    pub conflicting: (Rank, CollSig),
+}
+
+impl fmt::Display for CollMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "collective mismatch at ctx={:#x} seq={}: rank {} called {} but rank {} called {}",
+            self.ctx, self.seq, self.first.0, self.first.1, self.conflicting.0, self.conflicting.1
+        )
+    }
+}
+
+/// One or more rank functions panicked: per-rank payloads plus the
+/// verifier's wait-for-graph snapshot taken when the first panic unwound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RanksFailure {
+    /// `(world rank, panic payload)` for every failed rank.
+    pub failed: Vec<(Rank, String)>,
+    /// Rank states at the moment the first failure was recorded (empty when
+    /// the universe ran unchecked).
+    pub snapshot: Vec<RankSnapshot>,
+}
+
+impl fmt::Display for RanksFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ranks: Vec<Rank> = self.failed.iter().map(|(r, _)| *r).collect();
+        writeln!(f, "rank(s) {ranks:?} panicked:")?;
+        for (r, msg) in &self.failed {
+            writeln!(f, "  rank {r}: {msg}")?;
+        }
+        if self.snapshot.is_empty() {
+            write!(f, "  (no wait-for-graph snapshot: universe ran unchecked)")
+        } else {
+            writeln!(f, "  universe state at first failure:")?;
+            let mut first = true;
+            for s in &self.snapshot {
+                if !first {
+                    writeln!(f)?;
+                }
+                first = false;
+                write!(f, "    {s}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// A non-fatal observation from the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Finding {
+    /// An eagerly-delivered payload was still sitting unclaimed in a
+    /// mailbox at universe teardown.
+    LeakedEager {
+        /// Mailbox owner (world rank) the message was addressed to.
+        to: Rank,
+        /// Sender (world rank).
+        src: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Communicator context.
+        ctx: ContextId,
+        /// Payload size.
+        bytes: usize,
+    },
+    /// A rendezvous handshake was still in flight (envelope delivered,
+    /// payload never claimed) at universe teardown.
+    LeakedRendezvous {
+        /// Mailbox owner (world rank) the message was addressed to.
+        to: Rank,
+        /// Sender (world rank).
+        src: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Communicator context.
+        ctx: ContextId,
+        /// Payload size.
+        bytes: usize,
+    },
+    /// A posted receive never matched any message (e.g. a dropped `irecv`).
+    UnmatchedRecv {
+        /// The rank that posted it (world rank).
+        rank: Rank,
+        /// Expected source, or any.
+        src: Option<Rank>,
+        /// Expected tag, or any.
+        tag: Option<Tag>,
+        /// Communicator context.
+        ctx: ContextId,
+    },
+    /// A typed receive matched a send with an incompatible element type.
+    TypeMismatch {
+        /// Receiving world rank.
+        rank: Rank,
+        /// Sending world rank.
+        src: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// What the sender stamped.
+        sent: WireSig,
+        /// What the receiver asked for.
+        expected: &'static str,
+    },
+    /// A layer above MPI (e.g. MPI-D's `finalize`) reported unclean
+    /// shutdown state.
+    ShutdownLeak {
+        /// Reporting world rank.
+        rank: Rank,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::LeakedEager {
+                to,
+                src,
+                tag,
+                ctx,
+                bytes,
+            } => write!(
+                f,
+                "leaked eager message: {bytes}B from rank {src} to rank {to} \
+                 (tag={tag}, ctx={ctx:#x}) never received"
+            ),
+            Finding::LeakedRendezvous {
+                to,
+                src,
+                tag,
+                ctx,
+                bytes,
+            } => write!(
+                f,
+                "in-flight rendezvous at teardown: {bytes}B from rank {src} to rank {to} \
+                 (tag={tag}, ctx={ctx:#x}) never claimed"
+            ),
+            Finding::UnmatchedRecv {
+                rank,
+                src,
+                tag,
+                ctx,
+            } => write!(
+                f,
+                "unmatched posted receive on rank {rank} (src={src:?}, tag={tag:?}, ctx={ctx:#x})"
+            ),
+            Finding::TypeMismatch {
+                rank,
+                src,
+                tag,
+                sent,
+                expected,
+            } => write!(
+                f,
+                "type mismatch on rank {rank}: received {sent} from rank {src} \
+                 (tag={tag}) into a {expected} buffer"
+            ),
+            Finding::ShutdownLeak { rank, detail } => {
+                write!(f, "unclean shutdown on rank {rank}: {detail}")
+            }
+        }
+    }
+}
+
+/// Everything the checker observed over one universe run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Non-fatal observations, in detection order.
+    pub findings: Vec<Finding>,
+}
+
+impl VerifyReport {
+    /// True when nothing suspicious was observed.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.findings.is_empty() {
+            return write!(f, "mpiverify: clean (no findings)");
+        }
+        writeln!(f, "mpiverify: {} finding(s):", self.findings.len())?;
+        let mut first = true;
+        for fd in &self.findings {
+            if !first {
+                writeln!(f)?;
+            }
+            first = false;
+            write!(f, "  - {fd}")?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct RankState {
+    seq: u64,
+    blocked: Option<(BlockedOp, WaitHandle)>,
+    label: Option<&'static str>,
+    done: bool,
+    panicked: bool,
+}
+
+#[derive(Debug)]
+struct CollEntry {
+    sig: CollSig,
+    first_rank: Rank,
+    seen: usize,
+}
+
+/// Shared checker state for one universe (one instance per checked run).
+#[derive(Debug)]
+pub(crate) struct Verifier {
+    ranks: Vec<Mutex<RankState>>,
+    aborted: AtomicBool,
+    abort: Mutex<Option<MpiError>>,
+    shutdown: AtomicBool,
+    colls: Mutex<BTreeMap<(ContextId, u64), CollEntry>>,
+    findings: Mutex<Vec<Finding>>,
+    failure_snapshot: Mutex<Option<Vec<RankSnapshot>>>,
+}
+
+impl Verifier {
+    pub(crate) fn new(n: usize) -> Self {
+        Verifier {
+            ranks: (0..n).map(|_| Mutex::new(RankState::default())).collect(),
+            aborted: AtomicBool::new(false),
+            abort: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            colls: Mutex::new(BTreeMap::new()),
+            findings: Mutex::new(Vec::new()),
+            failure_snapshot: Mutex::new(None),
+        }
+    }
+
+    /// The error every still-blocked op should return, once the universe
+    /// has been aborted.
+    pub(crate) fn abort_error(&self) -> Option<MpiError> {
+        if !self.aborted.load(Ordering::Acquire) {
+            return None;
+        }
+        self.abort.lock().clone()
+    }
+
+    fn abort_with(&self, err: MpiError) {
+        let mut slot = self.abort.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+            self.aborted.store(true, Ordering::Release);
+        }
+    }
+
+    /// Register `rank` as blocked in `op`; the returned guard unregisters
+    /// on drop (including unwinds).
+    pub(crate) fn block_guard(
+        &self,
+        rank: Rank,
+        op: BlockedOp,
+        handle: WaitHandle,
+    ) -> BlockGuard<'_> {
+        let mut st = self.ranks[rank].lock();
+        st.seq = st.seq.wrapping_add(1);
+        st.blocked = Some((op, handle));
+        BlockGuard { v: self, rank }
+    }
+
+    fn unblock(&self, rank: Rank) {
+        let mut st = self.ranks[rank].lock();
+        st.seq = st.seq.wrapping_add(1);
+        st.blocked = None;
+    }
+
+    /// Set/clear the "inside collective X" label for a rank.
+    pub(crate) fn set_label(&self, rank: Rank, label: Option<&'static str>) {
+        let mut st = self.ranks[rank].lock();
+        st.seq = st.seq.wrapping_add(1);
+        st.label = label;
+    }
+
+    /// Record that a rank's function returned or unwound. A panicking rank
+    /// captures the universe snapshot (once, first panic wins) *before*
+    /// being marked done, so the report shows who it left hanging.
+    pub(crate) fn mark_done(&self, rank: Rank, panicked: bool) {
+        if panicked {
+            let mut snap_slot = self.failure_snapshot.lock();
+            if snap_slot.is_none() {
+                *snap_slot = Some(self.snapshot());
+            }
+        }
+        let mut st = self.ranks[rank].lock();
+        st.seq = st.seq.wrapping_add(1);
+        st.done = true;
+        st.panicked = panicked;
+        st.blocked = None;
+    }
+
+    /// Snapshot taken when the first rank panicked (empty if none did).
+    pub(crate) fn failure_snapshot(&self) -> Vec<RankSnapshot> {
+        self.failure_snapshot.lock().clone().unwrap_or_default()
+    }
+
+    /// Record a non-fatal observation.
+    pub(crate) fn finding(&self, f: Finding) {
+        self.findings.lock().push(f);
+    }
+
+    pub(crate) fn take_findings(&self) -> Vec<Finding> {
+        std::mem::take(&mut *self.findings.lock())
+    }
+
+    /// Collective-consistency check: the `seq`-th collective on context
+    /// `ctx` must have an identical call signature on every rank.
+    pub(crate) fn check_collective(
+        &self,
+        rank: Rank,
+        ctx: ContextId,
+        seq: u64,
+        comm_size: usize,
+        sig: CollSig,
+    ) -> MpiResult<()> {
+        if let Some(e) = self.abort_error() {
+            return Err(e);
+        }
+        if comm_size <= 1 {
+            return Ok(());
+        }
+        let mut colls = self.colls.lock();
+        use std::collections::btree_map::Entry;
+        match colls.entry((ctx, seq)) {
+            Entry::Vacant(e) => {
+                e.insert(CollEntry {
+                    sig,
+                    first_rank: rank,
+                    seen: 1,
+                });
+                Ok(())
+            }
+            Entry::Occupied(mut e) => {
+                if e.get().sig != sig {
+                    let ent = e.get();
+                    let err = MpiError::CollectiveMismatch(Arc::new(CollMismatch {
+                        ctx,
+                        seq,
+                        first: (ent.first_rank, ent.sig.clone()),
+                        conflicting: (rank, sig),
+                    }));
+                    drop(colls);
+                    // Abort so peers blocked inside the first collective's
+                    // tree exchanges fail too instead of hanging.
+                    self.abort_with(err.clone());
+                    return Err(err);
+                }
+                e.get_mut().seen += 1;
+                if e.get().seen == comm_size {
+                    e.remove();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<RankSnapshot> {
+        self.ranks
+            .iter()
+            .enumerate()
+            .map(|(rank, st)| {
+                let st = st.lock();
+                RankSnapshot {
+                    rank,
+                    seq: st.seq,
+                    blocked: st.blocked.as_ref().map(|(op, _)| op.clone()),
+                    in_collective: st.label,
+                    done: st.done,
+                    panicked: st.panicked,
+                }
+            })
+            .collect()
+    }
+
+    /// Like [`Verifier::snapshot`], but a blocked rank whose wait handle
+    /// has already completed (wakeup merely pending) counts as running.
+    fn live_snapshot(&self) -> Vec<RankSnapshot> {
+        self.ranks
+            .iter()
+            .enumerate()
+            .map(|(rank, st)| {
+                let st = st.lock();
+                let blocked = match &st.blocked {
+                    Some((_, h)) if h.completed() => None,
+                    other => other.as_ref().map(|(op, _)| op.clone()),
+                };
+                RankSnapshot {
+                    rank,
+                    seq: st.seq,
+                    blocked,
+                    in_collective: st.label,
+                    done: st.done,
+                    panicked: st.panicked,
+                }
+            })
+            .collect()
+    }
+
+    /// Stop the watchdog (universe teardown).
+    pub(crate) fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Watchdog body: sweep, confirm, abort. Runs on its own thread.
+    pub(crate) fn run_watchdog(&self, interval: Duration) {
+        let mut prev: Option<(Vec<Rank>, Vec<u64>)> = None;
+        while !self.shutdown.load(Ordering::Acquire) {
+            std::thread::sleep(interval);
+            if self.aborted.load(Ordering::Acquire) {
+                return;
+            }
+            let snap = self.live_snapshot();
+            let stuck = stuck_set(&snap);
+            if stuck.is_empty() {
+                prev = None;
+                continue;
+            }
+            let seqs: Vec<u64> = snap.iter().map(|s| s.seq).collect();
+            let key = (stuck, seqs);
+            if prev.as_ref() == Some(&key) {
+                let report = DeadlockReport {
+                    stuck: key.0,
+                    ranks: snap,
+                };
+                self.abort_with(MpiError::Deadlock(Arc::new(report)));
+                return;
+            }
+            prev = Some(key);
+        }
+    }
+}
+
+/// Unregisters a blocked op when dropped.
+pub(crate) struct BlockGuard<'a> {
+    v: &'a Verifier,
+    rank: Rank,
+}
+
+impl Drop for BlockGuard<'_> {
+    fn drop(&mut self) {
+        self.v.unblock(self.rank);
+    }
+}
+
+/// Clears a rank's collective label when dropped.
+pub(crate) struct LabelGuard<'a> {
+    pub(crate) v: &'a Verifier,
+    pub(crate) rank: Rank,
+}
+
+impl Drop for LabelGuard<'_> {
+    fn drop(&mut self) {
+        self.v.set_label(self.rank, None);
+    }
+}
+
+/// Fixpoint "who can still make progress" computation over a snapshot;
+/// returns the ranks no execution can ever unblock. See the module docs
+/// for the soundness argument.
+fn stuck_set(snap: &[RankSnapshot]) -> Vec<Rank> {
+    let n = snap.len();
+    let done: Vec<bool> = snap.iter().map(|s| s.done).collect();
+    let mut progress: Vec<bool> = snap
+        .iter()
+        .map(|s| !s.done && s.blocked.is_none())
+        .collect();
+    loop {
+        let mut changed = false;
+        for r in 0..n {
+            if progress[r] || done[r] {
+                continue;
+            }
+            let can = match &snap[r].blocked {
+                Some(BlockedOp::Recv { src: Some(s), .. }) => *s < n && progress[*s],
+                Some(BlockedOp::Recv { src: None, .. }) => (0..n).any(|o| o != r && progress[o]),
+                Some(BlockedOp::RendezvousSend { dst, .. }) => *dst < n && progress[*dst],
+                None => false, // unreachable: non-done, non-blocked ranks start in `progress`
+            };
+            if can {
+                progress[r] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (0..n).filter(|&r| !done[r] && !progress[r]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(rank: Rank, blocked: Option<BlockedOp>, done: bool) -> RankSnapshot {
+        RankSnapshot {
+            rank,
+            seq: 0,
+            blocked,
+            in_collective: None,
+            done,
+            panicked: false,
+        }
+    }
+
+    fn recv_from(src: Rank) -> Option<BlockedOp> {
+        Some(BlockedOp::Recv {
+            ctx: 1,
+            src: Some(src),
+            tag: Some(0),
+        })
+    }
+
+    #[test]
+    fn mutual_recv_cycle_is_stuck() {
+        let s = vec![snap(0, recv_from(1), false), snap(1, recv_from(0), false)];
+        assert_eq!(stuck_set(&s), vec![0, 1]);
+    }
+
+    #[test]
+    fn running_rank_rescues_chain() {
+        // 0 waits on 1, 1 waits on 2, 2 is running: nobody is stuck.
+        let s = vec![
+            snap(0, recv_from(1), false),
+            snap(1, recv_from(2), false),
+            snap(2, None, false),
+        ];
+        assert!(stuck_set(&s).is_empty());
+    }
+
+    #[test]
+    fn three_rank_cycle_is_stuck() {
+        let s = vec![
+            snap(0, recv_from(1), false),
+            snap(1, recv_from(2), false),
+            snap(2, recv_from(0), false),
+        ];
+        assert_eq!(stuck_set(&s), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn recv_from_finished_rank_is_stuck() {
+        let s = vec![snap(0, recv_from(1), false), snap(1, None, true)];
+        assert_eq!(stuck_set(&s), vec![0]);
+    }
+
+    #[test]
+    fn wildcard_recv_survives_while_any_peer_lives() {
+        let wildcard = Some(BlockedOp::Recv {
+            ctx: 1,
+            src: None,
+            tag: None,
+        });
+        let s = vec![snap(0, wildcard.clone(), false), snap(1, None, false)];
+        assert!(stuck_set(&s).is_empty());
+        // ... but not when every peer has finished.
+        let s = vec![snap(0, wildcard, false), snap(1, None, true)];
+        assert_eq!(stuck_set(&s), vec![0]);
+    }
+
+    #[test]
+    fn rendezvous_to_blocked_receiver_pair_is_stuck() {
+        // Classic send/send: both parked in rendezvous toward each other.
+        let rv = |dst| {
+            Some(BlockedOp::RendezvousSend {
+                ctx: 1,
+                dst,
+                tag: 0,
+                bytes: 1 << 20,
+            })
+        };
+        let s = vec![snap(0, rv(1), false), snap(1, rv(0), false)];
+        assert_eq!(stuck_set(&s), vec![0, 1]);
+    }
+}

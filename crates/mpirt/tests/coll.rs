@@ -26,9 +26,7 @@ fn barrier_actually_synchronizes() {
     let a = arrived.clone();
     Universe::run(n, move |comm| {
         // Stagger arrival.
-        std::thread::sleep(std::time::Duration::from_millis(
-            comm.rank() as u64 * 10,
-        ));
+        std::thread::sleep(std::time::Duration::from_millis(comm.rank() as u64 * 10));
         a.fetch_add(1, Ordering::SeqCst);
         comm.barrier().unwrap();
         // After the barrier, every rank must have arrived.
@@ -60,6 +58,7 @@ fn bcast_from_every_root() {
 fn bcast_large_payload_uses_rendezvous() {
     let cfg = MpiConfig {
         eager_threshold: 128,
+        ..MpiConfig::default()
     };
     let results = Universe::run_with(cfg, 5, |comm| {
         let mut buf = if comm.rank() == 2 {
@@ -81,8 +80,7 @@ fn reduce_sum_matches_reference() {
     for &n in SIZES {
         for root in 0..n {
             let results = Universe::run(n, move |comm| {
-                let local: Vec<u64> =
-                    (0..4).map(|i| (comm.rank() as u64 + 1) * (i + 1)).collect();
+                let local: Vec<u64> = (0..4).map(|i| (comm.rank() as u64 + 1) * (i + 1)).collect();
                 comm.reduce(root, &local, |a, b| a + b).unwrap()
             });
             let total: u64 = (1..=n as u64).sum();
@@ -115,7 +113,8 @@ fn reduce_min_max() {
 fn allreduce_everyone_gets_the_sum() {
     for &n in SIZES {
         let results = Universe::run(n, |comm| {
-            comm.allreduce(&[comm.rank() as u64, 1], |a, b| a + b).unwrap()
+            comm.allreduce(&[comm.rank() as u64, 1], |a, b| a + b)
+                .unwrap()
         });
         let sum: u64 = (0..n as u64).sum();
         for r in results {
@@ -180,9 +179,7 @@ fn alltoall_transpose() {
     for &n in SIZES {
         let results = Universe::run(n, |comm| {
             // send[j] = [rank, j]
-            let send: Vec<Vec<u32>> = (0..n)
-                .map(|j| vec![comm.rank() as u32, j as u32])
-                .collect();
+            let send: Vec<Vec<u32>> = (0..n).map(|j| vec![comm.rank() as u32, j as u32]).collect();
             comm.alltoall(send).unwrap()
         });
         for (i, recv) in results.into_iter().enumerate() {
@@ -209,6 +206,7 @@ fn scan_inclusive_prefix() {
 fn collectives_with_large_rendezvous_payloads() {
     let cfg = MpiConfig {
         eager_threshold: 100,
+        ..MpiConfig::default()
     };
     let n = 4;
     let results = Universe::run_with(cfg, n, |comm| {
@@ -236,9 +234,7 @@ fn split_by_parity() {
         let color = (comm.rank() % 2) as i64;
         let sub = comm.split(color, comm.rank() as i64).unwrap().unwrap();
         // Sum ranks within each parity class.
-        let sum = sub
-            .allreduce(&[comm.rank() as u64], |a, b| a + b)
-            .unwrap()[0];
+        let sum = sub.allreduce(&[comm.rank() as u64], |a, b| a + b).unwrap()[0];
         (sub.rank(), sub.size(), sum)
     });
     // Evens: 0,2,4,6 → sum 12, size 4. Odds: 1,3,5 → sum 9, size 3.
@@ -260,10 +256,7 @@ fn split_key_reverses_rank_order() {
     let n = 4;
     let results = Universe::run(n, |comm| {
         // Same color, descending key → reversed ranks.
-        let sub = comm
-            .split(0, -(comm.rank() as i64))
-            .unwrap()
-            .unwrap();
+        let sub = comm.split(0, -(comm.rank() as i64)).unwrap().unwrap();
         sub.rank()
     });
     assert_eq!(results, vec![3, 2, 1, 0]);
@@ -333,7 +326,8 @@ fn reduce_scatter_blocks() {
 fn exscan_exclusive_prefix() {
     let n = 6;
     let results = Universe::run(n, |comm| {
-        comm.exscan(&[comm.rank() as u64 + 1], |a, b| a + b).unwrap()
+        comm.exscan(&[comm.rank() as u64 + 1], |a, b| a + b)
+            .unwrap()
     });
     assert!(results[0].is_none(), "rank 0 gets no prefix");
     for (r, v) in results.into_iter().enumerate().skip(1) {

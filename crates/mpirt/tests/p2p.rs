@@ -98,6 +98,7 @@ fn rendezvous_protocol_for_large_messages() {
     // Eager threshold of 64 bytes forces the rendezvous path.
     let cfg = MpiConfig {
         eager_threshold: 64,
+        ..MpiConfig::default()
     };
     Universe::run_with(cfg, 2, |comm| {
         if comm.rank() == 0 {
@@ -117,6 +118,7 @@ fn rendezvous_protocol_for_large_messages() {
 fn isend_completes_and_test_observes() {
     let cfg = MpiConfig {
         eager_threshold: 16,
+        ..MpiConfig::default()
     };
     Universe::run_with(cfg, 2, |comm| {
         if comm.rank() == 0 {
@@ -161,6 +163,7 @@ fn sendrecv_symmetric_exchange_does_not_deadlock() {
     // neighbour simultaneously; MPI_Sendrecv must avoid the deadlock.
     let cfg = MpiConfig {
         eager_threshold: 64,
+        ..MpiConfig::default()
     };
     let n = 4;
     Universe::run_with(cfg, n, |comm| {
@@ -259,7 +262,13 @@ fn type_mismatch_detected_on_receive() {
             comm.send(1, 0, &[1u8, 2, 3]).unwrap(); // 3 bytes
         } else {
             let err = comm.recv::<u32>(Some(0), Some(0)).unwrap_err();
-            assert!(matches!(err, MpiError::TypeMismatch { payload: 3, elem: 4 }));
+            assert!(matches!(
+                err,
+                MpiError::TypeMismatch {
+                    payload: 3,
+                    elem: 4
+                }
+            ));
         }
     });
 }
@@ -309,7 +318,10 @@ fn many_to_one_stress() {
 fn bsend_never_blocks_even_above_eager_threshold() {
     // With a tiny eager threshold, a plain send would rendezvous (block);
     // bsend must complete before any receiver exists.
-    let cfg = MpiConfig { eager_threshold: 16 };
+    let cfg = MpiConfig {
+        eager_threshold: 16,
+        ..MpiConfig::default()
+    };
     Universe::run_with(cfg, 2, |comm| {
         if comm.rank() == 0 {
             let big = vec![0x55u8; 1 << 20];

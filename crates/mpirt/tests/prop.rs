@@ -103,7 +103,7 @@ proptest! {
     ) {
         let sizes = payload_sizes.clone();
         let results = Universe::run_with(
-            MpiConfig { eager_threshold },
+            MpiConfig { eager_threshold, ..MpiConfig::default() },
             n,
             move |comm| {
                 if comm.rank() == 0 {

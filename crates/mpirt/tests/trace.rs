@@ -49,14 +49,10 @@ fn traced_universe_matches_untraced_and_records_spans() {
         );
     }
     // Spans carry payload byte counts.
-    assert!(trace
-        .events()
+    assert!(trace.events().iter().filter(|e| e.name == "send").all(|e| e
+        .args
         .iter()
-        .filter(|e| e.name == "send")
-        .all(|e| e
-            .args
-            .iter()
-            .any(|(k, v)| *k == "bytes" && matches!(v, obs::ArgValue::U64(8)))));
+        .any(|(k, v)| *k == "bytes" && matches!(v, obs::ArgValue::U64(8)))));
 }
 
 #[test]

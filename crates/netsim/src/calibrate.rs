@@ -146,9 +146,8 @@ mod tests {
 
     #[test]
     fn paper_ratio_anchors() {
-        let ratio = |b: u64| {
-            interp_linear(HADOOP_RPC_LATENCY_MS, b) / interp_linear(MPI_LATENCY_MS, b)
-        };
+        let ratio =
+            |b: u64| interp_linear(HADOOP_RPC_LATENCY_MS, b) / interp_linear(MPI_LATENCY_MS, b);
         // "the latency of Hadoop RPC is 2.49 times of that in MPICH2" (1 B)
         assert!((ratio(1) - 2.49).abs() < 0.05, "1B ratio {}", ratio(1));
         // "the latency of Hadoop RPC is 15.1 times of that in MPICH2" (1 KB)

@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn resource_layout_is_disjoint() {
         let c = Cluster::new(ClusterSpec::icpp2011_testbed());
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for h in c.host_ids() {
             for r in [c.uplink(h), c.downlink(h), c.disk(h), c.loopback(h)] {
                 assert!(seen.insert(r), "duplicate resource id {r:?}");
@@ -219,7 +219,11 @@ mod tests {
         });
         assert_eq!(
             r,
-            vec![c.disk(HostId(0)), c.uplink(HostId(0)), c.downlink(HostId(3))]
+            vec![
+                c.disk(HostId(0)),
+                c.uplink(HostId(0)),
+                c.downlink(HostId(3))
+            ]
         );
         let r = c.route_resources(&Route::RemoteRead {
             from: HostId(2),

@@ -5,7 +5,7 @@ use crate::cluster::{Cluster, HostId, Route};
 use crate::resource::{FlowId, FluidEngine};
 use desim::{EventId, Scheduler, SimTime};
 use obs::{ArgValue, Tracer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-flow bookkeeping kept only while a tracer is installed.
 struct FlowMeta {
@@ -45,12 +45,12 @@ type DoneFn<S> = Box<dyn FnOnce(&mut S, &mut Scheduler<S>)>;
 pub struct Net<S> {
     fluid: FluidEngine,
     cluster: Cluster,
-    callbacks: HashMap<FlowId, DoneFn<S>>,
+    callbacks: BTreeMap<FlowId, DoneFn<S>>,
     timer: Option<EventId>,
     last_sync: SimTime,
     flows_completed: u64,
     tracer: Option<Tracer>,
-    flow_meta: HashMap<FlowId, FlowMeta>,
+    flow_meta: BTreeMap<FlowId, FlowMeta>,
 }
 
 impl<S: HasNet> Net<S> {
@@ -59,12 +59,12 @@ impl<S: HasNet> Net<S> {
         Net {
             fluid: cluster.build_engine(),
             cluster,
-            callbacks: HashMap::new(),
+            callbacks: BTreeMap::new(),
             timer: None,
             last_sync: SimTime::ZERO,
             flows_completed: 0,
             tracer: None,
-            flow_meta: HashMap::new(),
+            flow_meta: BTreeMap::new(),
         }
     }
 
@@ -79,7 +79,13 @@ impl<S: HasNet> Net<S> {
     fn trace_flow_change(&self, now: SimTime) {
         if let Some(t) = &self.tracer {
             let ts = now.as_nanos();
-            t.counter(0, "net.active_flows", "net", ts, self.fluid.active_flows() as f64);
+            t.counter(
+                0,
+                "net.active_flows",
+                "net",
+                ts,
+                self.fluid.active_flows() as f64,
+            );
             t.instant(0, 0, "realloc", "net", ts);
             t.metrics().inc("net.reallocs", 1);
         }
@@ -137,11 +143,7 @@ impl<S: HasNet> Net<S> {
 
     /// Cancel an active flow; its callback never fires. Returns the number of
     /// bytes left undelivered, or `None` if the flow already completed.
-    pub fn cancel_flow(
-        state: &mut S,
-        sched: &mut Scheduler<S>,
-        id: FlowId,
-    ) -> Option<u64> {
+    pub fn cancel_flow(state: &mut S, sched: &mut Scheduler<S>, id: FlowId) -> Option<u64> {
         Self::sync(state, sched);
         let net = state.net();
         let left = net.fluid.cancel_flow(id)?;
@@ -351,10 +353,7 @@ mod tests {
         // Long flow: 200 bytes left at t=2, then 100 B/s → done at 4 s.
         assert_eq!(
             sim.state.done_at,
-            vec![
-                (1, SimTime::from_secs(2)),
-                (2, SimTime::from_secs(4)),
-            ]
+            vec![(1, SimTime::from_secs(2)), (2, SimTime::from_secs(4)),]
         );
     }
 
@@ -377,10 +376,7 @@ mod tests {
         // Flow 1: 100 + (2s × 50) = 200 by t=3, then 200 left at 100 B/s → t=5.
         assert_eq!(
             sim.state.done_at,
-            vec![
-                (2, SimTime::from_secs(3)),
-                (1, SimTime::from_secs(5)),
-            ]
+            vec![(2, SimTime::from_secs(3)), (1, SimTime::from_secs(5)),]
         );
     }
 
@@ -496,9 +492,16 @@ mod tests {
             for d in 1..4u32 {
                 for k in 0..3u32 {
                     let tag = d * 10 + k;
-                    Net::transfer(s, sc, HostId(0), HostId(d as usize), 100 + k as u64 * 37, move |s, sc| {
-                        s.done_at.push((tag, sc.now()));
-                    });
+                    Net::transfer(
+                        s,
+                        sc,
+                        HostId(0),
+                        HostId(d as usize),
+                        100 + k as u64 * 37,
+                        move |s, sc| {
+                            s.done_at.push((tag, sc.now()));
+                        },
+                    );
                 }
             }
         });

@@ -14,9 +14,7 @@
 //! shuffle, RPC control plane) and `mapred::sim` (MPI data plane) charge
 //! protocol costs consistently with Figures 2–3.
 
-use crate::calibrate::{
-    self, interp_linear, HADOOP_RPC_LATENCY_MS, MPI_LATENCY_MS,
-};
+use crate::calibrate::{self, interp_linear, HADOOP_RPC_LATENCY_MS, MPI_LATENCY_MS};
 use desim::SimTime;
 
 /// A point-to-point communication primitive's cost model.
@@ -247,9 +245,8 @@ mod tests {
     fn rpc_vs_mpi_latency_ratios_match_paper() {
         let mpi = MpiModel::default();
         let rpc = HadoopRpcModel::default();
-        let ratio = |b: u64| {
-            rpc.one_way_latency(b).as_secs_f64() / mpi.one_way_latency(b).as_secs_f64()
-        };
+        let ratio =
+            |b: u64| rpc.one_way_latency(b).as_secs_f64() / mpi.one_way_latency(b).as_secs_f64();
         assert!((ratio(1) - 2.49).abs() < 0.05);
         assert!((ratio(1 << 10) - 15.1).abs() < 0.2);
         assert!(ratio(512 << 10) > 100.0);

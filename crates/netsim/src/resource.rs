@@ -85,7 +85,10 @@ impl FluidEngine {
     /// Panics if `resources` is empty, contains an unknown id, or `weight`
     /// is not positive.
     pub fn start_flow(&mut self, bytes: u64, resources: &[ResourceId], weight: f64) -> FlowId {
-        assert!(!resources.is_empty(), "flow must cross at least one resource");
+        assert!(
+            !resources.is_empty(),
+            "flow must cross at least one resource"
+        );
         assert!(weight > 0.0 && weight.is_finite());
         for r in resources {
             assert!(r.0 < self.capacities.len(), "unknown resource {r:?}");
@@ -183,8 +186,7 @@ impl FluidEngine {
         // Per-resource total weight of unfrozen flows.
         let mut weight_on: Vec<f64> = vec![0.0; n_res];
         let ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        let mut frozen: BTreeMap<FlowId, bool> =
-            ids.iter().map(|&i| (i, false)).collect();
+        let mut frozen: BTreeMap<FlowId, bool> = ids.iter().map(|&i| (i, false)).collect();
         for f in self.flows.values_mut() {
             f.rate = 0.0;
         }
@@ -219,9 +221,7 @@ impl FluidEngine {
             let freezing: Vec<FlowId> = self
                 .flows
                 .iter()
-                .filter(|(id, f)| {
-                    !frozen[id] && f.resources.iter().any(|r| r.0 == bottleneck)
-                })
+                .filter(|(id, f)| !frozen[id] && f.resources.iter().any(|r| r.0 == bottleneck))
                 .map(|(&id, _)| id)
                 .collect();
             debug_assert!(!freezing.is_empty());

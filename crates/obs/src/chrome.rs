@@ -278,7 +278,10 @@ mod tests {
             "hadoop.phase",
             1_500,
             1_002_500,
-            vec![("local", ArgValue::Bool(true)), ("bytes", ArgValue::U64(64))],
+            vec![
+                ("local", ArgValue::Bool(true)),
+                ("bytes", ArgValue::U64(64)),
+            ],
         );
         b.instant("done", "hadoop", 1_002_500);
         b.counter("maps_done", "hadoop", 1_002_500, 1.0);
@@ -302,7 +305,10 @@ mod tests {
 
     #[test]
     fn export_is_deterministic() {
-        assert_eq!(to_chrome_json(&sample_trace()), to_chrome_json(&sample_trace()));
+        assert_eq!(
+            to_chrome_json(&sample_trace()),
+            to_chrome_json(&sample_trace())
+        );
     }
 
     #[test]

@@ -121,8 +121,12 @@ pub struct TraceBuffer {
     pid: u32,
     tid: u32,
     events: Vec<Event>,
-    stack: Vec<(Name, &'static str, u64, Vec<(&'static str, ArgValue)>)>,
+    stack: Vec<OpenSpan>,
 }
+
+/// A span that has been entered but not yet closed: name, category, start
+/// timestamp, and the args accumulated so far.
+type OpenSpan = (Name, &'static str, u64, Vec<(&'static str, ArgValue)>);
 
 impl TraceBuffer {
     /// A buffer whose events default to process `pid`, thread `tid`.
@@ -309,8 +313,7 @@ impl Trace {
     /// Stable-sort events by `(ts, pid, tid)`. Insertion order breaks ties,
     /// which keeps exports deterministic for deterministic event streams.
     pub fn sort(&mut self) {
-        self.events
-            .sort_by_key(|e| (e.ts_ns, e.pid, e.tid));
+        self.events.sort_by_key(|e| (e.ts_ns, e.pid, e.tid));
     }
 
     /// Merge another trace (names from `other` win on collision).
@@ -336,6 +339,7 @@ impl Tracer {
     }
 
     /// Record a complete span.
+    #[allow(clippy::too_many_arguments)] // mirrors the Chrome-trace "X" event field-for-field
     pub fn complete(
         &self,
         pid: u32,
@@ -361,7 +365,14 @@ impl Tracer {
     }
 
     /// Record a point-in-time marker.
-    pub fn instant(&self, pid: u32, tid: u32, name: impl Into<Name>, cat: &'static str, ts_ns: u64) {
+    pub fn instant(
+        &self,
+        pid: u32,
+        tid: u32,
+        name: impl Into<Name>,
+        cat: &'static str,
+        ts_ns: u64,
+    ) {
         self.trace.borrow_mut().push(Event {
             name: name.into(),
             cat,
@@ -374,7 +385,14 @@ impl Tracer {
     }
 
     /// Record a counter sample (on thread lane 0 of `pid`).
-    pub fn counter(&self, pid: u32, name: impl Into<Name>, cat: &'static str, ts_ns: u64, value: f64) {
+    pub fn counter(
+        &self,
+        pid: u32,
+        name: impl Into<Name>,
+        cat: &'static str,
+        ts_ns: u64,
+        value: f64,
+    ) {
         self.trace.borrow_mut().push(Event {
             name: name.into(),
             cat,
@@ -575,7 +593,13 @@ mod tests {
             let s = shared.clone();
             handles.push(std::thread::spawn(move || {
                 let mut b = TraceBuffer::new(0, rank);
-                b.complete("work", "mpi", rank as u64 * 10, rank as u64 * 10 + 5, vec![]);
+                b.complete(
+                    "work",
+                    "mpi",
+                    rank as u64 * 10,
+                    rank as u64 * 10 + 5,
+                    vec![],
+                );
                 s.absorb(b);
             }));
         }

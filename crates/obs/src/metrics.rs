@@ -228,9 +228,9 @@ mod tests {
         // Log2 buckets: estimates are within a factor of √2 of the exact
         // percentile, and always inside [min, max].
         let p50 = h.quantile(0.5).unwrap();
-        assert!(p50 >= 500.0 / 1.5 && p50 <= 500.0 * 1.5, "p50={p50}");
+        assert!((500.0 / 1.5..=500.0 * 1.5).contains(&p50), "p50={p50}");
         let p99 = h.quantile(0.99).unwrap();
-        assert!(p99 >= 990.0 / 1.5 && p99 <= 1000.0, "p99={p99}");
+        assert!((990.0 / 1.5..=1000.0).contains(&p99), "p99={p99}");
         assert_eq!(h.quantile(1.0), Some(1000.0));
     }
 

@@ -53,7 +53,7 @@ impl SchedProbe for SchedTraceProbe {
     fn on_execute(&mut self, at: SimTime, _id: EventId, pending: usize) {
         self.executed += 1;
         self.tracer.metrics().inc("desim.executed", 1);
-        if self.executed % self.sample_every == 0 {
+        if self.executed.is_multiple_of(self.sample_every) {
             let ts = at.as_nanos();
             self.tracer
                 .counter(0, "desim.pending", "desim", ts, pending as f64);

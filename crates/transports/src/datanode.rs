@@ -222,9 +222,7 @@ pub fn read_block(addr: SocketAddr, block_id: u64) -> Result<Vec<u8>, BlockError
     match status[0] {
         STATUS_OK => {}
         STATUS_MISSING => return Err(BlockError::Missing(block_id)),
-        other => {
-            return Err(BlockError::Protocol(format!("unknown status {other}")))
-        }
+        other => return Err(BlockError::Protocol(format!("unknown status {other}"))),
     }
 
     let mut out = Vec::with_capacity(total as usize);

@@ -146,7 +146,11 @@ impl DataWriter {
             len -= 1;
         }
         self.put_u8(len as u8);
-        let n = if len < -120 { -(len + 120) } else { -(len + 112) } as u32;
+        let n = if len < -120 {
+            -(len + 120)
+        } else {
+            -(len + 112)
+        } as u32;
         for i in (0..n).rev() {
             self.put_u8(((tmp >> (8 * i)) & 0xff) as u8);
         }
@@ -360,9 +364,7 @@ impl ObjectWritable {
                 }
                 ObjectWritable::Array(xs)
             }
-            other => {
-                return Err(WireError::Corrupt(format!("unknown class {other:?}")))
-            }
+            other => return Err(WireError::Corrupt(format!("unknown class {other:?}"))),
         })
     }
 
@@ -557,7 +559,10 @@ mod tests {
         let mut cur = Cursor::new(buf);
         assert_eq!(frame::read_frame(&mut cur).unwrap().unwrap(), b"hello");
         assert_eq!(frame::read_frame(&mut cur).unwrap().unwrap(), b"");
-        assert_eq!(frame::read_frame(&mut cur).unwrap().unwrap(), vec![7u8; 1024]);
+        assert_eq!(
+            frame::read_frame(&mut cur).unwrap().unwrap(),
+            vec![7u8; 1024]
+        );
         assert_eq!(frame::read_frame(&mut cur).unwrap(), None);
     }
 

@@ -75,11 +75,7 @@ pub trait Protocol: Send + Sync {
     /// Version stamp checked by clients.
     fn version(&self) -> u64;
     /// Dispatch a method invocation.
-    fn invoke(
-        &self,
-        method: &str,
-        params: &[ObjectWritable],
-    ) -> Result<ObjectWritable, String>;
+    fn invoke(&self, method: &str, params: &[ObjectWritable]) -> Result<ObjectWritable, String>;
 }
 
 /// The echo/ping-pong protocol used by the paper's microbenchmark: a `recv`
@@ -90,11 +86,7 @@ impl Protocol for EchoProtocol {
     fn version(&self) -> u64 {
         1
     }
-    fn invoke(
-        &self,
-        method: &str,
-        params: &[ObjectWritable],
-    ) -> Result<ObjectWritable, String> {
+    fn invoke(&self, method: &str, params: &[ObjectWritable]) -> Result<ObjectWritable, String> {
         match method {
             "recv" => match params {
                 [ObjectWritable::Bytes(data)] => {
@@ -183,10 +175,7 @@ impl RpcServer {
         Ok(())
     }
 
-    fn handle_frame(
-        req: &[u8],
-        protocols: &HashMap<String, Arc<dyn Protocol>>,
-    ) -> Vec<u8> {
+    fn handle_frame(req: &[u8], protocols: &HashMap<String, Arc<dyn Protocol>>) -> Vec<u8> {
         let mut r = DataReader::new(req);
         let parse = (|| -> Result<(u32, String, String, Vec<ObjectWritable>), String> {
             let call_id = r.get_u32().map_err(|e| e.to_string())?;
@@ -274,10 +263,7 @@ impl RpcClient {
         stream.set_nodelay(true)?;
         let client = RpcClient {
             protocol: protocol.to_string(),
-            reader: Mutex::new((
-                BufReader::new(stream.try_clone()?),
-                BufWriter::new(stream),
-            )),
+            reader: Mutex::new((BufReader::new(stream.try_clone()?), BufWriter::new(stream))),
             next_call_id: AtomicU32::new(1),
         };
         let got = match client.call("getProtocolVersion", &[])? {
@@ -335,9 +321,7 @@ impl RpcClient {
         }
         let status = r.get_u8().map_err(|e| RpcError::Decode(e.to_string()))?;
         match status {
-            STATUS_OK => {
-                ObjectWritable::read(&mut r).map_err(|e| RpcError::Decode(e.to_string()))
-            }
+            STATUS_OK => ObjectWritable::read(&mut r).map_err(|e| RpcError::Decode(e.to_string())),
             STATUS_ERR => {
                 let msg = r.get_utf().map_err(|e| RpcError::Decode(e.to_string()))?;
                 Err(RpcError::Remote(msg))
@@ -398,7 +382,9 @@ mod tests {
     fn version_mismatch_detected_at_connect() {
         let (_server, addr) = start_echo_server().unwrap();
         match RpcClient::connect(addr, "echo", 99) {
-            Err(RpcError::VersionMismatch { wanted: 99, got: 1, .. }) => {}
+            Err(RpcError::VersionMismatch {
+                wanted: 99, got: 1, ..
+            }) => {}
             Err(other) => panic!("expected version mismatch, got {other:?}"),
             Ok(_) => panic!("connect unexpectedly succeeded"),
         }

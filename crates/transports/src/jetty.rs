@@ -155,10 +155,7 @@ fn serve_connection(
             continue;
         }
         // Target form: /mapOutput?id=<name>
-        let name = target
-            .split_once("id=")
-            .map(|(_, id)| id)
-            .unwrap_or("");
+        let name = target.split_once("id=").map(|(_, id)| id).unwrap_or("");
         match store.get(name) {
             None => write_simple(&mut writer, 404, "Not Found", b"missing")?,
             Some(body) => {
@@ -277,8 +274,8 @@ impl HttpClient {
                 content_length = v.trim().parse().ok();
             }
         }
-        let len = content_length
-            .ok_or_else(|| HttpError::Malformed("missing Content-Length".into()))?;
+        let len =
+            content_length.ok_or_else(|| HttpError::Malformed("missing Content-Length".into()))?;
         let mut body = vec![0u8; len];
         self.reader.read_exact(&mut body)?;
         if code != 200 {
@@ -332,15 +329,15 @@ mod tests {
     #[test]
     fn small_chunk_size_still_delivers_everything() {
         let store = Arc::new(ContentStore::new());
-        store.put("x", Bytes::from((0..=255u8).cycle().take(70_000).collect::<Vec<u8>>()));
+        store.put(
+            "x",
+            Bytes::from((0..=255u8).cycle().take(70_000).collect::<Vec<u8>>()),
+        );
         let server = HttpServer::start("127.0.0.1:0", store, 7).unwrap();
         let mut client = HttpClient::connect(server.addr()).unwrap();
         let body = client.get("x").unwrap();
         assert_eq!(body.len(), 70_000);
-        assert!(body
-            .iter()
-            .enumerate()
-            .all(|(i, &b)| b == (i % 256) as u8));
+        assert!(body.iter().enumerate().all(|(i, &b)| b == (i % 256) as u8));
     }
 
     #[test]

@@ -27,9 +27,7 @@ fn comparable(v: &ObjectWritable) -> ObjectWritable {
     match v {
         ObjectWritable::Float(f) if f.is_nan() => ObjectWritable::Float(0.0),
         ObjectWritable::Double(d) if d.is_nan() => ObjectWritable::Double(0.0),
-        ObjectWritable::Array(xs) => {
-            ObjectWritable::Array(xs.iter().map(comparable).collect())
-        }
+        ObjectWritable::Array(xs) => ObjectWritable::Array(xs.iter().map(comparable).collect()),
         other => other.clone(),
     }
 }

@@ -148,12 +148,7 @@ impl MapReduceApp for ReduceSideJoin {
         emit(key, row);
     }
 
-    fn reduce(
-        &self,
-        key: u64,
-        rows: Vec<(u8, String)>,
-        emit: &mut dyn FnMut(u64, String),
-    ) {
+    fn reduce(&self, key: u64, rows: Vec<(u8, String)>, emit: &mut dyn FnMut(u64, String)) {
         let mut lefts = Vec::new();
         let mut rights = Vec::new();
         for (tag, payload) in rows {
@@ -188,8 +183,10 @@ mod tests {
 
     #[test]
     fn javasort_sorts_globally() {
-        let records: Vec<(u64, Vec<u8>)> =
-            [u64::MAX, 0, 42, u64::MAX / 2].iter().map(|&k| (k, vec![1u8])).collect();
+        let records: Vec<(u64, Vec<u8>)> = [u64::MAX, 0, 42, u64::MAX / 2]
+            .iter()
+            .map(|&k| (k, vec![1u8]))
+            .collect();
         let input = VecInput::round_robin(records, 2);
         let out = run_local(&JavaSort, &input);
         let keys: Vec<u64> = out.iter().map(|(k, _)| *k).collect();

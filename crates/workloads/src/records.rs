@@ -25,8 +25,7 @@ impl SortGen {
     /// Approximately `total_bytes` of records in `n_splits` equal splits.
     pub fn new(seed: u64, total_bytes: u64, n_splits: usize) -> Self {
         assert!(n_splits > 0);
-        let records_per_split =
-            (total_bytes / n_splits as u64 / RECORD_BYTES as u64).max(1);
+        let records_per_split = (total_bytes / n_splits as u64 / RECORD_BYTES as u64).max(1);
         SortGen {
             seed,
             records_per_split,

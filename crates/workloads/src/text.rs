@@ -78,7 +78,8 @@ impl InputFormat for TextGen {
 
     fn records(&self, split: usize) -> Box<dyn Iterator<Item = (u64, String)> + '_> {
         assert!(split < self.n_splits);
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (split as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (split as u64).wrapping_mul(0x9E3779B97F4A7C15));
         let budget = self.split_bytes;
         let mut produced = 0u64;
         let mut line_no = 0u64;

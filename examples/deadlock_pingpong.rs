@@ -1,0 +1,56 @@
+//! A deliberately broken ping-pong, to show the mpiverify deadlock
+//! detector in action.
+//!
+//! ```sh
+//! cargo run --example deadlock_pingpong
+//! ```
+//!
+//! Both ranks try to *receive* the first message — the classic head-to-head
+//! deadlock (each rank's `MPI_Recv` waits for a send the peer can only
+//! reach after its own receive returns). On a real MPI installation this
+//! job hangs until the batch scheduler kills it; under `mpi-rt` the
+//! checker's wait-for-graph watchdog notices that neither rank can ever be
+//! unblocked, aborts the universe, and both ranks return a structured
+//! [`MpiError::Deadlock`] naming every stuck rank and its pending
+//! operation.
+//!
+//! The example exits 0 when the checker catches the bug (the expected
+//! outcome) and 1 if the universe somehow completes.
+
+use mpid_suite::mpi_rt::{MpiError, MpiResult, Universe};
+
+fn main() {
+    println!("launching a 2-rank ping-pong where BOTH ranks recv first ...");
+    println!();
+
+    let results = Universe::run_with(Default::default(), 2, |comm| -> MpiResult<()> {
+        let peer = 1 - comm.rank();
+        // Bug: the pong side should send first. Nobody does.
+        let (msg, _) = comm.recv::<u8>(Some(peer), Some(0))?;
+        comm.send(peer, 0, &msg)?;
+        Ok(())
+    });
+
+    let mut caught = false;
+    for (rank, res) in results.iter().enumerate() {
+        match res {
+            Err(MpiError::Deadlock(report)) => {
+                if !caught {
+                    println!("the watchdog aborted the run; rank {rank}'s report:");
+                    println!();
+                    println!("{report}");
+                    println!();
+                }
+                caught = true;
+            }
+            other => println!("rank {rank}: unexpected result {other:?}"),
+        }
+    }
+
+    if caught {
+        println!("deadlock caught as a structured error — no hang, no kill -9.");
+    } else {
+        eprintln!("BUG: the deadlocked universe completed without a report");
+        std::process::exit(1);
+    }
+}

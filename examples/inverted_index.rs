@@ -35,10 +35,7 @@ fn main() {
     }
 
     // Cross-check against the sequential reference engine.
-    let mut reference = run_local(
-        &InvertedIndex,
-        &VecInput::round_robin(corpus(), 3),
-    );
+    let mut reference = run_local(&InvertedIndex, &VecInput::round_robin(corpus(), 3));
     reference.sort();
     assert_eq!(index, reference, "engines must agree");
 

@@ -52,9 +52,7 @@ fn main() {
     let copy = trimmed.reduce_phase_stats(|r| r.copy);
     let reduce = trimmed.reduce_phase_stats(|r| r.reduce);
     println!();
-    println!(
-        "simulated Hadoop JavaSort, {gb} GB, {n_reduces} reducers, 8x8 slots:"
-    );
+    println!("simulated Hadoop JavaSort, {gb} GB, {n_reduces} reducers, 8x8 slots:");
     println!(
         "  makespan {:.0} s | {} maps ({:.0}% local) | copy avg {:.1} s | reduce avg {:.1} s",
         report.makespan.as_secs_f64(),

@@ -45,9 +45,7 @@ fn main() {
                 Vec::new()
             }
             Role::Mapper(id) => {
-                let mut send = world
-                    .sender::<String, u64>()
-                    .with_combiner(SumCombiner);
+                let mut send = world.sender::<String, u64>().with_combiner(SumCombiner);
                 let mut docs = 0;
                 while let Some(doc) = world.next_split::<String>().expect("split") {
                     docs += 1;

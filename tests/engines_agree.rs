@@ -2,9 +2,7 @@
 //! sequential reference engine and on the real distributed MPI-D engine,
 //! across topologies and pipeline configurations.
 
-use mpid_suite::mapred::{
-    run_local, run_mpid, MpidEngineConfig, TextInput, VecInput,
-};
+use mpid_suite::mapred::{run_local, run_mpid, MpidEngineConfig, TextInput, VecInput};
 use mpid_suite::workloads::{Grep, InvertedIndex, JavaSort, SortGen, TextGen, WordCount};
 use std::sync::Arc;
 
@@ -105,11 +103,13 @@ fn inverted_index_engines_agree() {
 
 #[test]
 fn pipeline_knobs_do_not_change_results() {
-    let make_input = || TextInput::new(vec![
-        "a b c a b a".to_string(),
-        "c c c d e f g".to_string(),
-        "a a a a a a a".to_string(),
-    ]);
+    let make_input = || {
+        TextInput::new(vec![
+            "a b c a b a".to_string(),
+            "c c c d e f g".to_string(),
+            "a a a a a a a".to_string(),
+        ])
+    };
     let reference = sorted(run_local(&WordCount, &make_input()));
     for (spill, frame, isend, eager) in [
         (32usize, 16usize, false, 16usize),

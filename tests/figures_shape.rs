@@ -19,9 +19,21 @@ fn fig2_latency_ratios_match_paper_anchors() {
     let ratio =
         |b: u64| rpc.one_way_latency(b).as_secs_f64() / mpi.one_way_latency(b).as_secs_f64();
     assert!((ratio(1) - 2.49).abs() < 0.1, "1B: {}", ratio(1));
-    assert!((ratio(1 << 10) - 15.1).abs() < 0.5, "1KB: {}", ratio(1 << 10));
-    assert!(ratio(512 << 10) > 100.0, "beyond 256KB: {}", ratio(512 << 10));
-    assert!(ratio(1 << 20) > 115.0 && ratio(1 << 20) < 130.0, "1MB: {}", ratio(1 << 20));
+    assert!(
+        (ratio(1 << 10) - 15.1).abs() < 0.5,
+        "1KB: {}",
+        ratio(1 << 10)
+    );
+    assert!(
+        ratio(512 << 10) > 100.0,
+        "beyond 256KB: {}",
+        ratio(512 << 10)
+    );
+    assert!(
+        ratio(1 << 20) > 115.0 && ratio(1 << 20) < 130.0,
+        "1MB: {}",
+        ratio(1 << 20)
+    );
 }
 
 #[test]
@@ -64,17 +76,17 @@ fn table1_copy_share_grows_with_input() {
     let small = share(1, 16);
     let large = share(8, 128);
     assert!(large > small, "copy share must grow: {small} -> {large}");
-    assert!(large > 0.3, "8GB/128-reducer run must already be copy-heavy: {large}");
+    assert!(
+        large > 0.3,
+        "8GB/128-reducer run must already be copy-heavy: {large}"
+    );
 }
 
 // ---------- Figure 1: first-wave outliers & copy dominance ----------
 
 #[test]
 fn fig1_first_wave_reducers_are_outliers() {
-    let report = hadoop_sim::run_job(
-        HadoopConfig::icpp2011(8, 8, 300),
-        javasort_spec(10 * GB),
-    );
+    let report = hadoop_sim::run_job(HadoopConfig::icpp2011(8, 8, 300), javasort_spec(10 * GB));
     let slots = 56;
     let trimmed = report.without_top_copy_outliers(slots);
     let worst = report.reduces.iter().map(|r| r.copy).max().unwrap();

@@ -1,0 +1,67 @@
+//! The mpiverify checker is observation-only at the full-pipeline level:
+//! the real MPI-D WordCount engine (the fig6 workload) produces
+//! byte-identical output with the checker on and off, across arbitrary
+//! inputs and process layouts.
+
+use mpid_suite::mapred::{run_mpid, MpidEngineConfig, TextInput};
+use mpid_suite::workloads::{TextGen, WordCount};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn wordcount_output(
+    cfg: MpidEngineConfig,
+    seed: u64,
+    bytes: u64,
+    splits: usize,
+) -> Vec<(String, u64)> {
+    run_mpid(
+        &cfg,
+        Arc::new(WordCount),
+        Arc::new(TextGen::new(seed, bytes, splits, 400)),
+    )
+    .output
+}
+
+proptest! {
+    // Each case spins up four MPI universes (2 configs × checked/unchecked);
+    // keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn checked_and_unchecked_wordcount_outputs_are_identical(
+        seed in any::<u64>(),
+        kib in 8u64..64,
+        splits in 1usize..6,
+        (mappers, reducers) in prop_oneof![Just((1, 1)), Just((2, 1)), Just((3, 2))],
+    ) {
+        let run = |verify: bool| {
+            let mut cfg = MpidEngineConfig::with_workers(mappers, reducers);
+            cfg.verify = verify;
+            wordcount_output(cfg, seed, kib * 1024, splits)
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}
+
+/// Deterministic spot check with a fixed tiny corpus, so a regression here
+/// pinpoints the checker (not the generator) immediately.
+#[test]
+fn checked_and_unchecked_agree_on_fixed_corpus() {
+    let docs = vec![
+        "to be or not to be".to_string(),
+        "that is the question".to_string(),
+    ];
+    let run = |verify: bool| {
+        let mut cfg = MpidEngineConfig::with_workers(2, 1);
+        cfg.verify = verify;
+        run_mpid(
+            &cfg,
+            Arc::new(WordCount),
+            Arc::new(TextInput::new(docs.clone())),
+        )
+        .output
+    };
+    let checked = run(true);
+    assert_eq!(checked, run(false));
+    assert!(checked.iter().any(|(w, c)| w == "be" && *c == 2));
+}

@@ -145,6 +145,17 @@ impl Bencher {
         self.iters_done += 1;
         self.elapsed += start.elapsed();
     }
+
+    /// Self-timed measurement: `routine` runs a requested number of
+    /// iterations and returns the elapsed time it measured itself
+    /// (upstream criterion's `iter_custom`). The stub requests a small
+    /// fixed batch per sample.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        const BATCH: u64 = 10;
+        let elapsed = routine(BATCH);
+        self.iters_done += BATCH;
+        self.elapsed += elapsed;
+    }
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(
