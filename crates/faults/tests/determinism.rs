@@ -1,0 +1,179 @@
+//! Cross-substrate determinism and the paper's fault-tolerance story end
+//! to end: the same seeded fault plan replays bit-identically on both
+//! cluster simulators, a crash-free plan changes nothing, and one node
+//! crash is absorbed by Hadoop's re-execution, kills unchecked MPI-D fast,
+//! and is survived by barrier-checkpointed MPI-D.
+
+use desim::SimTime;
+use faults::{FaultKind, FaultPlan};
+use hadoop_sim::{run_job, run_job_faulty, HadoopConfig};
+use mapred::{run_sim_mpid, run_sim_mpid_ft, FtOutcome, MpidFtMode, SimMpidConfig};
+use netsim::JobSpec;
+
+fn wc_spec() -> JobSpec {
+    JobSpec {
+        name: "wc".into(),
+        input_bytes: 1 << 30,
+        record_bytes: 80,
+        map_cpu_ns_per_byte: 200.0,
+        map_output_ratio: 1.6,
+        combine_ratio: 0.02,
+        combine_cpu_ns_per_byte: 0.0,
+        reduce_cpu_ns_per_byte: 50.0,
+        output_ratio: 1.0,
+    }
+}
+
+fn hadoop_cfg() -> HadoopConfig {
+    let mut cfg = HadoopConfig::icpp2011(4, 4, 4);
+    cfg.straggler_prob = 0.0;
+    cfg
+}
+
+fn mpid_cfg() -> SimMpidConfig {
+    SimMpidConfig::icpp2011_fig6().with_auto_splits(1 << 30)
+}
+
+#[test]
+fn random_plans_replay_bit_identically_from_the_seed() {
+    let horizon = SimTime::from_secs(600);
+    let a = FaultPlan::random(42, 8, horizon, 6);
+    let b = FaultPlan::random(42, 8, horizon, 6);
+    assert_eq!(a, b, "same seed, same plan");
+    assert_eq!(a.events().len(), 6);
+    let c = FaultPlan::random(43, 8, horizon, 6);
+    assert_ne!(a, c, "different seed, different plan");
+    // The generator never crashes the master and keeps a worker quorum.
+    a.validate(8).expect("generated plans are always valid");
+    assert!(
+        a.events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::NodeCrash)
+            .count()
+            <= 1
+    );
+}
+
+#[test]
+fn same_plan_same_seed_is_bit_identical_on_both_substrates() {
+    let plan = FaultPlan::random(7, 8, SimTime::from_secs(400), 5);
+
+    let h1 = run_job_faulty(hadoop_cfg(), wc_spec(), plan.clone());
+    let h2 = run_job_faulty(hadoop_cfg(), wc_spec(), plan.clone());
+    assert_eq!(h1.makespan, h2.makespan);
+    assert_eq!(h1.maps.len(), h2.maps.len());
+    assert_eq!(h1.maps_reexecuted, h2.maps_reexecuted);
+    assert_eq!(h1.crashed_workers, h2.crashed_workers);
+    for (a, b) in h1.maps.iter().zip(&h2.maps) {
+        assert_eq!((a.start, a.end), (b.start, b.end));
+    }
+
+    let mode = MpidFtMode::Checkpoint { interval_splits: 8 };
+    let m1 = run_sim_mpid_ft(mpid_cfg(), wc_spec(), plan.clone(), mode);
+    let m2 = run_sim_mpid_ft(mpid_cfg(), wc_spec(), plan, mode);
+    assert_eq!(m1, m2, "MPI-D FT replay must be exact");
+}
+
+#[test]
+fn crash_free_plan_is_identical_to_the_baseline_runs() {
+    // Degradations omitted on purpose: the plan must be *empty* to promise
+    // bit-identity with the fault-free entry points.
+    let h_plain = run_job(hadoop_cfg(), wc_spec());
+    let h_faulty = run_job_faulty(hadoop_cfg(), wc_spec(), FaultPlan::none());
+    assert_eq!(h_plain.makespan, h_faulty.makespan);
+    assert_eq!(h_plain.maps.len(), h_faulty.maps.len());
+
+    let m_plain = run_sim_mpid(mpid_cfg(), wc_spec());
+    let m_ft = run_sim_mpid_ft(
+        mpid_cfg(),
+        wc_spec(),
+        FaultPlan::none(),
+        MpidFtMode::Unchecked,
+    );
+    assert_eq!(
+        m_ft.outcome,
+        FtOutcome::Completed {
+            makespan: m_plain.makespan
+        }
+    );
+    assert_eq!(m_ft.checkpoint_overhead, SimTime::ZERO);
+    assert_eq!(m_ft.wasted, SimTime::ZERO);
+}
+
+#[test]
+fn one_node_crash_splits_the_three_stacks_apart() {
+    // The tentpole claim, end to end, off the same plan: Hadoop re-executes
+    // and completes with bounded slowdown; unchecked MPI-D loses the job;
+    // checkpointed MPI-D restarts and completes.
+    let h_healthy = run_job(hadoop_cfg(), wc_spec());
+    let m_healthy = run_sim_mpid(mpid_cfg(), wc_spec());
+    let crash_at = SimTime::from_secs_f64(
+        h_healthy
+            .makespan
+            .as_secs_f64()
+            .min(m_healthy.makespan.as_secs_f64())
+            * 0.4,
+    );
+    let plan = FaultPlan::builder().crash(crash_at, 3).build();
+
+    let hadoop = run_job_faulty(hadoop_cfg(), wc_spec(), plan.clone());
+    assert!(!hadoop.job_failed, "Hadoop absorbs the crash");
+    assert_eq!(hadoop.crashed_workers, 1);
+    assert!(hadoop.makespan > h_healthy.makespan);
+    assert!(
+        hadoop.makespan.as_secs_f64() < h_healthy.makespan.as_secs_f64() * 3.0,
+        "re-execution bounds the slowdown: {} vs {}",
+        h_healthy.makespan,
+        hadoop.makespan
+    );
+
+    let unchecked = run_sim_mpid_ft(mpid_cfg(), wc_spec(), plan.clone(), MpidFtMode::Unchecked);
+    match unchecked.outcome {
+        FtOutcome::Failed { at, lost_host } => {
+            assert_eq!(lost_host, 3);
+            assert!(at >= crash_at, "failure follows the crash");
+        }
+        other => panic!("unchecked MPI-D must lose the job, got {other:?}"),
+    }
+
+    let ckpt = run_sim_mpid_ft(
+        mpid_cfg(),
+        wc_spec(),
+        plan,
+        MpidFtMode::Checkpoint { interval_splits: 8 },
+    );
+    let FtOutcome::Completed { makespan } = ckpt.outcome else {
+        panic!("checkpointed MPI-D must complete: {:?}", ckpt.outcome);
+    };
+    assert_eq!(ckpt.restarts, 1);
+    assert!(makespan > m_healthy.makespan, "recovery is not free");
+}
+
+#[test]
+fn benign_degradations_slow_but_never_fail_either_stack() {
+    let h_healthy = run_job(hadoop_cfg(), wc_spec());
+    let m_healthy = run_sim_mpid(mpid_cfg(), wc_spec());
+    let horizon = SimTime::from_secs(
+        h_healthy
+            .makespan
+            .as_secs_f64()
+            .max(m_healthy.makespan.as_secs_f64()) as u64
+            * 4,
+    );
+    let plan = FaultPlan::builder()
+        .disk_slowdown(SimTime::from_secs(5), 2, 0.25)
+        .nic_degrade(SimTime::from_secs(5), 4, 0.5)
+        .straggler(SimTime::ZERO, 3, 4.0, horizon)
+        .build();
+
+    let hadoop = run_job_faulty(hadoop_cfg(), wc_spec(), plan.clone());
+    assert!(!hadoop.job_failed);
+    assert_eq!(hadoop.crashed_workers, 0);
+    assert!(hadoop.makespan > h_healthy.makespan);
+
+    let mpid = run_sim_mpid_ft(mpid_cfg(), wc_spec(), plan, MpidFtMode::Unchecked);
+    let FtOutcome::Completed { makespan } = mpid.outcome else {
+        panic!("benign faults must not fail MPI-D");
+    };
+    assert!(makespan > m_healthy.makespan);
+}

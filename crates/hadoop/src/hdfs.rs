@@ -144,6 +144,33 @@ impl NameNode {
         (remote, false)
     }
 
+    /// Like [`select_replica`](Self::select_replica), but restricted to
+    /// replicas on hosts for which `alive` holds — the selection a reader
+    /// falls back to after a datanode crash.
+    ///
+    /// # Panics
+    /// Panics if every replica of `b` is on a dead host (the block is lost;
+    /// with the HDFS default replication of 3, a single crash cannot cause
+    /// this).
+    pub fn select_replica_alive(
+        &self,
+        b: BlockId,
+        host: HostId,
+        alive: impl Fn(HostId) -> bool,
+    ) -> (HostId, bool) {
+        let info = &self.blocks[b];
+        if info.replicas.contains(&host) && alive(host) {
+            return (host, true);
+        }
+        let remote = *info
+            .replicas
+            .iter()
+            .filter(|&&h| alive(h))
+            .min_by_key(|h| self.per_host_blocks[h.0])
+            .unwrap_or_else(|| panic!("block {b} lost: every replica is on a crashed host"));
+        (remote, false)
+    }
+
     /// Blocks-per-datanode imbalance: max/min replica count across hosts
     /// (1.0 = perfectly balanced).
     pub fn imbalance(&self) -> f64 {

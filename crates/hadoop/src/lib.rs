@@ -23,7 +23,7 @@ pub mod sim;
 pub use config::HadoopConfig;
 pub use hdfs::{BlockId, NameNode};
 pub use report::{JobReport, MapSpan, ReduceSpan};
-pub use sim::{run_job, run_job_traced};
+pub use sim::{run_job, run_job_faulty, run_job_faulty_traced, run_job_traced};
 
 #[cfg(test)]
 mod tests {
@@ -317,6 +317,62 @@ mod failure_tests {
             t_flaky > t_healthy,
             "retries must cost time: {t_healthy} vs {t_flaky}"
         );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_plain_run() {
+        let cfg = HadoopConfig::icpp2011(4, 4, 4);
+        let plain = run_job(cfg.clone(), spec());
+        let faulty = run_job_faulty(cfg, spec(), faults::FaultPlan::none());
+        assert_eq!(plain.makespan, faulty.makespan);
+        assert_eq!(plain.maps.len(), faulty.maps.len());
+        for (a, b) in plain.reduces.iter().zip(&faulty.reduces) {
+            assert_eq!(a.end, b.end);
+            assert_eq!(a.copy, b.copy);
+        }
+    }
+
+    #[test]
+    fn worker_crash_is_recovered_by_reexecution() {
+        let mut cfg = HadoopConfig::icpp2011(4, 4, 4);
+        cfg.straggler_prob = 0.0;
+        let healthy = run_job(cfg.clone(), spec());
+        // Kill worker host 3 mid-job (well inside the map phase).
+        let crash_at = desim::SimTime::from_secs_f64(healthy.makespan.as_secs_f64() * 0.4);
+        let plan = faults::FaultPlan::builder().crash(crash_at, 3).build();
+        let report = run_job_faulty(cfg, spec(), plan);
+        assert!(!report.job_failed, "crash must be absorbed, not fatal");
+        assert_eq!(report.crashed_workers, 1);
+        assert!(
+            report.maps.len() >= 16,
+            "all 16 splits commit (plus re-executions): {}",
+            report.maps.len()
+        );
+        assert!(
+            report.makespan > healthy.makespan,
+            "losing a worker must cost time: {} vs {}",
+            healthy.makespan,
+            report.makespan
+        );
+        assert!(
+            report.makespan.as_secs_f64() < healthy.makespan.as_secs_f64() * 3.0,
+            "recovery should bound the slowdown: {} vs {}",
+            healthy.makespan,
+            report.makespan
+        );
+        // Deterministic replay: same plan, same result.
+        let crash_at2 = desim::SimTime::from_secs_f64(healthy.makespan.as_secs_f64() * 0.4);
+        let plan2 = faults::FaultPlan::builder().crash(crash_at2, 3).build();
+        let again = run_job_faulty(
+            {
+                let mut c = HadoopConfig::icpp2011(4, 4, 4);
+                c.straggler_prob = 0.0;
+                c
+            },
+            spec(),
+            plan2,
+        );
+        assert_eq!(report.makespan, again.makespan);
     }
 
     #[test]

@@ -62,6 +62,15 @@ pub struct JobReport {
     pub failed_map_attempts: u64,
     /// True if some map task exhausted its attempts and the job was failed.
     pub job_failed: bool,
+    /// Map tasks re-executed because a worker crash destroyed their
+    /// committed output (distinct from `failed_map_attempts`, which counts
+    /// probabilistic attempt failures, and from speculation).
+    pub maps_reexecuted: u64,
+    /// Workers lost to injected node crashes during the job.
+    pub crashed_workers: u64,
+    /// Reduce tasks restarted from scratch on a surviving worker after
+    /// their host crashed.
+    pub restarted_reduces: u64,
 }
 
 impl JobReport {
@@ -160,6 +169,28 @@ impl JobReport {
             out.push(("reduce", s, e));
         }
         out
+    }
+
+    /// Successful map executions that were plain first-time runs: total
+    /// committed map spans minus crash-forced re-executions. Speculative
+    /// duplicates are counted separately (`speculative_launched` /
+    /// `speculative_wasted`) and never appear in `maps` unless they won.
+    pub fn first_attempt_maps(&self) -> u64 {
+        (self.maps.len() as u64).saturating_sub(self.maps_reexecuted)
+    }
+
+    /// One-line recovery summary for fault-injection reports.
+    pub fn recovery_summary(&self) -> String {
+        format!(
+            "crashed_workers={} maps_reexecuted={} restarted_reduces={} \
+             speculative={}(+{} wasted) failed_attempts={}",
+            self.crashed_workers,
+            self.maps_reexecuted,
+            self.restarted_reduces,
+            self.speculative_launched,
+            self.speculative_wasted,
+            self.failed_map_attempts,
+        )
     }
 
     /// Fraction of map tasks that read their block locally.

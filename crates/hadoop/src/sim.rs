@@ -38,8 +38,10 @@ use crate::report::{JobReport, MapSpan, ReduceSpan};
 use desim::rng::SplitMix64;
 use desim::stats::OnlineStats;
 use desim::{Scheduler, Sim, SimTime};
-use netsim::{Cluster, HasNet, HostId, JobSpec, Net, Route};
+use faults::{FaultKind, FaultPlan};
+use netsim::{Cluster, FlowId, HasNet, HostId, JobSpec, Net, Route};
 use obs::{ArgValue, Tracer};
+use std::collections::BTreeMap;
 
 /// Thread lane offset separating reducer spans from map spans on the same
 /// host lane in exported traces (map tid = map index; reduce tid = this + r).
@@ -78,6 +80,25 @@ pub struct HadoopSim {
     map_speculated: Vec<bool>,
     map_attempts: Vec<usize>,
     completed_map_durations: OnlineStats,
+    /// Per-task progress (0.0 queued → 1.0 output committed), the
+    /// jobtracker-side signal real speculation heuristics key off.
+    map_progress: Vec<f64>,
+
+    // Fault-injection state. With an empty plan (`faulty == false`) none of
+    // it is ever touched, keeping the no-fault path byte-identical.
+    plan: FaultPlan,
+    faulty: bool,
+    worker_alive: Vec<bool>,
+    /// Map attempts currently executing, as `(map, worker)` pairs.
+    running_map_attempts: Vec<(usize, usize)>,
+    /// In-flight remote input reads: flow → `(map, reading worker)`.
+    /// Entries for completed flows are pruned lazily (flow ids are unique).
+    map_read_flows: BTreeMap<FlowId, (usize, usize)>,
+    /// In-flight shuffle fetch batches: flow → `(reducer, claimed maps)`.
+    fetch_flows: BTreeMap<FlowId, (usize, Vec<usize>)>,
+    /// Worker currently hosting each reduce task, if any.
+    reduce_site: Vec<Option<usize>>,
+    reduce_done: Vec<bool>,
 
     report: JobReport,
     finished: bool,
@@ -101,10 +122,11 @@ impl HasNet for HadoopSim {
 }
 
 impl HadoopSim {
-    fn new(cfg: HadoopConfig, spec: JobSpec) -> Self {
+    fn new(cfg: HadoopConfig, spec: JobSpec, plan: FaultPlan) -> Self {
         cfg.validate().expect("invalid hadoop config");
         spec.validate().expect("invalid job spec");
         let workers = cfg.n_workers();
+        plan.validate(workers + 1).expect("invalid fault plan");
         // Populate HDFS: the input dataset written round-robin from every
         // worker datanode, with the configured replication factor.
         let mut hdfs = NameNode::new(
@@ -144,6 +166,15 @@ impl HadoopSim {
             map_speculated: vec![false; n_maps],
             map_attempts: vec![0; n_maps],
             completed_map_durations: OnlineStats::new(),
+            map_progress: vec![0.0; n_maps],
+            faulty: !plan.is_empty(),
+            plan,
+            worker_alive: vec![true; workers],
+            running_map_attempts: Vec::new(),
+            map_read_flows: BTreeMap::new(),
+            fetch_flows: BTreeMap::new(),
+            reduce_site: vec![None; n_reduces],
+            reduce_done: vec![false; n_reduces],
             report: JobReport {
                 makespan: SimTime::ZERO,
                 maps: Vec::with_capacity(n_maps),
@@ -156,15 +187,19 @@ impl HadoopSim {
                         reduce: SimTime::ZERO,
                     })
                     .collect(),
-                speculative_launched: 0,
-                speculative_wasted: 0,
-                failed_map_attempts: 0,
-                job_failed: false,
+                ..JobReport::default()
             },
             cfg,
             finished: false,
             tracer: None,
         }
+    }
+
+    /// Jobtracker-side per-map-task progress (0.0 queued, 0.5 input read,
+    /// 1.0 output committed) — the signal speculation heuristics key off,
+    /// reset to 0.0 when a crash forces re-execution.
+    pub fn map_progress(&self) -> &[f64] {
+        &self.map_progress
     }
 
     /// Install a trace sink on the job and its network, and name the trace
@@ -203,12 +238,163 @@ impl HadoopSim {
                 Self::heartbeat(s, sc, w);
             });
         }
+        Self::schedule_faults(sim);
+    }
+
+    /// Schedule every event of the fault plan against the simulation clock.
+    /// (Straggler windows are not events — `map_compute`/`reduce_compute`
+    /// query them via [`FaultPlan::cpu_factor`].)
+    fn schedule_faults(sim: &mut Sim<HadoopSim>) {
+        for ev in sim.state.plan.events().to_vec() {
+            let host = HostId(ev.host);
+            match ev.kind {
+                FaultKind::NodeCrash => {
+                    sim.schedule(ev.at, move |s: &mut HadoopSim, sc| {
+                        Self::crash_worker(s, sc, host.0 - 1);
+                    });
+                }
+                FaultKind::DiskSlowdown { factor } => {
+                    sim.schedule(ev.at, move |s: &mut HadoopSim, sc| {
+                        if !s.finished && s.net.host_alive(host) {
+                            Net::set_disk_factor(s, sc, host, factor);
+                        }
+                    });
+                }
+                FaultKind::NicDegrade { factor } => {
+                    sim.schedule(ev.at, move |s: &mut HadoopSim, sc| {
+                        if !s.finished && s.net.host_alive(host) {
+                            Net::set_nic_factor(s, sc, host, factor);
+                        }
+                    });
+                }
+                FaultKind::LinkPartition { peer, heal_at } => {
+                    let peer = HostId(peer);
+                    sim.schedule(ev.at, move |s: &mut HadoopSim, sc| {
+                        if !s.finished && s.net.host_alive(host) && s.net.host_alive(peer) {
+                            Net::cut_link(s, sc, host, peer);
+                        }
+                    });
+                    sim.schedule(heal_at, move |s: &mut HadoopSim, sc| {
+                        Net::heal_link(s, sc, host, peer);
+                    });
+                }
+                FaultKind::StragglerCpu { .. } => {}
+            }
+        }
+    }
+
+    /// A worker dies: kill its flows and tasks, invalidate map outputs it
+    /// served, and put the lost work back on the jobtracker's queues —
+    /// 0.20's TaskTracker-lost handling.
+    fn crash_worker(s: &mut HadoopSim, sc: &mut Scheduler<HadoopSim>, w: usize) {
+        if s.finished || !s.worker_alive[w] {
+            return;
+        }
+        s.worker_alive[w] = false;
+        s.report.crashed_workers += 1;
+        let host = HostId(1 + w);
+        let killed = Net::fail_host(s, sc, host);
+        // Reduce tasks sited on the dead worker restart from scratch on a
+        // surviving one (all partially fetched data lived on its disk).
+        for r in 0..s.cfg.n_reduces {
+            if s.reduce_site[r] == Some(w) && !s.reduce_done[r] {
+                s.copiers[r] = None;
+                s.waiting_reducers.retain(|&x| x != r);
+                s.pending_reduces.push(r);
+                s.reduce_site[r] = None;
+                s.report.restarted_reduces += 1;
+            }
+        }
+        // Reconcile killed flows that belonged to tasks on *surviving*
+        // hosts: shuffle fetches served by the dead host, and remote input
+        // reads streaming from its disk.
+        let mut retry_fetch: Vec<usize> = Vec::new();
+        for id in &killed {
+            if let Some((r, maps)) = s.fetch_flows.remove(id) {
+                if let Some(cs) = s.copiers[r].as_mut() {
+                    cs.in_flight -= 1;
+                    for m in maps {
+                        cs.claimed[m] = false;
+                    }
+                    retry_fetch.push(r);
+                }
+            }
+            if let Some((m, wk)) = s.map_read_flows.remove(id) {
+                if s.worker_alive[wk] {
+                    s.free_map_slots[wk] += 1;
+                    if let Some(p) = s
+                        .running_map_attempts
+                        .iter()
+                        .position(|&(mm, ww)| mm == m && ww == wk)
+                    {
+                        s.running_map_attempts.remove(p);
+                    }
+                    Self::requeue_map_if_lost(s, m);
+                }
+            }
+        }
+        // Attempts that were running on the dead worker are gone.
+        let lost: Vec<usize> = s
+            .running_map_attempts
+            .iter()
+            .filter(|&&(_, ww)| ww == w)
+            .map(|&(m, _)| m)
+            .collect();
+        s.running_map_attempts.retain(|&(_, ww)| ww != w);
+        for m in lost {
+            Self::requeue_map_if_lost(s, m);
+        }
+        // Committed map outputs stored on the dead worker are lost; unless
+        // another attempt is already re-producing them, those maps re-run.
+        for m in 0..s.n_maps {
+            if s.map_out_ready[m] && s.map_out_host[m] == host {
+                s.map_out_ready[m] = false;
+                s.maps_done -= 1;
+                s.report.maps_reexecuted += 1;
+                Self::requeue_map_if_lost(s, m);
+            }
+        }
+        if let Some(t) = &s.tracer {
+            t.instant_args(
+                1 + w as u32,
+                0,
+                "worker_crash",
+                "faults.inject",
+                sc.now().as_nanos(),
+                vec![
+                    ("flows_killed", ArgValue::U64(killed.len() as u64)),
+                    ("maps_reexecuted", ArgValue::U64(s.report.maps_reexecuted)),
+                ],
+            );
+            t.metrics().inc("hadoop.crashed_workers", 1);
+        }
+        // Reducers whose fetch died mid-flight retry against the surviving
+        // copies (or park until the re-executed map republishes).
+        retry_fetch.sort_unstable();
+        retry_fetch.dedup();
+        for r in retry_fetch {
+            if s.copiers[r].is_some() {
+                Self::try_fetch(s, sc, r);
+            }
+        }
+    }
+
+    /// Re-queue map `m` for execution if no output is committed, no attempt
+    /// is still running, and it is not already pending.
+    fn requeue_map_if_lost(s: &mut HadoopSim, m: usize) {
+        let running = s.running_map_attempts.iter().any(|&(mm, _)| mm == m);
+        if !s.map_out_ready[m] && !running && !s.pending_maps.contains(&m) {
+            s.pending_maps.push(m);
+            s.map_started[m] = None;
+            s.map_speculated[m] = false;
+            s.map_progress[m] = 0.0;
+        }
     }
 
     // ---------------- scheduling ----------------
 
     fn heartbeat(s: &mut HadoopSim, sc: &mut Scheduler<HadoopSim>, worker: usize) {
-        if s.finished {
+        if s.finished || !s.worker_alive[worker] {
             return;
         }
         if s.setup_done {
@@ -292,8 +478,21 @@ impl HadoopSim {
         let host = HostId(1 + worker);
         let start = sc.now();
         let (replica, local) = s.hdfs.select_replica(s.blocks[m], host);
+        s.running_map_attempts.push((m, worker));
         let jvm = SimTime::from_secs_f64(s.rng.jittered(s.cfg.jvm_start.as_secs_f64(), 0.2));
         sc.schedule_in(jvm, move |s: &mut HadoopSim, sc| {
+            // The attempt's worker may have crashed while the JVM launched.
+            if !s.worker_alive[worker] {
+                return;
+            }
+            // A remote replica host may have crashed too: fall back to a
+            // surviving replica (or requeue via the dead-host read path).
+            let (replica, local) = if !local && !s.net.host_alive(replica) {
+                s.hdfs
+                    .select_replica_alive(s.blocks[m], host, |h| s.net.host_alive(h))
+            } else {
+                (replica, local)
+            };
             // Read the input block (local disk or streamed from the replica
             // host).
             let bytes = s.map_input[m];
@@ -308,9 +507,12 @@ impl HadoopSim {
             // Charge one initial seek via the seek-equivalent convention.
             let seek_bytes =
                 (s.cfg.fetch_seek.as_secs_f64() * s.cfg.cluster.disk_read_bytes_per_sec) as u64;
-            Net::start_flow(s, sc, route, bytes + seek_bytes, 1.0, move |s, sc| {
+            let id = Net::start_flow(s, sc, route, bytes + seek_bytes, 1.0, move |s, sc| {
                 Self::map_compute(s, sc, m, worker, start, local);
             });
+            if s.faulty && !local {
+                s.map_read_flows.insert(id, (m, worker));
+            }
         });
     }
 
@@ -335,9 +537,18 @@ impl HadoopSim {
         } else {
             1.0
         };
-        let cpu =
-            SimTime::from_secs_f64(s.rng.jittered(s.spec.map_cpu_secs(bytes), 0.35) * straggle);
+        s.map_progress[m] = 0.5;
+        // Injected straggler windows multiply on top of the sampled
+        // variance (applied after the RNG draws, so an empty plan leaves
+        // the random sequence untouched).
+        let injected = s.plan.cpu_factor(1 + worker, sc.now());
+        let cpu = SimTime::from_secs_f64(
+            s.rng.jittered(s.spec.map_cpu_secs(bytes), 0.35) * straggle * injected,
+        );
         sc.schedule_in(cpu, move |s: &mut HadoopSim, sc| {
+            if !s.worker_alive[worker] {
+                return;
+            }
             // Spill the (combined) map output; oversized raw output pays an
             // extra merge pass (read + write ≈ 3× the final volume).
             let host = HostId(1 + worker);
@@ -362,8 +573,16 @@ impl HadoopSim {
         start: SimTime,
         local: bool,
     ) {
-        if s.finished {
+        if s.finished || !s.worker_alive[worker] {
             return;
+        }
+        // This attempt is no longer running, whatever its outcome below.
+        if let Some(p) = s
+            .running_map_attempts
+            .iter()
+            .position(|&(mm, ww)| mm == m && ww == worker)
+        {
+            s.running_map_attempts.remove(p);
         }
         if s.map_out_ready[m] {
             // A speculative duplicate lost the race: its work is wasted;
@@ -415,6 +634,7 @@ impl HadoopSim {
             .add((sc.now() - start).as_secs_f64());
         s.map_out_ready[m] = true;
         s.map_out_host[m] = HostId(1 + worker);
+        s.map_progress[m] = 1.0;
         s.maps_done += 1;
         if let Some(t) = &s.tracer {
             t.complete(
@@ -455,8 +675,12 @@ impl HadoopSim {
     fn start_reduce(s: &mut HadoopSim, sc: &mut Scheduler<HadoopSim>, r: usize, worker: usize) {
         let host = HostId(1 + worker);
         let task_start = sc.now();
+        s.reduce_site[r] = Some(worker);
         let jvm = SimTime::from_secs_f64(s.rng.jittered(s.cfg.jvm_start.as_secs_f64(), 0.2));
         sc.schedule_in(jvm, move |s: &mut HadoopSim, sc| {
+            if !s.worker_alive[worker] {
+                return;
+            }
             s.copiers[r] = Some(CopyState {
                 host,
                 task_start,
@@ -522,7 +746,7 @@ impl HadoopSim {
                 Route::RemoteRead { from, to }
             };
             let n_batch = batch.len();
-            Net::start_flow(s, sc, route, payload + overhead_bytes, 1.0, move |s, sc| {
+            let id = Net::start_flow(s, sc, route, payload + overhead_bytes, 1.0, move |s, sc| {
                 let cs = s.copiers[r].as_mut().expect("copier");
                 cs.in_flight -= 1;
                 cs.completed += n_batch;
@@ -535,6 +759,9 @@ impl HadoopSim {
                     Self::try_fetch(s, sc, r);
                 }
             });
+            if s.faulty {
+                s.fetch_flows.insert(id, (r, batch));
+            }
         }
     }
 
@@ -559,7 +786,11 @@ impl HadoopSim {
         // paper's ~0.01 s sorts), otherwise on-disk merge passes.
         if shuffled <= s.cfg.merge_buffer_bytes {
             let sort = SimTime::from_millis(10);
+            let worker = cs.host.0 - 1;
             sc.schedule_in(sort, move |s: &mut HadoopSim, sc| {
+                if !s.worker_alive[worker] {
+                    return;
+                }
                 Self::reduce_compute(s, sc, r, span_base, copy, sort, shuffled);
             });
         } else {
@@ -585,8 +816,11 @@ impl HadoopSim {
         shuffled: u64,
     ) {
         let reduce_start = sc.now();
-        let cpu = SimTime::from_secs_f64(s.rng.jittered(s.spec.reduce_cpu_secs(shuffled), 0.1));
         let (task_start, host) = span_base;
+        let injected = s.plan.cpu_factor(host.0, sc.now());
+        let cpu = SimTime::from_secs_f64(
+            s.rng.jittered(s.spec.reduce_cpu_secs(shuffled), 0.1) * injected,
+        );
         if let Some(t) = &s.tracer {
             // The sort/merge stage ends exactly where the reduce stage starts.
             t.complete(
@@ -600,6 +834,9 @@ impl HadoopSim {
             );
         }
         sc.schedule_in(cpu, move |s: &mut HadoopSim, sc| {
+            if !s.worker_alive[host.0 - 1] {
+                return;
+            }
             let out = s.spec.output_bytes(shuffled);
             // Output commits through the page cache: write-back absorbs the
             // burst, so the flow gets elevated weight against the steady
@@ -617,6 +854,8 @@ impl HadoopSim {
                     reduce,
                 };
                 s.reduces_done += 1;
+                s.reduce_done[r] = true;
+                s.reduce_site[r] = None;
                 s.free_reduce_slots[host.0 - 1] += 1;
                 if let Some(t) = &s.tracer {
                     t.complete(
@@ -654,19 +893,45 @@ impl HadoopSim {
 
 /// Execute one simulated Hadoop job, returning the timing report.
 pub fn run_job(cfg: HadoopConfig, spec: JobSpec) -> JobReport {
-    run_job_inner(cfg, spec, None)
+    run_job_inner(cfg, spec, FaultPlan::none(), None)
 }
 
 /// Like [`run_job`], but recording map/copy/sort/reduce spans, scheduler
 /// instants, and network flow spans into `tracer` (all timestamps are
 /// simulated nanoseconds, so the resulting trace is deterministic).
 pub fn run_job_traced(cfg: HadoopConfig, spec: JobSpec, tracer: Tracer) -> JobReport {
-    run_job_inner(cfg, spec, Some(tracer))
+    run_job_inner(cfg, spec, FaultPlan::none(), Some(tracer))
 }
 
-fn run_job_inner(cfg: HadoopConfig, spec: JobSpec, tracer: Option<Tracer>) -> JobReport {
-    let mut sim = Sim::new(HadoopSim::new(cfg, spec));
+/// Execute one simulated Hadoop job under a fault plan: node crashes kill
+/// workers (their tasks and map outputs re-execute elsewhere), degraded
+/// disks/NICs rescale flow rates, partitions stall traffic until healed,
+/// and straggler windows slow task CPU (masked by speculation). An empty
+/// plan is byte-identical to [`run_job`].
+pub fn run_job_faulty(cfg: HadoopConfig, spec: JobSpec, plan: FaultPlan) -> JobReport {
+    run_job_inner(cfg, spec, plan, None)
+}
+
+/// [`run_job_faulty`] with trace recording; every injected fault appears as
+/// a `faults.inject` instant on the struck host's lane.
+pub fn run_job_faulty_traced(
+    cfg: HadoopConfig,
+    spec: JobSpec,
+    plan: FaultPlan,
+    tracer: Tracer,
+) -> JobReport {
+    run_job_inner(cfg, spec, plan, Some(tracer))
+}
+
+fn run_job_inner(
+    cfg: HadoopConfig,
+    spec: JobSpec,
+    plan: FaultPlan,
+    tracer: Option<Tracer>,
+) -> JobReport {
+    let mut sim = Sim::new(HadoopSim::new(cfg, spec, plan));
     if let Some(t) = tracer {
+        sim.state.plan.emit_schedule(&t);
         sim.state.set_tracer(t);
     }
     HadoopSim::start(&mut sim);

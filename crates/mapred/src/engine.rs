@@ -62,7 +62,7 @@ impl MpidEngineConfig {
         }
     }
 
-    fn mpid(&self) -> MpidConfig {
+    pub(crate) fn mpid(&self) -> MpidConfig {
         MpidConfig {
             n_mappers: self.n_mappers,
             n_reducers: self.n_reducers,
@@ -100,7 +100,7 @@ enum RankResult<K, V> {
 
 /// Adapter exposing the application's `partition` method as an MPI-D
 /// [`Partitioner`].
-struct AppPartitioner<A>(Arc<A>);
+pub(crate) struct AppPartitioner<A>(pub(crate) Arc<A>);
 
 impl<A: MapReduceApp> Partitioner<A::MidKey> for AppPartitioner<A> {
     fn partition(&self, key: &A::MidKey, n_reducers: usize) -> usize {
@@ -134,6 +134,7 @@ where
             } else {
                 mpi_rt::VerifyConfig::disabled()
             },
+            ..MpiConfig::default()
         },
         n_ranks,
         move |comm| {

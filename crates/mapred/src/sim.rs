@@ -26,6 +26,7 @@
 //! * streaming reduce overlapped with reception, then a final output write.
 
 use desim::{Scheduler, Sim, SimTime};
+use faults::{FaultKind, FaultPlan};
 use netsim::{Cluster, ClusterSpec, HasNet, HostId, JobSpec, MpiModel, Net, Route, Transport};
 use obs::{ArgValue, Tracer};
 use std::collections::BTreeMap;
@@ -157,6 +158,9 @@ struct MpidSim {
     // (mapper, split) → (ship start ns, frames outstanding, shuffled bytes);
     // populated only while tracing.
     ship_state: BTreeMap<(usize, usize), (u64, usize, u64)>,
+    // Benign (crash-free) fault schedule: degradations, partitions and
+    // straggler windows. Crashes are handled by the FT driver above the sim.
+    plan: FaultPlan,
 }
 
 impl HasNet for MpidSim {
@@ -166,9 +170,15 @@ impl HasNet for MpidSim {
 }
 
 impl MpidSim {
-    fn new(cfg: SimMpidConfig, spec: JobSpec) -> Self {
+    fn new(cfg: SimMpidConfig, spec: JobSpec, plan: FaultPlan) -> Self {
         cfg.validate();
         spec.validate().expect("invalid job spec");
+        assert!(
+            plan.first_crash().is_none(),
+            "MpidSim takes a benign plan; crashes are driver-level (run_sim_mpid_ft)"
+        );
+        plan.validate(cfg.cluster.hosts)
+            .expect("invalid fault plan");
         let n_splits = (spec.input_bytes.div_ceil(cfg.split_bytes)).max(1) as usize;
         let mut split_input = vec![cfg.split_bytes; n_splits];
         let tail = spec.input_bytes % cfg.split_bytes;
@@ -218,6 +228,7 @@ impl MpidSim {
             reduce_started: false,
             tracer: None,
             ship_state: BTreeMap::new(),
+            plan,
             cfg,
         }
     }
@@ -245,6 +256,47 @@ impl MpidSim {
                 s.mapper_spans[m].0 = sc.now();
                 Self::request_split(s, sc, m);
             });
+        }
+        Self::schedule_faults(sim);
+    }
+
+    /// Arm the benign fault events: disk/NIC degradations rescale fluid
+    /// rates mid-flow, partitions stall and resume flows. Stragglers are
+    /// queried at compute time via [`FaultPlan::cpu_factor`].
+    fn schedule_faults(sim: &mut Sim<MpidSim>) {
+        for ev in sim.state.plan.events().to_vec() {
+            let host = HostId(ev.host);
+            match ev.kind {
+                FaultKind::NodeCrash => unreachable!("checked in MpidSim::new"),
+                FaultKind::DiskSlowdown { factor } => {
+                    sim.schedule(ev.at, move |s: &mut MpidSim, sc| {
+                        if !s.finished {
+                            Net::set_disk_factor(s, sc, host, factor);
+                        }
+                    });
+                }
+                FaultKind::NicDegrade { factor } => {
+                    sim.schedule(ev.at, move |s: &mut MpidSim, sc| {
+                        if !s.finished {
+                            Net::set_nic_factor(s, sc, host, factor);
+                        }
+                    });
+                }
+                FaultKind::LinkPartition { peer, heal_at } => {
+                    let peer = HostId(peer);
+                    sim.schedule(ev.at, move |s: &mut MpidSim, sc| {
+                        if !s.finished {
+                            Net::cut_link(s, sc, host, peer);
+                        }
+                    });
+                    sim.schedule(heal_at, move |s: &mut MpidSim, sc| {
+                        if !s.finished {
+                            Net::heal_link(s, sc, host, peer);
+                        }
+                    });
+                }
+                FaultKind::StragglerCpu { .. } => {}
+            }
         }
     }
 
@@ -295,7 +347,10 @@ impl MpidSim {
 
     fn map_split(s: &mut MpidSim, sc: &mut Scheduler<MpidSim>, m: usize, split: usize) {
         let bytes = s.split_input[split];
-        let cpu = SimTime::from_secs_f64(s.spec.map_cpu_secs(bytes) * s.cpu_multiplier);
+        // An injected straggler multiplies the whole split's compute (the
+        // factor ×1.0 for an empty plan keeps the cost bit-identical).
+        let injected = s.plan.cpu_factor(s.mapper_host[m].0, sc.now());
+        let cpu = SimTime::from_secs_f64(s.spec.map_cpu_secs(bytes) * s.cpu_multiplier * injected);
         let map_start = sc.now().as_nanos();
         sc.schedule_in(cpu, move |s: &mut MpidSim, sc| {
             if let Some(t) = &s.tracer {
@@ -413,7 +468,8 @@ impl MpidSim {
             .first_arrival
             .map(|t| (sc.now() - t).as_secs_f64())
             .unwrap_or(0.0);
-        let remaining = (total_cpu - overlapped).max(0.0);
+        let injected = s.plan.cpu_factor(s.reducer_host[0].0, sc.now());
+        let remaining = (total_cpu * injected - overlapped).max(0.0);
         let out_bytes = s.spec.output_bytes(per_red);
         let tail_start = sc.now().as_nanos();
         sc.schedule_in(
@@ -444,18 +500,23 @@ impl MpidSim {
 
 /// Execute one simulated MPI-D job.
 pub fn run_sim_mpid(cfg: SimMpidConfig, spec: JobSpec) -> SimMpidReport {
-    run_sim_mpid_inner(cfg, spec, None)
+    run_sim_mpid_inner(cfg, spec, FaultPlan::none(), None)
 }
 
 /// Like [`run_sim_mpid`], but recording per-split read/map/ship spans, the
 /// reducer tail, and network flow spans into `tracer` (simulated-time
 /// timestamps — deterministic for a given config and spec).
 pub fn run_sim_mpid_traced(cfg: SimMpidConfig, spec: JobSpec, tracer: Tracer) -> SimMpidReport {
-    run_sim_mpid_inner(cfg, spec, Some(tracer))
+    run_sim_mpid_inner(cfg, spec, FaultPlan::none(), Some(tracer))
 }
 
-fn run_sim_mpid_inner(cfg: SimMpidConfig, spec: JobSpec, tracer: Option<Tracer>) -> SimMpidReport {
-    let mut sim = Sim::new(MpidSim::new(cfg, spec));
+fn run_sim_mpid_inner(
+    cfg: SimMpidConfig,
+    spec: JobSpec,
+    plan: FaultPlan,
+    tracer: Option<Tracer>,
+) -> SimMpidReport {
+    let mut sim = Sim::new(MpidSim::new(cfg, spec, plan));
     if let Some(t) = tracer {
         sim.state.set_tracer(t);
     }
@@ -476,6 +537,198 @@ fn run_sim_mpid_inner(cfg: SimMpidConfig, spec: JobSpec, tracer: Option<Tracer>)
         mapper_spans: sim.state.mapper_spans.clone(),
         cpu_multiplier: sim.state.cpu_multiplier,
     }
+}
+
+/// MPI's failure-detection latency in the cost model: the time between a
+/// process dying and MPICH aborting the job (or, in checkpoint mode, the
+/// driver noticing and starting the respawn).
+const MPI_DETECT: SimTime = SimTime::from_millis(80);
+
+/// How the simulated MPI-D deployment reacts to node crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpidFtMode {
+    /// The paper's prototype: no fault tolerance at all. The first node
+    /// crash aborts the whole job after the detection latency.
+    Unchecked,
+    /// Barrier checkpoint/restart: the job runs as supersteps of
+    /// `interval_splits` splits; at each barrier the reducers flush their
+    /// partition-buffer delta to local disk, and a superstep interrupted by
+    /// a crash is replayed from the last barrier on the surviving hosts.
+    Checkpoint {
+        /// Input splits per superstep (clamped to at least 1).
+        interval_splits: usize,
+    },
+}
+
+/// How a fault-injected MPI-D job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtOutcome {
+    /// The job finished.
+    Completed {
+        /// Wall-clock job time including recovery.
+        makespan: SimTime,
+    },
+    /// The job was lost — unchecked MPI under a node crash.
+    Failed {
+        /// When the job aborted (crash + detection latency).
+        at: SimTime,
+        /// The crashed host.
+        lost_host: usize,
+    },
+}
+
+/// Report of one fault-injected MPI-D simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimMpidFtReport {
+    /// Completion or failure.
+    pub outcome: FtOutcome,
+    /// Supersteps completed (1 for an unchecked run that finished).
+    pub supersteps: u64,
+    /// Supersteps replayed after a crash.
+    pub restarts: u64,
+    /// Total barrier time spent writing checkpoints.
+    pub checkpoint_overhead: SimTime,
+    /// Simulated work thrown away (partial superstep at a crash, or the
+    /// whole run for an unchecked failure).
+    pub wasted: SimTime,
+}
+
+/// Execute one simulated MPI-D job under a fault plan.
+///
+/// Benign events (disk/NIC degradations, partitions, stragglers) are
+/// injected into the fluid simulation itself; node crashes are resolved by
+/// the FT `mode` — fail-fast for [`MpidFtMode::Unchecked`], replay from the
+/// last barrier for [`MpidFtMode::Checkpoint`]. With an empty plan,
+/// unchecked mode is bit-identical to [`run_sim_mpid`].
+pub fn run_sim_mpid_ft(
+    cfg: SimMpidConfig,
+    spec: JobSpec,
+    plan: FaultPlan,
+    mode: MpidFtMode,
+) -> SimMpidFtReport {
+    run_sim_mpid_ft_inner(cfg, spec, plan, mode, None)
+}
+
+/// [`run_sim_mpid_ft`] with the fault schedule, barrier checkpoints and
+/// restarts recorded as `mpid.checkpoint` / `faults.inject` trace events.
+pub fn run_sim_mpid_ft_traced(
+    cfg: SimMpidConfig,
+    spec: JobSpec,
+    plan: FaultPlan,
+    mode: MpidFtMode,
+    tracer: Tracer,
+) -> SimMpidFtReport {
+    plan.emit_schedule(&tracer);
+    run_sim_mpid_ft_inner(cfg, spec, plan, mode, Some(tracer))
+}
+
+fn run_sim_mpid_ft_inner(
+    cfg: SimMpidConfig,
+    spec: JobSpec,
+    plan: FaultPlan,
+    mode: MpidFtMode,
+    tracer: Option<Tracer>,
+) -> SimMpidFtReport {
+    plan.validate(cfg.cluster.hosts)
+        .expect("invalid fault plan");
+    let interval = match mode {
+        MpidFtMode::Unchecked => {
+            // One monolithic "superstep": run the whole job with the benign
+            // events injected, then let the first crash (if it lands before
+            // completion) kill it.
+            let report = run_sim_mpid_inner(cfg, spec, plan.without_crashes(), tracer.clone());
+            return match plan.first_crash() {
+                Some((at, host)) if at < report.makespan => {
+                    let failed_at = at + MPI_DETECT;
+                    if let Some(t) = &tracer {
+                        t.instant(0, 0, "job_failed", "mpid.checkpoint", failed_at.as_nanos());
+                    }
+                    SimMpidFtReport {
+                        outcome: FtOutcome::Failed {
+                            at: failed_at,
+                            lost_host: host,
+                        },
+                        supersteps: 0,
+                        restarts: 0,
+                        checkpoint_overhead: SimTime::ZERO,
+                        wasted: at,
+                    }
+                }
+                _ => SimMpidFtReport {
+                    outcome: FtOutcome::Completed {
+                        makespan: report.makespan,
+                    },
+                    supersteps: 1,
+                    restarts: 0,
+                    checkpoint_overhead: SimTime::ZERO,
+                    wasted: SimTime::ZERO,
+                },
+            };
+        }
+        MpidFtMode::Checkpoint { interval_splits } => interval_splits.max(1) as u64,
+    };
+
+    let n_splits = spec.input_bytes.div_ceil(cfg.split_bytes).max(1);
+    let mut crash_pending = plan.first_crash();
+    let mut hosts = cfg.cluster.hosts;
+    let mut elapsed = SimTime::ZERO;
+    let mut report = SimMpidFtReport {
+        outcome: FtOutcome::Completed {
+            makespan: SimTime::ZERO,
+        },
+        supersteps: 0,
+        restarts: 0,
+        checkpoint_overhead: SimTime::ZERO,
+        wasted: SimTime::ZERO,
+    };
+    let mut split = 0u64;
+    while split < n_splits {
+        let chunk = interval.min(n_splits - split);
+        let chunk_bytes = (spec.input_bytes - split * cfg.split_bytes).min(chunk * cfg.split_bytes);
+        let mut sub_cfg = cfg.clone();
+        sub_cfg.cluster.hosts = hosts;
+        let mut sub_spec = spec.clone();
+        sub_spec.input_bytes = chunk_bytes;
+        // The superstep inherits whatever benign faults are active at its
+        // start plus those scheduled during it, re-based to local time.
+        let sub = run_sim_mpid_inner(
+            sub_cfg,
+            sub_spec,
+            plan.after(elapsed).without_crashes(),
+            None,
+        );
+        // Barrier: reducers flush this superstep's partition-buffer delta
+        // to local disk in parallel, plus one barrier RPC.
+        let per_red = spec.shuffle_bytes(chunk_bytes) / cfg.n_reducers as u64;
+        let ckpt = SimTime::from_secs_f64(per_red as f64 / cfg.cluster.disk_write_bytes_per_sec)
+            + cfg.master_rpc;
+        let end = elapsed + sub.makespan + ckpt;
+        if let Some((at, _host)) = crash_pending {
+            if at < end {
+                // The crash lands in this superstep: its partial work is
+                // lost, the host is gone, and after detection + respawn the
+                // superstep replays from the last barrier on the survivors.
+                report.wasted += at.max(elapsed) - elapsed;
+                report.restarts += 1;
+                hosts -= 1;
+                elapsed = at + MPI_DETECT + cfg.startup;
+                crash_pending = None;
+                if let Some(t) = &tracer {
+                    t.instant(0, 0, "restart", "mpid.checkpoint", elapsed.as_nanos());
+                }
+                continue;
+            }
+        }
+        elapsed = end;
+        report.checkpoint_overhead += ckpt;
+        report.supersteps += 1;
+        split += chunk;
+        if let Some(t) = &tracer {
+            t.instant(0, 0, "checkpoint", "mpid.checkpoint", elapsed.as_nanos());
+        }
+    }
+    report.outcome = FtOutcome::Completed { makespan: elapsed };
+    report
 }
 
 #[cfg(test)]
@@ -542,6 +795,89 @@ mod tests {
         assert_eq!(tl.len(), 3);
         assert_eq!(tl[2].0, "reduce_tail");
         assert_eq!(tl[2].2, r.makespan);
+    }
+
+    #[test]
+    fn ft_unchecked_with_empty_plan_matches_plain_run() {
+        let plain = run_sim_mpid(SimMpidConfig::icpp2011_fig6(), wc_spec(1.0));
+        let ft = run_sim_mpid_ft(
+            SimMpidConfig::icpp2011_fig6(),
+            wc_spec(1.0),
+            FaultPlan::none(),
+            MpidFtMode::Unchecked,
+        );
+        assert_eq!(
+            ft.outcome,
+            FtOutcome::Completed {
+                makespan: plain.makespan
+            }
+        );
+        assert_eq!(ft.checkpoint_overhead, SimTime::ZERO);
+    }
+
+    #[test]
+    fn ft_unchecked_fails_fast_on_a_crash() {
+        let plain = run_sim_mpid(SimMpidConfig::icpp2011_fig6(), wc_spec(1.0));
+        let crash_at = SimTime::from_secs_f64(plain.makespan.as_secs_f64() * 0.5);
+        let plan = FaultPlan::builder().crash(crash_at, 3).build();
+        let ft = run_sim_mpid_ft(
+            SimMpidConfig::icpp2011_fig6(),
+            wc_spec(1.0),
+            plan,
+            MpidFtMode::Unchecked,
+        );
+        match ft.outcome {
+            FtOutcome::Failed { at, lost_host } => {
+                assert_eq!(lost_host, 3);
+                assert!(at >= crash_at && at < crash_at + SimTime::from_secs(1));
+            }
+            other => panic!("expected fail-fast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ft_checkpoint_survives_the_crash_with_bounded_slowdown() {
+        let cfg = SimMpidConfig::icpp2011_fig6().with_auto_splits(1 << 30);
+        let plain = run_sim_mpid(cfg.clone(), wc_spec(1.0));
+        let crash_at = SimTime::from_secs_f64(plain.makespan.as_secs_f64() * 0.5);
+        let plan = FaultPlan::builder().crash(crash_at, 3).build();
+        let mode = MpidFtMode::Checkpoint { interval_splits: 4 };
+        let ft = run_sim_mpid_ft(cfg.clone(), wc_spec(1.0), plan.clone(), mode);
+        let FtOutcome::Completed { makespan } = ft.outcome else {
+            panic!("checkpointed run must complete: {:?}", ft.outcome);
+        };
+        assert_eq!(ft.restarts, 1);
+        assert!(ft.checkpoint_overhead > SimTime::ZERO);
+        // Recovery costs something, but far less than a full re-run.
+        assert!(makespan > plain.makespan);
+        assert!(
+            makespan.as_secs_f64() < plain.makespan.as_secs_f64() * 3.0 + 60.0,
+            "recovery should be bounded: {makespan} vs {}",
+            plain.makespan
+        );
+        // Deterministic replay.
+        let again = run_sim_mpid_ft(cfg, wc_spec(1.0), plan, mode);
+        assert_eq!(ft, again);
+    }
+
+    #[test]
+    fn ft_straggler_slows_the_whole_job_without_crashing_it() {
+        let plain = run_sim_mpid(SimMpidConfig::icpp2011_fig6(), wc_spec(1.0));
+        let until = SimTime::from_secs_f64(plain.makespan.as_secs_f64() * 4.0);
+        let plan = FaultPlan::builder()
+            .straggler(SimTime::ZERO, 2, 6.0, until)
+            .build();
+        let ft = run_sim_mpid_ft(
+            SimMpidConfig::icpp2011_fig6(),
+            wc_spec(1.0),
+            plan,
+            MpidFtMode::Unchecked,
+        );
+        let FtOutcome::Completed { makespan } = ft.outcome else {
+            panic!("stragglers must not fail the job");
+        };
+        // No speculation in MPI-D: the slow host drags the makespan.
+        assert!(makespan > plain.makespan);
     }
 
     #[test]

@@ -7,10 +7,20 @@ use crate::types::{MpiError, MpiResult, Rank, Status, Tag, MAX_USER_TAG};
 use crate::verify::{BlockedOp, Finding, Verifier, WaitHandle, WireSig, ABORT_POLL};
 use bytes::Bytes;
 use obs::ArgValue;
+use parking_lot::Mutex;
 use std::cell::Cell;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Panic payload of an injected fault-plan crash — lets the universe tell
+/// a planned rank loss apart from a genuine rank bug at teardown.
+#[derive(Debug)]
+pub(crate) struct InjectedCrash {
+    /// World rank that was taken down.
+    pub(crate) rank: Rank,
+}
 
 /// Shared state of an MPI "universe": one mailbox per world rank plus
 /// configuration and counters.
@@ -22,6 +32,15 @@ pub struct WorldState {
     pub(crate) bytes_sent: AtomicU64,
     /// Correctness checker shared by all ranks (`None` for unchecked runs).
     pub(crate) verifier: Option<Arc<Verifier>>,
+    /// Per-world-rank point-to-point operation counters, driving fault
+    /// injection (always present; empty `fault_after` disables the check).
+    pub(crate) op_counts: Vec<AtomicU64>,
+    /// `Some(k)` at index `r`: rank `r` crashes on its `k`-th p2p operation
+    /// (0-based, so `Some(0)` crashes on the very first op).
+    pub(crate) fault_after: Vec<Option<u64>>,
+    /// World ranks actually taken down by injection, recorded before the
+    /// crash unwinds.
+    pub(crate) injected_crashes: Mutex<BTreeSet<Rank>>,
 }
 
 impl WorldState {
@@ -29,13 +48,18 @@ impl WorldState {
         n: usize,
         eager_threshold: usize,
         verifier: Option<Arc<Verifier>>,
+        fault_after: Vec<Option<u64>>,
     ) -> Arc<Self> {
+        debug_assert!(fault_after.len() == n);
         Arc::new(WorldState {
             mailboxes: (0..n).map(|_| Arc::new(Mailbox::new())).collect(),
             eager_threshold,
             msgs_sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
             verifier,
+            op_counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            fault_after,
+            injected_crashes: Mutex::new(BTreeSet::new()),
         })
     }
 }
@@ -191,6 +215,27 @@ impl Comm {
         }
     }
 
+    /// Fault-injection hook at every point-to-point funnel: bump this
+    /// rank's op counter and, once it passes the configured crash point,
+    /// take the rank down with a recognizable panic payload. The crash is
+    /// recorded *before* unwinding so teardown can classify the run as
+    /// [`MpiError::RankLost`] rather than a genuine rank bug.
+    #[inline]
+    fn fault_check(&self) {
+        let me = self.world_rank();
+        if let Some(after) = self.world.fault_after[me] {
+            let n = self.world.op_counts[me].fetch_add(1, Ordering::Relaxed);
+            if n >= after {
+                self.world.injected_crashes.lock().insert(me);
+                // resume_unwind (not panic_any) so the planned crash unwinds
+                // the rank without tripping the global panic hook — the loss
+                // is reported structurally as MpiError::RankLost, not as
+                // backtrace noise on stderr.
+                std::panic::resume_unwind(Box::new(InjectedCrash { rank: me }));
+            }
+        }
+    }
+
     fn check_rank(&self, r: Rank) -> MpiResult<()> {
         if r >= self.group.len() {
             return Err(MpiError::RankOutOfRange {
@@ -216,6 +261,7 @@ impl Comm {
         data: Bytes,
         sig: Option<WireSig>,
     ) -> MpiResult<()> {
+        self.fault_check();
         self.check_rank(dst)?;
         let mailbox = &self.world.mailboxes[self.group[dst]];
         self.world.msgs_sent.fetch_add(1, Ordering::Relaxed);
@@ -272,6 +318,7 @@ impl Comm {
         data: Bytes,
         sig: Option<WireSig>,
     ) -> MpiResult<SendRequest> {
+        self.fault_check();
         self.check_rank(dst)?;
         let mailbox = &self.world.mailboxes[self.group[dst]];
         self.world.msgs_sent.fetch_add(1, Ordering::Relaxed);
@@ -330,6 +377,7 @@ impl Comm {
         src: Option<Rank>,
         tag: Option<Tag>,
     ) -> MpiResult<(Vec<T>, Status)> {
+        self.fault_check();
         if let Some(s) = src {
             self.check_rank(s)?;
         }

@@ -17,6 +17,10 @@
 //! * **Failure visibility**: ranks that return close their mailboxes, so a
 //!   send to a dead rank errors ([`MpiError::PeerGone`]) instead of hanging,
 //!   and timed receives ([`Comm::recv_timeout`]) let callers bound waits.
+//! * **Fault injection** ([`MpiConfig::fault_injection`]): kill a chosen
+//!   rank after its n-th point-to-point operation; the watchdog converts
+//!   the survivors' stuck waits into a structured [`MpiError::RankLost`]
+//!   report — the substrate for checkpoint/restart experiments.
 //! * **Verification** ([`verify`]): every run is checked by default — a
 //!   wait-for-graph watchdog aborts deadlocks with per-rank reports instead
 //!   of hanging, collectives are call-signature-checked across ranks, typed
@@ -57,8 +61,8 @@ pub use comm::{wait_all_recvs, wait_all_sends, wait_any_recv, Comm, RecvRequest,
 pub use data::MpiType;
 pub use trace::RankTrace;
 pub use types::{MpiError, MpiResult, Rank, Status, Tag, ANY_SOURCE, ANY_TAG, MAX_USER_TAG};
-pub use universe::{MpiConfig, Universe};
+pub use universe::{MpiConfig, RankFault, Universe};
 pub use verify::{
-    BlockedOp, CollMismatch, CollSig, DeadlockReport, Finding, RankSnapshot, RanksFailure,
-    VerifyConfig, VerifyReport, WireSig,
+    BlockedOp, CollMismatch, CollSig, DeadlockReport, Finding, RankLostReport, RankSnapshot,
+    RanksFailure, VerifyConfig, VerifyReport, WireSig,
 };

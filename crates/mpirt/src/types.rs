@@ -1,6 +1,6 @@
 //! Common types: ranks, tags, statuses, errors.
 
-use crate::verify::{CollMismatch, DeadlockReport, RanksFailure};
+use crate::verify::{CollMismatch, DeadlockReport, RankLostReport, RanksFailure};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -70,6 +70,10 @@ pub enum MpiError {
     /// One or more rank functions panicked; carries per-rank payloads and
     /// the wait-for-graph snapshot at first failure.
     RanksFailed(Arc<RanksFailure>),
+    /// One or more ranks were lost to an injected crash
+    /// ([`MpiConfig::fault_injection`](crate::MpiConfig)) and the failure
+    /// was propagated to the survivors instead of letting them hang.
+    RankLost(Arc<RankLostReport>),
 }
 
 impl fmt::Display for MpiError {
@@ -93,6 +97,7 @@ impl fmt::Display for MpiError {
             MpiError::Deadlock(report) => write!(f, "{report}"),
             MpiError::CollectiveMismatch(mm) => write!(f, "{mm}"),
             MpiError::RanksFailed(failure) => write!(f, "{failure}"),
+            MpiError::RankLost(report) => write!(f, "{report}"),
         }
     }
 }

@@ -12,13 +12,25 @@
 //! and teardown audits every mailbox for leaked traffic.
 //! [`Universe::run_unchecked`] is the escape hatch.
 
-use crate::comm::{Comm, WorldState, WORLD_CTX};
+use crate::comm::{Comm, InjectedCrash, WorldState, WORLD_CTX};
 use crate::matching::{Mailbox, PayloadSlot};
 use crate::trace::RankTrace;
 use crate::types::{MpiError, MpiResult, Rank};
-use crate::verify::{Finding, RanksFailure, Verifier, VerifyConfig, VerifyReport};
+use crate::verify::{Finding, RankLostReport, RanksFailure, Verifier, VerifyConfig, VerifyReport};
 use std::cell::Cell;
 use std::sync::Arc;
+
+/// One planned rank crash: the rank panics (as if its process died) on its
+/// `after_ops`-th point-to-point operation. Used by the fault-injection
+/// subsystem to study failure propagation and checkpoint/restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankFault {
+    /// World rank to take down.
+    pub rank: Rank,
+    /// Crash on the `after_ops`-th p2p operation (0 = the very first send
+    /// or receive the rank attempts).
+    pub after_ops: u64,
+}
 
 /// Runtime configuration.
 #[derive(Debug, Clone)]
@@ -29,6 +41,11 @@ pub struct MpiConfig {
     pub eager_threshold: usize,
     /// Correctness-checker settings (enabled by default).
     pub verify: VerifyConfig,
+    /// Planned rank crashes (empty by default). A run whose only failures
+    /// are these injected crashes reports [`MpiError::RankLost`] instead of
+    /// [`MpiError::RanksFailed`], and the mpiverify watchdog propagates the
+    /// loss to blocked survivors instead of calling it a deadlock.
+    pub fault_injection: Vec<RankFault>,
 }
 
 impl Default for MpiConfig {
@@ -36,6 +53,7 @@ impl Default for MpiConfig {
         MpiConfig {
             eager_threshold: 64 * 1024,
             verify: VerifyConfig::default(),
+            fault_injection: Vec::new(),
         }
     }
 }
@@ -147,7 +165,15 @@ impl Universe {
     {
         assert!(n > 0, "universe needs at least one rank");
         let verifier = cfg.verify.enabled.then(|| Arc::new(Verifier::new(n)));
-        let world = WorldState::new(n, cfg.eager_threshold, verifier.clone());
+        let mut fault_after: Vec<Option<u64>> = vec![None; n];
+        for f in &cfg.fault_injection {
+            assert!(f.rank < n, "fault targets rank {} of {n}", f.rank);
+            fault_after[f.rank] = Some(match fault_after[f.rank] {
+                Some(prev) => prev.min(f.after_ops),
+                None => f.after_ops,
+            });
+        }
+        let world = WorldState::new(n, cfg.eager_threshold, verifier.clone(), fault_after);
         let watchdog = verifier.clone().map(|v| {
             let interval = cfg.verify.watchdog_interval;
             std::thread::Builder::new()
@@ -223,6 +249,17 @@ impl Universe {
                 .as_ref()
                 .map(|v| v.failure_snapshot())
                 .unwrap_or_default();
+            // A run that lost ranks to the fault plan is a planned failure:
+            // report *which ranks were lost*, not a bag of panics. Peers
+            // that also unwound did so only because the loss propagated to
+            // them (PeerGone / watchdog abort), so injection subsumes them.
+            let injected = world.injected_crashes.lock().clone();
+            if !injected.is_empty() {
+                return Err(MpiError::RankLost(Arc::new(RankLostReport {
+                    lost: injected.into_iter().collect(),
+                    ranks: snapshot,
+                })));
+            }
             return Err(MpiError::RanksFailed(Arc::new(RanksFailure {
                 failed,
                 snapshot,
@@ -258,7 +295,9 @@ impl Drop for RankGuard {
 
 /// Best-effort string form of a rank's panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
+    if let Some(c) = payload.downcast_ref::<InjectedCrash>() {
+        format!("rank {} crashed (injected fault plan)", c.rank)
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()

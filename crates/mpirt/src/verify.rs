@@ -252,6 +252,32 @@ impl fmt::Display for DeadlockReport {
     }
 }
 
+/// Report of a run torn down because one or more ranks were lost (crashed
+/// mid-communication — in this runtime, a rank function that unwound while
+/// peers still depended on it, e.g. an injected fault-plan crash). The
+/// structured alternative to hanging forever on a dead peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankLostReport {
+    /// World ranks that were lost.
+    pub lost: Vec<Rank>,
+    /// Snapshot of every rank when the loss was detected.
+    pub ranks: Vec<RankSnapshot>,
+}
+
+impl fmt::Display for RankLostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "rank(s) {:?} lost: peers can never be unblocked",
+            self.lost
+        )?;
+        for r in &self.ranks {
+            writeln!(f, "  {r}")?;
+        }
+        write!(f, "  (universe aborted by mpiverify failure propagation)")
+    }
+}
+
 /// Full call signature of one collective invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CollSig {
@@ -735,11 +761,20 @@ impl Verifier {
             let seqs: Vec<u64> = snap.iter().map(|s| s.seq).collect();
             let key = (stuck, seqs);
             if prev.as_ref() == Some(&key) {
-                let report = DeadlockReport {
-                    stuck: key.0,
-                    ranks: snap,
+                // A stuck set in a universe where some rank has already
+                // panicked is failure propagation, not a communication
+                // cycle: the survivors are blocked on a dead peer. Report
+                // the lost rank(s), not a deadlock among the blamed.
+                let lost: Vec<Rank> = snap.iter().filter(|s| s.panicked).map(|s| s.rank).collect();
+                let err = if lost.is_empty() {
+                    MpiError::Deadlock(Arc::new(DeadlockReport {
+                        stuck: key.0,
+                        ranks: snap,
+                    }))
+                } else {
+                    MpiError::RankLost(Arc::new(RankLostReport { lost, ranks: snap }))
                 };
-                self.abort_with(MpiError::Deadlock(Arc::new(report)));
+                self.abort_with(err);
                 return;
             }
             prev = Some(key);

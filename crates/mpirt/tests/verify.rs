@@ -15,6 +15,7 @@ fn checked(eager_threshold: usize) -> MpiConfig {
             enabled: true,
             watchdog_interval: Duration::from_millis(10),
         },
+        ..MpiConfig::default()
     }
 }
 
@@ -331,6 +332,7 @@ proptest! {
         let unchecked_cfg = MpiConfig {
             eager_threshold: eager,
             verify: VerifyConfig::disabled(),
+            ..MpiConfig::default()
         };
         let a = Universe::run_with(checked_cfg, n, workload(data.clone()));
         let b = Universe::run_with(unchecked_cfg, n, workload(data.clone()));

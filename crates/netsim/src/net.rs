@@ -5,7 +5,7 @@ use crate::cluster::{Cluster, HostId, Route};
 use crate::resource::{FlowId, FluidEngine};
 use desim::{EventId, Scheduler, SimTime};
 use obs::{ArgValue, Tracer};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-flow bookkeeping kept only while a tracer is installed.
 struct FlowMeta {
@@ -23,6 +23,27 @@ fn route_meta(route: &Route) -> (&'static str, usize) {
         Route::DiskWrite(h) => ("disk_write", h.0),
         Route::RemoteRead { from, .. } => ("remote_read", from.0),
     }
+}
+
+/// Does this route touch host `h` at either endpoint?
+fn route_crosses_host(route: &Route, h: usize) -> bool {
+    match *route {
+        Route::HostToHost { src, dst } => src.0 == h || dst.0 == h,
+        Route::Loopback(x) | Route::DiskRead(x) | Route::DiskWrite(x) => x.0 == h,
+        Route::RemoteRead { from, to } => from.0 == h || to.0 == h,
+    }
+}
+
+/// Does this route cross the network link between hosts `a` and `b`?
+/// Only inter-host routes can — disk and loopback traffic never leaves
+/// the host, so a partition does not touch it.
+fn route_crosses_link(route: &Route, a: usize, b: usize) -> bool {
+    let (x, y) = match *route {
+        Route::HostToHost { src, dst } => (src.0, dst.0),
+        Route::RemoteRead { from, to } => (from.0, to.0),
+        _ => return false,
+    };
+    (x == a && y == b) || (x == b && y == a)
 }
 
 /// Gives the `Net` driver access to itself inside the user's simulation state.
@@ -51,11 +72,18 @@ pub struct Net<S> {
     flows_completed: u64,
     tracer: Option<Tracer>,
     flow_meta: BTreeMap<FlowId, FlowMeta>,
+    // --- fault state (all empty/true on the no-fault path) ---
+    host_alive: Vec<bool>,
+    /// Cut links as normalized `(min, max)` host pairs.
+    partitions: BTreeSet<(usize, usize)>,
+    /// Route of every live flow, kept so faults can find the flows they hit.
+    flow_route: BTreeMap<FlowId, Route>,
 }
 
 impl<S: HasNet> Net<S> {
     /// Build a driver over `cluster`'s resources.
     pub fn new(cluster: Cluster) -> Self {
+        let hosts = cluster.spec().hosts;
         Net {
             fluid: cluster.build_engine(),
             cluster,
@@ -65,6 +93,9 @@ impl<S: HasNet> Net<S> {
             flows_completed: 0,
             tracer: None,
             flow_meta: BTreeMap::new(),
+            host_alive: vec![true; hosts],
+            partitions: BTreeSet::new(),
+            flow_route: BTreeMap::new(),
         }
     }
 
@@ -121,9 +152,25 @@ impl<S: HasNet> Net<S> {
         // Bring the fluid state up to `now` before mutating the flow set.
         Self::sync(state, sched);
         let net = state.net();
+        for h in 0..net.host_alive.len() {
+            assert!(
+                net.host_alive[h] || !route_crosses_host(&route, h),
+                "flow routed through crashed host {h}: {route:?} — callers must \
+                 check Net::host_alive before starting flows"
+            );
+        }
         let resources = net.cluster.route_resources(&route);
         let (kind, host) = route_meta(&route);
         let id = net.fluid.start_flow(bytes, &resources, weight);
+        // A flow started across a cut link stalls until the link heals.
+        if net
+            .partitions
+            .iter()
+            .any(|&(a, b)| route_crosses_link(&route, a, b))
+        {
+            net.fluid.stall_flow(id);
+        }
+        net.flow_route.insert(id, route.clone());
         net.callbacks.insert(id, Box::new(done));
         if net.tracer.is_some() {
             net.flow_meta.insert(
@@ -148,6 +195,7 @@ impl<S: HasNet> Net<S> {
         let net = state.net();
         let left = net.fluid.cancel_flow(id)?;
         net.callbacks.remove(&id);
+        net.flow_route.remove(&id);
         if let Some(meta) = net.flow_meta.remove(&id) {
             if let Some(t) = &net.tracer {
                 t.instant(
@@ -178,6 +226,7 @@ impl<S: HasNet> Net<S> {
         }
         let mut cbs = Vec::with_capacity(done.len());
         for id in done {
+            net.flow_route.remove(&id);
             if let Some(cb) = net.callbacks.remove(&id) {
                 cbs.push(cb);
             }
@@ -229,6 +278,193 @@ impl<S: HasNet> Net<S> {
             Net::arm_timer(s, sc);
         });
         state.net().timer = Some(id);
+    }
+
+    /// Whether a host is (still) alive. All hosts start alive; only
+    /// [`Net::fail_host`] flips this, permanently.
+    pub fn host_alive(&self, h: HostId) -> bool {
+        self.host_alive[h.0]
+    }
+
+    /// Crash a host: every in-flight flow touching it is killed *without*
+    /// firing its completion callback, and the freed bandwidth re-shares to
+    /// the survivors in the same instant. Future flows routed through the
+    /// host panic (callers must consult [`Net::host_alive`]).
+    ///
+    /// Returns the ids of the killed flows so higher layers can reconcile
+    /// their own per-flow bookkeeping (e.g. un-claim shuffle fetches).
+    /// Crashing an already-dead host is a no-op returning `[]`.
+    pub fn fail_host(state: &mut S, sched: &mut Scheduler<S>, h: HostId) -> Vec<FlowId> {
+        Self::sync(state, sched);
+        let net = state.net();
+        if !net.host_alive[h.0] {
+            return Vec::new();
+        }
+        net.host_alive[h.0] = false;
+        let rs = [
+            net.cluster.uplink(h),
+            net.cluster.downlink(h),
+            net.cluster.disk(h),
+            net.cluster.loopback(h),
+        ];
+        let killed = net.fluid.kill_flows_crossing(&rs);
+        let mut ids = Vec::with_capacity(killed.len());
+        for (id, _left) in killed {
+            net.callbacks.remove(&id);
+            net.flow_route.remove(&id);
+            if let Some(meta) = net.flow_meta.remove(&id) {
+                if let Some(t) = &net.tracer {
+                    t.instant(
+                        meta.host as u32,
+                        id.0 as u32,
+                        "flow_killed",
+                        "net.flow",
+                        sched.now().as_nanos(),
+                    );
+                }
+            }
+            ids.push(id);
+        }
+        if let Some(t) = &net.tracer {
+            t.instant_args(
+                h.0 as u32,
+                0,
+                "node_crash",
+                "faults.inject",
+                sched.now().as_nanos(),
+                vec![("flows_killed", ArgValue::U64(ids.len() as u64))],
+            );
+            t.metrics().inc("net.hosts_failed", 1);
+            net.trace_flow_change(sched.now());
+        }
+        Self::arm_timer(state, sched);
+        ids
+    }
+
+    /// Rescale a host's NIC (uplink **and** downlink) to `factor` × the
+    /// spec rate. All flow rates react immediately. `factor` must be in
+    /// `(0, 1]` going down or `>= 1` restoring; it is absolute, not
+    /// cumulative.
+    pub fn set_nic_factor(state: &mut S, sched: &mut Scheduler<S>, h: HostId, factor: f64) {
+        assert!(factor > 0.0 && factor.is_finite());
+        Self::sync(state, sched);
+        let net = state.net();
+        let cap = net.cluster.spec().nic_bytes_per_sec * factor;
+        let (up, down) = (net.cluster.uplink(h), net.cluster.downlink(h));
+        net.fluid.set_capacity(up, cap);
+        net.fluid.set_capacity(down, cap);
+        if let Some(t) = &net.tracer {
+            t.instant_args(
+                h.0 as u32,
+                0,
+                "nic_degrade",
+                "faults.inject",
+                sched.now().as_nanos(),
+                vec![("factor", ArgValue::F64(factor))],
+            );
+            net.trace_flow_change(sched.now());
+        }
+        Self::arm_timer(state, sched);
+    }
+
+    /// Rescale a host's disk to `factor` × the spec read rate. Absolute,
+    /// like [`Net::set_nic_factor`].
+    pub fn set_disk_factor(state: &mut S, sched: &mut Scheduler<S>, h: HostId, factor: f64) {
+        assert!(factor > 0.0 && factor.is_finite());
+        Self::sync(state, sched);
+        let net = state.net();
+        let cap = net.cluster.spec().disk_read_bytes_per_sec * factor;
+        let disk = net.cluster.disk(h);
+        net.fluid.set_capacity(disk, cap);
+        if let Some(t) = &net.tracer {
+            t.instant_args(
+                h.0 as u32,
+                0,
+                "disk_slowdown",
+                "faults.inject",
+                sched.now().as_nanos(),
+                vec![("factor", ArgValue::F64(factor))],
+            );
+            net.trace_flow_change(sched.now());
+        }
+        Self::arm_timer(state, sched);
+    }
+
+    /// Cut the network link between `a` and `b`. In-flight flows between the
+    /// pair stall (keeping their delivered bytes) and release their bandwidth
+    /// shares; flows started across the cut stall from the outset. Everything
+    /// resumes on [`Net::heal_link`]. Disk and loopback traffic is unaffected.
+    pub fn cut_link(state: &mut S, sched: &mut Scheduler<S>, a: HostId, b: HostId) {
+        assert!(a != b, "cannot partition a host from itself");
+        Self::sync(state, sched);
+        let net = state.net();
+        net.partitions.insert((a.0.min(b.0), a.0.max(b.0)));
+        let hit: Vec<FlowId> = net
+            .flow_route
+            .iter()
+            .filter(|(_, r)| route_crosses_link(r, a.0, b.0))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &hit {
+            net.fluid.stall_flow(*id);
+        }
+        if let Some(t) = &net.tracer {
+            t.instant_args(
+                a.0 as u32,
+                0,
+                "link_partition",
+                "faults.inject",
+                sched.now().as_nanos(),
+                vec![
+                    ("peer", ArgValue::U64(b.0 as u64)),
+                    ("flows_stalled", ArgValue::U64(hit.len() as u64)),
+                ],
+            );
+            net.trace_flow_change(sched.now());
+        }
+        Self::arm_timer(state, sched);
+    }
+
+    /// Heal a previously cut link: stalled flows between the pair rejoin the
+    /// max-min sharing (unless another still-active cut keeps them stalled;
+    /// flows to crashed endpoints were already killed by [`Net::fail_host`]).
+    /// No-op if the link is not cut.
+    pub fn heal_link(state: &mut S, sched: &mut Scheduler<S>, a: HostId, b: HostId) {
+        Self::sync(state, sched);
+        let net = state.net();
+        if !net.partitions.remove(&(a.0.min(b.0), a.0.max(b.0))) {
+            return;
+        }
+        let resumable: Vec<FlowId> = net
+            .flow_route
+            .iter()
+            .filter(|(&id, r)| {
+                net.fluid.is_stalled(id) == Some(true)
+                    && !net
+                        .partitions
+                        .iter()
+                        .any(|&(x, y)| route_crosses_link(r, x, y))
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &resumable {
+            net.fluid.resume_flow(*id);
+        }
+        if let Some(t) = &net.tracer {
+            t.instant_args(
+                a.0 as u32,
+                0,
+                "link_heal",
+                "faults.inject",
+                sched.now().as_nanos(),
+                vec![
+                    ("peer", ArgValue::U64(b.0 as u64)),
+                    ("flows_resumed", ArgValue::U64(resumable.len() as u64)),
+                ],
+            );
+            net.trace_flow_change(sched.now());
+        }
+        Self::arm_timer(state, sched);
     }
 
     /// Convenience: host-to-host transfer (loopback when `src == dst`).
@@ -483,6 +719,115 @@ mod tests {
         assert_eq!(span.args, vec![("bytes", ArgValue::U64(200))]);
         assert!(trace.events().iter().any(|e| e.name == "net.active_flows"));
         assert_eq!(tracer.metrics().counter("net.flows_completed"), 1);
+    }
+
+    #[test]
+    fn fail_host_kills_its_flows_and_frees_shares() {
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            // Two flows share host 0's uplink at 50 B/s each.
+            Net::transfer(s, sc, HostId(0), HostId(1), 400, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+            Net::transfer(s, sc, HostId(0), HostId(2), 400, |s, sc| {
+                s.done_at.push((2, sc.now()));
+            });
+        });
+        sim.schedule(SimTime::from_secs(1), |s: &mut St, sc| {
+            let killed = Net::fail_host(s, sc, HostId(1));
+            assert_eq!(killed.len(), 1, "only the flow touching host 1 dies");
+            assert!(!s.net.host_alive(HostId(1)));
+            assert!(s.net.host_alive(HostId(0)));
+            // Double-fail is a no-op.
+            assert!(Net::fail_host(s, sc, HostId(1)).is_empty());
+        });
+        sim.run();
+        // Victim's callback never fired; survivor had 350 left at t=1 and
+        // the full 100 B/s from then on → done at t = 1 + 3.5 = 4.5 s.
+        assert_eq!(sim.state.done_at, vec![(2, SimTime::from_millis(4500))]);
+        assert_eq!(sim.state.net.active_flows(), 0);
+        assert_eq!(sim.state.net.flows_completed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "crashed host")]
+    fn starting_a_flow_through_a_dead_host_panics() {
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            Net::fail_host(s, sc, HostId(2));
+            Net::transfer(s, sc, HostId(0), HostId(2), 10, |_, _| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn partition_stalls_in_flight_flows_until_heal() {
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            Net::transfer(s, sc, HostId(0), HostId(1), 400, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+            // Unrelated pair: must be unaffected by the cut.
+            Net::transfer(s, sc, HostId(2), HostId(3), 200, |s, sc| {
+                s.done_at.push((2, sc.now()));
+            });
+        });
+        sim.schedule(SimTime::from_secs(1), |s: &mut St, sc| {
+            Net::cut_link(s, sc, HostId(0), HostId(1));
+        });
+        sim.schedule(SimTime::from_secs(3), |s: &mut St, sc| {
+            Net::heal_link(s, sc, HostId(0), HostId(1));
+            // Healing an uncut link is a no-op.
+            Net::heal_link(s, sc, HostId(2), HostId(3));
+        });
+        sim.run();
+        // Cut flow: 100 bytes moved by t=1, stalled for 2 s, then 300 left
+        // at 100 B/s → done at 1 + 2 + 3 = 6 s. Other pair: plain 2 s.
+        assert_eq!(
+            sim.state.done_at,
+            vec![(2, SimTime::from_secs(2)), (1, SimTime::from_secs(6))]
+        );
+    }
+
+    #[test]
+    fn flow_started_across_a_cut_link_waits_for_heal() {
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            Net::cut_link(s, sc, HostId(0), HostId(1));
+            Net::transfer(s, sc, HostId(0), HostId(1), 200, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+        });
+        sim.schedule(SimTime::from_secs(2), |s: &mut St, sc| {
+            Net::heal_link(s, sc, HostId(0), HostId(1));
+        });
+        sim.run();
+        assert_eq!(sim.state.done_at, vec![(1, SimTime::from_secs(4))]);
+    }
+
+    #[test]
+    fn nic_and_disk_factors_rescale_mid_flow() {
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            Net::transfer(s, sc, HostId(0), HostId(1), 200, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+            Net::disk_read(s, sc, HostId(2), 100, false, |s, sc| {
+                s.done_at.push((2, sc.now()));
+            });
+        });
+        sim.schedule(SimTime::from_secs(1), |s: &mut St, sc| {
+            // NIC drops to 25 B/s, disk halves to 25 B/s.
+            Net::set_nic_factor(s, sc, HostId(0), 0.25);
+            Net::set_disk_factor(s, sc, HostId(2), 0.5);
+        });
+        sim.run();
+        // NIC flow: 100 moved by t=1, then 100 at 25 B/s → t=5.
+        // Disk flow: 50 moved by t=1, then 50 at 25 B/s → t=3.
+        assert_eq!(
+            sim.state.done_at,
+            vec![(2, SimTime::from_secs(3)), (1, SimTime::from_secs(5))]
+        );
     }
 
     #[test]

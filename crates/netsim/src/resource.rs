@@ -29,6 +29,10 @@ struct FlowState {
     resources: Vec<ResourceId>,
     weight: f64,
     rate: f64,
+    /// Stalled flows (a link partition holds them) keep their delivered
+    /// bytes and their id but get rate 0 and contribute no weight to the
+    /// fair-share computation until resumed.
+    stalled: bool,
 }
 
 /// Completion-free residual below which a flow counts as finished.
@@ -107,6 +111,7 @@ impl FluidEngine {
                 resources,
                 weight,
                 rate: 0.0,
+                stalled: false,
             },
         );
         self.recompute();
@@ -119,6 +124,83 @@ impl FluidEngine {
         let st = self.flows.remove(&id)?;
         self.recompute();
         Some(st.remaining.max(0.0).round() as u64)
+    }
+
+    /// Re-rate a resource mid-simulation (fault injection: a NIC that
+    /// renegotiated down, a disk retrying sectors). All flow rates are
+    /// recomputed immediately, so the max-min shares react at the instant
+    /// of the change.
+    ///
+    /// # Panics
+    /// Panics unless `capacity` is positive and finite.
+    pub fn set_capacity(&mut self, r: ResourceId, capacity: f64) {
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "resource capacity must be positive and finite, got {capacity}"
+        );
+        self.capacities[r.0] = capacity;
+        self.recompute();
+    }
+
+    /// Kill every flow crossing any of `resources` (endpoint death: the
+    /// host owning them crashed). Returns `(id, unfinished bytes)` per
+    /// killed flow in ascending id order. Rates are recomputed **once**, so
+    /// the freed bandwidth re-shares to the survivors immediately — no
+    /// ghost flows keep holding max-min shares.
+    pub fn kill_flows_crossing(&mut self, resources: &[ResourceId]) -> Vec<(FlowId, u64)> {
+        let victims: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.resources.iter().any(|r| resources.contains(r)))
+            .map(|(&id, _)| id)
+            .collect();
+        let mut out = Vec::with_capacity(victims.len());
+        for id in victims {
+            let st = self.flows.remove(&id).expect("victim flow present");
+            out.push((id, st.remaining.max(0.0).round() as u64));
+        }
+        if !out.is_empty() {
+            self.recompute();
+        }
+        out
+    }
+
+    /// Stall a flow: it keeps its id and delivered bytes but gets rate 0 and
+    /// stops competing for bandwidth until [`resume_flow`](Self::resume_flow).
+    /// Models a link partition holding TCP connections in retransmit backoff.
+    /// Returns `false` if the flow is unknown; stalling twice is a no-op.
+    pub fn stall_flow(&mut self, id: FlowId) -> bool {
+        match self.flows.get_mut(&id) {
+            Some(f) => {
+                if !f.stalled {
+                    f.stalled = true;
+                    self.recompute();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Resume a stalled flow; it rejoins the max-min sharing immediately.
+    /// Returns `false` if the flow is unknown; resuming a running flow is a
+    /// no-op.
+    pub fn resume_flow(&mut self, id: FlowId) -> bool {
+        match self.flows.get_mut(&id) {
+            Some(f) => {
+                if f.stalled {
+                    f.stalled = false;
+                    self.recompute();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether a flow is currently stalled; `None` if unknown.
+    pub fn is_stalled(&self, id: FlowId) -> Option<bool> {
+        self.flows.get(&id).map(|f| f.stalled)
     }
 
     /// Current rate (bytes/sec) of a flow; `None` if unknown.
@@ -156,7 +238,9 @@ impl FluidEngine {
             let moved = f.rate * dt_secs;
             self.total_bytes_completed += moved.min(f.remaining);
             f.remaining -= moved;
-            if f.remaining <= DONE_EPS {
+            // A stalled flow never completes — even a zero-byte one must wait
+            // for the partition to heal before its completion can be observed.
+            if !f.stalled && f.remaining <= DONE_EPS {
                 done.push(id);
             }
         }
@@ -185,17 +269,22 @@ impl FluidEngine {
         let mut residual = self.capacities.clone();
         // Per-resource total weight of unfrozen flows.
         let mut weight_on: Vec<f64> = vec![0.0; n_res];
-        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        let mut frozen: BTreeMap<FlowId, bool> = ids.iter().map(|&i| (i, false)).collect();
+        // Stalled flows are pre-frozen at rate 0 and contribute no weight:
+        // a partitioned connection neither moves bytes nor holds shares.
+        let mut frozen: BTreeMap<FlowId, bool> =
+            self.flows.iter().map(|(&i, f)| (i, f.stalled)).collect();
         for f in self.flows.values_mut() {
             f.rate = 0.0;
         }
         for (_, f) in self.flows.iter() {
+            if f.stalled {
+                continue;
+            }
             for r in &f.resources {
                 weight_on[r.0] += f.weight;
             }
         }
-        let mut unfrozen = ids.len();
+        let mut unfrozen = frozen.values().filter(|&&fz| !fz).count();
         while unfrozen > 0 {
             // Find the bottleneck: resource with the least fair share per
             // unit of weight.
@@ -391,6 +480,82 @@ mod tests {
     fn zero_capacity_rejected() {
         let mut e = FluidEngine::new();
         e.add_resource(0.0);
+    }
+
+    #[test]
+    fn set_capacity_rescales_rates_immediately() {
+        let mut e = FluidEngine::new();
+        let r = e.add_resource(100.0);
+        let f = e.start_flow(1000, &[r], 1.0);
+        assert_eq!(e.rate(f), Some(100.0));
+        e.set_capacity(r, 10.0);
+        assert_eq!(e.rate(f), Some(10.0));
+        assert_eq!(e.capacity(r), 10.0);
+        e.set_capacity(r, 100.0);
+        assert_eq!(e.rate(f), Some(100.0));
+    }
+
+    #[test]
+    fn kill_flows_crossing_releases_shares_to_survivors() {
+        // Endpoint death: three flows share a link; killing two via the
+        // dead endpoint's resource must hand the survivor the full link in
+        // the same recompute — no ghost shares.
+        let mut e = FluidEngine::new();
+        let link = e.add_resource(90.0);
+        let dead = e.add_resource(1000.0);
+        let a = e.start_flow(1000, &[link, dead], 1.0);
+        let b = e.start_flow(1000, &[link, dead], 1.0);
+        let c = e.start_flow(1000, &[link], 1.0);
+        assert!((e.rate(c).unwrap() - 30.0).abs() < 1e-9);
+        e.advance(1.0);
+        let killed = e.kill_flows_crossing(&[dead]);
+        assert_eq!(
+            killed.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            vec![a, b]
+        );
+        assert!(killed.iter().all(|&(_, left)| left == 970));
+        assert_eq!(e.rate(c), Some(90.0), "survivor gets the whole link");
+        assert_eq!(e.active_flows(), 1);
+        assert!(e.utilization(dead) == 0.0, "dead resource fully released");
+        // Killing with no matching flows is a no-op.
+        assert!(e.kill_flows_crossing(&[dead]).is_empty());
+    }
+
+    #[test]
+    fn stall_and_resume_preserve_delivered_bytes() {
+        let mut e = FluidEngine::new();
+        let r = e.add_resource(100.0);
+        let a = e.start_flow(1000, &[r], 1.0);
+        let b = e.start_flow(1000, &[r], 1.0);
+        e.advance(1.0); // 50 bytes each
+        assert!(e.stall_flow(a));
+        assert_eq!(e.is_stalled(a), Some(true));
+        // Stalled flow releases its share; survivor gets the whole link.
+        assert_eq!(e.rate(a), Some(0.0));
+        assert_eq!(e.rate(b), Some(100.0));
+        e.advance(1.0);
+        assert!(
+            (e.remaining(a).unwrap() - 950.0).abs() < 1e-6,
+            "no progress while stalled"
+        );
+        assert!((e.remaining(b).unwrap() - 850.0).abs() < 1e-6);
+        // next_completion ignores the stalled flow.
+        assert!((e.next_completion().unwrap() - 8.5).abs() < 1e-9);
+        assert!(e.resume_flow(a));
+        assert_eq!(e.rate(a), Some(50.0));
+        assert_eq!(e.rate(b), Some(50.0));
+        assert!(!e.stall_flow(FlowId(99)), "unknown flow");
+    }
+
+    #[test]
+    fn stalled_zero_byte_flow_waits_for_resume() {
+        let mut e = FluidEngine::new();
+        let r = e.add_resource(10.0);
+        let f = e.start_flow(0, &[r], 1.0);
+        e.stall_flow(f);
+        assert!(e.advance(1.0).is_empty(), "held by the partition");
+        e.resume_flow(f);
+        assert_eq!(e.advance(0.0), vec![f]);
     }
 
     #[test]

@@ -384,6 +384,28 @@ impl Tracer {
         });
     }
 
+    /// Record a point-in-time marker with span args (e.g. a `faults.inject`
+    /// event carrying the struck host and fault parameters).
+    pub fn instant_args(
+        &self,
+        pid: u32,
+        tid: u32,
+        name: impl Into<Name>,
+        cat: &'static str,
+        ts_ns: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.trace.borrow_mut().push(Event {
+            name: name.into(),
+            cat,
+            ts_ns,
+            pid,
+            tid,
+            ph: Phase::Instant,
+            args,
+        });
+    }
+
     /// Record a counter sample (on thread lane 0 of `pid`).
     pub fn counter(
         &self,

@@ -24,7 +24,7 @@ use std::process::ExitCode;
 /// Crates whose `src/` trees must stay deterministic. The runtime crates
 /// (`mpi-rt`, `obs`, `transports`, `bench`) legitimately read wall clocks —
 /// they measure real execution — so only the simulation substrate is linted.
-const LINTED_CRATES: &[&str] = &["desim", "netsim", "hadoop", "mapred"];
+const LINTED_CRATES: &[&str] = &["desim", "netsim", "hadoop", "mapred", "faults"];
 
 /// Banned token → why it breaks replayability.
 const BANNED: &[(&str, &str)] = &[
