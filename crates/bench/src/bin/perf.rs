@@ -1,0 +1,294 @@
+//! perf — wall-clock performance harness for the simulation substrate.
+//!
+//! Times the hot paths the other figure binaries lean on and emits a
+//! schema-versioned `BENCH.json` for CI regression gating (see
+//! `cargo xtask bench-diff`):
+//!
+//! * **flow churn** — event-loop throughput of the fluid network driver
+//!   (flows/sec through start → reallocate → complete cycles), with the
+//!   incremental solver and with `--force-full` recomputes, side by side;
+//! * **fig6 sims** — the Figure 6 WordCount runs (stock Hadoop and the
+//!   MPI-D simulation system) at 1 / 10 / 100 GB, wall-clock each;
+//! * **solver A/B** — the 100 GB MPI-D sim traced under both solver modes,
+//!   reporting the `net.solver.resources_swept` counters and the wall-clock
+//!   ratio (the incremental-solver acceptance metric);
+//! * **mpid pipeline** — the real threads-as-ranks MPI-D WordCount
+//!   (buffer → combine → realign → ship → merge), MB/s.
+//!
+//! `--quick` shrinks the microbench sizes for CI; the bench *names* are
+//! identical in both modes so baselines stay comparable (the JSON records
+//! which mode produced it). `--out <path>` writes the JSON report.
+
+use desim::{Scheduler, Sim, SimTime};
+use hadoop_sim::HadoopConfig;
+use mapred::{run_mpid, run_sim_mpid, run_sim_mpid_traced, MpidEngineConfig, SimMpidConfig};
+use mpid_bench::{fmt_secs, GB, MB};
+use netsim::{Cluster, ClusterSpec, HasNet, HostId, Net, SolverStats};
+use std::sync::Arc;
+use std::time::Instant;
+use workloads::{wordcount_spec, TextGen, WordCount};
+
+/// One timed benchmark: a wall-clock plus named scalar metrics.
+struct Bench {
+    name: &'static str,
+    wall_s: f64,
+    metrics: Vec<(&'static str, f64)>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = mpid_bench::arg_value(&args, "--out");
+
+    println!(
+        "perf — simulation-substrate wall-clock harness ({})",
+        if quick { "quick" } else { "full" }
+    );
+    println!();
+
+    let mut benches: Vec<Bench> = Vec::new();
+
+    // ------------------------------------------------------------------
+    // 1. Flow churn: event-loop throughput of the fluid network driver.
+    // ------------------------------------------------------------------
+    let churn_flows: u64 = if quick { 20_000 } else { 100_000 };
+    let (inc_wall, inc_stats) = flow_churn(churn_flows, false);
+    let (full_wall, full_stats) = flow_churn(churn_flows, true);
+    let inc_rate = churn_flows as f64 / inc_wall;
+    println!(
+        "flow_churn        {:>10}  {churn_flows} flows, {:.0} flows/s (incremental)",
+        fmt_secs(inc_wall),
+        inc_rate
+    );
+    println!(
+        "flow_churn_full   {:>10}  {churn_flows} flows, {:.0} flows/s (forced full recompute)",
+        fmt_secs(full_wall),
+        churn_flows as f64 / full_wall
+    );
+    benches.push(Bench {
+        name: "flow_churn",
+        wall_s: inc_wall,
+        metrics: vec![
+            ("flows_per_sec", inc_rate),
+            ("resources_swept", inc_stats.resources_swept as f64),
+            ("recomputes", inc_stats.recomputes as f64),
+        ],
+    });
+    benches.push(Bench {
+        name: "flow_churn_full",
+        wall_s: full_wall,
+        metrics: vec![
+            ("flows_per_sec", churn_flows as f64 / full_wall),
+            ("resources_swept", full_stats.resources_swept as f64),
+            ("recomputes", full_stats.recomputes as f64),
+        ],
+    });
+
+    // ------------------------------------------------------------------
+    // 2. Figure-6 WordCount sims, wall-clock per size and system.
+    // ------------------------------------------------------------------
+    println!();
+    for gb in [1u64, 10, 100] {
+        let spec = wordcount_spec(gb * GB);
+
+        let t0 = Instant::now();
+        let h = hadoop_sim::run_job(HadoopConfig::icpp2011(7, 7, 7), spec.clone());
+        let h_wall = t0.elapsed().as_secs_f64();
+        let name: &'static str = match gb {
+            1 => "fig6_hadoop_1gb",
+            10 => "fig6_hadoop_10gb",
+            _ => "fig6_hadoop_100gb",
+        };
+        println!(
+            "{name:<17} {:>10}  (simulated makespan {})",
+            fmt_secs(h_wall),
+            fmt_secs(h.makespan.as_secs_f64())
+        );
+        benches.push(Bench {
+            name,
+            wall_s: h_wall,
+            metrics: vec![("sim_makespan_s", h.makespan.as_secs_f64())],
+        });
+
+        let t0 = Instant::now();
+        let m = run_sim_mpid(
+            SimMpidConfig::icpp2011_fig6().with_auto_splits(gb * GB),
+            spec,
+        );
+        let m_wall = t0.elapsed().as_secs_f64();
+        let name: &'static str = match gb {
+            1 => "fig6_mpid_1gb",
+            10 => "fig6_mpid_10gb",
+            _ => "fig6_mpid_100gb",
+        };
+        println!(
+            "{name:<17} {:>10}  (simulated makespan {})",
+            fmt_secs(m_wall),
+            fmt_secs(m.makespan.as_secs_f64())
+        );
+        benches.push(Bench {
+            name,
+            wall_s: m_wall,
+            metrics: vec![("sim_makespan_s", m.makespan.as_secs_f64())],
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Solver A/B: the 100 GB MPI-D sim under both solver modes. The
+    //    resources_swept counters come from the `net.solver.*` metrics the
+    //    network driver publishes into the tracer.
+    // ------------------------------------------------------------------
+    println!();
+    let (ab_inc_wall, ab_inc_sweeps) = traced_mpid_100gb(false);
+    let (ab_full_wall, ab_full_sweeps) = traced_mpid_100gb(true);
+    let wall_ratio = ab_full_wall / ab_inc_wall;
+    let sweep_ratio = ab_full_sweeps as f64 / (ab_inc_sweeps.max(1)) as f64;
+    println!(
+        "solver A/B (fig6 100GB MPI-D): wall {} -> {} ({wall_ratio:.1}x), \
+         resource sweeps {ab_full_sweeps} -> {ab_inc_sweeps} ({sweep_ratio:.1}x fewer)",
+        fmt_secs(ab_full_wall),
+        fmt_secs(ab_inc_wall),
+    );
+    benches.push(Bench {
+        name: "solver_ab_mpid_100gb",
+        wall_s: ab_inc_wall,
+        metrics: vec![
+            ("wall_full_s", ab_full_wall),
+            ("sweeps_incremental", ab_inc_sweeps as f64),
+            ("sweeps_full", ab_full_sweeps as f64),
+            ("sweep_ratio", sweep_ratio),
+            ("wall_speedup", wall_ratio),
+        ],
+    });
+
+    // ------------------------------------------------------------------
+    // 4. Real MPI-D pipeline: threads-as-ranks WordCount, MB/s.
+    // ------------------------------------------------------------------
+    println!();
+    let pipe_bytes: u64 = if quick { 4 * MB } else { 16 * MB };
+    let input = Arc::new(TextGen::new(11, pipe_bytes, 8, 20_000));
+    let cfg = MpidEngineConfig::with_workers(4, 2);
+    let t0 = Instant::now();
+    let job = run_mpid(&cfg, Arc::new(WordCount), input);
+    let pipe_wall = t0.elapsed().as_secs_f64();
+    let mbps = pipe_bytes as f64 / pipe_wall / 1e6;
+    println!(
+        "mpid_pipeline     {:>10}  {} input, {mbps:.1} MB/s, {} output pairs",
+        fmt_secs(pipe_wall),
+        mpid_bench::fmt_size(pipe_bytes),
+        job.output.len()
+    );
+    benches.push(Bench {
+        name: "mpid_pipeline",
+        wall_s: pipe_wall,
+        metrics: vec![
+            ("mb_per_sec", mbps),
+            ("output_pairs", job.output.len() as f64),
+        ],
+    });
+
+    if let Some(path) = out {
+        write_report(&path, quick, &benches);
+        println!();
+        println!("report: {} benches -> {path}", benches.len());
+    }
+}
+
+/// Event-loop microbench: `total` flows churned through the network driver
+/// as four disjoint host-pair chains (so the scoped solver has component
+/// structure to exploit). Every completion starts the next flow, keeping
+/// the reallocation path hot. Returns (wall seconds, solver counters).
+fn flow_churn(total: u64, force_full: bool) -> (f64, SolverStats) {
+    struct St {
+        net: Net<St>,
+        to_start: u64,
+        seq: u64,
+    }
+    impl HasNet for St {
+        fn net(&mut self) -> &mut Net<St> {
+            &mut self.net
+        }
+    }
+    fn launch(s: &mut St, sc: &mut Scheduler<St>) {
+        if s.to_start == 0 {
+            return;
+        }
+        s.to_start -= 1;
+        let i = s.seq;
+        s.seq += 1;
+        // Four disjoint host pairs out of the 8-node testbed; alternate
+        // direction so both NIC sides stay loaded.
+        let pair = (i % 4) as usize;
+        let (src, dst) = if (i / 4).is_multiple_of(2) {
+            (HostId(2 * pair), HostId(2 * pair + 1))
+        } else {
+            (HostId(2 * pair + 1), HostId(2 * pair))
+        };
+        let bytes = 16_384 + (i % 7) * 4_096;
+        Net::transfer(s, sc, src, dst, bytes, launch);
+    }
+
+    netsim::set_force_full_default(force_full);
+    let mut sim = Sim::new(St {
+        net: Net::new(Cluster::new(ClusterSpec::icpp2011_testbed())),
+        to_start: total,
+        seq: 0,
+    });
+    // 64 concurrent chains (16 per host pair).
+    sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+        for _ in 0..64 {
+            launch(s, sc);
+        }
+    });
+    let t0 = Instant::now();
+    sim.run();
+    let wall = t0.elapsed().as_secs_f64();
+    netsim::set_force_full_default(false);
+    assert_eq!(sim.state.net.flows_completed(), total);
+    (wall, sim.state.net.solver_stats())
+}
+
+/// One traced 100 GB MPI-D sim run; returns (wall seconds, resource sweeps).
+fn traced_mpid_100gb(force_full: bool) -> (f64, u64) {
+    netsim::set_force_full_default(force_full);
+    let tracer = obs::Tracer::new();
+    let t0 = Instant::now();
+    let _ = run_sim_mpid_traced(
+        SimMpidConfig::icpp2011_fig6().with_auto_splits(100 * GB),
+        wordcount_spec(100 * GB),
+        tracer.clone(),
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    netsim::set_force_full_default(false);
+    let sweeps = tracer.metrics().counter("net.solver.resources_swept");
+    (wall, sweeps)
+}
+
+/// Hand-rolled `BENCH.json` (schema `mpid-bench/1`): no JSON dependency in
+/// the workspace, and the shape is flat enough that formatting it directly
+/// keeps the file byte-stable for diffing.
+fn write_report(path: &str, quick: bool, benches: &[Bench]) {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"mpid-bench/1\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"benches\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"metrics\": {{",
+            b.name, b.wall_s
+        ));
+        for (j, (k, v)) in b.metrics.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{k}\": {v:.6}"));
+        }
+        s.push_str("}}");
+        if i + 1 < benches.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).expect("write BENCH.json");
+}

@@ -15,7 +15,8 @@
 //! codec and are readable incrementally with bounded memory.
 
 use crate::kv::{CodecError, Key, Value};
-use crate::realign::{FrameBuilder, FrameReader};
+use crate::realign::FrameReader;
+use bytes::{BufMut, BytesMut};
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -118,17 +119,21 @@ impl<K: Key, V: Value> ExternalTable<K, V> {
             .join(format!("run-{:05}.spill", self.next_run));
         self.next_run += 1;
         let mut w = BufWriter::new(File::create(&path)?);
-        // BTreeMap iterates in ascending key order — runs are sorted.
+        // BTreeMap iterates in ascending key order — runs are sorted. Each
+        // record is a single-group realign frame (`u32 n_groups = 1 , key ,
+        // u32 n_values , value*`), encoded into one buffer reused across the
+        // whole run instead of a fresh FrameBuilder per group.
+        let mut frame = BytesMut::new();
         for (k, vs) in std::mem::take(&mut self.resident) {
-            // Target 1 byte: the builder seals after every pushed group, so
-            // each record holds exactly one single-group frame.
-            let mut builder = FrameBuilder::new(1);
-            builder.push_group(&k, &vs);
-            let frames = builder.finish();
-            debug_assert_eq!(frames.len(), 1);
-            let frame = &frames[0];
+            frame.clear();
+            frame.put_u32_le(1);
+            k.encode(&mut frame);
+            frame.put_u32_le(vs.len() as u32);
+            for v in &vs {
+                v.encode(&mut frame);
+            }
             w.write_all(&(frame.len() as u32).to_le_bytes())?;
-            w.write_all(frame)?;
+            w.write_all(&frame)?;
         }
         w.flush()?;
         self.resident_bytes = 0;
@@ -172,12 +177,16 @@ impl Drop for DirCleanup {
 
 struct RunReader {
     r: BufReader<File>,
+    /// Frame scratch, reused across records so streaming a run performs no
+    /// per-record allocation.
+    buf: Vec<u8>,
 }
 
 impl RunReader {
     fn open(path: &PathBuf) -> Result<Self, ExtMergeError> {
         Ok(RunReader {
             r: BufReader::new(File::open(path)?),
+            buf: Vec::new(),
         })
     }
 
@@ -189,9 +198,10 @@ impl RunReader {
             Err(e) => return Err(e.into()),
         }
         let len = u32::from_le_bytes(len_buf) as usize;
-        let mut frame = vec![0u8; len];
-        self.r.read_exact(&mut frame)?;
-        let mut reader = FrameReader::new(&frame)?;
+        self.buf.clear();
+        self.buf.resize(len, 0);
+        self.r.read_exact(&mut self.buf)?;
+        let mut reader = FrameReader::new(&self.buf)?;
         let group = reader.next_group::<K, V>()?;
         Ok(group)
     }
@@ -210,23 +220,39 @@ impl<K: Key, V: Value> MergeIter<K, V> {
     /// Next merged group, or `None` at end.
     #[allow(clippy::type_complexity)]
     pub fn next_group(&mut self) -> Result<Option<(K, Vec<V>)>, ExtMergeError> {
-        // Smallest key among run heads and the resident iterator.
-        let mut min_key: Option<K> = None;
-        for head in self.heads.iter().flatten() {
-            if min_key.as_ref().is_none_or(|m| head.0 < *m) {
-                min_key = Some(head.0.clone());
+        // Locate the source holding the smallest key by index — comparisons
+        // are by reference, so finding the minimum clones no key.
+        let mut best: Option<usize> = None;
+        for i in 0..self.heads.len() {
+            if let Some((k, _)) = &self.heads[i] {
+                match best {
+                    Some(b) if *k < self.heads[b].as_ref().expect("best is some").0 => {
+                        best = Some(i)
+                    }
+                    None => best = Some(i),
+                    _ => {}
+                }
             }
         }
-        if let Some((k, _)) = self.resident.peek() {
-            if min_key.as_ref().is_none_or(|m| *k < *m) {
-                min_key = Some(k.clone());
-            }
-        }
-        let Some(key) = min_key else {
+        // The resident tail wins only on a strictly smaller key, matching
+        // the run-first collection order below (run values, resident last).
+        let resident_first = match (best, self.resident.peek()) {
+            (Some(b), Some((rk, _))) => *rk < self.heads[b].as_ref().expect("best is some").0,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        // Take the winning group whole: its key moves out by value, so the
+        // merge extracts each key exactly once with no clone at all.
+        let (key, mut values) = if resident_first {
+            self.resident.next().expect("peeked")
+        } else if let Some(b) = best {
+            let (k, vs) = self.heads[b].take().expect("best is some");
+            self.heads[b] = self.readers[b].next_group()?;
+            (k, vs)
+        } else {
             return Ok(None);
         };
-        // Collect values for that key from every source holding it.
-        let mut values = Vec::new();
+        // Absorb equal keys from every remaining source, in run order.
         for i in 0..self.heads.len() {
             while self.heads[i].as_ref().is_some_and(|(k, _)| *k == key) {
                 let (_, vs) = self.heads[i].take().expect("checked some");
@@ -234,7 +260,7 @@ impl<K: Key, V: Value> MergeIter<K, V> {
                 self.heads[i] = self.readers[i].next_group()?;
             }
         }
-        if self.resident.peek().is_some_and(|(k, _)| *k == key) {
+        if !resident_first && self.resident.peek().is_some_and(|(k, _)| *k == key) {
             let (_, vs) = self.resident.next().expect("peeked");
             values.extend(vs);
         }

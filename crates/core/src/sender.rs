@@ -40,6 +40,15 @@ pub struct MpidSender<'a, K: Key, V: Value> {
     stats: SenderStats,
     finished: bool,
     trace: Option<SenderTrace>,
+    /// Per-reducer group buffers, reused across spills so the per-spill
+    /// `Vec<Vec<_>>` allocation (and each partition's growth) happens once.
+    spill_parts: Vec<Vec<(K, VBuf<V>)>>,
+    /// Flat (destination, wire) list for the current spill; the shell Vec is
+    /// reused across spills.
+    shipments: Vec<(mpi_rt::Rank, Vec<u8>)>,
+    /// Retired wire buffers, recycled so steady-state spilling allocates no
+    /// fresh frame-wire Vecs.
+    wire_pool: Vec<Vec<u8>>,
 }
 
 /// Pipeline-stage tracing state, active when the universe was launched with
@@ -76,6 +85,9 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                 combine_ns: 0,
                 prev: SenderStats::default(),
             }),
+            spill_parts: Vec::new(),
+            shipments: Vec::new(),
+            wire_pool: Vec::new(),
         }
     }
 
@@ -187,24 +199,26 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
         }
         self.stats.spills += 1;
         let n_red = self.cfg.n_reducers;
-        // Hash-mod partition selection.
-        let mut partitions: Vec<Vec<(K, Vec<V>)>> = (0..n_red).map(|_| Vec::new()).collect();
+        // Hash-mod partition selection. The per-reducer buffers persist
+        // across spills (taken and returned around the borrow of `self`), so
+        // a steady-state spill reuses their capacity instead of allocating a
+        // fresh Vec-of-Vecs; values stay in their VBuf, so a combined key
+        // costs no single-element Vec either.
+        let mut parts = std::mem::take(&mut self.spill_parts);
+        parts.resize_with(n_red, Vec::new);
         for (k, vbuf) in self.buffer.drain() {
             let p = self.partitioner.partition(&k, n_red);
-            let values = match vbuf {
-                VBuf::Combined(v) => vec![v],
-                VBuf::List(vs) => vs,
-            };
-            partitions[p].push((k, values));
+            parts[p].push((k, vbuf));
         }
         self.buffered_bytes = 0;
         // Realign each partition into contiguous fixed-size frames: sort,
         // frame-build, and (optionally) compress everything first, then ship
         // — the build/send split is what makes the realign and ship stages
         // separately visible in traces, with the comm calls in the same
-        // order as a fused loop would issue them.
-        let mut shipments: Vec<(mpi_rt::Rank, Vec<Vec<u8>>)> = Vec::new();
-        for (p, mut groups) in partitions.into_iter().enumerate() {
+        // order as a fused loop would issue them. Wire buffers come from the
+        // recycle pool and go back after the sends.
+        let mut shipments = std::mem::take(&mut self.shipments);
+        for (p, groups) in parts.iter_mut().enumerate() {
             if groups.is_empty() {
                 continue;
             }
@@ -213,18 +227,23 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
             }
             self.stats.groups_out += groups.len() as u64;
             let mut builder = FrameBuilder::new(self.cfg.frame_bytes);
-            for (k, vs) in &groups {
-                builder.push_group(k, vs);
+            for (k, vbuf) in groups.iter() {
+                match vbuf {
+                    VBuf::Combined(v) => builder.push_group(k, std::slice::from_ref(v)),
+                    VBuf::List(vs) => builder.push_group(k, vs),
+                }
             }
+            groups.clear();
             let dst = Role::reducer_rank(&self.cfg, p);
-            let mut wires = Vec::new();
             for frame in builder.finish() {
                 self.stats.frames += 1;
                 self.stats.bytes_precompress += frame.len() as u64;
                 // Frame wire format: 1-byte marker (0 = plain, 1 = LZ),
                 // then the (possibly compressed) frame body. Compression is
                 // kept only when it actually shrinks the frame.
-                let mut wire = Vec::with_capacity(frame.len() + 1);
+                let mut wire = self.wire_pool.pop().unwrap_or_default();
+                wire.clear();
+                wire.reserve(frame.len() + 1);
                 if self.cfg.compress {
                     let packed = compress::compress(&frame);
                     if packed.len() < frame.len() {
@@ -239,10 +258,10 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                     wire.extend_from_slice(&frame);
                 }
                 self.stats.bytes_sent += wire.len() as u64;
-                wires.push(wire);
+                shipments.push((dst, wire));
             }
-            shipments.push((dst, wires));
         }
+        self.spill_parts = parts;
         let ship_start = if let (Some(ts), Some(t0)) = (&self.trace, spill_start) {
             let now = ts.rt.now_ns();
             ts.rt.complete(
@@ -266,18 +285,21 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
         } else {
             None
         };
-        for (dst, wires) in shipments {
-            for wire in wires {
-                if self.cfg.use_isend {
-                    // Overlap map computation with communication (the
-                    // paper's future-work item, as an ablation switch).
-                    let req = self.comm.isend(dst, tags::DATA, &wire)?;
-                    self.pending.push(req);
-                } else {
-                    self.comm.send(dst, tags::DATA, &wire)?;
-                }
+        for (dst, wire) in &shipments {
+            if self.cfg.use_isend {
+                // Overlap map computation with communication (the
+                // paper's future-work item, as an ablation switch).
+                let req = self.comm.isend(*dst, tags::DATA, wire)?;
+                self.pending.push(req);
+            } else {
+                self.comm.send(*dst, tags::DATA, wire)?;
             }
         }
+        for (_, mut wire) in shipments.drain(..) {
+            wire.clear();
+            self.wire_pool.push(wire);
+        }
+        self.shipments = shipments;
         if let (Some(ts), Some(t0)) = (&mut self.trace, ship_start) {
             ts.rt.complete_since(
                 "ship",

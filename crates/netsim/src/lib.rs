@@ -29,4 +29,4 @@ pub use cluster::{Cluster, ClusterSpec, HostId, Route};
 pub use jobspec::JobSpec;
 pub use net::{HasNet, Net};
 pub use protocol::{HadoopRpcModel, JettyHttpModel, MpiModel, NioSocketModel, Transport};
-pub use resource::{FlowId, FluidEngine, ResourceId};
+pub use resource::{set_force_full_default, FlowId, FluidEngine, ResourceId, SolverStats};

@@ -2,7 +2,7 @@
 //! in a `desim` simulation.
 
 use crate::cluster::{Cluster, HostId, Route};
-use crate::resource::{FlowId, FluidEngine};
+use crate::resource::{FlowId, FluidEngine, SolverStats};
 use desim::{EventId, Scheduler, SimTime};
 use obs::{ArgValue, Tracer};
 use std::collections::{BTreeMap, BTreeSet};
@@ -72,6 +72,9 @@ pub struct Net<S> {
     flows_completed: u64,
     tracer: Option<Tracer>,
     flow_meta: BTreeMap<FlowId, FlowMeta>,
+    /// Solver counters already published to the tracer's metrics, so each
+    /// reallocation point publishes only the delta.
+    published_stats: SolverStats,
     // --- fault state (all empty/true on the no-fault path) ---
     host_alive: Vec<bool>,
     /// Cut links as normalized `(min, max)` host pairs.
@@ -93,6 +96,7 @@ impl<S: HasNet> Net<S> {
             flows_completed: 0,
             tracer: None,
             flow_meta: BTreeMap::new(),
+            published_stats: SolverStats::default(),
             host_alive: vec![true; hosts],
             partitions: BTreeSet::new(),
             flow_route: BTreeMap::new(),
@@ -107,19 +111,34 @@ impl<S: HasNet> Net<S> {
         self.tracer = Some(tracer);
     }
 
-    fn trace_flow_change(&self, now: SimTime) {
-        if let Some(t) = &self.tracer {
-            let ts = now.as_nanos();
-            t.counter(
-                0,
-                "net.active_flows",
-                "net",
-                ts,
-                self.fluid.active_flows() as f64,
-            );
-            t.instant(0, 0, "realloc", "net", ts);
-            t.metrics().inc("net.reallocs", 1);
-        }
+    fn trace_flow_change(&mut self, now: SimTime) {
+        let Some(t) = self.tracer.clone() else {
+            return;
+        };
+        let ts = now.as_nanos();
+        t.counter(
+            0,
+            "net.active_flows",
+            "net",
+            ts,
+            self.fluid.active_flows() as f64,
+        );
+        t.instant(0, 0, "realloc", "net", ts);
+        t.metrics().inc("net.reallocs", 1);
+        let stats = self.fluid.stats();
+        let d = stats.delta_since(&self.published_stats);
+        t.metrics().inc("net.solver.recomputes", d.recomputes);
+        t.metrics()
+            .inc("net.solver.full_recomputes", d.full_recomputes);
+        t.metrics()
+            .inc("net.solver.resources_swept", d.resources_swept);
+        t.metrics().inc("net.solver.flows_rerated", d.flows_rerated);
+        self.published_stats = stats;
+    }
+
+    /// Solver work counters accumulated by the embedded fluid engine.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.fluid.stats()
     }
 
     /// The cluster topology this driver simulates.
@@ -264,14 +283,13 @@ impl<S: HasNet> Net<S> {
         let Some(secs) = net.fluid.next_completion() else {
             return;
         };
-        // Clamp positive-but-subnanosecond completions up to 1 ns so the
-        // timer always advances the clock (otherwise a flow whose remaining
-        // bytes round to a 0 ns transfer would re-arm forever at `now`).
-        let delay = if secs == 0.0 {
-            SimTime::ZERO
-        } else {
-            SimTime::from_secs_f64(secs).max(SimTime::from_nanos(1))
-        };
+        // One clamp covers every completion: the timer always fires at least
+        // 1 ns in the future, so `sync → arm_timer` can never re-arm at the
+        // same instant. That includes `secs == 0.0` (a flow whose remaining
+        // bytes are already ≤ 0), which previously mapped to `SimTime::ZERO`
+        // and produced an extra same-instant event; `advance()`'s DONE_EPS
+        // completion scan guarantees the flow finishes on the 1 ns tick.
+        let delay = SimTime::from_secs_f64(secs).max(SimTime::from_nanos(1));
         let id = sched.schedule_in(delay, |s: &mut S, sc| {
             s.net().timer = None;
             Net::sync(s, sc);
@@ -335,8 +353,8 @@ impl<S: HasNet> Net<S> {
                 vec![("flows_killed", ArgValue::U64(ids.len() as u64))],
             );
             t.metrics().inc("net.hosts_failed", 1);
-            net.trace_flow_change(sched.now());
         }
+        net.trace_flow_change(sched.now());
         Self::arm_timer(state, sched);
         ids
     }
@@ -362,8 +380,8 @@ impl<S: HasNet> Net<S> {
                 sched.now().as_nanos(),
                 vec![("factor", ArgValue::F64(factor))],
             );
-            net.trace_flow_change(sched.now());
         }
+        net.trace_flow_change(sched.now());
         Self::arm_timer(state, sched);
     }
 
@@ -385,8 +403,8 @@ impl<S: HasNet> Net<S> {
                 sched.now().as_nanos(),
                 vec![("factor", ArgValue::F64(factor))],
             );
-            net.trace_flow_change(sched.now());
         }
+        net.trace_flow_change(sched.now());
         Self::arm_timer(state, sched);
     }
 
@@ -420,8 +438,8 @@ impl<S: HasNet> Net<S> {
                     ("flows_stalled", ArgValue::U64(hit.len() as u64)),
                 ],
             );
-            net.trace_flow_change(sched.now());
         }
+        net.trace_flow_change(sched.now());
         Self::arm_timer(state, sched);
     }
 
@@ -462,8 +480,8 @@ impl<S: HasNet> Net<S> {
                     ("flows_resumed", ArgValue::U64(resumable.len() as u64)),
                 ],
             );
-            net.trace_flow_change(sched.now());
         }
+        net.trace_flow_change(sched.now());
         Self::arm_timer(state, sched);
     }
 
@@ -695,6 +713,65 @@ mod tests {
         });
         sim.run();
         assert_eq!(sim.state.done_at.len(), 1);
+    }
+
+    #[test]
+    fn zero_remaining_flow_timer_always_advances_the_clock() {
+        // Regression for the zero-remaining-bytes spin: `secs == 0.0` used
+        // to arm a zero-delay timer, scheduling an extra event at the same
+        // instant. The unified clamp fires the timer 1 ns later instead, so
+        // every armed timer advances the clock.
+        let mut sim = sim_with(small_spec());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            Net::transfer(s, sc, HostId(0), HostId(1), 0, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+        });
+        sim.run();
+        assert_eq!(sim.state.done_at, vec![(1, SimTime::from_nanos(1))]);
+        assert_eq!(sim.state.net.active_flows(), 0);
+    }
+
+    #[test]
+    fn subnanosecond_completion_does_not_spin() {
+        // 1 byte at 1e12 B/s is a 1 ps transfer — it rounds to a 0 ns
+        // delay. The clamp must still advance the clock so the completion
+        // is observed and the event loop terminates.
+        let mut spec = small_spec();
+        spec.nic_bytes_per_sec = 1e12;
+        let mut sim = sim_with(spec);
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            Net::transfer(s, sc, HostId(0), HostId(1), 1, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+        });
+        sim.run();
+        assert_eq!(sim.state.done_at, vec![(1, SimTime::from_nanos(1))]);
+        assert_eq!(sim.state.net.flows_completed(), 1);
+    }
+
+    #[test]
+    fn solver_counters_flow_into_metrics() {
+        let tracer = Tracer::new();
+        let mut sim = sim_with(small_spec());
+        sim.state.net.set_tracer(tracer.clone());
+        sim.schedule(SimTime::ZERO, |s: &mut St, sc| {
+            Net::transfer(s, sc, HostId(0), HostId(1), 200, |s, sc| {
+                s.done_at.push((1, sc.now()));
+            });
+        });
+        sim.run();
+        let stats = sim.state.net.solver_stats();
+        assert!(stats.recomputes >= 2, "start + completion recompute");
+        assert_eq!(stats.full_recomputes, 0);
+        assert_eq!(
+            tracer.metrics().counter("net.solver.recomputes"),
+            stats.recomputes
+        );
+        assert_eq!(
+            tracer.metrics().counter("net.solver.resources_swept"),
+            stats.resources_swept
+        );
     }
 
     #[test]

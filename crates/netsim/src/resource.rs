@@ -12,8 +12,26 @@
 //! fair share, subtract, and repeat. This is how long-lived TCP flows through
 //! a non-blocking switch share a Gigabit Ethernet in steady state — exactly
 //! the regime of the paper's shuffle measurements.
+//!
+//! # Incremental recomputation
+//!
+//! Max-min allocation decomposes over the connected components of the
+//! bipartite flow↔resource graph: a flow's rate depends only on the flows it
+//! (transitively) shares a resource with. Every mutation (start, cancel,
+//! completion batch, capacity change, stall/resume) therefore recomputes only
+//! the component(s) reachable from the touched resources, leaving every other
+//! flow's rate untouched — and *bit-identical* to what a from-scratch
+//! recompute would produce, because within a component the arithmetic
+//! (weight accumulation over flows in ascending `FlowId` order, bottleneck
+//! scan over resources in ascending index order, freeze batches, residual
+//! clamps) is exactly the sequence the full solver would execute restricted
+//! to that component. [`FluidEngine::recompute_full`] keeps the from-scratch
+//! path alive, and `set_force_full` lets tests and benchmarks run every
+//! mutation through it to prove `incremental ≡ full` (see
+//! `tests/incremental.rs`).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Identifies a capacitated resource (e.g. "host 3 uplink").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -39,6 +57,72 @@ struct FlowState {
 /// (Fluid arithmetic is f64; one byte of slack absorbs rounding.)
 const DONE_EPS: f64 = 1e-6;
 
+/// Work counters for the max-min solver, for perf tracking and the
+/// incremental-vs-full acceptance metric (`perf` binary, obs
+/// `net.solver.*` counters).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Rate recomputations performed (scoped or full).
+    pub recomputes: u64,
+    /// Recomputations that ran the from-scratch path over every resource.
+    pub full_recomputes: u64,
+    /// Resource fair-share evaluations across all bottleneck scans — the
+    /// dominant cost of progressive filling. A full recompute sweeps every
+    /// resource once per freeze level; a scoped one only its component.
+    pub resources_swept: u64,
+    /// Flow rate assignments written (component sizes summed).
+    pub flows_rerated: u64,
+}
+
+impl SolverStats {
+    /// Counter-wise difference (`self - earlier`), for delta publishing.
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            recomputes: self.recomputes - earlier.recomputes,
+            full_recomputes: self.full_recomputes - earlier.full_recomputes,
+            resources_swept: self.resources_swept - earlier.resources_swept,
+            flows_rerated: self.flows_rerated - earlier.flows_rerated,
+        }
+    }
+}
+
+/// Process-wide default for [`FluidEngine::set_force_full`], read once at
+/// engine construction. Lets the `perf` harness A/B the incremental solver
+/// against the from-scratch one through simulators that build their own
+/// engines internally. Set it *before* constructing a simulation; it is a
+/// static mode switch, not a source of nondeterminism.
+static FORCE_FULL_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Make newly constructed engines recompute from scratch on every mutation
+/// (benchmark/verification knob; see [`FORCE_FULL_DEFAULT`]).
+pub fn set_force_full_default(on: bool) {
+    FORCE_FULL_DEFAULT.store(on, Ordering::SeqCst);
+}
+
+/// Reusable buffers for the scoped recompute — component discovery and
+/// progressive filling allocate nothing on the steady-state path.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// `res_epoch[r] == epoch` ⇔ resource `r` is in the current component.
+    res_epoch: Vec<u64>,
+    epoch: u64,
+    /// BFS worklist of resource indices.
+    queue: Vec<usize>,
+    /// Component resources, sorted ascending before filling.
+    comp_res: Vec<usize>,
+    /// Component flows, ascending `FlowId` order (from `flow_set`).
+    comp_flows: Vec<FlowId>,
+    flow_set: BTreeSet<FlowId>,
+    /// Residual capacity / unfrozen weight, indexed by resource id;
+    /// only component entries are initialized per recompute.
+    residual: Vec<f64>,
+    weight_on: Vec<f64>,
+    /// Frozen flags parallel to `comp_flows`.
+    frozen: Vec<bool>,
+    /// Seed-resource buffer reused by mutators.
+    seeds: Vec<ResourceId>,
+}
+
 /// The fluid engine: resources, flows, and max-min rate assignment.
 ///
 /// Purely computational — time advancement is driven externally (see
@@ -49,14 +133,26 @@ pub struct FluidEngine {
     // BTreeMap so iteration order (and therefore f64 accumulation order) is
     // deterministic across runs.
     flows: BTreeMap<FlowId, FlowState>,
+    /// Flows (stalled included) crossing each resource — the adjacency used
+    /// for component discovery and victim lookup.
+    res_flows: Vec<BTreeSet<FlowId>>,
     next_id: u64,
     total_bytes_completed: f64,
+    force_full: bool,
+    stats: SolverStats,
+    /// `Some(v)` memoizes [`Self::next_completion`]; `None` forces a rescan.
+    next_cache: Option<Option<f64>>,
+    scratch: Scratch,
 }
 
 impl FluidEngine {
     /// Engine with no resources.
     pub fn new() -> Self {
-        Self::default()
+        FluidEngine {
+            force_full: FORCE_FULL_DEFAULT.load(Ordering::SeqCst),
+            next_cache: Some(None),
+            ..Self::default()
+        }
     }
 
     /// Add a resource with the given capacity (bytes/sec); returns its id.
@@ -69,6 +165,7 @@ impl FluidEngine {
             "resource capacity must be positive and finite, got {capacity}"
         );
         self.capacities.push(capacity);
+        self.res_flows.push(BTreeSet::new());
         ResourceId(self.capacities.len() - 1)
     }
 
@@ -82,8 +179,27 @@ impl FluidEngine {
         self.capacities[r.0]
     }
 
+    /// Solver work counters accumulated since construction (or
+    /// [`Self::reset_stats`]).
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Zero the solver work counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = SolverStats::default();
+    }
+
+    /// Route every future mutation through the from-scratch recompute
+    /// (`true`) instead of the scoped incremental one (`false`, default).
+    /// Rates are bit-identical either way; this exists so tests and the
+    /// perf harness can prove and measure exactly that.
+    pub fn set_force_full(&mut self, on: bool) {
+        self.force_full = on;
+    }
+
     /// Start a flow of `bytes` across `resources` with fairness `weight`
-    /// (1.0 = one TCP-stream's worth). Rates of all flows are recomputed.
+    /// (1.0 = one TCP-stream's worth). Rates react immediately.
     ///
     /// # Panics
     /// Panics if `resources` is empty, contains an unknown id, or `weight`
@@ -104,6 +220,12 @@ impl FluidEngine {
         let mut resources = resources.to_vec();
         resources.sort_unstable();
         resources.dedup();
+        for r in &resources {
+            self.res_flows[r.0].insert(id);
+        }
+        let mut seeds = std::mem::take(&mut self.scratch.seeds);
+        seeds.clear();
+        seeds.extend_from_slice(&resources);
         self.flows.insert(
             id,
             FlowState {
@@ -114,7 +236,8 @@ impl FluidEngine {
                 stalled: false,
             },
         );
-        self.recompute();
+        self.recompute_scoped(&seeds);
+        self.scratch.seeds = seeds;
         id
     }
 
@@ -122,14 +245,20 @@ impl FluidEngine {
     /// or `None` if the flow is unknown (already completed or cancelled).
     pub fn cancel_flow(&mut self, id: FlowId) -> Option<u64> {
         let st = self.flows.remove(&id)?;
-        self.recompute();
+        for r in &st.resources {
+            self.res_flows[r.0].remove(&id);
+        }
+        let mut seeds = std::mem::take(&mut self.scratch.seeds);
+        seeds.clear();
+        seeds.extend_from_slice(&st.resources);
+        self.recompute_scoped(&seeds);
+        self.scratch.seeds = seeds;
         Some(st.remaining.max(0.0).round() as u64)
     }
 
     /// Re-rate a resource mid-simulation (fault injection: a NIC that
-    /// renegotiated down, a disk retrying sectors). All flow rates are
-    /// recomputed immediately, so the max-min shares react at the instant
-    /// of the change.
+    /// renegotiated down, a disk retrying sectors). Rates of the flows in
+    /// the resource's component react at the instant of the change.
     ///
     /// # Panics
     /// Panics unless `capacity` is positive and finite.
@@ -139,7 +268,7 @@ impl FluidEngine {
             "resource capacity must be positive and finite, got {capacity}"
         );
         self.capacities[r.0] = capacity;
-        self.recompute();
+        self.recompute_scoped(&[r]);
     }
 
     /// Kill every flow crossing any of `resources` (endpoint death: the
@@ -148,20 +277,27 @@ impl FluidEngine {
     /// the freed bandwidth re-shares to the survivors immediately — no
     /// ghost flows keep holding max-min shares.
     pub fn kill_flows_crossing(&mut self, resources: &[ResourceId]) -> Vec<(FlowId, u64)> {
-        let victims: Vec<FlowId> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.resources.iter().any(|r| resources.contains(r)))
-            .map(|(&id, _)| id)
-            .collect();
+        let mut victims: BTreeSet<FlowId> = BTreeSet::new();
+        for r in resources {
+            if let Some(on) = self.res_flows.get(r.0) {
+                victims.extend(on.iter().copied());
+            }
+        }
         let mut out = Vec::with_capacity(victims.len());
+        let mut seeds = std::mem::take(&mut self.scratch.seeds);
+        seeds.clear();
         for id in victims {
             let st = self.flows.remove(&id).expect("victim flow present");
+            for r in &st.resources {
+                self.res_flows[r.0].remove(&id);
+            }
+            seeds.extend_from_slice(&st.resources);
             out.push((id, st.remaining.max(0.0).round() as u64));
         }
         if !out.is_empty() {
-            self.recompute();
+            self.recompute_scoped(&seeds);
         }
+        self.scratch.seeds = seeds;
         out
     }
 
@@ -170,27 +306,26 @@ impl FluidEngine {
     /// Models a link partition holding TCP connections in retransmit backoff.
     /// Returns `false` if the flow is unknown; stalling twice is a no-op.
     pub fn stall_flow(&mut self, id: FlowId) -> bool {
-        match self.flows.get_mut(&id) {
-            Some(f) => {
-                if !f.stalled {
-                    f.stalled = true;
-                    self.recompute();
-                }
-                true
-            }
-            None => false,
-        }
+        self.set_stalled(id, true)
     }
 
     /// Resume a stalled flow; it rejoins the max-min sharing immediately.
     /// Returns `false` if the flow is unknown; resuming a running flow is a
     /// no-op.
     pub fn resume_flow(&mut self, id: FlowId) -> bool {
+        self.set_stalled(id, false)
+    }
+
+    fn set_stalled(&mut self, id: FlowId, stalled: bool) -> bool {
         match self.flows.get_mut(&id) {
             Some(f) => {
-                if f.stalled {
-                    f.stalled = false;
-                    self.recompute();
+                if f.stalled != stalled {
+                    f.stalled = stalled;
+                    let mut seeds = std::mem::take(&mut self.scratch.seeds);
+                    seeds.clear();
+                    seeds.extend_from_slice(&self.flows[&id].resources);
+                    self.recompute_scoped(&seeds);
+                    self.scratch.seeds = seeds;
                 }
                 true
             }
@@ -224,16 +359,19 @@ impl FluidEngine {
     }
 
     /// Advance all flows by `dt_secs`, returning the ids of flows that
-    /// completed (in ascending id order — deterministic). Rates are
-    /// recomputed if anything completed.
+    /// completed (in ascending id order — deterministic). All completions in
+    /// the batch share **one** scoped recompute seeded by the union of their
+    /// resources; the next-completion cache is refreshed in the same pass.
     pub fn advance(&mut self, dt_secs: f64) -> Vec<FlowId> {
         assert!(dt_secs >= 0.0 && dt_secs.is_finite());
         if self.flows.is_empty() {
+            self.next_cache = Some(None);
             return Vec::new();
         }
         // NOTE: dt == 0 must still run the completion scan — zero-byte flows
         // complete without time passing, and the DES driver relies on that.
         let mut done = Vec::new();
+        let mut next: Option<f64> = None;
         for (&id, f) in self.flows.iter_mut() {
             let moved = f.rate * dt_secs;
             self.total_bytes_completed += moved.min(f.remaining);
@@ -242,60 +380,170 @@ impl FluidEngine {
             // for the partition to heal before its completion can be observed.
             if !f.stalled && f.remaining <= DONE_EPS {
                 done.push(id);
+            } else if f.rate > 0.0 {
+                let t = (f.remaining / f.rate).max(0.0);
+                next = Some(match next {
+                    Some(b) if b <= t => b,
+                    _ => t,
+                });
             }
         }
+        if done.is_empty() {
+            self.next_cache = Some(next);
+            return done;
+        }
+        let mut seeds = std::mem::take(&mut self.scratch.seeds);
+        seeds.clear();
         for id in &done {
-            self.flows.remove(id);
+            let st = self.flows.remove(id).expect("completed flow present");
+            for r in &st.resources {
+                self.res_flows[r.0].remove(id);
+            }
+            seeds.extend_from_slice(&st.resources);
         }
-        if !done.is_empty() {
-            self.recompute();
-        }
+        self.recompute_scoped(&seeds);
+        self.scratch.seeds = seeds;
         done
     }
 
     /// Seconds until the next flow completes at current rates, if any flow is
-    /// making progress.
-    pub fn next_completion(&self) -> Option<f64> {
-        self.flows
-            .values()
-            .filter(|f| f.rate > 0.0)
-            .map(|f| (f.remaining / f.rate).max(0.0))
-            .min_by(|a, b| a.partial_cmp(b).expect("NaN completion time"))
+    /// making progress. Memoized: [`Self::advance`] refreshes the value as a
+    /// byproduct of its progress sweep, so back-to-back calls with no
+    /// intervening mutation cost O(1) instead of a full flow scan.
+    pub fn next_completion(&mut self) -> Option<f64> {
+        if let Some(v) = self.next_cache {
+            return v;
+        }
+        let v = self.scan_next_completion();
+        self.next_cache = Some(v);
+        v
     }
 
-    /// Recompute all flow rates by weighted progressive filling.
-    fn recompute(&mut self) {
+    fn scan_next_completion(&self) -> Option<f64> {
+        let mut next: Option<f64> = None;
+        for f in self.flows.values() {
+            if f.rate > 0.0 {
+                let t = (f.remaining / f.rate).max(0.0);
+                next = Some(match next {
+                    Some(b) if b <= t => b,
+                    _ => t,
+                });
+            }
+        }
+        next
+    }
+
+    /// Recompute only the connected component(s) of the flow↔resource graph
+    /// reachable from `seeds` (duplicates allowed). Falls back to
+    /// [`Self::recompute_full`] when forced.
+    fn recompute_scoped(&mut self, seeds: &[ResourceId]) {
+        if self.force_full {
+            self.recompute_full();
+            return;
+        }
+        self.next_cache = None;
+        self.stats.recomputes += 1;
         let n_res = self.capacities.len();
-        let mut residual = self.capacities.clone();
-        // Per-resource total weight of unfrozen flows.
-        let mut weight_on: Vec<f64> = vec![0.0; n_res];
+        let mut scr = std::mem::take(&mut self.scratch);
+        scr.res_epoch.resize(n_res, 0);
+        scr.epoch += 1;
+        let epoch = scr.epoch;
+        scr.queue.clear();
+        scr.comp_res.clear();
+        scr.flow_set.clear();
+        scr.comp_flows.clear();
+        for r in seeds {
+            if scr.res_epoch[r.0] != epoch {
+                scr.res_epoch[r.0] = epoch;
+                scr.queue.push(r.0);
+                scr.comp_res.push(r.0);
+            }
+        }
+        // BFS: resources connect to resources through non-stalled flows
+        // (a stalled flow contributes no weight anywhere, so it cannot
+        // couple two resources' allocations — but it still belongs to the
+        // component for the rate-zeroing pass below).
+        while let Some(r) = scr.queue.pop() {
+            for &fid in &self.res_flows[r] {
+                if scr.flow_set.insert(fid) {
+                    let f = &self.flows[&fid];
+                    if !f.stalled {
+                        for rr in &f.resources {
+                            if scr.res_epoch[rr.0] != epoch {
+                                scr.res_epoch[rr.0] = epoch;
+                                scr.queue.push(rr.0);
+                                scr.comp_res.push(rr.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        scr.comp_res.sort_unstable();
+        scr.comp_flows.extend(scr.flow_set.iter().copied());
+        self.fill(&mut scr);
+        self.scratch = scr;
+    }
+
+    /// From-scratch recompute over every resource and flow — the reference
+    /// the scoped path is proven against, kept callable for tests and the
+    /// perf harness's A/B mode.
+    pub fn recompute_full(&mut self) {
+        self.next_cache = None;
+        self.stats.recomputes += 1;
+        self.stats.full_recomputes += 1;
+        let mut scr = std::mem::take(&mut self.scratch);
+        scr.comp_res.clear();
+        scr.comp_res.extend(0..self.capacities.len());
+        scr.comp_flows.clear();
+        scr.comp_flows.extend(self.flows.keys().copied());
+        self.fill(&mut scr);
+        self.scratch = scr;
+    }
+
+    /// Weighted progressive filling over `scr.comp_res` (ascending resource
+    /// indices) and `scr.comp_flows` (ascending flow ids). Restricting both
+    /// to one connected component executes the identical f64 operation
+    /// sequence the whole-graph filling would on that component, which is
+    /// what makes the scoped recompute bit-identical to the full one.
+    fn fill(&mut self, scr: &mut Scratch) {
+        let n_res = self.capacities.len();
+        scr.residual.resize(n_res, 0.0);
+        scr.weight_on.resize(n_res, 0.0);
+        for &r in &scr.comp_res {
+            scr.residual[r] = self.capacities[r];
+            scr.weight_on[r] = 0.0;
+        }
+        scr.frozen.clear();
+        scr.frozen.resize(scr.comp_flows.len(), false);
         // Stalled flows are pre-frozen at rate 0 and contribute no weight:
         // a partitioned connection neither moves bytes nor holds shares.
-        let mut frozen: BTreeMap<FlowId, bool> =
-            self.flows.iter().map(|(&i, f)| (i, f.stalled)).collect();
-        for f in self.flows.values_mut() {
+        let mut unfrozen = 0usize;
+        for (i, &id) in scr.comp_flows.iter().enumerate() {
+            let f = self.flows.get_mut(&id).expect("component flow present");
             f.rate = 0.0;
-        }
-        for (_, f) in self.flows.iter() {
             if f.stalled {
-                continue;
-            }
-            for r in &f.resources {
-                weight_on[r.0] += f.weight;
+                scr.frozen[i] = true;
+            } else {
+                unfrozen += 1;
+                for r in &f.resources {
+                    scr.weight_on[r.0] += f.weight;
+                }
             }
         }
-        let mut unfrozen = frozen.values().filter(|&&fz| !fz).count();
+        self.stats.flows_rerated += scr.comp_flows.len() as u64;
         while unfrozen > 0 {
             // Find the bottleneck: resource with the least fair share per
             // unit of weight.
+            self.stats.resources_swept += scr.comp_res.len() as u64;
             let mut best: Option<(usize, f64)> = None;
-            for r in 0..n_res {
+            for &r in &scr.comp_res {
                 // f64 subtraction of accumulated weights can leave a tiny
                 // residue; treat near-zero as "no unfrozen flows here".
-                if weight_on[r] <= 1e-9 {
+                if scr.weight_on[r] <= 1e-9 {
                     continue;
                 }
-                let fair = residual[r] / weight_on[r];
+                let fair = scr.residual[r] / scr.weight_on[r];
                 match best {
                     Some((_, b)) if fair >= b => {}
                     _ => best = Some((r, fair)),
@@ -307,27 +555,29 @@ impl FluidEngine {
             let fair = fair.max(0.0);
             // Freeze every unfrozen flow crossing the bottleneck at
             // `fair * weight`.
-            let freezing: Vec<FlowId> = self
-                .flows
-                .iter()
-                .filter(|(id, f)| !frozen[id] && f.resources.iter().any(|r| r.0 == bottleneck))
-                .map(|(&id, _)| id)
-                .collect();
-            debug_assert!(!freezing.is_empty());
-            for id in freezing {
-                let f = self.flows.get_mut(&id).expect("flow vanished");
+            let mut froze_any = false;
+            for (i, &id) in scr.comp_flows.iter().enumerate() {
+                if scr.frozen[i] {
+                    continue;
+                }
+                let f = self.flows.get_mut(&id).expect("component flow present");
+                if !f.resources.iter().any(|r| r.0 == bottleneck) {
+                    continue;
+                }
                 f.rate = fair * f.weight;
-                frozen.insert(id, true);
+                scr.frozen[i] = true;
+                froze_any = true;
                 unfrozen -= 1;
                 for r in &f.resources {
-                    residual[r.0] -= f.rate;
-                    weight_on[r.0] -= f.weight;
+                    scr.residual[r.0] -= f.rate;
+                    scr.weight_on[r.0] -= f.weight;
                 }
             }
+            debug_assert!(froze_any, "bottleneck with weight but no flows");
             // Guard tiny negative residuals from f64 rounding.
-            for r in residual.iter_mut() {
-                if *r < 0.0 {
-                    *r = 0.0;
+            for &r in &scr.comp_res {
+                if scr.residual[r] < 0.0 {
+                    scr.residual[r] = 0.0;
                 }
             }
         }
@@ -566,5 +816,86 @@ mod tests {
         assert_eq!(e.next_completion(), Some(0.0));
         let done = e.advance(1e-9);
         assert_eq!(done, vec![f]);
+    }
+
+    #[test]
+    fn scoped_recompute_leaves_other_components_untouched() {
+        // Two disjoint components; mutating one must not re-rate the other.
+        let mut e = FluidEngine::new();
+        let l1 = e.add_resource(10.0);
+        let l2 = e.add_resource(100.0);
+        let a = e.start_flow(1_000, &[l1], 1.0);
+        let rerated_before = e.stats().flows_rerated;
+        let b = e.start_flow(1_000, &[l2], 1.0);
+        // Starting `b` re-rates only `b`'s singleton component.
+        assert_eq!(e.stats().flows_rerated - rerated_before, 1);
+        assert_eq!(e.rate(a), Some(10.0));
+        assert_eq!(e.rate(b), Some(100.0));
+        e.set_capacity(l2, 50.0);
+        assert_eq!(e.rate(a), Some(10.0));
+        assert_eq!(e.rate(b), Some(50.0));
+        assert_eq!(e.stats().full_recomputes, 0);
+    }
+
+    #[test]
+    fn incremental_sweeps_fewer_resources_than_full() {
+        // Many independent single-resource components: scoped recompute
+        // touches one resource per mutation, the full path all of them.
+        let build = |force_full: bool| {
+            let mut e = FluidEngine::new();
+            e.set_force_full(force_full);
+            let rs: Vec<_> = (0..32).map(|_| e.add_resource(100.0)).collect();
+            for round in 0..4 {
+                for r in &rs {
+                    e.start_flow(50 + round, &[*r], 1.0);
+                }
+            }
+            while e.next_completion().is_some() {
+                let dt = e.next_completion().unwrap();
+                e.advance(dt);
+            }
+            e.stats()
+        };
+        let inc = build(false);
+        let full = build(true);
+        assert_eq!(inc.full_recomputes, 0);
+        assert_eq!(full.full_recomputes, full.recomputes);
+        assert!(
+            inc.resources_swept * 5 <= full.resources_swept,
+            "scoped sweeps {} not ≥5x below full {}",
+            inc.resources_swept,
+            full.resources_swept
+        );
+    }
+
+    #[test]
+    fn recompute_full_is_idempotent_on_converged_rates() {
+        let mut e = FluidEngine::new();
+        let l1 = e.add_resource(10.0);
+        let l2 = e.add_resource(100.0);
+        let a = e.start_flow(1_000_000, &[l1], 1.0);
+        let b = e.start_flow(1_000_000, &[l1, l2], 1.0);
+        let c = e.start_flow(1_000_000, &[l2], 1.0);
+        let rates = |e: &FluidEngine| [a, b, c].map(|f| e.rate(f).unwrap().to_bits());
+        let before = rates(&e);
+        e.recompute_full();
+        assert_eq!(before, rates(&e), "full recompute is a fixpoint");
+    }
+
+    #[test]
+    fn next_completion_cache_tracks_mutations() {
+        let mut e = FluidEngine::new();
+        let r = e.add_resource(100.0);
+        let a = e.start_flow(1000, &[r], 1.0);
+        assert_eq!(e.next_completion(), Some(10.0));
+        assert_eq!(e.next_completion(), Some(10.0), "memoized");
+        e.start_flow(500, &[r], 1.0);
+        assert_eq!(e.next_completion(), Some(10.0), "both at 50 B/s");
+        e.advance(2.0);
+        assert_eq!(e.next_completion(), Some(8.0), "refreshed by advance");
+        e.cancel_flow(a);
+        assert_eq!(e.next_completion(), Some(4.0), "400 left at 100 B/s");
+        e.advance(4.0);
+        assert_eq!(e.next_completion(), None);
     }
 }

@@ -128,6 +128,12 @@ impl Metrics {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// All counters in ascending name order — a stable snapshot for
+    /// serializers (e.g. the perf harness embedding counters in BENCH.json).
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_ref(), *v))
+    }
+
     /// Set a gauge to `value`.
     pub fn set_gauge(&mut self, name: impl Into<Key>, value: f64) {
         self.gauges.insert(name.into(), value);
@@ -243,6 +249,15 @@ mod tests {
         h.observe(0);
         h.observe(0);
         assert_eq!(h.quantile(0.99), Some(0.0));
+    }
+
+    #[test]
+    fn counters_snapshot_is_name_ordered() {
+        let mut m = Metrics::new();
+        m.inc("zz", 7);
+        m.inc("aa", 3);
+        let snap: Vec<(&str, u64)> = m.counters().collect();
+        assert_eq!(snap, vec![("aa", 3), ("zz", 7)]);
     }
 
     #[test]

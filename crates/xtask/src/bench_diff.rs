@@ -1,0 +1,411 @@
+//! `cargo xtask bench-diff <old> <new>` — compare two `BENCH.json` reports
+//! (schema `mpid-bench/1`, written by `cargo run -p mpid-bench --bin perf`)
+//! and fail on wall-clock regressions.
+//!
+//! A bench regresses when its new wall-clock exceeds the old by **more than
+//! 25 %** *and* by more than an absolute 25 ms floor — sub-millisecond
+//! entries (the fig6 1 GB points) jitter by large ratios on shared CI
+//! runners, and the floor keeps the gate meaningful instead of flaky.
+//! Benches present on only one side are reported but never fail the diff.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Relative regression threshold: fail beyond +25 % wall-clock.
+const MAX_REGRESSION_RATIO: f64 = 1.25;
+/// Absolute floor: a regression must also cost at least this many seconds.
+const MIN_REGRESSION_SECS: f64 = 0.025;
+
+pub fn bench_diff(old_path: &str, new_path: &str) -> ExitCode {
+    let old = match load_report(old_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-diff: {old_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let new = match load_report(new_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-diff: {new_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("bench-diff: {old_path} -> {new_path}");
+    let header = format!(
+        "{:<24} {:>12} {:>12} {:>9}  {}",
+        "bench", "old", "new", "delta", "verdict"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+
+    let mut regressions = 0usize;
+    for (name, new_wall) in &new.benches {
+        let Some(old_wall) = old.benches.get(name) else {
+            println!(
+                "{name:<24} {:>12} {:>12} {:>9}  new bench",
+                "-",
+                fmt_ms(*new_wall),
+                "-"
+            );
+            continue;
+        };
+        let delta_pct = if *old_wall > 0.0 {
+            100.0 * (new_wall - old_wall) / old_wall
+        } else {
+            0.0
+        };
+        let regressed = *new_wall > old_wall * MAX_REGRESSION_RATIO
+            && new_wall - old_wall > MIN_REGRESSION_SECS;
+        let verdict = if regressed {
+            regressions += 1;
+            "REGRESSED"
+        } else if delta_pct <= -20.0 {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name:<24} {:>12} {:>12} {:>+8.1}%  {verdict}",
+            fmt_ms(*old_wall),
+            fmt_ms(*new_wall),
+            delta_pct
+        );
+    }
+    for name in old.benches.keys() {
+        if !new.benches.contains_key(name) {
+            println!(
+                "{name:<24} {:>12} {:>12} {:>9}  missing from new report",
+                fmt_ms(old.benches[name]),
+                "-",
+                "-"
+            );
+        }
+    }
+
+    if old.quick != new.quick {
+        println!(
+            "note: comparing a {} baseline against a {} run — sizes differ",
+            mode(old.quick),
+            mode(new.quick)
+        );
+    }
+    println!();
+    if regressions > 0 {
+        eprintln!(
+            "bench-diff: {regressions} regression(s) beyond +{:.0}% and {:.0} ms — \
+             refresh BENCH_BASELINE.json only for intentional slowdowns",
+            (MAX_REGRESSION_RATIO - 1.0) * 100.0,
+            MIN_REGRESSION_SECS * 1e3
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench-diff: no wall-clock regressions");
+        ExitCode::SUCCESS
+    }
+}
+
+fn mode(quick: bool) -> &'static str {
+    if quick {
+        "quick"
+    } else {
+        "full"
+    }
+}
+
+fn fmt_ms(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} ms", s * 1e3)
+    }
+}
+
+#[derive(Debug)]
+struct Report {
+    quick: bool,
+    /// Bench name → wall-clock seconds, in name order for stable output.
+    benches: BTreeMap<String, f64>,
+}
+
+fn load_report(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let value = parse_json(&text)?;
+    let obj = value.as_object().ok_or("top level is not an object")?;
+    let schema = obj
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != "mpid-bench/1" {
+        return Err(format!("unsupported schema {schema:?} (want mpid-bench/1)"));
+    }
+    let quick = obj.get("quick").and_then(Json::as_bool).unwrap_or(false);
+    let mut benches = BTreeMap::new();
+    for b in obj
+        .get("benches")
+        .and_then(Json::as_array)
+        .ok_or("missing \"benches\" array")?
+    {
+        let b = b.as_object().ok_or("bench entry is not an object")?;
+        let name = b
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("bench entry missing \"name\"")?;
+        let wall = b
+            .get("wall_s")
+            .and_then(Json::as_f64)
+            .ok_or("bench entry missing \"wall_s\"")?;
+        benches.insert(name.to_string(), wall);
+    }
+    Ok(Report { quick, benches })
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser — just enough for the flat mpid-bench/1 schema
+// (objects, arrays, strings without exotic escapes, numbers, booleans,
+// null). Keeping it in-tree avoids a serde dependency in xtask.
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at offset {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or(format!("invalid number at offset {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(c) => return Err(format!("unsupported escape \\{}", *c as char)),
+                    None => return Err("unterminated escape".into()),
+                }
+                *pos += 1;
+            }
+            c => {
+                // Multi-byte UTF-8 sequences pass through byte by byte.
+                out.push(c as char);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(out));
+    }
+    loop {
+        out.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(out));
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut out = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(out));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {}", *pos));
+        }
+        *pos += 1;
+        out.insert(key, parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(out));
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "mpid-bench/1",
+  "quick": true,
+  "benches": [
+    {"name": "flow_churn", "wall_s": 0.050000, "metrics": {"flows_per_sec": 400000.0}},
+    {"name": "mpid_pipeline", "wall_s": 0.400000, "metrics": {}}
+  ]
+}"#;
+
+    #[test]
+    fn parses_a_report() {
+        let dir = std::env::temp_dir().join("bench-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("a.json");
+        std::fs::write(&p, SAMPLE).unwrap();
+        let r = load_report(p.to_str().unwrap()).unwrap();
+        assert!(r.quick);
+        assert_eq!(r.benches.len(), 2);
+        assert_eq!(r.benches["flow_churn"], 0.05);
+        assert_eq!(r.benches["mpid_pipeline"], 0.4);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn wrong_schema_rejected() {
+        let dir = std::env::temp_dir().join("bench-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bad.json");
+        std::fs::write(&p, r#"{"schema": "other/9", "benches": []}"#).unwrap();
+        assert!(load_report(p.to_str().unwrap())
+            .unwrap_err()
+            .contains("unsupported schema"));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn regression_rule_has_absolute_floor() {
+        // +50% on 10 ms is only 5 ms — under the floor, not a regression.
+        let old = 0.010;
+        let new = 0.015;
+        assert!(
+            !(new > old * MAX_REGRESSION_RATIO && new - old > MIN_REGRESSION_SECS),
+            "sub-floor jitter must not fail the gate"
+        );
+        // +50% on 100 ms is 50 ms — over both thresholds.
+        let old = 0.100;
+        let new = 0.150;
+        assert!(new > old * MAX_REGRESSION_RATIO && new - old > MIN_REGRESSION_SECS);
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let v = parse_json(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\"y"}, "d": null}"#).unwrap();
+        let o = v.as_object().unwrap();
+        let a = o["a"].as_array().unwrap();
+        assert_eq!(a[2].as_f64(), Some(-300.0));
+        assert_eq!(o["b"].as_object().unwrap()["c"].as_str(), Some("x\"y"));
+    }
+}

@@ -17,14 +17,22 @@
 //! Genuinely harmless uses go in `crates/xtask/determinism-allow.txt`
 //! (`<path-suffix>:<token>` per line), which keeps every exception visible
 //! and reviewed in one place.
+//!
+//! `bench-diff` (see [`bench_diff`]) compares two `BENCH.json` perf reports
+//! and fails on wall-clock regressions; CI runs it against the committed
+//! `BENCH_BASELINE.json`.
+
+mod bench_diff;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose `src/` trees must stay deterministic. The runtime crates
 /// (`mpi-rt`, `obs`, `transports`, `bench`) legitimately read wall clocks —
-/// they measure real execution — so only the simulation substrate is linted.
-const LINTED_CRATES: &[&str] = &["desim", "netsim", "hadoop", "mapred", "faults"];
+/// they measure real execution — so only the simulation substrate is linted,
+/// plus `xtask` itself (its exceptions — the banned-token table — are
+/// allowlisted, keeping the lint honest about its own sources).
+const LINTED_CRATES: &[&str] = &["desim", "netsim", "hadoop", "mapred", "faults", "xtask"];
 
 /// Banned token → why it breaks replayability.
 const BANNED: &[(&str, &str)] = &[
@@ -74,13 +82,20 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("bench-diff") => match (args.next(), args.next()) {
+            (Some(old), Some(new)) => bench_diff::bench_diff(&old, &new),
+            _ => {
+                eprintln!("usage: cargo xtask bench-diff <old BENCH.json> <new BENCH.json>");
+                ExitCode::FAILURE
+            }
+        },
         Some(other) => {
             eprintln!("unknown xtask subcommand: {other}");
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask lint | bench-diff <old> <new>");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask lint | bench-diff <old> <new>");
             ExitCode::FAILURE
         }
     }
