@@ -11,22 +11,35 @@
 //!   MPI-D simulation system) at 1 / 10 / 100 GB, wall-clock each;
 //! * **solver A/B** — the 100 GB MPI-D sim traced under both solver modes,
 //!   reporting the `net.solver.resources_swept` counters and the wall-clock
-//!   ratio (the incremental-solver acceptance metric);
-//! * **mpid pipeline** — the real threads-as-ranks MPI-D WordCount
-//!   (buffer → combine → realign → ship → merge), MB/s.
+//!   ratio (the incremental-solver acceptance metric); each mode gets one
+//!   discarded warmup run so the timed run isn't paying first-touch costs;
+//! * **mpid pipeline shapes** — the real threads-as-ranks MPI-D data path
+//!   (buffer → combine → realign → ship → merge) over pre-materialized
+//!   inputs, MB/s over encoded wire bytes. Input generation happens
+//!   *outside* the timed region, so the number is the pipeline's, not the
+//!   generator's. Shapes: Zipf word pairs (`mpid_pipeline`), small keys
+//!   with large values (`pipe_large_values`), all-distinct keys
+//!   (`pipe_many_keys`), LZ wire compression (`pipe_compressed`), and the
+//!   bounded-memory external merge (`pipe_extmerge`).
 //!
 //! `--quick` shrinks the microbench sizes for CI; the bench *names* are
 //! identical in both modes so baselines stay comparable (the JSON records
 //! which mode produced it). `--out <path>` writes the JSON report.
+//! `--filter <substr>` runs only the benches whose name contains the
+//! substring (the report then contains just those benches).
 
 use desim::{Scheduler, Sim, SimTime};
 use hadoop_sim::HadoopConfig;
-use mapred::{run_mpid, run_sim_mpid, run_sim_mpid_traced, MpidEngineConfig, SimMpidConfig};
-use mpid_bench::{fmt_secs, GB, MB};
+use mapred::{
+    run_mpid, run_sim_mpid, run_sim_mpid_traced, MapReduceApp, MpidEngineConfig, SimMpidConfig,
+    VecInput,
+};
+use mpid::Kv;
+use mpid_bench::{fmt_secs, GB};
 use netsim::{Cluster, ClusterSpec, HasNet, HostId, Net, SolverStats};
 use std::sync::Arc;
 use std::time::Instant;
-use workloads::{wordcount_spec, TextGen, WordCount};
+use workloads::{rank_to_word, wordcount_spec, zipf_pairs, JavaSort, WordCountPairs};
 
 /// One timed benchmark: a wall-clock plus named scalar metrics.
 struct Bench {
@@ -39,10 +52,16 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out = mpid_bench::arg_value(&args, "--out");
+    let filter = mpid_bench::arg_value(&args, "--filter");
+    let want = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
 
     println!(
-        "perf — simulation-substrate wall-clock harness ({})",
-        if quick { "quick" } else { "full" }
+        "perf — simulation-substrate wall-clock harness ({}{})",
+        if quick { "quick" } else { "full" },
+        filter
+            .as_deref()
+            .map(|f| format!(", filter \"{f}\""))
+            .unwrap_or_default()
     );
     println!();
 
@@ -51,146 +70,264 @@ fn main() {
     // ------------------------------------------------------------------
     // 1. Flow churn: event-loop throughput of the fluid network driver.
     // ------------------------------------------------------------------
-    let churn_flows: u64 = if quick { 20_000 } else { 100_000 };
-    let (inc_wall, inc_stats) = flow_churn(churn_flows, false);
-    let (full_wall, full_stats) = flow_churn(churn_flows, true);
-    let inc_rate = churn_flows as f64 / inc_wall;
-    println!(
-        "flow_churn        {:>10}  {churn_flows} flows, {:.0} flows/s (incremental)",
-        fmt_secs(inc_wall),
-        inc_rate
-    );
-    println!(
-        "flow_churn_full   {:>10}  {churn_flows} flows, {:.0} flows/s (forced full recompute)",
-        fmt_secs(full_wall),
-        churn_flows as f64 / full_wall
-    );
-    benches.push(Bench {
-        name: "flow_churn",
-        wall_s: inc_wall,
-        metrics: vec![
-            ("flows_per_sec", inc_rate),
-            ("resources_swept", inc_stats.resources_swept as f64),
-            ("recomputes", inc_stats.recomputes as f64),
-        ],
-    });
-    benches.push(Bench {
-        name: "flow_churn_full",
-        wall_s: full_wall,
-        metrics: vec![
-            ("flows_per_sec", churn_flows as f64 / full_wall),
-            ("resources_swept", full_stats.resources_swept as f64),
-            ("recomputes", full_stats.recomputes as f64),
-        ],
-    });
+    if want("flow_churn") || want("flow_churn_full") {
+        let churn_flows: u64 = if quick { 20_000 } else { 100_000 };
+        let (inc_wall, inc_stats) = flow_churn(churn_flows, false);
+        let (full_wall, full_stats) = flow_churn(churn_flows, true);
+        let inc_rate = churn_flows as f64 / inc_wall;
+        println!(
+            "flow_churn        {:>10}  {churn_flows} flows, {:.0} flows/s (incremental)",
+            fmt_secs(inc_wall),
+            inc_rate
+        );
+        println!(
+            "flow_churn_full   {:>10}  {churn_flows} flows, {:.0} flows/s (forced full recompute)",
+            fmt_secs(full_wall),
+            churn_flows as f64 / full_wall
+        );
+        if want("flow_churn") {
+            benches.push(Bench {
+                name: "flow_churn",
+                wall_s: inc_wall,
+                metrics: vec![
+                    ("flows_per_sec", inc_rate),
+                    ("resources_swept", inc_stats.resources_swept as f64),
+                    ("recomputes", inc_stats.recomputes as f64),
+                ],
+            });
+        }
+        if want("flow_churn_full") {
+            benches.push(Bench {
+                name: "flow_churn_full",
+                wall_s: full_wall,
+                metrics: vec![
+                    ("flows_per_sec", churn_flows as f64 / full_wall),
+                    ("resources_swept", full_stats.resources_swept as f64),
+                    ("recomputes", full_stats.recomputes as f64),
+                ],
+            });
+        }
+    }
 
     // ------------------------------------------------------------------
     // 2. Figure-6 WordCount sims, wall-clock per size and system.
     // ------------------------------------------------------------------
     println!();
     for gb in [1u64, 10, 100] {
-        let spec = wordcount_spec(gb * GB);
-
-        let t0 = Instant::now();
-        let h = hadoop_sim::run_job(HadoopConfig::icpp2011(7, 7, 7), spec.clone());
-        let h_wall = t0.elapsed().as_secs_f64();
-        let name: &'static str = match gb {
+        let h_name: &'static str = match gb {
             1 => "fig6_hadoop_1gb",
             10 => "fig6_hadoop_10gb",
             _ => "fig6_hadoop_100gb",
         };
-        println!(
-            "{name:<17} {:>10}  (simulated makespan {})",
-            fmt_secs(h_wall),
-            fmt_secs(h.makespan.as_secs_f64())
-        );
-        benches.push(Bench {
-            name,
-            wall_s: h_wall,
-            metrics: vec![("sim_makespan_s", h.makespan.as_secs_f64())],
-        });
-
-        let t0 = Instant::now();
-        let m = run_sim_mpid(
-            SimMpidConfig::icpp2011_fig6().with_auto_splits(gb * GB),
-            spec,
-        );
-        let m_wall = t0.elapsed().as_secs_f64();
-        let name: &'static str = match gb {
+        let m_name: &'static str = match gb {
             1 => "fig6_mpid_1gb",
             10 => "fig6_mpid_10gb",
             _ => "fig6_mpid_100gb",
         };
-        println!(
-            "{name:<17} {:>10}  (simulated makespan {})",
-            fmt_secs(m_wall),
-            fmt_secs(m.makespan.as_secs_f64())
-        );
-        benches.push(Bench {
-            name,
-            wall_s: m_wall,
-            metrics: vec![("sim_makespan_s", m.makespan.as_secs_f64())],
-        });
+        if want(h_name) {
+            let spec = wordcount_spec(gb * GB);
+            let t0 = Instant::now();
+            let h = hadoop_sim::run_job(HadoopConfig::icpp2011(7, 7, 7), spec);
+            let h_wall = t0.elapsed().as_secs_f64();
+            println!(
+                "{h_name:<17} {:>10}  (simulated makespan {})",
+                fmt_secs(h_wall),
+                fmt_secs(h.makespan.as_secs_f64())
+            );
+            benches.push(Bench {
+                name: h_name,
+                wall_s: h_wall,
+                metrics: vec![("sim_makespan_s", h.makespan.as_secs_f64())],
+            });
+        }
+        if want(m_name) {
+            let spec = wordcount_spec(gb * GB);
+            let t0 = Instant::now();
+            let m = run_sim_mpid(
+                SimMpidConfig::icpp2011_fig6().with_auto_splits(gb * GB),
+                spec,
+            );
+            let m_wall = t0.elapsed().as_secs_f64();
+            println!(
+                "{m_name:<17} {:>10}  (simulated makespan {})",
+                fmt_secs(m_wall),
+                fmt_secs(m.makespan.as_secs_f64())
+            );
+            benches.push(Bench {
+                name: m_name,
+                wall_s: m_wall,
+                metrics: vec![("sim_makespan_s", m.makespan.as_secs_f64())],
+            });
+        }
     }
 
     // ------------------------------------------------------------------
     // 3. Solver A/B: the 100 GB MPI-D sim under both solver modes. The
     //    resources_swept counters come from the `net.solver.*` metrics the
-    //    network driver publishes into the tracer.
+    //    network driver publishes into the tracer. One discarded warmup
+    //    run per mode: the first traced sim pays allocator growth and
+    //    cold-cache costs that would otherwise bias whichever mode runs
+    //    first (the original source of a phantom <1.0 "speedup").
     // ------------------------------------------------------------------
-    println!();
-    let (ab_inc_wall, ab_inc_sweeps) = traced_mpid_100gb(false);
-    let (ab_full_wall, ab_full_sweeps) = traced_mpid_100gb(true);
-    let wall_ratio = ab_full_wall / ab_inc_wall;
-    let sweep_ratio = ab_full_sweeps as f64 / (ab_inc_sweeps.max(1)) as f64;
-    println!(
-        "solver A/B (fig6 100GB MPI-D): wall {} -> {} ({wall_ratio:.1}x), \
-         resource sweeps {ab_full_sweeps} -> {ab_inc_sweeps} ({sweep_ratio:.1}x fewer)",
-        fmt_secs(ab_full_wall),
-        fmt_secs(ab_inc_wall),
-    );
-    benches.push(Bench {
-        name: "solver_ab_mpid_100gb",
-        wall_s: ab_inc_wall,
-        metrics: vec![
-            ("wall_full_s", ab_full_wall),
-            ("sweeps_incremental", ab_inc_sweeps as f64),
-            ("sweeps_full", ab_full_sweeps as f64),
-            ("sweep_ratio", sweep_ratio),
-            ("wall_speedup", wall_ratio),
-        ],
-    });
+    if want("solver_ab_mpid_100gb") {
+        println!();
+        let _ = traced_mpid_100gb(false);
+        let (ab_inc_wall, ab_inc_sweeps) = traced_mpid_100gb(false);
+        let _ = traced_mpid_100gb(true);
+        let (ab_full_wall, ab_full_sweeps) = traced_mpid_100gb(true);
+        let wall_ratio = ab_full_wall / ab_inc_wall;
+        let sweep_ratio = ab_full_sweeps as f64 / (ab_inc_sweeps.max(1)) as f64;
+        println!(
+            "solver A/B (fig6 100GB MPI-D): wall {} -> {} ({wall_ratio:.1}x), \
+             resource sweeps {ab_full_sweeps} -> {ab_inc_sweeps} ({sweep_ratio:.1}x fewer)",
+            fmt_secs(ab_full_wall),
+            fmt_secs(ab_inc_wall),
+        );
+        benches.push(Bench {
+            name: "solver_ab_mpid_100gb",
+            wall_s: ab_inc_wall,
+            metrics: vec![
+                ("wall_full_s", ab_full_wall),
+                ("sweeps_incremental", ab_inc_sweeps as f64),
+                ("sweeps_full", ab_full_sweeps as f64),
+                ("sweep_ratio", sweep_ratio),
+                ("wall_speedup", wall_ratio),
+            ],
+        });
+    }
 
     // ------------------------------------------------------------------
-    // 4. Real MPI-D pipeline: threads-as-ranks WordCount, MB/s.
+    // 4. Real MPI-D pipeline shapes: threads-as-ranks jobs over inputs
+    //    materialized before the timer starts. MB/s is over encoded wire
+    //    bytes (sum of every record's `Kv::wire_size`), the same unit the
+    //    sender's spill accounting uses, so the number tracks data-path
+    //    work rather than input-generator entropy.
     // ------------------------------------------------------------------
     println!();
-    let pipe_bytes: u64 = if quick { 4 * MB } else { 16 * MB };
-    let input = Arc::new(TextGen::new(11, pipe_bytes, 8, 20_000));
-    let cfg = MpidEngineConfig::with_workers(4, 2);
-    let t0 = Instant::now();
-    let job = run_mpid(&cfg, Arc::new(WordCount), input);
-    let pipe_wall = t0.elapsed().as_secs_f64();
-    let mbps = pipe_bytes as f64 / pipe_wall / 1e6;
-    println!(
-        "mpid_pipeline     {:>10}  {} input, {mbps:.1} MB/s, {} output pairs",
-        fmt_secs(pipe_wall),
-        mpid_bench::fmt_size(pipe_bytes),
-        job.output.len()
-    );
-    benches.push(Bench {
-        name: "mpid_pipeline",
-        wall_s: pipe_wall,
-        metrics: vec![
-            ("mb_per_sec", mbps),
-            ("output_pairs", job.output.len() as f64),
-        ],
-    });
+    let scale = if quick { 1 } else { 4 };
+
+    // Warm the thread/allocator machinery once so the first timed shape
+    // isn't also paying universe spin-up cold costs.
+    let shapes = [
+        "mpid_pipeline",
+        "pipe_large_values",
+        "pipe_many_keys",
+        "pipe_compressed",
+        "pipe_extmerge",
+    ];
+    if shapes.iter().any(|n| want(n)) {
+        let warm = zipf_pairs(1, 65_536, 1_000);
+        let _ = run_mpid(
+            &MpidEngineConfig::with_workers(4, 2),
+            Arc::new(WordCountPairs),
+            Arc::new(VecInput::round_robin(warm, 8)),
+        );
+    }
+
+    // Shape 1: Zipf word pairs — the WordCount shuffle with combining.
+    if want("mpid_pipeline") {
+        let pairs = zipf_pairs(11, scale * 524_288, 20_000);
+        benches.push(pipe_shape(
+            "mpid_pipeline",
+            &MpidEngineConfig::with_workers(4, 2),
+            WordCountPairs,
+            pairs,
+        ));
+    }
+
+    // Shape 2: small key space, 4 KiB values — realign/ship dominated,
+    // no combining possible (JavaSort is identity).
+    if want("pipe_large_values") {
+        let n = scale * 512;
+        let recs: Vec<(u64, Vec<u8>)> = (0..n as u64)
+            .map(|i| {
+                (
+                    i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    vec![(i % 251) as u8; 4096],
+                )
+            })
+            .collect();
+        benches.push(pipe_shape(
+            "pipe_large_values",
+            &MpidEngineConfig::with_workers(4, 2),
+            JavaSort,
+            recs,
+        ));
+    }
+
+    // Shape 3: every key distinct — the combiner never fires, the hash
+    // table and spill-sort see maximum distinct-key pressure.
+    if want("pipe_many_keys") {
+        let n = scale * 131_072;
+        let pairs: Vec<(String, u64)> = (0..n).map(|i| (rank_to_word(i), 1)).collect();
+        benches.push(pipe_shape(
+            "pipe_many_keys",
+            &MpidEngineConfig::with_workers(4, 2),
+            WordCountPairs,
+            pairs,
+        ));
+    }
+
+    // Shape 4: Zipf word pairs with LZ wire compression.
+    if want("pipe_compressed") {
+        let pairs = zipf_pairs(13, scale * 524_288, 20_000);
+        let mut cfg = MpidEngineConfig::with_workers(4, 2);
+        cfg.compress = true;
+        benches.push(pipe_shape("pipe_compressed", &cfg, WordCountPairs, pairs));
+    }
+
+    // Shape 5: Zipf word pairs grouped through the bounded-memory
+    // external merge (reducer-side disk spill path).
+    if want("pipe_extmerge") {
+        let pairs = zipf_pairs(17, scale * 524_288, 20_000);
+        let mut cfg = MpidEngineConfig::with_workers(4, 2);
+        cfg.reduce_budget_bytes = Some(256 * 1024);
+        benches.push(pipe_shape("pipe_extmerge", &cfg, WordCountPairs, pairs));
+    }
 
     if let Some(path) = out {
         write_report(&path, quick, &benches);
         println!();
         println!("report: {} benches -> {path}", benches.len());
+    }
+}
+
+/// Run one pipeline shape: materialize the input into split vectors (and
+/// total its encoded wire bytes) before the timer, then time the real
+/// threads-as-ranks job end to end.
+fn pipe_shape<A>(
+    name: &'static str,
+    cfg: &MpidEngineConfig,
+    app: A,
+    records: Vec<(A::InKey, A::InVal)>,
+) -> Bench
+where
+    A: MapReduceApp,
+    A::InKey: Kv + Clone + Send + Sync + 'static,
+    A::InVal: Kv + Clone + Send + Sync + 'static,
+{
+    let wire_bytes: u64 = records
+        .iter()
+        .map(|(k, v)| (k.wire_size() + v.wire_size()) as u64)
+        .sum();
+    let input = Arc::new(VecInput::round_robin(records, 8));
+    let t0 = Instant::now();
+    let job = run_mpid(cfg, Arc::new(app), input);
+    let wall = t0.elapsed().as_secs_f64();
+    let mbps = wire_bytes as f64 / wall / 1e6;
+    println!(
+        "{name:<17} {:>10}  {} wire, {mbps:.1} MB/s, {} output pairs",
+        fmt_secs(wall),
+        mpid_bench::fmt_size(wire_bytes),
+        job.output.len()
+    );
+    Bench {
+        name,
+        wall_s: wall,
+        metrics: vec![
+            ("mb_per_sec", mbps),
+            ("output_pairs", job.output.len() as f64),
+        ],
     }
 }
 

@@ -1,6 +1,7 @@
 //! MPI-D runtime configuration and rank-role layout.
 
 use mpi_rt::{Comm, Rank};
+use std::time::Duration;
 
 /// Tunables of the MPI-D pipeline (paper §IV.A).
 #[derive(Debug, Clone)]
@@ -47,6 +48,12 @@ impl Default for MpidConfig {
 }
 
 impl MpidConfig {
+    /// Default reducer-side receive timeout. The single source of truth for
+    /// every layer that waits on [`tags::DATA`] traffic (receiver, engine,
+    /// checkpoint runner) — override per-call with
+    /// `MpidReceiver::with_timeout` or `MpidEngineConfig::recv_timeout`.
+    pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(300);
+
     /// Convenience: `m` mappers and `r` reducers, defaults elsewhere.
     pub fn with_workers(m: usize, r: usize) -> Self {
         MpidConfig {

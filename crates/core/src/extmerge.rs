@@ -141,14 +141,54 @@ impl<K: Key, V: Value> ExternalTable<K, V> {
         Ok(())
     }
 
+    /// Start a run that the caller fills with groups in **ascending key
+    /// order** — the path a producer that already holds sorted data (the
+    /// batched receiver's frame-run merge) uses to spill without the
+    /// resident `BTreeMap` resort. The run joins the merge set when
+    /// [`RunWriter::finish`] is called; an unfinished writer's file is
+    /// abandoned and swept with the spill directory.
+    pub fn begin_sorted_run(&mut self) -> Result<RunWriter<'_, K, V>, ExtMergeError> {
+        let path = self
+            .spill_dir
+            .join(format!("run-{:05}.spill", self.next_run));
+        self.next_run += 1;
+        let w = BufWriter::new(File::create(&path)?);
+        Ok(RunWriter {
+            table: self,
+            w,
+            path,
+            frame: BytesMut::new(),
+        })
+    }
+
     /// Finish ingestion: returns an iterator of globally key-ordered merged
     /// groups (k-way merge of all runs plus the resident tail).
     pub fn into_merge(mut self) -> Result<MergeIter<K, V>, ExtMergeError> {
+        let resident: Vec<(K, Vec<V>)> = std::mem::take(&mut self.resident).into_iter().collect();
+        self.merge_impl(resident)
+    }
+
+    /// Like [`ExternalTable::into_merge`], but with a caller-supplied tail
+    /// of already-merged groups in ascending key order (the batched
+    /// receiver's final unspilled window). The resident table must be empty
+    /// — a producer uses either `insert` or sorted runs + tail, not both.
+    pub fn into_merge_with_tail(
+        mut self,
+        tail: Vec<(K, Vec<V>)>,
+    ) -> Result<MergeIter<K, V>, ExtMergeError> {
+        assert!(
+            self.resident.is_empty(),
+            "into_merge_with_tail with resident entries; use into_merge"
+        );
+        self.resident = BTreeMap::new();
+        self.merge_impl(tail)
+    }
+
+    fn merge_impl(&mut self, tail: Vec<(K, Vec<V>)>) -> Result<MergeIter<K, V>, ExtMergeError> {
         let mut readers = Vec::with_capacity(self.runs.len());
         for path in &self.runs {
             readers.push(RunReader::open(path)?);
         }
-        let resident = std::mem::take(&mut self.resident);
         let mut heads: Vec<Option<(K, Vec<V>)>> = Vec::new();
         for r in readers.iter_mut() {
             heads.push(r.next_group()?);
@@ -156,9 +196,50 @@ impl<K: Key, V: Value> ExternalTable<K, V> {
         Ok(MergeIter {
             readers,
             heads,
-            resident: resident.into_iter().peekable(),
+            resident: tail.into_iter().peekable(),
             _cleanup: DirCleanup(self.spill_dir.clone()),
         })
+    }
+}
+
+/// Writer for one pre-sorted run (see [`ExternalTable::begin_sorted_run`]).
+/// Groups use the same `u32 len , single-group frame` record format as
+/// resident spills; values are appended as raw encoded bytes, so spilling
+/// already-encoded frame data performs no decode/re-encode round-trip.
+pub struct RunWriter<'t, K: Key, V: Value> {
+    table: &'t mut ExternalTable<K, V>,
+    w: BufWriter<File>,
+    path: PathBuf,
+    frame: BytesMut,
+}
+
+impl<K: Key, V: Value> RunWriter<'_, K, V> {
+    /// Open a group. Keys must arrive in strictly ascending order across
+    /// `begin_group` calls (each key exactly once per run).
+    pub fn begin_group(&mut self, key: &K, n_values: u32) {
+        self.frame.clear();
+        self.frame.put_u32_le(1);
+        key.encode(&mut self.frame);
+        self.frame.put_u32_le(n_values);
+    }
+
+    /// Append already-encoded value bytes to the open group.
+    pub fn push_raw(&mut self, value_bytes: &[u8]) {
+        self.frame.extend_from_slice(value_bytes);
+    }
+
+    /// Write the open group's record to the run file.
+    pub fn end_group(&mut self) -> Result<(), ExtMergeError> {
+        self.w.write_all(&(self.frame.len() as u32).to_le_bytes())?;
+        self.w.write_all(&self.frame)?;
+        Ok(())
+    }
+
+    /// Flush and register the run with the owning table.
+    pub fn finish(mut self) -> Result<(), ExtMergeError> {
+        self.w.flush()?;
+        self.table.runs.push(self.path);
+        Ok(())
     }
 }
 
@@ -212,7 +293,7 @@ impl RunReader {
 pub struct MergeIter<K: Key, V: Value> {
     readers: Vec<RunReader>,
     heads: Vec<Option<(K, Vec<V>)>>,
-    resident: std::iter::Peekable<std::collections::btree_map::IntoIter<K, Vec<V>>>,
+    resident: std::iter::Peekable<std::vec::IntoIter<(K, Vec<V>)>>,
     _cleanup: DirCleanup,
 }
 
@@ -280,6 +361,7 @@ impl<K: Key, V: Value> MergeIter<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kv::Kv;
 
     fn table(budget: usize) -> ExternalTable<String, u64> {
         ExternalTable::new(budget, std::env::temp_dir()).unwrap()
@@ -370,6 +452,47 @@ mod tests {
         let _ = merge.collect_all().unwrap();
         // MergeIter's cleanup guard removed the directory.
         assert!(!dir.exists(), "spill dir should be removed");
+    }
+
+    #[test]
+    fn sorted_runs_and_tail_merge_like_inserts() {
+        // Two pre-sorted runs plus a tail must merge to the same groups the
+        // insert path produces, with per-key value order = run order, tail
+        // last.
+        let mut t = table(1 << 20);
+        {
+            let mut rw = t.begin_sorted_run().unwrap();
+            for (k, vs) in [("a", vec![1u64, 2]), ("c", vec![3])] {
+                rw.begin_group(&k.to_string(), vs.len() as u32);
+                for v in &vs {
+                    let mut b = BytesMut::new();
+                    v.encode(&mut b);
+                    rw.push_raw(&b);
+                }
+                rw.end_group().unwrap();
+            }
+            rw.finish().unwrap();
+        }
+        {
+            let mut rw = t.begin_sorted_run().unwrap();
+            rw.begin_group(&"a".to_string(), 1);
+            let mut b = BytesMut::new();
+            4u64.encode(&mut b);
+            rw.push_raw(&b);
+            rw.end_group().unwrap();
+            rw.finish().unwrap();
+        }
+        assert_eq!(t.spilled_runs(), 2);
+        let tail = vec![("a".to_string(), vec![5u64]), ("b".to_string(), vec![6])];
+        let got = t.into_merge_with_tail(tail).unwrap().collect_all().unwrap();
+        assert_eq!(
+            got,
+            vec![
+                ("a".to_string(), vec![1, 2, 4, 5]),
+                ("b".to_string(), vec![6]),
+                ("c".to_string(), vec![3]),
+            ]
+        );
     }
 
     #[test]

@@ -42,6 +42,16 @@ pub trait Kv: Sized {
     /// Exact number of bytes [`Kv::encode`] will append — used for buffer
     /// accounting and spill thresholds.
     fn wire_size(&self) -> usize;
+    /// Advance `buf` past one encoded value without materializing it.
+    ///
+    /// The default parses and discards; fixed-width and length-prefixed
+    /// types override it to a pure offset bump, which is what lets the
+    /// receiver index a frame's records by offset instead of decoding every
+    /// value up front. `skip` validates *framing* only — a later `decode`
+    /// of the same bytes may still fail on content (e.g. invalid UTF-8).
+    fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
+        Self::decode(buf).map(|_| ())
+    }
 }
 
 fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
@@ -66,6 +76,9 @@ macro_rules! impl_kv_int {
             fn wire_size(&self) -> usize {
                 std::mem::size_of::<$t>()
             }
+            fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
+                take(buf, std::mem::size_of::<$t>()).map(|_| ())
+            }
         }
     )*};
 }
@@ -85,6 +98,10 @@ impl Kv for String {
     fn wire_size(&self) -> usize {
         4 + self.len()
     }
+    fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
+        let len = u32::decode(buf)? as usize;
+        take(buf, len).map(|_| ())
+    }
 }
 
 impl Kv for Vec<u8> {
@@ -99,6 +116,10 @@ impl Kv for Vec<u8> {
     fn wire_size(&self) -> usize {
         4 + self.len()
     }
+    fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
+        let len = u32::decode(buf)? as usize;
+        take(buf, len).map(|_| ())
+    }
 }
 
 impl<A: Kv, B: Kv> Kv for (A, B) {
@@ -111,6 +132,10 @@ impl<A: Kv, B: Kv> Kv for (A, B) {
     }
     fn wire_size(&self) -> usize {
         self.0.wire_size() + self.1.wire_size()
+    }
+    fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
+        A::skip(buf)?;
+        B::skip(buf)
     }
 }
 

@@ -20,10 +20,20 @@
 use crate::kv::{CodecError, Kv};
 use bytes::{BufMut, Bytes, BytesMut};
 
+/// Leading byte of a wire frame built with [`FrameBuilder::new_wire`]:
+/// plain (uncompressed) body follows.
+pub const MARKER_PLAIN: u8 = 0;
+/// Leading byte of a wire frame whose body was LZ-compressed before send.
+pub const MARKER_LZ: u8 = 1;
+
 /// Builds frames of bounded size from `(key, values)` groups.
 #[derive(Debug)]
 pub struct FrameBuilder {
     target_bytes: usize,
+    /// Bytes of header before the group-count field: 0 for plain frames,
+    /// 1 for wire frames (compression marker). The count lives at
+    /// `hdr - 4 .. hdr`.
+    hdr: usize,
     buf: BytesMut,
     n_groups: u32,
     frames: Vec<Bytes>,
@@ -33,11 +43,27 @@ impl FrameBuilder {
     /// Frames will be closed once they exceed `target_bytes` (each frame may
     /// overshoot by one group; groups are never split across frames).
     pub fn new(target_bytes: usize) -> Self {
+        Self::with_header(target_bytes, 4)
+    }
+
+    /// Like [`FrameBuilder::new`] but each frame is prefixed with a
+    /// [`MARKER_PLAIN`] byte so it is already in wire form — the sender can
+    /// ship it as-is without copying into a marker-prefixed scratch buffer.
+    /// (Compressed sends still rewrite the frame; see [`crate::sender`].)
+    pub fn new_wire(target_bytes: usize) -> Self {
+        Self::with_header(target_bytes, 5)
+    }
+
+    fn with_header(target_bytes: usize, hdr: usize) -> Self {
         assert!(target_bytes > 0);
         let mut buf = BytesMut::with_capacity(target_bytes + 64);
+        if hdr == 5 {
+            buf.put_u8(MARKER_PLAIN);
+        }
         buf.put_u32_le(0); // group-count placeholder
         FrameBuilder {
             target_bytes,
+            hdr,
             buf,
             n_groups: 0,
             frames: Vec::new(),
@@ -51,6 +77,31 @@ impl FrameBuilder {
         for v in values {
             v.encode(&mut self.buf);
         }
+        self.end_group();
+    }
+
+    /// Start a group from an already-encoded key slice, declaring its value
+    /// count up front. Follow with [`FrameBuilder::push_raw`] /
+    /// [`FrameBuilder::push_value`] calls for exactly `n_values` values,
+    /// then [`FrameBuilder::end_group`].
+    pub fn begin_group_raw(&mut self, key_bytes: &[u8], n_values: u32) {
+        self.buf.put_slice(key_bytes);
+        self.buf.put_u32_le(n_values);
+    }
+
+    /// Append already-encoded value bytes to the open group.
+    pub fn push_raw(&mut self, value_bytes: &[u8]) {
+        self.buf.put_slice(value_bytes);
+    }
+
+    /// Append one typed value to the open group.
+    pub fn push_value<V: Kv>(&mut self, value: &V) {
+        value.encode(&mut self.buf);
+    }
+
+    /// Close the group opened by [`FrameBuilder::begin_group_raw`], sealing
+    /// the frame if it reached the target size.
+    pub fn end_group(&mut self) {
         self.n_groups += 1;
         if self.buf.len() >= self.target_bytes {
             self.seal();
@@ -61,9 +112,13 @@ impl FrameBuilder {
         if self.n_groups == 0 {
             return;
         }
-        self.buf[..4].copy_from_slice(&self.n_groups.to_le_bytes());
+        self.buf[self.hdr - 4..self.hdr].copy_from_slice(&self.n_groups.to_le_bytes());
+        let hdr = self.hdr;
         let full = std::mem::replace(&mut self.buf, {
             let mut b = BytesMut::with_capacity(self.target_bytes + 64);
+            if hdr == 5 {
+                b.put_u8(MARKER_PLAIN);
+            }
             b.put_u32_le(0);
             b
         });
@@ -140,6 +195,51 @@ pub fn decode_frames<K: Kv, V: Kv>(frames: &[Bytes]) -> Result<Vec<(K, Vec<V>)>,
     let mut out = Vec::new();
     for f in frames {
         out.extend(FrameReader::new(f)?.read_all()?);
+    }
+    Ok(out)
+}
+
+/// One group's location inside a frame body: the decoded key plus the byte
+/// range of its still-encoded value list. Produced by [`parse_group_index`];
+/// values stay as bytes until a consumer actually needs them.
+#[derive(Debug, Clone)]
+pub struct GroupMeta<K> {
+    /// The group key (keys must be decoded once anyway for merge ordering).
+    pub key: K,
+    /// Start of the encoded value list, as an offset into the frame body.
+    pub val_off: usize,
+    /// One past the end of the encoded value list.
+    pub val_end: usize,
+    /// Number of values in `val_off..val_end`.
+    pub n_values: u32,
+}
+
+/// Index a frame body (count header + groups, no wire marker) into per-group
+/// offsets without materializing any value. Keys are decoded; values are
+/// length-skipped via [`Kv::skip`], so framing errors surface here but
+/// content errors (e.g. invalid UTF-8 in a `String` value) surface at the
+/// later `decode` of the group's byte range.
+pub fn parse_group_index<K: Kv, V: Kv>(body: &[u8]) -> Result<Vec<GroupMeta<K>>, CodecError> {
+    let mut slice = body;
+    let n_groups = u32::decode(&mut slice)?;
+    let mut out = Vec::with_capacity(n_groups as usize);
+    for _ in 0..n_groups {
+        let key = K::decode(&mut slice)?;
+        let n_values = u32::decode(&mut slice)?;
+        let val_off = body.len() - slice.len();
+        for _ in 0..n_values {
+            V::skip(&mut slice)?;
+        }
+        let val_end = body.len() - slice.len();
+        out.push(GroupMeta {
+            key,
+            val_off,
+            val_end,
+            n_values,
+        });
+    }
+    if !slice.is_empty() {
+        return Err(CodecError::Corrupt("trailing bytes after last group"));
     }
     Ok(out)
 }
@@ -222,6 +322,75 @@ mod tests {
         let _ = r.next_group::<String, u64>().unwrap().unwrap();
         assert!(matches!(
             r.next_group::<String, u64>(),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn wire_builder_prefixes_marker_and_raw_groups_match_typed() {
+        // Same groups through the typed and raw paths must produce the same
+        // body bytes; the wire variant adds exactly one marker byte.
+        let groups = vec![
+            ("apple".to_string(), vec![1u64, 2, 3]),
+            ("pear".to_string(), vec![9]),
+        ];
+        let typed = build(&groups, 1 << 20);
+
+        let mut raw = FrameBuilder::new_wire(1 << 20);
+        let mut key_buf = BytesMut::new();
+        let mut val_buf = BytesMut::new();
+        for (k, vs) in &groups {
+            key_buf.clear();
+            val_buf.clear();
+            k.encode(&mut key_buf);
+            for v in vs {
+                v.encode(&mut val_buf);
+            }
+            raw.begin_group_raw(&key_buf, vs.len() as u32);
+            raw.push_raw(&val_buf);
+            raw.end_group();
+        }
+        let wire = raw.finish();
+        assert_eq!(wire.len(), 1);
+        assert_eq!(wire[0][0], MARKER_PLAIN);
+        assert_eq!(&wire[0][1..], &typed[0][..]);
+    }
+
+    #[test]
+    fn group_index_locates_every_value_list() {
+        let groups = vec![
+            ("a".to_string(), vec![10u64, 20]),
+            ("bb".to_string(), vec![]),
+            ("ccc".to_string(), vec![7]),
+        ];
+        let frames = build(&groups, 1 << 20);
+        let idx = parse_group_index::<String, u64>(&frames[0]).unwrap();
+        assert_eq!(idx.len(), 3);
+        for (meta, (k, vs)) in idx.iter().zip(&groups) {
+            assert_eq!(&meta.key, k);
+            assert_eq!(meta.n_values as usize, vs.len());
+            let mut slice = &frames[0][meta.val_off..meta.val_end];
+            let decoded: Vec<u64> = (0..meta.n_values)
+                .map(|_| u64::decode(&mut slice).unwrap())
+                .collect();
+            assert_eq!(&decoded, vs);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn group_index_rejects_truncation_and_garbage() {
+        let frames = build(&[("k".to_string(), vec![7u64])], 1 << 20);
+        let mut bad = frames[0].to_vec();
+        bad.truncate(bad.len() - 2);
+        assert!(matches!(
+            parse_group_index::<String, u64>(&bad),
+            Err(CodecError::Truncated)
+        ));
+        let mut noisy = frames[0].to_vec();
+        noisy.extend_from_slice(&[9, 9]);
+        assert!(matches!(
+            parse_group_index::<String, u64>(&noisy),
             Err(CodecError::Corrupt(_))
         ));
     }

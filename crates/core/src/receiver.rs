@@ -1,15 +1,30 @@
 //! The reducer-side `MPI_D_Recv` pipeline (paper Figure 4, right half):
 //! wildcard reception of frames from any mapper, reverse realignment, and
-//! in-memory merging of each key's value lists.
+//! sort-merge grouping of each key's value lists.
+//!
+//! Frames arrive as refcounted [`Bytes`] straight off the transport (plain
+//! frames are a zero-copy slice past the wire marker; only LZ frames are
+//! decompressed into a fresh buffer). Each frame body is indexed into
+//! per-group *offsets* ([`parse_group_index`]) — keys decode once, values
+//! stay encoded — then the group index is sorted by key and all frame runs
+//! are k-way merged: the same streaming-merge shape [`ExternalTable`] uses
+//! on disk, applied in memory. Values decode exactly once, straight into an
+//! exact-capacity `Vec` per merged group, replacing the seed's per-record
+//! `BTreeMap` insert + `Vec` growth. Grouped output is bit-identical to the
+//! per-record path: ascending key order, and each key's values concatenated
+//! in frame-arrival order (runs are merged in arrival order, so equal keys
+//! absorb in exactly the order `BTreeMap::extend` appended them).
+//!
+//! [`ExternalTable`]: crate::extmerge::ExternalTable
 
 use crate::config::{tags, MpidConfig};
 use crate::error::{MpidError, MpidResult};
 use crate::kv::{Key, Value};
-use crate::realign::FrameReader;
+use crate::realign::{parse_group_index, FrameReader, GroupMeta, MARKER_LZ, MARKER_PLAIN};
 use crate::stats::ReceiverStats;
-use mpi_rt::{Comm, RankTrace};
+use bytes::Bytes;
+use mpi_rt::{Comm, Rank, RankTrace};
 use obs::ArgValue;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -35,7 +50,17 @@ pub struct MpidReceiver<'a, K: Key, V: Value> {
 
 enum RecvState<K, V> {
     Ingesting,
-    Draining(std::collections::btree_map::IntoIter<K, Vec<V>>),
+    Draining(std::vec::IntoIter<(K, Vec<V>)>),
+}
+
+/// One received frame, held as bytes: the body buffer plus its key-sorted
+/// group index. `pos` is the merge cursor.
+struct FrameRun<K> {
+    body: Bytes,
+    recs: Vec<GroupMeta<K>>,
+    pos: usize,
+    /// Sender rank, for attributing late value-decode errors.
+    src: Rank,
 }
 
 impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
@@ -43,7 +68,7 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
         MpidReceiver {
             comm,
             cfg,
-            timeout: Duration::from_secs(300),
+            timeout: MpidConfig::DEFAULT_RECV_TIMEOUT,
             value_sorter: None,
             state: RecvState::Ingesting,
             stats: ReceiverStats::default(),
@@ -52,7 +77,8 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
 
     /// Bound how long ingestion waits for the next frame before reporting
     /// a timeout error — this is how a dead mapper becomes a visible
-    /// error instead of a hang. Default: 300 s.
+    /// error instead of a hang. Default:
+    /// [`MpidConfig::DEFAULT_RECV_TIMEOUT`].
     pub fn with_timeout(mut self, t: Duration) -> Self {
         self.timeout = t;
         self
@@ -77,20 +103,38 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
         &self.stats
     }
 
-    fn ingest(&mut self) -> MpidResult<BTreeMap<K, Vec<V>>> {
+    /// Receive one frame as a key-sorted run, or count an end-of-stream.
+    fn recv_one_run(&mut self) -> MpidResult<Option<FrameRun<K>>> {
+        let Some((body, src)) = recv_frame_body(self.comm, self.timeout, &mut self.stats)? else {
+            return Ok(None);
+        };
+        let mut recs = parse_group_index::<K, V>(&body).map_err(|err| MpidError::Codec {
+            source_rank: src,
+            err,
+        })?;
+        self.stats.groups_in += recs.len() as u64;
+        // Stable sort: a frame carrying the same key twice keeps its
+        // in-frame order, so the merge's arrival-order guarantee holds.
+        recs.sort_by(|a, b| a.key.cmp(&b.key));
+        Ok(Some(FrameRun {
+            body,
+            recs,
+            pos: 0,
+            src,
+        }))
+    }
+
+    fn ingest(&mut self) -> MpidResult<Vec<(K, Vec<V>)>> {
         let t0 = self.comm.trace().map(|rt| rt.now_ns());
-        let mut table: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        let mut runs: Vec<FrameRun<K>> = Vec::new();
         let mut eos_seen = 0usize;
         while eos_seen < self.cfg.n_mappers {
-            match recv_one_frame::<K, V>(self.comm, self.timeout, &mut self.stats)? {
+            match self.recv_one_run()? {
                 None => eos_seen += 1,
-                Some(groups) => {
-                    for (k, vs) in groups {
-                        table.entry(k).or_default().extend(vs);
-                    }
-                }
+                Some(run) => runs.push(run),
             }
         }
+        let table = merge_runs::<K, V>(runs)?;
         self.stats.distinct_keys = table.len() as u64;
         if let (Some(rt), Some(t0)) = (self.comm.trace(), t0) {
             trace_merge(rt, t0, &self.stats, None);
@@ -98,11 +142,12 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
         Ok(table)
     }
 
-    /// Switch to bounded-memory consumption: ingest all frames into an
-    /// [`ExternalTable`](crate::extmerge::ExternalTable) that spills
-    /// key-sorted runs to `spill_dir` beyond `budget_bytes`, then stream
-    /// globally key-ordered merged groups — the reducer-side external merge
-    /// Hadoop performs when reduce inputs exceed memory.
+    /// Switch to bounded-memory consumption: buffer frame runs up to
+    /// `budget_bytes`, merge each full window into one pre-sorted disk run
+    /// of an [`ExternalTable`](crate::extmerge::ExternalTable) (no resident
+    /// resort — the window is already key-merged), then stream globally
+    /// key-ordered merged groups — the reducer-side external merge Hadoop
+    /// performs when reduce inputs exceed memory.
     pub fn into_external(
         mut self,
         budget_bytes: usize,
@@ -114,24 +159,33 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
         );
         let t0 = self.comm.trace().map(|rt| rt.now_ns());
         let spill_err = |e: crate::extmerge::ExtMergeError| MpidError::Spill(e.to_string());
-        let mut table = crate::extmerge::ExternalTable::new(budget_bytes, spill_dir)
+        let mut table = crate::extmerge::ExternalTable::<K, V>::new(budget_bytes, spill_dir)
             .map_err(|e| MpidError::Spill(e.to_string()))?;
+        let mut window: Vec<FrameRun<K>> = Vec::new();
+        let mut window_bytes = 0usize;
         let mut eos_seen = 0usize;
         while eos_seen < self.cfg.n_mappers {
-            match recv_one_frame::<K, V>(self.comm, self.timeout, &mut self.stats)? {
+            match self.recv_one_run()? {
                 None => eos_seen += 1,
-                Some(groups) => {
-                    for (k, vs) in groups {
-                        table.insert(k, vs).map_err(spill_err)?;
+                Some(run) => {
+                    window_bytes += run.body.len();
+                    window.push(run);
+                    if window_bytes > budget_bytes {
+                        spill_window(&mut table, std::mem::take(&mut window)).map_err(spill_err)?;
+                        window_bytes = 0;
                     }
                 }
             }
         }
+        // The final unspilled window becomes the merge tail — the position
+        // the resident table held in the insert path, so per-key value
+        // order stays run-order-then-tail = frame-arrival order.
+        let tail = merge_runs::<K, V>(window)?;
         let spilled_runs = table.spilled_runs();
         if let (Some(rt), Some(t0)) = (self.comm.trace(), t0) {
             trace_merge(rt, t0, &self.stats, Some(spilled_runs));
         }
-        let merge = table.into_merge().map_err(spill_err)?;
+        let merge = table.into_merge_with_tail(tail).map_err(spill_err)?;
         Ok(ExternalRecv {
             merge,
             spilled_runs,
@@ -186,6 +240,110 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
     }
 }
 
+/// K-way merge state over key-sorted frame runs. [`WindowMerge::advance`]
+/// steps to the next (smallest) key and records which runs contribute
+/// groups for it; the caller then reads the contributions — decoded values
+/// for the in-memory table, raw byte ranges for a disk spill.
+struct WindowMerge<K> {
+    runs: Vec<FrameRun<K>>,
+    /// `(run, first_group, n_groups)` contributions for the current key,
+    /// in run (= frame arrival) order.
+    contribs: Vec<(u32, u32, u32)>,
+    /// Total values across the current key's contributions.
+    total_values: u64,
+}
+
+impl<K: Key> WindowMerge<K> {
+    fn new(runs: Vec<FrameRun<K>>) -> Self {
+        WindowMerge {
+            runs,
+            contribs: Vec::new(),
+            total_values: 0,
+        }
+    }
+
+    fn advance(&mut self) -> Option<K> {
+        let mut min: Option<usize> = None;
+        for i in 0..self.runs.len() {
+            let r = &self.runs[i];
+            if r.pos >= r.recs.len() {
+                continue;
+            }
+            match min {
+                Some(m) if self.runs[m].recs[self.runs[m].pos].key <= r.recs[r.pos].key => {}
+                _ => min = Some(i),
+            }
+        }
+        let m = min?;
+        let key = self.runs[m].recs[self.runs[m].pos].key.clone();
+        self.contribs.clear();
+        self.total_values = 0;
+        for (i, r) in self.runs.iter_mut().enumerate() {
+            let start = r.pos;
+            while r.pos < r.recs.len() && r.recs[r.pos].key == key {
+                self.total_values += r.recs[r.pos].n_values as u64;
+                r.pos += 1;
+            }
+            if r.pos > start {
+                self.contribs
+                    .push((i as u32, start as u32, (r.pos - start) as u32));
+            }
+        }
+        Some(key)
+    }
+}
+
+/// Merge key-sorted frame runs into `(key, values)` groups, ascending keys,
+/// values in frame-arrival order, decoding each value exactly once into an
+/// exact-capacity list.
+fn merge_runs<K: Key, V: Value>(runs: Vec<FrameRun<K>>) -> MpidResult<Vec<(K, Vec<V>)>> {
+    let mut wm = WindowMerge::new(runs);
+    let mut out: Vec<(K, Vec<V>)> = Vec::new();
+    while let Some(key) = wm.advance() {
+        let mut values: Vec<V> = Vec::with_capacity(wm.total_values as usize);
+        for &(ri, g0, ng) in &wm.contribs {
+            let run = &wm.runs[ri as usize];
+            for gi in g0..g0 + ng {
+                let g = &run.recs[gi as usize];
+                let mut slice = &run.body[g.val_off..g.val_end];
+                for _ in 0..g.n_values {
+                    values.push(V::decode(&mut slice).map_err(|err| MpidError::Codec {
+                        source_rank: run.src,
+                        err,
+                    })?);
+                }
+            }
+        }
+        out.push((key, values));
+    }
+    Ok(out)
+}
+
+/// Merge one window of frame runs into a single pre-sorted disk run. Value
+/// bytes are copied verbatim from the frame bodies — no decode/re-encode.
+fn spill_window<K: Key, V: Value>(
+    table: &mut crate::extmerge::ExternalTable<K, V>,
+    runs: Vec<FrameRun<K>>,
+) -> Result<(), crate::extmerge::ExtMergeError> {
+    if runs.is_empty() {
+        return Ok(());
+    }
+    let mut wm = WindowMerge::new(runs);
+    let mut rw = table.begin_sorted_run()?;
+    while let Some(key) = wm.advance() {
+        rw.begin_group(&key, wm.total_values as u32);
+        for &(ri, g0, ng) in &wm.contribs {
+            let run = &wm.runs[ri as usize];
+            for gi in g0..g0 + ng {
+                let g = &run.recs[gi as usize];
+                rw.push_raw(&run.body[g.val_off..g.val_end]);
+            }
+        }
+        rw.end_group()?;
+    }
+    rw.finish()
+}
+
 /// Record the reducer-side "merge" stage span (cat `mpid.stage`): wildcard
 /// frame reception plus in-memory (or external) merging, from `t0` to now,
 /// with the [`ReceiverStats`] counters as span args.
@@ -202,44 +360,37 @@ fn trace_merge(rt: &Arc<RankTrace>, t0: u64, stats: &ReceiverStats, spilled_runs
     rt.complete_since("merge", "mpid.stage", t0, args);
 }
 
-/// Receive one DATA frame: `Ok(None)` = end-of-stream marker, otherwise the
-/// decoded `(key, values)` groups. Shared by grouped and streaming modes.
-#[allow(clippy::type_complexity)]
-fn recv_one_frame<K: Key, V: Value>(
-    comm: &mpi_rt::Comm,
+/// Receive one DATA frame body: `Ok(None)` = end-of-stream marker, otherwise
+/// the frame body (marker stripped, decompressed if needed) and its source
+/// rank. Plain frames are a zero-copy slice of the transport buffer.
+fn recv_frame_body(
+    comm: &Comm,
     timeout: Duration,
     stats: &mut ReceiverStats,
-) -> MpidResult<Option<Vec<(K, Vec<V>)>>> {
+) -> MpidResult<Option<(Bytes, Rank)>> {
     // Wildcard source, but tag-filtered to the MPI-D data stream: an
     // unrestricted wildcard would intercept collective traffic (e.g.
     // another rank's early `MPI_D_Finalize` barrier).
-    let (payload, status) = comm.recv_timeout::<u8>(None, Some(tags::DATA), timeout)?;
+    let (payload, status) = comm.recv_bytes_timeout(None, Some(tags::DATA), timeout)?;
     if payload.is_empty() {
         return Ok(None); // end-of-stream (real frames are never empty)
     }
     stats.frames += 1;
     stats.bytes_received += payload.len() as u64;
-    // Strip the wire marker; decompress LZ frames.
     let codec_err = |err| MpidError::Codec {
         source_rank: status.source,
         err,
     };
-    let body: Vec<u8> = match payload[0] {
-        0 => payload[1..].to_vec(),
-        1 => crate::compress::decompress(&payload[1..]).map_err(codec_err)?,
+    let body = match payload[0] {
+        MARKER_PLAIN => payload.slice(1..),
+        MARKER_LZ => Bytes::from(crate::compress::decompress(&payload[1..]).map_err(codec_err)?),
         _ => {
             return Err(codec_err(crate::kv::CodecError::Corrupt(
                 "unknown frame marker",
             )))
         }
     };
-    let mut reader = FrameReader::new(&body).map_err(codec_err)?;
-    let mut groups = Vec::with_capacity(reader.remaining() as usize);
-    while let Some(g) = reader.next_group::<K, V>().map_err(codec_err)? {
-        stats.groups_in += 1;
-        groups.push(g);
-    }
-    Ok(Some(groups))
+    Ok(Some((body, status.source)))
 }
 
 /// Bounded-memory reducer consumption: groups stream out of a k-way merge
@@ -298,9 +449,19 @@ impl<K: Key, V: Value> MpidStream<'_, K, V> {
             if self.eos_seen >= self.cfg.n_mappers {
                 return Ok(None);
             }
-            match recv_one_frame::<K, V>(self.comm, self.timeout, &mut self.stats)? {
+            match recv_frame_body(self.comm, self.timeout, &mut self.stats)? {
                 None => self.eos_seen += 1,
-                Some(groups) => self.buffer.extend(groups),
+                Some((body, src)) => {
+                    let codec_err = |err| MpidError::Codec {
+                        source_rank: src,
+                        err,
+                    };
+                    let mut reader = FrameReader::new(&body).map_err(codec_err)?;
+                    while let Some(g) = reader.next_group::<K, V>().map_err(codec_err)? {
+                        self.stats.groups_in += 1;
+                        self.buffer.push_back(g);
+                    }
+                }
             }
         }
     }

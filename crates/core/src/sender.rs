@@ -1,6 +1,16 @@
 //! The mapper-side `MPI_D_Send` pipeline (paper Figure 4, left half):
 //! hash-table buffering → local combining → hash-mod partition selection →
 //! data realignment → `MPI_Send`/`MPI_Isend` of contiguous frames.
+//!
+//! The buffer is a byte table ([`ByteTable`]): keys live as encoded bytes in
+//! a flat arena, hashed and compared as raw slices, and (without a combiner)
+//! values are appended to a second arena as encoded bytes. Typed work per
+//! record is one `Kv::encode` of the key and value; keys are decoded back to
+//! `K` only once per distinct key per spill, when the partitioner and the
+//! optional key sort need them. Frame building is then a straight memcpy of
+//! already-encoded bytes ([`FrameBuilder::begin_group_raw`]), and frames are
+//! born in wire form (`new_wire`) so an uncompressed spill ships each frame
+//! as a refcounted [`Bytes`] with no marker-prefix copy.
 
 use crate::combine::Combiner;
 use crate::compress;
@@ -8,18 +18,194 @@ use crate::config::{tags, MpidConfig, Role};
 use crate::error::MpidResult;
 use crate::kv::{Key, Value};
 use crate::partition::{HashPartitioner, Partitioner};
-use crate::realign::FrameBuilder;
+use crate::realign::{FrameBuilder, MARKER_LZ};
 use crate::stats::SenderStats;
+use bytes::{Bytes, BytesMut};
 use mpi_rt::{Comm, RankTrace, SendRequest};
 use obs::ArgValue;
-use std::collections::HashMap;
 use std::sync::Arc;
 
-enum VBuf<V> {
-    /// Combiner active: a single running accumulator per key.
-    Combined(V),
-    /// No combiner: the raw value list.
-    List(Vec<V>),
+/// Retired compression scratch buffers kept for reuse; anything beyond this
+/// is dropped so a burst of large spills doesn't pin memory forever.
+const WIRE_POOL_CAP: usize = 8;
+
+/// FxHash-style mixing over a byte slice, 8 bytes at a time.
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    const SEED: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes(c.try_into().expect("sized"));
+        h = (h.rotate_left(5) ^ w).wrapping_mul(SEED);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 8];
+        w[..rem.len()].copy_from_slice(rem);
+        h = (h.rotate_left(5) ^ u64::from_le_bytes(w)).wrapping_mul(SEED);
+    }
+    // Fold in the length so "ab" and "ab\0...\0" can't collide via padding.
+    (h.rotate_left(5) ^ bytes.len() as u64).wrapping_mul(SEED)
+}
+
+/// One buffered key. With a combiner the value side is a typed running
+/// accumulator (combining stays eager so spill-threshold accounting tracks
+/// the accumulator's true wire size, exactly as the per-record table did);
+/// without one it is a chain of encoded-value nodes in the value arena.
+struct Entry<V> {
+    hash: u64,
+    key_off: u32,
+    key_end: u32,
+    acc: Option<V>,
+    /// Head/tail of the value-node chain, as node index + 1 (0 = empty).
+    head: u32,
+    tail: u32,
+    n_values: u32,
+}
+
+/// A contiguous run of encoded value bytes belonging to one key.
+struct ValNode {
+    off: u32,
+    end: u32,
+    /// Next node index + 1, or 0.
+    next: u32,
+}
+
+/// Open-addressed hash table over encoded key bytes.
+struct ByteTable<V> {
+    /// Encoded keys, concatenated. A probe encodes the incoming key at the
+    /// tail, hashes that region, and truncates it back off on a hit — so
+    /// duplicate keys never allocate.
+    keys: BytesMut,
+    /// Encoded values (list mode only), concatenated in arrival order.
+    vals: BytesMut,
+    nodes: Vec<ValNode>,
+    entries: Vec<Entry<V>>,
+    /// Open-addressed slots, power-of-two length, kept at most half full
+    /// (linear probing degrades sharply past that). Each slot packs the
+    /// key hash's high 32 bits with the entry index + 1 (0 = empty), so a
+    /// collision chain is walked with nothing but sequential slot loads —
+    /// the entry and its key bytes are only touched when the tag matches.
+    buckets: Vec<u64>,
+}
+
+/// Slot value for entry `idx` with hash `hash`: tag in the high half,
+/// `idx + 1` in the low half.
+fn slot_value(hash: u64, idx: usize) -> u64 {
+    ((hash >> 32) << 32) | (idx as u64 + 1)
+}
+
+impl<V> ByteTable<V> {
+    fn new() -> Self {
+        ByteTable {
+            keys: BytesMut::new(),
+            vals: BytesMut::new(),
+            nodes: Vec::new(),
+            entries: Vec::new(),
+            buckets: vec![0; 64],
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn key_bytes(&self, e: &Entry<V>) -> &[u8] {
+        &self.keys[e.key_off as usize..e.key_end as usize]
+    }
+
+    /// Find the entry whose key bytes are `keys[key_off..]` (the probe key
+    /// encoded at the arena tail), or insert a fresh entry for it. Returns
+    /// `(entry_index, inserted)`; on a hit the probe key is truncated away.
+    fn probe(&mut self, key_off: usize) -> (usize, bool) {
+        let hash = hash_bytes(&self.keys[key_off..]);
+        let tag = (hash >> 32) << 32;
+        let mask = self.buckets.len() - 1;
+        let mut slot = hash as usize & mask;
+        loop {
+            let b = self.buckets[slot];
+            if b == 0 {
+                break;
+            }
+            if (b >> 32) << 32 == tag {
+                let idx = (b as u32 as usize) - 1;
+                let e = &self.entries[idx];
+                if e.hash == hash
+                    && self.keys[e.key_off as usize..e.key_end as usize] == self.keys[key_off..]
+                {
+                    self.keys.truncate(key_off);
+                    return (idx, false);
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+        let idx = self.entries.len();
+        self.entries.push(Entry {
+            hash,
+            key_off: key_off as u32,
+            key_end: self.keys.len() as u32,
+            acc: None,
+            head: 0,
+            tail: 0,
+            n_values: 0,
+        });
+        self.buckets[slot] = slot_value(hash, idx);
+        if self.entries.len() * 2 >= self.buckets.len() {
+            self.grow();
+        }
+        (idx, true)
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.buckets.len() * 2;
+        let mask = new_len - 1;
+        let mut buckets = vec![0u64; new_len];
+        for (i, e) in self.entries.iter().enumerate() {
+            let mut slot = e.hash as usize & mask;
+            while buckets[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            buckets[slot] = slot_value(e.hash, i);
+        }
+        self.buckets = buckets;
+    }
+
+    /// Append encoded value bytes `vals[val_off..]` (already written at the
+    /// arena tail) to entry `idx`'s chain.
+    fn link_value(&mut self, idx: usize, val_off: usize) {
+        let node = self.nodes.len() as u32 + 1;
+        self.nodes.push(ValNode {
+            off: val_off as u32,
+            end: self.vals.len() as u32,
+            next: 0,
+        });
+        let e = &mut self.entries[idx];
+        if e.tail == 0 {
+            e.head = node;
+        } else {
+            self.nodes[e.tail as usize - 1].next = node;
+        }
+        e.tail = node;
+        e.n_values += 1;
+    }
+
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.vals.clear();
+        self.nodes.clear();
+        self.entries.clear();
+        // Shrink the bucket array back if a spike grew it; steady state keeps
+        // its size and just zeroes it.
+        if self.buckets.len() > 1 << 20 {
+            self.buckets = vec![0; 1 << 20];
+        } else {
+            self.buckets.fill(0);
+        }
+    }
 }
 
 /// Mapper-side handle: buffer, combine, partition, realign, send.
@@ -34,20 +220,20 @@ pub struct MpidSender<'a, K: Key, V: Value> {
     cfg: MpidConfig,
     combiner: Option<Arc<dyn Combiner<V>>>,
     partitioner: Arc<dyn Partitioner<K>>,
-    buffer: HashMap<K, VBuf<V>>,
+    table: ByteTable<V>,
     buffered_bytes: usize,
     pending: Vec<SendRequest>,
     stats: SenderStats,
     finished: bool,
     trace: Option<SenderTrace>,
-    /// Per-reducer group buffers, reused across spills so the per-spill
-    /// `Vec<Vec<_>>` allocation (and each partition's growth) happens once.
-    spill_parts: Vec<Vec<(K, VBuf<V>)>>,
-    /// Flat (destination, wire) list for the current spill; the shell Vec is
-    /// reused across spills.
-    shipments: Vec<(mpi_rt::Rank, Vec<u8>)>,
-    /// Retired wire buffers, recycled so steady-state spilling allocates no
-    /// fresh frame-wire Vecs.
+    /// Per-reducer entry-index lists, reused across spills.
+    spill_parts: Vec<Vec<u32>>,
+    /// Typed keys decoded for the current spill (partitioner + sort need
+    /// `&K`); one decode per distinct key per spill, buffer reused.
+    key_scratch: Vec<K>,
+    /// Flat (destination, wire) list for the current spill; reused.
+    shipments: Vec<(mpi_rt::Rank, Bytes)>,
+    /// Retired compression scratch buffers, recycled up to [`WIRE_POOL_CAP`].
     wire_pool: Vec<Vec<u8>>,
 }
 
@@ -74,7 +260,7 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
             cfg,
             combiner: None,
             partitioner: Arc::new(HashPartitioner),
-            buffer: HashMap::new(),
+            table: ByteTable::new(),
             buffered_bytes: 0,
             pending: Vec::new(),
             stats: SenderStats::default(),
@@ -86,6 +272,7 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                 prev: SenderStats::default(),
             }),
             spill_parts: Vec::new(),
+            key_scratch: Vec::new(),
             shipments: Vec::new(),
             wire_pool: Vec::new(),
         }
@@ -114,37 +301,43 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                 ts.buffer_start = Some(ts.rt.now_ns());
             }
         }
+        // Encode the key at the arena tail and probe by raw bytes: a
+        // duplicate key costs a hash + memcmp, never an owned-key insert.
+        let key_off = self.table.keys.len();
+        key.encode(&mut self.table.keys);
+        let key_size = self.table.keys.len() - key_off;
         let value_size = value.wire_size();
-        match self.buffer.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                match (e.get_mut(), &self.combiner) {
-                    (VBuf::Combined(acc), Some(c)) => {
-                        let before = acc.wire_size();
-                        let t0 = self.trace.as_ref().map(|ts| ts.rt.now_ns());
-                        c.combine(acc, value);
-                        if let (Some(ts), Some(t0)) = (&mut self.trace, t0) {
-                            ts.combine_ns += ts.rt.now_ns().saturating_sub(t0);
-                        }
-                        self.stats.pairs_combined += 1;
-                        let after = acc.wire_size();
-                        self.buffered_bytes = self.buffered_bytes + after - before;
-                    }
-                    (VBuf::List(list), _) => {
-                        list.push(value);
-                        self.buffered_bytes += value_size;
-                    }
-                    (VBuf::Combined(_), None) => {
-                        unreachable!("combined buffer without combiner")
-                    }
-                }
+        let (idx, inserted) = self.table.probe(key_off);
+        if inserted {
+            self.buffered_bytes += key_size + value_size;
+            if self.combiner.is_some() {
+                self.table.entries[idx].acc = Some(value);
+                self.table.entries[idx].n_values = 1;
+            } else {
+                let val_off = self.table.vals.len();
+                value.encode(&mut self.table.vals);
+                self.table.link_value(idx, val_off);
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                self.buffered_bytes += e.key().wire_size() + value_size;
-                if self.combiner.is_some() {
-                    e.insert(VBuf::Combined(value));
-                } else {
-                    e.insert(VBuf::List(vec![value]));
+        } else {
+            match (&self.combiner, self.table.entries[idx].acc.as_mut()) {
+                (Some(c), Some(acc)) => {
+                    let before = acc.wire_size();
+                    let t0 = self.trace.as_ref().map(|ts| ts.rt.now_ns());
+                    c.combine(acc, value);
+                    if let (Some(ts), Some(t0)) = (&mut self.trace, t0) {
+                        ts.combine_ns += ts.rt.now_ns().saturating_sub(t0);
+                    }
+                    self.stats.pairs_combined += 1;
+                    let after = acc.wire_size();
+                    self.buffered_bytes = self.buffered_bytes + after - before;
                 }
+                (None, _) => {
+                    let val_off = self.table.vals.len();
+                    value.encode(&mut self.table.vals);
+                    self.table.link_value(idx, val_off);
+                    self.buffered_bytes += value_size;
+                }
+                (Some(_), None) => unreachable!("combiner entry without accumulator"),
             }
         }
         if self.buffered_bytes >= self.cfg.spill_threshold_bytes {
@@ -160,7 +353,7 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
 
     /// Force a spill of the current buffer contents.
     pub fn spill(&mut self) -> MpidResult<()> {
-        if self.buffer.is_empty() {
+        if self.table.is_empty() {
             return Ok(());
         }
         // Close the buffering interval: one "buffer" span per spill, with a
@@ -199,69 +392,95 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
         }
         self.stats.spills += 1;
         let n_red = self.cfg.n_reducers;
-        // Hash-mod partition selection. The per-reducer buffers persist
-        // across spills (taken and returned around the borrow of `self`), so
-        // a steady-state spill reuses their capacity instead of allocating a
-        // fresh Vec-of-Vecs; values stay in their VBuf, so a combined key
-        // costs no single-element Vec either.
+        // Decode each distinct key once: the partitioner and the optional
+        // key sort are the only consumers that need `K` rather than bytes.
+        self.key_scratch.clear();
+        self.key_scratch.reserve(self.table.len());
+        for e in &self.table.entries {
+            let mut slice = self.table.key_bytes(e);
+            let k = K::decode(&mut slice).expect("table holds keys this sender encoded");
+            self.key_scratch.push(k);
+        }
+        // Hash-mod partition selection over entry indices; the per-reducer
+        // index lists persist across spills so steady state allocates
+        // nothing here.
         let mut parts = std::mem::take(&mut self.spill_parts);
         parts.resize_with(n_red, Vec::new);
-        for (k, vbuf) in self.buffer.drain() {
-            let p = self.partitioner.partition(&k, n_red);
-            parts[p].push((k, vbuf));
+        for (i, k) in self.key_scratch.iter().enumerate() {
+            let p = self.partitioner.partition(k, n_red);
+            parts[p].push(i as u32);
         }
         self.buffered_bytes = 0;
-        // Realign each partition into contiguous fixed-size frames: sort,
-        // frame-build, and (optionally) compress everything first, then ship
-        // — the build/send split is what makes the realign and ship stages
-        // separately visible in traces, with the comm calls in the same
-        // order as a fused loop would issue them. Wire buffers come from the
-        // recycle pool and go back after the sends.
+        // Realign each partition into contiguous fixed-size frames. Frames
+        // are built in wire form (marker byte + body) by copying the
+        // already-encoded key and value bytes straight out of the arenas —
+        // no per-record `Kv::encode` — then shipped; the build/send split is
+        // what makes the realign and ship stages separately visible in
+        // traces, with the comm calls in the same order as a fused loop
+        // would issue them.
         let mut shipments = std::mem::take(&mut self.shipments);
-        for (p, groups) in parts.iter_mut().enumerate() {
-            if groups.is_empty() {
+        for (p, entry_ids) in parts.iter_mut().enumerate() {
+            if entry_ids.is_empty() {
                 continue;
             }
             if self.cfg.sort_keys {
-                groups.sort_by(|a, b| a.0.cmp(&b.0));
+                let keys = &self.key_scratch;
+                entry_ids.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
             }
-            self.stats.groups_out += groups.len() as u64;
-            let mut builder = FrameBuilder::new(self.cfg.frame_bytes);
-            for (k, vbuf) in groups.iter() {
-                match vbuf {
-                    VBuf::Combined(v) => builder.push_group(k, std::slice::from_ref(v)),
-                    VBuf::List(vs) => builder.push_group(k, vs),
+            self.stats.groups_out += entry_ids.len() as u64;
+            let mut builder = FrameBuilder::new_wire(self.cfg.frame_bytes);
+            for &i in entry_ids.iter() {
+                let e = &self.table.entries[i as usize];
+                builder.begin_group_raw(self.table.key_bytes(e), e.n_values);
+                if let Some(acc) = &e.acc {
+                    builder.push_value(acc);
+                } else {
+                    let mut node = e.head;
+                    while node != 0 {
+                        let n = &self.table.nodes[node as usize - 1];
+                        builder.push_raw(&self.table.vals[n.off as usize..n.end as usize]);
+                        node = n.next;
+                    }
                 }
+                builder.end_group();
             }
-            groups.clear();
+            entry_ids.clear();
             let dst = Role::reducer_rank(&self.cfg, p);
             for frame in builder.finish() {
                 self.stats.frames += 1;
-                self.stats.bytes_precompress += frame.len() as u64;
+                // The marker byte is wire overhead, not realigned data:
+                // precompress counts the frame body only.
+                self.stats.bytes_precompress += frame.len() as u64 - 1;
                 // Frame wire format: 1-byte marker (0 = plain, 1 = LZ),
                 // then the (possibly compressed) frame body. Compression is
-                // kept only when it actually shrinks the frame.
-                let mut wire = self.wire_pool.pop().unwrap_or_default();
-                wire.clear();
-                wire.reserve(frame.len() + 1);
-                if self.cfg.compress {
-                    let packed = compress::compress(&frame);
-                    if packed.len() < frame.len() {
-                        wire.push(1);
+                // kept only when it actually shrinks the body; plain frames
+                // ship the builder's buffer as-is, zero-copy.
+                let wire = if self.cfg.compress {
+                    let body = &frame[1..];
+                    let packed = compress::compress(body);
+                    if packed.len() < body.len() {
+                        let mut wire = self.wire_pool.pop().unwrap_or_default();
+                        wire.clear();
+                        wire.reserve(packed.len() + 1);
+                        wire.push(MARKER_LZ);
                         wire.extend_from_slice(&packed);
+                        let shipped = Bytes::copy_from_slice(&wire);
+                        if self.wire_pool.len() < WIRE_POOL_CAP {
+                            self.wire_pool.push(wire);
+                        }
+                        shipped
                     } else {
-                        wire.push(0);
-                        wire.extend_from_slice(&frame);
+                        frame
                     }
                 } else {
-                    wire.push(0);
-                    wire.extend_from_slice(&frame);
-                }
+                    frame
+                };
                 self.stats.bytes_sent += wire.len() as u64;
                 shipments.push((dst, wire));
             }
         }
         self.spill_parts = parts;
+        self.table.clear();
         let ship_start = if let (Some(ts), Some(t0)) = (&self.trace, spill_start) {
             let now = ts.rt.now_ns();
             ts.rt.complete(
@@ -285,19 +504,15 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
         } else {
             None
         };
-        for (dst, wire) in &shipments {
+        for (dst, wire) in shipments.drain(..) {
             if self.cfg.use_isend {
                 // Overlap map computation with communication (the
                 // paper's future-work item, as an ablation switch).
-                let req = self.comm.isend(*dst, tags::DATA, wire)?;
+                let req = self.comm.isend_bytes(dst, tags::DATA, wire)?;
                 self.pending.push(req);
             } else {
-                self.comm.send(*dst, tags::DATA, wire)?;
+                self.comm.send_bytes(dst, tags::DATA, wire)?;
             }
-        }
-        for (_, mut wire) in shipments.drain(..) {
-            wire.clear();
-            self.wire_pool.push(wire);
         }
         self.shipments = shipments;
         if let (Some(ts), Some(t0)) = (&mut self.trace, ship_start) {
@@ -368,10 +583,10 @@ impl<K: Key, V: Value> Drop for MpidSender<'_, K, V> {
         // A sender dropped without finish() would leave reducers waiting for
         // an EOS forever in larger jobs; make the bug loud in tests. (Panics
         // in flight take precedence — don't double-panic.)
-        if !self.finished && !std::thread::panicking() && !self.buffer.is_empty() {
+        if !self.finished && !std::thread::panicking() && !self.table.is_empty() {
             eprintln!(
-                "warning: MpidSender dropped with {} buffered pairs and no finish()",
-                self.buffer.len()
+                "warning: MpidSender dropped with {} buffered keys and no finish()",
+                self.table.len()
             );
         }
     }

@@ -1,0 +1,161 @@
+//! Bit-identity of the batched data path against a per-record reference.
+//!
+//! The sender buffers encoded bytes in an open-addressed arena table and
+//! the receiver groups by sort-once/k-way-merge — neither holds a
+//! per-record `BTreeMap` like the original implementation did. This test
+//! proves the observable contract is unchanged: for a single mapper (so
+//! frame arrival order is deterministic), the exact sequence of
+//! `(key, values)` groups each reducer yields — keys ascending, values in
+//! arrival order, spill epochs preserved — equals what a straightforward
+//! per-record model produces, across randomized key/value sizes, spill
+//! thresholds, frame sizes, combiner on/off, and compression on/off.
+//!
+//! The reference models the documented semantics directly: a `BTreeMap`
+//! per spill epoch with the same buffered-bytes accounting (vacant insert
+//! charges encoded key + value size, a combine charges the accumulator's
+//! wire-size delta, a list append charges the value), flushed whenever the
+//! threshold is crossed; the reducer concatenates each key's per-epoch
+//! groups in flush order.
+
+use mpi_rt::Universe;
+use mpid::combine::FnCombiner;
+use mpid::{HashPartitioner, Kv, MpidConfig, MpidWorld, Partitioner, Role};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+type Groups = Vec<(String, Vec<Vec<u8>>)>;
+
+/// Per-record reference: what each reducer must yield, in order.
+fn reference_groups(
+    pairs: &[(String, Vec<u8>)],
+    n_reducers: usize,
+    spill_threshold: usize,
+    combine: bool,
+) -> Vec<Groups> {
+    enum Entry {
+        Acc(Vec<u8>),
+        List(Vec<Vec<u8>>),
+    }
+    let mut out: Vec<BTreeMap<String, Vec<Vec<u8>>>> = vec![BTreeMap::new(); n_reducers];
+    let mut table: BTreeMap<String, Entry> = BTreeMap::new();
+    let mut buffered = 0usize;
+    let flush = |table: &mut BTreeMap<String, Entry>,
+                 out: &mut Vec<BTreeMap<String, Vec<Vec<u8>>>>| {
+        for (k, e) in std::mem::take(table) {
+            let r = HashPartitioner.partition(&k, n_reducers);
+            let groups = out[r].entry(k).or_default();
+            match e {
+                Entry::Acc(v) => groups.push(v),
+                Entry::List(vs) => groups.extend(vs),
+            }
+        }
+    };
+    for (k, v) in pairs {
+        match table.entry(k.clone()) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                buffered += k.wire_size() + v.wire_size();
+                if combine {
+                    slot.insert(Entry::Acc(v.clone()));
+                } else {
+                    slot.insert(Entry::List(vec![v.clone()]));
+                }
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => match slot.get_mut() {
+                Entry::Acc(acc) => {
+                    let before = acc.wire_size();
+                    acc.extend_from_slice(v);
+                    buffered = buffered + acc.wire_size() - before;
+                }
+                Entry::List(vs) => {
+                    buffered += v.wire_size();
+                    vs.push(v.clone());
+                }
+            },
+        }
+        if buffered >= spill_threshold {
+            flush(&mut table, &mut out);
+            buffered = 0;
+        }
+    }
+    flush(&mut table, &mut out);
+    out.into_iter()
+        .map(|m| m.into_iter().collect::<Groups>())
+        .collect()
+}
+
+/// Run the real pipeline (1 mapper so arrival order is deterministic) and
+/// collect each reducer's group sequence exactly as `recv()` yields it.
+fn run_pipeline(cfg: MpidConfig, pairs: Vec<(String, Vec<u8>)>, combine: bool) -> Vec<Groups> {
+    let splits: Vec<u64> = (0..pairs.len().div_ceil(16).max(1) as u64).collect();
+    let n_reducers = cfg.n_reducers;
+    let results = Universe::run(cfg.required_ranks(), move |comm| {
+        let world = MpidWorld::init(comm, cfg.clone()).unwrap();
+        match world.role() {
+            Role::Master => {
+                world.run_master(splits.clone()).unwrap();
+                None
+            }
+            Role::Mapper(_) => {
+                let mut send = world.sender::<String, Vec<u8>>();
+                if combine {
+                    send = send.with_combiner(FnCombiner(|acc: &mut Vec<u8>, v: Vec<u8>| {
+                        acc.extend_from_slice(&v)
+                    }));
+                }
+                while let Some(chunk) = world.next_split::<u64>().unwrap() {
+                    let lo = chunk as usize * 16;
+                    let hi = (lo + 16).min(pairs.len());
+                    for (k, v) in &pairs[lo..hi] {
+                        send.send(k.clone(), v.clone()).unwrap();
+                    }
+                }
+                send.finish().unwrap();
+                None
+            }
+            Role::Reducer(r) => {
+                let mut recv = world.receiver::<String, Vec<u8>>();
+                let mut out: Groups = Vec::new();
+                while let Some((k, vs)) = recv.recv().unwrap() {
+                    out.push((k, vs));
+                }
+                Some((r, out))
+            }
+        }
+    });
+    let mut per_reducer: Vec<Groups> = vec![Vec::new(); n_reducers];
+    for (r, out) in results.into_iter().flatten() {
+        per_reducer[r] = out;
+    }
+    per_reducer
+}
+
+proptest! {
+    // Spawning whole universes is expensive; keep case counts modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Batched sender/receiver ≡ per-record reference, group for group.
+    #[test]
+    fn batched_path_matches_per_record_reference(
+        pairs in proptest::collection::vec(
+            ("[a-c]{0,6}", proptest::collection::vec(any::<u8>(), 0..24)),
+            0..100,
+        ),
+        spill in 16usize..1024,
+        frame in 8usize..512,
+        reducers in 1usize..4,
+        combine: bool,
+        compress: bool,
+    ) {
+        let cfg = MpidConfig {
+            n_mappers: 1,
+            n_reducers: reducers,
+            spill_threshold_bytes: spill,
+            frame_bytes: frame,
+            compress,
+            ..Default::default()
+        };
+        let got = run_pipeline(cfg, pairs.clone(), combine);
+        let want = reference_groups(&pairs, reducers, spill, combine);
+        prop_assert_eq!(got, want);
+    }
+}

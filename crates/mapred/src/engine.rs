@@ -30,6 +30,10 @@ pub struct MpidEngineConfig {
     pub eager_threshold: usize,
     /// Bound on how long a reducer waits for the next frame.
     pub recv_timeout: Duration,
+    /// When set, reducers group through the bounded-memory external merge
+    /// ([`mpid::MpidReceiver::into_external`]) with this in-memory byte
+    /// budget instead of holding the whole key space resident.
+    pub reduce_budget_bytes: Option<usize>,
     /// Run the universe under the mpiverify correctness checker (deadlock
     /// watchdog, collective signature checks, teardown leak audit). On by
     /// default; observation-only, so results are identical either way.
@@ -46,7 +50,8 @@ impl Default for MpidEngineConfig {
             use_isend: false,
             compress: false,
             eager_threshold: 64 * 1024,
-            recv_timeout: Duration::from_secs(300),
+            recv_timeout: MpidConfig::DEFAULT_RECV_TIMEOUT,
+            reduce_budget_bytes: None,
             verify: true,
         }
     }
@@ -122,6 +127,7 @@ where
     let mpid_cfg = cfg.mpid();
     let n_ranks = mpid_cfg.required_ranks();
     let timeout = cfg.recv_timeout;
+    let reduce_budget = cfg.reduce_budget_bytes;
     let splits: Vec<u64> = (0..input.n_splits() as u64).collect();
     let mut universe_msgs = 0;
     let mut universe_bytes = 0;
@@ -174,12 +180,22 @@ where
                     RankResult::Mapper
                 }
                 Role::Reducer(_) => {
-                    let mut recv = world
+                    let recv = world
                         .receiver::<A::MidKey, A::MidVal>()
                         .with_timeout(timeout);
                     let mut out = Vec::new();
-                    while let Some((k, vs)) = recv.recv().expect("MPI_D_Recv failed") {
-                        app.reduce(k, vs, &mut |ok, ov| out.push((ok, ov)));
+                    if let Some(budget) = reduce_budget {
+                        let mut ext = recv
+                            .into_external(budget, std::env::temp_dir())
+                            .expect("external ingest failed");
+                        while let Some((k, vs)) = ext.recv().expect("MPI_D_Recv failed") {
+                            app.reduce(k, vs, &mut |ok, ov| out.push((ok, ov)));
+                        }
+                    } else {
+                        let mut recv = recv;
+                        while let Some((k, vs)) = recv.recv().expect("MPI_D_Recv failed") {
+                            app.reduce(k, vs, &mut |ok, ov| out.push((ok, ov)));
+                        }
                     }
                     RankResult::Reducer(out)
                 }

@@ -460,15 +460,101 @@ impl Comm {
         out
     }
 
+    // ----- zero-copy raw-byte variants -----
+    //
+    // `send::<u8>`/`recv_timeout::<u8>` stage the payload through a fresh
+    // allocation on each side (`T::to_bytes` copies in, `T::from_bytes`
+    // copies out). Bulk-data layers (MPI-D realigned frames) already hold
+    // their payload as one contiguous buffer, so these variants move the
+    // refcounted `Bytes` handle end to end with no copy at all.
+
+    /// Blocking send of a raw byte payload. Protocol and semantics match
+    /// [`Comm::send`] of `u8` elements, minus the staging copy.
+    pub fn send_bytes(&self, dst: Rank, tag: Tag, data: Bytes) -> MpiResult<()> {
+        self.check_tag(tag)?;
+        let start = self.trace_start();
+        let len = data.len();
+        let sig = WireSig {
+            type_name: "u8",
+            elem_size: 1,
+            count: len,
+        };
+        let out = self.send_bytes_internal(dst, tag, data, Some(sig));
+        self.trace_p2p("send", start, dst as i64, tag, len as u64);
+        out
+    }
+
+    /// Non-blocking send of a raw byte payload (see [`Comm::send_bytes`]).
+    pub fn isend_bytes(&self, dst: Rank, tag: Tag, data: Bytes) -> MpiResult<SendRequest> {
+        self.check_tag(tag)?;
+        let start = self.trace_start();
+        let len = data.len();
+        let sig = WireSig {
+            type_name: "u8",
+            elem_size: 1,
+            count: len,
+        };
+        let out = self.isend_bytes_internal(dst, tag, data, Some(sig));
+        self.trace_p2p("isend", start, dst as i64, tag, len as u64);
+        out
+    }
+
+    /// Timed receive handing back the payload as refcounted [`Bytes`]
+    /// (semantics of [`Comm::recv_timeout`] for `u8`, minus the copy out of
+    /// the envelope).
+    pub fn recv_bytes_timeout(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> MpiResult<(Bytes, Status)> {
+        if let Some(t) = tag {
+            self.check_tag(t)?;
+        }
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        let start = self.trace_start();
+        let out = self.recv_env_timeout(src, tag, timeout).map(|env| {
+            let (src, tag) = (env.src, env.tag);
+            let bytes = match env.payload {
+                PayloadSlot::Eager(b) => b,
+                PayloadSlot::Rendezvous(rv) => rv.take(),
+            };
+            let status = Status {
+                source: src,
+                tag,
+                bytes: bytes.len(),
+            };
+            (bytes, status)
+        });
+        if let Ok((_, st)) = &out {
+            self.trace_p2p("recv", start, st.source as i64, st.tag, st.bytes as u64);
+        }
+        out
+    }
+
     fn recv_timeout_inner<T: MpiType>(
         &self,
         src: Option<Rank>,
         tag: Option<Tag>,
         timeout: Duration,
     ) -> MpiResult<(Vec<T>, Status)> {
+        let env = self.recv_env_timeout(src, tag, timeout)?;
+        env_into_typed(env, self.verify_ctx())
+    }
+
+    /// Wait for one matching envelope with a deadline (the shared body of
+    /// the timed receives).
+    fn recv_env_timeout(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> MpiResult<Envelope> {
         let mailbox = &self.world.mailboxes[self.world_rank()];
         match mailbox.match_or_post(self.ctx, src, tag) {
-            Ok(env) => env_into_typed(env, self.verify_ctx()),
+            Ok(env) => Ok(env),
             Err((slot, posted_id)) => {
                 // A timed receive is a *bounded* wait, so it is never part
                 // of the wait-for graph (timing out IS progress — e.g. a
@@ -495,15 +581,14 @@ impl Comm {
                     slot.wait_timeout(timeout)
                 };
                 match waited {
-                    Some(env) => env_into_typed(env, self.verify_ctx()),
+                    Some(env) => Ok(env),
                     None => {
                         if mailbox.cancel_posted(posted_id) {
                             Err(MpiError::Timeout(timeout))
                         } else {
                             // Lost the race: the message arrived between the
                             // timeout and the cancellation.
-                            let env = slot.wait();
-                            env_into_typed(env, self.verify_ctx())
+                            Ok(slot.wait())
                         }
                     }
                 }

@@ -53,7 +53,7 @@
 
 use crate::matching::{ContextId, RecvSlot, Rendezvous};
 use crate::types::{MpiError, MpiResult, Rank, Tag};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -552,7 +552,12 @@ pub(crate) struct Verifier {
     ranks: Vec<Mutex<RankState>>,
     aborted: AtomicBool,
     abort: Mutex<Option<MpiError>>,
-    shutdown: AtomicBool,
+    /// Teardown flag, paired with a condvar so [`Verifier::request_shutdown`]
+    /// wakes the watchdog immediately instead of letting it sleep out its
+    /// current interval — universe teardown latency would otherwise be a
+    /// fixed ~`watchdog_interval` per run, dominating short universes.
+    shutdown: Mutex<bool>,
+    shutdown_cv: Condvar,
     colls: Mutex<BTreeMap<(ContextId, u64), CollEntry>>,
     findings: Mutex<Vec<Finding>>,
     failure_snapshot: Mutex<Option<Vec<RankSnapshot>>>,
@@ -564,7 +569,8 @@ impl Verifier {
             ranks: (0..n).map(|_| Mutex::new(RankState::default())).collect(),
             aborted: AtomicBool::new(false),
             abort: Mutex::new(None),
-            shutdown: AtomicBool::new(false),
+            shutdown: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
             colls: Mutex::new(BTreeMap::new()),
             findings: Mutex::new(Vec::new()),
             failure_snapshot: Mutex::new(None),
@@ -739,16 +745,25 @@ impl Verifier {
             .collect()
     }
 
-    /// Stop the watchdog (universe teardown).
+    /// Stop the watchdog (universe teardown) and wake it right away.
     pub(crate) fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::Release);
+        *self.shutdown.lock() = true;
+        self.shutdown_cv.notify_all();
     }
 
     /// Watchdog body: sweep, confirm, abort. Runs on its own thread.
     pub(crate) fn run_watchdog(&self, interval: Duration) {
         let mut prev: Option<(Vec<Rank>, Vec<u64>)> = None;
-        while !self.shutdown.load(Ordering::Acquire) {
-            std::thread::sleep(interval);
+        loop {
+            {
+                let mut stop = self.shutdown.lock();
+                if !*stop {
+                    self.shutdown_cv.wait_for(&mut stop, interval);
+                }
+                if *stop {
+                    return;
+                }
+            }
             if self.aborted.load(Ordering::Acquire) {
                 return;
             }

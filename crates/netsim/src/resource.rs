@@ -51,11 +51,22 @@ struct FlowState {
     /// bytes and their id but get rate 0 and contribute no weight to the
     /// fair-share computation until resumed.
     stalled: bool,
+    /// `visit_epoch == Scratch::epoch` ⇔ this flow is already in the
+    /// current component — BFS membership without per-recompute set churn.
+    visit_epoch: u64,
 }
 
 /// Completion-free residual below which a flow counts as finished.
 /// (Fluid arithmetic is f64; one byte of slack absorbs rounding.)
 const DONE_EPS: f64 = 1e-6;
+
+/// Below this many active flows a scoped recompute never aborts to the
+/// full sweep: the graph is so small that even a whole-graph component is
+/// cheaper to rate via the scoped path than to pessimize into a full
+/// recompute (and tiny graphs would otherwise *always* trip the
+/// half-the-flows cutoff — a singleton component is "more than half" of a
+/// one-flow graph).
+const SCOPED_ABORT_MIN_FLOWS: usize = 8;
 
 /// Work counters for the max-min solver, for perf tracking and the
 /// incremental-vs-full acceptance metric (`perf` binary, obs
@@ -110,9 +121,8 @@ struct Scratch {
     queue: Vec<usize>,
     /// Component resources, sorted ascending before filling.
     comp_res: Vec<usize>,
-    /// Component flows, ascending `FlowId` order (from `flow_set`).
+    /// Component flows, sorted ascending by `FlowId` before filling.
     comp_flows: Vec<FlowId>,
-    flow_set: BTreeSet<FlowId>,
     /// Residual capacity / unfrozen weight, indexed by resource id;
     /// only component entries are initialized per recompute.
     residual: Vec<f64>,
@@ -234,6 +244,7 @@ impl FluidEngine {
                 weight,
                 rate: 0.0,
                 stalled: false,
+                visit_epoch: 0,
             },
         );
         self.recompute_scoped(&seeds);
@@ -435,14 +446,20 @@ impl FluidEngine {
 
     /// Recompute only the connected component(s) of the flow↔resource graph
     /// reachable from `seeds` (duplicates allowed). Falls back to
-    /// [`Self::recompute_full`] when forced.
+    /// [`Self::recompute_full`] when forced, or when component discovery
+    /// finds a *single* connected component covering more than half of all
+    /// active flows — at that size the scoped path would redo (nearly) the
+    /// whole graph anyway, and the traversal + sort bookkeeping makes it
+    /// *slower* than the plain full sweep (the all-to-all shuffle phase
+    /// couples every flow into one component, which is exactly the
+    /// `solver_ab_mpid` anomaly). Many small seeded components never
+    /// trigger the cutoff, however large their union: each one individually
+    /// is cheap and the full path would pessimize the disjoint case.
     fn recompute_scoped(&mut self, seeds: &[ResourceId]) {
         if self.force_full {
             self.recompute_full();
             return;
         }
-        self.next_cache = None;
-        self.stats.recomputes += 1;
         let n_res = self.capacities.len();
         let mut scr = std::mem::take(&mut self.scratch);
         scr.res_epoch.resize(n_res, 0);
@@ -450,23 +467,41 @@ impl FluidEngine {
         let epoch = scr.epoch;
         scr.queue.clear();
         scr.comp_res.clear();
-        scr.flow_set.clear();
         scr.comp_flows.clear();
-        for r in seeds {
-            if scr.res_epoch[r.0] != epoch {
-                scr.res_epoch[r.0] = epoch;
-                scr.queue.push(r.0);
-                scr.comp_res.push(r.0);
+        // Traversal: resources connect to resources through non-stalled
+        // flows (a stalled flow contributes no weight anywhere, so it
+        // cannot couple two resources' allocations — but it still belongs
+        // to the component for the rate-zeroing pass below). Flow
+        // membership is an epoch stamp on the flow itself, not a set
+        // insert. One traversal per unvisited seed, so each seed's
+        // component size is known individually for the cutoff.
+        let n_flows = self.flows.len();
+        let abort_at = if n_flows >= SCOPED_ABORT_MIN_FLOWS {
+            n_flows / 2
+        } else {
+            usize::MAX
+        };
+        let mut oversized = false;
+        'seeds: for seed in seeds {
+            if scr.res_epoch[seed.0] == epoch {
+                continue;
             }
-        }
-        // BFS: resources connect to resources through non-stalled flows
-        // (a stalled flow contributes no weight anywhere, so it cannot
-        // couple two resources' allocations — but it still belongs to the
-        // component for the rate-zeroing pass below).
-        while let Some(r) = scr.queue.pop() {
-            for &fid in &self.res_flows[r] {
-                if scr.flow_set.insert(fid) {
-                    let f = &self.flows[&fid];
+            scr.res_epoch[seed.0] = epoch;
+            scr.queue.push(seed.0);
+            scr.comp_res.push(seed.0);
+            let comp_start = scr.comp_flows.len();
+            while let Some(r) = scr.queue.pop() {
+                for &fid in &self.res_flows[r] {
+                    let f = self.flows.get_mut(&fid).expect("indexed flow present");
+                    if f.visit_epoch == epoch {
+                        continue;
+                    }
+                    f.visit_epoch = epoch;
+                    scr.comp_flows.push(fid);
+                    if scr.comp_flows.len() - comp_start > abort_at {
+                        oversized = true;
+                        break 'seeds;
+                    }
                     if !f.stalled {
                         for rr in &f.resources {
                             if scr.res_epoch[rr.0] != epoch {
@@ -479,8 +514,16 @@ impl FluidEngine {
                 }
             }
         }
+        if oversized {
+            scr.queue.clear();
+            self.scratch = scr;
+            self.recompute_full();
+            return;
+        }
+        self.next_cache = None;
+        self.stats.recomputes += 1;
         scr.comp_res.sort_unstable();
-        scr.comp_flows.extend(scr.flow_set.iter().copied());
+        scr.comp_flows.sort_unstable();
         self.fill(&mut scr);
         self.scratch = scr;
     }

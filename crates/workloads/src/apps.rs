@@ -31,6 +31,35 @@ impl MapReduceApp for WordCount {
     }
 }
 
+/// WordCount over pre-tokenized `<word, count>` pairs: identity map,
+/// summing combiner and reduce. Tokenization (the `split_whitespace` +
+/// `to_string` in [`WordCount::map`]) dominates WordCount-over-text wall
+/// clock, so the perf harness uses this variant to time the MPI-D data
+/// path itself — buffer, combine, realign, ship, merge — rather than
+/// string splitting.
+pub struct WordCountPairs;
+
+impl MapReduceApp for WordCountPairs {
+    type InKey = String;
+    type InVal = u64;
+    type MidKey = String;
+    type MidVal = u64;
+    type OutKey = String;
+    type OutVal = u64;
+
+    fn map(&self, word: String, count: u64, emit: &mut dyn FnMut(String, u64)) {
+        emit(word, count);
+    }
+
+    fn reduce(&self, word: String, counts: Vec<u64>, emit: &mut dyn FnMut(String, u64)) {
+        emit(word, counts.iter().sum());
+    }
+
+    fn combine(&self) -> Option<fn(&mut u64, u64)> {
+        Some(|acc, v| *acc += v)
+    }
+}
+
 /// JavaSort (the GridMix benchmark of Figure 1 / Table I): identity
 /// map/reduce; the heavy lifting is the shuffle. Range partitioning keeps
 /// concatenated reducer outputs globally sorted, like TeraSort's
@@ -179,6 +208,20 @@ mod tests {
         let input = TextInput::new(vec!["x y x".into()]);
         let out = run_local(&WordCount, &input);
         assert_eq!(out, vec![("x".into(), 2), ("y".into(), 1)]);
+    }
+
+    #[test]
+    fn wordcount_pairs_matches_wordcount_on_tokenized_text() {
+        let text_input = TextInput::new(vec!["x y x z".into()]);
+        let pairs: Vec<(String, u64)> = "x y x z"
+            .split_whitespace()
+            .map(|w| (w.to_string(), 1))
+            .collect();
+        let pair_input = VecInput::round_robin(pairs, 2);
+        assert_eq!(
+            run_local(&WordCount, &text_input),
+            run_local(&WordCountPairs, &pair_input)
+        );
     }
 
     #[test]

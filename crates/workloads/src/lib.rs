@@ -18,8 +18,10 @@ pub mod specs;
 pub mod text;
 pub mod zipf;
 
-pub use apps::{Grep, InvertedIndex, JavaSort, ReduceSideJoin, WordCount, JOIN_LEFT, JOIN_RIGHT};
+pub use apps::{
+    Grep, InvertedIndex, JavaSort, ReduceSideJoin, WordCount, WordCountPairs, JOIN_LEFT, JOIN_RIGHT,
+};
 pub use records::SortGen;
 pub use specs::{grep_spec, javasort_spec, measure_ratios, wordcount_spec};
-pub use text::TextGen;
+pub use text::{rank_to_word, zipf_pairs, TextGen};
 pub use zipf::Zipf;

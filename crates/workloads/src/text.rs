@@ -25,6 +25,25 @@ pub fn rank_to_word(mut r: usize) -> String {
     String::from_utf8(out).expect("ascii")
 }
 
+/// Materialize `n` pre-tokenized `<word, 1>` pairs from a Zipf vocabulary
+/// of `vocab` words — the stream [`TextGen`] text tokenizes into, without
+/// the text. Pairs are deterministic in `seed`. Pre-building the pairs
+/// lets a benchmark keep input generation outside the timed region.
+///
+/// Ranks are offset so every word is five letters — the mean word length
+/// of running English text — rather than the one-to-two-letter spellings
+/// low Zipf ranks would otherwise get (word *bytes* per record matter to
+/// anything measuring MB/s, and two-letter "words" understate them).
+pub fn zipf_pairs(seed: u64, n: usize, vocab: usize) -> Vec<(String, u64)> {
+    // First rank whose base-26 spelling has five digits.
+    const FIVE_LETTER_BASE: usize = 26 + 26 * 26 + 26 * 26 * 26 + 26 * 26 * 26 * 26;
+    let zipf = Zipf::new(vocab, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (rank_to_word(FIVE_LETTER_BASE + zipf.sample(&mut rng)), 1))
+        .collect()
+}
+
 /// Lazily generated Zipf text, split into fixed-size chunks.
 pub struct TextGen {
     seed: u64,

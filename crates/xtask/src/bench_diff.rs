@@ -1,12 +1,20 @@
 //! `cargo xtask bench-diff <old> <new>` — compare two `BENCH.json` reports
 //! (schema `mpid-bench/1`, written by `cargo run -p mpid-bench --bin perf`)
-//! and fail on wall-clock regressions.
+//! and fail on wall-clock or throughput regressions.
 //!
 //! A bench regresses when its new wall-clock exceeds the old by **more than
 //! 25 %** *and* by more than an absolute 25 ms floor — sub-millisecond
 //! entries (the fig6 1 GB points) jitter by large ratios on shared CI
 //! runners, and the floor keeps the gate meaningful instead of flaky.
-//! Benches present on only one side are reported but never fail the diff.
+//! Rate metrics (any metric named `*_per_sec`, e.g. `mb_per_sec` on the
+//! pipeline-shape benches or `flows_per_sec` on `flow_churn`) mirror the
+//! wall gate: falling more than 25 % below the baseline fails. Benches or
+//! metrics present on only one side are reported but never fail the diff.
+//!
+//! When `$GITHUB_STEP_SUMMARY` is set (as it is in GitHub Actions), the
+//! full delta table is also appended there as GitHub-flavored markdown, so
+//! the perf job's summary page shows the comparison without digging
+//! through logs.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -15,6 +23,14 @@ use std::process::ExitCode;
 const MAX_REGRESSION_RATIO: f64 = 1.25;
 /// Absolute floor: a regression must also cost at least this many seconds.
 const MIN_REGRESSION_SECS: f64 = 0.025;
+/// Throughput mirror of the wall gate: a `*_per_sec` metric falling more
+/// than this fraction below the baseline fails.
+const MAX_THROUGHPUT_DROP: f64 = 0.25;
+
+/// Metrics gated as throughput: higher is better, compared by relative drop.
+fn is_rate_metric(name: &str) -> bool {
+    name.ends_with("_per_sec")
+}
 
 pub fn bench_diff(old_path: &str, new_path: &str) -> ExitCode {
     let old = match load_report(old_path) {
@@ -32,56 +48,21 @@ pub fn bench_diff(old_path: &str, new_path: &str) -> ExitCode {
         }
     };
 
+    let rows = diff_rows(&old, &new);
+    let regressions = rows.iter().filter(|r| r.regressed).count();
+
     println!("bench-diff: {old_path} -> {new_path}");
     let header = format!(
-        "{:<24} {:>12} {:>12} {:>9}  {}",
-        "bench", "old", "new", "delta", "verdict"
+        "{:<24} {:<14} {:>12} {:>12} {:>9}  {}",
+        "bench", "measure", "old", "new", "delta", "verdict"
     );
     println!("{header}");
     println!("{}", "-".repeat(header.len()));
-
-    let mut regressions = 0usize;
-    for (name, new_wall) in &new.benches {
-        let Some(old_wall) = old.benches.get(name) else {
-            println!(
-                "{name:<24} {:>12} {:>12} {:>9}  new bench",
-                "-",
-                fmt_ms(*new_wall),
-                "-"
-            );
-            continue;
-        };
-        let delta_pct = if *old_wall > 0.0 {
-            100.0 * (new_wall - old_wall) / old_wall
-        } else {
-            0.0
-        };
-        let regressed = *new_wall > old_wall * MAX_REGRESSION_RATIO
-            && new_wall - old_wall > MIN_REGRESSION_SECS;
-        let verdict = if regressed {
-            regressions += 1;
-            "REGRESSED"
-        } else if delta_pct <= -20.0 {
-            "improved"
-        } else {
-            "ok"
-        };
+    for r in &rows {
         println!(
-            "{name:<24} {:>12} {:>12} {:>+8.1}%  {verdict}",
-            fmt_ms(*old_wall),
-            fmt_ms(*new_wall),
-            delta_pct
+            "{:<24} {:<14} {:>12} {:>12} {:>9}  {}",
+            r.bench, r.measure, r.old, r.new, r.delta, r.verdict
         );
-    }
-    for name in old.benches.keys() {
-        if !new.benches.contains_key(name) {
-            println!(
-                "{name:<24} {:>12} {:>12} {:>9}  missing from new report",
-                fmt_ms(old.benches[name]),
-                "-",
-                "-"
-            );
-        }
     }
 
     if old.quick != new.quick {
@@ -91,19 +72,163 @@ pub fn bench_diff(old_path: &str, new_path: &str) -> ExitCode {
             mode(new.quick)
         );
     }
+
+    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if !summary.is_empty() {
+            if let Err(e) = write_step_summary(&summary, old_path, new_path, &rows, regressions) {
+                eprintln!("bench-diff: failed to write {summary}: {e}");
+            }
+        }
+    }
+
     println!();
     if regressions > 0 {
         eprintln!(
-            "bench-diff: {regressions} regression(s) beyond +{:.0}% and {:.0} ms — \
-             refresh BENCH_BASELINE.json only for intentional slowdowns",
+            "bench-diff: {regressions} regression(s) beyond +{:.0}% / {:.0} ms wall or \
+             -{:.0}% throughput — refresh BENCH_BASELINE.json only for intentional slowdowns",
             (MAX_REGRESSION_RATIO - 1.0) * 100.0,
-            MIN_REGRESSION_SECS * 1e3
+            MIN_REGRESSION_SECS * 1e3,
+            MAX_THROUGHPUT_DROP * 100.0
         );
         ExitCode::FAILURE
     } else {
-        println!("bench-diff: no wall-clock regressions");
+        println!("bench-diff: no wall-clock or throughput regressions");
         ExitCode::SUCCESS
     }
+}
+
+/// One line of the delta table: a bench's wall clock or one of its rate
+/// metrics, pre-formatted for both console and markdown output.
+struct Row {
+    bench: String,
+    measure: String,
+    old: String,
+    new: String,
+    delta: String,
+    verdict: &'static str,
+    regressed: bool,
+}
+
+fn diff_rows(old: &Report, new: &Report) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (name, nb) in &new.benches {
+        let Some(ob) = old.benches.get(name) else {
+            rows.push(Row {
+                bench: name.clone(),
+                measure: "wall".into(),
+                old: "-".into(),
+                new: fmt_ms(nb.wall_s),
+                delta: "-".into(),
+                verdict: "new bench",
+                regressed: false,
+            });
+            continue;
+        };
+
+        let delta_pct = if ob.wall_s > 0.0 {
+            100.0 * (nb.wall_s - ob.wall_s) / ob.wall_s
+        } else {
+            0.0
+        };
+        let regressed = nb.wall_s > ob.wall_s * MAX_REGRESSION_RATIO
+            && nb.wall_s - ob.wall_s > MIN_REGRESSION_SECS;
+        rows.push(Row {
+            bench: name.clone(),
+            measure: "wall".into(),
+            old: fmt_ms(ob.wall_s),
+            new: fmt_ms(nb.wall_s),
+            delta: format!("{delta_pct:+.1}%"),
+            verdict: if regressed {
+                "REGRESSED"
+            } else if delta_pct <= -20.0 {
+                "improved"
+            } else {
+                "ok"
+            },
+            regressed,
+        });
+
+        for (metric, nv) in &nb.metrics {
+            if !is_rate_metric(metric) {
+                continue;
+            }
+            let Some(ov) = ob.metrics.get(metric) else {
+                continue;
+            };
+            let delta_pct = if *ov > 0.0 {
+                100.0 * (nv - ov) / ov
+            } else {
+                0.0
+            };
+            let regressed = *ov > 0.0 && (ov - nv) / ov > MAX_THROUGHPUT_DROP;
+            rows.push(Row {
+                bench: name.clone(),
+                measure: metric.clone(),
+                old: fmt_rate(*ov),
+                new: fmt_rate(*nv),
+                delta: format!("{delta_pct:+.1}%"),
+                verdict: if regressed {
+                    "REGRESSED"
+                } else if delta_pct >= 25.0 {
+                    "improved"
+                } else {
+                    "ok"
+                },
+                regressed,
+            });
+        }
+    }
+    for (name, ob) in &old.benches {
+        if !new.benches.contains_key(name) {
+            rows.push(Row {
+                bench: name.clone(),
+                measure: "wall".into(),
+                old: fmt_ms(ob.wall_s),
+                new: "-".into(),
+                delta: "-".into(),
+                verdict: "missing from new report",
+                regressed: false,
+            });
+        }
+    }
+    rows
+}
+
+/// Append the delta table to the GitHub Actions step summary as markdown.
+fn write_step_summary(
+    path: &str,
+    old_path: &str,
+    new_path: &str,
+    rows: &[Row],
+    regressions: usize,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "### Bench delta: `{old_path}` → `{new_path}`\n")?;
+    writeln!(f, "| bench | measure | old | new | delta | verdict |")?;
+    writeln!(f, "|---|---|---:|---:|---:|---|")?;
+    for r in rows {
+        let verdict = if r.regressed {
+            format!("**{}**", r.verdict)
+        } else {
+            r.verdict.to_string()
+        };
+        writeln!(
+            f,
+            "| {} | {} | {} | {} | {} | {} |",
+            r.bench, r.measure, r.old, r.new, r.delta, verdict
+        )?;
+    }
+    writeln!(f)?;
+    if regressions > 0 {
+        writeln!(f, "**{regressions} regression(s)** beyond the gate.")?;
+    } else {
+        writeln!(f, "No wall-clock or throughput regressions.")?;
+    }
+    Ok(())
 }
 
 fn mode(quick: bool) -> &'static str {
@@ -122,11 +247,30 @@ fn fmt_ms(s: f64) -> String {
     }
 }
 
+/// Format a rate metric's value; the unit lives in the metric name
+/// (`mb_per_sec`, `flows_per_sec`), so only the magnitude is scaled.
+fn fmt_rate(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[derive(Debug)]
+struct BenchEntry {
+    wall_s: f64,
+    /// Metric name → value; only `*_per_sec` entries are gated.
+    metrics: BTreeMap<String, f64>,
+}
+
 #[derive(Debug)]
 struct Report {
     quick: bool,
-    /// Bench name → wall-clock seconds, in name order for stable output.
-    benches: BTreeMap<String, f64>,
+    /// Bench name → entry, in name order for stable output.
+    benches: BTreeMap<String, BenchEntry>,
 }
 
 fn load_report(path: &str) -> Result<Report, String> {
@@ -156,7 +300,21 @@ fn load_report(path: &str) -> Result<Report, String> {
             .get("wall_s")
             .and_then(Json::as_f64)
             .ok_or("bench entry missing \"wall_s\"")?;
-        benches.insert(name.to_string(), wall);
+        let mut metrics = BTreeMap::new();
+        if let Some(m) = b.get("metrics").and_then(Json::as_object) {
+            for (k, v) in m {
+                if let Some(v) = v.as_f64() {
+                    metrics.insert(k.clone(), v);
+                }
+            }
+        }
+        benches.insert(
+            name.to_string(),
+            BenchEntry {
+                wall_s: wall,
+                metrics,
+            },
+        );
     }
     Ok(Report { quick, benches })
 }
@@ -368,8 +526,75 @@ mod tests {
         let r = load_report(p.to_str().unwrap()).unwrap();
         assert!(r.quick);
         assert_eq!(r.benches.len(), 2);
-        assert_eq!(r.benches["flow_churn"], 0.05);
-        assert_eq!(r.benches["mpid_pipeline"], 0.4);
+        assert_eq!(r.benches["flow_churn"].wall_s, 0.05);
+        assert_eq!(r.benches["flow_churn"].metrics["flows_per_sec"], 400000.0);
+        assert_eq!(r.benches["mpid_pipeline"].wall_s, 0.4);
+        assert!(r.benches["mpid_pipeline"].metrics.is_empty());
+        let _ = std::fs::remove_file(&p);
+    }
+
+    fn report_with(name: &str, wall: f64, metrics: &[(&str, f64)]) -> Report {
+        let mut benches = BTreeMap::new();
+        benches.insert(
+            name.to_string(),
+            BenchEntry {
+                wall_s: wall,
+                metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            },
+        );
+        Report {
+            quick: true,
+            benches,
+        }
+    }
+
+    #[test]
+    fn throughput_drop_beyond_quarter_regresses() {
+        let old = report_with("mpid_pipeline", 0.4, &[("mb_per_sec", 50.0)]);
+        let new = report_with("mpid_pipeline", 0.4, &[("mb_per_sec", 36.0)]);
+        let rows = diff_rows(&old, &new);
+        let rate = rows.iter().find(|r| r.measure == "mb_per_sec").unwrap();
+        assert!(rate.regressed, "-28% throughput must fail the gate");
+        assert_eq!(rate.verdict, "REGRESSED");
+    }
+
+    #[test]
+    fn throughput_within_gate_and_non_rate_metrics_pass() {
+        // -20% is inside the 25% budget; output_pairs is not a rate metric
+        // and must never be gated no matter how far it moves.
+        let old = report_with(
+            "mpid_pipeline",
+            0.4,
+            &[("mb_per_sec", 50.0), ("output_pairs", 20000.0)],
+        );
+        let new = report_with(
+            "mpid_pipeline",
+            0.4,
+            &[("mb_per_sec", 40.0), ("output_pairs", 5.0)],
+        );
+        let rows = diff_rows(&old, &new);
+        assert!(rows.iter().all(|r| !r.regressed));
+        assert!(
+            !rows.iter().any(|r| r.measure == "output_pairs"),
+            "non-rate metrics stay out of the delta table"
+        );
+    }
+
+    #[test]
+    fn step_summary_table_is_markdown() {
+        let old = report_with("flow_churn", 0.05, &[("flows_per_sec", 400000.0)]);
+        let new = report_with("flow_churn", 0.05, &[("flows_per_sec", 100000.0)]);
+        let rows = diff_rows(&old, &new);
+        let dir = std::env::temp_dir().join("bench-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("summary.md");
+        let _ = std::fs::remove_file(&p);
+        write_step_summary(p.to_str().unwrap(), "old.json", "new.json", &rows, 1).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.contains("| bench | measure | old | new | delta | verdict |"));
+        assert!(text
+            .contains("| flow_churn | flows_per_sec | 400.0k | 100.0k | -75.0% | **REGRESSED** |"));
+        assert!(text.contains("**1 regression(s)**"));
         let _ = std::fs::remove_file(&p);
     }
 
