@@ -27,12 +27,22 @@
 //! which mode produced it). `--out <path>` writes the JSON report.
 //! `--filter <substr>` runs only the benches whose name contains the
 //! substring (the report then contains just those benches).
+//!
+//! `--profile <dir>` re-runs every profileable filtered bench (the fig6
+//! sims and the real pipeline shapes) under tracing and writes a
+//! deterministic `<dir>/<bench>.profile.json` run profile
+//! (`obs::analysis::RunProfile`, schema `mpid-profile/1`; see
+//! `cargo xtask trace-diff`). Sim profiles are byte-identical run to run;
+//! real-pipeline profiles have deterministic counters and span structure
+//! but wall-clock duration fields. `--trace <path>` writes each profiled
+//! bench's Chrome trace, inserting the bench name before the `.json`
+//! extension when several match.
 
 use desim::{Scheduler, Sim, SimTime};
 use hadoop_sim::HadoopConfig;
 use mapred::{
-    run_mpid, run_sim_mpid, run_sim_mpid_traced, MapReduceApp, MpidEngineConfig, SimMpidConfig,
-    VecInput,
+    run_mpid, run_mpid_traced, run_sim_mpid, run_sim_mpid_traced, MapReduceApp, MpidEngineConfig,
+    SimMpidConfig, VecInput,
 };
 use mpid::Kv;
 use mpid_bench::{fmt_secs, GB};
@@ -53,6 +63,8 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let out = mpid_bench::arg_value(&args, "--out");
     let filter = mpid_bench::arg_value(&args, "--filter");
+    let profile_dir = mpid_bench::arg_value(&args, "--profile");
+    let trace_path = mpid_bench::arg_value(&args, "--trace");
     let want = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
 
     println!(
@@ -289,6 +301,143 @@ fn main() {
         write_report(&path, quick, &benches);
         println!();
         println!("report: {} benches -> {path}", benches.len());
+    }
+
+    if profile_dir.is_some() || trace_path.is_some() {
+        emit_profiles(
+            quick,
+            filter.as_deref(),
+            profile_dir.as_deref(),
+            trace_path.as_deref(),
+        );
+    }
+}
+
+/// Re-run every profileable bench the filter matches under tracing: the
+/// fig6 WordCount sims (deterministic sim-time profiles) and the real
+/// pipeline shapes (wall-clock spans, deterministic counters). Writes a
+/// `RunProfile` JSON per bench under `profile_dir` and/or a Chrome trace
+/// per bench derived from `trace_path`.
+fn emit_profiles(
+    quick: bool,
+    filter: Option<&str>,
+    profile_dir: Option<&str>,
+    trace_path: Option<&str>,
+) {
+    let want = |name: &str| filter.is_none_or(|f| name.contains(f));
+    println!();
+    let mut emitted = 0usize;
+    let mut finish = |name: &str, trace: &obs::Trace, metrics: Option<&obs::metrics::Metrics>| {
+        let profile = obs::analysis::RunProfile::build(trace, metrics, name);
+        if let Some(dir) = profile_dir {
+            let path = mpid_bench::write_profile(&profile, dir);
+            println!(
+                "profile: {name} -> {path} (overlap {:.2}, critical path {})",
+                profile.overlap.ratio,
+                fmt_secs(profile.critical_path.total_ns as f64 / 1e9)
+            );
+        }
+        if let Some(base) = trace_path {
+            let path = trace_file(base, name);
+            obs::chrome::write_chrome_trace(trace, std::path::Path::new(&path))
+                .expect("write chrome trace");
+            println!("trace: {name} -> {path}");
+        }
+        emitted += 1;
+    };
+
+    for gb in [1u64, 10, 100] {
+        let (h_name, m_name): (&str, &str) = match gb {
+            1 => ("fig6_hadoop_1gb", "fig6_mpid_1gb"),
+            10 => ("fig6_hadoop_10gb", "fig6_mpid_10gb"),
+            _ => ("fig6_hadoop_100gb", "fig6_mpid_100gb"),
+        };
+        if want(h_name) {
+            let tracer = obs::Tracer::new();
+            let _ = hadoop_sim::run_job_traced(
+                HadoopConfig::icpp2011(7, 7, 7),
+                wordcount_spec(gb * GB),
+                tracer.clone(),
+            );
+            let trace = tracer.take_trace();
+            finish(h_name, &trace, Some(&tracer.metrics()));
+        }
+        if want(m_name) {
+            let tracer = obs::Tracer::new();
+            let _ = run_sim_mpid_traced(
+                SimMpidConfig::icpp2011_fig6().with_auto_splits(gb * GB),
+                wordcount_spec(gb * GB),
+                tracer.clone(),
+            );
+            let trace = tracer.take_trace();
+            finish(m_name, &trace, Some(&tracer.metrics()));
+        }
+    }
+
+    let scale = if quick { 1 } else { 4 };
+    if want("mpid_pipeline") {
+        let pairs = zipf_pairs(11, scale * 524_288, 20_000);
+        let trace = trace_pipe(&MpidEngineConfig::with_workers(4, 2), WordCountPairs, pairs);
+        finish("mpid_pipeline", &trace, None);
+    }
+    if want("pipe_large_values") {
+        let n = scale * 512;
+        let recs: Vec<(u64, Vec<u8>)> = (0..n as u64)
+            .map(|i| {
+                (
+                    i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    vec![(i % 251) as u8; 4096],
+                )
+            })
+            .collect();
+        let trace = trace_pipe(&MpidEngineConfig::with_workers(4, 2), JavaSort, recs);
+        finish("pipe_large_values", &trace, None);
+    }
+    if want("pipe_many_keys") {
+        let n = scale * 131_072;
+        let pairs: Vec<(String, u64)> = (0..n).map(|i| (rank_to_word(i), 1)).collect();
+        let trace = trace_pipe(&MpidEngineConfig::with_workers(4, 2), WordCountPairs, pairs);
+        finish("pipe_many_keys", &trace, None);
+    }
+    if want("pipe_compressed") {
+        let pairs = zipf_pairs(13, scale * 524_288, 20_000);
+        let mut cfg = MpidEngineConfig::with_workers(4, 2);
+        cfg.compress = true;
+        let trace = trace_pipe(&cfg, WordCountPairs, pairs);
+        finish("pipe_compressed", &trace, None);
+    }
+    if want("pipe_extmerge") {
+        let pairs = zipf_pairs(17, scale * 524_288, 20_000);
+        let mut cfg = MpidEngineConfig::with_workers(4, 2);
+        cfg.reduce_budget_bytes = Some(256 * 1024);
+        let trace = trace_pipe(&cfg, WordCountPairs, pairs);
+        finish("pipe_extmerge", &trace, None);
+    }
+
+    if emitted == 0 {
+        println!("profile: no profileable bench matches the filter");
+    }
+}
+
+/// One traced real-pipeline run (same shapes as the timed section); returns
+/// the merged per-rank trace.
+fn trace_pipe<A>(cfg: &MpidEngineConfig, app: A, records: Vec<(A::InKey, A::InVal)>) -> obs::Trace
+where
+    A: MapReduceApp,
+    A::InKey: Kv + Clone + Send + Sync + 'static,
+    A::InVal: Kv + Clone + Send + Sync + 'static,
+{
+    let input = Arc::new(VecInput::round_robin(records, 8));
+    let sink = obs::SharedTrace::new();
+    let _ = run_mpid_traced(cfg, Arc::new(app), input, sink.clone());
+    sink.take_trace()
+}
+
+/// Per-bench Chrome-trace path: `base.json` + bench `b` → `base.b.json`.
+fn trace_file(base: &str, bench: &str) -> String {
+    match base.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.{bench}.json"),
+        None => format!("{base}.{bench}.json"),
     }
 }
 

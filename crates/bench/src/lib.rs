@@ -81,6 +81,43 @@ pub fn emit_trace(tracer: &obs::Tracer, path: &str, phase_cat: &str, title: &str
         println!();
         print!("{metrics}");
     }
+    let profile = obs::analysis::RunProfile::build(&trace, Some(&tracer.metrics()), title);
+    print_profile_summary(&profile);
+}
+
+/// Print the run-profile lines every figure summary shares: the map↔shuffle
+/// overlap ratio and the top critical-path segments (see `obs::analysis`).
+pub fn print_profile_summary(p: &obs::analysis::RunProfile) {
+    println!();
+    println!(
+        "profile: map/shuffle overlap ratio {:.2} (map {}, shuffle {}, overlap {})",
+        p.overlap.ratio,
+        fmt_secs(p.overlap.map_ns as f64 / 1e9),
+        fmt_secs(p.overlap.shuffle_ns as f64 / 1e9),
+        fmt_secs(p.overlap.overlap_ns as f64 / 1e9),
+    );
+    println!(
+        "critical path: {} ({:.0}% of wall), top segments:",
+        fmt_secs(p.critical_path.total_ns as f64 / 1e9),
+        p.critical_path.coverage * 100.0
+    );
+    for s in p.top_segments(3) {
+        println!(
+            "  {:<28} {:>10}  ({:.0}%)",
+            s.key,
+            fmt_secs(s.ns as f64 / 1e9),
+            s.share * 100.0
+        );
+    }
+}
+
+/// Write a [`obs::analysis::RunProfile`] as deterministic JSON under `dir`
+/// (created if missing) and return the file path.
+pub fn write_profile(p: &obs::analysis::RunProfile, dir: &str) -> String {
+    std::fs::create_dir_all(dir).expect("create profile dir");
+    let path = format!("{dir}/{}.profile.json", p.label);
+    std::fs::write(&path, p.to_json()).expect("write profile json");
+    path
 }
 
 /// The message-size sweep used by Figures 2 and 3 (1 B → 64 MB, powers of

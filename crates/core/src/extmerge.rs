@@ -60,6 +60,7 @@ pub struct ExternalTable<K: Key, V: Value> {
     spill_dir: PathBuf,
     runs: Vec<PathBuf>,
     next_run: usize,
+    spilled_bytes: u64,
 }
 
 impl<K: Key, V: Value> ExternalTable<K, V> {
@@ -85,12 +86,19 @@ impl<K: Key, V: Value> ExternalTable<K, V> {
             spill_dir,
             runs: Vec::new(),
             next_run: 0,
+            spilled_bytes: 0,
         })
     }
 
     /// Number of runs spilled so far.
     pub fn spilled_runs(&self) -> usize {
         self.runs.len()
+    }
+
+    /// Total bytes written to spill files so far (record headers included) —
+    /// the disk side of the reducer's memory accounting.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled_bytes
     }
 
     /// Current resident-memory estimate, bytes.
@@ -134,6 +142,7 @@ impl<K: Key, V: Value> ExternalTable<K, V> {
             }
             w.write_all(&(frame.len() as u32).to_le_bytes())?;
             w.write_all(&frame)?;
+            self.spilled_bytes += 4 + frame.len() as u64;
         }
         w.flush()?;
         self.resident_bytes = 0;
@@ -232,6 +241,7 @@ impl<K: Key, V: Value> RunWriter<'_, K, V> {
     pub fn end_group(&mut self) -> Result<(), ExtMergeError> {
         self.w.write_all(&(self.frame.len() as u32).to_le_bytes())?;
         self.w.write_all(&self.frame)?;
+        self.table.spilled_bytes += 4 + self.frame.len() as u64;
         Ok(())
     }
 

@@ -137,7 +137,9 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
         let table = merge_runs::<K, V>(runs)?;
         self.stats.distinct_keys = table.len() as u64;
         if let (Some(rt), Some(t0)) = (self.comm.trace(), t0) {
-            trace_merge(rt, t0, &self.stats, None);
+            // Unbounded ingest holds every frame at once, so the frame-buffer
+            // high-water is simply everything received.
+            trace_merge(rt, t0, &self.stats, None, self.stats.bytes_received, 0);
         }
         Ok(table)
     }
@@ -163,12 +165,14 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
             .map_err(|e| MpidError::Spill(e.to_string()))?;
         let mut window: Vec<FrameRun<K>> = Vec::new();
         let mut window_bytes = 0usize;
+        let mut window_high_water = 0usize;
         let mut eos_seen = 0usize;
         while eos_seen < self.cfg.n_mappers {
             match self.recv_one_run()? {
                 None => eos_seen += 1,
                 Some(run) => {
                     window_bytes += run.body.len();
+                    window_high_water = window_high_water.max(window_bytes);
                     window.push(run);
                     if window_bytes > budget_bytes {
                         spill_window(&mut table, std::mem::take(&mut window)).map_err(spill_err)?;
@@ -183,7 +187,14 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
         let tail = merge_runs::<K, V>(window)?;
         let spilled_runs = table.spilled_runs();
         if let (Some(rt), Some(t0)) = (self.comm.trace(), t0) {
-            trace_merge(rt, t0, &self.stats, Some(spilled_runs));
+            trace_merge(
+                rt,
+                t0,
+                &self.stats,
+                Some(spilled_runs),
+                window_high_water as u64,
+                table.spilled_bytes(),
+            );
         }
         let merge = table.into_merge_with_tail(tail).map_err(spill_err)?;
         Ok(ExternalRecv {
@@ -346,8 +357,17 @@ fn spill_window<K: Key, V: Value>(
 
 /// Record the reducer-side "merge" stage span (cat `mpid.stage`): wildcard
 /// frame reception plus in-memory (or external) merging, from `t0` to now,
-/// with the [`ReceiverStats`] counters as span args.
-fn trace_merge(rt: &Arc<RankTrace>, t0: u64, stats: &ReceiverStats, spilled_runs: Option<usize>) {
+/// with the [`ReceiverStats`] counters as span args. Also publishes the
+/// receiver's `mpid.mem.*` memory-accounting counters: the frame-buffer
+/// high-water, frames decoded, and bytes spilled to disk.
+fn trace_merge(
+    rt: &Arc<RankTrace>,
+    t0: u64,
+    stats: &ReceiverStats,
+    spilled_runs: Option<usize>,
+    frame_high_water: u64,
+    spill_bytes: u64,
+) {
     let mut args = vec![
         ("frames", ArgValue::U64(stats.frames)),
         ("bytes_received", ArgValue::U64(stats.bytes_received)),
@@ -358,6 +378,9 @@ fn trace_merge(rt: &Arc<RankTrace>, t0: u64, stats: &ReceiverStats, spilled_runs
         args.push(("spilled_runs", ArgValue::U64(runs as u64)));
     }
     rt.complete_since("merge", "mpid.stage", t0, args);
+    rt.counter("mpid.mem.frame_bytes", "mpid.mem", frame_high_water as f64);
+    rt.counter("mpid.mem.frames_decoded", "mpid.mem", stats.frames as f64);
+    rt.counter("mpid.mem.spill_bytes", "mpid.mem", spill_bytes as f64);
 }
 
 /// Receive one DATA frame body: `Ok(None)` = end-of-stream marker, otherwise

@@ -235,6 +235,10 @@ pub struct MpidSender<'a, K: Key, V: Value> {
     shipments: Vec<(mpi_rt::Rank, Bytes)>,
     /// Retired compression scratch buffers, recycled up to [`WIRE_POOL_CAP`].
     wire_pool: Vec<Vec<u8>>,
+    /// Compressed spills that reused a pooled scratch buffer.
+    pool_hits: u64,
+    /// Compressed spills that had to allocate a fresh scratch buffer.
+    pool_misses: u64,
 }
 
 /// Pipeline-stage tracing state, active when the universe was launched with
@@ -275,6 +279,8 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
             key_scratch: Vec::new(),
             shipments: Vec::new(),
             wire_pool: Vec::new(),
+            pool_hits: 0,
+            pool_misses: 0,
         }
     }
 
@@ -459,7 +465,16 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                     let body = &frame[1..];
                     let packed = compress::compress(body);
                     if packed.len() < body.len() {
-                        let mut wire = self.wire_pool.pop().unwrap_or_default();
+                        let mut wire = match self.wire_pool.pop() {
+                            Some(w) => {
+                                self.pool_hits += 1;
+                                w
+                            }
+                            None => {
+                                self.pool_misses += 1;
+                                Vec::new()
+                            }
+                        };
                         wire.clear();
                         wire.reserve(packed.len() + 1);
                         wire.push(MARKER_LZ);
@@ -480,6 +495,10 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
             }
         }
         self.spill_parts = parts;
+        // Arena high-water for this spill, captured before the clear: the
+        // table is at its fullest right here.
+        let table_bytes = (self.table.keys.len() + self.table.vals.len()) as u64;
+        let table_entries = self.table.len() as u64;
         self.table.clear();
         let ship_start = if let (Some(ts), Some(t0)) = (&self.trace, spill_start) {
             let now = ts.rt.now_ns();
@@ -531,6 +550,21 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                 ],
             );
             ts.prev = self.stats.clone();
+            // Memory-accounting samples, one set per spill: the profile's
+            // high-water marks come from the max over these.
+            ts.rt
+                .counter("mpid.mem.table_bytes", "mpid.mem", table_bytes as f64);
+            ts.rt
+                .counter("mpid.mem.table_entries", "mpid.mem", table_entries as f64);
+            ts.rt
+                .counter("mpid.mem.spills", "mpid.mem", self.stats.spills as f64);
+            ts.rt
+                .counter("mpid.mem.wire_pool_hits", "mpid.mem", self.pool_hits as f64);
+            ts.rt.counter(
+                "mpid.mem.wire_pool_misses",
+                "mpid.mem",
+                self.pool_misses as f64,
+            );
         }
         Ok(())
     }

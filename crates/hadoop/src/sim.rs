@@ -210,6 +210,8 @@ impl HadoopSim {
             tracer.set_process_name(1 + w as u32, format!("worker-{}", 1 + w));
         }
         self.net.set_tracer(tracer.clone());
+        // Same cadence as the MPI-D sim so profiles are comparable.
+        self.net.set_util_sampling(SimTime::from_millis(100));
         self.tracer = Some(tracer);
     }
 

@@ -124,6 +124,38 @@ where
     A: MapReduceApp,
     I: InputFormat<Key = A::InKey, Val = A::InVal>,
 {
+    run_mpid_inner(cfg, app, input, None)
+}
+
+/// Like [`run_mpid`], but with wall-clock tracing: every rank records its
+/// MPI operations and MPI-D pipeline stages (`mpid.stage` spans plus
+/// `mpid.mem.*` memory counters) into `sink`. Timestamps are real
+/// nanoseconds — unlike the simulators they vary run to run, but the
+/// counter *values* and span structure are deterministic for a fixed
+/// config and input.
+pub fn run_mpid_traced<A, I>(
+    cfg: &MpidEngineConfig,
+    app: Arc<A>,
+    input: Arc<I>,
+    sink: obs::SharedTrace,
+) -> JobOutput<A::OutKey, A::OutVal>
+where
+    A: MapReduceApp,
+    I: InputFormat<Key = A::InKey, Val = A::InVal>,
+{
+    run_mpid_inner(cfg, app, input, Some(sink))
+}
+
+fn run_mpid_inner<A, I>(
+    cfg: &MpidEngineConfig,
+    app: Arc<A>,
+    input: Arc<I>,
+    sink: Option<obs::SharedTrace>,
+) -> JobOutput<A::OutKey, A::OutVal>
+where
+    A: MapReduceApp,
+    I: InputFormat<Key = A::InKey, Val = A::InVal>,
+{
     let mpid_cfg = cfg.mpid();
     let n_ranks = mpid_cfg.required_ranks();
     let timeout = cfg.recv_timeout;
@@ -132,79 +164,80 @@ where
     let mut universe_msgs = 0;
     let mut universe_bytes = 0;
 
-    let results = Universe::run_with(
-        MpiConfig {
-            eager_threshold: cfg.eager_threshold,
-            verify: if cfg.verify {
-                mpi_rt::VerifyConfig::default()
-            } else {
-                mpi_rt::VerifyConfig::disabled()
-            },
-            ..MpiConfig::default()
+    let mpi_cfg = MpiConfig {
+        eager_threshold: cfg.eager_threshold,
+        verify: if cfg.verify {
+            mpi_rt::VerifyConfig::default()
+        } else {
+            mpi_rt::VerifyConfig::disabled()
         },
-        n_ranks,
-        move |comm| {
-            let world = MpidWorld::init(comm, mpid_cfg.clone()).expect("valid config");
-            let result = match world.role() {
-                Role::Master => {
-                    let stats = world.run_master(splits.clone()).expect("master failed");
-                    // Gather every mapper's pipeline counters over MPI
-                    // (exercises the STATS leg of the wire protocol).
-                    let sender = world.collect_stats().expect("stats gather failed");
-                    RankResult::Master(stats, sender)
+        ..MpiConfig::default()
+    };
+    let rank_fn = move |comm: &mpi_rt::Comm| {
+        let world = MpidWorld::init(comm, mpid_cfg.clone()).expect("valid config");
+        let result = match world.role() {
+            Role::Master => {
+                let stats = world.run_master(splits.clone()).expect("master failed");
+                // Gather every mapper's pipeline counters over MPI
+                // (exercises the STATS leg of the wire protocol).
+                let sender = world.collect_stats().expect("stats gather failed");
+                RankResult::Master(stats, sender)
+            }
+            Role::Mapper(_) => {
+                let mut sender = world
+                    .sender::<A::MidKey, A::MidVal>()
+                    .with_partitioner(AppPartitioner(app.clone()));
+                if let Some(c) = app.combine() {
+                    sender = sender.with_combiner(FnCombiner(c));
                 }
-                Role::Mapper(_) => {
-                    let mut sender = world
-                        .sender::<A::MidKey, A::MidVal>()
-                        .with_partitioner(AppPartitioner(app.clone()));
-                    if let Some(c) = app.combine() {
-                        sender = sender.with_combiner(FnCombiner(c));
-                    }
-                    while let Some(split) = world.next_split::<u64>().expect("split fetch") {
-                        for (k, v) in input.records(split as usize) {
-                            let mut err = None;
-                            app.map(k, v, &mut |mk, mv| {
-                                if err.is_none() {
-                                    if let Err(e) = sender.send(mk, mv) {
-                                        err = Some(e);
-                                    }
+                while let Some(split) = world.next_split::<u64>().expect("split fetch") {
+                    for (k, v) in input.records(split as usize) {
+                        let mut err = None;
+                        app.map(k, v, &mut |mk, mv| {
+                            if err.is_none() {
+                                if let Err(e) = sender.send(mk, mv) {
+                                    err = Some(e);
                                 }
-                            });
-                            if let Some(e) = err {
-                                panic!("MPI_D_Send failed: {e}");
                             }
+                        });
+                        if let Some(e) = err {
+                            panic!("MPI_D_Send failed: {e}");
                         }
                     }
-                    let stats = sender.finish().expect("finish failed");
-                    world.report_stats(&stats).expect("stats report failed");
-                    RankResult::Mapper
                 }
-                Role::Reducer(_) => {
-                    let recv = world
-                        .receiver::<A::MidKey, A::MidVal>()
-                        .with_timeout(timeout);
-                    let mut out = Vec::new();
-                    if let Some(budget) = reduce_budget {
-                        let mut ext = recv
-                            .into_external(budget, std::env::temp_dir())
-                            .expect("external ingest failed");
-                        while let Some((k, vs)) = ext.recv().expect("MPI_D_Recv failed") {
-                            app.reduce(k, vs, &mut |ok, ov| out.push((ok, ov)));
-                        }
-                    } else {
-                        let mut recv = recv;
-                        while let Some((k, vs)) = recv.recv().expect("MPI_D_Recv failed") {
-                            app.reduce(k, vs, &mut |ok, ov| out.push((ok, ov)));
-                        }
+                let stats = sender.finish().expect("finish failed");
+                world.report_stats(&stats).expect("stats report failed");
+                RankResult::Mapper
+            }
+            Role::Reducer(_) => {
+                let recv = world
+                    .receiver::<A::MidKey, A::MidVal>()
+                    .with_timeout(timeout);
+                let mut out = Vec::new();
+                if let Some(budget) = reduce_budget {
+                    let mut ext = recv
+                        .into_external(budget, std::env::temp_dir())
+                        .expect("external ingest failed");
+                    while let Some((k, vs)) = ext.recv().expect("MPI_D_Recv failed") {
+                        app.reduce(k, vs, &mut |ok, ov| out.push((ok, ov)));
                     }
-                    RankResult::Reducer(out)
+                } else {
+                    let mut recv = recv;
+                    while let Some((k, vs)) = recv.recv().expect("MPI_D_Recv failed") {
+                        app.reduce(k, vs, &mut |ok, ov| out.push((ok, ov)));
+                    }
                 }
-            };
-            let stats = (comm.universe_msgs_sent(), comm.universe_bytes_sent());
-            world.finalize().expect("finalize failed");
-            (result, stats)
-        },
-    );
+                RankResult::Reducer(out)
+            }
+        };
+        let stats = (comm.universe_msgs_sent(), comm.universe_bytes_sent());
+        world.finalize().expect("finalize failed");
+        (result, stats)
+    };
+    let results = match sink {
+        Some(s) => Universe::run_traced(mpi_cfg, n_ranks, s, rank_fn),
+        None => Universe::run_with(mpi_cfg, n_ranks, rank_fn),
+    };
 
     let mut output = Vec::new();
     let mut sender_stats = mpid::SenderStats::default();

@@ -22,7 +22,7 @@ pub mod sim;
 
 pub use api::{InputFormat, MapReduceApp, TextInput, VecInput};
 pub use checkpoint::{run_mpid_checkpointed, CheckpointStats};
-pub use engine::{run_mpid, JobOutput, MpidEngineConfig};
+pub use engine::{run_mpid, run_mpid_traced, JobOutput, MpidEngineConfig};
 pub use local::run_local;
 pub use sim::{
     run_sim_mpid, run_sim_mpid_ft, run_sim_mpid_ft_traced, run_sim_mpid_traced, FtOutcome,

@@ -57,6 +57,12 @@ pub struct SimMpidConfig {
     pub pressure_ref_bytes: u64,
     /// Overlap spill sends with the next split (the `MPI_Isend` mode).
     pub overlap_sends: bool,
+    /// Frame granularity for pipelined spill shipping: combined map output
+    /// ships in frames of this size *while the split is still being
+    /// mapped* (the paper's `MPI_D_Send` design — data movement overlaps
+    /// map computation on the producing mapper). `0` disables pipelining
+    /// and ships the whole split output after the map completes.
+    pub ship_frame_bytes: u64,
 }
 
 impl SimMpidConfig {
@@ -74,6 +80,7 @@ impl SimMpidConfig {
             pressure_per_doubling: 0.25,
             pressure_ref_bytes: 21 << 20,
             overlap_sends: false,
+            ship_frame_bytes: 512 << 10,
         }
     }
 
@@ -155,9 +162,10 @@ struct MpidSim {
     finished: bool,
     reduce_started: bool,
     tracer: Option<Tracer>,
-    // (mapper, split) → (ship start ns, frames outstanding, shuffled bytes);
-    // populated only while tracing.
-    ship_state: BTreeMap<(usize, usize), (u64, usize, u64)>,
+    // (mapper, split) → (ship start ns — `None` until the first frame
+    // ships, flows outstanding, shuffled bytes). Drives both the traced
+    // `ship` span and the blocking-send handoff to the next split.
+    ship_state: BTreeMap<(usize, usize), (Option<u64>, usize, u64)>,
     // Benign (crash-free) fault schedule: degradations, partitions and
     // straggler windows. Crashes are handled by the FT driver above the sim.
     plan: FaultPlan,
@@ -245,6 +253,10 @@ impl MpidSim {
             tracer.set_thread_name(host.0 as u32, m as u32, format!("mapper-{m}"));
         }
         self.net.set_tracer(tracer.clone());
+        // 100 ms of simulated time between utilization samples: fine enough
+        // to see the shuffle ramp in multi-minute jobs, coarse enough that
+        // the samples stay a small fraction of the trace.
+        self.net.set_util_sampling(SimTime::from_millis(100));
         self.tracer = Some(tracer);
     }
 
@@ -350,36 +362,67 @@ impl MpidSim {
         // An injected straggler multiplies the whole split's compute (the
         // factor ×1.0 for an empty plan keeps the cost bit-identical).
         let injected = s.plan.cpu_factor(s.mapper_host[m].0, sc.now());
-        let cpu = SimTime::from_secs_f64(s.spec.map_cpu_secs(bytes) * s.cpu_multiplier * injected);
+        let cpu_secs = s.spec.map_cpu_secs(bytes) * s.cpu_multiplier * injected;
         let map_start = sc.now().as_nanos();
-        sc.schedule_in(cpu, move |s: &mut MpidSim, sc| {
-            if let Some(t) = &s.tracer {
-                t.complete(
-                    s.mapper_host[m].0 as u32,
-                    m as u32,
-                    "map",
-                    "mpid.phase",
-                    map_start,
-                    sc.now().as_nanos(),
-                    vec![("bytes", ArgValue::U64(bytes))],
-                );
-            }
-            Self::send_spill(s, sc, m, split);
-        });
+        // Pipelined spill shipping (the paper's `MPI_D_Send` design): the
+        // combined output accrues over the map compute and ships in
+        // frame-sized spills as each is produced, so data movement overlaps
+        // map computation on the producing mapper. The final frame is only
+        // ready when the map is.
+        let shuffled = s.spec.shuffle_bytes(bytes);
+        s.shuffle_bytes += shuffled;
+        let n_frames = match s.cfg.ship_frame_bytes {
+            0 => 1,
+            f => (shuffled / f).clamp(1, 64) as usize,
+        };
+        s.ship_state
+            .insert((m, split), (None, n_frames * s.cfg.n_reducers, shuffled));
+        let per_frame = shuffled / n_frames as u64;
+        for j in 1..=n_frames {
+            let at = SimTime::from_secs_f64(cpu_secs * j as f64 / n_frames as f64);
+            let last_frame = j == n_frames;
+            let fbytes = if last_frame {
+                shuffled - per_frame * (n_frames as u64 - 1)
+            } else {
+                per_frame
+            };
+            sc.schedule_in(at, move |s: &mut MpidSim, sc| {
+                if last_frame {
+                    if let Some(t) = &s.tracer {
+                        t.complete(
+                            s.mapper_host[m].0 as u32,
+                            m as u32,
+                            "map",
+                            "mpid.phase",
+                            map_start,
+                            sc.now().as_nanos(),
+                            vec![("bytes", ArgValue::U64(bytes))],
+                        );
+                    }
+                }
+                Self::ship_frame(s, sc, m, split, fbytes, last_frame);
+            });
+        }
     }
 
-    /// Ship this split's combined output to the reducers as MPI frames.
-    fn send_spill(s: &mut MpidSim, sc: &mut Scheduler<MpidSim>, m: usize, split: usize) {
-        let shuffled = s.spec.shuffle_bytes(s.split_input[split]);
+    /// Ship one produced frame of this split's combined output to the
+    /// reducers as MPI messages.
+    fn ship_frame(
+        s: &mut MpidSim,
+        sc: &mut Scheduler<MpidSim>,
+        m: usize,
+        split: usize,
+        fbytes: u64,
+        last_frame: bool,
+    ) {
         let my_host = s.mapper_host[m];
         let n_red = s.cfg.n_reducers;
-        let per_red = shuffled / n_red as u64;
-        s.shuffle_bytes += shuffled;
-        if s.tracer.is_some() {
-            s.ship_state
-                .insert((m, split), (sc.now().as_nanos(), n_red, shuffled));
+        let per_red = fbytes / n_red as u64;
+        if let Some((start, _, _)) = s.ship_state.get_mut(&(m, split)) {
+            if start.is_none() {
+                *start = Some(sc.now().as_nanos());
+            }
         }
-        let overlap = s.cfg.overlap_sends;
         // Wire bytes inflated by the MPI streaming efficiency for
         // frame-sized messages.
         for r in 0..n_red {
@@ -391,7 +434,6 @@ impl MpidSim {
                 Route::HostToHost { src: my_host, dst }
             };
             s.sends_in_flight += 1;
-            let last = r == n_red - 1;
             Net::start_flow(s, sc, route, wire, 1.0, move |s, sc| {
                 s.sends_in_flight -= 1;
                 if s.first_arrival.is_none() {
@@ -406,34 +448,36 @@ impl MpidSim {
                         );
                     }
                 }
-                if let Some((start, left, bytes)) = s.ship_state.get_mut(&(m, split)) {
+                let mut drained = false;
+                if let Some((_, left, _)) = s.ship_state.get_mut(&(m, split)) {
                     *left -= 1;
-                    if *left == 0 {
-                        let (start, bytes) = (*start, *bytes);
-                        s.ship_state.remove(&(m, split));
-                        if let Some(t) = &s.tracer {
-                            t.complete(
-                                s.mapper_host[m].0 as u32,
-                                m as u32,
-                                "ship",
-                                "mpid.phase",
-                                start,
-                                sc.now().as_nanos(),
-                                vec![("shuffled_bytes", ArgValue::U64(bytes))],
-                            );
-                        }
-                    }
+                    drained = *left == 0;
                 }
-                // Blocking-send mode: the mapper proceeds only after the
-                // last frame is delivered.
-                if !overlap && last {
-                    Self::request_split(s, sc, m);
+                if drained {
+                    let (start, _, bytes) = s.ship_state.remove(&(m, split)).expect("ship state");
+                    if let Some(t) = &s.tracer {
+                        t.complete(
+                            s.mapper_host[m].0 as u32,
+                            m as u32,
+                            "ship",
+                            "mpid.phase",
+                            start.unwrap_or_else(|| sc.now().as_nanos()),
+                            sc.now().as_nanos(),
+                            vec![("shuffled_bytes", ArgValue::U64(bytes))],
+                        );
+                    }
+                    // Blocking-send mode: the mapper proceeds only once the
+                    // split's spills have all drained.
+                    if !s.cfg.overlap_sends {
+                        Self::request_split(s, sc, m);
+                    }
                 }
                 Self::maybe_finish(s, sc);
             });
         }
-        if overlap {
-            // Isend mode: overlap communication with the next split.
+        // Isend mode: once the last frame is handed to MPI the mapper
+        // overlaps the remaining drain with its next split.
+        if last_frame && s.cfg.overlap_sends {
             Self::request_split(s, sc, m);
         }
     }

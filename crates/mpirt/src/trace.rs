@@ -72,6 +72,14 @@ impl RankTrace {
         self.buf.lock().instant(name, cat, now);
     }
 
+    /// Record a counter sample at the current clock reading. Used by the
+    /// MPI-D data path to publish memory-accounting values (`mpid.mem.*`)
+    /// that `obs::analysis` rolls into a run profile.
+    pub fn counter(&self, name: &'static str, cat: &'static str, value: f64) {
+        let now = self.clock.now_ns();
+        self.buf.lock().counter(name, cat, now, value);
+    }
+
     /// Drain the rank's buffer into the shared sink. Called by the universe
     /// after the rank function returns; safe to call more than once.
     pub fn flush(&self) {

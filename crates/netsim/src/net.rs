@@ -71,6 +71,10 @@ pub struct Net<S> {
     last_sync: SimTime,
     flows_completed: u64,
     tracer: Option<Tracer>,
+    /// Minimum simulated time between utilization samples (None = off).
+    util_every: Option<SimTime>,
+    /// When utilization was last sampled.
+    last_util_sample: Option<SimTime>,
     flow_meta: BTreeMap<FlowId, FlowMeta>,
     /// Solver counters already published to the tracer's metrics, so each
     /// reallocation point publishes only the delta.
@@ -95,6 +99,8 @@ impl<S: HasNet> Net<S> {
             last_sync: SimTime::ZERO,
             flows_completed: 0,
             tracer: None,
+            util_every: None,
+            last_util_sample: None,
             flow_meta: BTreeMap::new(),
             published_stats: SolverStats::default(),
             host_alive: vec![true; hosts],
@@ -109,6 +115,16 @@ impl<S: HasNet> Net<S> {
     /// and `"realloc"` instants at every bandwidth reallocation point.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = Some(tracer);
+    }
+
+    /// Sample per-host resource utilization into the trace at most once per
+    /// `every` of simulated time (counter events `"net.util.up"` /
+    /// `"net.util.down"` / `"net.util.disk"`, cat `"net.util"`, one stream
+    /// per host lane, values normalized to `[0, 1]` of capacity). Samples
+    /// are taken at bandwidth-reallocation points, where rates change — the
+    /// fluid model holds them constant in between, so no detail is lost.
+    pub fn set_util_sampling(&mut self, every: SimTime) {
+        self.util_every = Some(every);
     }
 
     fn trace_flow_change(&mut self, now: SimTime) {
@@ -134,6 +150,32 @@ impl<S: HasNet> Net<S> {
             .inc("net.solver.resources_swept", d.resources_swept);
         t.metrics().inc("net.solver.flows_rerated", d.flows_rerated);
         self.published_stats = stats;
+        if let Some(every) = self.util_every {
+            let due = match self.last_util_sample {
+                None => true,
+                Some(last) => now - last >= every,
+            };
+            if due {
+                self.last_util_sample = Some(now);
+                for h in self.cluster.host_ids() {
+                    for (name, rid) in [
+                        ("net.util.up", self.cluster.uplink(h)),
+                        ("net.util.down", self.cluster.downlink(h)),
+                        ("net.util.disk", self.cluster.disk(h)),
+                    ] {
+                        let cap = self.fluid.capacity(rid);
+                        let frac = if cap > 0.0 {
+                            // clamp: rate sums can land at -0.0 or nudge a
+                            // hair past capacity in floating point
+                            (self.fluid.utilization(rid) / cap).clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        };
+                        t.counter(h.0 as u32, name, "net.util", ts, frac);
+                    }
+                }
+            }
+        }
     }
 
     /// Solver work counters accumulated by the embedded fluid engine.

@@ -27,14 +27,20 @@
 //! * [`report::PhaseBreakdown`] — per-phase aggregation (count, total, mean,
 //!   p50/p95/p99, share) that regenerates the shape of the paper's Table I
 //!   from a trace alone.
+//! * [`analysis::RunProfile`] — critical-path extraction, map↔shuffle
+//!   overlap ratio, resource-wait attribution, and memory/utilization
+//!   counter summaries, serialized as `mpid-profile/1` JSON for
+//!   `cargo xtask trace-diff`.
 //!
 //! A [`metrics::Metrics`] registry (counters, gauges, log₂-bucketed
 //! histograms) rides along for scalar statistics that don't need a timeline.
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod chrome;
 pub mod metrics;
+pub mod quantile;
 pub mod report;
 
 mod probe;

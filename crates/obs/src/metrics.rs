@@ -83,7 +83,7 @@ impl Histogram {
         if q >= 1.0 {
             return Some(self.max as f64);
         }
-        let rank = (q * (self.count as f64 - 1.0)).round() as u64;
+        let rank = crate::quantile::nearest_rank(self.count, q);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             if n == 0 {
@@ -273,6 +273,60 @@ mod tests {
         let h = a.histogram("lat").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), 1000);
+    }
+
+    // Merge consistency: merging two histograms must be indistinguishable
+    // from observing the concatenated sample stream, and both must agree
+    // with the exact nearest-rank percentile up to the log₂-bucket blur
+    // (factor √2 each way, clamped to [min, max]).
+    proptest::proptest! {
+        #[test]
+        fn prop_merge_matches_concatenation(
+            xs in proptest::collection::vec(0u64..1_000_000, 1..200),
+            ys in proptest::collection::vec(0u64..1_000_000, 1..200),
+        ) {
+            let mut ha = Histogram::default();
+            let mut hb = Histogram::default();
+            let mut hall = Histogram::default();
+            for &x in &xs {
+                ha.observe(x);
+                hall.observe(x);
+            }
+            for &y in &ys {
+                hb.observe(y);
+                hall.observe(y);
+            }
+            let mut merged = Metrics::new();
+            {
+                let mut a = Metrics::new();
+                a.hists.insert("h".into(), ha);
+                let mut b = Metrics::new();
+                b.hists.insert("h".into(), hb);
+                merged.merge(&a);
+                merged.merge(&b);
+            }
+            let m = merged.histogram("h").unwrap();
+            proptest::prop_assert_eq!(m.count(), hall.count());
+            proptest::prop_assert_eq!(m.sum(), hall.sum());
+            proptest::prop_assert_eq!(m.max(), hall.max());
+            proptest::prop_assert_eq!(m.buckets, hall.buckets);
+
+            let mut sorted: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+            sorted.sort_unstable();
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                let est = m.quantile(q).unwrap();
+                let exact = crate::quantile::percentile_sorted(&sorted, q) as f64;
+                proptest::prop_assert_eq!(m.quantile(q), hall.quantile(q));
+                // Same rank as the exact helper; value blurred ≤ √2 by the
+                // bucket midpoint, except where clamping pins it exactly.
+                let lo = (exact / std::f64::consts::SQRT_2) - 1.0;
+                let hi = (exact * std::f64::consts::SQRT_2) + 1.0;
+                proptest::prop_assert!(
+                    (lo..=hi).contains(&est),
+                    "q={} est={} exact={}", q, est, exact
+                );
+            }
+        }
     }
 
     #[test]

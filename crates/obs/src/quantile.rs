@@ -1,0 +1,57 @@
+//! Shared nearest-rank quantile arithmetic.
+//!
+//! Two consumers used to carry private copies of the same formula:
+//! [`crate::report::PhaseBreakdown`] (exact percentiles over sorted
+//! duration vectors) and [`crate::metrics::Histogram`] (estimated
+//! percentiles over log₂ buckets). Both now resolve a quantile to the
+//! same sample rank through [`nearest_rank`], so an exact summary and a
+//! histogram estimate of the same data always point at the same sample —
+//! the histogram merely blurs its *value* to the bucket midpoint.
+
+/// Rank of the `q`-quantile (`0.0..=1.0`) among `n` ordered samples,
+/// by the nearest-rank rule `round(q * (n - 1))`.
+///
+/// Returns 0 for an empty population; clamps `q` into `[0, 1]` so a
+/// sloppy caller can never index past the end.
+pub fn nearest_rank(n: u64, q: f64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * (n as f64 - 1.0)).round() as u64;
+    rank.min(n - 1)
+}
+
+/// Exact `q`-quantile of an ascending-sorted slice by nearest rank.
+/// Returns 0 for an empty slice.
+pub fn percentile_sorted(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[nearest_rank(sorted.len() as u64, q) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_endpoints_and_clamping() {
+        assert_eq!(nearest_rank(0, 0.5), 0);
+        assert_eq!(nearest_rank(1, 0.99), 0);
+        assert_eq!(nearest_rank(100, 0.0), 0);
+        assert_eq!(nearest_rank(100, 1.0), 99);
+        assert_eq!(nearest_rank(100, 2.0), 99, "q clamped above");
+        assert_eq!(nearest_rank(100, -1.0), 0, "q clamped below");
+    }
+
+    #[test]
+    fn percentile_matches_hand_computation() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_sorted(&v, 0.0), 1);
+        assert_eq!(percentile_sorted(&v, 0.5), 51); // round(0.5 * 99) = 50
+        assert_eq!(percentile_sorted(&v, 1.0), 100);
+        assert_eq!(percentile_sorted(&[], 0.5), 0);
+        assert_eq!(percentile_sorted(&[7], 0.95), 7);
+    }
+}

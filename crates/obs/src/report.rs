@@ -2,6 +2,7 @@
 //! ("Hadoop reduce task phase breakdown") from a trace alone — no access to
 //! the simulator's internal reports, just the complete spans it emitted.
 
+use crate::quantile::percentile_sorted as percentile;
 use crate::{Phase, Trace};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -134,15 +135,6 @@ impl PhaseBreakdown {
 
 fn secs(ns: u64) -> f64 {
     ns as f64 / 1e9
-}
-
-/// Exact percentile by nearest-rank on a sorted slice.
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = (q * (sorted.len() as f64 - 1.0)).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 #[cfg(test)]

@@ -326,7 +326,7 @@ fn load_report(path: &str) -> Result<Report, String> {
 // ---------------------------------------------------------------------
 
 #[derive(Debug)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(f64),
@@ -336,31 +336,31 @@ enum Json {
 }
 
 impl Json {
-    fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+    pub(crate) fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
         match self {
             Json::Object(m) => Some(m),
             _ => None,
         }
     }
-    fn as_array(&self) -> Option<&[Json]> {
+    pub(crate) fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Array(v) => Some(v),
             _ => None,
         }
     }
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
-    fn as_bool(&self) -> Option<bool> {
+    pub(crate) fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
-    fn as_f64(&self) -> Option<f64> {
+    pub(crate) fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
@@ -368,7 +368,7 @@ impl Json {
     }
 }
 
-fn parse_json(text: &str) -> Result<Json, String> {
+pub(crate) fn parse_json(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     let v = parse_value(bytes, &mut pos)?;

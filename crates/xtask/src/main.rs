@@ -21,8 +21,14 @@
 //! `bench-diff` (see [`bench_diff`]) compares two `BENCH.json` perf reports
 //! and fails on wall-clock regressions; CI runs it against the committed
 //! `BENCH_BASELINE.json`.
+//!
+//! `trace-diff` (see [`trace_diff`]) compares two `mpid-profile/1` run
+//! profiles (written by `perf --profile`) and prints a ranked
+//! "what changed" table; CI runs it against the committed
+//! `PROFILE_BASELINE.json` as an advisory triage step.
 
 mod bench_diff;
+mod trace_diff;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -89,13 +95,20 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("trace-diff") => match (args.next(), args.next()) {
+            (Some(a), Some(b)) => trace_diff::trace_diff(&a, &b),
+            _ => {
+                eprintln!("usage: cargo xtask trace-diff <a.profile.json> <b.profile.json>");
+                ExitCode::FAILURE
+            }
+        },
         Some(other) => {
             eprintln!("unknown xtask subcommand: {other}");
-            eprintln!("usage: cargo xtask lint | bench-diff <old> <new>");
+            eprintln!("usage: cargo xtask lint | bench-diff <old> <new> | trace-diff <a> <b>");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint | bench-diff <old> <new>");
+            eprintln!("usage: cargo xtask lint | bench-diff <old> <new> | trace-diff <a> <b>");
             ExitCode::FAILURE
         }
     }

@@ -8,5 +8,6 @@ pub use mapred;
 pub use mpi_rt;
 pub use mpid;
 pub use netsim;
+pub use obs;
 pub use transports;
 pub use workloads;
