@@ -48,7 +48,7 @@ fn main() {
         mpid_bench::emit_trace(
             t,
             path,
-            "hadoop.phase",
+            obs::names::CAT_HADOOP_PHASE,
             "Figure 1 job — phase breakdown from trace",
         );
     }

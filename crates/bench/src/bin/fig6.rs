@@ -104,7 +104,7 @@ fn main() {
         mpid_bench::emit_trace(
             tracer,
             path,
-            "mpid.phase",
+            obs::names::CAT_MPID_PHASE,
             "MPI-D run (largest size) — pipeline breakdown from trace",
         );
     }

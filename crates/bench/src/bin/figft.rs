@@ -93,14 +93,14 @@ fn main() {
         mpid_bench::emit_trace(
             &tracer,
             path,
-            "mpid.phase",
+            obs::names::CAT_MPID_PHASE,
             "checkpointed MPI-D under one node crash",
         );
         let h_path = format!("{path}.hadoop.json");
         mpid_bench::emit_trace(
             &h_tracer,
             &h_path,
-            "hadoop.phase",
+            obs::names::CAT_HADOOP_PHASE,
             "Hadoop under one node crash",
         );
     }

@@ -546,7 +546,9 @@ fn traced_mpid_100gb(force_full: bool) -> (f64, u64) {
     );
     let wall = t0.elapsed().as_secs_f64();
     netsim::set_force_full_default(false);
-    let sweeps = tracer.metrics().counter("net.solver.resources_swept");
+    let sweeps = tracer
+        .metrics()
+        .counter(obs::names::M_NET_SOLVER_RESOURCES_SWEPT);
     (wall, sweeps)
 }
 

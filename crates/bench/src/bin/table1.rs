@@ -112,7 +112,7 @@ fn main() {
         // The acceptance check behind Table I: the copy > sort dominance
         // must fall out of the trace with no help from JobReport.
         let trace = tracer.trace();
-        let bd = obs::report::PhaseBreakdown::from_trace(&trace, "hadoop.phase");
+        let bd = obs::report::PhaseBreakdown::from_trace(&trace, obs::names::CAT_HADOOP_PHASE);
         assert!(
             bd.share_of("copy") > bd.share_of("sort"),
             "trace-derived breakdown must show copy dominating sort"
@@ -121,7 +121,7 @@ fn main() {
         mpid_bench::emit_trace(
             tracer,
             path,
-            "hadoop.phase",
+            obs::names::CAT_HADOOP_PHASE,
             "Largest 8/8 cell — phase breakdown from trace",
         );
     }

@@ -377,10 +377,22 @@ fn trace_merge(
     if let Some(runs) = spilled_runs {
         args.push(("spilled_runs", ArgValue::U64(runs as u64)));
     }
-    rt.complete_since("merge", "mpid.stage", t0, args);
-    rt.counter("mpid.mem.frame_bytes", "mpid.mem", frame_high_water as f64);
-    rt.counter("mpid.mem.frames_decoded", "mpid.mem", stats.frames as f64);
-    rt.counter("mpid.mem.spill_bytes", "mpid.mem", spill_bytes as f64);
+    rt.complete_since(obs::names::SPAN_MERGE, obs::names::CAT_MPID_STAGE, t0, args);
+    rt.counter(
+        obs::names::CTR_MEM_FRAME_BYTES,
+        obs::names::CAT_MPID_MEM,
+        frame_high_water as f64,
+    );
+    rt.counter(
+        obs::names::CTR_MEM_FRAMES_DECODED,
+        obs::names::CAT_MPID_MEM,
+        stats.frames as f64,
+    );
+    rt.counter(
+        obs::names::CTR_MEM_SPILL_BYTES,
+        obs::names::CAT_MPID_MEM,
+        spill_bytes as f64,
+    );
 }
 
 /// Receive one DATA frame body: `Ok(None)` = end-of-stream marker, otherwise

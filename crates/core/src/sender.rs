@@ -368,8 +368,8 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
         if let (Some(ts), Some(now)) = (&mut self.trace, spill_start) {
             if let Some(b0) = ts.buffer_start.take() {
                 ts.rt.complete(
-                    "buffer",
-                    "mpid.stage",
+                    obs::names::SPAN_BUFFER,
+                    obs::names::CAT_MPID_STAGE,
                     b0,
                     now,
                     vec![
@@ -386,8 +386,8 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                 );
                 if ts.combine_ns > 0 {
                     ts.rt.complete(
-                        "combine",
-                        "mpid.stage",
+                        obs::names::SPAN_COMBINE,
+                        obs::names::CAT_MPID_STAGE,
                         now - ts.combine_ns.min(now - b0),
                         now,
                         Vec::new(),
@@ -503,8 +503,8 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
         let ship_start = if let (Some(ts), Some(t0)) = (&self.trace, spill_start) {
             let now = ts.rt.now_ns();
             ts.rt.complete(
-                "realign",
-                "mpid.stage",
+                obs::names::SPAN_REALIGN,
+                obs::names::CAT_MPID_STAGE,
                 t0,
                 now,
                 vec![
@@ -536,8 +536,8 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
         self.shipments = shipments;
         if let (Some(ts), Some(t0)) = (&mut self.trace, ship_start) {
             ts.rt.complete_since(
-                "ship",
-                "mpid.stage",
+                obs::names::SPAN_SHIP,
+                obs::names::CAT_MPID_STAGE,
                 t0,
                 vec![
                     ("spill", ArgValue::U64(self.stats.spills)),
@@ -552,17 +552,29 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
             ts.prev = self.stats.clone();
             // Memory-accounting samples, one set per spill: the profile's
             // high-water marks come from the max over these.
-            ts.rt
-                .counter("mpid.mem.table_bytes", "mpid.mem", table_bytes as f64);
-            ts.rt
-                .counter("mpid.mem.table_entries", "mpid.mem", table_entries as f64);
-            ts.rt
-                .counter("mpid.mem.spills", "mpid.mem", self.stats.spills as f64);
-            ts.rt
-                .counter("mpid.mem.wire_pool_hits", "mpid.mem", self.pool_hits as f64);
             ts.rt.counter(
-                "mpid.mem.wire_pool_misses",
-                "mpid.mem",
+                obs::names::CTR_MEM_TABLE_BYTES,
+                obs::names::CAT_MPID_MEM,
+                table_bytes as f64,
+            );
+            ts.rt.counter(
+                obs::names::CTR_MEM_TABLE_ENTRIES,
+                obs::names::CAT_MPID_MEM,
+                table_entries as f64,
+            );
+            ts.rt.counter(
+                obs::names::CTR_MEM_SPILLS,
+                obs::names::CAT_MPID_MEM,
+                self.stats.spills as f64,
+            );
+            ts.rt.counter(
+                obs::names::CTR_MEM_WIRE_POOL_HITS,
+                obs::names::CAT_MPID_MEM,
+                self.pool_hits as f64,
+            );
+            ts.rt.counter(
+                obs::names::CTR_MEM_WIRE_POOL_MISSES,
+                obs::names::CAT_MPID_MEM,
                 self.pool_misses as f64,
             );
         }
@@ -590,8 +602,8 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
         // sender life is recoverable from the trace without the struct.
         if let (Some(ts), Some(t0)) = (&self.trace, t0) {
             ts.rt.complete_since(
-                "sender_finish",
-                "mpid.stage",
+                obs::names::SPAN_SENDER_FINISH,
+                obs::names::CAT_MPID_STAGE,
                 t0,
                 vec![
                     ("pairs_in", ArgValue::U64(self.stats.pairs_in)),

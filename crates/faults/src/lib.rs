@@ -74,11 +74,11 @@ impl FaultKind {
     /// Short label used for trace instants (`faults.inject` category).
     pub fn label(&self) -> &'static str {
         match self {
-            FaultKind::NodeCrash => "node_crash",
-            FaultKind::DiskSlowdown { .. } => "disk_slowdown",
-            FaultKind::NicDegrade { .. } => "nic_degrade",
-            FaultKind::LinkPartition { .. } => "link_partition",
-            FaultKind::StragglerCpu { .. } => "straggler_cpu",
+            FaultKind::NodeCrash => obs::names::FAULT_NODE_CRASH,
+            FaultKind::DiskSlowdown { .. } => obs::names::FAULT_DISK_SLOWDOWN,
+            FaultKind::NicDegrade { .. } => obs::names::FAULT_NIC_DEGRADE,
+            FaultKind::LinkPartition { .. } => obs::names::FAULT_LINK_PARTITION,
+            FaultKind::StragglerCpu { .. } => obs::names::FAULT_STRAGGLER_CPU,
         }
     }
 }
@@ -378,7 +378,7 @@ impl FaultPlan {
                 e.host as u32,
                 0,
                 e.kind.label(),
-                "faults.inject",
+                obs::names::CAT_FAULTS_INJECT,
                 e.at.as_nanos(),
                 vec![("host", obs::ArgValue::U64(e.host as u64))],
             );

@@ -223,8 +223,8 @@ impl HadoopSim {
                 t.complete(
                     0,
                     0,
-                    "job_setup",
-                    "hadoop.job",
+                    obs::names::SPAN_JOB_SETUP,
+                    obs::names::CAT_HADOOP_JOB,
                     0,
                     sc.now().as_nanos(),
                     vec![],
@@ -360,15 +360,15 @@ impl HadoopSim {
             t.instant_args(
                 1 + w as u32,
                 0,
-                "worker_crash",
-                "faults.inject",
+                obs::names::INST_WORKER_CRASH,
+                obs::names::CAT_FAULTS_INJECT,
                 sc.now().as_nanos(),
                 vec![
                     ("flows_killed", ArgValue::U64(killed.len() as u64)),
                     ("maps_reexecuted", ArgValue::U64(s.report.maps_reexecuted)),
                 ],
             );
-            t.metrics().inc("hadoop.crashed_workers", 1);
+            t.metrics().inc(obs::names::M_HADOOP_CRASHED_WORKERS, 1);
         }
         // Reducers whose fetch died mid-flight retry against the surviving
         // copies (or park until the re-executed map republishes).
@@ -452,11 +452,12 @@ impl HadoopSim {
                                 t.instant(
                                     1 + worker as u32,
                                     m as u32,
-                                    "speculative_launch",
-                                    "hadoop.sched",
+                                    obs::names::INST_SPECULATIVE_LAUNCH,
+                                    obs::names::CAT_HADOOP_SCHED,
                                     sc.now().as_nanos(),
                                 );
-                                t.metrics().inc("hadoop.speculative_launched", 1);
+                                t.metrics()
+                                    .inc(obs::names::M_HADOOP_SPECULATIVE_LAUNCHED, 1);
                             }
                             Self::start_map(s, sc, m, worker);
                         }
@@ -595,8 +596,8 @@ impl HadoopSim {
                 t.instant(
                     1 + worker as u32,
                     m as u32,
-                    "speculative_wasted",
-                    "hadoop.sched",
+                    obs::names::INST_SPECULATIVE_WASTED,
+                    obs::names::CAT_HADOOP_SCHED,
                     sc.now().as_nanos(),
                 );
             }
@@ -612,11 +613,11 @@ impl HadoopSim {
                 t.instant(
                     1 + worker as u32,
                     m as u32,
-                    "map_attempt_failed",
-                    "hadoop.sched",
+                    obs::names::INST_MAP_ATTEMPT_FAILED,
+                    obs::names::CAT_HADOOP_SCHED,
                     sc.now().as_nanos(),
                 );
-                t.metrics().inc("hadoop.failed_map_attempts", 1);
+                t.metrics().inc(obs::names::M_HADOOP_FAILED_MAP_ATTEMPTS, 1);
             }
             if s.map_attempts[m] >= s.cfg.max_task_attempts {
                 s.report.job_failed = true;
@@ -642,8 +643,8 @@ impl HadoopSim {
             t.complete(
                 1 + worker as u32,
                 m as u32,
-                "map",
-                "hadoop.phase",
+                obs::names::SPAN_MAP,
+                obs::names::CAT_HADOOP_PHASE,
                 start.as_nanos(),
                 sc.now().as_nanos(),
                 vec![
@@ -653,14 +654,14 @@ impl HadoopSim {
             );
             t.counter(
                 0,
-                "hadoop.maps_done",
-                "hadoop",
+                obs::names::M_HADOOP_MAPS_DONE,
+                obs::names::CAT_HADOOP,
                 sc.now().as_nanos(),
                 s.maps_done as f64,
             );
-            t.metrics().inc("hadoop.maps_done", 1);
+            t.metrics().inc(obs::names::M_HADOOP_MAPS_DONE, 1);
             t.metrics().observe(
-                "hadoop.map_duration_ms",
+                obs::names::M_HADOOP_MAP_DURATION_MS,
                 (sc.now() - start).as_nanos() / 1_000_000,
             );
         }
@@ -776,13 +777,14 @@ impl HadoopSim {
             t.complete(
                 cs.host.0 as u32,
                 REDUCE_TID_BASE + r as u32,
-                "copy",
-                "hadoop.phase",
+                obs::names::SPAN_COPY,
+                obs::names::CAT_HADOOP_PHASE,
                 cs.copy_start.as_nanos(),
                 sc.now().as_nanos(),
                 vec![("shuffled_bytes", ArgValue::U64(shuffled))],
             );
-            t.metrics().inc("hadoop.shuffle_bytes", shuffled);
+            t.metrics()
+                .inc(obs::names::M_HADOOP_SHUFFLE_BYTES, shuffled);
         }
         // Sort/merge stage: in-memory if it fits the merge buffer (the
         // paper's ~0.01 s sorts), otherwise on-disk merge passes.
@@ -828,8 +830,8 @@ impl HadoopSim {
             t.complete(
                 host.0 as u32,
                 REDUCE_TID_BASE + r as u32,
-                "sort",
-                "hadoop.phase",
+                obs::names::SPAN_SORT,
+                obs::names::CAT_HADOOP_PHASE,
                 (reduce_start - sort).as_nanos(),
                 reduce_start.as_nanos(),
                 vec![],
@@ -863,20 +865,20 @@ impl HadoopSim {
                     t.complete(
                         host.0 as u32,
                         REDUCE_TID_BASE + r as u32,
-                        "reduce",
-                        "hadoop.phase",
+                        obs::names::SPAN_REDUCE,
+                        obs::names::CAT_HADOOP_PHASE,
                         reduce_start.as_nanos(),
                         sc.now().as_nanos(),
                         vec![("shuffled_bytes", ArgValue::U64(shuffled))],
                     );
                     t.counter(
                         0,
-                        "hadoop.reduces_done",
-                        "hadoop",
+                        obs::names::M_HADOOP_REDUCES_DONE,
+                        obs::names::CAT_HADOOP,
                         sc.now().as_nanos(),
                         s.reduces_done as f64,
                     );
-                    t.metrics().inc("hadoop.reduces_done", 1);
+                    t.metrics().inc(obs::names::M_HADOOP_REDUCES_DONE, 1);
                 }
                 if s.reduces_done == s.cfg.n_reduces {
                     let cleanup = s.cfg.job_cleanup;
@@ -884,7 +886,13 @@ impl HadoopSim {
                         s.finished = true;
                         s.report.makespan = sc.now();
                         if let Some(t) = &s.tracer {
-                            t.instant(0, 0, "job_finished", "hadoop.job", sc.now().as_nanos());
+                            t.instant(
+                                0,
+                                0,
+                                obs::names::INST_JOB_FINISHED,
+                                obs::names::CAT_HADOOP_JOB,
+                                sc.now().as_nanos(),
+                            );
                         }
                     });
                 }

@@ -132,8 +132,8 @@ impl SimMpidReport {
             .unwrap_or(SimTime::ZERO);
         vec![
             ("startup", SimTime::ZERO, map_start),
-            ("map", map_start, self.map_finish),
-            ("reduce_tail", self.map_finish, self.makespan),
+            (obs::names::SPAN_MAP, map_start, self.map_finish),
+            (obs::names::SPAN_REDUCE_TAIL, self.map_finish, self.makespan),
         ]
     }
 }
@@ -346,8 +346,8 @@ impl MpidSim {
                 t.complete(
                     my_host.0 as u32,
                     m as u32,
-                    "read",
-                    "mpid.phase",
+                    obs::names::SPAN_READ,
+                    obs::names::CAT_MPID_PHASE,
                     read_start,
                     sc.now().as_nanos(),
                     vec![("bytes", ArgValue::U64(bytes))],
@@ -392,8 +392,8 @@ impl MpidSim {
                         t.complete(
                             s.mapper_host[m].0 as u32,
                             m as u32,
-                            "map",
-                            "mpid.phase",
+                            obs::names::SPAN_MAP,
+                            obs::names::CAT_MPID_PHASE,
                             map_start,
                             sc.now().as_nanos(),
                             vec![("bytes", ArgValue::U64(bytes))],
@@ -442,8 +442,8 @@ impl MpidSim {
                         t.instant(
                             s.reducer_host[0].0 as u32,
                             0,
-                            "first_arrival",
-                            "mpid",
+                            obs::names::INST_FIRST_ARRIVAL,
+                            obs::names::CAT_MPID,
                             sc.now().as_nanos(),
                         );
                     }
@@ -459,8 +459,8 @@ impl MpidSim {
                         t.complete(
                             s.mapper_host[m].0 as u32,
                             m as u32,
-                            "ship",
-                            "mpid.phase",
+                            obs::names::SPAN_SHIP,
+                            obs::names::CAT_MPID_PHASE,
                             start.unwrap_or_else(|| sc.now().as_nanos()),
                             sc.now().as_nanos(),
                             vec![("shuffled_bytes", ArgValue::U64(bytes))],
@@ -488,12 +488,12 @@ impl MpidSim {
         if let Some(t) = &s.tracer {
             t.counter(
                 0,
-                "mpid.mappers_done",
-                "mpid",
+                obs::names::M_MPID_MAPPERS_DONE,
+                obs::names::CAT_MPID,
                 sc.now().as_nanos(),
                 s.mappers_done as f64,
             );
-            t.metrics().inc("mpid.mappers_done", 1);
+            t.metrics().inc(obs::names::M_MPID_MAPPERS_DONE, 1);
         }
         Self::maybe_finish(s, sc);
     }
@@ -528,13 +528,19 @@ impl MpidSim {
                         t.complete(
                             host.0 as u32,
                             u32::MAX,
-                            "reduce_tail",
-                            "mpid.phase",
+                            obs::names::SPAN_REDUCE_TAIL,
+                            obs::names::CAT_MPID_PHASE,
                             tail_start,
                             sc.now().as_nanos(),
                             vec![],
                         );
-                        t.instant(0, 0, "job_finished", "mpid", sc.now().as_nanos());
+                        t.instant(
+                            0,
+                            0,
+                            obs::names::INST_JOB_FINISHED,
+                            obs::names::CAT_MPID,
+                            sc.now().as_nanos(),
+                        );
                     }
                 });
             },
@@ -685,7 +691,13 @@ fn run_sim_mpid_ft_inner(
                 Some((at, host)) if at < report.makespan => {
                     let failed_at = at + MPI_DETECT;
                     if let Some(t) = &tracer {
-                        t.instant(0, 0, "job_failed", "mpid.checkpoint", failed_at.as_nanos());
+                        t.instant(
+                            0,
+                            0,
+                            obs::names::INST_JOB_FAILED,
+                            obs::names::CAT_MPID_CHECKPOINT,
+                            failed_at.as_nanos(),
+                        );
                     }
                     SimMpidFtReport {
                         outcome: FtOutcome::Failed {
@@ -758,7 +770,13 @@ fn run_sim_mpid_ft_inner(
                 elapsed = at + MPI_DETECT + cfg.startup;
                 crash_pending = None;
                 if let Some(t) = &tracer {
-                    t.instant(0, 0, "restart", "mpid.checkpoint", elapsed.as_nanos());
+                    t.instant(
+                        0,
+                        0,
+                        obs::names::INST_RESTART,
+                        obs::names::CAT_MPID_CHECKPOINT,
+                        elapsed.as_nanos(),
+                    );
                 }
                 continue;
             }
@@ -768,7 +786,13 @@ fn run_sim_mpid_ft_inner(
         report.supersteps += 1;
         split += chunk;
         if let Some(t) = &tracer {
-            t.instant(0, 0, "checkpoint", "mpid.checkpoint", elapsed.as_nanos());
+            t.instant(
+                0,
+                0,
+                obs::names::INST_CHECKPOINT,
+                obs::names::CAT_MPID_CHECKPOINT,
+                elapsed.as_nanos(),
+            );
         }
     }
     report.outcome = FtOutcome::Completed { makespan: elapsed };

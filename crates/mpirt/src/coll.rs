@@ -72,7 +72,7 @@ impl Comm {
         let _label = self.coll_enter(CollSig::plain("barrier"))?;
         let t0 = self.trace_start();
         let out = self.barrier_inner();
-        self.trace_coll("barrier", t0);
+        self.trace_coll(obs::names::MPI_BARRIER, t0);
         out
     }
 
@@ -103,7 +103,7 @@ impl Comm {
         })?;
         let t0 = self.trace_start();
         let out = self.bcast_inner(root, buf);
-        self.trace_coll("bcast", t0);
+        self.trace_coll(obs::names::MPI_BCAST, t0);
         out
     }
 
@@ -155,7 +155,7 @@ impl Comm {
         })?;
         let t0 = self.trace_start();
         let out = self.reduce_inner(root, sendbuf, op);
-        self.trace_coll("reduce", t0);
+        self.trace_coll(obs::names::SPAN_REDUCE, t0);
         out
     }
 
@@ -221,7 +221,7 @@ impl Comm {
             self.bcast_inner(0, &mut buf)?;
             Ok(buf)
         })();
-        self.trace_coll("allreduce", t0);
+        self.trace_coll(obs::names::MPI_ALLREDUCE, t0);
         out
     }
 
@@ -236,7 +236,7 @@ impl Comm {
         })?;
         let t0 = self.trace_start();
         let out = self.gather_inner(root, sendbuf);
-        self.trace_coll("gather", t0);
+        self.trace_coll(obs::names::MPI_GATHER, t0);
         out
     }
 
@@ -275,7 +275,7 @@ impl Comm {
         })?;
         let t0 = self.trace_start();
         let out = self.allgather_inner(sendbuf);
-        self.trace_coll("allgather", t0);
+        self.trace_coll(obs::names::MPI_ALLGATHER, t0);
         out
     }
 
@@ -320,7 +320,7 @@ impl Comm {
         })?;
         let t0 = self.trace_start();
         let out = self.scatter_inner(root, chunks);
-        self.trace_coll("scatter", t0);
+        self.trace_coll(obs::names::MPI_SCATTER, t0);
         out
     }
 
@@ -369,7 +369,7 @@ impl Comm {
         })?;
         let t0 = self.trace_start();
         let out = self.alltoall_inner(send);
-        self.trace_coll("alltoall", t0);
+        self.trace_coll(obs::names::MPI_ALLTOALL, t0);
         out
     }
 
@@ -415,7 +415,7 @@ impl Comm {
         })?;
         let t0 = self.trace_start();
         let out = self.reduce_scatter_inner(sendbuf, block, op);
-        self.trace_coll("reduce_scatter", t0);
+        self.trace_coll(obs::names::MPI_REDUCE_SCATTER, t0);
         out
     }
 
@@ -456,7 +456,7 @@ impl Comm {
         })?;
         let t0 = self.trace_start();
         let out = self.exscan_inner(sendbuf, op);
-        self.trace_coll("exscan", t0);
+        self.trace_coll(obs::names::MPI_EXSCAN, t0);
         out
     }
 
@@ -493,7 +493,7 @@ impl Comm {
         })?;
         let t0 = self.trace_start();
         let out = self.scan_inner(sendbuf, op);
-        self.trace_coll("scan", t0);
+        self.trace_coll(obs::names::MPI_SCAN, t0);
         out
     }
 
@@ -524,7 +524,7 @@ impl Comm {
         let _label = self.coll_enter(CollSig::plain("split"))?;
         let t0 = self.trace_start();
         let out = self.split_inner(color, key);
-        self.trace_coll("split", t0);
+        self.trace_coll(obs::names::MPI_SPLIT, t0);
         out
     }
 
@@ -579,7 +579,7 @@ impl Comm {
             coll_seq: std::cell::Cell::new(0),
             trace: self.trace.clone(),
         };
-        self.trace_coll("dup", t0);
+        self.trace_coll(obs::names::MPI_DUP, t0);
         Ok(out)
     }
 }

@@ -159,7 +159,7 @@ impl Comm {
         if let (Some(t), Some(start)) = (&self.trace, start) {
             t.complete_since(
                 name,
-                "mpi.coll",
+                obs::names::CAT_MPI_COLL,
                 start,
                 vec![("size", ArgValue::U64(self.size() as u64))],
             );
@@ -172,7 +172,7 @@ impl Comm {
         if let (Some(t), Some(start)) = (&self.trace, start) {
             t.complete_since(
                 name,
-                "mpi.p2p",
+                obs::names::CAT_MPI_P2P,
                 start,
                 vec![
                     ("peer", ArgValue::I64(peer)),
@@ -415,7 +415,7 @@ impl Comm {
         let bytes = T::to_bytes(data);
         let len = bytes.len() as u64;
         let out = self.send_bytes_internal(dst, tag, bytes, Some(wire_sig::<T>(data)));
-        self.trace_p2p("send", start, dst as i64, tag, len);
+        self.trace_p2p(obs::names::MPI_SEND, start, dst as i64, tag, len);
         out
     }
 
@@ -432,7 +432,13 @@ impl Comm {
         let start = self.trace_start();
         let out = self.recv_internal(src, tag);
         if let Ok((_, st)) = &out {
-            self.trace_p2p("recv", start, st.source as i64, st.tag, st.bytes as u64);
+            self.trace_p2p(
+                obs::names::MPI_RECV,
+                start,
+                st.source as i64,
+                st.tag,
+                st.bytes as u64,
+            );
         }
         out
     }
@@ -455,7 +461,13 @@ impl Comm {
         let start = self.trace_start();
         let out = self.recv_timeout_inner(src, tag, timeout);
         if let Ok((_, st)) = &out {
-            self.trace_p2p("recv", start, st.source as i64, st.tag, st.bytes as u64);
+            self.trace_p2p(
+                obs::names::MPI_RECV,
+                start,
+                st.source as i64,
+                st.tag,
+                st.bytes as u64,
+            );
         }
         out
     }
@@ -480,7 +492,7 @@ impl Comm {
             count: len,
         };
         let out = self.send_bytes_internal(dst, tag, data, Some(sig));
-        self.trace_p2p("send", start, dst as i64, tag, len as u64);
+        self.trace_p2p(obs::names::MPI_SEND, start, dst as i64, tag, len as u64);
         out
     }
 
@@ -495,7 +507,7 @@ impl Comm {
             count: len,
         };
         let out = self.isend_bytes_internal(dst, tag, data, Some(sig));
-        self.trace_p2p("isend", start, dst as i64, tag, len as u64);
+        self.trace_p2p(obs::names::MPI_ISEND, start, dst as i64, tag, len as u64);
         out
     }
 
@@ -529,7 +541,13 @@ impl Comm {
             (bytes, status)
         });
         if let Ok((_, st)) = &out {
-            self.trace_p2p("recv", start, st.source as i64, st.tag, st.bytes as u64);
+            self.trace_p2p(
+                obs::names::MPI_RECV,
+                start,
+                st.source as i64,
+                st.tag,
+                st.bytes as u64,
+            );
         }
         out
     }
@@ -620,7 +638,7 @@ impl Comm {
                 sig: Some(wire_sig::<T>(data)),
             })
             .map_err(|_| MpiError::PeerGone { rank: dst });
-        self.trace_p2p("bsend", start, dst as i64, tag, len);
+        self.trace_p2p(obs::names::MPI_BSEND, start, dst as i64, tag, len);
         out
     }
 
@@ -633,7 +651,7 @@ impl Comm {
         let bytes = T::to_bytes(data);
         let len = bytes.len() as u64;
         let out = self.isend_bytes_internal(dst, tag, bytes, Some(wire_sig::<T>(data)));
-        self.trace_p2p("isend", start, dst as i64, tag, len);
+        self.trace_p2p(obs::names::MPI_ISEND, start, dst as i64, tag, len);
         out
     }
 

@@ -233,7 +233,7 @@ impl Universe {
                 let ts = clock.now_ns();
                 for finding in &report.findings {
                     let mut buf = obs::TraceBuffer::new(finding_lane(finding) as u32, 0);
-                    buf.instant(format!("{finding}"), "mpi.verify", ts);
+                    buf.instant(format!("{finding}"), obs::names::CAT_MPI_VERIFY, ts);
                     sink.absorb(buf);
                 }
             }

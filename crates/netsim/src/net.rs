@@ -17,11 +17,11 @@ struct FlowMeta {
 
 fn route_meta(route: &Route) -> (&'static str, usize) {
     match route {
-        Route::HostToHost { src, .. } => ("xfer", src.0),
-        Route::Loopback(h) => ("loopback", h.0),
-        Route::DiskRead(h) => ("disk_read", h.0),
-        Route::DiskWrite(h) => ("disk_write", h.0),
-        Route::RemoteRead { from, .. } => ("remote_read", from.0),
+        Route::HostToHost { src, .. } => (obs::names::FLOW_XFER, src.0),
+        Route::Loopback(h) => (obs::names::FLOW_LOOPBACK, h.0),
+        Route::DiskRead(h) => (obs::names::FLOW_DISK_READ, h.0),
+        Route::DiskWrite(h) => (obs::names::FLOW_DISK_WRITE, h.0),
+        Route::RemoteRead { from, .. } => (obs::names::FLOW_REMOTE_READ, from.0),
     }
 }
 
@@ -134,21 +134,23 @@ impl<S: HasNet> Net<S> {
         let ts = now.as_nanos();
         t.counter(
             0,
-            "net.active_flows",
-            "net",
+            obs::names::CTR_NET_ACTIVE_FLOWS,
+            obs::names::CAT_NET,
             ts,
             self.fluid.active_flows() as f64,
         );
-        t.instant(0, 0, "realloc", "net", ts);
-        t.metrics().inc("net.reallocs", 1);
+        t.instant(0, 0, obs::names::INST_REALLOC, obs::names::CAT_NET, ts);
+        t.metrics().inc(obs::names::M_NET_REALLOCS, 1);
         let stats = self.fluid.stats();
         let d = stats.delta_since(&self.published_stats);
-        t.metrics().inc("net.solver.recomputes", d.recomputes);
         t.metrics()
-            .inc("net.solver.full_recomputes", d.full_recomputes);
+            .inc(obs::names::M_NET_SOLVER_RECOMPUTES, d.recomputes);
         t.metrics()
-            .inc("net.solver.resources_swept", d.resources_swept);
-        t.metrics().inc("net.solver.flows_rerated", d.flows_rerated);
+            .inc(obs::names::M_NET_SOLVER_FULL_RECOMPUTES, d.full_recomputes);
+        t.metrics()
+            .inc(obs::names::M_NET_SOLVER_RESOURCES_SWEPT, d.resources_swept);
+        t.metrics()
+            .inc(obs::names::M_NET_SOLVER_FLOWS_RERATED, d.flows_rerated);
         self.published_stats = stats;
         if let Some(every) = self.util_every {
             let due = match self.last_util_sample {
@@ -159,9 +161,9 @@ impl<S: HasNet> Net<S> {
                 self.last_util_sample = Some(now);
                 for h in self.cluster.host_ids() {
                     for (name, rid) in [
-                        ("net.util.up", self.cluster.uplink(h)),
-                        ("net.util.down", self.cluster.downlink(h)),
-                        ("net.util.disk", self.cluster.disk(h)),
+                        (obs::names::CTR_UTIL_UP, self.cluster.uplink(h)),
+                        (obs::names::CTR_UTIL_DOWN, self.cluster.downlink(h)),
+                        (obs::names::CTR_UTIL_DISK, self.cluster.disk(h)),
                     ] {
                         let cap = self.fluid.capacity(rid);
                         let frac = if cap > 0.0 {
@@ -171,7 +173,7 @@ impl<S: HasNet> Net<S> {
                         } else {
                             0.0
                         };
-                        t.counter(h.0 as u32, name, "net.util", ts, frac);
+                        t.counter(h.0 as u32, name, obs::names::CAT_NET_UTIL, ts, frac);
                     }
                 }
             }
@@ -262,11 +264,11 @@ impl<S: HasNet> Net<S> {
                 t.instant(
                     meta.host as u32,
                     id.0 as u32,
-                    "flow_cancelled",
-                    "net.flow",
+                    obs::names::INST_FLOW_CANCELLED,
+                    obs::names::CAT_NET_FLOW,
                     sched.now().as_nanos(),
                 );
-                t.metrics().inc("net.flows_cancelled", 1);
+                t.metrics().inc(obs::names::M_NET_FLOWS_CANCELLED, 1);
             }
             net.trace_flow_change(sched.now());
         }
@@ -297,13 +299,14 @@ impl<S: HasNet> Net<S> {
                         meta.host as u32,
                         id.0 as u32,
                         meta.kind,
-                        "net.flow",
+                        obs::names::CAT_NET_FLOW,
                         meta.start_ns,
                         now.as_nanos(),
                         vec![("bytes", ArgValue::U64(meta.bytes))],
                     );
-                    t.metrics().inc("net.flows_completed", 1);
-                    t.metrics().observe("net.flow_bytes", meta.bytes);
+                    t.metrics().inc(obs::names::M_NET_FLOWS_COMPLETED, 1);
+                    t.metrics()
+                        .observe(obs::names::M_NET_FLOW_BYTES, meta.bytes);
                 }
             }
             net.flows_completed += 1;
@@ -377,8 +380,8 @@ impl<S: HasNet> Net<S> {
                     t.instant(
                         meta.host as u32,
                         id.0 as u32,
-                        "flow_killed",
-                        "net.flow",
+                        obs::names::INST_FLOW_KILLED,
+                        obs::names::CAT_NET_FLOW,
                         sched.now().as_nanos(),
                     );
                 }
@@ -389,12 +392,12 @@ impl<S: HasNet> Net<S> {
             t.instant_args(
                 h.0 as u32,
                 0,
-                "node_crash",
-                "faults.inject",
+                obs::names::FAULT_NODE_CRASH,
+                obs::names::CAT_FAULTS_INJECT,
                 sched.now().as_nanos(),
                 vec![("flows_killed", ArgValue::U64(ids.len() as u64))],
             );
-            t.metrics().inc("net.hosts_failed", 1);
+            t.metrics().inc(obs::names::M_NET_HOSTS_FAILED, 1);
         }
         net.trace_flow_change(sched.now());
         Self::arm_timer(state, sched);
@@ -417,8 +420,8 @@ impl<S: HasNet> Net<S> {
             t.instant_args(
                 h.0 as u32,
                 0,
-                "nic_degrade",
-                "faults.inject",
+                obs::names::FAULT_NIC_DEGRADE,
+                obs::names::CAT_FAULTS_INJECT,
                 sched.now().as_nanos(),
                 vec![("factor", ArgValue::F64(factor))],
             );
@@ -440,8 +443,8 @@ impl<S: HasNet> Net<S> {
             t.instant_args(
                 h.0 as u32,
                 0,
-                "disk_slowdown",
-                "faults.inject",
+                obs::names::FAULT_DISK_SLOWDOWN,
+                obs::names::CAT_FAULTS_INJECT,
                 sched.now().as_nanos(),
                 vec![("factor", ArgValue::F64(factor))],
             );
@@ -472,8 +475,8 @@ impl<S: HasNet> Net<S> {
             t.instant_args(
                 a.0 as u32,
                 0,
-                "link_partition",
-                "faults.inject",
+                obs::names::FAULT_LINK_PARTITION,
+                obs::names::CAT_FAULTS_INJECT,
                 sched.now().as_nanos(),
                 vec![
                     ("peer", ArgValue::U64(b.0 as u64)),
@@ -514,8 +517,8 @@ impl<S: HasNet> Net<S> {
             t.instant_args(
                 a.0 as u32,
                 0,
-                "link_heal",
-                "faults.inject",
+                obs::names::FAULT_LINK_HEAL,
+                obs::names::CAT_FAULTS_INJECT,
                 sched.now().as_nanos(),
                 vec![
                     ("peer", ArgValue::U64(b.0 as u64)),

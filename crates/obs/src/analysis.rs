@@ -27,17 +27,15 @@
 //! (schema `mpid-profile/1`) consumed by `cargo xtask trace-diff`.
 
 use crate::metrics::Metrics;
-use crate::{Phase, Trace};
+use crate::{names, Phase, Trace};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Span categories that represent *work* (as opposed to resource occupancy
-/// like `net.flow`, or markers like `faults.inject`).
+/// like `net.flow`, or markers like `faults.inject`). The tables live in
+/// [`crate::names`], next to the constants the emitters use.
 fn is_work_cat(cat: &str) -> bool {
-    matches!(
-        cat,
-        "mpid.phase" | "hadoop.phase" | "mpid.stage" | "hadoop.job"
-    ) || cat.starts_with("mpi.")
+    names::WORK_CATS.contains(&cat) || cat.starts_with(names::CAT_MPI_PREFIX)
 }
 
 /// One span on the critical path.
@@ -244,22 +242,21 @@ impl RunProfile {
                 Phase::Complete { dur_ns } => {
                     if is_work_cat(ev.cat) {
                         work.push(ev);
-                    } else if ev.cat == "net.flow" {
+                    } else if ev.cat == names::CAT_NET_FLOW {
                         let iv = (ev.ts_ns, ev.ts_ns + dur_ns);
-                        match ev.name.as_ref() {
-                            "disk_read" | "disk_write" => {
-                                disk_ivs.entry(ev.pid).or_default().push(iv)
-                            }
-                            "xfer" | "remote_read" | "loopback" => {
-                                net_ivs.entry(ev.pid).or_default().push(iv)
-                            }
-                            _ => {}
+                        let name = ev.name.as_ref();
+                        if names::DISK_FLOW_SPANS.contains(&name) {
+                            disk_ivs.entry(ev.pid).or_default().push(iv)
+                        } else if names::NET_FLOW_SPANS.contains(&name) {
+                            net_ivs.entry(ev.pid).or_default().push(iv)
                         }
                     }
                 }
                 Phase::Counter { value } => {
                     let name = ev.name.as_ref();
-                    if name.starts_with("mpid.mem.") || name.starts_with("net.util.") {
+                    if name.starts_with(names::MEM_COUNTER_PREFIX)
+                        || name.starts_with(names::UTIL_COUNTER_PREFIX)
+                    {
                         streams
                             .entry((name.to_string(), ev.pid, ev.tid))
                             .or_default()
@@ -293,8 +290,8 @@ impl RunProfile {
             overlap: overlap_stats(&work),
             critical_path: critical_path(&work, wall_ns),
             attribution: attribute(&work, &disk, &net_only),
-            memory: counter_stats(&streams, "mpid.mem."),
-            utilization: counter_stats(&streams, "net.util."),
+            memory: counter_stats(&streams, names::MEM_COUNTER_PREFIX),
+            utilization: counter_stats(&streams, names::UTIL_COUNTER_PREFIX),
             counters: metrics
                 .map(|m| {
                     m.counters()
@@ -643,10 +640,11 @@ fn overlap_stats(work: &[&crate::Event]) -> OverlapStats {
     let mut shuffle: BTreeMap<(u32, u32), Vec<Iv>> = BTreeMap::new();
     for ev in work {
         let iv = (ev.ts_ns, ev.end_ns());
-        match ev.name.as_ref() {
-            "map" => map.entry((ev.pid, ev.tid)).or_default().push(iv),
-            "ship" | "copy" => shuffle.entry((ev.pid, ev.tid)).or_default().push(iv),
-            _ => {}
+        let name = ev.name.as_ref();
+        if name == names::SPAN_MAP {
+            map.entry((ev.pid, ev.tid)).or_default().push(iv);
+        } else if names::SHUFFLE_SPANS.contains(&name) {
+            shuffle.entry((ev.pid, ev.tid)).or_default().push(iv);
         }
     }
     let (mut map_ns, mut shuffle_ns, mut overlap_ns) = (0u64, 0u64, 0u64);
@@ -676,10 +674,7 @@ fn overlap_stats(work: &[&crate::Event]) -> OverlapStats {
 /// than local computation: they only make progress when a peer sends,
 /// acknowledges, or drains data.
 fn blocks_on_peer(name: &str) -> bool {
-    matches!(
-        name,
-        "ship" | "copy" | "merge" | "reduce_tail" | "sender_finish"
-    )
+    names::BLOCKS_ON_PEER_SPANS.contains(&name)
 }
 
 /// Classify every work span's self-time against its host's resource

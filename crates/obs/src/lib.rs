@@ -40,6 +40,7 @@
 pub mod analysis;
 pub mod chrome;
 pub mod metrics;
+pub mod names;
 pub mod quantile;
 pub mod report;
 

@@ -2,7 +2,7 @@
 //! scheduler queue depth and executed-event counters into the trace, and
 //! mirrors totals into the metrics registry.
 
-use crate::Tracer;
+use crate::{names, Tracer};
 use desim::{EventId, SchedProbe, SimTime};
 
 /// Bridges [`desim::Scheduler`] events into a trace as `"desim.pending"` /
@@ -42,23 +42,33 @@ impl SchedTraceProbe {
 impl SchedProbe for SchedTraceProbe {
     fn on_schedule(&mut self, _now: SimTime, _at: SimTime, _id: EventId) {
         self.scheduled += 1;
-        self.tracer.metrics().inc("desim.scheduled", 1);
+        self.tracer.metrics().inc(names::M_DESIM_SCHEDULED, 1);
     }
 
     fn on_cancel(&mut self, _now: SimTime, _id: EventId) {
         self.cancelled += 1;
-        self.tracer.metrics().inc("desim.cancelled", 1);
+        self.tracer.metrics().inc(names::M_DESIM_CANCELLED, 1);
     }
 
     fn on_execute(&mut self, at: SimTime, _id: EventId, pending: usize) {
         self.executed += 1;
-        self.tracer.metrics().inc("desim.executed", 1);
+        self.tracer.metrics().inc(names::M_DESIM_EXECUTED, 1);
         if self.executed.is_multiple_of(self.sample_every) {
             let ts = at.as_nanos();
-            self.tracer
-                .counter(0, "desim.pending", "desim", ts, pending as f64);
-            self.tracer
-                .counter(0, "desim.executed", "desim", ts, self.executed as f64);
+            self.tracer.counter(
+                0,
+                names::CTR_DESIM_PENDING,
+                names::CAT_DESIM,
+                ts,
+                pending as f64,
+            );
+            self.tracer.counter(
+                0,
+                names::CTR_DESIM_EXECUTED,
+                names::CAT_DESIM,
+                ts,
+                self.executed as f64,
+            );
         }
     }
 }

@@ -1,102 +1,50 @@
 //! `cargo xtask` — workspace automation.
 //!
-//! The one subcommand so far is `lint`: a determinism pass over the
-//! simulation crates. The whole reproduction rests on simulations being
-//! replayable — same seed, same virtual-time schedule, same report — so
-//! sources of real-world nondeterminism are banned from simulation code:
-//!
-//! * wall-clock reads (`std::time::Instant`, `SystemTime::now`) — sim code
-//!   must use virtual time from the `desim` scheduler;
-//! * ambient RNGs (`thread_rng`, `rand::random`) — randomness must come
-//!   from an explicitly seeded generator;
-//! * iteration-order-dependent hash collections (`HashMap`, `HashSet`,
-//!   `RandomState`) — per-process hash seeding makes iteration order (and
-//!   anything derived from it) vary run to run; `BTreeMap`/`BTreeSet`
-//!   iterate in key order.
-//!
-//! Genuinely harmless uses go in `crates/xtask/determinism-allow.txt`
-//! (`<path-suffix>:<token>` per line), which keeps every exception visible
-//! and reviewed in one place.
-//!
-//! `bench-diff` (see [`bench_diff`]) compares two `BENCH.json` perf reports
-//! and fails on wall-clock regressions; CI runs it against the committed
-//! `BENCH_BASELINE.json`.
-//!
-//! `trace-diff` (see [`trace_diff`]) compares two `mpid-profile/1` run
-//! profiles (written by `perf --profile`) and prints a ranked
-//! "what changed" table; CI runs it against the committed
-//! `PROFILE_BASELINE.json` as an advisory triage step.
+//! * `analyze [--json <path>] [--pass <name>]…` — token-level static
+//!   analysis (see [`analyze`] and [`passes`]): a lossless Rust lexer
+//!   ([`lexer`]) feeds four passes — `determinism` (banned
+//!   nondeterminism in the simulation crates), `telemetry` (every
+//!   span/counter name must exist in `crates/obs/src/names.rs`, and the
+//!   committed baselines must only reference registered names),
+//!   `hotpath` (no panics/allocation in the manifest-declared hot
+//!   modules), and `blocking` (no untimed waits in `mpi-rt`). Findings
+//!   can be suppressed by reviewed allowlist entries; stale entries are
+//!   themselves findings.
+//! * `lint` — alias for `analyze --pass determinism`, kept for
+//!   muscle memory and the legacy `determinism-allow.txt` workflow.
+//! * `bench-diff` (see [`bench_diff`]) compares two `BENCH.json` perf
+//!   reports and fails on wall-clock regressions; CI runs it against the
+//!   committed `BENCH_BASELINE.json`.
+//! * `trace-diff` (see [`trace_diff`]) compares two `mpid-profile/1` run
+//!   profiles and prints a ranked "what changed" table; CI runs it
+//!   against the committed `PROFILE_BASELINE.json` as advisory triage.
 
+mod analyze;
 mod bench_diff;
+mod lexer;
+mod passes;
 mod trace_diff;
+
+#[cfg(test)]
+mod fixture_tests;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Crates whose `src/` trees must stay deterministic. The runtime crates
-/// (`mpi-rt`, `obs`, `transports`, `bench`) legitimately read wall clocks —
-/// they measure real execution — so only the simulation substrate is linted,
-/// plus `xtask` itself (its exceptions — the banned-token table — are
-/// allowlisted, keeping the lint honest about its own sources).
-const LINTED_CRATES: &[&str] = &["desim", "netsim", "hadoop", "mapred", "faults", "xtask"];
-
-/// Banned token → why it breaks replayability.
-const BANNED: &[(&str, &str)] = &[
-    (
-        "std::time::Instant",
-        "wall-clock read; use the desim scheduler's virtual time",
-    ),
-    (
-        "Instant::now",
-        "wall-clock read; use the desim scheduler's virtual time",
-    ),
-    (
-        "SystemTime",
-        "wall-clock read; use the desim scheduler's virtual time",
-    ),
-    (
-        "thread_rng",
-        "ambient RNG; use an explicitly seeded generator",
-    ),
-    (
-        "rand::random",
-        "ambient RNG; use an explicitly seeded generator",
-    ),
-    (
-        "HashMap",
-        "iteration order varies per process; use BTreeMap",
-    ),
-    (
-        "HashSet",
-        "iteration order varies per process; use BTreeSet",
-    ),
-    (
-        "RandomState",
-        "per-process hash seeding; use an ordered collection",
-    ),
-];
-
-struct Violation {
-    file: PathBuf,
-    line_no: usize,
-    token: &'static str,
-    why: &'static str,
-    line: String,
-}
-
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("lint") => lint(),
-        Some("bench-diff") => match (args.next(), args.next()) {
-            (Some(old), Some(new)) => bench_diff::bench_diff(&old, &new),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze::cli(&args[1..], None),
+        Some("lint") => analyze::cli(&args[1..], Some(&["determinism".to_string()])),
+        Some("bench-diff") => match (args.get(1), args.get(2)) {
+            (Some(old), Some(new)) => bench_diff::bench_diff(old, new),
             _ => {
                 eprintln!("usage: cargo xtask bench-diff <old BENCH.json> <new BENCH.json>");
                 ExitCode::FAILURE
             }
         },
-        Some("trace-diff") => match (args.next(), args.next()) {
-            (Some(a), Some(b)) => trace_diff::trace_diff(&a, &b),
+        Some("trace-diff") => match (args.get(1), args.get(2)) {
+            (Some(a), Some(b)) => trace_diff::trace_diff(a, b),
             _ => {
                 eprintln!("usage: cargo xtask trace-diff <a.profile.json> <b.profile.json>");
                 ExitCode::FAILURE
@@ -104,116 +52,25 @@ fn main() -> ExitCode {
         },
         Some(other) => {
             eprintln!("unknown xtask subcommand: {other}");
-            eprintln!("usage: cargo xtask lint | bench-diff <old> <new> | trace-diff <a> <b>");
+            usage();
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint | bench-diff <old> <new> | trace-diff <a> <b>");
+            usage();
             ExitCode::FAILURE
         }
     }
 }
 
-fn lint() -> ExitCode {
-    let root = workspace_root();
-    let allow = load_allowlist(&root.join("crates/xtask/determinism-allow.txt"));
-
-    let mut violations = Vec::new();
-    let mut files = 0usize;
-    for krate in LINTED_CRATES {
-        let src = root.join("crates").join(krate).join("src");
-        for file in rust_files(&src) {
-            files += 1;
-            scan_file(&file, &allow, &root, &mut violations);
-        }
-    }
-
-    if violations.is_empty() {
-        println!(
-            "determinism lint: {} files across {:?} clean",
-            files, LINTED_CRATES
-        );
-        return ExitCode::SUCCESS;
-    }
-    for v in &violations {
-        eprintln!(
-            "{}:{}: `{}` — {}\n    {}",
-            v.file.display(),
-            v.line_no,
-            v.token,
-            v.why,
-            v.line.trim()
-        );
-    }
-    eprintln!();
+fn usage() {
     eprintln!(
-        "determinism lint: {} violation(s) in {} file(s) scanned",
-        violations.len(),
-        files
+        "usage: cargo xtask analyze [--json <path>] [--pass <name>]... \
+         | lint | bench-diff <old> <new> | trace-diff <a> <b>"
     );
-    eprintln!(
-        "fix the source of nondeterminism, or allowlist a reviewed exception in \
-         crates/xtask/determinism-allow.txt (`<path-suffix>:<token>`)"
-    );
-    ExitCode::FAILURE
 }
 
-fn scan_file(file: &Path, allow: &[(String, String)], root: &Path, out: &mut Vec<Violation>) {
-    let text = match std::fs::read_to_string(file) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("warning: could not read {}: {e}", file.display());
-            return;
-        }
-    };
-    let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
-    let rel_str = rel.to_string_lossy().replace('\\', "/");
-    for (idx, line) in text.lines().enumerate() {
-        // Comments and doc text may name the banned APIs freely.
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("//") {
-            continue;
-        }
-        // Strip a trailing line comment so `code() // HashMap would race`
-        // doesn't trip on the explanation.
-        let code = line.split("//").next().unwrap_or(line);
-        for &(token, why) in BANNED {
-            if !code.contains(token) {
-                continue;
-            }
-            let allowed = allow
-                .iter()
-                .any(|(suffix, tok)| tok == token && rel_str.ends_with(suffix.as_str()));
-            if allowed {
-                continue;
-            }
-            out.push(Violation {
-                file: rel.clone(),
-                line_no: idx + 1,
-                token,
-                why,
-                line: line.to_string(),
-            });
-        }
-    }
-}
-
-/// Allowlist entries: `<path-suffix>:<token>`, one per line, `#` comments.
-fn load_allowlist(path: &Path) -> Vec<(String, String)> {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
-    };
-    text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .filter_map(|l| {
-            let (suffix, token) = l.split_once(':')?;
-            Some((suffix.trim().to_string(), token.trim().to_string()))
-        })
-        .collect()
-}
-
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
+/// All `.rs` files under `dir`, recursively, sorted.
+pub(crate) fn rust_files(dir: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let mut stack = vec![dir.to_path_buf()];
     while let Some(d) = stack.pop() {
@@ -236,7 +93,7 @@ fn rust_files(dir: &Path) -> Vec<PathBuf> {
 /// `cargo xtask` runs from the workspace root; `cargo run -p xtask` can run
 /// from anywhere inside it — walk up to the directory holding the
 /// workspace's `Cargo.toml`.
-fn workspace_root() -> PathBuf {
+pub(crate) fn workspace_root() -> PathBuf {
     let mut dir = std::env::current_dir().expect("cwd");
     loop {
         if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
@@ -245,46 +102,5 @@ fn workspace_root() -> PathBuf {
         if !dir.pop() {
             panic!("could not locate workspace root (no Cargo.toml with crates/ found)");
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn allowlist_parsing_ignores_comments_and_blanks() {
-        let dir = std::env::temp_dir().join("xtask-allow-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("allow.txt");
-        std::fs::write(&path, "# comment\n\nfoo/bar.rs: HashMap\n").unwrap();
-        let allow = load_allowlist(&path);
-        assert_eq!(
-            allow,
-            vec![("foo/bar.rs".to_string(), "HashMap".to_string())]
-        );
-        let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
-    fn linted_crates_are_currently_clean() {
-        // The lint is wired into CI as a required job; this test keeps
-        // `cargo test` failing at the same commit CI would.
-        let root = workspace_root();
-        let allow = load_allowlist(&root.join("crates/xtask/determinism-allow.txt"));
-        let mut violations = Vec::new();
-        for krate in LINTED_CRATES {
-            for file in rust_files(&root.join("crates").join(krate).join("src")) {
-                scan_file(&file, &allow, &root, &mut violations);
-            }
-        }
-        assert!(
-            violations.is_empty(),
-            "determinism violations: {:?}",
-            violations
-                .iter()
-                .map(|v| format!("{}:{} `{}`", v.file.display(), v.line_no, v.token))
-                .collect::<Vec<_>>()
-        );
     }
 }

@@ -1,0 +1,63 @@
+//! Blocking-call pass: in `mpi-rt`, flag untimed blocking waits that
+//! bypass the timeout-carrying APIs.
+//!
+//! The runtime exposes `recv_timeout` / `recv_bytes_timeout` /
+//! `wait_timeout` / `wait_taken_timeout` / `probe_timeout` so callers (and
+//! the deadlock verifier) can bound every wait. An untimed wait is a
+//! potential infinite hang that the verifier cannot attribute: a process
+//! stuck in `slot.wait()` looks identical to a scheduled-but-slow peer.
+//! New call sites should thread a deadline; the deliberate fast-path
+//! primitives (the condvar loops *implementing* the timed waits, and the
+//! verify-off paths that accept hangs to avoid polling overhead) are
+//! reviewed allowlist entries (`blocking:<path-suffix>:<token>`).
+
+use crate::analyze::{token_matches, Finding, Pass, Workspace};
+
+/// Untimed blocking token → why it is suspect.
+pub const UNTIMED: &[(&str, &str)] = &[
+    (
+        ".wait()",
+        "untimed blocking wait; use the *_timeout variant so hangs become \
+         attributable timeouts",
+    ),
+    (
+        ".wait_taken()",
+        "untimed rendezvous wait; use wait_taken_timeout so hangs become \
+         attributable timeouts",
+    ),
+    (
+        ".wait(&mut",
+        "raw untimed condvar wait; loop on wait_for with a deadline",
+    ),
+];
+
+/// The blocking-call pass; see the module docs.
+pub struct BlockingCalls;
+
+impl Pass for BlockingCalls {
+    fn name(&self) -> &'static str {
+        "blocking"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in ws.crate_files("mpirt") {
+            for (line_no, code) in file.code_lines() {
+                if file.is_test_line(line_no) {
+                    continue;
+                }
+                for &(token, why) in UNTIMED {
+                    if token_matches(code, token) {
+                        out.push(Finding {
+                            pass: self.name(),
+                            file: file.rel.clone(),
+                            line: line_no,
+                            token: token.to_string(),
+                            why: why.to_string(),
+                            snippet: file.snippet(line_no),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! The analysis passes run by `cargo xtask analyze`.
+//!
+//! Each pass is a [`crate::analyze::Pass`] over the lexed
+//! [`crate::analyze::Workspace`]:
+//!
+//! * [`determinism`] — bans wall-clock reads, ambient RNGs, and
+//!   hash-ordered collections from the simulation crates;
+//! * [`telemetry`] — checks every telemetry name literal (and the names in
+//!   the committed baselines) against the `obs::names` registry;
+//! * [`hotpath`] — keeps the manifest-declared hot modules free of panics
+//!   and avoidable allocation;
+//! * [`blocking`] — flags untimed blocking waits in `mpi-rt` that bypass
+//!   the timeout-carrying APIs.
+
+pub mod blocking;
+pub mod determinism;
+pub mod hotpath;
+pub mod telemetry;
