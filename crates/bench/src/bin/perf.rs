@@ -209,7 +209,65 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    // 4. Real MPI-D pipeline shapes: threads-as-ranks jobs over inputs
+    // 4. Serving under contention: the figserve heavy-load grid point
+    //    (fair-share scheduler) replayed on each stack. Wall-clock is the
+    //    cost of simulating the whole stream; the simulated stream
+    //    metrics (jobs/sec, p99 job latency, utilization) are
+    //    deterministic and feed bench-diff's throughput and latency
+    //    gates.
+    // ------------------------------------------------------------------
+    if want("serve_hadoop") || want("serve_mpid") {
+        println!();
+        let (n_racks, per_rack, n_jobs) = if quick { (3, 8, 16) } else { (5, 24, 60) };
+        let stream = serve::arrival_stream(
+            0x5E12,
+            &serve::ArrivalConfig::new(n_jobs, SimTime::from_secs(2)),
+        );
+        let calm = faults::FaultPlan::none();
+        type BackendCtor = fn() -> Box<dyn serve::JobBackend>;
+        let backends: [(&'static str, BackendCtor); 2] = [
+            ("serve_hadoop", serve::hadoop_backend),
+            ("serve_mpid", serve::mpid_backend),
+        ];
+        for (name, backend) in backends {
+            if !want(name) {
+                continue;
+            }
+            let cfg = serve::ServeConfig::rackscale(n_racks, per_rack, 4.0);
+            let t0 = Instant::now();
+            let report = serve::run_serve(
+                &cfg,
+                Box::new(serve::FairShare),
+                backend(),
+                &stream,
+                &calm,
+                None,
+            );
+            let wall = t0.elapsed().as_secs_f64();
+            let p99 = report.latency_quantile(0.99).as_secs_f64();
+            println!(
+                "{name:<17} {:>10}  {} jobs on {} hosts: {:.3} jobs/s, p99 {}, util {:.0}%",
+                fmt_secs(wall),
+                report.jobs.len(),
+                cfg.cluster.hosts(),
+                report.jobs_per_sec(),
+                fmt_secs(p99),
+                100.0 * report.utilization(),
+            );
+            benches.push(Bench {
+                name,
+                wall_s: wall,
+                metrics: vec![
+                    ("jobs_per_sec", report.jobs_per_sec()),
+                    ("p99_latency_s", p99),
+                    ("utilization", report.utilization()),
+                ],
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 5. Real MPI-D pipeline shapes: threads-as-ranks jobs over inputs
     //    materialized before the timer starts. MB/s is over encoded wire
     //    bytes (sum of every record's `Kv::wire_size`), the same unit the
     //    sender's spill accounting uses, so the number tracks data-path

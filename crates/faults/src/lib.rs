@@ -148,6 +148,24 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// Cut `host` off from every host in `peers` at `at`, healing at
+    /// `heal_at` — one [`FaultKind::LinkPartition`] per peer. This is how a
+    /// rack uplink failure is expressed: cut the master (or gateway) host
+    /// from the rack's members in one call instead of enumerating O(n²)
+    /// pairs.
+    pub fn partition_set(
+        mut self,
+        at: SimTime,
+        host: usize,
+        peers: &[usize],
+        heal_at: SimTime,
+    ) -> Self {
+        for &peer in peers {
+            self = self.partition(at, host, peer, heal_at);
+        }
+        self
+    }
+
     /// Slow `host`'s CPU by `factor` for work started in `[at, until)`.
     pub fn straggler(mut self, at: SimTime, host: usize, factor: f64, until: SimTime) -> Self {
         self.events.push(FaultEvent {
@@ -431,6 +449,35 @@ mod tests {
             .crash(SimTime::from_secs(2), 2)
             .build();
         assert!(all_dead.validate(3).is_err());
+    }
+
+    #[test]
+    fn partition_set_expands_to_pairwise_cuts() {
+        let rack: Vec<usize> = (4..8).collect();
+        let p = FaultPlan::builder()
+            .partition_set(SimTime::from_secs(10), 0, &rack, SimTime::from_secs(30))
+            .build();
+        assert_eq!(p.events().len(), 4);
+        for (e, peer) in p.events().iter().zip(rack) {
+            assert_eq!(e.host, 0);
+            assert_eq!(e.at, SimTime::from_secs(10));
+            assert_eq!(
+                e.kind,
+                FaultKind::LinkPartition {
+                    peer,
+                    heal_at: SimTime::from_secs(30)
+                }
+            );
+        }
+        assert!(p.validate(8).is_ok());
+        // Equivalent to the same cuts made one pair at a time.
+        let manual = FaultPlan::builder()
+            .partition(SimTime::from_secs(10), 0, 4, SimTime::from_secs(30))
+            .partition(SimTime::from_secs(10), 0, 5, SimTime::from_secs(30))
+            .partition(SimTime::from_secs(10), 0, 6, SimTime::from_secs(30))
+            .partition(SimTime::from_secs(10), 0, 7, SimTime::from_secs(30))
+            .build();
+        assert_eq!(p, manual);
     }
 
     #[test]

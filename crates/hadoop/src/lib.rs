@@ -18,11 +18,13 @@
 pub mod config;
 pub mod hdfs;
 pub mod report;
+pub mod serveplan;
 pub mod sim;
 
 pub use config::HadoopConfig;
 pub use hdfs::{BlockId, NameNode};
 pub use report::{JobReport, MapSpan, ReduceSpan};
+pub use serveplan::serve_plan;
 pub use sim::{run_job, run_job_faulty, run_job_faulty_traced, run_job_traced};
 
 #[cfg(test)]

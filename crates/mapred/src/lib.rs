@@ -18,12 +18,14 @@ pub mod api;
 pub mod checkpoint;
 pub mod engine;
 pub mod local;
+pub mod serveplan;
 pub mod sim;
 
 pub use api::{InputFormat, MapReduceApp, TextInput, VecInput};
 pub use checkpoint::{run_mpid_checkpointed, CheckpointStats};
 pub use engine::{run_mpid, run_mpid_traced, JobOutput, MpidEngineConfig};
 pub use local::run_local;
+pub use serveplan::serve_plan;
 pub use sim::{
     run_sim_mpid, run_sim_mpid_ft, run_sim_mpid_ft_traced, run_sim_mpid_traced, FtOutcome,
     MpidFtMode, SimMpidConfig, SimMpidFtReport, SimMpidReport,

@@ -49,6 +49,41 @@ impl ClusterSpec {
     }
 }
 
+/// Rack-level structure layered over the flat per-host resource set.
+///
+/// Hosts are grouped into racks of `hosts_per_rack` consecutive ids (the
+/// last rack may be partial). Each rack's top-of-rack switch is non-blocking
+/// for intra-rack traffic, but cross-rack flows additionally traverse the
+/// rack's uplink into the core, the shared core fabric, and the destination
+/// rack's downlink. Setting `rack_uplink_bytes_per_sec` below
+/// `hosts_per_rack × nic_bytes_per_sec` models an oversubscribed core, the
+/// regime a production cluster serves jobs in.
+#[derive(Debug, Clone)]
+pub struct RackLayout {
+    /// Hosts per rack (consecutive host ids share a rack).
+    pub hosts_per_rack: usize,
+    /// Per-direction bandwidth of each rack's uplink to the core, bytes/sec.
+    pub rack_uplink_bytes_per_sec: f64,
+    /// Aggregate bandwidth of the shared core fabric, bytes/sec.
+    pub core_bytes_per_sec: f64,
+}
+
+impl RackLayout {
+    /// A layout whose rack uplinks are oversubscribed `ratio:1` against the
+    /// hosts' NICs and whose core carries half the sum of all rack uplinks
+    /// (so the core itself saturates under all-to-all cross-rack load).
+    pub fn oversubscribed(hosts_per_rack: usize, nic_bytes_per_sec: f64, ratio: f64) -> Self {
+        assert!(hosts_per_rack > 0, "rack needs at least one host");
+        assert!(ratio >= 1.0, "oversubscription ratio must be >= 1");
+        let uplink = hosts_per_rack as f64 * nic_bytes_per_sec / ratio;
+        RackLayout {
+            hosts_per_rack,
+            rack_uplink_bytes_per_sec: uplink,
+            core_bytes_per_sec: uplink * 2.0,
+        }
+    }
+}
+
 /// How a flow traverses the cluster.
 #[derive(Debug, Clone)]
 pub enum Route {
@@ -85,21 +120,85 @@ pub enum Route {
 /// inflate their byte count by `read_rate / write_rate` so a lone write
 /// proceeds at the write rate while mixed read/write still contends on one
 /// resource.
+///
+/// With a [`RackLayout`], rack resources follow the host block: for rack `r`
+/// of `R` racks over `H` hosts, `4H + 2r` = rack uplink, `4H + 2r + 1` =
+/// rack downlink, and `4H + 2R` = the shared core. Only cross-rack routes
+/// touch these, so intra-rack traffic keeps its solver components rack-local
+/// and the incremental solver's scoped recomputes stay per-rack.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     spec: ClusterSpec,
+    racks: Option<RackLayout>,
 }
 
 impl Cluster {
-    /// Wrap a spec.
+    /// Wrap a spec (flat topology: one non-blocking switch).
     pub fn new(spec: ClusterSpec) -> Self {
         assert!(spec.hosts > 0, "cluster needs at least one host");
-        Cluster { spec }
+        Cluster { spec, racks: None }
+    }
+
+    /// A rack-aware cluster: hosts grouped into racks behind an
+    /// oversubscribed core. See [`RackLayout`].
+    pub fn with_racks(spec: ClusterSpec, racks: RackLayout) -> Self {
+        assert!(spec.hosts > 0, "cluster needs at least one host");
+        assert!(racks.hosts_per_rack > 0, "rack needs at least one host");
+        assert!(
+            racks.rack_uplink_bytes_per_sec > 0.0 && racks.core_bytes_per_sec > 0.0,
+            "rack and core bandwidth must be positive"
+        );
+        Cluster {
+            spec,
+            racks: Some(racks),
+        }
     }
 
     /// The physical parameters.
     pub fn spec(&self) -> &ClusterSpec {
         &self.spec
+    }
+
+    /// The rack layout, if this cluster is rack-aware.
+    pub fn rack_layout(&self) -> Option<&RackLayout> {
+        self.racks.as_ref()
+    }
+
+    /// Number of racks (1 for a flat cluster).
+    pub fn n_racks(&self) -> usize {
+        match &self.racks {
+            Some(l) => self.spec.hosts.div_ceil(l.hosts_per_rack),
+            None => 1,
+        }
+    }
+
+    /// Rack index of a host (0 for a flat cluster).
+    pub fn rack_of(&self, h: HostId) -> usize {
+        self.check(h);
+        match &self.racks {
+            Some(l) => h.0 / l.hosts_per_rack,
+            None => 0,
+        }
+    }
+
+    /// Uplink resource of rack `r` into the core. Rack-aware clusters only.
+    pub fn rack_uplink(&self, r: usize) -> ResourceId {
+        assert!(self.racks.is_some(), "flat cluster has no rack resources");
+        assert!(r < self.n_racks(), "rack {r} out of range");
+        ResourceId(4 * self.spec.hosts + 2 * r)
+    }
+
+    /// Downlink resource of rack `r` from the core. Rack-aware clusters only.
+    pub fn rack_downlink(&self, r: usize) -> ResourceId {
+        assert!(self.racks.is_some(), "flat cluster has no rack resources");
+        assert!(r < self.n_racks(), "rack {r} out of range");
+        ResourceId(4 * self.spec.hosts + 2 * r + 1)
+    }
+
+    /// The shared core-fabric resource. Rack-aware clusters only.
+    pub fn core(&self) -> ResourceId {
+        assert!(self.racks.is_some(), "flat cluster has no rack resources");
+        ResourceId(4 * self.spec.hosts + 2 * self.n_racks())
     }
 
     /// Number of hosts.
@@ -138,7 +237,28 @@ impl Cluster {
             e.add_resource(self.spec.disk_read_bytes_per_sec); // disk
             e.add_resource(self.spec.loopback_bytes_per_sec); // loopback
         }
+        if let Some(l) = &self.racks {
+            for _ in 0..self.n_racks() {
+                e.add_resource(l.rack_uplink_bytes_per_sec); // rack uplink
+                e.add_resource(l.rack_uplink_bytes_per_sec); // rack downlink
+            }
+            e.add_resource(l.core_bytes_per_sec); // core fabric
+        }
         e
+    }
+
+    /// Rack hops for a `src → dst` network leg: empty when the hosts share a
+    /// rack (the ToR is non-blocking), else source rack uplink → core →
+    /// destination rack downlink.
+    fn rack_hops(&self, src: HostId, dst: HostId) -> Vec<ResourceId> {
+        if self.racks.is_none() {
+            return Vec::new();
+        }
+        let (sr, dr) = (self.rack_of(src), self.rack_of(dst));
+        if sr == dr {
+            return Vec::new();
+        }
+        vec![self.rack_uplink(sr), self.core(), self.rack_downlink(dr)]
     }
 
     /// Resources a route crosses.
@@ -148,7 +268,9 @@ impl Cluster {
                 assert!(src != dst, "use Route::Loopback for intra-host flows");
                 self.check(src);
                 self.check(dst);
-                vec![self.uplink(src), self.downlink(dst)]
+                let mut r = vec![self.uplink(src), self.downlink(dst)];
+                r.extend(self.rack_hops(src, dst));
+                r
             }
             Route::Loopback(h) => {
                 self.check(h);
@@ -168,7 +290,9 @@ impl Cluster {
                 if from == to {
                     vec![self.disk(from)]
                 } else {
-                    vec![self.disk(from), self.uplink(from), self.downlink(to)]
+                    let mut r = vec![self.disk(from), self.uplink(from), self.downlink(to)];
+                    r.extend(self.rack_hops(from, to));
+                    r
                 }
             }
         }
@@ -247,5 +371,99 @@ mod tests {
     fn out_of_range_host_panics() {
         let c = Cluster::new(ClusterSpec::icpp2011_testbed());
         c.route_resources(&Route::Loopback(HostId(99)));
+    }
+
+    fn racked(hosts: usize, per_rack: usize) -> Cluster {
+        let mut spec = ClusterSpec::icpp2011_testbed();
+        spec.hosts = hosts;
+        let layout = RackLayout::oversubscribed(per_rack, spec.nic_bytes_per_sec, 4.0);
+        Cluster::with_racks(spec, layout)
+    }
+
+    #[test]
+    fn rack_resources_follow_host_block() {
+        let c = racked(24, 8);
+        assert_eq!(c.n_racks(), 3);
+        assert_eq!(c.rack_of(HostId(0)), 0);
+        assert_eq!(c.rack_of(HostId(7)), 0);
+        assert_eq!(c.rack_of(HostId(8)), 1);
+        assert_eq!(c.rack_of(HostId(23)), 2);
+        let mut seen = std::collections::BTreeSet::new();
+        for h in c.host_ids() {
+            for r in [c.uplink(h), c.downlink(h), c.disk(h), c.loopback(h)] {
+                assert!(seen.insert(r), "duplicate resource id {r:?}");
+            }
+        }
+        for r in 0..c.n_racks() {
+            assert!(seen.insert(c.rack_uplink(r)));
+            assert!(seen.insert(c.rack_downlink(r)));
+        }
+        assert!(seen.insert(c.core()));
+        assert_eq!(c.build_engine().resource_count(), seen.len());
+    }
+
+    #[test]
+    fn cross_rack_routes_traverse_uplink_core_downlink() {
+        let c = racked(24, 8);
+        let r = c.route_resources(&Route::HostToHost {
+            src: HostId(1),
+            dst: HostId(9),
+        });
+        assert_eq!(
+            r,
+            vec![
+                c.uplink(HostId(1)),
+                c.downlink(HostId(9)),
+                c.rack_uplink(0),
+                c.core(),
+                c.rack_downlink(1),
+            ]
+        );
+        let r = c.route_resources(&Route::RemoteRead {
+            from: HostId(16),
+            to: HostId(2),
+        });
+        assert_eq!(
+            r,
+            vec![
+                c.disk(HostId(16)),
+                c.uplink(HostId(16)),
+                c.downlink(HostId(2)),
+                c.rack_uplink(2),
+                c.core(),
+                c.rack_downlink(0),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_rack_routes_skip_core() {
+        let c = racked(24, 8);
+        let r = c.route_resources(&Route::HostToHost {
+            src: HostId(1),
+            dst: HostId(2),
+        });
+        assert_eq!(r, vec![c.uplink(HostId(1)), c.downlink(HostId(2))]);
+        // Flat-cluster routes are unchanged by the rack machinery existing.
+        let flat = Cluster::new(ClusterSpec::icpp2011_testbed());
+        let r = flat.route_resources(&Route::HostToHost {
+            src: HostId(1),
+            dst: HostId(2),
+        });
+        assert_eq!(r, vec![flat.uplink(HostId(1)), flat.downlink(HostId(2))]);
+    }
+
+    #[test]
+    fn oversubscribed_layout_divides_nic_aggregate() {
+        let l = RackLayout::oversubscribed(8, 117.0e6, 4.0);
+        assert!((l.rack_uplink_bytes_per_sec - 8.0 * 117.0e6 / 4.0).abs() < 1.0);
+        assert!((l.core_bytes_per_sec - 2.0 * l.rack_uplink_bytes_per_sec).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat cluster has no rack resources")]
+    fn flat_cluster_has_no_rack_resources() {
+        let c = Cluster::new(ClusterSpec::icpp2011_testbed());
+        c.core();
     }
 }

@@ -14,7 +14,13 @@
 //!   (MPICH2, Hadoop RPC, HTTP-over-Jetty), calibrated in [`calibrate`]
 //!   against the paper's own Figure 2/3 measurements;
 //! * [`jobspec`] — the volume-and-cost job description executed by the
-//!   cluster-scale simulators (`hadoop-sim`, `mapred::sim`).
+//!   cluster-scale simulators (`hadoop-sim`, `mapred::sim`);
+//! * [`plan`] — barrier-separated phase plans the stacks hand to the
+//!   multi-job serving master (`serve` crate).
+//!
+//! Beyond the paper's flat 8-node switch, [`cluster::RackLayout`] scales the
+//! same model to rack-aware topologies with an oversubscribed core for the
+//! serving experiments.
 
 #![warn(missing_docs)]
 
@@ -22,11 +28,13 @@ pub mod calibrate;
 pub mod cluster;
 pub mod jobspec;
 pub mod net;
+pub mod plan;
 pub mod protocol;
 pub mod resource;
 
-pub use cluster::{Cluster, ClusterSpec, HostId, Route};
+pub use cluster::{Cluster, ClusterSpec, HostId, RackLayout, Route};
 pub use jobspec::JobSpec;
 pub use net::{HasNet, Net};
+pub use plan::{JobPhase, JobPlan, PhaseFlows};
 pub use protocol::{HadoopRpcModel, JettyHttpModel, MpiModel, NioSocketModel, Transport};
 pub use resource::{set_force_full_default, FlowId, FluidEngine, ResourceId, SolverStats};

@@ -1,0 +1,152 @@
+//! Coarse per-job execution plans for the serving simulator.
+//!
+//! A [`JobPlan`] is the contract between a stack's single-job simulator
+//! (hadoop-sim, `mapred::sim`) and the multi-job serving master in the
+//! `serve` crate: each stack distils a [`crate::JobSpec`] plus its own
+//! configuration into a sequence of barrier-separated phases, and the master
+//! executes those phases on whatever slice of the shared cluster the
+//! scheduler granted, through one shared [`crate::Net`]. Within a phase the
+//! CPU work and the flow pattern run concurrently (a phase ends when both
+//! finish); phases are sequential.
+//!
+//! The plan deliberately abstracts away per-task bookkeeping — the detailed
+//! simulators remain the ground truth for single-job makespans — but keeps
+//! the parts that matter under contention: total bytes moved per pattern,
+//! aggregate CPU seconds, and per-stack setup overhead. Both stacks' plans
+//! for the same spec move identical logical volumes, which is what lets
+//! `figserve --check` assert Hadoop-vs-MPI-D job-output identity.
+
+/// The flow pattern a phase drives through the shared cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseFlows {
+    /// No network or disk traffic; the phase is pure CPU (plus setup).
+    None,
+    /// Each granted host streams an equal share of `bytes` off its own disk.
+    DiskReadEach,
+    /// Every granted host sends an equal share of `bytes` to every other
+    /// granted host (the shuffle). Cross-rack pairs traverse the core.
+    ShuffleAllToAll,
+    /// Each granted host writes an equal share of `bytes` to its own disk,
+    /// then ships `copies - 1` replicas to distinct peers.
+    WriteReplicated {
+        /// Total number of copies, local write included.
+        copies: usize,
+    },
+}
+
+/// One barrier-separated phase of a job: CPU work concurrent with a flow
+/// pattern. `label` must be a registered `obs::names` span constant so the
+/// serving master can emit it directly.
+#[derive(Debug, Clone)]
+pub struct JobPhase {
+    /// Phase name (an `obs::names` span constant).
+    pub label: &'static str,
+    /// Aggregate CPU seconds per granted host for this phase.
+    pub cpu_secs: f64,
+    /// Total bytes moved by `flows`, split evenly across the granted hosts.
+    pub bytes: u64,
+    /// The traffic pattern carrying `bytes`.
+    pub flows: PhaseFlows,
+}
+
+/// A stack's plan for one job on `n` granted hosts: fixed setup cost, then
+/// the phases in order.
+#[derive(Debug, Clone)]
+pub struct JobPlan {
+    /// Per-job fixed overhead (submission, JVM/process start, master RPCs)
+    /// charged before the first phase.
+    pub setup_secs: f64,
+    /// Barrier-separated phases, executed in order.
+    pub phases: Vec<JobPhase>,
+}
+
+impl JobPlan {
+    /// Panic if the plan is internally inconsistent.
+    pub fn validate(&self) {
+        assert!(
+            self.setup_secs.is_finite() && self.setup_secs >= 0.0,
+            "setup_secs must be finite and non-negative"
+        );
+        assert!(!self.phases.is_empty(), "a plan needs at least one phase");
+        for p in &self.phases {
+            assert!(
+                p.cpu_secs.is_finite() && p.cpu_secs >= 0.0,
+                "phase {} cpu_secs must be finite and non-negative",
+                p.label
+            );
+            if let PhaseFlows::WriteReplicated { copies } = p.flows {
+                assert!(copies >= 1, "phase {} needs at least one copy", p.label);
+            }
+            if p.flows != PhaseFlows::None {
+                assert!(p.bytes > 0, "phase {} moves flows but zero bytes", p.label);
+            }
+        }
+    }
+
+    /// Total bytes moved across all phases (replicas not multiplied in).
+    pub fn total_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.bytes).sum()
+    }
+
+    /// Bytes written by the final [`PhaseFlows::WriteReplicated`] phase —
+    /// the job's logical output, identical across stacks for one spec.
+    pub fn output_bytes(&self) -> u64 {
+        self.phases
+            .iter()
+            .rev()
+            .find(|p| matches!(p.flows, PhaseFlows::WriteReplicated { .. }))
+            .map(|p| p.bytes)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> JobPlan {
+        JobPlan {
+            setup_secs: 1.0,
+            phases: vec![
+                JobPhase {
+                    label: "map",
+                    cpu_secs: 2.0,
+                    bytes: 100,
+                    flows: PhaseFlows::DiskReadEach,
+                },
+                JobPhase {
+                    label: "reduce",
+                    cpu_secs: 1.0,
+                    bytes: 40,
+                    flows: PhaseFlows::WriteReplicated { copies: 3 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn plan_accounting() {
+        let p = plan();
+        p.validate();
+        assert_eq!(p.total_bytes(), 140);
+        assert_eq!(p.output_bytes(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_plan_rejected() {
+        JobPlan {
+            setup_secs: 0.0,
+            phases: vec![],
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bytes")]
+    fn zero_byte_flow_phase_rejected() {
+        let mut p = plan();
+        p.phases[0].bytes = 0;
+        p.validate();
+    }
+}

@@ -64,6 +64,10 @@ pub const CAT_NET_FLOW: &str = "net.flow";
 pub const CAT_NET_UTIL: &str = "net.util";
 /// Fault-injection markers (from the `faults` plan or simulator recovery).
 pub const CAT_FAULTS_INJECT: &str = "faults.inject";
+/// Serving-master stream-level markers (arrivals, admissions, recoveries).
+pub const CAT_SERVE: &str = "serve";
+/// Per-job spans on the serving master (queue wait, execution).
+pub const CAT_SERVE_JOB: &str = "serve.job";
 /// Discrete-event scheduler probe samples.
 pub const CAT_DESIM: &str = "desim";
 
@@ -97,6 +101,10 @@ pub const SPAN_MERGE: &str = "merge";
 pub const SPAN_SENDER_FINISH: &str = "sender_finish";
 /// Hadoop job setup (JobTracker scheduling latency before first task).
 pub const SPAN_JOB_SETUP: &str = "job_setup";
+/// A job's time in the serving master's admission queue.
+pub const SPAN_SERVE_QUEUED: &str = "queued";
+/// A job's execution on its granted hosts (setup through last phase).
+pub const SPAN_SERVE_RUN: &str = "run";
 
 // --- MPI operation span names (`mpi.p2p` / `mpi.coll`) ---------------------
 
@@ -172,6 +180,16 @@ pub const INST_SPECULATIVE_WASTED: &str = "speculative_wasted";
 pub const INST_MAP_ATTEMPT_FAILED: &str = "map_attempt_failed";
 /// Hadoop worker process crash (fault-injection recovery path).
 pub const INST_WORKER_CRASH: &str = "worker_crash";
+/// A job entered the serving master's admission queue.
+pub const INST_SERVE_ARRIVAL: &str = "job_arrived";
+/// The scheduler granted a queued job its hosts.
+pub const INST_SERVE_ADMIT: &str = "job_admitted";
+/// A running job lost a host and restarted its current phase (Hadoop-style
+/// task re-execution on the survivors).
+pub const INST_SERVE_PHASE_RESTART: &str = "phase_restart";
+/// A running job died with a host and was re-queued from scratch
+/// (MPI-style whole-job restart).
+pub const INST_SERVE_JOB_RESTART: &str = "serve_job_restart";
 
 // --- Fault-plan event labels (`faults.inject` instants) --------------------
 
@@ -220,6 +238,10 @@ pub const CTR_UTIL_DOWN: &str = "net.util.down";
 pub const CTR_UTIL_DISK: &str = "net.util.disk";
 /// Live flows in the fluid solver.
 pub const CTR_NET_ACTIVE_FLOWS: &str = "net.active_flows";
+/// Jobs waiting in the serving master's admission queue.
+pub const CTR_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Jobs concurrently running on the serving master's cluster.
+pub const CTR_SERVE_RUNNING: &str = "serve.running_jobs";
 /// Scheduler events pending (sampled by [`crate::SchedTraceProbe`]).
 pub const CTR_DESIM_PENDING: &str = "desim.pending";
 /// Scheduler events executed (sampled by [`crate::SchedTraceProbe`]).
@@ -261,6 +283,12 @@ pub const M_NET_FLOWS_COMPLETED: &str = "net.flows_completed";
 pub const M_NET_FLOW_BYTES: &str = "net.flow_bytes";
 /// Hosts killed by fault injection.
 pub const M_NET_HOSTS_FAILED: &str = "net.hosts_failed";
+/// Jobs completed by the serving master.
+pub const M_SERVE_JOBS_DONE: &str = "serve.jobs_done";
+/// Host-loss events a job survived by restarting its current phase.
+pub const M_SERVE_JOBS_RECOVERED: &str = "serve.jobs_recovered";
+/// Whole-job restarts after a fatal host loss.
+pub const M_SERVE_JOB_RESTARTS: &str = "serve.job_restarts";
 /// Scheduler events scheduled.
 pub const M_DESIM_SCHEDULED: &str = "desim.scheduled";
 /// Scheduler events cancelled.
@@ -278,6 +306,7 @@ pub const WORK_CATS: &[&str] = &[
     CAT_HADOOP_PHASE,
     CAT_MPID_STAGE,
     CAT_HADOOP_JOB,
+    CAT_SERVE_JOB,
 ];
 
 /// Shuffle-side span names for the map↔shuffle overlap ratio: `ship` for
@@ -307,10 +336,26 @@ mod tests {
     #[test]
     fn classification_tables_are_built_from_registered_names() {
         assert!(WORK_CATS.contains(&CAT_MPID_PHASE));
+        assert!(WORK_CATS.contains(&CAT_SERVE_JOB));
         assert!(SHUFFLE_SPANS.contains(&SPAN_SHIP) && SHUFFLE_SPANS.contains(&SPAN_COPY));
         assert!(BLOCKS_ON_PEER_SPANS.contains(&SPAN_REDUCE_TAIL));
         for s in DISK_FLOW_SPANS {
             assert!(!NET_FLOW_SPANS.contains(s), "{s} classified as both");
+        }
+    }
+
+    #[test]
+    fn serve_names_extend_their_category() {
+        assert!(CAT_SERVE_JOB.starts_with(CAT_SERVE));
+        for c in [CTR_SERVE_QUEUE_DEPTH, CTR_SERVE_RUNNING] {
+            assert!(c.starts_with(CAT_SERVE), "{c}");
+        }
+        for m in [
+            M_SERVE_JOBS_DONE,
+            M_SERVE_JOBS_RECOVERED,
+            M_SERVE_JOB_RESTARTS,
+        ] {
+            assert!(m.starts_with(CAT_SERVE), "{m}");
         }
     }
 

@@ -1,0 +1,99 @@
+//! The common job-execution backend both stacks implement.
+//!
+//! A backend turns a [`JobSpec`] plus a host grant into the coarse
+//! [`JobPlan`] the master executes, and declares its failure semantics: how
+//! long a host loss goes undetected and whether the job survives it (Hadoop
+//! re-executes lost tasks on the survivors; an MPI job dies with its rank
+//! and restarts from scratch — the paper's central fault-tolerance
+//! trade-off, §V).
+
+use desim::SimTime;
+use hadoop_sim::HadoopConfig;
+use mapred::sim::SimMpidConfig;
+use netsim::{JobPlan, JobSpec};
+
+/// What happens to a running job when one of its hosts is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// Re-run the current phase on the surviving hosts (per-task
+    /// re-execution, Hadoop-style). The job keeps its progress through
+    /// earlier phases.
+    PhaseRestart,
+    /// The whole job dies and re-enters the queue (gang-scheduled MPI
+    /// semantics).
+    JobRestart,
+}
+
+/// A stack the serving master can replay a stream against.
+pub trait JobBackend {
+    /// Stack name for reports ("hadoop" / "mpid").
+    fn name(&self) -> &'static str;
+    /// Plan `spec` on `n_hosts` granted hosts.
+    fn plan(&self, spec: &JobSpec, n_hosts: usize) -> JobPlan;
+    /// Latency between a host loss and the master acting on it.
+    fn detect_delay(&self) -> SimTime;
+    /// Failure semantics.
+    fn recovery(&self) -> Recovery;
+}
+
+/// Hadoop 0.20-style backend over [`hadoop_sim::serve_plan`].
+pub struct HadoopBackend(pub HadoopConfig);
+
+impl JobBackend for HadoopBackend {
+    fn name(&self) -> &'static str {
+        "hadoop"
+    }
+    fn plan(&self, spec: &JobSpec, n_hosts: usize) -> JobPlan {
+        hadoop_sim::serve_plan(&self.0, spec, n_hosts)
+    }
+    fn detect_delay(&self) -> SimTime {
+        hadoop_sim::serveplan::detect_delay(&self.0)
+    }
+    fn recovery(&self) -> Recovery {
+        Recovery::PhaseRestart
+    }
+}
+
+/// Simulated MPI-D backend over [`mapred::serve_plan`].
+pub struct MpidBackend(pub SimMpidConfig);
+
+impl JobBackend for MpidBackend {
+    fn name(&self) -> &'static str {
+        "mpid"
+    }
+    fn plan(&self, spec: &JobSpec, n_hosts: usize) -> JobPlan {
+        mapred::serve_plan(&self.0, spec, n_hosts)
+    }
+    fn detect_delay(&self) -> SimTime {
+        mapred::serveplan::detect_delay(&self.0)
+    }
+    fn recovery(&self) -> Recovery {
+        Recovery::JobRestart
+    }
+}
+
+/// The paper-calibrated Hadoop backend (slot counts as in Table I).
+pub fn hadoop_backend() -> Box<dyn JobBackend> {
+    Box::new(HadoopBackend(HadoopConfig::icpp2011(8, 4, 14)))
+}
+
+/// The paper-calibrated MPI-D backend.
+pub fn mpid_backend() -> Box<dyn JobBackend> {
+    Box::new(MpidBackend(SimMpidConfig::icpp2011_fig6()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backends_disagree_on_failure_semantics() {
+        let h = hadoop_backend();
+        let m = mpid_backend();
+        assert_eq!(h.recovery(), Recovery::PhaseRestart);
+        assert_eq!(m.recovery(), Recovery::JobRestart);
+        // MPI detects fast but pays with the whole job; Hadoop waits out
+        // heartbeats but keeps its progress.
+        assert!(m.detect_delay() < h.detect_delay());
+    }
+}

@@ -1,0 +1,136 @@
+//! Multi-tenant job-stream serving at cluster scale.
+//!
+//! The paper benchmarks one job at a time; a production cluster serves a
+//! *stream* of them. This crate closes that gap: a long-lived simulated
+//! master admits a seeded arrival stream of heterogeneous jobs
+//! (WordCount / sort / index / grep, zipf-ish sizes) through a pluggable
+//! [`Scheduler`] (FIFO, fair share, capacity) onto a rack-aware
+//! oversubscribed cluster, and executes every admitted job concurrently
+//! through one shared [`netsim::Net`] — so jobs contend for NICs, disks,
+//! rack uplinks and the core, and the incremental fluid solver keeps
+//! recomputes scoped to the racks a change touches.
+//!
+//! Both stacks sit behind the [`JobBackend`] trait: the Hadoop backend
+//! re-runs a lost phase on the survivors ([`Recovery::PhaseRestart`]), the
+//! MPI-D backend loses the whole job and requeues it
+//! ([`Recovery::JobRestart`]) — the paper's §V fault-tolerance trade-off,
+//! now measurable under load via [`faults::FaultPlan`] composition.
+//!
+//! Everything is deterministic: same `(seed, scheduler, backend, faults)`
+//! ⇒ byte-identical [`ServeReport::render`] output. The `figserve` bench
+//! sweeps (scheduler × stack × load) and reports jobs/sec, p50/p95/p99
+//! job latency, and cluster utilization per grid point.
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod backend;
+pub mod master;
+pub mod report;
+pub mod scheduler;
+
+pub use arrivals::{arrival_stream, Arrival, ArrivalConfig, JobClass};
+pub use backend::{hadoop_backend, mpid_backend, JobBackend, Recovery};
+pub use master::{run_serve, ServeConfig};
+pub use report::{JobRecord, ServeReport};
+pub use scheduler::{Capacity, FairShare, Fifo, PendingView, Scheduler};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimTime;
+    use faults::{FaultPlan, FaultPlanBuilder};
+
+    fn small_stream() -> Vec<Arrival> {
+        let mut cfg = ArrivalConfig::new(12, SimTime::from_secs(15));
+        cfg.max_doublings = 3;
+        arrival_stream(11, &cfg)
+    }
+
+    fn run(
+        sched: Box<dyn Scheduler>,
+        backend: Box<dyn JobBackend>,
+        faults: &FaultPlan,
+    ) -> ServeReport {
+        let cfg = ServeConfig::rackscale(3, 8, 4.0);
+        run_serve(&cfg, sched, backend, &small_stream(), faults, None)
+    }
+
+    #[test]
+    fn all_jobs_complete_on_both_stacks() {
+        let calm = FaultPlanBuilder::default().build();
+        for mk in [hadoop_backend, mpid_backend] {
+            let r = run(Box::new(Fifo), mk(), &calm);
+            assert_eq!(r.jobs.len(), 12, "{} lost jobs", r.backend);
+            assert!(r.makespan > SimTime::ZERO);
+            let u = r.utilization();
+            assert!(u > 0.0 && u <= 1.0, "utilization {u} out of range");
+            for j in &r.jobs {
+                assert!(j.finished >= j.started && j.started >= j.submitted);
+            }
+        }
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_runs() {
+        let calm = FaultPlanBuilder::default().build();
+        for mk_sched in [
+            || Box::new(Fifo) as Box<dyn Scheduler>,
+            || Box::new(FairShare) as Box<dyn Scheduler>,
+        ] {
+            let a = run(mk_sched(), hadoop_backend(), &calm);
+            let b = run(mk_sched(), hadoop_backend(), &calm);
+            assert_eq!(a.render(), b.render());
+        }
+    }
+
+    #[test]
+    fn stacks_agree_on_job_outputs() {
+        let calm = FaultPlanBuilder::default().build();
+        let h = run(Box::new(Fifo), hadoop_backend(), &calm);
+        let m = run(Box::new(Fifo), mpid_backend(), &calm);
+        // Same stream ⇒ same logical outputs, whatever the stack's speed.
+        assert_eq!(h.output_signature(), m.output_signature());
+    }
+
+    #[test]
+    fn host_loss_recovers_per_stack_semantics() {
+        // A heavy stream keeps every host busy, so a mid-stream crash is
+        // guaranteed to strike a running job: Hadoop phase-restarts, MPI-D
+        // requeues.
+        let stream = arrival_stream(11, &ArrivalConfig::new(12, SimTime::from_secs(1)));
+        let cfg = ServeConfig::rackscale(3, 8, 4.0);
+        let faults = FaultPlanBuilder::default()
+            .crash(SimTime::from_secs(40), 9)
+            .build();
+        let h = run_serve(
+            &cfg,
+            Box::new(Fifo),
+            hadoop_backend(),
+            &stream,
+            &faults,
+            None,
+        );
+        let m = run_serve(&cfg, Box::new(Fifo), mpid_backend(), &stream, &faults, None);
+        assert_eq!(h.jobs.len(), 12);
+        assert_eq!(m.jobs.len(), 12);
+        assert!(
+            h.recovered > 0 || m.restarts > 0,
+            "the crash struck an idle host in both runs"
+        );
+        assert_eq!(h.restarts, 0, "hadoop never loses whole jobs");
+        assert_eq!(m.recovered, 0, "mpid never phase-restarts");
+    }
+
+    #[test]
+    fn rack_uplink_partition_heals_and_stream_finishes() {
+        // Cut hosts 17..=23 (one rack's worth) off from the master, then
+        // heal; every job must still complete.
+        let peers: Vec<usize> = (17..24).collect();
+        let faults = FaultPlanBuilder::default()
+            .partition_set(SimTime::from_secs(30), 0, &peers, SimTime::from_secs(90))
+            .build();
+        let r = run(Box::new(FairShare), hadoop_backend(), &faults);
+        assert_eq!(r.jobs.len(), 12);
+    }
+}

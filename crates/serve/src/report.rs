@@ -1,0 +1,208 @@
+//! Deterministic serving reports: the job log plus stream-level metrics.
+//!
+//! Accounting inside the master is BTreeMap-keyed by job id, so the log's
+//! order is submission order regardless of the interleaving in which
+//! backends completed jobs — a prerequisite for the byte-identical-report
+//! determinism check in `figserve --check`.
+
+use desim::SimTime;
+use std::fmt::Write as _;
+
+/// One completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Job id (submission order).
+    pub id: u64,
+    /// Application class label.
+    pub class: &'static str,
+    /// Owning tenant.
+    pub tenant: u32,
+    /// Input volume.
+    pub input_bytes: u64,
+    /// Logical output volume (identical across stacks for one spec).
+    pub output_bytes: u64,
+    /// Hosts the job finished on.
+    pub hosts: usize,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Last admission time (after any whole-job restarts).
+    pub started: SimTime,
+    /// Completion time.
+    pub finished: SimTime,
+    /// Phase restarts this job survived (host losses, Hadoop-style).
+    pub phase_restarts: u32,
+    /// Whole-job restarts this job paid (MPI-style).
+    pub job_restarts: u32,
+}
+
+impl JobRecord {
+    /// Submission-to-completion latency.
+    pub fn latency(&self) -> SimTime {
+        self.finished.saturating_sub(self.submitted)
+    }
+}
+
+/// The outcome of replaying one stream against one (scheduler × stack).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Scheduler policy name.
+    pub scheduler: &'static str,
+    /// Backend stack name.
+    pub backend: &'static str,
+    /// Worker hosts in the cluster (master excluded).
+    pub worker_hosts: usize,
+    /// Completed jobs, ascending by id (submission order).
+    pub jobs: Vec<JobRecord>,
+    /// Time of the last completion.
+    pub makespan: SimTime,
+    /// Host-loss events survived by phase restart.
+    pub recovered: u64,
+    /// Whole-job restarts after fatal host losses.
+    pub restarts: u64,
+    /// Σ over jobs of (granted hosts × occupancy seconds).
+    pub busy_host_secs: f64,
+}
+
+impl ServeReport {
+    /// Jobs completed per simulated second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs > 0.0 {
+            self.jobs.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Latency quantile `q` in `[0, 1]` over the completed jobs.
+    pub fn latency_quantile(&self, q: f64) -> SimTime {
+        assert!((0.0..=1.0).contains(&q), "quantile outside [0, 1]");
+        if self.jobs.is_empty() {
+            return SimTime::ZERO;
+        }
+        let mut lat: Vec<u64> = self.jobs.iter().map(|j| j.latency().as_nanos()).collect();
+        lat.sort_unstable();
+        let idx = ((q * (lat.len() - 1) as f64).round() as usize).min(lat.len() - 1);
+        SimTime::from_nanos(lat[idx])
+    }
+
+    /// Fraction of worker-host capacity the stream kept busy.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.worker_hosts as f64 * self.makespan.as_secs_f64();
+        if denom > 0.0 {
+            (self.busy_host_secs / denom).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// `(id, output_bytes)` per job — the cross-stack identity signature
+    /// `figserve --check` compares between Hadoop and MPI-D runs of the
+    /// same stream.
+    pub fn output_signature(&self) -> Vec<(u64, u64)> {
+        self.jobs.iter().map(|j| (j.id, j.output_bytes)).collect()
+    }
+
+    /// Render the full report as a deterministic string: same seed, same
+    /// scheduler, same stack ⇒ byte-identical output. Times print as whole
+    /// milliseconds so no float-formatting ambiguity leaks in.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "serve report: scheduler={} backend={} workers={}",
+            self.scheduler, self.backend, self.worker_hosts
+        );
+        let _ = writeln!(
+            s,
+            "jobs={} makespan_ms={} jobs_per_sec={:.4} p50_ms={} p95_ms={} p99_ms={} util={:.4} recovered={} restarts={}",
+            self.jobs.len(),
+            self.makespan.as_nanos() / 1_000_000,
+            self.jobs_per_sec(),
+            self.latency_quantile(0.50).as_nanos() / 1_000_000,
+            self.latency_quantile(0.95).as_nanos() / 1_000_000,
+            self.latency_quantile(0.99).as_nanos() / 1_000_000,
+            self.utilization(),
+            self.recovered,
+            self.restarts,
+        );
+        for j in &self.jobs {
+            let _ = writeln!(
+                s,
+                "job {:>4} class={:<9} tenant={} in_mb={:>6} out_mb={:>6} hosts={:>2} \
+                 submit_ms={:>9} start_ms={:>9} finish_ms={:>9} phase_restarts={} job_restarts={}",
+                j.id,
+                j.class,
+                j.tenant,
+                j.input_bytes >> 20,
+                j.output_bytes >> 20,
+                j.hosts,
+                j.submitted.as_nanos() / 1_000_000,
+                j.started.as_nanos() / 1_000_000,
+                j.finished.as_nanos() / 1_000_000,
+                j.phase_restarts,
+                j.job_restarts,
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, submit_s: u64, finish_s: u64) -> JobRecord {
+        JobRecord {
+            id,
+            class: "wordcount",
+            tenant: 0,
+            input_bytes: 64 << 20,
+            output_bytes: 32 << 20,
+            hosts: 4,
+            submitted: SimTime::from_secs(submit_s),
+            started: SimTime::from_secs(submit_s + 1),
+            finished: SimTime::from_secs(finish_s),
+            phase_restarts: 0,
+            job_restarts: 0,
+        }
+    }
+
+    fn report() -> ServeReport {
+        ServeReport {
+            scheduler: "fifo",
+            backend: "hadoop",
+            worker_hosts: 10,
+            jobs: vec![rec(0, 0, 10), rec(1, 5, 30), rec(2, 10, 20)],
+            makespan: SimTime::from_secs(30),
+            recovered: 0,
+            restarts: 0,
+            busy_host_secs: 150.0,
+        }
+    }
+
+    #[test]
+    fn quantiles_and_rates() {
+        let r = report();
+        // Latencies: 10, 25, 10 s sorted ⇒ [10, 10, 25].
+        assert_eq!(r.latency_quantile(0.0), SimTime::from_secs(10));
+        assert_eq!(r.latency_quantile(1.0), SimTime::from_secs(25));
+        assert_eq!(r.latency_quantile(0.5), SimTime::from_secs(10));
+        assert!((r.jobs_per_sec() - 0.1).abs() < 1e-12);
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            r.output_signature(),
+            vec![(0, 32 << 20), (1, 32 << 20), (2, 32 << 20)]
+        );
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let a = report().render();
+        let b = report().render();
+        assert_eq!(a, b);
+        assert!(a.contains("scheduler=fifo backend=hadoop workers=10"));
+        assert!(a.contains("jobs=3"));
+        assert_eq!(a.lines().count(), 2 + 3);
+    }
+}

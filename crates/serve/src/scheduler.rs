@@ -1,0 +1,183 @@
+//! Pluggable admission schedulers for the serving master.
+//!
+//! A scheduler sees the ordered pending queue plus the cluster's current
+//! free-host count and per-tenant usage, and picks the next job to admit
+//! (or `None` to wait). The master re-invokes it until it declines, so a
+//! scheduler expresses *policy only* — placement, execution, and accounting
+//! stay in the master.
+
+use desim::SimTime;
+use std::collections::BTreeMap;
+
+/// A queued job as the scheduler sees it. The slice handed to
+/// [`Scheduler::pick`] is ordered by submission (ascending id).
+#[derive(Debug, Clone, Copy)]
+pub struct PendingView {
+    /// Job id (submission order).
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: u32,
+    /// Hosts the job wants (the master already clamped this to what the
+    /// cluster can ever supply).
+    pub hosts_wanted: usize,
+    /// Original submission time.
+    pub submitted: SimTime,
+}
+
+/// Admission policy: pick the next pending job to grant hosts to.
+pub trait Scheduler {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Choose a job from `pending` (submission-ordered) that should run
+    /// next, given `free_hosts` idle hosts and each tenant's currently
+    /// granted host count in `tenant_hosts` (tenants with zero grants may
+    /// be absent). `total_hosts` is the worker-host count of the whole
+    /// cluster. Return `None` to admit nothing until state changes.
+    fn pick(
+        &mut self,
+        pending: &[PendingView],
+        free_hosts: usize,
+        tenant_hosts: &BTreeMap<u32, usize>,
+        total_hosts: usize,
+    ) -> Option<u64>;
+}
+
+/// Strict first-in-first-out: the head of the queue runs as soon as it
+/// fits, and *nothing* runs before it (head-of-line blocking and all — the
+/// policy a stock 0.20-era JobTracker shipped with).
+#[derive(Debug, Default)]
+pub struct Fifo;
+
+impl Scheduler for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn pick(
+        &mut self,
+        pending: &[PendingView],
+        free_hosts: usize,
+        _tenant_hosts: &BTreeMap<u32, usize>,
+        _total_hosts: usize,
+    ) -> Option<u64> {
+        let head = pending.first()?;
+        (head.hosts_wanted <= free_hosts).then_some(head.id)
+    }
+}
+
+/// Fair share: always serve the tenant holding the fewest hosts (ties to
+/// the lower tenant id), taking that tenant's oldest job that fits; if none
+/// of theirs fit, fall through to the next-poorest tenant. Small tenants
+/// cannot be starved by a heavy submitter.
+#[derive(Debug, Default)]
+pub struct FairShare;
+
+impl Scheduler for FairShare {
+    fn name(&self) -> &'static str {
+        "fair"
+    }
+
+    fn pick(
+        &mut self,
+        pending: &[PendingView],
+        free_hosts: usize,
+        tenant_hosts: &BTreeMap<u32, usize>,
+        _total_hosts: usize,
+    ) -> Option<u64> {
+        // Tenants with pending work, poorest first (usage, then id).
+        let mut tenants: Vec<u32> = pending.iter().map(|p| p.tenant).collect();
+        tenants.sort_unstable();
+        tenants.dedup();
+        tenants.sort_by_key(|t| (tenant_hosts.get(t).copied().unwrap_or(0), *t));
+        for t in tenants {
+            if let Some(p) = pending
+                .iter()
+                .find(|p| p.tenant == t && p.hosts_wanted <= free_hosts)
+            {
+                return Some(p.id);
+            }
+        }
+        None
+    }
+}
+
+/// Capacity scheduler: each tenant owns an equal slice of the cluster
+/// (`ceil(total / n_tenants)` hosts) and is only admitted while its usage is
+/// below its cap; within the eligible set, submission order wins. Mirrors
+/// Hadoop's capacity scheduler with equal queues.
+#[derive(Debug)]
+pub struct Capacity {
+    /// Number of equal tenant slices the cluster is divided into.
+    pub n_tenants: u32,
+}
+
+impl Scheduler for Capacity {
+    fn name(&self) -> &'static str {
+        "capacity"
+    }
+
+    fn pick(
+        &mut self,
+        pending: &[PendingView],
+        free_hosts: usize,
+        tenant_hosts: &BTreeMap<u32, usize>,
+        total_hosts: usize,
+    ) -> Option<u64> {
+        let cap = total_hosts.div_ceil(self.n_tenants.max(1) as usize);
+        pending
+            .iter()
+            .find(|p| {
+                tenant_hosts.get(&p.tenant).copied().unwrap_or(0) < cap
+                    && p.hosts_wanted <= free_hosts
+            })
+            .map(|p| p.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pend(id: u64, tenant: u32, hosts: usize) -> PendingView {
+        PendingView {
+            id,
+            tenant,
+            hosts_wanted: hosts,
+            submitted: SimTime::from_secs(id),
+        }
+    }
+
+    #[test]
+    fn fifo_blocks_behind_the_head() {
+        let q = [pend(0, 0, 10), pend(1, 1, 2)];
+        let usage = BTreeMap::new();
+        assert_eq!(Fifo.pick(&q, 12, &usage, 16), Some(0));
+        // Head doesn't fit: nothing runs, even though job 1 would.
+        assert_eq!(Fifo.pick(&q, 4, &usage, 16), None);
+    }
+
+    #[test]
+    fn fair_share_serves_the_poorest_tenant() {
+        let q = [pend(0, 0, 2), pend(1, 1, 2), pend(2, 1, 2)];
+        let mut usage = BTreeMap::new();
+        usage.insert(0u32, 8usize);
+        // Tenant 1 holds nothing: its oldest job wins despite job 0 queuing
+        // first.
+        assert_eq!(FairShare.pick(&q, 4, &usage, 16), Some(1));
+        // If tenant 1's jobs don't fit, fall through to tenant 0.
+        let q2 = [pend(0, 0, 2), pend(1, 1, 6)];
+        assert_eq!(FairShare.pick(&q2, 4, &usage, 16), Some(0));
+    }
+
+    #[test]
+    fn capacity_caps_each_tenant() {
+        let q = [pend(0, 0, 2), pend(1, 1, 2)];
+        let mut usage = BTreeMap::new();
+        usage.insert(0u32, 8usize); // tenant 0 at its 16/2 = 8-host cap
+        let mut sched = Capacity { n_tenants: 2 };
+        assert_eq!(sched.pick(&q, 4, &usage, 16), Some(1));
+        usage.insert(1u32, 8usize);
+        assert_eq!(sched.pick(&q, 4, &usage, 16), None);
+    }
+}

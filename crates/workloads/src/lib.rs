@@ -22,6 +22,6 @@ pub use apps::{
     Grep, InvertedIndex, JavaSort, ReduceSideJoin, WordCount, WordCountPairs, JOIN_LEFT, JOIN_RIGHT,
 };
 pub use records::SortGen;
-pub use specs::{grep_spec, javasort_spec, measure_ratios, wordcount_spec};
+pub use specs::{grep_spec, index_spec, javasort_spec, measure_ratios, wordcount_spec};
 pub use text::{rank_to_word, zipf_pairs, TextGen};
-pub use zipf::Zipf;
+pub use zipf::{SeededZipf, Zipf};

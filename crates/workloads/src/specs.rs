@@ -121,6 +121,33 @@ pub fn javasort_spec(input_bytes: u64) -> JobSpec {
     }
 }
 
+/// InvertedIndex spec at `input_bytes`: tokenize text, emit
+/// `<word, posting>` pairs, merge postings lists in the reduce.
+///
+/// Calibrated constants (no measured sample: posting payloads depend on
+/// document ids the simulators do not model):
+/// * `map_cpu = 500 ns/B` — tokenization plus posting construction, a bit
+///   cheaper than WordCount's counting map;
+/// * `map_output_ratio = 1.6` — each word carries a length-framed posting
+///   larger than the word itself;
+/// * `combine_ratio = 0.4` — per-split posting-list merge collapses repeats
+///   of frequent words but keeps one entry per (word, document);
+/// * `reduce_cpu = 120 ns/B`, `output_ratio = 1.2` — merged postings with
+///   list framing slightly exceed the combined shuffle volume.
+pub fn index_spec(input_bytes: u64) -> JobSpec {
+    JobSpec {
+        name: "index".into(),
+        input_bytes,
+        record_bytes: 90,
+        map_cpu_ns_per_byte: 500.0,
+        map_output_ratio: 1.6,
+        combine_ratio: 0.4,
+        combine_cpu_ns_per_byte: 25.0,
+        reduce_cpu_ns_per_byte: 120.0,
+        output_ratio: 1.2,
+    }
+}
+
 /// Grep spec at `input_bytes`: full scan, near-empty output.
 pub fn grep_spec(input_bytes: u64) -> JobSpec {
     JobSpec {
@@ -172,5 +199,6 @@ mod tests {
     fn sort_and_grep_specs_validate() {
         assert!(javasort_spec(150 << 30).validate().is_ok());
         assert!(grep_spec(1 << 30).validate().is_ok());
+        assert!(index_spec(1 << 30).validate().is_ok());
     }
 }

@@ -6,7 +6,7 @@
 //! word frequencies follow a Zipf law. Splits are generated lazily from
 //! `(seed, split_index)`, so a "100 GB" input occupies no memory.
 
-use crate::zipf::Zipf;
+use crate::zipf::{SeededZipf, Zipf};
 use mapred::InputFormat;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,10 +37,9 @@ pub fn rank_to_word(mut r: usize) -> String {
 pub fn zipf_pairs(seed: u64, n: usize, vocab: usize) -> Vec<(String, u64)> {
     // First rank whose base-26 spelling has five digits.
     const FIVE_LETTER_BASE: usize = 26 + 26 * 26 + 26 * 26 * 26 + 26 * 26 * 26 * 26;
-    let zipf = Zipf::new(vocab, 1.0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut zipf = SeededZipf::new(seed, vocab, 1.0);
     (0..n)
-        .map(|_| (rank_to_word(FIVE_LETTER_BASE + zipf.sample(&mut rng)), 1))
+        .map(|_| (rank_to_word(FIVE_LETTER_BASE + zipf.next_rank()), 1))
         .collect()
 }
 
@@ -125,6 +124,23 @@ mod tests {
         assert_eq!(rank_to_word(25), "z");
         assert_eq!(rank_to_word(26), "ba");
         assert_eq!(rank_to_word(27), "bb");
+    }
+
+    #[test]
+    fn zipf_pairs_distribution_is_pinned() {
+        // Pins the exact stream the benches have always consumed, so the
+        // shared SeededZipf refactor (and any future change to it) cannot
+        // silently shift the bench input distribution.
+        let pairs = zipf_pairs(42, 12, 60_000);
+        let words: Vec<&str> = pairs.iter().map(|(w, _)| w.as_str()).collect();
+        assert_eq!(
+            words,
+            [
+                "bbljt", "bbbbw", "bdwsb", "bbdvm", "bbjef", "bbbuo", "bbbbb", "bbbyv", "bbbbf",
+                "bcqbo", "bbbpb", "bbqrl"
+            ]
+        );
+        assert!(pairs.iter().all(|(w, c)| w.len() == 5 && *c == 1));
     }
 
     #[test]

@@ -8,8 +8,12 @@
 //! runners, and the floor keeps the gate meaningful instead of flaky.
 //! Rate metrics (any metric named `*_per_sec`, e.g. `mb_per_sec` on the
 //! pipeline-shape benches or `flows_per_sec` on `flow_churn`) mirror the
-//! wall gate: falling more than 25 % below the baseline fails. Benches or
-//! metrics present on only one side are reported but never fail the diff.
+//! wall gate: falling more than 25 % below the baseline fails. Latency
+//! metrics (named `*_latency_s`, e.g. the serving benches' simulated p99)
+//! gate in the opposite direction: *rising* more than 25 % fails — these
+//! are deterministic simulated seconds, so a jump is a behavior change,
+//! not runner noise. Benches or metrics present on only one side are
+//! reported but never fail the diff.
 //!
 //! When `$GITHUB_STEP_SUMMARY` is set (as it is in GitHub Actions), the
 //! full delta table is also appended there as GitHub-flavored markdown, so
@@ -30,6 +34,13 @@ const MAX_THROUGHPUT_DROP: f64 = 0.25;
 /// Metrics gated as throughput: higher is better, compared by relative drop.
 fn is_rate_metric(name: &str) -> bool {
     name.ends_with("_per_sec")
+}
+
+/// Metrics gated as latency: lower is better, compared by relative rise.
+/// These carry deterministic simulated seconds (serving p99 etc.), so the
+/// gate needs no wall-clock noise floor.
+fn is_latency_metric(name: &str) -> bool {
+    name.ends_with("_latency_s")
 }
 
 pub fn bench_diff(old_path: &str, new_path: &str) -> ExitCode {
@@ -84,8 +95,9 @@ pub fn bench_diff(old_path: &str, new_path: &str) -> ExitCode {
     println!();
     if regressions > 0 {
         eprintln!(
-            "bench-diff: {regressions} regression(s) beyond +{:.0}% / {:.0} ms wall or \
-             -{:.0}% throughput — refresh BENCH_BASELINE.json only for intentional slowdowns",
+            "bench-diff: {regressions} regression(s) beyond +{:.0}% / {:.0} ms wall, \
+             -{:.0}% throughput, or +25% latency — refresh BENCH_BASELINE.json only for \
+             intentional slowdowns",
             (MAX_REGRESSION_RATIO - 1.0) * 100.0,
             MIN_REGRESSION_SECS * 1e3,
             MAX_THROUGHPUT_DROP * 100.0
@@ -149,7 +161,9 @@ fn diff_rows(old: &Report, new: &Report) -> Vec<Row> {
         });
 
         for (metric, nv) in &nb.metrics {
-            if !is_rate_metric(metric) {
+            let rate = is_rate_metric(metric);
+            let latency = is_latency_metric(metric);
+            if !rate && !latency {
                 continue;
             }
             let Some(ov) = ob.metrics.get(metric) else {
@@ -160,16 +174,30 @@ fn diff_rows(old: &Report, new: &Report) -> Vec<Row> {
             } else {
                 0.0
             };
-            let regressed = *ov > 0.0 && (ov - nv) / ov > MAX_THROUGHPUT_DROP;
+            let regressed = if rate {
+                *ov > 0.0 && (ov - nv) / ov > MAX_THROUGHPUT_DROP
+            } else {
+                *ov > 0.0 && (nv - ov) / ov > MAX_REGRESSION_RATIO - 1.0
+            };
+            let improved = if rate {
+                delta_pct >= 25.0
+            } else {
+                delta_pct <= -20.0
+            };
+            let (old_s, new_s) = if rate {
+                (fmt_rate(*ov), fmt_rate(*nv))
+            } else {
+                (fmt_ms(*ov), fmt_ms(*nv))
+            };
             rows.push(Row {
                 bench: name.clone(),
                 measure: metric.clone(),
-                old: fmt_rate(*ov),
-                new: fmt_rate(*nv),
+                old: old_s,
+                new: new_s,
                 delta: format!("{delta_pct:+.1}%"),
                 verdict: if regressed {
                     "REGRESSED"
-                } else if delta_pct >= 25.0 {
+                } else if improved {
                     "improved"
                 } else {
                     "ok"
@@ -578,6 +606,29 @@ mod tests {
             !rows.iter().any(|r| r.measure == "output_pairs"),
             "non-rate metrics stay out of the delta table"
         );
+    }
+
+    #[test]
+    fn latency_rise_beyond_quarter_regresses() {
+        let old = report_with("serve_hadoop", 0.4, &[("p99_latency_s", 200.0)]);
+        let new = report_with("serve_hadoop", 0.4, &[("p99_latency_s", 260.0)]);
+        let rows = diff_rows(&old, &new);
+        let lat = rows.iter().find(|r| r.measure == "p99_latency_s").unwrap();
+        assert!(lat.regressed, "+30% p99 must fail the gate");
+        assert_eq!(lat.verdict, "REGRESSED");
+    }
+
+    #[test]
+    fn latency_within_gate_or_falling_passes() {
+        let old = report_with("serve_hadoop", 0.4, &[("p99_latency_s", 200.0)]);
+        // +20% is inside the budget; a drop is an improvement, not a gate.
+        for (nv, verdict) in [(240.0, "ok"), (120.0, "improved")] {
+            let new = report_with("serve_hadoop", 0.4, &[("p99_latency_s", nv)]);
+            let rows = diff_rows(&old, &new);
+            let lat = rows.iter().find(|r| r.measure == "p99_latency_s").unwrap();
+            assert!(!lat.regressed);
+            assert_eq!(lat.verdict, verdict);
+        }
     }
 
     #[test]

@@ -26,7 +26,9 @@ use crate::analyze::{token_matches, Finding, Pass, Workspace};
 /// (`mpi-rt`, `obs`, `transports`, `bench`) legitimately read wall clocks —
 /// they measure real execution — so only the simulation substrate is
 /// linted, plus `xtask` itself.
-pub const LINTED_CRATES: &[&str] = &["desim", "netsim", "hadoop", "mapred", "faults", "xtask"];
+pub const LINTED_CRATES: &[&str] = &[
+    "desim", "netsim", "hadoop", "mapred", "faults", "serve", "xtask",
+];
 
 /// Banned token → why it breaks replayability.
 pub const BANNED: &[(&str, &str)] = &[
