@@ -65,6 +65,13 @@ fn main() {
     let filter = mpid_bench::arg_value(&args, "--filter");
     let profile_dir = mpid_bench::arg_value(&args, "--profile");
     let trace_path = mpid_bench::arg_value(&args, "--trace");
+    let threads: usize = mpid_bench::arg_value(&args, "--threads")
+        .map(|t| t.parse().expect("--threads takes a positive integer"))
+        .unwrap_or(1);
+    assert!(threads >= 1, "--threads takes a positive integer");
+    if args.iter().any(|a| a == "--check-mem") {
+        std::process::exit(check_mem(quick));
+    }
     let want = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
 
     println!(
@@ -284,11 +291,17 @@ fn main() {
         "pipe_many_keys",
         "pipe_compressed",
         "pipe_extmerge",
+        "mpid_pipeline_t1",
+        "mpid_pipeline_t2",
+        "mpid_pipeline_t4",
+        "pipe_many_keys_t1",
+        "pipe_many_keys_t2",
+        "pipe_many_keys_t4",
     ];
     if shapes.iter().any(|n| want(n)) {
         let warm = zipf_pairs(1, 65_536, 1_000);
         let _ = run_mpid(
-            &MpidEngineConfig::with_workers(4, 2),
+            &pipe_cfg(threads),
             Arc::new(WordCountPairs),
             Arc::new(VecInput::round_robin(warm, 8)),
         );
@@ -299,7 +312,7 @@ fn main() {
         let pairs = zipf_pairs(11, scale * 524_288, 20_000);
         benches.push(pipe_shape(
             "mpid_pipeline",
-            &MpidEngineConfig::with_workers(4, 2),
+            &pipe_cfg(threads),
             WordCountPairs,
             pairs,
         ));
@@ -319,7 +332,7 @@ fn main() {
             .collect();
         benches.push(pipe_shape(
             "pipe_large_values",
-            &MpidEngineConfig::with_workers(4, 2),
+            &pipe_cfg(threads),
             JavaSort,
             recs,
         ));
@@ -332,7 +345,7 @@ fn main() {
         let pairs: Vec<(String, u64)> = (0..n).map(|i| (rank_to_word(i), 1)).collect();
         benches.push(pipe_shape(
             "pipe_many_keys",
-            &MpidEngineConfig::with_workers(4, 2),
+            &pipe_cfg(threads),
             WordCountPairs,
             pairs,
         ));
@@ -341,7 +354,7 @@ fn main() {
     // Shape 4: Zipf word pairs with LZ wire compression.
     if want("pipe_compressed") {
         let pairs = zipf_pairs(13, scale * 524_288, 20_000);
-        let mut cfg = MpidEngineConfig::with_workers(4, 2);
+        let mut cfg = pipe_cfg(threads);
         cfg.compress = true;
         benches.push(pipe_shape("pipe_compressed", &cfg, WordCountPairs, pairs));
     }
@@ -350,9 +363,41 @@ fn main() {
     // external merge (reducer-side disk spill path).
     if want("pipe_extmerge") {
         let pairs = zipf_pairs(17, scale * 524_288, 20_000);
-        let mut cfg = MpidEngineConfig::with_workers(4, 2);
+        let mut cfg = pipe_cfg(threads);
         cfg.reduce_budget_bytes = Some(256 * 1024);
         benches.push(pipe_shape("pipe_extmerge", &cfg, WordCountPairs, pairs));
+    }
+
+    // ------------------------------------------------------------------
+    // 6. Thread-scaling matrix: the combined-shuffle shape and the
+    //    distinct-key shape at 1 / 2 / 4 worker threads over the *same*
+    //    input. Each point is its own named bench so `cargo xtask
+    //    bench-diff` gates every (shape, threads) cell against its own
+    //    baseline — a scaling regression fails CI even when the
+    //    single-thread number is healthy. (Absolute speedup across the
+    //    cells is machine-dependent; a single-core runner serializes the
+    //    workers and the t2/t4 cells mostly measure sharding overhead.)
+    // ------------------------------------------------------------------
+    let scaling: [(&'static str, usize); 6] = [
+        ("mpid_pipeline_t1", 1),
+        ("mpid_pipeline_t2", 2),
+        ("mpid_pipeline_t4", 4),
+        ("pipe_many_keys_t1", 1),
+        ("pipe_many_keys_t2", 2),
+        ("pipe_many_keys_t4", 4),
+    ];
+    for (name, t) in scaling {
+        if !want(name) {
+            continue;
+        }
+        if name.starts_with("mpid_pipeline") {
+            let pairs = zipf_pairs(11, scale * 524_288, 20_000);
+            benches.push(pipe_shape(name, &pipe_cfg(t), WordCountPairs, pairs));
+        } else {
+            let n = scale * 131_072;
+            let pairs: Vec<(String, u64)> = (0..n).map(|i| (rank_to_word(i), 1)).collect();
+            benches.push(pipe_shape(name, &pipe_cfg(t), WordCountPairs, pairs));
+        }
     }
 
     if let Some(path) = out {
@@ -364,11 +409,73 @@ fn main() {
     if profile_dir.is_some() || trace_path.is_some() {
         emit_profiles(
             quick,
+            threads,
             filter.as_deref(),
             profile_dir.as_deref(),
             trace_path.as_deref(),
         );
     }
+}
+
+/// The real-pipeline engine config every shape uses: 4 mappers, 2
+/// reducers, `threads` hot-path workers per data-path rank.
+fn pipe_cfg(threads: usize) -> MpidEngineConfig {
+    let mut cfg = MpidEngineConfig::with_workers(4, 2);
+    cfg.threads = threads;
+    cfg
+}
+
+/// `--check-mem`: run the bounded-memory external-merge shape with a job
+/// block-pool budget and assert the pool's high-water mark respected it.
+/// Prints a Markdown summary (append it to `$GITHUB_STEP_SUMMARY` in CI)
+/// and returns the process exit code.
+///
+/// The budget must clear the sender side's deterministic peak — mappers
+/// charge their raw stream unconditionally (spilling on pool pressure
+/// would make spill cadence timing-dependent) and are bounded by
+/// `min(raw bytes, spill_threshold_bytes)` per mapper — plus the
+/// receivers' windowed ingest, which is the *checked* part: it spills
+/// through the external merge rather than exceed the pool. Quick mode
+/// moves ~8 MB of wire through 4 mappers (no mapper crosses the 4 MB
+/// spill threshold), full mode ~32 MB (every mapper spills at 4 MB), so
+/// high-water ≤ budget holds exactly when the spill-before-exceed
+/// discipline works and nothing forced a charge.
+fn check_mem(quick: bool) -> i32 {
+    let scale = if quick { 1 } else { 4 };
+    let budget = if quick { 12 << 20 } else { 24 << 20 };
+    let pairs = zipf_pairs(17, scale * 524_288, 20_000);
+    let wire_bytes: u64 = pairs
+        .iter()
+        .map(|(k, v)| (k.wire_size() + v.wire_size()) as u64)
+        .sum();
+    let mut cfg = pipe_cfg(1);
+    cfg.reduce_budget_bytes = Some(256 * 1024);
+    cfg.mem_budget = Some(budget);
+    let input = Arc::new(VecInput::round_robin(pairs, 8));
+    let job = run_mpid(&cfg, Arc::new(WordCountPairs), input);
+    let stats = job.pool_stats.expect("mem_budget installs a job pool");
+    let ok = stats.high_water <= budget && stats.forced == 0;
+    println!("## perf --check-mem");
+    println!();
+    println!(
+        "| metric | value |\n|---|---|\n| wire bytes | {} |\n| pool budget | {} |\n\
+         | pool high water | {} |\n| forced charges | {} |\n| output pairs | {} |\n\
+         | verdict | {} |",
+        mpid_bench::fmt_size(wire_bytes),
+        mpid_bench::fmt_size(budget as u64),
+        mpid_bench::fmt_size(stats.high_water as u64),
+        stats.forced,
+        job.output.len(),
+        if ok { "PASS" } else { "**FAIL**" },
+    );
+    if !ok {
+        eprintln!(
+            "check-mem: pool high water {} exceeded budget {} (forced charges: {})",
+            stats.high_water, budget, stats.forced
+        );
+        return 1;
+    }
+    0
 }
 
 /// Re-run every profileable bench the filter matches under tracing: the
@@ -378,6 +485,7 @@ fn main() {
 /// per bench derived from `trace_path`.
 fn emit_profiles(
     quick: bool,
+    threads: usize,
     filter: Option<&str>,
     profile_dir: Option<&str>,
     trace_path: Option<&str>,
@@ -435,7 +543,7 @@ fn emit_profiles(
     let scale = if quick { 1 } else { 4 };
     if want("mpid_pipeline") {
         let pairs = zipf_pairs(11, scale * 524_288, 20_000);
-        let trace = trace_pipe(&MpidEngineConfig::with_workers(4, 2), WordCountPairs, pairs);
+        let trace = trace_pipe(&pipe_cfg(threads), WordCountPairs, pairs);
         finish("mpid_pipeline", &trace, None);
     }
     if want("pipe_large_values") {
@@ -448,25 +556,25 @@ fn emit_profiles(
                 )
             })
             .collect();
-        let trace = trace_pipe(&MpidEngineConfig::with_workers(4, 2), JavaSort, recs);
+        let trace = trace_pipe(&pipe_cfg(threads), JavaSort, recs);
         finish("pipe_large_values", &trace, None);
     }
     if want("pipe_many_keys") {
         let n = scale * 131_072;
         let pairs: Vec<(String, u64)> = (0..n).map(|i| (rank_to_word(i), 1)).collect();
-        let trace = trace_pipe(&MpidEngineConfig::with_workers(4, 2), WordCountPairs, pairs);
+        let trace = trace_pipe(&pipe_cfg(threads), WordCountPairs, pairs);
         finish("pipe_many_keys", &trace, None);
     }
     if want("pipe_compressed") {
         let pairs = zipf_pairs(13, scale * 524_288, 20_000);
-        let mut cfg = MpidEngineConfig::with_workers(4, 2);
+        let mut cfg = pipe_cfg(threads);
         cfg.compress = true;
         let trace = trace_pipe(&cfg, WordCountPairs, pairs);
         finish("pipe_compressed", &trace, None);
     }
     if want("pipe_extmerge") {
         let pairs = zipf_pairs(17, scale * 524_288, 20_000);
-        let mut cfg = MpidEngineConfig::with_workers(4, 2);
+        let mut cfg = pipe_cfg(threads);
         cfg.reduce_budget_bytes = Some(256 * 1024);
         let trace = trace_pipe(&cfg, WordCountPairs, pairs);
         finish("pipe_extmerge", &trace, None);

@@ -1,6 +1,8 @@
 //! MPI-D runtime configuration and rank-role layout.
 
+use crate::pool::BlockPool;
 use mpi_rt::{Comm, Rank};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tunables of the MPI-D pipeline (paper §IV.A).
@@ -30,6 +32,24 @@ pub struct MpidConfig {
     /// LZ-compress realigned frames before sending (the paper's
     /// "compressing data" realignment improvement; see [`crate::compress`]).
     pub compress: bool,
+    /// Worker threads per data-path rank (Mimir's `tnum`). `1` keeps every
+    /// stage on the rank's own thread. With more, the sender shards its hash
+    /// table across `threads` combiner workers (see [`crate::shard`]) and the
+    /// receiver splits its k-way merge into `threads` disjoint key ranges.
+    /// Output bytes are identical at every setting.
+    pub threads: usize,
+    /// Byte budget for the job's shared [`BlockPool`]. `Some(n)` routes
+    /// sender, receiver, and external-merge buffering through one pool of
+    /// `n` bytes: the receiver spills pre-sorted windows through
+    /// [`crate::extmerge`] instead of exceeding it. `None` = unbounded
+    /// (buffering is still bounded per-stage by `spill_threshold_bytes`).
+    pub mem_budget: Option<usize>,
+    /// The shared pool itself. Normally left `None` and materialized from
+    /// `mem_budget` at [`crate::MpidWorld::init`]; set it explicitly (to one
+    /// shared `Arc`) before launching ranks when the budget should bound the
+    /// *job's* aggregate buffering rather than each rank's. The engine does
+    /// exactly that.
+    pub pool: Option<Arc<BlockPool>>,
 }
 
 impl Default for MpidConfig {
@@ -43,6 +63,9 @@ impl Default for MpidConfig {
             sort_values: false,
             use_isend: false,
             compress: false,
+            threads: 1,
+            mem_budget: None,
+            pool: None,
         }
     }
 }
@@ -68,6 +91,18 @@ impl MpidConfig {
         1 + self.n_mappers + self.n_reducers
     }
 
+    /// Materialize `pool` from `mem_budget` if no shared pool was installed.
+    /// Called by [`crate::MpidWorld::init`]; note that init runs once per
+    /// rank, so a pool created here is per-rank — share one `Arc` up front
+    /// (as the mapred engine does) for a job-wide budget.
+    pub fn ensure_pool(&mut self) {
+        if self.pool.is_none() {
+            if let Some(budget) = self.mem_budget {
+                self.pool = Some(BlockPool::new(budget));
+            }
+        }
+    }
+
     /// Validate against a communicator.
     pub fn check(&self, comm: &Comm) -> Result<(), String> {
         if self.n_mappers == 0 {
@@ -78,6 +113,12 @@ impl MpidConfig {
         }
         if self.frame_bytes == 0 || self.spill_threshold_bytes == 0 {
             return Err("frame and spill sizes must be nonzero".into());
+        }
+        if self.threads == 0 {
+            return Err("threads must be at least 1".into());
+        }
+        if self.mem_budget == Some(0) {
+            return Err("mem_budget must be nonzero when set".into());
         }
         if comm.size() != self.required_ranks() {
             return Err(format!(

@@ -15,6 +15,7 @@
 //! codec and are readable incrementally with bounded memory.
 
 use crate::kv::{CodecError, Key, Value};
+use crate::pool::{BlockPool, PoolCharge};
 use crate::realign::FrameReader;
 use bytes::{BufMut, BytesMut};
 use std::collections::BTreeMap;
@@ -61,6 +62,9 @@ pub struct ExternalTable<K: Key, V: Value> {
     runs: Vec<PathBuf>,
     next_run: usize,
     spilled_bytes: u64,
+    /// Mirror of `resident_bytes` against the job's block pool (no-op
+    /// without one; see [`ExternalTable::with_pool`]).
+    charge: PoolCharge,
 }
 
 impl<K: Key, V: Value> ExternalTable<K, V> {
@@ -87,7 +91,19 @@ impl<K: Key, V: Value> ExternalTable<K, V> {
             runs: Vec::new(),
             next_run: 0,
             spilled_bytes: 0,
+            charge: PoolCharge::new(None),
         })
+    }
+
+    /// Charge the resident set to a job-wide [`BlockPool`]: pool pressure
+    /// becomes an additional spill trigger (spill-then-retry, forcing only
+    /// when a single insert exceeds what the pool has free), so the table's
+    /// buffering shows up in — and yields to — the job's byte budget. The
+    /// extra spills can change run *counts* under contention, never merged
+    /// output.
+    pub fn with_pool(mut self, pool: Option<std::sync::Arc<BlockPool>>) -> Self {
+        self.charge = PoolCharge::new(pool);
+        self
     }
 
     /// Number of runs spilled so far.
@@ -109,6 +125,14 @@ impl<K: Key, V: Value> ExternalTable<K, V> {
     /// Add values for a key, spilling if the budget is exceeded.
     pub fn insert(&mut self, key: K, values: Vec<V>) -> Result<(), ExtMergeError> {
         let added: usize = key.wire_size() + values.iter().map(|v| v.wire_size()).sum::<usize>();
+        if !self.charge.try_grow(added) {
+            // Pool exhausted: spill what we hold (releasing our charge) and
+            // retry; force only if the insert alone exceeds the free pool.
+            self.spill()?;
+            if !self.charge.try_grow(added) {
+                self.charge.grow(added);
+            }
+        }
         self.resident_bytes += added;
         self.resident.entry(key).or_default().extend(values);
         if self.resident_bytes > self.budget_bytes {
@@ -146,6 +170,7 @@ impl<K: Key, V: Value> ExternalTable<K, V> {
         }
         w.flush()?;
         self.resident_bytes = 0;
+        self.charge.clear();
         self.runs.push(path);
         Ok(())
     }

@@ -52,7 +52,26 @@ pub trait Kv: Sized {
     fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
         Self::decode(buf).map(|_| ())
     }
+    /// Compare two *encoded* values without decoding them, or `None` if this
+    /// type can't. Each slice must hold exactly one encoded value.
+    ///
+    /// When `Self: Ord`, an implementation must order exactly as `Ord` does
+    /// (including equality), because the receiver's sort-merge grouping uses
+    /// it in place of decode-then-`cmp`: the sort and k-way merge then touch
+    /// only byte ranges, and each key is decoded once per output group
+    /// instead of once per comparison. Strings and blobs compare their
+    /// payload bytes (lexicographic over UTF-8 bytes *is* `str`'s `Ord`);
+    /// fixed-width integers decode on the spot — little-endian bytes don't
+    /// memcmp in numeric order, but a register load + compare is still far
+    /// cheaper than materializing an owned key.
+    fn encoded_cmp() -> Option<EncodedCmp> {
+        None
+    }
 }
+
+/// Comparator over *encoded* byte slices — what [`Kv::encoded_cmp`] hands
+/// out. Each slice must hold exactly one encoded value.
+pub type EncodedCmp = fn(&[u8], &[u8]) -> std::cmp::Ordering;
 
 fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
     if buf.len() < n {
@@ -64,7 +83,21 @@ fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
 }
 
 macro_rules! impl_kv_int {
-    ($($t:ty),*) => {$(
+    // Ordered integers get an encoded comparator (decode-and-compare: LE
+    // bytes don't memcmp in numeric order). Floats don't — they aren't
+    // `Ord`, so they can never be keys and the consistency contract wouldn't
+    // apply.
+    (@cmp ord, $t:ty) => {
+        fn encoded_cmp() -> Option<fn(&[u8], &[u8]) -> std::cmp::Ordering> {
+            Some(|a, b| {
+                let x = <$t>::from_le_bytes(a.try_into().expect("exact encoded width"));
+                let y = <$t>::from_le_bytes(b.try_into().expect("exact encoded width"));
+                x.cmp(&y)
+            })
+        }
+    };
+    (@cmp unord, $t:ty) => {};
+    ($($ord:ident $t:ty),*) => {$(
         impl Kv for $t {
             fn encode(&self, out: &mut BytesMut) {
                 out.put_slice(&self.to_le_bytes());
@@ -79,11 +112,15 @@ macro_rules! impl_kv_int {
             fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
                 take(buf, std::mem::size_of::<$t>()).map(|_| ())
             }
+            impl_kv_int!(@cmp $ord, $t);
         }
     )*};
 }
 
-impl_kv_int!(u8, u16, u32, u64, i8, i16, i32, i64, f64, f32);
+impl_kv_int!(
+    ord u8, ord u16, ord u32, ord u64, ord i8, ord i16, ord i32, ord i64,
+    unord f64, unord f32
+);
 
 impl Kv for String {
     fn encode(&self, out: &mut BytesMut) {
@@ -102,6 +139,11 @@ impl Kv for String {
         let len = u32::decode(buf)? as usize;
         take(buf, len).map(|_| ())
     }
+    fn encoded_cmp() -> Option<fn(&[u8], &[u8]) -> std::cmp::Ordering> {
+        // `str`'s Ord is lexicographic over UTF-8 bytes, so comparing the
+        // payload past the 4-byte length prefix matches `String::cmp`.
+        Some(|a, b| a[4..].cmp(&b[4..]))
+    }
 }
 
 impl Kv for Vec<u8> {
@@ -119,6 +161,9 @@ impl Kv for Vec<u8> {
     fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
         let len = u32::decode(buf)? as usize;
         take(buf, len).map(|_| ())
+    }
+    fn encoded_cmp() -> Option<fn(&[u8], &[u8]) -> std::cmp::Ordering> {
+        Some(|a, b| a[4..].cmp(&b[4..]))
     }
 }
 
@@ -218,6 +263,41 @@ mod tests {
         assert_eq!(String::decode(&mut slice), Err(CodecError::Truncated));
         let mut empty: &[u8] = &[];
         assert_eq!(u64::decode(&mut empty), Err(CodecError::Truncated));
+    }
+
+    fn cmp_encoded<T: Kv + Ord>(a: &T, b: &T) -> std::cmp::Ordering {
+        let f = T::encoded_cmp().expect("type advertises an encoded comparator");
+        let (mut ea, mut eb) = (BytesMut::new(), BytesMut::new());
+        a.encode(&mut ea);
+        b.encode(&mut eb);
+        f(&ea, &eb)
+    }
+
+    #[test]
+    fn encoded_cmp_matches_ord() {
+        for (a, b) in [(0u64, 1), (u64::MAX, 0), (7, 7), (1 << 40, 255)] {
+            assert_eq!(cmp_encoded(&a, &b), a.cmp(&b), "{a} vs {b}");
+        }
+        for (a, b) in [(-5i32, 3), (i32::MIN, i32::MAX), (-1, -1), (256, -256)] {
+            assert_eq!(cmp_encoded(&a, &b), a.cmp(&b), "{a} vs {b}");
+        }
+        let words = ["", "a", "ab", "b", "ünïcödé", "z\u{10FFFF}"];
+        for a in words {
+            for b in words {
+                let (a, b) = (a.to_string(), b.to_string());
+                assert_eq!(cmp_encoded(&a, &b), a.cmp(&b), "{a:?} vs {b:?}");
+            }
+        }
+        let blobs: [&[u8]; 4] = [b"", b"\x00", b"\xff", b"\x00\x01"];
+        for a in blobs {
+            for b in blobs {
+                let (a, b) = (a.to_vec(), b.to_vec());
+                assert_eq!(cmp_encoded(&a, &b), a.cmp(&b), "{a:?} vs {b:?}");
+            }
+        }
+        // Tuples keep the conservative default: no encoded comparator.
+        assert!(<(String, u64)>::encoded_cmp().is_none());
+        assert!(f64::encoded_cmp().is_none());
     }
 
     #[test]

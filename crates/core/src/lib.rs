@@ -73,9 +73,11 @@ pub mod extmerge;
 pub mod kv;
 pub mod master;
 pub mod partition;
+pub mod pool;
 pub mod realign;
 pub mod receiver;
 pub mod sender;
+pub mod shard;
 pub mod stats;
 
 pub use combine::{Combiner, FnCombiner, MaxCombiner, MinCombiner, SumCombiner};
@@ -83,6 +85,7 @@ pub use config::{MpidConfig, Role};
 pub use error::{MpidError, MpidResult};
 pub use kv::{CodecError, Key, Kv, Value};
 pub use partition::{ConstPartitioner, HashPartitioner, Partitioner, RangePartitioner};
+pub use pool::{BlockPool, PoolStats};
 pub use receiver::{ExternalRecv, MpidReceiver, MpidStream};
 pub use sender::MpidSender;
 pub use stats::{MasterStats, ReceiverStats, SenderStats};
@@ -103,8 +106,11 @@ pub struct MpidWorld<'a> {
 impl<'a> MpidWorld<'a> {
     /// `MPI_D_Init`: validate the configuration against the communicator and
     /// determine this rank's role.
-    pub fn init(comm: &'a Comm, cfg: MpidConfig) -> MpidResult<Self> {
+    pub fn init(comm: &'a Comm, mut cfg: MpidConfig) -> MpidResult<Self> {
         cfg.check(comm).map_err(MpidError::Config)?;
+        // A `mem_budget` with no shared pool gets a per-rank pool here; jobs
+        // that want one job-wide budget install a shared Arc before launch.
+        cfg.ensure_pool();
         let role = Role::of(&cfg, comm.rank());
         Ok(MpidWorld { comm, cfg, role })
     }

@@ -244,6 +244,74 @@ pub fn parse_group_index<K: Kv, V: Kv>(body: &[u8]) -> Result<Vec<GroupMeta<K>>,
     Ok(out)
 }
 
+/// One group's location inside a frame body with the key *not* decoded:
+/// both the key and the value list stay as byte ranges. Produced by
+/// [`parse_group_index_raw`] for key types with [`Kv::encoded_cmp`], where
+/// the receiver's sort and merge compare encoded bytes directly and decode
+/// each key only once, at output time.
+#[derive(Debug, Clone, Copy)]
+pub struct RawGroup {
+    /// Start of the encoded key, as an offset into the frame body.
+    pub key_off: u32,
+    /// One past the end of the encoded key (= start of the value count).
+    pub key_end: u32,
+    /// Start of the encoded value list.
+    pub val_off: u32,
+    /// One past the end of the encoded value list.
+    pub val_end: u32,
+    /// Number of values in `val_off..val_end`.
+    pub n_values: u32,
+}
+
+impl RawGroup {
+    /// The encoded key bytes within `body`.
+    pub fn key_bytes<'a>(&self, body: &'a [u8]) -> &'a [u8] {
+        &body[self.key_off as usize..self.key_end as usize]
+    }
+
+    /// The encoded value-list bytes within `body`.
+    pub fn val_bytes<'a>(&self, body: &'a [u8]) -> &'a [u8] {
+        &body[self.val_off as usize..self.val_end as usize]
+    }
+}
+
+/// Index a frame body into per-group key/value byte ranges, decoding
+/// nothing. Keys are [`Kv::skip`]ped like values, so content errors (e.g.
+/// invalid UTF-8 in a `String` key) surface at the later per-group decode.
+/// Offsets are `u32`: frames are built to `frame_bytes` (order of KBs–MBs)
+/// and a single oversized group caps out far below 4 GiB in practice.
+pub fn parse_group_index_raw<K: Kv, V: Kv>(body: &[u8]) -> Result<Vec<RawGroup>, CodecError> {
+    debug_assert!(
+        body.len() <= u32::MAX as usize,
+        "frame body exceeds u32 indexing"
+    );
+    let mut slice = body;
+    let n_groups = u32::decode(&mut slice)?;
+    let mut out = Vec::with_capacity(n_groups as usize);
+    for _ in 0..n_groups {
+        let key_off = (body.len() - slice.len()) as u32;
+        K::skip(&mut slice)?;
+        let key_end = (body.len() - slice.len()) as u32;
+        let n_values = u32::decode(&mut slice)?;
+        let val_off = (body.len() - slice.len()) as u32;
+        for _ in 0..n_values {
+            V::skip(&mut slice)?;
+        }
+        let val_end = (body.len() - slice.len()) as u32;
+        out.push(RawGroup {
+            key_off,
+            key_end,
+            val_off,
+            val_end,
+            n_values,
+        });
+    }
+    if !slice.is_empty() {
+        return Err(CodecError::Corrupt("trailing bytes after last group"));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,6 +443,34 @@ mod tests {
                 .collect();
             assert_eq!(&decoded, vs);
             assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn raw_group_index_matches_typed_index() {
+        let groups = vec![
+            ("a".to_string(), vec![10u64, 20]),
+            ("bb".to_string(), vec![]),
+            ("ccc".to_string(), vec![7]),
+        ];
+        let frames = build(&groups, 1 << 20);
+        let typed = parse_group_index::<String, u64>(&frames[0]).unwrap();
+        let raw = parse_group_index_raw::<String, u64>(&frames[0]).unwrap();
+        assert_eq!(raw.len(), typed.len());
+        for (r, t) in raw.iter().zip(&typed) {
+            let mut kb = r.key_bytes(&frames[0]);
+            assert_eq!(String::decode(&mut kb).unwrap(), t.key);
+            assert_eq!(r.val_off as usize, t.val_off);
+            assert_eq!(r.val_end as usize, t.val_end);
+            assert_eq!(r.n_values, t.n_values);
+        }
+        // The byte-range comparator on raw keys orders like the typed keys.
+        let cmp = String::encoded_cmp().unwrap();
+        for w in raw.windows(2) {
+            assert_eq!(
+                cmp(w[0].key_bytes(&frames[0]), w[1].key_bytes(&frames[0])),
+                std::cmp::Ordering::Less
+            );
         }
     }
 

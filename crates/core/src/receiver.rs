@@ -5,28 +5,72 @@
 //! Frames arrive as refcounted [`Bytes`] straight off the transport (plain
 //! frames are a zero-copy slice past the wire marker; only LZ frames are
 //! decompressed into a fresh buffer). Each frame body is indexed into
-//! per-group *offsets* ([`parse_group_index`]) — keys decode once, values
-//! stay encoded — then the group index is sorted by key and all frame runs
-//! are k-way merged: the same streaming-merge shape [`ExternalTable`] uses
-//! on disk, applied in memory. Values decode exactly once, straight into an
-//! exact-capacity `Vec` per merged group, replacing the seed's per-record
-//! `BTreeMap` insert + `Vec` growth. Grouped output is bit-identical to the
-//! per-record path: ascending key order, and each key's values concatenated
-//! in frame-arrival order (runs are merged in arrival order, so equal keys
-//! absorb in exactly the order `BTreeMap::extend` appended them).
+//! per-group byte ranges ([`parse_group_index_raw`]) — nothing decodes at
+//! ingest — then the group index is sorted by key and all frame runs are
+//! k-way merged: the same streaming-merge shape [`ExternalTable`] uses on
+//! disk, applied in memory.
+//!
+//! ## Raw-key merge
+//!
+//! For key types with an [`encoded_cmp`](crate::kv::Kv::encoded_cmp)
+//! comparator (integers, strings, blobs — every common MapReduce key), the
+//! sort and merge compare encoded bytes in place and each distinct key is
+//! decoded exactly *once*, when its merged group is emitted. Other key
+//! types fall back to decoding each frame's keys up front and comparing
+//! decoded values. Values decode exactly once either way, straight into an
+//! exact-capacity `Vec` per merged group. Grouped output is deterministic:
+//! ascending key order, and each key's values concatenated in (mapper
+//! rank, mapper send order) — the in-memory merge stably sorts its runs by
+//! source rank before merging, so the scheduler-dependent interleaving of
+//! *frame arrival* across mappers never reaches the output.
+//!
+//! ## Threads
+//!
+//! With [`MpidConfig::threads`] > 1 and a raw-key comparator available, the
+//! k-way merge fans out across worker threads by *key range*: boundary keys
+//! are read off the largest run's quantiles, each run's sorted group index
+//! is cut at those boundaries with `partition_point`, and every range is
+//! merged independently ([`RangeMerge`]). Ranges partition the key space,
+//! so concatenating the per-range outputs in boundary order reproduces the
+//! sequential merge byte for byte — each worker shares only `&[u8]` frame
+//! bodies and offset tables, never a decoded key.
+//!
+//! ## Memory
+//!
+//! Frame buffering charges the job's [`BlockPool`](crate::pool::BlockPool)
+//! when one is configured. The unbounded path charges what it holds (the
+//! whole shuffle); with [`MpidConfig::mem_budget`] set, [`MpidReceiver::recv`]
+//! routes through the windowed external merge instead: frame runs buffer
+//! until the *next* frame would exceed the budget (charges are taken before
+//! buffering, so `high_water` stays at or under the budget), then the
+//! window merges into one pre-sorted disk run. Window boundaries never
+//! change grouping or key order — the disk merge absorbs equal keys
+//! run-first/tail-last. The windowed path streams frames as they arrive
+//! (it cannot reorder runs it has already spilled), so with a single
+//! mapper its output is bit-identical to the unbounded path; with several
+//! mappers, value order within a key follows arrival interleaving rather
+//! than mapper rank.
 //!
 //! [`ExternalTable`]: crate::extmerge::ExternalTable
 
 use crate::config::{tags, MpidConfig};
 use crate::error::{MpidError, MpidResult};
 use crate::kv::{Key, Value};
-use crate::realign::{parse_group_index, FrameReader, GroupMeta, MARKER_LZ, MARKER_PLAIN};
+use crate::pool::PoolCharge;
+use crate::realign::{parse_group_index_raw, FrameReader, RawGroup, MARKER_LZ, MARKER_PLAIN};
 use crate::stats::ReceiverStats;
 use bytes::Bytes;
 use mpi_rt::{Comm, Rank, RankTrace};
 use obs::ArgValue;
+use std::cmp::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Encoded-key comparator shorthand (see [`crate::kv::Kv::encoded_cmp`]).
+type Cmp = crate::kv::EncodedCmp;
+
+/// Merged grouped output: ascending keys, each with its value list.
+type Grouped<K, V> = Vec<(K, Vec<V>)>;
 
 /// Reducer-side handle.
 ///
@@ -48,19 +92,32 @@ pub struct MpidReceiver<'a, K: Key, V: Value> {
     stats: ReceiverStats,
 }
 
-enum RecvState<K, V> {
+enum RecvState<K: Key, V: Value> {
     Ingesting,
     Draining(std::vec::IntoIter<(K, Vec<V>)>),
+    /// Bounded-memory drain, entered automatically when
+    /// [`MpidConfig::mem_budget`] is set.
+    DrainingExt(Box<crate::extmerge::MergeIter<K, V>>),
 }
 
 /// One received frame, held as bytes: the body buffer plus its key-sorted
-/// group index. `pos` is the merge cursor.
+/// group index (byte ranges only). `keys` carries decoded keys — parallel
+/// to `raw` — only when the key type has no encoded comparator; with one,
+/// it stays empty and comparisons run on the raw bytes. `pos` is the
+/// sequential merge cursor.
 struct FrameRun<K> {
     body: Bytes,
-    recs: Vec<GroupMeta<K>>,
+    raw: Vec<RawGroup>,
+    keys: Vec<K>,
     pos: usize,
-    /// Sender rank, for attributing late value-decode errors.
+    /// Sender rank, for attributing late decode errors.
     src: Rank,
+}
+
+impl<K> FrameRun<K> {
+    fn head_key_bytes(&self) -> &[u8] {
+        self.raw[self.pos].key_bytes(&self.body)
+    }
 }
 
 impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
@@ -108,17 +165,31 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
         let Some((body, src)) = recv_frame_body(self.comm, self.timeout, &mut self.stats)? else {
             return Ok(None);
         };
-        let mut recs = parse_group_index::<K, V>(&body).map_err(|err| MpidError::Codec {
+        let codec_err = |err| MpidError::Codec {
             source_rank: src,
             err,
-        })?;
-        self.stats.groups_in += recs.len() as u64;
-        // Stable sort: a frame carrying the same key twice keeps its
-        // in-frame order, so the merge's arrival-order guarantee holds.
-        recs.sort_by(|a, b| a.key.cmp(&b.key));
+        };
+        let mut raw = parse_group_index_raw::<K, V>(&body).map_err(codec_err)?;
+        self.stats.groups_in += raw.len() as u64;
+        let mut keys: Vec<K> = Vec::new();
+        match K::encoded_cmp() {
+            // Stable sorts: a frame carrying the same key twice keeps its
+            // in-frame order, so the merge's arrival-order guarantee holds.
+            Some(cmp) => raw.sort_by(|a, b| cmp(a.key_bytes(&body), b.key_bytes(&body))),
+            None => {
+                let mut pairs: Vec<(K, RawGroup)> = Vec::with_capacity(raw.len());
+                for g in raw.drain(..) {
+                    let mut kb = g.key_bytes(&body);
+                    pairs.push((K::decode(&mut kb).map_err(codec_err)?, g));
+                }
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                (keys, raw) = pairs.into_iter().unzip();
+            }
+        }
         Ok(Some(FrameRun {
             body,
-            recs,
+            raw,
+            keys,
             pos: 0,
             src,
         }))
@@ -126,22 +197,113 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
 
     fn ingest(&mut self) -> MpidResult<Vec<(K, Vec<V>)>> {
         let t0 = self.comm.trace().map(|rt| rt.now_ns());
+        // Unbounded ingest holds every frame at once; the charge records
+        // that honestly (`forced` counts any budget overrun) — bounded
+        // jobs route through `ingest_external` instead.
+        let mut charge = PoolCharge::new(self.cfg.pool.clone());
         let mut runs: Vec<FrameRun<K>> = Vec::new();
         let mut eos_seen = 0usize;
         while eos_seen < self.cfg.n_mappers {
             match self.recv_one_run()? {
                 None => eos_seen += 1,
-                Some(run) => runs.push(run),
+                Some(run) => {
+                    charge.grow(run.body.len());
+                    runs.push(run);
+                }
             }
         }
-        let table = merge_runs::<K, V>(runs)?;
+        // Merge in (mapper rank, send order), not frame-arrival order:
+        // wildcard reception interleaves mappers however the scheduler ran
+        // them, and equal keys absorb run-by-run, so arrival order would
+        // leak scheduling into each key's value order. A stable sort by
+        // source rank pins it.
+        runs.sort_by_key(|r| r.src);
+        let (table, merge_ranges) = match K::encoded_cmp() {
+            Some(cmp) if self.cfg.threads > 1 && !runs.is_empty() => {
+                merge_runs_parallel::<K, V>(&runs, cmp, self.cfg.threads)?
+            }
+            _ => (merge_runs::<K, V>(runs)?, 0),
+        };
         self.stats.distinct_keys = table.len() as u64;
         if let (Some(rt), Some(t0)) = (self.comm.trace(), t0) {
-            // Unbounded ingest holds every frame at once, so the frame-buffer
-            // high-water is simply everything received.
-            trace_merge(rt, t0, &self.stats, None, self.stats.bytes_received, 0);
+            trace_merge(
+                rt,
+                t0,
+                &self.stats,
+                &self.cfg,
+                None,
+                self.stats.bytes_received,
+                0,
+                merge_ranges,
+            );
         }
         Ok(table)
+    }
+
+    /// Windowed external ingest shared by [`MpidReceiver::into_external`]
+    /// and the automatic bounded path [`MpidReceiver::recv`] takes when
+    /// [`MpidConfig::mem_budget`] is set. Returns the streaming merge and
+    /// the number of runs spilled.
+    fn ingest_external(
+        &mut self,
+        budget_bytes: usize,
+        spill_dir: std::path::PathBuf,
+    ) -> MpidResult<(crate::extmerge::MergeIter<K, V>, usize)> {
+        let t0 = self.comm.trace().map(|rt| rt.now_ns());
+        let spill_err = |e: crate::extmerge::ExtMergeError| MpidError::Spill(e.to_string());
+        let mut table = crate::extmerge::ExternalTable::<K, V>::new(budget_bytes, spill_dir)
+            .map_err(|e| MpidError::Spill(e.to_string()))?;
+        let mut charge = PoolCharge::new(self.cfg.pool.clone());
+        let mut window: Vec<FrameRun<K>> = Vec::new();
+        let mut window_bytes = 0usize;
+        let mut window_high_water = 0usize;
+        let mut eos_seen = 0usize;
+        while eos_seen < self.cfg.n_mappers {
+            match self.recv_one_run()? {
+                None => eos_seen += 1,
+                Some(run) => {
+                    let b = run.body.len();
+                    // Charge *before* buffering: a frame that doesn't fit
+                    // spills the current window first, so the pool's
+                    // high-water mark stays at or under the budget unless
+                    // a single frame alone exceeds it (a forced charge).
+                    let charged = window_bytes + b <= budget_bytes && charge.try_grow(b);
+                    if !charged {
+                        if !window.is_empty() {
+                            spill_window(&mut table, std::mem::take(&mut window))
+                                .map_err(spill_err)?;
+                            window_bytes = 0;
+                            charge.clear();
+                        }
+                        if !charge.try_grow(b) {
+                            charge.grow(b);
+                        }
+                    }
+                    window_bytes += b;
+                    window_high_water = window_high_water.max(window_bytes);
+                    window.push(run);
+                }
+            }
+        }
+        // The final unspilled window becomes the merge tail — the position
+        // the resident table held in the insert path, so per-key value
+        // order stays run-order-then-tail = frame-arrival order.
+        let tail = merge_runs::<K, V>(window)?;
+        let spilled_runs = table.spilled_runs();
+        if let (Some(rt), Some(t0)) = (self.comm.trace(), t0) {
+            trace_merge(
+                rt,
+                t0,
+                &self.stats,
+                &self.cfg,
+                Some(spilled_runs),
+                window_high_water as u64,
+                table.spilled_bytes(),
+                0,
+            );
+        }
+        let merge = table.into_merge_with_tail(tail).map_err(spill_err)?;
+        Ok((merge, spilled_runs))
     }
 
     /// Switch to bounded-memory consumption: buffer frame runs up to
@@ -159,44 +321,7 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
             matches!(self.state, RecvState::Ingesting),
             "into_external after recv() started grouping"
         );
-        let t0 = self.comm.trace().map(|rt| rt.now_ns());
-        let spill_err = |e: crate::extmerge::ExtMergeError| MpidError::Spill(e.to_string());
-        let mut table = crate::extmerge::ExternalTable::<K, V>::new(budget_bytes, spill_dir)
-            .map_err(|e| MpidError::Spill(e.to_string()))?;
-        let mut window: Vec<FrameRun<K>> = Vec::new();
-        let mut window_bytes = 0usize;
-        let mut window_high_water = 0usize;
-        let mut eos_seen = 0usize;
-        while eos_seen < self.cfg.n_mappers {
-            match self.recv_one_run()? {
-                None => eos_seen += 1,
-                Some(run) => {
-                    window_bytes += run.body.len();
-                    window_high_water = window_high_water.max(window_bytes);
-                    window.push(run);
-                    if window_bytes > budget_bytes {
-                        spill_window(&mut table, std::mem::take(&mut window)).map_err(spill_err)?;
-                        window_bytes = 0;
-                    }
-                }
-            }
-        }
-        // The final unspilled window becomes the merge tail — the position
-        // the resident table held in the insert path, so per-key value
-        // order stays run-order-then-tail = frame-arrival order.
-        let tail = merge_runs::<K, V>(window)?;
-        let spilled_runs = table.spilled_runs();
-        if let (Some(rt), Some(t0)) = (self.comm.trace(), t0) {
-            trace_merge(
-                rt,
-                t0,
-                &self.stats,
-                Some(spilled_runs),
-                window_high_water as u64,
-                table.spilled_bytes(),
-            );
-        }
-        let merge = table.into_merge_with_tail(tail).map_err(spill_err)?;
+        let (merge, spilled_runs) = self.ingest_external(budget_bytes, spill_dir)?;
         Ok(ExternalRecv {
             merge,
             spilled_runs,
@@ -226,11 +351,27 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
         loop {
             match &mut self.state {
                 RecvState::Ingesting => {
-                    let table = self.ingest()?;
-                    self.state = RecvState::Draining(table.into_iter());
+                    if let Some(budget) = self.cfg.mem_budget {
+                        let (merge, _) = self.ingest_external(budget, std::env::temp_dir())?;
+                        self.state = RecvState::DrainingExt(Box::new(merge));
+                    } else {
+                        let table = self.ingest()?;
+                        self.state = RecvState::Draining(table.into_iter());
+                    }
                 }
                 RecvState::Draining(iter) => {
                     return Ok(iter.next().map(|(k, mut vs)| {
+                        if let Some(sort) = self.value_sorter {
+                            sort(&mut vs);
+                        }
+                        (k, vs)
+                    }));
+                }
+                RecvState::DrainingExt(merge) => {
+                    let next = merge
+                        .next_group()
+                        .map_err(|e| MpidError::Spill(e.to_string()))?;
+                    return Ok(next.map(|(k, mut vs)| {
                         if let Some(sort) = self.value_sorter {
                             sort(&mut vs);
                         }
@@ -254,9 +395,12 @@ impl<'a, K: Key, V: Value> MpidReceiver<'a, K, V> {
 /// K-way merge state over key-sorted frame runs. [`WindowMerge::advance`]
 /// steps to the next (smallest) key and records which runs contribute
 /// groups for it; the caller then reads the contributions — decoded values
-/// for the in-memory table, raw byte ranges for a disk spill.
+/// for the in-memory table, raw byte ranges for a disk spill. Compares
+/// encoded key bytes when the key type provides a comparator, decoded keys
+/// otherwise.
 struct WindowMerge<K> {
     runs: Vec<FrameRun<K>>,
+    cmp: Option<Cmp>,
     /// `(run, first_group, n_groups)` contributions for the current key,
     /// in run (= frame arrival) order.
     contribs: Vec<(u32, u32, u32)>,
@@ -268,31 +412,83 @@ impl<K: Key> WindowMerge<K> {
     fn new(runs: Vec<FrameRun<K>>) -> Self {
         WindowMerge {
             runs,
+            cmp: K::encoded_cmp(),
             contribs: Vec::new(),
             total_values: 0,
         }
     }
 
-    fn advance(&mut self) -> Option<K> {
+    fn advance(&mut self) -> MpidResult<Option<K>> {
+        match self.cmp {
+            Some(cmp) => self.advance_raw(cmp),
+            None => Ok(self.advance_decoded()),
+        }
+    }
+
+    /// Raw-key step: min-scan on encoded bytes, decode the winning key once.
+    fn advance_raw(&mut self, cmp: Cmp) -> MpidResult<Option<K>> {
         let mut min: Option<usize> = None;
         for i in 0..self.runs.len() {
             let r = &self.runs[i];
-            if r.pos >= r.recs.len() {
+            if r.pos >= r.raw.len() {
                 continue;
             }
             match min {
-                Some(m) if self.runs[m].recs[self.runs[m].pos].key <= r.recs[r.pos].key => {}
+                Some(m)
+                    if cmp(self.runs[m].head_key_bytes(), r.head_key_bytes())
+                        != Ordering::Greater => {}
                 _ => min = Some(i),
             }
         }
-        let m = min?;
-        let key = self.runs[m].recs[self.runs[m].pos].key.clone();
+        let Some(m) = min else { return Ok(None) };
+        // `Bytes` clone is a refcount bump; holding the winning frame's
+        // body locally lets the key bytes outlive the `iter_mut` below.
+        let min_body = self.runs[m].body.clone();
+        let min_group = self.runs[m].raw[self.runs[m].pos];
+        let kb = min_group.key_bytes(&min_body);
+        let mut kslice = kb;
+        let key = K::decode(&mut kslice).map_err(|err| MpidError::Codec {
+            source_rank: self.runs[m].src,
+            err,
+        })?;
         self.contribs.clear();
         self.total_values = 0;
         for (i, r) in self.runs.iter_mut().enumerate() {
             let start = r.pos;
-            while r.pos < r.recs.len() && r.recs[r.pos].key == key {
-                self.total_values += r.recs[r.pos].n_values as u64;
+            while r.pos < r.raw.len() && cmp(r.raw[r.pos].key_bytes(&r.body), kb) == Ordering::Equal
+            {
+                self.total_values += r.raw[r.pos].n_values as u64;
+                r.pos += 1;
+            }
+            if r.pos > start {
+                self.contribs
+                    .push((i as u32, start as u32, (r.pos - start) as u32));
+            }
+        }
+        Ok(Some(key))
+    }
+
+    /// Decoded-key step for key types without an encoded comparator.
+    fn advance_decoded(&mut self) -> Option<K> {
+        let mut min: Option<usize> = None;
+        for i in 0..self.runs.len() {
+            let r = &self.runs[i];
+            if r.pos >= r.raw.len() {
+                continue;
+            }
+            match min {
+                Some(m) if self.runs[m].keys[self.runs[m].pos] <= r.keys[r.pos] => {}
+                _ => min = Some(i),
+            }
+        }
+        let m = min?;
+        let key = self.runs[m].keys[self.runs[m].pos].clone();
+        self.contribs.clear();
+        self.total_values = 0;
+        for (i, r) in self.runs.iter_mut().enumerate() {
+            let start = r.pos;
+            while r.pos < r.raw.len() && r.keys[r.pos] == key {
+                self.total_values += r.raw[r.pos].n_values as u64;
                 r.pos += 1;
             }
             if r.pos > start {
@@ -310,13 +506,13 @@ impl<K: Key> WindowMerge<K> {
 fn merge_runs<K: Key, V: Value>(runs: Vec<FrameRun<K>>) -> MpidResult<Vec<(K, Vec<V>)>> {
     let mut wm = WindowMerge::new(runs);
     let mut out: Vec<(K, Vec<V>)> = Vec::new();
-    while let Some(key) = wm.advance() {
+    while let Some(key) = wm.advance()? {
         let mut values: Vec<V> = Vec::with_capacity(wm.total_values as usize);
         for &(ri, g0, ng) in &wm.contribs {
             let run = &wm.runs[ri as usize];
             for gi in g0..g0 + ng {
-                let g = &run.recs[gi as usize];
-                let mut slice = &run.body[g.val_off..g.val_end];
+                let g = &run.raw[gi as usize];
+                let mut slice = g.val_bytes(&run.body);
                 for _ in 0..g.n_values {
                     values.push(V::decode(&mut slice).map_err(|err| MpidError::Codec {
                         source_rank: run.src,
@@ -330,6 +526,150 @@ fn merge_runs<K: Key, V: Value>(runs: Vec<FrameRun<K>>) -> MpidResult<Vec<(K, Ve
     Ok(out)
 }
 
+/// Borrowed view of one run's group index restricted to a key range. Only
+/// byte slices and offsets cross thread boundaries — a view is `Sync`
+/// without requiring `K: Sync`.
+struct RunView<'a> {
+    body: &'a [u8],
+    raw: &'a [RawGroup],
+    src: Rank,
+}
+
+/// Cursor-array merge over one key range of every run — the per-thread
+/// unit of the parallel receiver merge. Identical output contract to
+/// [`WindowMerge`], restricted to the range its views were cut to.
+struct RangeMerge<'a> {
+    views: Vec<RunView<'a>>,
+    pos: Vec<usize>,
+}
+
+impl<'a> RangeMerge<'a> {
+    fn new(views: Vec<RunView<'a>>) -> Self {
+        let pos = vec![0; views.len()];
+        RangeMerge { views, pos }
+    }
+
+    /// Merge the whole range: ascending keys, values in run order.
+    fn run<K: Key, V: Value>(mut self, cmp: Cmp) -> MpidResult<Vec<(K, Vec<V>)>> {
+        let mut out: Vec<(K, Vec<V>)> = Vec::new();
+        loop {
+            let mut min: Option<usize> = None;
+            for (i, v) in self.views.iter().enumerate() {
+                if self.pos[i] >= v.raw.len() {
+                    continue;
+                }
+                match min {
+                    Some(m)
+                        if cmp(
+                            self.views[m].raw[self.pos[m]].key_bytes(self.views[m].body),
+                            v.raw[self.pos[i]].key_bytes(v.body),
+                        ) != Ordering::Greater => {}
+                    _ => min = Some(i),
+                }
+            }
+            let Some(m) = min else { break };
+            let kb = self.views[m].raw[self.pos[m]].key_bytes(self.views[m].body);
+            let mut kslice = kb;
+            let key = K::decode(&mut kslice).map_err(|err| MpidError::Codec {
+                source_rank: self.views[m].src,
+                err,
+            })?;
+            // Count first for an exact-capacity value list, then decode.
+            let mut total = 0u64;
+            for (i, v) in self.views.iter().enumerate() {
+                let mut p = self.pos[i];
+                while p < v.raw.len() && cmp(v.raw[p].key_bytes(v.body), kb) == Ordering::Equal {
+                    total += v.raw[p].n_values as u64;
+                    p += 1;
+                }
+            }
+            let mut values: Vec<V> = Vec::with_capacity(total as usize);
+            for (i, v) in self.views.iter().enumerate() {
+                while self.pos[i] < v.raw.len()
+                    && cmp(v.raw[self.pos[i]].key_bytes(v.body), kb) == Ordering::Equal
+                {
+                    let g = &v.raw[self.pos[i]];
+                    let mut slice = g.val_bytes(v.body);
+                    for _ in 0..g.n_values {
+                        values.push(V::decode(&mut slice).map_err(|err| MpidError::Codec {
+                            source_rank: v.src,
+                            err,
+                        })?);
+                    }
+                    self.pos[i] += 1;
+                }
+            }
+            out.push((key, values));
+        }
+        Ok(out)
+    }
+}
+
+/// Parallel k-way merge: cut every run's sorted group index into `threads`
+/// disjoint key ranges (boundaries from the largest run's quantiles, cut
+/// points by `partition_point`), merge each range on its own scoped thread,
+/// and concatenate in boundary order. Returns the merged groups and the
+/// number of ranges merged in parallel.
+fn merge_runs_parallel<K: Key, V: Value>(
+    runs: &[FrameRun<K>],
+    cmp: Cmp,
+    threads: usize,
+) -> MpidResult<(Grouped<K, V>, usize)> {
+    let largest = runs
+        .iter()
+        .max_by_key(|r| r.raw.len())
+        .expect("merge_runs_parallel on zero runs");
+    if largest.raw.is_empty() {
+        return Ok((Vec::new(), 0));
+    }
+    // Boundary keys at the largest run's quantiles. Range `t` covers keys
+    // in `[bounds[t-1], bounds[t])` (first range open below, last above);
+    // duplicate boundaries just yield empty middle ranges.
+    let bounds: Vec<&[u8]> = (1..threads)
+        .map(|t| largest.raw[t * largest.raw.len() / threads].key_bytes(&largest.body))
+        .collect();
+    let mut range_views: Vec<Vec<RunView<'_>>> = (0..threads).map(|_| Vec::new()).collect();
+    for run in runs {
+        let mut cuts = Vec::with_capacity(threads + 1);
+        cuts.push(0);
+        for b in &bounds {
+            cuts.push(
+                run.raw
+                    .partition_point(|g| cmp(g.key_bytes(&run.body), b) == Ordering::Less),
+            );
+        }
+        cuts.push(run.raw.len());
+        for (t, views) in range_views.iter_mut().enumerate() {
+            views.push(RunView {
+                body: &run.body,
+                raw: &run.raw[cuts[t]..cuts[t + 1]],
+                src: run.src,
+            });
+        }
+    }
+    let merged: Vec<MpidResult<Grouped<K, V>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = range_views
+            .into_iter()
+            .enumerate()
+            .map(|(t, views)| {
+                std::thread::Builder::new()
+                    .name(format!("mpid-merge-{t}"))
+                    .spawn_scoped(s, move || RangeMerge::new(views).run::<K, V>(cmp))
+                    .expect("spawn receiver merge worker")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("receiver merge worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<(K, Vec<V>)> = Vec::new();
+    for r in merged {
+        out.extend(r?);
+    }
+    Ok((out, threads))
+}
+
 /// Merge one window of frame runs into a single pre-sorted disk run. Value
 /// bytes are copied verbatim from the frame bodies — no decode/re-encode.
 fn spill_window<K: Key, V: Value>(
@@ -341,13 +681,19 @@ fn spill_window<K: Key, V: Value>(
     }
     let mut wm = WindowMerge::new(runs);
     let mut rw = table.begin_sorted_run()?;
-    while let Some(key) = wm.advance() {
+    loop {
+        let key = match wm.advance() {
+            Ok(Some(k)) => k,
+            Ok(None) => break,
+            // A key that fails to decode mid-spill is a frame codec error;
+            // surface it through the extmerge error channel the caller maps.
+            Err(e) => return Err(crate::extmerge::ExtMergeError::Codec(codec_of(e))),
+        };
         rw.begin_group(&key, wm.total_values as u32);
         for &(ri, g0, ng) in &wm.contribs {
             let run = &wm.runs[ri as usize];
             for gi in g0..g0 + ng {
-                let g = &run.recs[gi as usize];
-                rw.push_raw(&run.body[g.val_off..g.val_end]);
+                rw.push_raw(run.raw[gi as usize].val_bytes(&run.body));
             }
         }
         rw.end_group()?;
@@ -355,18 +701,32 @@ fn spill_window<K: Key, V: Value>(
     rw.finish()
 }
 
+/// Extract the codec error from a receiver-side [`MpidError`], for routing
+/// through [`ExtMergeError`](crate::extmerge::ExtMergeError).
+fn codec_of(e: MpidError) -> crate::kv::CodecError {
+    match e {
+        MpidError::Codec { err, .. } => err,
+        _ => crate::kv::CodecError::Corrupt("receiver merge error"),
+    }
+}
+
 /// Record the reducer-side "merge" stage span (cat `mpid.stage`): wildcard
 /// frame reception plus in-memory (or external) merging, from `t0` to now,
 /// with the [`ReceiverStats`] counters as span args. Also publishes the
-/// receiver's `mpid.mem.*` memory-accounting counters: the frame-buffer
-/// high-water, frames decoded, and bytes spilled to disk.
+/// receiver's `mpid.mem.*` memory-accounting counters (frame-buffer
+/// high-water, frames decoded, bytes spilled), the `mpid.mem.pool.*` pool
+/// snapshot when a pool is configured, and `mpid.threads.merge_ranges`
+/// when the merge fanned out.
+#[allow(clippy::too_many_arguments)] // one-shot trace emission, not an API
 fn trace_merge(
     rt: &Arc<RankTrace>,
     t0: u64,
     stats: &ReceiverStats,
+    cfg: &MpidConfig,
     spilled_runs: Option<usize>,
     frame_high_water: u64,
     spill_bytes: u64,
+    merge_ranges: usize,
 ) {
     let mut args = vec![
         ("frames", ArgValue::U64(stats.frames)),
@@ -376,6 +736,9 @@ fn trace_merge(
     ];
     if let Some(runs) = spilled_runs {
         args.push(("spilled_runs", ArgValue::U64(runs as u64)));
+    }
+    if merge_ranges > 0 {
+        args.push(("merge_ranges", ArgValue::U64(merge_ranges as u64)));
     }
     rt.complete_since(obs::names::SPAN_MERGE, obs::names::CAT_MPID_STAGE, t0, args);
     rt.counter(
@@ -393,6 +756,36 @@ fn trace_merge(
         obs::names::CAT_MPID_MEM,
         spill_bytes as f64,
     );
+    if let Some(pool) = &cfg.pool {
+        let ps = pool.stats();
+        rt.counter(
+            obs::names::CTR_MEM_POOL_LIVE,
+            obs::names::CAT_MPID_MEM,
+            ps.live as f64,
+        );
+        rt.counter(
+            obs::names::CTR_MEM_POOL_HIGH_WATER,
+            obs::names::CAT_MPID_MEM,
+            ps.high_water as f64,
+        );
+        rt.counter(
+            obs::names::CTR_MEM_POOL_BUDGET,
+            obs::names::CAT_MPID_MEM,
+            ps.budget as f64,
+        );
+        rt.counter(
+            obs::names::CTR_MEM_POOL_FORCED,
+            obs::names::CAT_MPID_MEM,
+            ps.forced as f64,
+        );
+    }
+    if merge_ranges > 0 {
+        rt.counter(
+            obs::names::CTR_THREADS_MERGE_RANGES,
+            obs::names::CAT_MPID_THREADS,
+            merge_ranges as f64,
+        );
+    }
 }
 
 /// Receive one DATA frame body: `Ok(None)` = end-of-stream marker, otherwise

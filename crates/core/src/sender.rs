@@ -5,20 +5,44 @@
 //! The buffer is a byte table ([`ByteTable`]): keys live as encoded bytes in
 //! a flat arena, hashed and compared as raw slices, and (without a combiner)
 //! values are appended to a second arena as encoded bytes. Typed work per
-//! record is one `Kv::encode` of the key and value; keys are decoded back to
-//! `K` only once per distinct key per spill, when the partitioner and the
-//! optional key sort need them. Frame building is then a straight memcpy of
-//! already-encoded bytes ([`FrameBuilder::begin_group_raw`]), and frames are
-//! born in wire form (`new_wire`) so an uncompressed spill ships each frame
-//! as a refcounted [`Bytes`] with no marker-prefix copy.
+//! record is one `Kv::encode` of the key and value plus one partition hash
+//! at first sight of each key; the partition index is stored on the entry,
+//! so a spill never decodes keys (the only exception is `sort_keys` with a
+//! key type that lacks [`Kv::encoded_cmp`]). Frame building is a straight
+//! memcpy of already-encoded bytes ([`FrameBuilder::begin_group_raw`]), and
+//! frames are born in wire form (`new_wire`) so an uncompressed spill ships
+//! each frame as a refcounted [`Bytes`] with no marker-prefix copy.
+//!
+//! ## Spill accounting and determinism
+//!
+//! `buffered_bytes` counts the *raw* encoded size of every pair accepted
+//! this epoch — Hadoop's `io.sort.mb` semantics — not the post-combine
+//! table size. That makes the spill cadence a pure function of the input
+//! stream and `spill_threshold_bytes`: independent of combiner shrinkage,
+//! of `MpidConfig::threads`, and of `MpidConfig::mem_budget`. With a
+//! combiner the spill epochs *are* observable downstream (each epoch emits
+//! one accumulator per key), so this purity is exactly what keeps grouped
+//! output bit-identical across thread counts and memory budgets.
+//!
+//! ## Threads
+//!
+//! With `threads > 1` the table is sharded across that many worker threads
+//! by `partition % threads` (see [`crate::shard`]): each worker owns whole
+//! partitions, combines eagerly in its own [`ByteTable`], and realigns its
+//! partitions into wire frames at spill; the main thread then ships all
+//! frames in ascending partition order ("merge-on-ship"). Because a shard's
+//! insertion order is the global send order filtered to its partitions, the
+//! frames are byte-for-byte the ones the single-threaded path builds.
 
 use crate::combine::Combiner;
 use crate::compress;
 use crate::config::{tags, MpidConfig, Role};
 use crate::error::MpidResult;
-use crate::kv::{Key, Value};
+use crate::kv::{Key, Kv, Value};
 use crate::partition::{HashPartitioner, Partitioner};
+use crate::pool::PoolCharge;
 use crate::realign::{FrameBuilder, MARKER_LZ};
+use crate::shard::ShardSet;
 use crate::stats::SenderStats;
 use bytes::{Bytes, BytesMut};
 use mpi_rt::{Comm, RankTrace, SendRequest};
@@ -49,13 +73,15 @@ fn hash_bytes(bytes: &[u8]) -> u64 {
 }
 
 /// One buffered key. With a combiner the value side is a typed running
-/// accumulator (combining stays eager so spill-threshold accounting tracks
-/// the accumulator's true wire size, exactly as the per-record table did);
-/// without one it is a chain of encoded-value nodes in the value arena.
+/// accumulator; without one it is a chain of encoded-value nodes in the
+/// value arena. The partition index is computed once, at insert, so spills
+/// can route entries without decoding keys.
 struct Entry<V> {
     hash: u64,
     key_off: u32,
     key_end: u32,
+    /// Destination partition (reducer index), fixed at insert.
+    part: u32,
     acc: Option<V>,
     /// Head/tail of the value-node chain, as node index + 1 (0 = empty).
     head: u32,
@@ -71,8 +97,9 @@ struct ValNode {
     next: u32,
 }
 
-/// Open-addressed hash table over encoded key bytes.
-struct ByteTable<V> {
+/// Open-addressed hash table over encoded key bytes. Shared by the
+/// single-threaded sender and the [`crate::shard`] workers.
+pub(crate) struct ByteTable<V> {
     /// Encoded keys, concatenated. A probe encodes the incoming key at the
     /// tail, hashes that region, and truncates it back off on a hit — so
     /// duplicate keys never allocate.
@@ -95,8 +122,18 @@ fn slot_value(hash: u64, idx: usize) -> u64 {
     ((hash >> 32) << 32) | (idx as u64 + 1)
 }
 
+/// Starting probe slot for `hash` in a table of `mask + 1` buckets. The
+/// hash's low bits alone are a poor bucket index — the mixer ends in a
+/// multiply, and the low bits of a product depend only on the low bits of
+/// its operands, so dense key sets (short sequential words) collapse into a
+/// handful of buckets and linear probing degrades to long chain scans.
+/// Folding the high half in restores the multiply's well-mixed bits.
+fn bucket_of(hash: u64, mask: usize) -> usize {
+    (hash ^ (hash >> 32)) as usize & mask
+}
+
 impl<V> ByteTable<V> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         ByteTable {
             keys: BytesMut::new(),
             vals: BytesMut::new(),
@@ -106,12 +143,17 @@ impl<V> ByteTable<V> {
         }
     }
 
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Bytes held in the key and value arenas.
+    pub(crate) fn arena_bytes(&self) -> usize {
+        self.keys.len() + self.vals.len()
     }
 
     fn key_bytes(&self, e: &Entry<V>) -> &[u8] {
@@ -125,7 +167,7 @@ impl<V> ByteTable<V> {
         let hash = hash_bytes(&self.keys[key_off..]);
         let tag = (hash >> 32) << 32;
         let mask = self.buckets.len() - 1;
-        let mut slot = hash as usize & mask;
+        let mut slot = bucket_of(hash, mask);
         loop {
             let b = self.buckets[slot];
             if b == 0 {
@@ -148,6 +190,7 @@ impl<V> ByteTable<V> {
             hash,
             key_off: key_off as u32,
             key_end: self.keys.len() as u32,
+            part: 0,
             acc: None,
             head: 0,
             tail: 0,
@@ -159,13 +202,69 @@ impl<V> ByteTable<V> {
         }
         (idx, true)
     }
+}
 
+/// A combiner's fold step, type-erased for [`ByteTable::push`]: folds the
+/// incoming value into the stored accumulator.
+pub(crate) type CombineFold<'a, V> = &'a mut dyn FnMut(&mut V, V);
+
+impl<V: Kv> ByteTable<V> {
+    /// Buffer one record: insert or fold `(key, value)`. `part_of` is
+    /// invoked only when the key is first seen, to fix the entry's
+    /// partition. `combine` (present iff the sender has a combiner) folds
+    /// the value into an existing accumulator. Returns `true` when the pair
+    /// was combined away rather than stored.
+    pub(crate) fn push<K: Kv>(
+        &mut self,
+        key: &K,
+        value: V,
+        part_of: impl FnOnce() -> u32,
+        combine: Option<CombineFold<'_, V>>,
+    ) -> bool {
+        // Encode the key at the arena tail and probe by raw bytes: a
+        // duplicate key costs a hash + memcmp, never an owned-key insert.
+        let key_off = self.keys.len();
+        key.encode(&mut self.keys);
+        let (idx, inserted) = self.probe(key_off);
+        if inserted {
+            self.entries[idx].part = part_of();
+            if combine.is_some() {
+                self.entries[idx].acc = Some(value);
+                self.entries[idx].n_values = 1;
+            } else {
+                let val_off = self.vals.len();
+                value.encode(&mut self.vals);
+                self.link_value(idx, val_off);
+            }
+            false
+        } else {
+            match combine {
+                Some(f) => {
+                    let acc = self.entries[idx]
+                        .acc
+                        .as_mut()
+                        .expect("combiner entry without accumulator");
+                    f(acc, value);
+                    true
+                }
+                None => {
+                    let val_off = self.vals.len();
+                    value.encode(&mut self.vals);
+                    self.link_value(idx, val_off);
+                    false
+                }
+            }
+        }
+    }
+}
+
+impl<V> ByteTable<V> {
     fn grow(&mut self) {
         let new_len = self.buckets.len() * 2;
         let mask = new_len - 1;
         let mut buckets = vec![0u64; new_len];
         for (i, e) in self.entries.iter().enumerate() {
-            let mut slot = e.hash as usize & mask;
+            let mut slot = bucket_of(e.hash, mask);
             while buckets[slot] != 0 {
                 slot = (slot + 1) & mask;
             }
@@ -193,7 +292,7 @@ impl<V> ByteTable<V> {
         e.n_values += 1;
     }
 
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.keys.clear();
         self.vals.clear();
         self.nodes.clear();
@@ -206,6 +305,175 @@ impl<V> ByteTable<V> {
             self.buckets.fill(0);
         }
     }
+}
+
+/// Compression scratch state: retired wire buffers recycled across spills.
+pub(crate) struct WireShop {
+    pool: Vec<Vec<u8>>,
+    /// Compressed spills that reused a pooled scratch buffer.
+    pub(crate) hits: u64,
+    /// Compressed spills that had to allocate a fresh scratch buffer.
+    pub(crate) misses: u64,
+}
+
+impl WireShop {
+    pub(crate) fn new() -> Self {
+        WireShop {
+            pool: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+/// Reusable per-spill scratch: per-partition entry lists and (for the
+/// decoded-sort fallback) typed keys. Steady state allocates nothing.
+pub(crate) struct SpillScratch<K> {
+    parts: Vec<Vec<u32>>,
+    keys: Vec<K>,
+}
+
+impl<K> SpillScratch<K> {
+    pub(crate) fn new() -> Self {
+        SpillScratch {
+            parts: Vec::new(),
+            keys: Vec::new(),
+        }
+    }
+}
+
+/// The wire frames of one realigned table, plus the stat deltas that
+/// describe building them.
+pub(crate) struct SpillOutput {
+    /// `(partition, wire frames)` for each non-empty partition, ascending.
+    pub(crate) shipments: Vec<(u32, Vec<Bytes>)>,
+    pub(crate) groups: u64,
+    pub(crate) frames: u64,
+    /// Frame body bytes before compression (markers excluded).
+    pub(crate) precompress: u64,
+    /// Bytes as shipped (markers included, compression applied).
+    pub(crate) wire_bytes: u64,
+}
+
+/// Realign a table into per-partition wire frames: the spill core shared by
+/// the single-threaded sender and each shard worker. Entries are grouped by
+/// their stored partition in insertion order (optionally key-sorted), built
+/// into fixed-size wire frames, and compressed when configured and
+/// profitable. Partitions come out ascending — the ship order.
+pub(crate) fn realign_table<K: Key, V: Value>(
+    table: &ByteTable<V>,
+    n_red: usize,
+    frame_bytes: usize,
+    sort_keys: bool,
+    do_compress: bool,
+    shop: &mut WireShop,
+    scratch: &mut SpillScratch<K>,
+) -> SpillOutput {
+    let mut out = SpillOutput {
+        shipments: Vec::new(),
+        groups: 0,
+        frames: 0,
+        precompress: 0,
+        wire_bytes: 0,
+    };
+    // Hash-mod partition selection over entry indices, straight from the
+    // partition stored at insert; the per-reducer index lists persist across
+    // spills so steady state allocates nothing here.
+    scratch.parts.resize_with(n_red, Vec::new);
+    for (i, e) in table.entries.iter().enumerate() {
+        scratch.parts[e.part as usize].push(i as u32);
+    }
+    // The optional key sort prefers the encoded-bytes comparator; only key
+    // types without one pay a per-distinct-key decode.
+    scratch.keys.clear();
+    if sort_keys && K::encoded_cmp().is_none() {
+        scratch.keys.reserve(table.len());
+        for e in &table.entries {
+            let mut slice = table.key_bytes(e);
+            let k = K::decode(&mut slice).expect("table holds keys this sender encoded");
+            scratch.keys.push(k);
+        }
+    }
+    for (p, entry_ids) in scratch.parts.iter_mut().enumerate() {
+        if entry_ids.is_empty() {
+            continue;
+        }
+        if sort_keys {
+            if let Some(cmp) = K::encoded_cmp() {
+                entry_ids.sort_by(|&a, &b| {
+                    cmp(
+                        table.key_bytes(&table.entries[a as usize]),
+                        table.key_bytes(&table.entries[b as usize]),
+                    )
+                });
+            } else {
+                let keys = &scratch.keys;
+                entry_ids.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+            }
+        }
+        out.groups += entry_ids.len() as u64;
+        let mut builder = FrameBuilder::new_wire(frame_bytes);
+        for &i in entry_ids.iter() {
+            let e = &table.entries[i as usize];
+            builder.begin_group_raw(table.key_bytes(e), e.n_values);
+            if let Some(acc) = &e.acc {
+                builder.push_value(acc);
+            } else {
+                let mut node = e.head;
+                while node != 0 {
+                    let n = &table.nodes[node as usize - 1];
+                    builder.push_raw(&table.vals[n.off as usize..n.end as usize]);
+                    node = n.next;
+                }
+            }
+            builder.end_group();
+        }
+        entry_ids.clear();
+        let mut wires = Vec::new();
+        for frame in builder.finish() {
+            out.frames += 1;
+            // The marker byte is wire overhead, not realigned data:
+            // precompress counts the frame body only.
+            out.precompress += frame.len() as u64 - 1;
+            // Frame wire format: 1-byte marker (0 = plain, 1 = LZ), then the
+            // (possibly compressed) frame body. Compression is kept only
+            // when it actually shrinks the body; plain frames ship the
+            // builder's buffer as-is, zero-copy.
+            let wire = if do_compress {
+                let body = &frame[1..];
+                let packed = compress::compress(body);
+                if packed.len() < body.len() {
+                    let mut wire = match shop.pool.pop() {
+                        Some(w) => {
+                            shop.hits += 1;
+                            w
+                        }
+                        None => {
+                            shop.misses += 1;
+                            Vec::new()
+                        }
+                    };
+                    wire.clear();
+                    wire.reserve(packed.len() + 1);
+                    wire.push(MARKER_LZ);
+                    wire.extend_from_slice(&packed);
+                    let shipped = Bytes::copy_from_slice(&wire);
+                    if shop.pool.len() < WIRE_POOL_CAP {
+                        shop.pool.push(wire);
+                    }
+                    shipped
+                } else {
+                    frame
+                }
+            } else {
+                frame
+            };
+            out.wire_bytes += wire.len() as u64;
+            wires.push(wire);
+        }
+        out.shipments.push((p as u32, wires));
+    }
+    out
 }
 
 /// Mapper-side handle: buffer, combine, partition, realign, send.
@@ -221,24 +489,23 @@ pub struct MpidSender<'a, K: Key, V: Value> {
     combiner: Option<Arc<dyn Combiner<V>>>,
     partitioner: Arc<dyn Partitioner<K>>,
     table: ByteTable<V>,
+    /// Raw encoded bytes accepted this epoch (see the module doc on
+    /// accounting); reset at spill.
     buffered_bytes: usize,
+    /// The epoch's raw bytes charged against the job's block pool (no-op
+    /// without one); released at spill.
+    charge: PoolCharge,
+    /// Worker shards, spawned lazily on the first send when
+    /// `cfg.threads > 1`.
+    shards: Option<ShardSet<K, V>>,
     pending: Vec<SendRequest>,
     stats: SenderStats,
     finished: bool,
     trace: Option<SenderTrace>,
-    /// Per-reducer entry-index lists, reused across spills.
-    spill_parts: Vec<Vec<u32>>,
-    /// Typed keys decoded for the current spill (partitioner + sort need
-    /// `&K`); one decode per distinct key per spill, buffer reused.
-    key_scratch: Vec<K>,
+    scratch: SpillScratch<K>,
     /// Flat (destination, wire) list for the current spill; reused.
     shipments: Vec<(mpi_rt::Rank, Bytes)>,
-    /// Retired compression scratch buffers, recycled up to [`WIRE_POOL_CAP`].
-    wire_pool: Vec<Vec<u8>>,
-    /// Compressed spills that reused a pooled scratch buffer.
-    pool_hits: u64,
-    /// Compressed spills that had to allocate a fresh scratch buffer.
-    pool_misses: u64,
+    shop: WireShop,
 }
 
 /// Pipeline-stage tracing state, active when the universe was launched with
@@ -251,7 +518,8 @@ struct SenderTrace {
     /// When the current buffering interval started (first `send` after the
     /// last spill).
     buffer_start: Option<u64>,
-    /// Wall time spent inside the combiner during the current interval.
+    /// Wall time spent inside the combiner during the current interval
+    /// (single-threaded path only; shard workers combine off-thread).
     combine_ns: u64,
     /// Stats snapshot at the end of the previous spill, for deltas.
     prev: SenderStats,
@@ -259,6 +527,7 @@ struct SenderTrace {
 
 impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
     pub(crate) fn new(comm: &'a Comm, cfg: MpidConfig) -> Self {
+        let charge = PoolCharge::new(cfg.pool.clone());
         MpidSender {
             comm,
             cfg,
@@ -266,6 +535,8 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
             partitioner: Arc::new(HashPartitioner),
             table: ByteTable::new(),
             buffered_bytes: 0,
+            charge,
+            shards: None,
             pending: Vec::new(),
             stats: SenderStats::default(),
             finished: false,
@@ -275,24 +546,31 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                 combine_ns: 0,
                 prev: SenderStats::default(),
             }),
-            spill_parts: Vec::new(),
-            key_scratch: Vec::new(),
+            scratch: SpillScratch::new(),
             shipments: Vec::new(),
-            wire_pool: Vec::new(),
-            pool_hits: 0,
-            pool_misses: 0,
+            shop: WireShop::new(),
         }
     }
 
     /// Install a combiner ("the combine function ... is always assigned as
-    /// the reduce function" in Hadoop practice).
+    /// the reduce function" in Hadoop practice). Must be called before the
+    /// first [`MpidSender::send`].
     pub fn with_combiner(mut self, c: impl Combiner<V> + 'static) -> Self {
+        assert!(
+            self.table.is_empty() && self.shards.is_none(),
+            "with_combiner after sends began"
+        );
         self.combiner = Some(Arc::new(c));
         self
     }
 
-    /// Replace the default [`HashPartitioner`].
+    /// Replace the default [`HashPartitioner`]. Must be called before the
+    /// first [`MpidSender::send`] — entries memoize their partition.
     pub fn with_partitioner(mut self, p: impl Partitioner<K> + 'static) -> Self {
+        assert!(
+            self.table.is_empty() && self.shards.is_none(),
+            "with_partitioner after sends began"
+        );
         self.partitioner = Arc::new(p);
         self
     }
@@ -307,43 +585,40 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                 ts.buffer_start = Some(ts.rt.now_ns());
             }
         }
-        // Encode the key at the arena tail and probe by raw bytes: a
-        // duplicate key costs a hash + memcmp, never an owned-key insert.
-        let key_off = self.table.keys.len();
-        key.encode(&mut self.table.keys);
-        let key_size = self.table.keys.len() - key_off;
-        let value_size = value.wire_size();
-        let (idx, inserted) = self.table.probe(key_off);
-        if inserted {
-            self.buffered_bytes += key_size + value_size;
-            if self.combiner.is_some() {
-                self.table.entries[idx].acc = Some(value);
-                self.table.entries[idx].n_values = 1;
-            } else {
-                let val_off = self.table.vals.len();
-                value.encode(&mut self.table.vals);
-                self.table.link_value(idx, val_off);
-            }
+        // Raw stream accounting: every pair charges its full encoded size,
+        // whether or not the combiner folds it away (see module doc).
+        let added = key.wire_size() + value.wire_size();
+        self.buffered_bytes += added;
+        self.charge.grow(added);
+        if self.cfg.threads > 1 && self.shards.is_none() {
+            self.shards = Some(ShardSet::spawn(&self.cfg, self.combiner.clone()));
+        }
+        if let Some(shards) = &mut self.shards {
+            let part = self.partitioner.partition(&key, self.cfg.n_reducers) as u32;
+            shards.push(part, key, value);
         } else {
-            match (&self.combiner, self.table.entries[idx].acc.as_mut()) {
-                (Some(c), Some(acc)) => {
-                    let before = acc.wire_size();
-                    let t0 = self.trace.as_ref().map(|ts| ts.rt.now_ns());
-                    c.combine(acc, value);
-                    if let (Some(ts), Some(t0)) = (&mut self.trace, t0) {
-                        ts.combine_ns += ts.rt.now_ns().saturating_sub(t0);
+            let n_red = self.cfg.n_reducers;
+            let table = &mut self.table;
+            let partitioner = &self.partitioner;
+            let part_of = || partitioner.partition(&key, n_red) as u32;
+            match &self.combiner {
+                Some(c) => {
+                    let trace = &mut self.trace;
+                    let mut fold = |acc: &mut V, v: V| {
+                        let t0 = trace.as_ref().map(|ts| ts.rt.now_ns());
+                        c.combine(acc, v);
+                        if let Some(t0) = t0 {
+                            let ts = trace.as_mut().expect("trace checked above");
+                            ts.combine_ns += ts.rt.now_ns().saturating_sub(t0);
+                        }
+                    };
+                    if table.push(&key, value, part_of, Some(&mut fold)) {
+                        self.stats.pairs_combined += 1;
                     }
-                    self.stats.pairs_combined += 1;
-                    let after = acc.wire_size();
-                    self.buffered_bytes = self.buffered_bytes + after - before;
                 }
-                (None, _) => {
-                    let val_off = self.table.vals.len();
-                    value.encode(&mut self.table.vals);
-                    self.table.link_value(idx, val_off);
-                    self.buffered_bytes += value_size;
+                None => {
+                    table.push(&key, value, part_of, None);
                 }
-                (Some(_), None) => unreachable!("combiner entry without accumulator"),
             }
         }
         if self.buffered_bytes >= self.cfg.spill_threshold_bytes {
@@ -352,14 +627,19 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
         Ok(())
     }
 
-    /// Bytes currently buffered (diagnostics; spilling resets it).
+    /// Raw bytes accepted since the last spill (diagnostics; spilling resets
+    /// it).
     pub fn buffered_bytes(&self) -> usize {
         self.buffered_bytes
     }
 
     /// Force a spill of the current buffer contents.
     pub fn spill(&mut self) -> MpidResult<()> {
-        if self.table.is_empty() {
+        let empty = match &self.shards {
+            Some(s) => !s.dirty(),
+            None => self.table.is_empty(),
+        };
+        if empty {
             return Ok(());
         }
         // Close the buffering interval: one "buffer" span per spill, with a
@@ -397,109 +677,45 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
             }
         }
         self.stats.spills += 1;
-        let n_red = self.cfg.n_reducers;
-        // Decode each distinct key once: the partitioner and the optional
-        // key sort are the only consumers that need `K` rather than bytes.
-        self.key_scratch.clear();
-        self.key_scratch.reserve(self.table.len());
-        for e in &self.table.entries {
-            let mut slice = self.table.key_bytes(e);
-            let k = K::decode(&mut slice).expect("table holds keys this sender encoded");
-            self.key_scratch.push(k);
-        }
-        // Hash-mod partition selection over entry indices; the per-reducer
-        // index lists persist across spills so steady state allocates
-        // nothing here.
-        let mut parts = std::mem::take(&mut self.spill_parts);
-        parts.resize_with(n_red, Vec::new);
-        for (i, k) in self.key_scratch.iter().enumerate() {
-            let p = self.partitioner.partition(k, n_red);
-            parts[p].push(i as u32);
-        }
         self.buffered_bytes = 0;
-        // Realign each partition into contiguous fixed-size frames. Frames
-        // are built in wire form (marker byte + body) by copying the
-        // already-encoded key and value bytes straight out of the arenas —
-        // no per-record `Kv::encode` — then shipped; the build/send split is
-        // what makes the realign and ship stages separately visible in
-        // traces, with the comm calls in the same order as a fused loop
-        // would issue them.
+        // Realign into per-partition wire frames — locally, or across the
+        // shard workers with a merge-on-ship collect.
+        let (out, table_bytes, table_entries) = match &mut self.shards {
+            Some(shards) => {
+                let agg = shards.spill();
+                self.stats.pairs_combined = agg.pairs_combined;
+                (agg.out, agg.table_bytes, agg.table_entries)
+            }
+            None => {
+                let out = realign_table(
+                    &self.table,
+                    self.cfg.n_reducers,
+                    self.cfg.frame_bytes,
+                    self.cfg.sort_keys,
+                    self.cfg.compress,
+                    &mut self.shop,
+                    &mut self.scratch,
+                );
+                // Arena high-water for this spill, captured before the
+                // clear: the table is at its fullest right here.
+                let table_bytes = self.table.arena_bytes() as u64;
+                let table_entries = self.table.len() as u64;
+                self.table.clear();
+                (out, table_bytes, table_entries)
+            }
+        };
+        self.stats.groups_out += out.groups;
+        self.stats.frames += out.frames;
+        self.stats.bytes_precompress += out.precompress;
+        self.stats.bytes_sent += out.wire_bytes;
         let mut shipments = std::mem::take(&mut self.shipments);
-        for (p, entry_ids) in parts.iter_mut().enumerate() {
-            if entry_ids.is_empty() {
-                continue;
-            }
-            if self.cfg.sort_keys {
-                let keys = &self.key_scratch;
-                entry_ids.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
-            }
-            self.stats.groups_out += entry_ids.len() as u64;
-            let mut builder = FrameBuilder::new_wire(self.cfg.frame_bytes);
-            for &i in entry_ids.iter() {
-                let e = &self.table.entries[i as usize];
-                builder.begin_group_raw(self.table.key_bytes(e), e.n_values);
-                if let Some(acc) = &e.acc {
-                    builder.push_value(acc);
-                } else {
-                    let mut node = e.head;
-                    while node != 0 {
-                        let n = &self.table.nodes[node as usize - 1];
-                        builder.push_raw(&self.table.vals[n.off as usize..n.end as usize]);
-                        node = n.next;
-                    }
-                }
-                builder.end_group();
-            }
-            entry_ids.clear();
-            let dst = Role::reducer_rank(&self.cfg, p);
-            for frame in builder.finish() {
-                self.stats.frames += 1;
-                // The marker byte is wire overhead, not realigned data:
-                // precompress counts the frame body only.
-                self.stats.bytes_precompress += frame.len() as u64 - 1;
-                // Frame wire format: 1-byte marker (0 = plain, 1 = LZ),
-                // then the (possibly compressed) frame body. Compression is
-                // kept only when it actually shrinks the body; plain frames
-                // ship the builder's buffer as-is, zero-copy.
-                let wire = if self.cfg.compress {
-                    let body = &frame[1..];
-                    let packed = compress::compress(body);
-                    if packed.len() < body.len() {
-                        let mut wire = match self.wire_pool.pop() {
-                            Some(w) => {
-                                self.pool_hits += 1;
-                                w
-                            }
-                            None => {
-                                self.pool_misses += 1;
-                                Vec::new()
-                            }
-                        };
-                        wire.clear();
-                        wire.reserve(packed.len() + 1);
-                        wire.push(MARKER_LZ);
-                        wire.extend_from_slice(&packed);
-                        let shipped = Bytes::copy_from_slice(&wire);
-                        if self.wire_pool.len() < WIRE_POOL_CAP {
-                            self.wire_pool.push(wire);
-                        }
-                        shipped
-                    } else {
-                        frame
-                    }
-                } else {
-                    frame
-                };
-                self.stats.bytes_sent += wire.len() as u64;
+        for (p, wires) in out.shipments {
+            let dst = Role::reducer_rank(&self.cfg, p as usize);
+            for wire in wires {
                 shipments.push((dst, wire));
             }
         }
-        self.spill_parts = parts;
-        // Arena high-water for this spill, captured before the clear: the
-        // table is at its fullest right here.
-        let table_bytes = (self.table.keys.len() + self.table.vals.len()) as u64;
-        let table_entries = self.table.len() as u64;
-        self.table.clear();
+        self.charge.clear();
         let ship_start = if let (Some(ts), Some(t0)) = (&self.trace, spill_start) {
             let now = ts.rt.now_ns();
             ts.rt.complete(
@@ -570,13 +786,42 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
             ts.rt.counter(
                 obs::names::CTR_MEM_WIRE_POOL_HITS,
                 obs::names::CAT_MPID_MEM,
-                self.pool_hits as f64,
+                self.shop.hits as f64,
             );
             ts.rt.counter(
                 obs::names::CTR_MEM_WIRE_POOL_MISSES,
                 obs::names::CAT_MPID_MEM,
-                self.pool_misses as f64,
+                self.shop.misses as f64,
             );
+            if let Some(pool) = &self.cfg.pool {
+                ts.rt.counter(
+                    obs::names::CTR_MEM_POOL_LIVE,
+                    obs::names::CAT_MPID_MEM,
+                    pool.live() as f64,
+                );
+                ts.rt.counter(
+                    obs::names::CTR_MEM_POOL_HIGH_WATER,
+                    obs::names::CAT_MPID_MEM,
+                    pool.high_water() as f64,
+                );
+                ts.rt.counter(
+                    obs::names::CTR_MEM_POOL_BUDGET,
+                    obs::names::CAT_MPID_MEM,
+                    pool.budget() as f64,
+                );
+            }
+            if let Some(shards) = &self.shards {
+                ts.rt.counter(
+                    obs::names::CTR_THREADS_WORKERS,
+                    obs::names::CAT_MPID_THREADS,
+                    shards.workers() as f64,
+                );
+                ts.rt.counter(
+                    obs::names::CTR_THREADS_BATCHES,
+                    obs::names::CAT_MPID_THREADS,
+                    shards.batches_sent() as f64,
+                );
+            }
         }
         Ok(())
     }
@@ -586,6 +831,9 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
     pub fn finish(mut self) -> MpidResult<SenderStats> {
         let t0 = self.trace.as_ref().map(|ts| ts.rt.now_ns());
         self.spill()?;
+        if let Some(mut shards) = self.shards.take() {
+            shards.shutdown();
+        }
         for req in self.pending.drain(..) {
             req.wait();
         }
@@ -617,6 +865,7 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                         ArgValue::U64(self.stats.bytes_precompress),
                     ),
                     ("combine_ratio", ArgValue::F64(self.stats.combine_ratio())),
+                    ("threads", ArgValue::U64(self.cfg.threads as u64)),
                 ],
             );
         }
@@ -629,11 +878,12 @@ impl<K: Key, V: Value> Drop for MpidSender<'_, K, V> {
         // A sender dropped without finish() would leave reducers waiting for
         // an EOS forever in larger jobs; make the bug loud in tests. (Panics
         // in flight take precedence — don't double-panic.)
-        if !self.finished && !std::thread::panicking() && !self.table.is_empty() {
-            eprintln!(
-                "warning: MpidSender dropped with {} buffered keys and no finish()",
-                self.table.len()
-            );
+        let buffered = self
+            .shards
+            .as_ref()
+            .map_or(self.table.len(), |s| if s.dirty() { 1 } else { 0 });
+        if !self.finished && !std::thread::panicking() && buffered > 0 {
+            eprintln!("warning: MpidSender dropped with {buffered} buffered keys and no finish()");
         }
     }
 }

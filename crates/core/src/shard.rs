@@ -1,0 +1,307 @@
+//! Sender-side table sharding across worker threads (Mimir's `tnum`).
+//!
+//! With `MpidConfig::threads > 1` the mapper's hash table is split across
+//! that many worker threads by `partition % threads`, so every partition is
+//! wholly owned by exactly one worker. The mapping thread routes each
+//! `(partition, key, value)` record to its owner over a bounded channel in
+//! batches; workers combine eagerly into their own [`ByteTable`]s and, on a
+//! spill request, realign their partitions into wire frames in parallel.
+//! The mapping thread then concatenates the per-shard frame lists in
+//! ascending partition order — the "merge-on-ship" step.
+//!
+//! ## Why the frames are byte-identical to the single-threaded path
+//!
+//! A worker processes its batches in send order, so its insertion order is
+//! the global send order filtered to the partitions it owns. Restricting
+//! further to one partition gives exactly the single-threaded path's entry
+//! order for that partition; frame split points, group layout, and the
+//! optional compression are all functions of that per-partition sequence
+//! alone ([`realign_table`] is shared verbatim). Ascending-partition ship
+//! order matches the single-threaded spill loop, so the wire stream each
+//! reducer observes is bit-for-bit unchanged at any thread count.
+//!
+//! Spill *cadence* stays on the mapping thread: it tracks raw input bytes
+//! (see the sender module doc) and requests a spill of every shard at the
+//! same epochs the single-threaded sender would — workers never spill on
+//! their own, which is what keeps combiner-visible epochs deterministic.
+
+use crate::combine::Combiner;
+use crate::config::MpidConfig;
+use crate::kv::{Key, Value};
+use crate::sender::{realign_table, ByteTable, SpillOutput, SpillScratch, WireShop};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Records per routed batch: large enough to amortize channel overhead,
+/// small enough to keep workers streaming instead of bursting.
+const BATCH_RECORDS: usize = 1024;
+/// Bounded batches in flight per worker — backpressure so a slow worker
+/// caps the mapping thread's buffered duplicates.
+const BATCH_QUEUE: usize = 4;
+/// A worker that takes longer than this to answer a spill request is
+/// presumed wedged; the job fails loudly instead of hanging.
+const REPLY_TIMEOUT: Duration = MpidConfig::DEFAULT_RECV_TIMEOUT;
+
+enum Req<K, V> {
+    Batch(Vec<(u32, K, V)>),
+    Spill,
+}
+
+/// One worker's answer to a spill request.
+struct ShardReply {
+    out: SpillOutput,
+    table_bytes: u64,
+    table_entries: u64,
+    /// Cumulative pairs combined by this worker over its lifetime.
+    pairs_combined: u64,
+}
+
+/// All workers' spill output, merged for shipping.
+pub(crate) struct ShardAgg {
+    pub(crate) out: SpillOutput,
+    pub(crate) table_bytes: u64,
+    pub(crate) table_entries: u64,
+    /// Cumulative pairs combined across all workers.
+    pub(crate) pairs_combined: u64,
+}
+
+/// The mapping thread's handle on its spawned shard workers.
+pub(crate) struct ShardSet<K: Key, V: Value> {
+    txs: Vec<SyncSender<Req<K, V>>>,
+    replies: Vec<Receiver<ShardReply>>,
+    handles: Vec<Option<JoinHandle<()>>>,
+    /// Per-shard batch under construction.
+    batches: Vec<Vec<(u32, K, V)>>,
+    /// Records routed since the last spill.
+    dirty: bool,
+    batches_sent: u64,
+}
+
+impl<K: Key, V: Value> ShardSet<K, V> {
+    /// Spawn `cfg.threads` workers, each owning the partitions congruent to
+    /// its index mod `threads`.
+    pub(crate) fn spawn(cfg: &MpidConfig, combiner: Option<Arc<dyn Combiner<V>>>) -> Self {
+        let t = cfg.threads;
+        assert!(t > 1, "ShardSet::spawn with threads <= 1");
+        let mut txs = Vec::with_capacity(t);
+        let mut replies = Vec::with_capacity(t);
+        let mut handles = Vec::with_capacity(t);
+        for s in 0..t {
+            let (tx, rx) = sync_channel::<Req<K, V>>(BATCH_QUEUE);
+            let (reply_tx, reply_rx) = sync_channel::<ShardReply>(1);
+            let combiner = combiner.clone();
+            let (n_red, frame_bytes, sort_keys, compress) =
+                (cfg.n_reducers, cfg.frame_bytes, cfg.sort_keys, cfg.compress);
+            let handle = std::thread::Builder::new()
+                .name(format!("mpid-shard-{s}"))
+                .spawn(move || {
+                    worker(
+                        rx,
+                        reply_tx,
+                        combiner,
+                        n_red,
+                        frame_bytes,
+                        sort_keys,
+                        compress,
+                    )
+                })
+                .expect("spawn sender shard worker");
+            txs.push(tx);
+            replies.push(reply_rx);
+            handles.push(Some(handle));
+        }
+        ShardSet {
+            txs,
+            replies,
+            handles,
+            batches: (0..t).map(|_| Vec::with_capacity(BATCH_RECORDS)).collect(),
+            dirty: false,
+            batches_sent: 0,
+        }
+    }
+
+    pub(crate) fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    pub(crate) fn batches_sent(&self) -> u64 {
+        self.batches_sent
+    }
+
+    /// Any records routed since the last spill?
+    pub(crate) fn dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Route one record to the worker owning its partition.
+    pub(crate) fn push(&mut self, part: u32, key: K, value: V) {
+        let s = part as usize % self.txs.len();
+        self.dirty = true;
+        self.batches[s].push((part, key, value));
+        if self.batches[s].len() >= BATCH_RECORDS {
+            self.flush(s);
+        }
+    }
+
+    fn flush(&mut self, s: usize) {
+        if self.batches[s].is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.batches[s], Vec::with_capacity(BATCH_RECORDS));
+        self.batches_sent += 1;
+        if self.txs[s].send(Req::Batch(batch)).is_err() {
+            self.worker_died(s);
+        }
+    }
+
+    /// Spill every shard and merge the per-partition frame lists back into
+    /// ascending partition order for shipping.
+    pub(crate) fn spill(&mut self) -> ShardAgg {
+        for s in 0..self.txs.len() {
+            self.flush(s);
+        }
+        for s in 0..self.txs.len() {
+            if self.txs[s].send(Req::Spill).is_err() {
+                self.worker_died(s);
+            }
+        }
+        let mut agg = ShardAgg {
+            out: SpillOutput::empty(),
+            table_bytes: 0,
+            table_entries: 0,
+            pairs_combined: 0,
+        };
+        for s in 0..self.replies.len() {
+            let reply = match self.replies[s].recv_timeout(REPLY_TIMEOUT) {
+                Ok(r) => r,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    panic!("sender shard worker {s} did not answer a spill request")
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => self.worker_died(s),
+            };
+            agg.table_bytes += reply.table_bytes;
+            agg.table_entries += reply.table_entries;
+            agg.pairs_combined += reply.pairs_combined;
+            agg.out.absorb(reply.out);
+        }
+        // Merge-on-ship: each partition appears in exactly one shard's
+        // output, so ordering by partition reproduces the single-threaded
+        // ship order.
+        agg.out.shipments.sort_by_key(|(p, _)| *p);
+        self.dirty = false;
+        agg
+    }
+
+    /// Stop and join every worker. Also run by `Drop`; calling it from
+    /// `finish` surfaces worker panics on the mapping thread.
+    pub(crate) fn shutdown(&mut self) {
+        self.txs.clear(); // workers exit when their request channel closes
+        for (s, slot) in self.handles.iter_mut().enumerate() {
+            if let Some(h) = slot.take() {
+                if let Err(payload) = h.join() {
+                    if !std::thread::panicking() {
+                        eprintln!("sender shard worker {s} panicked");
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A channel to worker `s` disconnected: join it to surface its panic.
+    fn worker_died(&mut self, s: usize) -> ! {
+        if let Some(h) = self.handles[s].take() {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        panic!("sender shard worker {s} exited unexpectedly");
+    }
+}
+
+impl<K: Key, V: Value> Drop for ShardSet<K, V> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl SpillOutput {
+    fn empty() -> Self {
+        SpillOutput {
+            shipments: Vec::new(),
+            groups: 0,
+            frames: 0,
+            precompress: 0,
+            wire_bytes: 0,
+        }
+    }
+
+    fn absorb(&mut self, other: SpillOutput) {
+        self.shipments.extend(other.shipments);
+        self.groups += other.groups;
+        self.frames += other.frames;
+        self.precompress += other.precompress;
+        self.wire_bytes += other.wire_bytes;
+    }
+}
+
+/// Worker loop: buffer batches into an owned table, realign on request.
+/// Exits when the request channel closes (sender finished or dropped).
+fn worker<K: Key, V: Value>(
+    rx: Receiver<Req<K, V>>,
+    reply_tx: SyncSender<ShardReply>,
+    combiner: Option<Arc<dyn Combiner<V>>>,
+    n_red: usize,
+    frame_bytes: usize,
+    sort_keys: bool,
+    compress: bool,
+) {
+    let mut table: ByteTable<V> = ByteTable::new();
+    let mut shop = WireShop::new();
+    let mut scratch: SpillScratch<K> = SpillScratch::new();
+    let mut pairs_combined = 0u64;
+    while let Ok(req) = rx.recv() {
+        match req {
+            Req::Batch(records) => {
+                for (part, key, value) in records {
+                    match &combiner {
+                        Some(c) => {
+                            let mut fold = |acc: &mut V, v: V| c.combine(acc, v);
+                            if table.push(&key, value, || part, Some(&mut fold)) {
+                                pairs_combined += 1;
+                            }
+                        }
+                        None => {
+                            table.push(&key, value, || part, None);
+                        }
+                    }
+                }
+            }
+            Req::Spill => {
+                let out = realign_table::<K, V>(
+                    &table,
+                    n_red,
+                    frame_bytes,
+                    sort_keys,
+                    compress,
+                    &mut shop,
+                    &mut scratch,
+                );
+                let reply = ShardReply {
+                    table_bytes: table.arena_bytes() as u64,
+                    table_entries: table.len() as u64,
+                    pairs_combined,
+                    out,
+                };
+                table.clear();
+                // The mapping thread gone mid-spill means the job is being
+                // torn down; just exit.
+                if reply_tx.send(reply).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}

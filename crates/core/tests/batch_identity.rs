@@ -11,11 +11,13 @@
 //! thresholds, frame sizes, combiner on/off, and compression on/off.
 //!
 //! The reference models the documented semantics directly: a `BTreeMap`
-//! per spill epoch with the same buffered-bytes accounting (vacant insert
-//! charges encoded key + value size, a combine charges the accumulator's
-//! wire-size delta, a list append charges the value), flushed whenever the
-//! threshold is crossed; the reducer concatenates each key's per-epoch
-//! groups in flush order.
+//! per spill epoch with the sender's *raw-stream* accounting (every record
+//! charges its encoded key + value size, whether or not a combiner shrinks
+//! the stored bytes — Hadoop's `io.sort.mb` counts serialized map output
+//! the same way), flushed whenever the threshold is crossed; the reducer
+//! concatenates each key's per-epoch groups in flush order. Raw accounting
+//! is what makes spill epochs a pure function of the input stream and the
+//! threshold, independent of combiner shrinkage or thread count.
 
 use mpi_rt::Universe;
 use mpid::combine::FnCombiner;
@@ -51,9 +53,11 @@ fn reference_groups(
         }
     };
     for (k, v) in pairs {
+        // Raw-stream accounting: every record charges its full encoded
+        // size, regardless of what the table stores after combining.
+        buffered += k.wire_size() + v.wire_size();
         match table.entry(k.clone()) {
             std::collections::btree_map::Entry::Vacant(slot) => {
-                buffered += k.wire_size() + v.wire_size();
                 if combine {
                     slot.insert(Entry::Acc(v.clone()));
                 } else {
@@ -61,15 +65,8 @@ fn reference_groups(
                 }
             }
             std::collections::btree_map::Entry::Occupied(mut slot) => match slot.get_mut() {
-                Entry::Acc(acc) => {
-                    let before = acc.wire_size();
-                    acc.extend_from_slice(v);
-                    buffered = buffered + acc.wire_size() - before;
-                }
-                Entry::List(vs) => {
-                    buffered += v.wire_size();
-                    vs.push(v.clone());
-                }
+                Entry::Acc(acc) => acc.extend_from_slice(v),
+                Entry::List(vs) => vs.push(v.clone()),
             },
         }
         if buffered >= spill_threshold {

@@ -1,0 +1,164 @@
+//! Property tests for the multithreaded, memory-bounded hot path: grouped
+//! job output must be byte-for-byte independent of the worker-thread count
+//! and — for a single mapper — of the block-pool budget.
+//!
+//! The oracle is always the same job at `threads = 1` with `mem_budget =
+//! None`: the original single-threaded unbounded pipeline. Each mapper's
+//! input is sharded statically (pair index mod mapper count) so its send
+//! stream is deterministic, and the receiver's in-memory merge sorts runs
+//! by source rank, so the full ordered output — key order *and* value
+//! order — is reproducible at every thread count. The windowed external
+//! path streams frames in arrival order instead, so bounded multi-mapper
+//! runs are compared with value order normalized (grouping and key order
+//! must still match exactly).
+
+use mpi_rt::Universe;
+use mpid::{MpidConfig, MpidWorld, Role};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(String, u64)>> {
+    proptest::collection::vec(("[a-e]{1,3}", 0u64..1000), 1..150)
+}
+
+/// Small frames and spill windows so even modest inputs cross every
+/// boundary the identity claim has to survive.
+fn base_cfg(mappers: usize, reducers: usize) -> MpidConfig {
+    MpidConfig {
+        n_mappers: mappers,
+        n_reducers: reducers,
+        spill_threshold_bytes: 512,
+        frame_bytes: 128,
+        ..Default::default()
+    }
+}
+
+/// Run a job and return the full grouped output: every reducer's
+/// `(key, values)` stream, concatenated in reducer-rank order. No combiner
+/// and no reduction — the assertion is about the exact groups the receiver
+/// emits, not an aggregate that could mask reordering.
+fn run_job(cfg: MpidConfig, pairs: &[(String, u64)]) -> Vec<(String, Vec<u64>)> {
+    let pairs = pairs.to_vec();
+    let results = Universe::run(cfg.required_ranks(), move |comm| {
+        let world = MpidWorld::init(comm, cfg.clone()).unwrap();
+        match world.role() {
+            Role::Master => {
+                world.run_master(Vec::<u64>::new()).unwrap();
+                None
+            }
+            Role::Mapper(m) => {
+                // Drain the (empty) split queue to complete the master
+                // protocol, then send a static shard: determinism of each
+                // mapper's stream is what lets the thread matrix assert
+                // byte identity rather than multiset equality.
+                while world.next_split::<u64>().unwrap().is_some() {}
+                let mut send = world.sender::<String, u64>();
+                for (k, v) in pairs.iter().skip(m).step_by(cfg.n_mappers) {
+                    send.send(k.clone(), *v).unwrap();
+                }
+                send.finish().unwrap();
+                None
+            }
+            Role::Reducer(_) => {
+                let mut recv = world.receiver::<String, u64>();
+                Some(recv.recv_all().unwrap())
+            }
+        }
+    });
+    results.into_iter().flatten().flatten().collect()
+}
+
+/// Value-order-insensitive view: keys and grouping stay exact, each value
+/// list is sorted.
+fn normalized(groups: &[(String, Vec<u64>)]) -> Vec<(String, Vec<u64>)> {
+    groups
+        .iter()
+        .map(|(k, vs)| {
+            let mut vs = vs.clone();
+            vs.sort_unstable();
+            (k.clone(), vs)
+        })
+        .collect()
+}
+
+fn reference_sums(pairs: &[(String, u64)]) -> BTreeMap<String, u64> {
+    let mut m: BTreeMap<String, u64> = BTreeMap::new();
+    for (k, v) in pairs {
+        *m.entry(k.clone()).or_insert(0) += v;
+    }
+    m
+}
+
+fn output_sums(groups: &[(String, Vec<u64>)]) -> BTreeMap<String, u64> {
+    let mut m: BTreeMap<String, u64> = BTreeMap::new();
+    for (k, vs) in groups {
+        *m.entry(k.clone()).or_insert(0) += vs.iter().sum::<u64>();
+    }
+    m
+}
+
+proptest! {
+    // Every case spawns several whole universes; keep case counts low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Full ordered output is bit-identical across worker-thread counts
+    /// (sender sharding + parallel receiver merge vs. the single-threaded
+    /// pipeline), for any mapper/reducer topology.
+    #[test]
+    fn output_identical_across_thread_counts(
+        pairs in arb_pairs(),
+        mappers in 1usize..4,
+        reducers in 1usize..3,
+    ) {
+        let base = base_cfg(mappers, reducers);
+        let oracle = run_job(base.clone(), &pairs);
+        prop_assert_eq!(output_sums(&oracle), reference_sums(&pairs));
+        for threads in [2usize, 4, 8] {
+            let cfg = MpidConfig { threads, ..base.clone() };
+            prop_assert_eq!(run_job(cfg, &pairs), oracle.clone(), "threads = {}", threads);
+        }
+    }
+
+    /// With one mapper, the windowed external-merge path is bit-identical
+    /// to the unbounded oracle at budgets forcing zero, a few, and many
+    /// window spills.
+    #[test]
+    fn bounded_output_identical_single_mapper(
+        pairs in arb_pairs(),
+        reducers in 1usize..3,
+    ) {
+        let base = base_cfg(1, reducers);
+        let oracle = run_job(base.clone(), &pairs);
+        // ~3 KB of input max: 1 MB never spills, 8 KB spills rarely,
+        // 512 B holds a frame or two per window and spills constantly.
+        for budget in [1usize << 20, 8 << 10, 512] {
+            let cfg = MpidConfig { mem_budget: Some(budget), ..base.clone() };
+            prop_assert_eq!(run_job(cfg, &pairs), oracle.clone(), "budget = {}", budget);
+        }
+    }
+
+    /// With several mappers the windowed path consumes frames in arrival
+    /// order, so only value order within a key may differ from the oracle:
+    /// key order, grouping, and value multisets must all survive any
+    /// budget/thread combination.
+    #[test]
+    fn bounded_grouping_identical_multi_mapper(
+        pairs in arb_pairs(),
+        mappers in 2usize..4,
+        reducers in 1usize..3,
+        threads in 1usize..5,
+    ) {
+        let base = base_cfg(mappers, reducers);
+        let oracle = normalized(&run_job(base.clone(), &pairs));
+        for budget in [8usize << 10, 512] {
+            let cfg = MpidConfig { threads, mem_budget: Some(budget), ..base.clone() };
+            prop_assert_eq!(
+                normalized(&run_job(cfg, &pairs)),
+                oracle.clone(),
+                "budget = {} threads = {}",
+                budget,
+                threads
+            );
+        }
+    }
+}

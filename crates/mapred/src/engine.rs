@@ -34,6 +34,15 @@ pub struct MpidEngineConfig {
     /// ([`mpid::MpidReceiver::into_external`]) with this in-memory byte
     /// budget instead of holding the whole key space resident.
     pub reduce_budget_bytes: Option<usize>,
+    /// Worker threads per mapper/reducer rank (Mimir's `tnum`). `1` runs
+    /// the hot path inline; `>1` shards the sender table and parallelizes
+    /// the receiver merge. Output is bit-identical at any setting.
+    pub threads: usize,
+    /// Job-wide byte budget for MPI-D buffering. One [`mpid::BlockPool`]
+    /// is shared across every rank of the job; sender tables, receiver
+    /// frame windows, and external-merge resident sets charge it, and the
+    /// pool's high-water mark is reported in [`JobOutput::pool_stats`].
+    pub mem_budget: Option<usize>,
     /// Run the universe under the mpiverify correctness checker (deadlock
     /// watchdog, collective signature checks, teardown leak audit). On by
     /// default; observation-only, so results are identical either way.
@@ -52,6 +61,8 @@ impl Default for MpidEngineConfig {
             eager_threshold: 64 * 1024,
             recv_timeout: MpidConfig::DEFAULT_RECV_TIMEOUT,
             reduce_budget_bytes: None,
+            threads: 1,
+            mem_budget: None,
             verify: true,
         }
     }
@@ -77,6 +88,9 @@ impl MpidEngineConfig {
             sort_values: false,
             use_isend: self.use_isend,
             compress: self.compress,
+            threads: self.threads,
+            mem_budget: self.mem_budget,
+            pool: None,
         }
     }
 }
@@ -95,6 +109,10 @@ pub struct JobOutput<K, V> {
     pub universe_msgs: u64,
     /// Total payload bytes the MPI universe carried.
     pub universe_bytes: u64,
+    /// Final snapshot of the job-wide block pool, when
+    /// [`MpidEngineConfig::mem_budget`] was set: the `high_water` field is
+    /// what the memory CI gate asserts against the budget.
+    pub pool_stats: Option<mpid::PoolStats>,
 }
 
 enum RankResult<K, V> {
@@ -156,7 +174,12 @@ where
     A: MapReduceApp,
     I: InputFormat<Key = A::InKey, Val = A::InVal>,
 {
-    let mpid_cfg = cfg.mpid();
+    let mut mpid_cfg = cfg.mpid();
+    // One pool Arc created up front and cloned into every rank closure, so
+    // the budget bounds the *job's* aggregate buffering (per-rank pools
+    // would each get the full budget).
+    let pool = cfg.mem_budget.map(mpid::BlockPool::new);
+    mpid_cfg.pool = pool.clone();
     let n_ranks = mpid_cfg.required_ranks();
     let timeout = cfg.recv_timeout;
     let reduce_budget = cfg.reduce_budget_bytes;
@@ -260,5 +283,6 @@ where
         master_stats,
         universe_msgs,
         universe_bytes,
+        pool_stats: pool.map(|p| p.stats()),
     }
 }

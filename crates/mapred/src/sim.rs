@@ -63,6 +63,13 @@ pub struct SimMpidConfig {
     /// map computation on the producing mapper). `0` disables pipelining
     /// and ships the whole split output after the map completes.
     pub ship_frame_bytes: u64,
+    /// Worker threads per data-path process (the real runtime's
+    /// `MpidConfig::threads`). The map function itself stays serial per
+    /// split, but the combiner/buffer work on the mapper and the sort-merge
+    /// on the reducer divide across workers (Mimir's `tnum` model,
+    /// idealized — no contention term). `1` = the single-threaded model,
+    /// bit-identical to the pre-threading simulator.
+    pub threads: usize,
 }
 
 impl SimMpidConfig {
@@ -81,6 +88,7 @@ impl SimMpidConfig {
             pressure_ref_bytes: 21 << 20,
             overlap_sends: false,
             ship_frame_bytes: 512 << 10,
+            threads: 1,
         }
     }
 
@@ -101,6 +109,7 @@ impl SimMpidConfig {
         assert!(self.native_cpu_factor > 0.0);
         assert!(self.pressure_per_doubling >= 0.0);
         assert!(self.pressure_ref_bytes > 0);
+        assert!(self.threads >= 1, "threads must be at least 1");
     }
 }
 
@@ -362,7 +371,13 @@ impl MpidSim {
         // An injected straggler multiplies the whole split's compute (the
         // factor ×1.0 for an empty plan keeps the cost bit-identical).
         let injected = s.plan.cpu_factor(s.mapper_host[m].0, sc.now());
-        let cpu_secs = s.spec.map_cpu_secs(bytes) * s.cpu_multiplier * injected;
+        // The map function is serial per split; the combiner/buffer share
+        // divides across the process's worker threads (threads = 1 keeps
+        // the whole expression equal to `spec.map_cpu_secs(bytes)`).
+        let map_ns = bytes as f64 * s.spec.map_cpu_ns_per_byte;
+        let comb_ns = s.spec.map_output_bytes(bytes) as f64 * s.spec.combine_cpu_ns_per_byte
+            / s.cfg.threads as f64;
+        let cpu_secs = (map_ns + comb_ns) * 1e-9 * s.cpu_multiplier * injected;
         let map_start = sc.now().as_nanos();
         // Pipelined spill shipping (the paper's `MPI_D_Send` design): the
         // combined output accrues over the map compute and ships in
@@ -507,7 +522,10 @@ impl MpidSim {
         }
         s.reduce_started = true;
         let per_red = s.shuffle_bytes / s.cfg.n_reducers as u64;
-        let total_cpu = s.spec.reduce_cpu_secs(per_red) * s.cfg.native_cpu_factor;
+        // The reducer's sort-merge splits into disjoint key ranges across
+        // worker threads (idealized: no merge-boundary overhead).
+        let total_cpu =
+            s.spec.reduce_cpu_secs(per_red) * s.cfg.native_cpu_factor / s.cfg.threads as f64;
         let overlapped = s
             .first_arrival
             .map(|t| (sc.now() - t).as_secs_f64())
@@ -971,5 +989,25 @@ mod tests {
         assert_eq!(count("reduce_tail"), 1);
         assert!(trace.events().iter().any(|e| e.name == "mpid.mappers_done"));
         assert_eq!(tracer.metrics().counter("mpid.mappers_done"), 49);
+    }
+
+    #[test]
+    fn worker_threads_shorten_the_makespan_monotonically() {
+        let run = |t: usize| {
+            let mut cfg = SimMpidConfig::icpp2011_fig6();
+            cfg.threads = t;
+            run_sim_mpid(cfg, wc_spec(1.0))
+        };
+        let t1 = run(1);
+        let t2 = run(2);
+        let t4 = run(4);
+        // Dividing the combiner and sort-merge shares across workers can
+        // only shave time off; the serial map floor keeps it sublinear.
+        assert!(t2.makespan <= t1.makespan);
+        assert!(t4.makespan <= t2.makespan);
+        assert!(t4.makespan > SimTime::ZERO);
+        // threads = 1 is the pre-threading model, bit-for-bit.
+        let again = run(1);
+        assert_eq!(t1.makespan, again.makespan);
     }
 }

@@ -39,6 +39,9 @@ pub const CAT_MPID: &str = "mpid";
 pub const CAT_MPID_CHECKPOINT: &str = "mpid.checkpoint";
 /// MPI-D data-path memory-accounting counter samples.
 pub const CAT_MPID_MEM: &str = "mpid.mem";
+/// MPI-D data-path worker-thread counter samples (shard workers, parallel
+/// merge ranges).
+pub const CAT_MPID_THREADS: &str = "mpid.threads";
 /// Hadoop simulated task phases (map/copy/sort/reduce).
 pub const CAT_HADOOP_PHASE: &str = "hadoop.phase";
 /// Hadoop job-level spans and markers (setup, job finished).
@@ -227,6 +230,23 @@ pub const CTR_MEM_FRAME_BYTES: &str = "mpid.mem.frame_bytes";
 pub const CTR_MEM_FRAMES_DECODED: &str = "mpid.mem.frames_decoded";
 /// Bytes spilled by the receiver's external merge.
 pub const CTR_MEM_SPILL_BYTES: &str = "mpid.mem.spill_bytes";
+/// Block-pool bytes currently charged, sampled at spill/merge points.
+pub const CTR_MEM_POOL_LIVE: &str = "mpid.mem.pool.live";
+/// Block-pool lifetime high water, bytes. The bounded-memory CI gate
+/// asserts this stays within the configured budget.
+pub const CTR_MEM_POOL_HIGH_WATER: &str = "mpid.mem.pool.high_water";
+/// Block-pool configured byte budget.
+pub const CTR_MEM_POOL_BUDGET: &str = "mpid.mem.pool.budget";
+/// Charges forced past the budget (irreducible buffers).
+pub const CTR_MEM_POOL_FORCED: &str = "mpid.mem.pool.forced";
+/// Prefix of the worker-thread counter streams.
+pub const THREADS_COUNTER_PREFIX: &str = "mpid.threads.";
+/// Sender shard workers attached to this rank.
+pub const CTR_THREADS_WORKERS: &str = "mpid.threads.workers";
+/// Record batches routed to sender shard workers.
+pub const CTR_THREADS_BATCHES: &str = "mpid.threads.batches";
+/// Key ranges merged in parallel by the receiver.
+pub const CTR_THREADS_MERGE_RANGES: &str = "mpid.threads.merge_ranges";
 /// Prefix of the per-host utilization streams summarized under
 /// `utilization` in a run profile.
 pub const UTIL_COUNTER_PREFIX: &str = "net.util.";
@@ -362,6 +382,7 @@ mod tests {
     #[test]
     fn prefixes_are_dotted_extensions_of_their_categories() {
         assert_eq!(MEM_COUNTER_PREFIX, format!("{CAT_MPID_MEM}."));
+        assert_eq!(THREADS_COUNTER_PREFIX, format!("{CAT_MPID_THREADS}."));
         assert_eq!(UTIL_COUNTER_PREFIX, format!("{CAT_NET_UTIL}."));
         assert!(CAT_MPI_P2P.starts_with(CAT_MPI_PREFIX));
         assert!(CAT_MPI_COLL.starts_with(CAT_MPI_PREFIX));
@@ -379,8 +400,19 @@ mod tests {
             CTR_MEM_FRAME_BYTES,
             CTR_MEM_FRAMES_DECODED,
             CTR_MEM_SPILL_BYTES,
+            CTR_MEM_POOL_LIVE,
+            CTR_MEM_POOL_HIGH_WATER,
+            CTR_MEM_POOL_BUDGET,
+            CTR_MEM_POOL_FORCED,
         ] {
             assert!(c.starts_with(MEM_COUNTER_PREFIX), "{c}");
+        }
+        for c in [
+            CTR_THREADS_WORKERS,
+            CTR_THREADS_BATCHES,
+            CTR_THREADS_MERGE_RANGES,
+        ] {
+            assert!(c.starts_with(THREADS_COUNTER_PREFIX), "{c}");
         }
         for c in [CTR_UTIL_UP, CTR_UTIL_DOWN, CTR_UTIL_DISK] {
             assert!(c.starts_with(UTIL_COUNTER_PREFIX), "{c}");

@@ -240,7 +240,7 @@ fn hotpath_reports_manifest_entries_that_match_no_file() {
 // --- blocking pass --------------------------------------------------------
 
 #[test]
-fn blocking_flags_untimed_waits_in_mpirt_only() {
+fn blocking_flags_untimed_waits_in_mpirt_and_core_only() {
     let root = fixture_root("blocking-golden");
     let body = concat!(
         "pub fn recv(slot: &Slot, deadline: Option<Deadline>) -> Msg {\n",
@@ -251,13 +251,24 @@ fn blocking_flags_untimed_waits_in_mpirt_only() {
         "}\n",
     );
     write(&root, "crates/mpirt/src/comm.rs", body);
-    // The same tokens outside mpi-rt are not this pass's business.
-    write(&root, "crates/core/src/lib.rs", body);
-    let findings = run(&root, &["blocking"]);
-    assert_eq!(findings.len(), 1, "{findings:?}");
-    assert_eq!(findings[0].token, ".wait()");
-    assert_eq!(findings[0].file, "crates/mpirt/src/comm.rs");
-    assert_eq!(findings[0].line, 4);
+    // The core crate spawns its own shard/merge workers, so its untimed
+    // joins are findings too.
+    write(
+        &root,
+        "crates/core/src/shard.rs",
+        "pub fn stop(h: Handle) {\n    h.join();\n}\n",
+    );
+    // The same tokens outside mpi-rt and core are not this pass's business.
+    write(&root, "crates/mapred/src/lib.rs", body);
+    let mut findings = run(&root, &["blocking"]);
+    findings.sort_by(|a, b| a.file.cmp(&b.file));
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert_eq!(findings[0].token, ".join()");
+    assert_eq!(findings[0].file, "crates/core/src/shard.rs");
+    assert_eq!(findings[0].line, 2);
+    assert_eq!(findings[1].token, ".wait()");
+    assert_eq!(findings[1].file, "crates/mpirt/src/comm.rs");
+    assert_eq!(findings[1].line, 4);
 }
 
 // --- output ---------------------------------------------------------------

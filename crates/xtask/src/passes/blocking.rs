@@ -1,15 +1,19 @@
-//! Blocking-call pass: in `mpi-rt`, flag untimed blocking waits that
-//! bypass the timeout-carrying APIs.
+//! Blocking-call pass: in `mpi-rt` and the `mpid` core, flag untimed
+//! blocking primitives that bypass the timeout-carrying APIs.
 //!
 //! The runtime exposes `recv_timeout` / `recv_bytes_timeout` /
 //! `wait_timeout` / `wait_taken_timeout` / `probe_timeout` so callers (and
 //! the deadlock verifier) can bound every wait. An untimed wait is a
 //! potential infinite hang that the verifier cannot attribute: a process
 //! stuck in `slot.wait()` looks identical to a scheduled-but-slow peer.
-//! New call sites should thread a deadline; the deliberate fast-path
-//! primitives (the condvar loops *implementing* the timed waits, and the
-//! verify-off paths that accept hangs to avoid polling overhead) are
-//! reviewed allowlist entries (`blocking:<path-suffix>:<token>`).
+//! The same goes for the core's thread-sync primitives now that the MPI-D
+//! hot path spawns its own workers: an untimed `JoinHandle::join` (or a
+//! raw condvar wait) on a worker that never exits is the same unattributed
+//! hang one layer up. New call sites should thread a deadline, or close
+//! the worker's input channel *before* joining so the join is bounded by
+//! drained work; the deliberate fast-path primitives and reviewed
+//! close-then-join shutdowns are allowlist entries
+//! (`blocking:<path-suffix>:<token>`).
 
 use crate::analyze::{token_matches, Finding, Pass, Workspace};
 
@@ -29,7 +33,16 @@ pub const UNTIMED: &[(&str, &str)] = &[
         ".wait(&mut",
         "raw untimed condvar wait; loop on wait_for with a deadline",
     ),
+    (
+        ".join()",
+        "untimed thread join; close the worker's input channel first (so \
+         the join is bounded) or use a timed handshake",
+    ),
 ];
+
+/// Crates the pass scans: the MPI runtime and the MPI-D core (which spawns
+/// sender-shard and merge workers).
+const SCANNED: &[&str] = &["mpirt", "core"];
 
 /// The blocking-call pass; see the module docs.
 pub struct BlockingCalls;
@@ -40,7 +53,7 @@ impl Pass for BlockingCalls {
     }
 
     fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in ws.crate_files("mpirt") {
+        for file in SCANNED.iter().flat_map(|&c| ws.crate_files(c)) {
             for (line_no, code) in file.code_lines() {
                 if file.is_test_line(line_no) {
                     continue;
