@@ -129,6 +129,7 @@ fn main() {
 
     if check {
         run_checked_wordcount();
+        run_strategy_wordcount();
     }
 }
 
@@ -161,4 +162,33 @@ fn run_checked_wordcount() {
         unchecked.universe_msgs
     );
     println!("  outputs byte-identical: true (checker is observation-only)");
+}
+
+/// `--check`: run the same real WordCount through a non-baseline shuffle
+/// strategy (in-node combining, two mappers per host) and assert the
+/// grouped output is bit-identical to the baseline ship — strategies may
+/// change how bytes move, never what the reducers group.
+fn run_strategy_wordcount() {
+    println!();
+    println!("check — real MPI-D WordCount under in-node combine (4 mappers, 2 per host)");
+    let input = Arc::new(TextGen::new(11, 4 << 20, 8, 20_000));
+    let run = |shuffle: mpid::ShuffleKind| {
+        let mut cfg = MpidEngineConfig::with_workers(4, 2);
+        cfg.shuffle = shuffle;
+        run_mpid(&cfg, Arc::new(WordCount), input.clone())
+    };
+    let baseline = run(mpid::ShuffleKind::Baseline);
+    let innode = run(mpid::ShuffleKind::InNodeCombine {
+        mappers_per_host: 2,
+    });
+    assert_eq!(
+        baseline.output, innode.output,
+        "in-node combining must preserve grouped output"
+    );
+    println!(
+        "  baseline: {} output pairs; in-node combine: {} output pairs",
+        baseline.output.len(),
+        innode.output.len()
+    );
+    println!("  outputs byte-identical: true (strategy changes bytes moved, not bytes meant)");
 }

@@ -19,8 +19,10 @@
 //!   *outside* the timed region, so the number is the pipeline's, not the
 //!   generator's. Shapes: Zipf word pairs (`mpid_pipeline`), small keys
 //!   with large values (`pipe_large_values`), all-distinct keys
-//!   (`pipe_many_keys`), LZ wire compression (`pipe_compressed`), and the
-//!   bounded-memory external merge (`pipe_extmerge`).
+//!   (`pipe_many_keys`), LZ wire compression (`pipe_compressed`), the
+//!   bounded-memory external merge (`pipe_extmerge`), and the non-baseline
+//!   shuffle strategies — in-node combining with two mappers per host
+//!   (`pipe_innode`) and degenerate coded ship at r = 2 (`pipe_coded_r2`).
 //!
 //! `--quick` shrinks the microbench sizes for CI; the bench *names* are
 //! identical in both modes so baselines stay comparable (the JSON records
@@ -291,6 +293,8 @@ fn main() {
         "pipe_many_keys",
         "pipe_compressed",
         "pipe_extmerge",
+        "pipe_innode",
+        "pipe_coded_r2",
         "mpid_pipeline_t1",
         "mpid_pipeline_t2",
         "mpid_pipeline_t4",
@@ -366,6 +370,28 @@ fn main() {
         let mut cfg = pipe_cfg(threads);
         cfg.reduce_budget_bytes = Some(256 * 1024);
         benches.push(pipe_shape("pipe_extmerge", &cfg, WordCountPairs, pairs));
+    }
+
+    // Shape 6: the in-node combine strategy — the 4 mappers pair into 2
+    // per-host groups, members relay spills to their leader, and the
+    // leader merges co-located output before framing. Times the relay +
+    // leader-merge overhead against the baseline `mpid_pipeline` shape.
+    if want("pipe_innode") {
+        let pairs = zipf_pairs(19, scale * 524_288, 20_000);
+        let mut cfg = pipe_cfg(threads);
+        cfg.shuffle = mpid::ShuffleKind::InNodeCombine {
+            mappers_per_host: 2,
+        };
+        benches.push(pipe_shape("pipe_innode", &cfg, WordCountPairs, pairs));
+    }
+
+    // Shape 7: coded shuffle's real-path degenerate form at r = 2 —
+    // parity framing and decode algebra on every shipped frame.
+    if want("pipe_coded_r2") {
+        let pairs = zipf_pairs(23, scale * 524_288, 20_000);
+        let mut cfg = pipe_cfg(threads);
+        cfg.shuffle = mpid::ShuffleKind::Coded { r: 2 };
+        benches.push(pipe_shape("pipe_coded_r2", &cfg, WordCountPairs, pairs));
     }
 
     // ------------------------------------------------------------------

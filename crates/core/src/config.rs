@@ -1,6 +1,7 @@
 //! MPI-D runtime configuration and rank-role layout.
 
 use crate::pool::BlockPool;
+use crate::shuffle::ShuffleKind;
 use mpi_rt::{Comm, Rank};
 use std::sync::Arc;
 use std::time::Duration;
@@ -50,6 +51,10 @@ pub struct MpidConfig {
     /// *job's* aggregate buffering rather than each rank's. The engine does
     /// exactly that.
     pub pool: Option<Arc<BlockPool>>,
+    /// How spilled wire frames travel to the reducers (see
+    /// [`crate::shuffle`]): direct ship (baseline), per-host in-node
+    /// combining, or coded-multicast validation.
+    pub shuffle: ShuffleKind,
 }
 
 impl Default for MpidConfig {
@@ -66,6 +71,7 @@ impl Default for MpidConfig {
             threads: 1,
             mem_budget: None,
             pool: None,
+            shuffle: ShuffleKind::Baseline,
         }
     }
 }
@@ -120,6 +126,7 @@ impl MpidConfig {
         if self.mem_budget == Some(0) {
             return Err("mem_budget must be nonzero when set".into());
         }
+        self.shuffle.validate()?;
         if comm.size() != self.required_ranks() {
             return Err(format!(
                 "communicator has {} ranks but config requires {} (1 master + {} mappers + {} reducers)",
@@ -186,6 +193,10 @@ pub mod tags {
     pub const ASSIGN: Tag = 4;
     /// Mapper-side statistics report (mapper → master at finish).
     pub const STATS: Tag = 5;
+    /// In-node shuffle relay (group member → group leader): a partition
+    /// index plus a wire frame. An *empty* payload is the member's
+    /// end-of-relay marker, mirroring [`DATA`]'s end-of-stream convention.
+    pub const RELAY: Tag = 6;
 }
 
 #[cfg(test)]

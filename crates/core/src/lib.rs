@@ -78,6 +78,7 @@ pub mod realign;
 pub mod receiver;
 pub mod sender;
 pub mod shard;
+pub mod shuffle;
 pub mod stats;
 
 pub use combine::{Combiner, FnCombiner, MaxCombiner, MinCombiner, SumCombiner};
@@ -88,6 +89,7 @@ pub use partition::{ConstPartitioner, HashPartitioner, Partitioner, RangePartiti
 pub use pool::{BlockPool, PoolStats};
 pub use receiver::{ExternalRecv, MpidReceiver, MpidStream};
 pub use sender::MpidSender;
+pub use shuffle::ShuffleKind;
 pub use stats::{MasterStats, ReceiverStats, SenderStats};
 
 use mpi_rt::Comm;
@@ -226,6 +228,7 @@ impl<'a> MpidWorld<'a> {
             (config::tags::REQ, "split request"),
             (config::tags::ASSIGN, "split assignment"),
             (config::tags::STATS, "stats report"),
+            (config::tags::RELAY, "in-node relay frame"),
         ] {
             let pending = self.comm.pending_messages(Some(tag));
             if pending > 0 {

@@ -43,6 +43,7 @@ use crate::partition::{HashPartitioner, Partitioner};
 use crate::pool::PoolCharge;
 use crate::realign::{FrameBuilder, MARKER_LZ};
 use crate::shard::ShardSet;
+use crate::shuffle::{self, ShipCtx, ShuffleKind, ShuffleStrategy};
 use crate::stats::SenderStats;
 use bytes::{Bytes, BytesMut};
 use mpi_rt::{Comm, RankTrace, SendRequest};
@@ -503,8 +504,9 @@ pub struct MpidSender<'a, K: Key, V: Value> {
     finished: bool,
     trace: Option<SenderTrace>,
     scratch: SpillScratch<K>,
-    /// Flat (destination, wire) list for the current spill; reused.
-    shipments: Vec<(mpi_rt::Rank, Bytes)>,
+    /// The sender→wire policy (see [`crate::shuffle`]), built lazily at the
+    /// first spill so `with_combiner` can run first.
+    strategy: Option<Box<dyn ShuffleStrategy<K, V>>>,
     shop: WireShop,
 }
 
@@ -547,8 +549,16 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                 prev: SenderStats::default(),
             }),
             scratch: SpillScratch::new(),
-            shipments: Vec::new(),
+            strategy: None,
             shop: WireShop::new(),
+        }
+    }
+
+    /// The installed strategy, built on first use (after `with_combiner`).
+    fn take_strategy(&mut self) -> Box<dyn ShuffleStrategy<K, V>> {
+        match self.strategy.take() {
+            Some(s) => s,
+            None => shuffle::build_strategy(self.comm, &self.cfg, self.combiner.clone()),
         }
     }
 
@@ -708,13 +718,6 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
         self.stats.frames += out.frames;
         self.stats.bytes_precompress += out.precompress;
         self.stats.bytes_sent += out.wire_bytes;
-        let mut shipments = std::mem::take(&mut self.shipments);
-        for (p, wires) in out.shipments {
-            let dst = Role::reducer_rank(&self.cfg, p as usize);
-            for wire in wires {
-                shipments.push((dst, wire));
-            }
-        }
         self.charge.clear();
         let ship_start = if let (Some(ts), Some(t0)) = (&self.trace, spill_start) {
             let now = ts.rt.now_ns();
@@ -739,17 +742,21 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
         } else {
             None
         };
-        for (dst, wire) in shipments.drain(..) {
-            if self.cfg.use_isend {
-                // Overlap map computation with communication (the
-                // paper's future-work item, as an ablation switch).
-                let req = self.comm.isend_bytes(dst, tags::DATA, wire)?;
-                self.pending.push(req);
-            } else {
-                self.comm.send_bytes(dst, tags::DATA, wire)?;
-            }
+        // Hand the spill to the shuffle strategy: baseline ships straight to
+        // the reducers (use_isend overlaps map computation with
+        // communication — the paper's future-work item, as an ablation
+        // switch); in-node members relay to their leader; coded validates
+        // the parity algebra before shipping.
+        let mut strategy = self.take_strategy();
+        {
+            let mut ctx = ShipCtx {
+                comm: self.comm,
+                cfg: &self.cfg,
+                pending: &mut self.pending,
+            };
+            strategy.ship(&mut ctx, out)?;
         }
-        self.shipments = shipments;
+        self.strategy = Some(strategy);
         if let (Some(ts), Some(t0)) = (&mut self.trace, ship_start) {
             ts.rt.complete_since(
                 obs::names::SPAN_SHIP,
@@ -834,6 +841,19 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
         if let Some(mut shards) = self.shards.take() {
             shards.shutdown();
         }
+        // Flush the shuffle strategy before end-of-stream: in-node leaders
+        // drain their members' relay streams and ship the merged frames
+        // here (isends land in `pending`, waited below).
+        let mut strategy = self.take_strategy();
+        let report = {
+            let mut ctx = ShipCtx {
+                comm: self.comm,
+                cfg: &self.cfg,
+                pending: &mut self.pending,
+            };
+            strategy.flush(&mut ctx)?
+        };
+        drop(strategy);
         for req in self.pending.drain(..) {
             req.wait();
         }
@@ -868,6 +888,32 @@ impl<'a, K: Key, V: Value> MpidSender<'a, K, V> {
                     ("threads", ArgValue::U64(self.cfg.threads as u64)),
                 ],
             );
+            // Shuffle-strategy counters, only off the baseline path so the
+            // baseline trace stays bit-identical to the pre-strategy sender.
+            if self.cfg.shuffle != ShuffleKind::Baseline {
+                ts.rt.counter(
+                    obs::names::CTR_SHUFFLE_STRATEGY,
+                    obs::names::CAT_MPID_SHUFFLE,
+                    report.kind_tag as f64,
+                );
+                ts.rt.counter(
+                    obs::names::CTR_SHUFFLE_WIRE_SAVED,
+                    obs::names::CAT_MPID_SHUFFLE,
+                    report.wire_in.saturating_sub(report.wire_out) as f64,
+                );
+                if report.host_groups_in > 0 {
+                    ts.rt.counter(
+                        obs::names::CTR_SHUFFLE_COMBINE_RATIO,
+                        obs::names::CAT_MPID_SHUFFLE,
+                        report.host_groups_out as f64 / report.host_groups_in as f64,
+                    );
+                }
+                ts.rt.counter(
+                    obs::names::CTR_SHUFFLE_REPL_OVERHEAD,
+                    obs::names::CAT_MPID_SHUFFLE,
+                    report.repl_overhead as f64,
+                );
+            }
         }
         Ok(self.stats.clone())
     }

@@ -1,0 +1,599 @@
+//! Pluggable shuffle strategies: how realigned wire frames travel from a
+//! mapper's spill to the owning reducers.
+//!
+//! The paper's MPI-D advantage comes almost entirely from the shuffle path,
+//! and two published refinements attack the same path from different ends:
+//! in-node combining (Lee et al., arXiv:1511.04861) merges the outputs of
+//! co-located map tasks *before* anything hits the wire, and Coded
+//! MapReduce (Li et al., arXiv:1512.01625) replicates map work r× so a
+//! coded multicast can cut shuffle traffic ~r×. Both are policies over the
+//! same seam — what happens to a [`SpillOutput`] after realignment — so the
+//! sender routes every spill through a [`ShuffleStrategy`] selected by
+//! [`MpidConfig::shuffle`]:
+//!
+//! * [`ShuffleKind::Baseline`] — the unmodified ship loop: every wire frame
+//!   goes straight to its partition's reducer on [`tags::DATA`]. Selecting
+//!   it adds one virtual call per *spill* (not per record); frames and
+//!   traffic are bit-identical to the pre-strategy sender.
+//! * [`ShuffleKind::InNodeCombine`] — mappers are grouped into hosts of
+//!   `mappers_per_host` consecutive ranks. Group members relay their frames
+//!   to the group leader (lowest rank) on [`tags::RELAY`] instead of
+//!   shipping them; the leader stashes everything (metered through the
+//!   job's [`crate::pool::BlockPool`]), then at finish merges all co-located
+//!   spill runs through one [`ByteTable`] — folding with the job's combiner
+//!   when one is installed — and ships the pre-combined frames.
+//! * [`ShuffleKind::Coded`] — the real-path degenerate form of coded
+//!   multicast: each spill's frames are chunked into groups of `r`, an XOR
+//!   parity word is built over every chunk ([`code_parity_into`]) and each
+//!   frame is reconstructed back out of the parity plus its peers
+//!   ([`code_decode_into`]) and checked byte-for-byte, validating the
+//!   partition/decode algebra on real wire bytes. The original frames then
+//!   ship unchanged, so output is trivially identical; the r×-replication
+//!   win itself is modeled in the simulators, which share this enum's shape
+//!   via `netsim::ShuffleKind`.
+//!
+//! ## Why grouped output stays identical (the determinism argument)
+//!
+//! Baseline reducers merge runs stably by source rank, so a key's values
+//! arrive ordered by `(mapper rank, send order)`. An in-node leader inserts
+//! relayed groups into its merge table by ascending member rank, and within
+//! one member by relay order — which is spill-epoch order, the same order
+//! the reducer's stable merge would have produced for those ranks. Leaders
+//! themselves are visited by the reducer in ascending rank order. So
+//! without a combiner the grouped byte stream each reducer emits is
+//! bit-identical to baseline. With a combiner, members have already folded
+//! per-epoch accumulators; the leader folds them once more (legal by the
+//! Hadoop combiner contract: combine is associative and may run any number
+//! of times), so identity holds at the reduced output rather than at the
+//! raw value list. `tests/shuffle_identity.rs` checks exactly this split.
+
+use crate::combine::Combiner;
+use crate::compress;
+use crate::config::{tags, MpidConfig, Role};
+use crate::error::{MpidError, MpidResult};
+use crate::kv::{Key, Value};
+use crate::pool::PoolCharge;
+use crate::realign::{FrameReader, MARKER_LZ};
+use crate::sender::{realign_table, ByteTable, SpillOutput, SpillScratch, WireShop};
+use bytes::{BufMut, Bytes, BytesMut};
+use mpi_rt::{Comm, Rank, SendRequest};
+use obs::ArgValue;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Which shuffle strategy a job runs (see the module docs). Mirrored by
+/// `netsim::ShuffleKind` for the simulated stacks; keep the two in sync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShuffleKind {
+    /// Ship every wire frame straight to its reducer (the paper's path).
+    #[default]
+    Baseline,
+    /// Merge co-located mappers' spill runs on a per-host leader before
+    /// framing; multi-mapper-per-host workloads ship pre-combined frames.
+    InNodeCombine {
+        /// Consecutive mapper ranks per simulated host (the combine group
+        /// size). `1` degenerates to per-mapper re-framing.
+        mappers_per_host: usize,
+    },
+    /// Coded multicast with map replication factor `r`: the real path
+    /// validates the XOR partition/decode algebra on every spill and ships
+    /// originals; the simulators model the r× traffic reduction.
+    Coded {
+        /// Map replication factor (`1` = no coding).
+        r: usize,
+    },
+}
+
+impl ShuffleKind {
+    /// Stable numeric tag for the `mpid.shuffle.strategy` counter.
+    pub fn tag(&self) -> u64 {
+        match self {
+            ShuffleKind::Baseline => 0,
+            ShuffleKind::InNodeCombine { .. } => 1,
+            ShuffleKind::Coded { .. } => 2,
+        }
+    }
+
+    /// Short human label (bench tables, figserve flags).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShuffleKind::Baseline => "baseline",
+            ShuffleKind::InNodeCombine { .. } => "innode",
+            ShuffleKind::Coded { .. } => "coded",
+        }
+    }
+
+    /// Degenerate-parameter check, shared by [`MpidConfig::check`].
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            ShuffleKind::Baseline => Ok(()),
+            ShuffleKind::InNodeCombine { mappers_per_host } if *mappers_per_host == 0 => {
+                Err("shuffle: in-node combine needs mappers_per_host >= 1".into())
+            }
+            ShuffleKind::Coded { r } if *r == 0 => {
+                Err("shuffle: coded replication factor must be >= 1".into())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// What the sender lends a strategy for one ship or flush call.
+pub(crate) struct ShipCtx<'a> {
+    pub(crate) comm: &'a Comm,
+    pub(crate) cfg: &'a MpidConfig,
+    /// Outstanding `Isend`s; the sender waits these before end-of-stream.
+    pub(crate) pending: &'a mut Vec<SendRequest>,
+}
+
+/// Per-sender totals a strategy hands back at flush, feeding the
+/// `mpid.shuffle.*` counters.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ShuffleReport {
+    /// [`ShuffleKind::tag`] of the strategy that ran.
+    pub(crate) kind_tag: u64,
+    /// Wire bytes that entered the strategy (what baseline would ship).
+    pub(crate) wire_in: u64,
+    /// Wire bytes actually shipped to reducers by this rank.
+    pub(crate) wire_out: u64,
+    /// Groups entering a leader's in-node merge (0 on members/baseline).
+    pub(crate) host_groups_in: u64,
+    /// Groups surviving the in-node merge.
+    pub(crate) host_groups_out: u64,
+    /// Parity bytes built for coded-algebra validation.
+    pub(crate) repl_overhead: u64,
+}
+
+/// The sender→wire policy seam: every spill's realigned output passes
+/// through `ship`, and `flush` runs once before end-of-stream.
+pub(crate) trait ShuffleStrategy<K: Key, V: Value> {
+    /// Dispose of one spill's wire frames (ship, relay, or stash).
+    fn ship(&mut self, ctx: &mut ShipCtx<'_>, out: SpillOutput) -> MpidResult<()>;
+    /// Flush buffered state (in-node leaders drain members and re-ship
+    /// here) and report totals. Called exactly once, before the sender's
+    /// end-of-stream markers.
+    fn flush(&mut self, ctx: &mut ShipCtx<'_>) -> MpidResult<ShuffleReport>;
+}
+
+/// Build the strategy for this rank from `cfg.shuffle`. Called lazily by
+/// the sender at first spill (after `with_combiner`); non-mapper ranks
+/// (which never ship) fall back to baseline.
+pub(crate) fn build_strategy<K: Key, V: Value>(
+    comm: &Comm,
+    cfg: &MpidConfig,
+    combiner: Option<Arc<dyn Combiner<V>>>,
+) -> Box<dyn ShuffleStrategy<K, V>> {
+    match cfg.shuffle {
+        ShuffleKind::Baseline => Box::new(BaselineShip),
+        ShuffleKind::Coded { r } => Box::new(CodedShip::new(r)),
+        ShuffleKind::InNodeCombine { mappers_per_host } => match Role::of(cfg, comm.rank()) {
+            Role::Mapper(idx) => Box::new(InNodeShip::new(cfg, idx, mappers_per_host, combiner)),
+            _ => Box::new(BaselineShip),
+        },
+    }
+}
+
+/// The shared reducer-bound send loop: frames go out in ascending partition
+/// order on [`tags::DATA`], non-blocking when `use_isend` is set.
+fn ship_to_reducers(ctx: &mut ShipCtx<'_>, out: &SpillOutput) -> MpidResult<()> {
+    for (p, wires) in &out.shipments {
+        let dst = Role::reducer_rank(ctx.cfg, *p as usize);
+        for wire in wires {
+            // `Bytes` handles are refcounted; this clone is a pointer bump,
+            // not a payload copy.
+            if ctx.cfg.use_isend {
+                let req = ctx.comm.isend_bytes(dst, tags::DATA, wire.clone())?;
+                ctx.pending.push(req);
+            } else {
+                ctx.comm.send_bytes(dst, tags::DATA, wire.clone())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`ShuffleKind::Baseline`]: the unmodified direct-ship path.
+struct BaselineShip;
+
+impl<K: Key, V: Value> ShuffleStrategy<K, V> for BaselineShip {
+    fn ship(&mut self, ctx: &mut ShipCtx<'_>, out: SpillOutput) -> MpidResult<()> {
+        ship_to_reducers(ctx, &out)
+    }
+
+    fn flush(&mut self, _ctx: &mut ShipCtx<'_>) -> MpidResult<ShuffleReport> {
+        Ok(ShuffleReport::default())
+    }
+}
+
+/// [`ShuffleKind::Coded`]: validate the XOR coded-multicast algebra over
+/// every spill's frames, then ship the originals unchanged.
+struct CodedShip {
+    r: usize,
+    /// Reused parity scratch across chunks.
+    parity: Vec<u8>,
+    /// Reused reconstruction scratch.
+    rebuilt: Vec<u8>,
+    report: ShuffleReport,
+}
+
+impl CodedShip {
+    fn new(r: usize) -> Self {
+        CodedShip {
+            r: r.max(1),
+            parity: Vec::new(),
+            rebuilt: Vec::new(),
+            report: ShuffleReport {
+                kind_tag: ShuffleKind::Coded { r }.tag(),
+                ..ShuffleReport::default()
+            },
+        }
+    }
+}
+
+impl<K: Key, V: Value> ShuffleStrategy<K, V> for CodedShip {
+    fn ship(&mut self, ctx: &mut ShipCtx<'_>, out: SpillOutput) -> MpidResult<()> {
+        for (_, wires) in &out.shipments {
+            for chunk in wires.chunks(self.r) {
+                if chunk.len() < 2 {
+                    continue; // a lone frame codes to itself
+                }
+                code_parity_into(chunk, &mut self.parity);
+                self.report.repl_overhead += self.parity.len() as u64;
+                for skip in 0..chunk.len() {
+                    code_decode_into(&self.parity, chunk, skip, &mut self.rebuilt);
+                    if self.rebuilt[..chunk[skip].len()] != chunk[skip][..] {
+                        return Err(MpidError::Spill(
+                            "coded shuffle: parity decode does not reproduce the frame".into(),
+                        ));
+                    }
+                }
+            }
+        }
+        self.report.wire_in += out.wire_bytes;
+        self.report.wire_out += out.wire_bytes;
+        ship_to_reducers(ctx, &out)
+    }
+
+    fn flush(&mut self, _ctx: &mut ShipCtx<'_>) -> MpidResult<ShuffleReport> {
+        Ok(self.report.clone())
+    }
+}
+
+/// XOR parity over a chunk of frames, each padded with zeros to the longest
+/// frame's length. With replication, one such word multicast to `r`
+/// receivers replaces `r` unicast frames — here it exists so the decode
+/// algebra can be checked against real wire bytes.
+pub fn code_parity_into(frames: &[Bytes], out: &mut Vec<u8>) {
+    let len = frames.iter().map(|f| f.len()).max().unwrap_or(0);
+    out.clear();
+    out.resize(len, 0);
+    for f in frames {
+        for (o, b) in out.iter_mut().zip(f.iter()) {
+            *o ^= *b;
+        }
+    }
+}
+
+/// Reconstruct frame `skip` from the parity word and the other frames of
+/// its chunk (`out` is padded to parity length; the caller compares the
+/// first `frames[skip].len()` bytes).
+pub fn code_decode_into(parity: &[u8], frames: &[Bytes], skip: usize, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(parity);
+    for (i, f) in frames.iter().enumerate() {
+        if i == skip {
+            continue;
+        }
+        for (o, b) in out.iter_mut().zip(f.iter()) {
+            *o ^= *b;
+        }
+    }
+}
+
+/// This mapper's place in its in-node combine group.
+enum HostRole {
+    /// Lowest rank of the group: stashes everything, merges at flush.
+    Leader {
+        own_rank: Rank,
+        member_ranks: Vec<Rank>,
+    },
+    /// Relays frames to the leader instead of shipping them.
+    Member { leader: Rank },
+}
+
+/// [`ShuffleKind::InNodeCombine`]: per-host combine stage in front of the
+/// wire (see the module docs for the grouping and determinism argument).
+struct InNodeShip<K: Key, V: Value> {
+    role: HostRole,
+    combiner: Option<Arc<dyn Combiner<V>>>,
+    /// Leader only: stashed `(partition, wire frame)` runs per source rank,
+    /// in relay (= spill-epoch) order.
+    stash: BTreeMap<Rank, Vec<(u32, Bytes)>>,
+    /// Stash bytes charged against the job's block pool.
+    charge: PoolCharge,
+    report: ShuffleReport,
+    _kv: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K: Key, V: Value> InNodeShip<K, V> {
+    fn new(
+        cfg: &MpidConfig,
+        idx: usize,
+        mappers_per_host: usize,
+        combiner: Option<Arc<dyn Combiner<V>>>,
+    ) -> Self {
+        let g = mappers_per_host.max(1);
+        let start = (idx / g) * g;
+        let end = (start + g).min(cfg.n_mappers);
+        let role = if idx == start {
+            HostRole::Leader {
+                own_rank: Role::mapper_rank(cfg, idx),
+                member_ranks: (start + 1..end)
+                    .map(|m| Role::mapper_rank(cfg, m))
+                    .collect(),
+            }
+        } else {
+            HostRole::Member {
+                leader: Role::mapper_rank(cfg, start),
+            }
+        };
+        InNodeShip {
+            role,
+            combiner,
+            stash: BTreeMap::new(),
+            charge: PoolCharge::new(cfg.pool.clone()),
+            report: ShuffleReport {
+                kind_tag: ShuffleKind::InNodeCombine { mappers_per_host }.tag(),
+                ..ShuffleReport::default()
+            },
+            _kv: PhantomData,
+        }
+    }
+
+    /// Decode one stashed/relayed wire frame and fold its groups into the
+    /// leader's merge table.
+    fn merge_frame(
+        &mut self,
+        table: &mut ByteTable<V>,
+        src: Rank,
+        part: u32,
+        wire: &Bytes,
+    ) -> MpidResult<()> {
+        let inflated;
+        let body: &[u8] = match wire.first() {
+            Some(&MARKER_LZ) => {
+                inflated = compress::decompress(&wire[1..]).map_err(|err| MpidError::Codec {
+                    source_rank: src,
+                    err,
+                })?;
+                &inflated
+            }
+            Some(_) => &wire[1..],
+            None => return Ok(()),
+        };
+        let mut reader = FrameReader::new(body).map_err(|err| MpidError::Codec {
+            source_rank: src,
+            err,
+        })?;
+        loop {
+            let group = reader
+                .next_group::<K, V>()
+                .map_err(|err| MpidError::Codec {
+                    source_rank: src,
+                    err,
+                })?;
+            let Some((key, values)) = group else { break };
+            self.report.host_groups_in += 1;
+            for v in values {
+                match &self.combiner {
+                    Some(c) => {
+                        let mut fold = |acc: &mut V, v: V| c.combine(acc, v);
+                        table.push(&key, v, || part, Some(&mut fold));
+                    }
+                    None => {
+                        table.push(&key, v, || part, None);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<K: Key, V: Value> ShuffleStrategy<K, V> for InNodeShip<K, V> {
+    fn ship(&mut self, ctx: &mut ShipCtx<'_>, out: SpillOutput) -> MpidResult<()> {
+        self.report.wire_in += out.wire_bytes;
+        match &self.role {
+            HostRole::Leader { own_rank, .. } => {
+                // Stash own frames beside the relayed ones; the merge walks
+                // sources in ascending rank order and the leader is the
+                // lowest rank of its group.
+                let own = *own_rank;
+                for (p, wires) in out.shipments {
+                    for wire in wires {
+                        self.charge.grow(wire.len());
+                        self.stash.entry(own).or_default().push((p, wire));
+                    }
+                }
+            }
+            HostRole::Member { leader } => {
+                let leader = *leader;
+                for (p, wires) in out.shipments {
+                    for wire in wires {
+                        // Relay payload: partition index, then the wire
+                        // frame verbatim (marker byte included).
+                        let mut payload = BytesMut::with_capacity(4 + wire.len());
+                        payload.put_u32_le(p);
+                        payload.put_slice(&wire);
+                        if ctx.cfg.use_isend {
+                            let req =
+                                ctx.comm
+                                    .isend_bytes(leader, tags::RELAY, payload.freeze())?;
+                            ctx.pending.push(req);
+                        } else {
+                            ctx.comm.send_bytes(leader, tags::RELAY, payload.freeze())?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, ctx: &mut ShipCtx<'_>) -> MpidResult<ShuffleReport> {
+        let member_ranks = match &self.role {
+            HostRole::Member { leader } => {
+                // End-of-relay marker: empty payload, like DATA's EOS.
+                ctx.comm.send::<u8>(*leader, tags::RELAY, &[])?;
+                return Ok(self.report.clone());
+            }
+            HostRole::Leader { member_ranks, .. } => member_ranks.len(),
+        };
+        // Drain every member's relay stream (their EOS is an empty
+        // payload); per-pair FIFO makes "EOS seen" mean "stream complete".
+        let mut awaiting = member_ranks;
+        while awaiting > 0 {
+            let (payload, status) = ctx.comm.recv_bytes_timeout(
+                None,
+                Some(tags::RELAY),
+                MpidConfig::DEFAULT_RECV_TIMEOUT,
+            )?;
+            if payload.is_empty() {
+                awaiting -= 1;
+                continue;
+            }
+            if payload.len() < 5 {
+                return Err(MpidError::Spill(format!(
+                    "in-node relay frame from rank {} too short ({} bytes)",
+                    status.source,
+                    payload.len()
+                )));
+            }
+            let part = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
+            let wire = payload.slice(4..);
+            self.report.wire_in += wire.len() as u64;
+            self.charge.grow(wire.len());
+            self.stash
+                .entry(status.source)
+                .or_default()
+                .push((part, wire));
+        }
+        // Single-shot merge: sources ascending (BTreeMap order), frames in
+        // relay order — the same (rank, epoch) order the reducer's stable
+        // merge gives baseline runs.
+        let t0 = ctx.comm.trace().map(|rt| rt.now_ns());
+        let mut table: ByteTable<V> = ByteTable::new();
+        let stash = std::mem::take(&mut self.stash);
+        for (src, frames) in &stash {
+            for (part, wire) in frames {
+                self.merge_frame(&mut table, *src, *part, wire)?;
+            }
+        }
+        drop(stash);
+        // One-time flush scratch; this is teardown, not the per-spill path.
+        let mut shop = WireShop::new();
+        let mut scratch: SpillScratch<K> = SpillScratch::new();
+        let out = realign_table::<K, V>(
+            &table,
+            ctx.cfg.n_reducers,
+            ctx.cfg.frame_bytes,
+            ctx.cfg.sort_keys,
+            ctx.cfg.compress,
+            &mut shop,
+            &mut scratch,
+        );
+        self.report.host_groups_out += out.groups;
+        self.report.wire_out += out.wire_bytes;
+        self.charge.clear();
+        if let (Some(rt), Some(t0)) = (ctx.comm.trace(), t0) {
+            rt.complete_since(
+                obs::names::SPAN_INNODE_COMBINE,
+                obs::names::CAT_MPID_SHUFFLE,
+                t0,
+                vec![
+                    ("groups_in", ArgValue::U64(self.report.host_groups_in)),
+                    ("groups_out", ArgValue::U64(self.report.host_groups_out)),
+                    ("wire_in", ArgValue::U64(self.report.wire_in)),
+                    ("wire_out", ArgValue::U64(self.report.wire_out)),
+                ],
+            );
+        }
+        ship_to_reducers(ctx, &out)?;
+        Ok(self.report.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(bodies: &[&[u8]]) -> Vec<Bytes> {
+        bodies.iter().map(|b| Bytes::copy_from_slice(b)).collect()
+    }
+
+    #[test]
+    fn parity_round_trips_equal_length_frames() {
+        let fs = frames(&[b"abcd", b"wxyz", b"1234"]);
+        let mut parity = Vec::new();
+        code_parity_into(&fs, &mut parity);
+        assert_eq!(parity.len(), 4);
+        let mut rebuilt = Vec::new();
+        for skip in 0..fs.len() {
+            code_decode_into(&parity, &fs, skip, &mut rebuilt);
+            assert_eq!(&rebuilt[..fs[skip].len()], &fs[skip][..], "frame {skip}");
+        }
+    }
+
+    #[test]
+    fn parity_round_trips_ragged_frames() {
+        let fs = frames(&[b"a", b"bcdef", b"ghi"]);
+        let mut parity = Vec::new();
+        code_parity_into(&fs, &mut parity);
+        assert_eq!(parity.len(), 5, "parity pads to the longest frame");
+        let mut rebuilt = Vec::new();
+        for skip in 0..fs.len() {
+            code_decode_into(&parity, &fs, skip, &mut rebuilt);
+            assert_eq!(&rebuilt[..fs[skip].len()], &fs[skip][..], "frame {skip}");
+        }
+    }
+
+    #[test]
+    fn parity_of_empty_chunk_is_empty() {
+        let mut parity = vec![9u8; 3];
+        code_parity_into(&[], &mut parity);
+        assert!(parity.is_empty());
+    }
+
+    #[test]
+    fn kind_validation_rejects_degenerate_parameters() {
+        assert!(ShuffleKind::Baseline.validate().is_ok());
+        assert!(ShuffleKind::InNodeCombine {
+            mappers_per_host: 2
+        }
+        .validate()
+        .is_ok());
+        assert!(ShuffleKind::InNodeCombine {
+            mappers_per_host: 0
+        }
+        .validate()
+        .is_err());
+        assert!(ShuffleKind::Coded { r: 1 }.validate().is_ok());
+        assert!(ShuffleKind::Coded { r: 0 }.validate().is_err());
+    }
+
+    #[test]
+    fn kind_tags_and_labels_are_stable() {
+        assert_eq!(ShuffleKind::Baseline.tag(), 0);
+        assert_eq!(
+            ShuffleKind::InNodeCombine {
+                mappers_per_host: 4
+            }
+            .tag(),
+            1
+        );
+        assert_eq!(ShuffleKind::Coded { r: 3 }.tag(), 2);
+        assert_eq!(ShuffleKind::default(), ShuffleKind::Baseline);
+        assert_eq!(ShuffleKind::Coded { r: 2 }.label(), "coded");
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for the shuffle-strategy seam: every [`ShuffleKind`]
+//! must leave the job's grouped output indistinguishable from baseline.
+//!
+//! Without a combiner the claim is strict bit identity: in-node leaders
+//! insert relayed groups by ascending member rank and relay (= spill-epoch)
+//! order — exactly the order the reducer's stable-by-source merge gives the
+//! baseline runs — and coded shipping is pass-through, so the full ordered
+//! `(key, values)` stream each reducer yields is byte-for-byte the baseline
+//! stream, across thread counts and compression settings. With a combiner,
+//! in-node leaders legally re-fold per-epoch accumulators (the Hadoop
+//! combiner contract), so identity is asserted at the reduced output: same
+//! key sequence, same per-key fold. Under a memory budget the windowed
+//! external receiver path consumes frames in arrival order, so value order
+//! is normalized there — grouping and key order must still match exactly.
+
+use mpi_rt::Universe;
+use mpid::{MpidConfig, MpidWorld, Role, ShuffleKind, SumCombiner};
+use proptest::prelude::*;
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(String, u64)>> {
+    proptest::collection::vec(("[a-e]{1,3}", 0u64..1000), 1..150)
+}
+
+/// Small frames and spill windows so even modest inputs cross every spill,
+/// frame, and relay boundary the identity claim has to survive.
+fn base_cfg(mappers: usize, reducers: usize) -> MpidConfig {
+    MpidConfig {
+        n_mappers: mappers,
+        n_reducers: reducers,
+        spill_threshold_bytes: 512,
+        frame_bytes: 128,
+        ..Default::default()
+    }
+}
+
+/// Run a job (static per-mapper shards, like `threaded_identity`) and
+/// return every reducer's `(key, values)` stream in reducer-rank order.
+fn run_job(cfg: MpidConfig, pairs: &[(String, u64)], combine: bool) -> Vec<(String, Vec<u64>)> {
+    let pairs = pairs.to_vec();
+    let results = Universe::run(cfg.required_ranks(), move |comm| {
+        let world = MpidWorld::init(comm, cfg.clone()).unwrap();
+        match world.role() {
+            Role::Master => {
+                world.run_master(Vec::<u64>::new()).unwrap();
+                None
+            }
+            Role::Mapper(m) => {
+                while world.next_split::<u64>().unwrap().is_some() {}
+                let mut send = world.sender::<String, u64>();
+                if combine {
+                    send = send.with_combiner(SumCombiner);
+                }
+                for (k, v) in pairs.iter().skip(m).step_by(cfg.n_mappers) {
+                    send.send(k.clone(), *v).unwrap();
+                }
+                send.finish().unwrap();
+                None
+            }
+            Role::Reducer(_) => {
+                let mut recv = world.receiver::<String, u64>();
+                Some(recv.recv_all().unwrap())
+            }
+        }
+    });
+    results.into_iter().flatten().flatten().collect()
+}
+
+/// Reduced view for combiner runs: key order preserved, each value list
+/// folded with the job's (commutative) combiner.
+fn summed(groups: &[(String, Vec<u64>)]) -> Vec<(String, u64)> {
+    groups
+        .iter()
+        .map(|(k, vs)| (k.clone(), vs.iter().sum::<u64>()))
+        .collect()
+}
+
+/// Value-order-insensitive view for the windowed external path.
+fn normalized(groups: &[(String, Vec<u64>)]) -> Vec<(String, Vec<u64>)> {
+    groups
+        .iter()
+        .map(|(k, vs)| {
+            let mut vs = vs.clone();
+            vs.sort_unstable();
+            (k.clone(), vs)
+        })
+        .collect()
+}
+
+/// The non-baseline strategy grid each case sweeps.
+fn strategies() -> [ShuffleKind; 6] {
+    [
+        ShuffleKind::InNodeCombine {
+            mappers_per_host: 1,
+        },
+        ShuffleKind::InNodeCombine {
+            mappers_per_host: 2,
+        },
+        ShuffleKind::InNodeCombine {
+            mappers_per_host: 4,
+        },
+        ShuffleKind::Coded { r: 1 },
+        ShuffleKind::Coded { r: 2 },
+        ShuffleKind::Coded { r: 3 },
+    ]
+}
+
+proptest! {
+    // Every case spawns several whole universes; keep case counts low.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// No combiner: the full ordered output of every strategy is
+    /// bit-identical to baseline, across thread counts and compression.
+    #[test]
+    fn grouped_output_bit_identical_across_strategies(
+        pairs in arb_pairs(),
+        mappers in 2usize..5,
+        reducers in 1usize..3,
+        threads in 1usize..3,
+        compress: bool,
+    ) {
+        let base = MpidConfig { threads, compress, ..base_cfg(mappers, reducers) };
+        let oracle = run_job(base.clone(), &pairs, false);
+        for shuffle in strategies() {
+            let cfg = MpidConfig { shuffle, ..base.clone() };
+            prop_assert_eq!(
+                run_job(cfg, &pairs, false),
+                oracle.clone(),
+                "strategy = {:?}",
+                shuffle
+            );
+        }
+    }
+
+    /// With a combiner, in-node leaders re-fold accumulators, so identity
+    /// holds at the reduced output: same key sequence, same per-key fold.
+    /// Coded stays pass-through and must remain strictly bit-identical.
+    #[test]
+    fn combined_output_identical_with_combiner(
+        pairs in arb_pairs(),
+        mappers in 2usize..5,
+        reducers in 1usize..3,
+    ) {
+        let base = base_cfg(mappers, reducers);
+        let oracle = run_job(base.clone(), &pairs, true);
+        for g in [1usize, 2, 3] {
+            let cfg = MpidConfig {
+                shuffle: ShuffleKind::InNodeCombine { mappers_per_host: g },
+                ..base.clone()
+            };
+            prop_assert_eq!(
+                summed(&run_job(cfg, &pairs, true)),
+                summed(&oracle),
+                "mappers_per_host = {}",
+                g
+            );
+        }
+        let cfg = MpidConfig { shuffle: ShuffleKind::Coded { r: 2 }, ..base.clone() };
+        prop_assert_eq!(run_job(cfg, &pairs, true), oracle);
+    }
+
+    /// Under a memory budget the windowed receiver path consumes frames in
+    /// arrival order; grouping, key order, and value multisets must still
+    /// match baseline for every strategy.
+    #[test]
+    fn bounded_grouping_identical_across_strategies(
+        pairs in arb_pairs(),
+        mappers in 2usize..4,
+        reducers in 1usize..3,
+    ) {
+        let base = base_cfg(mappers, reducers);
+        let oracle = normalized(&run_job(base.clone(), &pairs, false));
+        for shuffle in [
+            ShuffleKind::InNodeCombine { mappers_per_host: 2 },
+            ShuffleKind::Coded { r: 2 },
+        ] {
+            let cfg = MpidConfig {
+                shuffle,
+                mem_budget: Some(8 << 10),
+                ..base.clone()
+            };
+            prop_assert_eq!(
+                normalized(&run_job(cfg, &pairs, false)),
+                oracle.clone(),
+                "strategy = {:?}",
+                shuffle
+            );
+        }
+    }
+}

@@ -8,7 +8,7 @@ use desim::SimTime;
 use faults::{FaultKind, FaultPlan};
 use hadoop_sim::{run_job, run_job_faulty, HadoopConfig};
 use mapred::{run_sim_mpid, run_sim_mpid_ft, FtOutcome, MpidFtMode, SimMpidConfig};
-use netsim::JobSpec;
+use netsim::{JobSpec, SimShuffle};
 
 fn wc_spec() -> JobSpec {
     JobSpec {
@@ -21,6 +21,7 @@ fn wc_spec() -> JobSpec {
         combine_cpu_ns_per_byte: 0.0,
         reduce_cpu_ns_per_byte: 50.0,
         output_ratio: 1.0,
+        shuffle: SimShuffle::Baseline,
     }
 }
 

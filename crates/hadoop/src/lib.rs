@@ -31,7 +31,7 @@ pub use sim::{run_job, run_job_faulty, run_job_faulty_traced, run_job_traced};
 mod tests {
     use super::*;
     use desim::SimTime;
-    use netsim::JobSpec;
+    use netsim::{JobSpec, SimShuffle};
 
     /// A small sort-like workload (identity map, shuffle everything).
     fn sort_spec(gb: f64) -> JobSpec {
@@ -45,6 +45,7 @@ mod tests {
             combine_cpu_ns_per_byte: 0.0,
             reduce_cpu_ns_per_byte: 40.0,
             output_ratio: 1.0,
+            shuffle: SimShuffle::Baseline,
         }
     }
 
@@ -60,6 +61,7 @@ mod tests {
             combine_cpu_ns_per_byte: 30.0,
             reduce_cpu_ns_per_byte: 100.0,
             output_ratio: 1.0,
+            shuffle: SimShuffle::Baseline,
         }
     }
 
@@ -81,6 +83,59 @@ mod tests {
             // Phases fit inside the span.
             assert!(r.copy + r.sort + r.reduce <= r.duration() + SimTime::from_secs(1));
         }
+    }
+
+    #[test]
+    fn shuffle_strategies_trade_wire_for_map_work() {
+        let base = run_job(HadoopConfig::icpp2011(4, 4, 8), wc_spec(1.0));
+        assert!(base.shuffle_wire_bytes > 0);
+
+        // In-node combining across the 4 co-running map slots shrinks what
+        // the copy phase moves.
+        let mut cfg = HadoopConfig::icpp2011(4, 4, 8);
+        cfg.shuffle = netsim::SimShuffle::InNodeCombine;
+        let innode = run_job(cfg, wc_spec(1.0));
+        assert!(
+            innode.shuffle_wire_bytes < base.shuffle_wire_bytes,
+            "innode {} !< base {}",
+            innode.shuffle_wire_bytes,
+            base.shuffle_wire_bytes
+        );
+
+        // Coded shuffle halves the wire volume at r=2 but replicates map
+        // work, so map spans stretch while the copy phase shrinks.
+        let mut cfg = HadoopConfig::icpp2011(4, 4, 8);
+        cfg.shuffle = netsim::SimShuffle::Coded { r: 2 };
+        let coded = run_job(cfg, wc_spec(1.0));
+        let ratio = coded.shuffle_wire_bytes as f64 / base.shuffle_wire_bytes as f64;
+        assert!((0.45..=0.55).contains(&ratio), "wire ratio {ratio}");
+        let mean_map = |r: &JobReport| {
+            r.maps
+                .iter()
+                .map(|m| m.duration().as_secs_f64())
+                .sum::<f64>()
+                / r.maps.len() as f64
+        };
+        assert!(mean_map(&coded) > mean_map(&base));
+
+        // The per-job knob reaches the simulator without a config change.
+        let mut spec = wc_spec(1.0);
+        spec.shuffle = netsim::SimShuffle::Coded { r: 2 };
+        let perjob = run_job(HadoopConfig::icpp2011(4, 4, 8), spec);
+        assert_eq!(perjob.shuffle_wire_bytes, coded.shuffle_wire_bytes);
+    }
+
+    #[test]
+    fn rack_topology_slows_the_copy_phase() {
+        let flat = run_job(HadoopConfig::icpp2011(4, 4, 8), wc_spec(1.0));
+        let mut cfg = HadoopConfig::icpp2011(4, 4, 8);
+        let nic = cfg.cluster.nic_bytes_per_sec;
+        cfg.rack = Some(netsim::RackLayout::oversubscribed(4, nic, 8.0));
+        let racked = run_job(cfg, wc_spec(1.0));
+        // Same logical volume crosses the wire; the oversubscribed core
+        // only slows it down.
+        assert_eq!(racked.shuffle_wire_bytes, flat.shuffle_wire_bytes);
+        assert!(racked.makespan >= flat.makespan);
     }
 
     #[test]
@@ -270,7 +325,7 @@ mod tests {
 #[cfg(test)]
 mod failure_tests {
     use super::*;
-    use netsim::JobSpec;
+    use netsim::{JobSpec, SimShuffle};
 
     fn spec() -> JobSpec {
         JobSpec {
@@ -283,6 +338,7 @@ mod failure_tests {
             combine_cpu_ns_per_byte: 0.0,
             reduce_cpu_ns_per_byte: 50.0,
             output_ratio: 1.0,
+            shuffle: SimShuffle::Baseline,
         }
     }
 

@@ -71,6 +71,10 @@ pub struct JobReport {
     /// Reduce tasks restarted from scratch on a surviving worker after
     /// their host crashed.
     pub restarted_reduces: u64,
+    /// Shuffle payload bytes that actually crossed the disk/network during
+    /// the copy phase (after any in-node combining and coded-multicast
+    /// savings; excludes per-fetch seek/HTTP overhead bytes).
+    pub shuffle_wire_bytes: u64,
 }
 
 impl JobReport {

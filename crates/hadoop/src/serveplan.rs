@@ -11,7 +11,7 @@
 
 use crate::HadoopConfig;
 use desim::SimTime;
-use netsim::{JobPhase, JobPlan, JobSpec, PhaseFlows};
+use netsim::{JobPhase, JobPlan, JobSpec, PhaseFlows, SimShuffle};
 
 /// The serving-master plan for running `spec` on `n_hosts` granted worker
 /// hosts under this configuration. Phase labels are `obs::names` constants.
@@ -24,7 +24,20 @@ pub fn serve_plan(cfg: &HadoopConfig, spec: &JobSpec, n_hosts: usize) -> JobPlan
     // for its slot assignments, then pays a JVM launch.
     let wave_overhead = cfg.jvm_start.as_secs_f64() + cfg.heartbeat.as_secs_f64() / 2.0;
 
-    let shuffle = spec.shuffle_bytes(spec.input_bytes).max(1);
+    // Per-job shuffle strategy (deployment knob wins): in-node combining
+    // shrinks both wire and reducer-input volume by merging the spills of
+    // the `map_slots` co-located map tasks; coded multicast shrinks only
+    // the wire, at `r`× the map work.
+    let strat = SimShuffle::resolve(cfg.shuffle, spec.shuffle);
+    let data = strat.data_factor(cfg.map_slots, spec.combine_ratio);
+    let shuffle = ((spec.shuffle_bytes(spec.input_bytes) as f64) * data).round() as u64;
+    let shuffle = shuffle.max(1);
+    let wire = (((shuffle as f64) * strat.code_factor()).round() as u64).max(1);
+    let innode_cpu = if strat == SimShuffle::InNodeCombine {
+        spec.shuffle_bytes(spec.input_bytes) as f64 * spec.combine_cpu_ns_per_byte * 1e-9 / n
+    } else {
+        0.0
+    };
     let n_reduces = (cfg.n_reduces.max(1) as u64).min(n_hosts as u64 * cfg.reduce_slots as u64);
     // Every reducer fetches a partition of every map output: a short seek
     // into the spill file plus the HTTP round, divided over the hosts
@@ -38,7 +51,8 @@ pub fn serve_plan(cfg: &HadoopConfig, spec: &JobSpec, n_hosts: usize) -> JobPlan
         phases: vec![
             JobPhase {
                 label: obs::names::SPAN_MAP,
-                cpu_secs: spec.map_cpu_secs(spec.input_bytes) / n
+                cpu_secs: spec.map_cpu_secs(spec.input_bytes) * strat.map_work_factor() / n
+                    + innode_cpu
                     + map_waves as f64 * wave_overhead,
                 bytes: spec.input_bytes.max(1),
                 flows: PhaseFlows::DiskReadEach,
@@ -46,7 +60,7 @@ pub fn serve_plan(cfg: &HadoopConfig, spec: &JobSpec, n_hosts: usize) -> JobPlan
             JobPhase {
                 label: obs::names::SPAN_COPY,
                 cpu_secs: fetch_overhead,
-                bytes: shuffle,
+                bytes: wire,
                 flows: PhaseFlows::ShuffleAllToAll,
             },
             JobPhase {
@@ -86,6 +100,7 @@ mod tests {
             combine_cpu_ns_per_byte: 30.0,
             reduce_cpu_ns_per_byte: 100.0,
             output_ratio: 1.0,
+            shuffle: SimShuffle::Baseline,
         }
     }
 
@@ -103,6 +118,35 @@ mod tests {
         // More hosts ⇒ less per-host map CPU.
         let wide = serve_plan(&cfg, &spec, 32);
         assert!(wide.phases[0].cpu_secs < plan.phases[0].cpu_secs);
+    }
+
+    #[test]
+    fn strategies_shrink_the_copy_phase() {
+        let cfg = HadoopConfig::icpp2011(8, 4, 14);
+        let base = serve_plan(&cfg, &wc_like(1 << 30), 8);
+
+        let mut spec = wc_like(1 << 30);
+        spec.shuffle = SimShuffle::InNodeCombine;
+        let innode = serve_plan(&cfg, &spec, 8);
+        assert!(innode.phases[1].bytes < base.phases[1].bytes);
+        // The reducer input shrank too: less reduce CPU.
+        assert!(innode.phases[2].cpu_secs < base.phases[2].cpu_secs);
+
+        let mut spec = wc_like(1 << 30);
+        spec.shuffle = SimShuffle::Coded { r: 2 };
+        let coded = serve_plan(&cfg, &spec, 8);
+        let half = base.phases[1].bytes / 2;
+        assert!(coded.phases[1].bytes.abs_diff(half) <= 1);
+        // Coded pays the wire savings back as replicated map work.
+        assert!(coded.phases[0].cpu_secs > base.phases[0].cpu_secs);
+        // ...but reducers still decode (and reduce) the full volume.
+        assert_eq!(coded.phases[2].cpu_secs, base.phases[2].cpu_secs);
+
+        // A deployment-level knob overrides the per-job baseline.
+        let mut cfg2 = HadoopConfig::icpp2011(8, 4, 14);
+        cfg2.shuffle = SimShuffle::InNodeCombine;
+        let forced = serve_plan(&cfg2, &wc_like(1 << 30), 8);
+        assert_eq!(forced.phases[1].bytes, innode.phases[1].bytes);
     }
 
     #[test]

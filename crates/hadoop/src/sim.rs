@@ -39,7 +39,7 @@ use desim::rng::SplitMix64;
 use desim::stats::OnlineStats;
 use desim::{Scheduler, Sim, SimTime};
 use faults::{FaultKind, FaultPlan};
-use netsim::{Cluster, FlowId, HasNet, HostId, JobSpec, Net, Route};
+use netsim::{Cluster, FlowId, HasNet, HostId, JobSpec, Net, Route, SimShuffle};
 use obs::{ArgValue, Tracer};
 use std::collections::BTreeMap;
 
@@ -60,6 +60,12 @@ pub struct HadoopSim {
     blocks: Vec<BlockId>, // map m reads blocks[m]
     map_input: Vec<u64>,
     per_reduce_partition: Vec<u64>, // shuffled bytes of map m going to each reducer
+    // Resolved shuffle strategy and its factors (1.0 at baseline, keeping
+    // that path bit-identical). `data_factor` is already folded into
+    // `per_reduce_partition`; `code_factor` deflates only the fetch flows.
+    shuffle: SimShuffle,
+    data_factor: f64,
+    code_factor: f64,
 
     // Scheduling state.
     setup_done: bool,
@@ -137,13 +143,23 @@ impl HadoopSim {
         let blocks = hdfs.load_dataset(spec.input_bytes, cfg.block_bytes);
         let n_maps = blocks.len();
         let map_input: Vec<u64> = blocks.iter().map(|&b| hdfs.block(b).bytes).collect();
+        // Shuffle strategy (deployment knob wins over the job's spec).
+        // Co-location for in-node combining is a tasktracker's `map_slots`
+        // co-running map tasks, whose spills merge before being served.
+        let shuffle = SimShuffle::resolve(cfg.shuffle, spec.shuffle);
+        let data_factor = shuffle.data_factor(cfg.map_slots, spec.combine_ratio);
+        let code_factor = shuffle.code_factor();
         let per_reduce_partition: Vec<u64> = map_input
             .iter()
-            .map(|&b| spec.shuffle_bytes(b) / cfg.n_reduces as u64)
+            .map(|&b| ((spec.shuffle_bytes(b) as f64) * data_factor) as u64 / cfg.n_reduces as u64)
             .collect();
         let n_reduces = cfg.n_reduces;
+        let cluster = match &cfg.rack {
+            Some(l) => Cluster::with_racks(cfg.cluster.clone(), l.clone()),
+            None => Cluster::new(cfg.cluster.clone()),
+        };
         HadoopSim {
-            net: Net::new(Cluster::new(cfg.cluster.clone())),
+            net: Net::new(cluster),
             rng: SplitMix64::new(0x1c99_2011 ^ spec.input_bytes),
             spec,
             n_maps,
@@ -151,6 +167,9 @@ impl HadoopSim {
             blocks,
             map_input,
             per_reduce_partition,
+            shuffle,
+            data_factor,
+            code_factor,
             setup_done: false,
             pending_maps: (0..n_maps).rev().collect(),
             pending_reduces: (0..n_reduces).rev().collect(),
@@ -545,8 +564,17 @@ impl HadoopSim {
         // variance (applied after the RNG draws, so an empty plan leaves
         // the random sequence untouched).
         let injected = s.plan.cpu_factor(1 + worker, sc.now());
+        // Coded shuffle replicates the map work `r`×; in-node combining
+        // pays a second combine pass over the slot group's merged spills.
+        // Both terms are 1.0/absent at baseline.
+        let strategy_cpu = s.spec.map_cpu_secs(bytes) * (s.shuffle.map_work_factor() - 1.0)
+            + if s.shuffle == SimShuffle::InNodeCombine {
+                s.spec.shuffle_bytes(bytes) as f64 * s.spec.combine_cpu_ns_per_byte * 1e-9
+            } else {
+                0.0
+            };
         let cpu = SimTime::from_secs_f64(
-            s.rng.jittered(s.spec.map_cpu_secs(bytes), 0.35) * straggle * injected,
+            (s.rng.jittered(s.spec.map_cpu_secs(bytes), 0.35) + strategy_cpu) * straggle * injected,
         );
         sc.schedule_in(cpu, move |s: &mut HadoopSim, sc| {
             if !s.worker_alive[worker] {
@@ -556,7 +584,7 @@ impl HadoopSim {
             // extra merge pass (read + write ≈ 3× the final volume).
             let host = HostId(1 + worker);
             let raw = s.spec.map_output_bytes(s.map_input[m]);
-            let shuffled = s.spec.shuffle_bytes(s.map_input[m]);
+            let shuffled = ((s.spec.shuffle_bytes(s.map_input[m]) as f64) * s.data_factor) as u64;
             let disk_bytes = if raw > s.cfg.io_sort_bytes {
                 shuffled * 3
             } else {
@@ -749,7 +777,11 @@ impl HadoopSim {
                 Route::RemoteRead { from, to }
             };
             let n_batch = batch.len();
-            let id = Net::start_flow(s, sc, route, payload + overhead_bytes, 1.0, move |s, sc| {
+            // Coded multicast deflates what crosses the disk/wire; the
+            // reducer still accounts the full decoded payload below.
+            let wire = ((payload as f64) * s.code_factor) as u64;
+            s.report.shuffle_wire_bytes += wire;
+            let id = Net::start_flow(s, sc, route, wire + overhead_bytes, 1.0, move |s, sc| {
                 let cs = s.copiers[r].as_mut().expect("copier");
                 cs.in_flight -= 1;
                 cs.completed += n_batch;

@@ -47,6 +47,10 @@ pub struct MpidEngineConfig {
     /// watchdog, collective signature checks, teardown leak audit). On by
     /// default; observation-only, so results are identical either way.
     pub verify: bool,
+    /// How spilled frames travel to the reducers (see [`mpid::shuffle`]):
+    /// direct ship, per-host in-node combining, or coded-multicast
+    /// validation. Grouped output is identical for every setting.
+    pub shuffle: mpid::ShuffleKind,
 }
 
 impl Default for MpidEngineConfig {
@@ -64,6 +68,7 @@ impl Default for MpidEngineConfig {
             threads: 1,
             mem_budget: None,
             verify: true,
+            shuffle: mpid::ShuffleKind::Baseline,
         }
     }
 }
@@ -91,6 +96,7 @@ impl MpidEngineConfig {
             threads: self.threads,
             mem_budget: self.mem_budget,
             pool: None,
+            shuffle: self.shuffle,
         }
     }
 }

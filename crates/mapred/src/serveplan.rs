@@ -12,7 +12,7 @@
 
 use crate::sim::SimMpidConfig;
 use desim::SimTime;
-use netsim::{JobPhase, JobPlan, JobSpec, PhaseFlows};
+use netsim::{JobPhase, JobPlan, JobSpec, PhaseFlows, SimShuffle};
 
 /// The serving-master plan for running `spec` on `n_hosts` granted worker
 /// hosts under this configuration. Phase labels are `obs::names` constants.
@@ -33,16 +33,36 @@ pub fn serve_plan(cfg: &SimMpidConfig, spec: &JobSpec, n_hosts: usize) -> JobPla
         1.0
     };
 
-    let shuffle = spec.shuffle_bytes(spec.input_bytes).max(1);
+    // Per-job shuffle strategy (deployment knob wins). Co-location for the
+    // in-node combine stage is the run of consecutive splits a host maps —
+    // their spills merge through one per-host combine before framing.
+    let strat = SimShuffle::resolve(cfg.shuffle, spec.shuffle);
+    let colocated = n_splits.div_ceil(n_hosts as u64) as usize;
+    let data = strat.data_factor(colocated, spec.combine_ratio);
+    let shuffle = (((spec.shuffle_bytes(spec.input_bytes) as f64) * data).round() as u64).max(1);
+    let wire = (((shuffle as f64) * strat.code_factor()).round() as u64).max(1);
+    let innode_cpu = if strat == SimShuffle::InNodeCombine {
+        spec.shuffle_bytes(spec.input_bytes) as f64
+            * spec.combine_cpu_ns_per_byte
+            * 1e-9
+            * cfg.native_cpu_factor
+            / n
+    } else {
+        0.0
+    };
     let output = spec.output_bytes(shuffle).max(1);
     JobPlan {
         setup_secs: cfg.startup.as_secs_f64() + n_splits as f64 * cfg.master_rpc.as_secs_f64(),
         phases: vec![
             JobPhase {
                 label: obs::names::SPAN_MAP,
-                cpu_secs: spec.map_cpu_secs(spec.input_bytes) * cfg.native_cpu_factor * pressure
-                    / n,
-                bytes: shuffle,
+                cpu_secs: spec.map_cpu_secs(spec.input_bytes)
+                    * strat.map_work_factor()
+                    * cfg.native_cpu_factor
+                    * pressure
+                    / n
+                    + innode_cpu,
+                bytes: wire,
                 flows: PhaseFlows::ShuffleAllToAll,
             },
             JobPhase {
@@ -78,6 +98,7 @@ mod tests {
             combine_cpu_ns_per_byte: 30.0,
             reduce_cpu_ns_per_byte: 100.0,
             output_ratio: 1.0,
+            shuffle: SimShuffle::Baseline,
         }
     }
 
@@ -103,6 +124,30 @@ mod tests {
     fn hadoop_sim_equivalent_output(spec: &JobSpec) -> u64 {
         spec.output_bytes(spec.shuffle_bytes(spec.input_bytes).max(1))
             .max(1)
+    }
+
+    #[test]
+    fn strategies_trade_wire_for_map_work() {
+        let cfg = SimMpidConfig::icpp2011_fig6();
+        let base = serve_plan(&cfg, &wc_like(1 << 30), 8);
+
+        let mut spec = wc_like(1 << 30);
+        spec.shuffle = SimShuffle::InNodeCombine;
+        let innode = serve_plan(&cfg, &spec, 8);
+        assert!(innode.phases[0].bytes < base.phases[0].bytes);
+
+        let mut spec = wc_like(1 << 30);
+        spec.shuffle = SimShuffle::Coded { r: 2 };
+        let coded = serve_plan(&cfg, &spec, 8);
+        let half = base.phases[0].bytes / 2;
+        assert!(coded.phases[0].bytes.abs_diff(half) <= 1);
+        assert!(coded.phases[0].cpu_secs > base.phases[0].cpu_secs);
+
+        // A deployment-level knob overrides the per-job baseline.
+        let mut cfg2 = SimMpidConfig::icpp2011_fig6();
+        cfg2.shuffle = SimShuffle::Coded { r: 2 };
+        let forced = serve_plan(&cfg2, &wc_like(1 << 30), 8);
+        assert_eq!(forced.phases[0].bytes, coded.phases[0].bytes);
     }
 
     #[test]

@@ -27,7 +27,10 @@
 
 use desim::{Scheduler, Sim, SimTime};
 use faults::{FaultKind, FaultPlan};
-use netsim::{Cluster, ClusterSpec, HasNet, HostId, JobSpec, MpiModel, Net, Route, Transport};
+use netsim::{
+    Cluster, ClusterSpec, HasNet, HostId, JobSpec, MpiModel, Net, RackLayout, Route, SimShuffle,
+    Transport,
+};
 use obs::{ArgValue, Tracer};
 use std::collections::BTreeMap;
 
@@ -70,6 +73,15 @@ pub struct SimMpidConfig {
     /// idealized — no contention term). `1` = the single-threaded model,
     /// bit-identical to the pre-threading simulator.
     pub threads: usize,
+    /// Deployment-level shuffle strategy ([`SimShuffle::resolve`]d against
+    /// the job's own [`JobSpec::shuffle`]): in-node combining merges the
+    /// spills of co-located mapper processes before framing; coded shuffle
+    /// replicates map work `r`× to cut wire volume `r`×. Baseline is
+    /// bit-identical to the pre-strategy simulator.
+    pub shuffle: SimShuffle,
+    /// Rack topology layered over the flat cluster (rack uplinks +
+    /// oversubscribed core). `None` keeps the single non-blocking switch.
+    pub rack: Option<RackLayout>,
 }
 
 impl SimMpidConfig {
@@ -89,6 +101,8 @@ impl SimMpidConfig {
             overlap_sends: false,
             ship_frame_bytes: 512 << 10,
             threads: 1,
+            shuffle: SimShuffle::Baseline,
+            rack: None,
         }
     }
 
@@ -110,6 +124,7 @@ impl SimMpidConfig {
         assert!(self.pressure_per_doubling >= 0.0);
         assert!(self.pressure_ref_bytes > 0);
         assert!(self.threads >= 1, "threads must be at least 1");
+        self.shuffle.validate().expect("invalid shuffle strategy");
     }
 }
 
@@ -120,8 +135,13 @@ pub struct SimMpidReport {
     pub makespan: SimTime,
     /// When the last mapper finished (map + send complete).
     pub map_finish: SimTime,
-    /// Total bytes shuffled to reducers.
+    /// Total bytes shuffled to reducers (reducer-input volume, after any
+    /// in-node combining).
     pub shuffle_bytes: u64,
+    /// Bytes that actually crossed the network (or loopback) for the
+    /// shuffle: reducer-input volume inflated by the MPI streaming
+    /// efficiency, deflated by coded multicast.
+    pub wire_bytes: u64,
     /// Per-mapper busy spans `(start, end)`.
     pub mapper_spans: Vec<(SimTime, SimTime)>,
     /// The effective map-CPU multiplier applied (native factor × pressure).
@@ -165,8 +185,14 @@ struct MpidSim {
     // reducer bookkeeping
     first_arrival: Option<SimTime>,
     shuffle_bytes: u64,
+    wire_bytes: u64,
     cpu_multiplier: f64,
     mpi_efficiency: f64,
+    // Resolved shuffle strategy and its volume factors (all 1.0 at
+    // baseline, keeping that path bit-identical).
+    shuffle: SimShuffle,
+    data_factor: f64,
+    code_factor: f64,
     report_makespan: SimTime,
     finished: bool,
     reduce_started: bool,
@@ -224,8 +250,19 @@ impl MpidSim {
             let m = MpiModel::default();
             m.stream_bandwidth(512 * 1024) / m.peak_bw
         };
+        // Shuffle strategy: the deployment knob wins over the job's spec.
+        // Co-location for in-node combining is the round-robin mapper
+        // placement above — `ceil(M / workers)` mapper processes per host.
+        let shuffle = SimShuffle::resolve(cfg.shuffle, spec.shuffle);
+        let colocated = cfg.n_mappers.div_ceil(workers);
+        let data_factor = shuffle.data_factor(colocated, spec.combine_ratio);
+        let code_factor = shuffle.code_factor();
+        let cluster = match &cfg.rack {
+            Some(l) => Cluster::with_racks(cfg.cluster.clone(), l.clone()),
+            None => Cluster::new(cfg.cluster.clone()),
+        };
         MpidSim {
-            net: Net::new(Cluster::new(cfg.cluster.clone())),
+            net: Net::new(cluster),
             spec,
             next_split: 0,
             n_splits,
@@ -238,8 +275,12 @@ impl MpidSim {
             sends_in_flight: 0,
             first_arrival: None,
             shuffle_bytes: 0,
+            wire_bytes: 0,
             cpu_multiplier,
             mpi_efficiency,
+            shuffle,
+            data_factor,
+            code_factor,
             report_makespan: SimTime::ZERO,
             finished: false,
             reduce_started: false,
@@ -374,17 +415,27 @@ impl MpidSim {
         // The map function is serial per split; the combiner/buffer share
         // divides across the process's worker threads (threads = 1 keeps
         // the whole expression equal to `spec.map_cpu_secs(bytes)`).
-        let map_ns = bytes as f64 * s.spec.map_cpu_ns_per_byte;
+        // Coded shuffle runs the map function `r` times (replicated
+        // placement); in-node combining pays a second combine pass over the
+        // host's merged post-combine spills. Both factors are 1.0/absent at
+        // baseline.
+        let map_ns = bytes as f64 * s.spec.map_cpu_ns_per_byte * s.shuffle.map_work_factor();
         let comb_ns = s.spec.map_output_bytes(bytes) as f64 * s.spec.combine_cpu_ns_per_byte
             / s.cfg.threads as f64;
-        let cpu_secs = (map_ns + comb_ns) * 1e-9 * s.cpu_multiplier * injected;
+        let innode_ns = if s.shuffle == SimShuffle::InNodeCombine {
+            s.spec.shuffle_bytes(bytes) as f64 * s.spec.combine_cpu_ns_per_byte
+                / s.cfg.threads as f64
+        } else {
+            0.0
+        };
+        let cpu_secs = (map_ns + comb_ns + innode_ns) * 1e-9 * s.cpu_multiplier * injected;
         let map_start = sc.now().as_nanos();
         // Pipelined spill shipping (the paper's `MPI_D_Send` design): the
         // combined output accrues over the map compute and ships in
         // frame-sized spills as each is produced, so data movement overlaps
         // map computation on the producing mapper. The final frame is only
         // ready when the map is.
-        let shuffled = s.spec.shuffle_bytes(bytes);
+        let shuffled = ((s.spec.shuffle_bytes(bytes) as f64) * s.data_factor) as u64;
         s.shuffle_bytes += shuffled;
         let n_frames = match s.cfg.ship_frame_bytes {
             0 => 1,
@@ -442,7 +493,10 @@ impl MpidSim {
         // frame-sized messages.
         for r in 0..n_red {
             let dst = s.reducer_host[r];
-            let wire = ((per_red as f64) / s.mpi_efficiency) as u64;
+            // Coded multicast deflates what crosses the wire (the reducer
+            // decodes the full volume back out of the coded stream).
+            let wire = ((per_red as f64) / s.mpi_efficiency * s.code_factor) as u64;
+            s.wire_bytes += wire;
             let route = if dst == my_host {
                 Route::Loopback(my_host)
             } else {
@@ -602,6 +656,7 @@ fn run_sim_mpid_inner(
         makespan: sim.state.report_makespan,
         map_finish,
         shuffle_bytes: sim.state.shuffle_bytes,
+        wire_bytes: sim.state.wire_bytes,
         mapper_spans: sim.state.mapper_spans.clone(),
         cpu_multiplier: sim.state.cpu_multiplier,
     }
@@ -832,6 +887,7 @@ mod tests {
             combine_cpu_ns_per_byte: 30.0,
             reduce_cpu_ns_per_byte: 100.0,
             output_ratio: 1.0,
+            shuffle: SimShuffle::Baseline,
         }
     }
 
@@ -989,6 +1045,63 @@ mod tests {
         assert_eq!(count("reduce_tail"), 1);
         assert!(trace.events().iter().any(|e| e.name == "mpid.mappers_done"));
         assert_eq!(tracer.metrics().counter("mpid.mappers_done"), 49);
+    }
+
+    #[test]
+    fn shuffle_strategies_trade_wire_for_map_work() {
+        let base = run_sim_mpid(SimMpidConfig::icpp2011_fig6(), wc_spec(1.0));
+        assert!(base.wire_bytes > 0);
+
+        // In-node combining: 49 mappers on 7 workers = 7 co-located spill
+        // sets merged per host; WordCount combines well, so wire collapses.
+        let mut cfg = SimMpidConfig::icpp2011_fig6();
+        cfg.shuffle = SimShuffle::InNodeCombine;
+        let innode = run_sim_mpid(cfg, wc_spec(1.0));
+        assert!(
+            innode.wire_bytes < base.wire_bytes / 2,
+            "in-node combine should collapse duplicate keys: {} vs {}",
+            innode.wire_bytes,
+            base.wire_bytes
+        );
+        assert!(innode.shuffle_bytes < base.shuffle_bytes);
+
+        // Coded r=2: roughly half the wire, same reducer-input volume, and
+        // the replicated map work shows up in the mapper spans.
+        let mut cfg = SimMpidConfig::icpp2011_fig6();
+        cfg.shuffle = SimShuffle::Coded { r: 2 };
+        let coded = run_sim_mpid(cfg, wc_spec(1.0));
+        let ratio = coded.wire_bytes as f64 / base.wire_bytes as f64;
+        assert!(
+            (0.45..=0.55).contains(&ratio),
+            "coded r=2 should halve wire bytes, got ratio {ratio}"
+        );
+        assert_eq!(coded.shuffle_bytes, base.shuffle_bytes);
+        assert!(coded.map_finish > base.map_finish);
+
+        // The per-job knob works too, and the deployment knob wins.
+        let mut spec = wc_spec(1.0);
+        spec.shuffle = SimShuffle::Coded { r: 2 };
+        let per_job = run_sim_mpid(SimMpidConfig::icpp2011_fig6(), spec.clone());
+        assert_eq!(per_job.wire_bytes, coded.wire_bytes);
+        let mut cfg = SimMpidConfig::icpp2011_fig6();
+        cfg.shuffle = SimShuffle::InNodeCombine;
+        let overridden = run_sim_mpid(cfg, spec);
+        assert_eq!(overridden.wire_bytes, innode.wire_bytes);
+    }
+
+    #[test]
+    fn rack_topology_slows_cross_rack_shuffle() {
+        let flat = run_sim_mpid(SimMpidConfig::icpp2011_fig6(), wc_spec(1.0));
+        let mut cfg = SimMpidConfig::icpp2011_fig6();
+        cfg.rack = Some(RackLayout::oversubscribed(
+            4,
+            cfg.cluster.nic_bytes_per_sec,
+            8.0,
+        ));
+        let racked = run_sim_mpid(cfg, wc_spec(1.0));
+        // Same data moved; the oversubscribed core can only cost time.
+        assert_eq!(racked.wire_bytes, flat.wire_bytes);
+        assert!(racked.makespan >= flat.makespan);
     }
 
     #[test]

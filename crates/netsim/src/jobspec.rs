@@ -7,6 +7,108 @@
 //! (constants documented there, some measured from the real Rust
 //! implementations on small samples).
 
+/// Shuffle strategy knob for the simulators — the cost-model mirror of the
+/// real runtime's `mpid::ShuffleKind`.
+///
+/// The real data path implements these as `ShuffleStrategy` objects moving
+/// actual bytes; the simulators apply the same strategies as three scalar
+/// factors on the volume pipeline:
+///
+/// * [`SimShuffle::data_factor`] — how much of the post-combine map output
+///   survives the strategy's *extra* combining (in-node merge of co-located
+///   mappers' spills). This shrinks both wire traffic and reducer input.
+/// * [`SimShuffle::code_factor`] — wire-only multiplier from coded
+///   multicast: the reducers still decode the full volume, but only `1/r`
+///   of it crosses the network.
+/// * [`SimShuffle::map_work_factor`] — map-side CPU overhead of `r`×
+///   replicated map placement (coded shuffle trades map work for wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimShuffle {
+    /// Direct ship of each mapper's combined output (the current path).
+    #[default]
+    Baseline,
+    /// Co-located map tasks merge their spills through one per-host combine
+    /// stage before framing, so duplicate keys cross the wire once per host
+    /// instead of once per mapper.
+    InNodeCombine,
+    /// `r`×-replicated map placement with coded multicast ship: every map
+    /// runs on `r` hosts, and the redundancy lets each shuffled byte serve
+    /// `r` reducers' decodes, cutting wire volume `r`×.
+    Coded {
+        /// Map replication factor (1 = degenerate, identical to baseline
+        /// volumes but still exercising the coded path).
+        r: usize,
+    },
+}
+
+impl SimShuffle {
+    /// Stable label for report tables and bench ids.
+    pub fn label(&self) -> String {
+        match self {
+            SimShuffle::Baseline => "baseline".into(),
+            SimShuffle::InNodeCombine => "innode".into(),
+            SimShuffle::Coded { r } => format!("coded_r{r}"),
+        }
+    }
+
+    /// Reject degenerate parameterizations.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            SimShuffle::Coded { r: 0 } => Err("coded shuffle needs r >= 1".into()),
+            _ => Ok(()),
+        }
+    }
+
+    /// The effective strategy for a job: a non-baseline deployment-level
+    /// knob wins; otherwise the job's own spec decides.
+    pub fn resolve(cfg_level: SimShuffle, job_level: SimShuffle) -> SimShuffle {
+        if cfg_level != SimShuffle::Baseline {
+            cfg_level
+        } else {
+            job_level
+        }
+    }
+
+    /// Fraction of the post-combine map output that survives in-node
+    /// combining when `colocated` map tasks share a host.
+    ///
+    /// A single mapper's combiner already collapsed its *own* duplicates to
+    /// `combine_ratio` of the raw output; what remains is modelled as
+    /// `1 - combine_ratio` combinable (the per-split vocabularies of
+    /// co-located mappers overlap) and `combine_ratio` incompressible
+    /// residue. Merging `c` co-located spill sets therefore keeps
+    /// `(1 - rho) + rho / c` of the bytes, `rho = 1 - combine_ratio`: a
+    /// WordCount-like job (tiny `combine_ratio`) approaches a `c`× cut,
+    /// a Sort-like job (`combine_ratio = 1`) gains nothing.
+    pub fn data_factor(&self, colocated: usize, combine_ratio: f64) -> f64 {
+        match self {
+            SimShuffle::InNodeCombine => {
+                let c = colocated.max(1) as f64;
+                let rho = (1.0 - combine_ratio).clamp(0.0, 1.0);
+                (1.0 - rho) + rho / c
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Wire-only multiplier from coded multicast (reducer input volume is
+    /// unchanged — the redundancy is decoded back out).
+    pub fn code_factor(&self) -> f64 {
+        match self {
+            SimShuffle::Coded { r } => 1.0 / (*r).max(1) as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Map-side CPU multiplier (coded shuffle runs every map `r` times).
+    pub fn map_work_factor(&self) -> f64 {
+        match self {
+            SimShuffle::Coded { r } => (*r).max(1) as f64,
+            _ => 1.0,
+        }
+    }
+}
+
 /// Volume-and-cost description of a MapReduce job for simulation.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
@@ -33,6 +135,10 @@ pub struct JobSpec {
     pub reduce_cpu_ns_per_byte: f64,
     /// Final output volume as a fraction of reduce input volume.
     pub output_ratio: f64,
+    /// Per-job shuffle strategy. [`SimShuffle::resolve`]d against the
+    /// deployment-level knob by each simulator, so a serving mix can run
+    /// strategies job by job.
+    pub shuffle: SimShuffle,
 }
 
 impl JobSpec {
@@ -83,6 +189,7 @@ impl JobSpec {
                 return Err(format!("{label} must be finite and nonnegative, got {v}"));
             }
         }
+        self.shuffle.validate()?;
         Ok(())
     }
 }
@@ -102,6 +209,7 @@ mod tests {
             combine_cpu_ns_per_byte: 20.0,
             reduce_cpu_ns_per_byte: 50.0,
             output_ratio: 0.5,
+            shuffle: SimShuffle::Baseline,
         }
     }
 
@@ -130,5 +238,36 @@ mod tests {
         let mut s = spec();
         s.input_bytes = 0;
         assert!(s.validate().is_err());
+        let mut s = spec();
+        s.shuffle = SimShuffle::Coded { r: 0 };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn shuffle_factors_model_the_strategies() {
+        let b = SimShuffle::Baseline;
+        assert_eq!(b.data_factor(8, 0.0), 1.0);
+        assert_eq!(b.code_factor(), 1.0);
+        assert_eq!(b.map_work_factor(), 1.0);
+
+        // Fully combinable job on 4 co-located mappers: ~4x cut.
+        let inn = SimShuffle::InNodeCombine;
+        assert!((inn.data_factor(4, 0.0) - 0.25).abs() < 1e-12);
+        // Sort-like job (nothing combines): no savings.
+        assert_eq!(inn.data_factor(4, 1.0), 1.0);
+        // One mapper per host degenerates to baseline volumes.
+        assert_eq!(inn.data_factor(1, 0.0), 1.0);
+        assert_eq!(inn.map_work_factor(), 1.0);
+
+        let coded = SimShuffle::Coded { r: 2 };
+        assert_eq!(coded.data_factor(4, 0.0), 1.0);
+        assert_eq!(coded.code_factor(), 0.5);
+        assert_eq!(coded.map_work_factor(), 2.0);
+        assert_eq!(SimShuffle::resolve(coded, SimShuffle::InNodeCombine), coded);
+        assert_eq!(
+            SimShuffle::resolve(SimShuffle::Baseline, SimShuffle::InNodeCombine),
+            SimShuffle::InNodeCombine
+        );
+        assert_eq!(coded.label(), "coded_r2");
     }
 }

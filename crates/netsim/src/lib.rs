@@ -33,7 +33,7 @@ pub mod protocol;
 pub mod resource;
 
 pub use cluster::{Cluster, ClusterSpec, HostId, RackLayout, Route};
-pub use jobspec::JobSpec;
+pub use jobspec::{JobSpec, SimShuffle};
 pub use net::{HasNet, Net};
 pub use plan::{JobPhase, JobPlan, PhaseFlows};
 pub use protocol::{HadoopRpcModel, JettyHttpModel, MpiModel, NioSocketModel, Transport};

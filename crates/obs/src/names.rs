@@ -73,6 +73,8 @@ pub const CAT_SERVE: &str = "serve";
 pub const CAT_SERVE_JOB: &str = "serve.job";
 /// Discrete-event scheduler probe samples.
 pub const CAT_DESIM: &str = "desim";
+/// Shuffle-strategy spans and counters (in-node combine, coded shuffle).
+pub const CAT_MPID_SHUFFLE: &str = "mpid.shuffle";
 
 // --- Span names ------------------------------------------------------------
 
@@ -102,6 +104,8 @@ pub const SPAN_REALIGN: &str = "realign";
 pub const SPAN_MERGE: &str = "merge";
 /// Sender flush/close (drains pending sends, ships end-of-stream).
 pub const SPAN_SENDER_FINISH: &str = "sender_finish";
+/// In-node leader's per-host merge of co-located mappers' spill runs.
+pub const SPAN_INNODE_COMBINE: &str = "innode_combine";
 /// Hadoop job setup (JobTracker scheduling latency before first task).
 pub const SPAN_JOB_SETUP: &str = "job_setup";
 /// A job's time in the serving master's admission queue.
@@ -266,6 +270,16 @@ pub const CTR_SERVE_RUNNING: &str = "serve.running_jobs";
 pub const CTR_DESIM_PENDING: &str = "desim.pending";
 /// Scheduler events executed (sampled by [`crate::SchedTraceProbe`]).
 pub const CTR_DESIM_EXECUTED: &str = "desim.executed";
+/// Prefix of the shuffle-strategy counter streams.
+pub const SHUFFLE_COUNTER_PREFIX: &str = "mpid.shuffle.";
+/// Which shuffle strategy ran (0 = baseline, 1 = in-node, 2 = coded).
+pub const CTR_SHUFFLE_STRATEGY: &str = "mpid.shuffle.strategy";
+/// Wire bytes the strategy kept off the reducer-bound wire.
+pub const CTR_SHUFFLE_WIRE_SAVED: &str = "mpid.shuffle.wire_bytes_saved";
+/// Groups surviving a leader's per-host merge / groups entering it.
+pub const CTR_SHUFFLE_COMBINE_RATIO: &str = "mpid.shuffle.combine_ratio_per_host";
+/// Extra bytes spent on replication/parity (coded map-work overhead).
+pub const CTR_SHUFFLE_REPL_OVERHEAD: &str = "mpid.shuffle.replication_overhead";
 
 // --- Metrics-registry keys -------------------------------------------------
 
@@ -341,6 +355,8 @@ pub const BLOCKS_ON_PEER_SPANS: &[&str] = &[
     SPAN_MERGE,
     SPAN_REDUCE_TAIL,
     SPAN_SENDER_FINISH,
+    // An in-node leader's merge waits on its members' relay streams.
+    SPAN_INNODE_COMBINE,
 ];
 
 /// `net.flow` span names that occupy the host's disk.
@@ -417,5 +433,19 @@ mod tests {
         for c in [CTR_UTIL_UP, CTR_UTIL_DOWN, CTR_UTIL_DISK] {
             assert!(c.starts_with(UTIL_COUNTER_PREFIX), "{c}");
         }
+    }
+
+    #[test]
+    fn shuffle_names_extend_their_category() {
+        assert_eq!(SHUFFLE_COUNTER_PREFIX, format!("{CAT_MPID_SHUFFLE}."));
+        for c in [
+            CTR_SHUFFLE_STRATEGY,
+            CTR_SHUFFLE_WIRE_SAVED,
+            CTR_SHUFFLE_COMBINE_RATIO,
+            CTR_SHUFFLE_REPL_OVERHEAD,
+        ] {
+            assert!(c.starts_with(SHUFFLE_COUNTER_PREFIX), "{c}");
+        }
+        assert!(BLOCKS_ON_PEER_SPANS.contains(&SPAN_INNODE_COMBINE));
     }
 }

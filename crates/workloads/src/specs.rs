@@ -12,7 +12,7 @@ use crate::apps::WordCount;
 use crate::text::TextGen;
 use mapred::{InputFormat, MapReduceApp};
 use mpid::Kv;
-use netsim::JobSpec;
+use netsim::{JobSpec, SimShuffle};
 use std::collections::HashMap;
 
 /// Measured volume ratios of a map function over a sample input.
@@ -96,6 +96,7 @@ pub fn wordcount_spec(input_bytes: u64) -> JobSpec {
         combine_cpu_ns_per_byte: 30.0,
         reduce_cpu_ns_per_byte: 100.0,
         output_ratio: 1.0,
+        shuffle: SimShuffle::Baseline,
     }
 }
 
@@ -118,6 +119,7 @@ pub fn javasort_spec(input_bytes: u64) -> JobSpec {
         combine_cpu_ns_per_byte: 0.0,
         reduce_cpu_ns_per_byte: 40.0,
         output_ratio: 0.96, // strip framing back to 100-byte records
+        shuffle: SimShuffle::Baseline,
     }
 }
 
@@ -145,6 +147,7 @@ pub fn index_spec(input_bytes: u64) -> JobSpec {
         combine_cpu_ns_per_byte: 25.0,
         reduce_cpu_ns_per_byte: 120.0,
         output_ratio: 1.2,
+        shuffle: SimShuffle::Baseline,
     }
 }
 
@@ -160,6 +163,7 @@ pub fn grep_spec(input_bytes: u64) -> JobSpec {
         combine_cpu_ns_per_byte: 10.0,
         reduce_cpu_ns_per_byte: 100.0,
         output_ratio: 1.0,
+        shuffle: SimShuffle::Baseline,
     }
 }
 
